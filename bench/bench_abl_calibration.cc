@@ -1,0 +1,82 @@
+/**
+ * Ablation (Sec. V-A design choice): the Eq. 6 output-MSE coefficient
+ * search vs the plain weight-MSE search. The output-weighted objective
+ * spends grid resolution on the weights that multiply high-power
+ * (hot-channel) activations. Reports per-layer output NMSE on held-out
+ * activations and the end-to-end proxy perplexity of both searches.
+ */
+
+#include "bench_util.h"
+#include "model/quantized_linear.h"
+#include "tensor/stats.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+int
+main()
+{
+    banner(std::cout, "Ablation — Eq. 6 output-MSE vs weight-MSE "
+                      "coefficient search");
+
+    ModelInstance inst = makeInstance("llama-1-7b");
+    const ModelCalibration calib = ModelCalibration::collect(
+        *inst.weights, inst.evaluator->corpus()[0]);
+
+    // --- Layer-level: quantize each attention-input projection both
+    // ways and measure output NMSE against held-out activations.
+    TablePrinter table({"layer", "weight-MSE out NMSE",
+                        "Eq.6 out NMSE", "improvement"});
+    Rng rng(808);
+    const ArchDims &d = inst.profile.simDims;
+    for (size_t l = 0; l < inst.weights->layers.size(); ++l) {
+        const Tensor &w = inst.weights->layers[l].wq;
+        const auto power =
+            calib.power(static_cast<int64_t>(l), LinearSlot::AttnIn);
+
+        // Held-out activations with the hot-channel power profile.
+        Tensor x(Shape{32, d.dModel});
+        for (int64_t t = 0; t < 32; ++t) {
+            for (int64_t c = 0; c < d.dModel; ++c) {
+                x.at(t, c) = static_cast<float>(
+                    rng.gaussian(0.0,
+                                 std::sqrt(power[static_cast<size_t>(
+                                     c)])));
+            }
+        }
+        const Tensor ref = linearNT(x, w);
+
+        const MantQuantizedMatrix plain =
+            MantQuantizedMatrix::quantize(w, 64);
+        const MantQuantizedMatrix eq6 = MantQuantizedMatrix::quantize(
+            w, 64, MantQuantizedMatrix::Search::OutputMse, power);
+
+        const double nmse_plain =
+            nmse(ref.span(), linearNT(x, plain.dequantize()).span());
+        const double nmse_eq6 =
+            nmse(ref.span(), linearNT(x, eq6.dequantize()).span());
+        table.addRow({std::to_string(l), fmt(nmse_plain, 5),
+                      fmt(nmse_eq6, 5),
+                      fmtX(nmse_plain / nmse_eq6)});
+    }
+    table.print(std::cout);
+
+    // --- End to end.
+    QuantSetup setup = mantW4A8Setup(64);
+    const double ppl_plain = inst.evaluator->perplexityOf(setup);
+    const double ppl_eq6 =
+        inst.evaluator->perplexityOf(setup, nullptr, &calib);
+    std::cout << "\nEnd-to-end proxy PPL (MANT W4A8): weight-MSE "
+              << fmt(ppl_plain) << "  vs  Eq.6 " << fmt(ppl_eq6)
+              << "  (FP16 " << fmt(inst.evaluator->referencePerplexity())
+              << ")\n";
+    std::cout << "Takeaway: weighting the search by calibration E[x^2] "
+                 "protects the weights that multiply hot activation "
+                 "channels — every layer's output error drops "
+                 "(Sec. V-A, Eq. 6). On this synthetic substrate the "
+                 "end-to-end proxy PPL is within seed noise of the "
+                 "plain search: a random residual stream lacks the "
+                 "trained structure that turns per-layer gains into "
+                 "model-level gains (see EXPERIMENTS.md limitations).\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * Ablation (Sec. VI-E): the non-pipelined division unit. The paper
+ * models a 12-cycle divider whose latency hides behind K-dimension
+ * iterations; this bench sweeps the number of K-tiles and divider
+ * latency and reports the exposed fraction of total GEMM cycles.
+ */
+
+#include "bench_util.h"
+#include "sim/accelerators.h"
+#include "sim/systolic.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+int
+main()
+{
+    banner(std::cout,
+           "Ablation — division-unit latency hiding (Sec. VI-E)");
+
+    const ArchConfig arch = mantArch();
+
+    // Sweep K (accumulation depth) for a decode-style and a
+    // prefill-style GEMM with output quantization.
+    TablePrinter table({"M", "K", "k-tiles", "exposed cycles",
+                        "total cycles", "overhead %"});
+    for (const int64_t m : {1, 2048}) {
+        for (const int64_t k : {128, 256, 512, 768, 1024, 4096}) {
+            GemmShape g;
+            g.m = m;
+            g.k = k;
+            g.n = 4096;
+            g.actBits = 8;
+            g.weightBits = 4;
+            g.mantWeights = true;
+            g.outputQuant = true;
+            const GemmStats s = simulateGemm(arch, g);
+            const int64_t k_tiles =
+                (k + arch.arrayRows(8, 4) - 1) / arch.arrayRows(8, 4);
+            table.addRow({std::to_string(m), std::to_string(k),
+                          std::to_string(k_tiles),
+                          fmt(s.exposedQuantCycles, 0),
+                          fmt(s.cycles, 0),
+                          fmt(100.0 * s.exposedQuantCycles / s.cycles,
+                              2)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDivider-latency sensitivity (k-tiles needed to "
+                 "hide):\n";
+    TablePrinter sens({"divider latency", "exposed @ 4 k-tiles",
+                       "exposed @ 12 k-tiles", "exposed @ 16 k-tiles"});
+    for (const int64_t lat : {4, 8, 12, 16, 24}) {
+        auto exposed = [&](int64_t kt) {
+            return kt >= lat ? 0.0
+                             : static_cast<double>(lat - kt) * 128.0;
+        };
+        sens.addRow({std::to_string(lat), fmt(exposed(4), 0),
+                     fmt(exposed(12), 0), fmt(exposed(16), 0)});
+    }
+    sens.print(std::cout);
+    std::cout << "\nPaper check: a (2048,4096,4096) GEMM exposes "
+                 "~0.3% quantization overhead; K >= 12 array-depths "
+                 "fully hides the 12-cycle divider.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * Ablation (Sec. V-C design choice): variance-based real-time type
+ * selection vs the exhaustive MSE search, on real K/V cache samples.
+ * Reports quantization-error ratio, selection agreement, and the
+ * speed gap that forces the variance shortcut in the decode stage.
+ */
+
+#include "bench_util.h"
+#include "core/variance_selector.h"
+#include "model/transformer.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+int
+main()
+{
+    banner(std::cout, "Ablation — variance-based vs MSE-based type "
+                      "selection for the KV cache");
+
+    ModelInstance inst = makeInstance("llama-2-7b");
+    const auto calib_samples = Transformer::collectKvSamples(
+        *inst.weights, inst.evaluator->corpus()[0]);
+    const VarianceSelector sel =
+        VarianceSelector::calibrateMulti(calib_samples, 64);
+
+    // Held-out samples from a different context.
+    const auto test_samples = Transformer::collectKvSamples(
+        *inst.weights, inst.evaluator->corpus()[1]);
+
+    double var_err = 0.0, mse_err = 0.0;
+    int64_t groups = 0, agree_type = 0;
+    double var_ns = 0.0, mse_ns = 0.0;
+    std::vector<float> out;
+
+    for (const Tensor &t : test_samples) {
+        const int64_t inner = t.shape().innerDim();
+        const int64_t outer = t.shape().outerCount();
+        for (int64_t r = 0; r < outer; ++r) {
+            for (int64_t g0 = 0; g0 + 64 <= inner; g0 += 64) {
+                std::span<const float> group(t.data() + r * inner + g0,
+                                             64);
+                out.resize(64);
+
+                Stopwatch sv;
+                StreamingStats st;
+                st.addAll(group);
+                const MantSelection fast = sel.selectFromStats(st);
+                var_ns += sv.elapsedNs();
+                applySelection(group, fast, out);
+                for (size_t i = 0; i < 64; ++i) {
+                    const double d = group[i] - out[i];
+                    var_err += d * d;
+                }
+
+                Stopwatch sm;
+                const MantSelection slow = searchCoefficient(group);
+                mse_ns += sm.elapsedNs();
+                mse_err += slow.err;
+
+                agree_type += fast.isInt == slow.isInt &&
+                              (fast.isInt ||
+                               std::abs(fast.a - slow.a) <= 10);
+                ++groups;
+            }
+        }
+    }
+
+    TablePrinter table({"selector", "sq-error (norm.)",
+                        "select ns/group", "notes"});
+    table.addRow({"MSE search (16 types)", "1.000",
+                  fmt(mse_ns / static_cast<double>(groups), 0),
+                  "offline-only (weights)"});
+    table.addRow({"variance lookup", fmt(var_err / mse_err, 3),
+                  fmt(var_ns / static_cast<double>(groups), 0),
+                  "streaming, used for KV"});
+    table.print(std::cout);
+    std::cout << "\nType agreement (same type or |delta a| <= 10): "
+              << fmt(100.0 * static_cast<double>(agree_type) /
+                         static_cast<double>(groups), 1)
+              << "% over " << groups << " held-out groups\n";
+
+    // End-to-end effect: PPL with each selector path.
+    const ModelCalibration calib = ModelCalibration::collect(
+        *inst.weights, inst.evaluator->corpus()[0]);
+    const double ppl_var = inst.evaluator->perplexityOf(
+        mantFullSetup(64), &sel, &calib);
+    std::cout << "\nEnd-to-end proxy PPL (W4A8 + KV4, variance "
+                 "selection): "
+              << fmt(ppl_var) << "  (FP16 "
+              << fmt(inst.evaluator->referencePerplexity()) << ")\n";
+    std::cout << "Takeaway: the variance lookup costs a small error "
+                 "factor but is orders of magnitude cheaper, making "
+                 "real-time KV selection feasible (Sec. V-C).\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * Ablation (Sec. V-C): the V-cache process-window size. Larger
+ * windows hold more recent tokens at INT8 (better late-token quality,
+ * more 8-bit residency); smaller windows finalize to 4-bit sooner.
+ * Sweeps the window/group size and reports reconstruction error,
+ * average 8-bit residency, and end-to-end proxy PPL.
+ */
+
+#include "bench_util.h"
+#include "core/kv_quant.h"
+#include "model/transformer.h"
+#include "tensor/stats.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+int
+main()
+{
+    banner(std::cout,
+           "Ablation — V-cache process-window (group) size");
+
+    ModelInstance inst = makeInstance("llama-2-7b");
+    const auto samples = Transformer::collectKvSamples(
+        *inst.weights, inst.evaluator->corpus()[0]);
+    const ModelCalibration calib = ModelCalibration::collect(
+        *inst.weights, inst.evaluator->corpus()[0]);
+
+    TablePrinter table({"window G", "V recon NMSE", "avg 8-bit rows",
+                        "proxy PPL (W4A8+KV4)"});
+
+    for (const int64_t window : {16, 32, 64, 96}) {
+        const VarianceSelector sel =
+            VarianceSelector::calibrateMulti(samples, window);
+
+        // Reconstruction error of a simulated 96-step decode stream.
+        Rng rng(42);
+        const int64_t ch = 48, steps = 96;
+        TemporalVQuantizer tq(ch, window, sel);
+        Tensor seed(Shape{window, ch});
+        for (int64_t i = 0; i < seed.numel(); ++i)
+            seed[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+        tq.pushPrefill(seed);
+
+        Tensor stream(Shape{steps, ch});
+        double pending_rows = 0.0;
+        for (int64_t r = 0; r < steps; ++r) {
+            for (int64_t c = 0; c < ch; ++c)
+                stream.at(r, c) =
+                    static_cast<float>(rng.gaussian(0.0, 1.0));
+            tq.pushDecode(stream.row(r));
+            pending_rows += static_cast<double>(tq.pendingRows());
+        }
+        const Tensor rec = tq.reconstruct();
+        double err = 0.0, ref = 0.0;
+        for (int64_t r = 0; r < steps; ++r) {
+            for (int64_t c = 0; c < ch; ++c) {
+                const double d =
+                    rec.at(window + r, c) - stream.at(r, c);
+                err += d * d;
+                ref += static_cast<double>(stream.at(r, c)) *
+                       stream.at(r, c);
+            }
+        }
+
+        QuantSetup setup = mantFullSetup(window);
+        const double ppl =
+            inst.evaluator->perplexityOf(setup, &sel, &calib);
+        table.addRow({std::to_string(window), fmt(err / ref, 4),
+                      fmt(pending_rows / static_cast<double>(steps), 1),
+                      fmt(ppl)});
+        std::cout << "  [G=" << window << "] done\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nTakeaway: the window is the group size — small "
+                 "windows quantize sooner (finer groups, lower error "
+                 "per group) but leave fewer recent tokens at INT8; "
+                 "G-64 is the paper's balance point.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * Figure 2 reproduction: PPL *loss* over FP16 for INT, ANT, and the
+ * Ideal per-group clustering method under 4-bit group quantization
+ * (G-128) on LLaMA-7B. Paper: INT 0.404, ANT 0.218, Ideal 0.074.
+ * MANT is included as a fourth bar: it should land between ANT and
+ * Ideal (Sec. III-A's motivation for full adaptivity).
+ */
+
+#include "bench_util.h"
+#include "model/quant_setup.h"
+#include "model/quantized_linear.h"
+#include "tensor/stats.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+int
+main()
+{
+    banner(std::cout, "Fig. 2 — PPL loss of adaptive methods "
+                      "(llama-1-7b-sim, 4-bit, G-128)");
+
+    ModelInstance inst = makeInstance("llama-1-7b");
+    const double fp16 = inst.evaluator->referencePerplexity();
+
+    auto weight_only = [](WeightMethod m) {
+        QuantSetup s;
+        s.weight = m;
+        s.weightBits = 4;
+        s.weightGran = Granularity::PerGroup;
+        s.weightGroup = 128;
+        s.act = ActMethod::None;
+        return s;
+    };
+
+    TablePrinter table({"method", "weight NMSE", "measured PPL",
+                        "measured loss", "paper loss"});
+    struct Row
+    {
+        const char *label;
+        WeightMethod method;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {"INT", WeightMethod::Int, "0.404"},
+        {"ANT", WeightMethod::Ant, "0.218"},
+        {"MANT", WeightMethod::Mant, "(between ANT and Ideal)"},
+        {"Ideal (K-means)", WeightMethod::KMeans, "0.074"},
+    };
+    for (const Row &row : rows) {
+        // All four methods use the same plain quantization-MSE
+        // objective, as Fig. 2 compares data types, not calibration.
+        const QuantSetup setup = weight_only(row.method);
+        const double ppl = inst.evaluator->perplexityOf(setup);
+
+        // Aggregate weight-space NMSE across all linear layers: the
+        // direct data-type fidelity measure.
+        double err = 0.0, ref = 0.0;
+        for (const auto &nt : inst.weights->namedLinearWeights()) {
+            const Tensor q = quantizeWeightMatrix(*nt.tensor, setup);
+            for (int64_t i = 0; i < q.numel(); ++i) {
+                const double d =
+                    static_cast<double>((*nt.tensor)[i]) - q[i];
+                err += d * d;
+                ref += static_cast<double>((*nt.tensor)[i]) *
+                       (*nt.tensor)[i];
+            }
+        }
+        table.addRow({row.label, fmt(err / ref, 5), fmt(ppl, 3),
+                      fmt(ppl - fp16, 3), row.paper});
+        std::cout << "  [" << row.label << "] done\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nExpected shape: on weight NMSE (the data-type "
+                 "fidelity measure) INT > ANT > MANT > Ideal, with the "
+                 "ANT-to-Ideal gap that motivates MANT. The proxy-PPL "
+                 "column tracks the same ordering except that ANT and "
+                 "MANT swap within noise: MANT's grid has no exact "
+                 "zero, and on an untrained random substrate the dense "
+                 "small perturbations that costs transfer to PPL worse "
+                 "than they do on real trained models (see "
+                 "EXPERIMENTS.md limitations).\n";
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * Figure 12 reproduction: linear-layer speedup and energy breakdown
+ * across the five accelerators on LLaMA-7B/65B and OPT-6.7B/13B
+ * (prefill, sequence 2048, batch 1, area-equalized, PPL-aligned).
+ *
+ * Paper: MANT over Tender / OliVe / ANT* / BitFusion = 1.83x / 1.96x
+ * / 2.00x / 4.93x average; energy reductions 1.39 / 1.54 / 1.57 / 4.16;
+ * static energy is the main differentiator, DRAM+buffer scale with bit
+ * width, core energy roughly comparable.
+ */
+
+#include <cmath>
+#include <map>
+
+#include "bench_util.h"
+#include "sim/accelerators.h"
+#include "sim/layer_walker.h"
+#include "sim/policy.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+namespace {
+
+struct ArchResult
+{
+    GemmStats stats;
+    double avgBits = 0.0;
+};
+
+/** Build the walk + run it for one (arch, model) pair. */
+ArchResult
+runLinear(const ArchConfig &arch, const ModelProfile &profile,
+          double budget, const PolicyConfig &pcfg)
+{
+    WalkSpec spec;
+    spec.dims = profile.archDims;
+    spec.stage = Stage::Prefill;
+    spec.seqLen = 2048;
+    spec.ffnMats = profile.family == ModelFamily::Llama ? 3 : 2;
+    spec.quantizeOutputs = true;
+
+    ArchResult result;
+    if (arch.name == "MANT") {
+        spec.defaultWeightBits = 4;
+        spec.actBits = 8;
+        spec.groupSize = 64;
+        spec.mantWeights = true;
+        result.avgBits = 4.0;
+    } else if (arch.name == "ANT") {
+        // ANT* runs fixed INT8 (cannot recover PPL; Sec. VII-A).
+        spec.defaultWeightBits = 8;
+        spec.actBits = 8;
+        spec.groupSize = 0;
+        result.avgBits = 8.0;
+    } else {
+        const WeightMethod method = arch.name == "OliVe"
+                                        ? WeightMethod::Olive
+                                    : arch.name == "Tender"
+                                        ? WeightMethod::Tender
+                                        : WeightMethod::Int;
+        const std::vector<int> widths =
+            arch.name == "BitFusion" ? std::vector<int>{8, 16}
+                                     : std::vector<int>{4, 8};
+        // BitFusion predates per-channel LLM quantization: its plain
+        // INT path is measured tensor-wise, which is what forces the
+        // large 16-bit share the paper reports.
+        PolicyConfig mcfg = pcfg;
+        if (arch.name == "BitFusion")
+            mcfg.granularity = Granularity::PerTensor;
+        const PrecisionPlan plan =
+            alignPrecision(profile, method, widths, budget, mcfg);
+        spec.layerWeightBits = plan.layerBits;
+        spec.actFollowsWeights = true;
+        spec.groupSize = 0;
+        result.avgBits = plan.avgBits;
+    }
+    result.stats = runWork(arch, linearWork(spec));
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout, "Fig. 12 — linear-layer speedup & energy "
+                      "breakdown (prefill, seq 2048, batch 1)");
+
+    const char *model_names[] = {"llama-1-7b", "llama-1-65b",
+                                 "opt-6.7b", "opt-13b"};
+    const auto archs = allArchs();
+
+    PolicyConfig pcfg;
+    pcfg.sampleRows = 64;
+    pcfg.sampleCols = 384;
+    pcfg.granularity = Granularity::PerChannel;
+
+    std::map<std::string, std::vector<double>> speedups, energies;
+
+    for (const char *name : model_names) {
+        const ModelProfile &profile = modelProfile(name);
+        std::cout << "  [" << name << "] aligning precision..."
+                  << std::flush;
+        const double budget = mantErrorBudget(profile, pcfg);
+        std::cout << " budget(NMSE)=" << fmt(budget, 4) << "\n";
+
+        std::map<std::string, ArchResult> results;
+        for (const ArchConfig &arch : archs)
+            results[arch.name] = runLinear(arch, profile, budget, pcfg);
+
+        const double base_cycles =
+            results["BitFusion"].stats.cycles;
+        const double base_energy =
+            results["BitFusion"].stats.energy.totalPj();
+
+        TablePrinter table({"arch", "avg W bits", "cycles(M)",
+                            "speedup vs BitFusion", "norm. energy",
+                            "core%", "buffer%", "dram%", "static%"});
+        for (const ArchConfig &arch : archs) {
+            const ArchResult &r = results[arch.name];
+            const double e = r.stats.energy.totalPj();
+            table.addRow(
+                {arch.name, fmt(r.avgBits, 1),
+                 fmt(r.stats.cycles / 1e6, 1),
+                 fmtX(base_cycles / r.stats.cycles),
+                 fmt(e / base_energy, 3),
+                 fmt(100.0 * r.stats.energy.corePj / e, 0),
+                 fmt(100.0 * r.stats.energy.bufferPj / e, 0),
+                 fmt(100.0 * r.stats.energy.dramPj / e, 0),
+                 fmt(100.0 * r.stats.energy.staticPj / e, 0)});
+            speedups[arch.name].push_back(base_cycles /
+                                          r.stats.cycles);
+            energies[arch.name].push_back(e / base_energy);
+        }
+        std::cout << "\nModel " << name << ":\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // Geomean MANT-vs-X summary, the paper's headline numbers.
+    auto geomean = [](const std::vector<double> &v) {
+        double acc = 0.0;
+        for (double x : v)
+            acc += std::log(x);
+        return std::exp(acc / static_cast<double>(v.size()));
+    };
+    const double mant_s = geomean(speedups["MANT"]);
+    const double mant_e = geomean(energies["MANT"]);
+    TablePrinter summary({"MANT vs", "speedup (paper)",
+                          "energy reduction (paper)"});
+    struct Ref
+    {
+        const char *arch;
+        const char *s;
+        const char *e;
+    };
+    const Ref refs[] = {{"Tender", "1.83x", "1.39x"},
+                        {"OliVe", "1.96x", "1.54x"},
+                        {"ANT", "2.00x", "1.57x"},
+                        {"BitFusion", "4.93x", "4.16x"}};
+    for (const Ref &ref : refs) {
+        summary.addRow(
+            {ref.arch,
+             fmtX(mant_s / geomean(speedups[ref.arch])) + "  (" +
+                 ref.s + ")",
+             fmtX(geomean(energies[ref.arch]) / mant_e) + "  (" +
+                 ref.e + ")"});
+    }
+    std::cout << "Geomean over the four models:\n";
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * Figure 13 reproduction: speedup and normalized energy of all layers
+ * (linear + attention) on LLaMA-7B at context lengths 2K / 8K / 32K /
+ * 128K, decode stage (the memory-bound regime the paper motivates).
+ * Baselines do not quantize attention and run it at FP16; MANT runs
+ * 8-bit activations against the 4-bit MANT KV cache.
+ *
+ * Paper shapes: at 2K the linear layer dominates; by 128K the
+ * attention layer decides everything, OliVe/Tender shrink to ~1.15x
+ * over BitFusion while MANT keeps 2.04-4.54x over OliVe; average
+ * 2.99x (up to 4.46x) over Tender.
+ */
+
+#include <map>
+
+#include "bench_util.h"
+#include "sim/accelerators.h"
+#include "sim/layer_walker.h"
+#include "sim/policy.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+namespace {
+
+struct Work
+{
+    GemmStats linear;
+    GemmStats attention;
+
+    GemmStats
+    total() const
+    {
+        GemmStats t = linear;
+        t.add(attention);
+        return t;
+    }
+};
+
+Work
+runAll(const ArchConfig &arch, const ModelProfile &profile,
+       int64_t context, const std::vector<int> &layerBits)
+{
+    WalkSpec spec;
+    spec.dims = profile.archDims;
+    spec.stage = Stage::Decode;
+    spec.seqLen = context;
+    spec.ffnMats = 3;
+    spec.quantizeOutputs = true;
+
+    if (arch.name == "MANT") {
+        spec.defaultWeightBits = 4;
+        spec.actBits = 8;
+        spec.groupSize = 64;
+        spec.mantWeights = true;
+        spec.attnActBits = 8;
+        spec.kvBits = 4;
+        spec.attnGroupSize = 64;
+        spec.mantKv = true;
+    } else {
+        if (arch.name == "ANT") {
+            spec.defaultWeightBits = 8;
+            spec.actBits = 8;
+            spec.groupSize = 0;
+        } else {
+            spec.layerWeightBits = layerBits;
+            spec.actFollowsWeights = true;
+            spec.groupSize = 0;
+        }
+        // Baselines keep the attention layer in FP16 (Sec. VII-A).
+        spec.attnActBits = 16;
+        spec.kvBits = 16;
+        spec.attnGroupSize = 0;
+        spec.mantKv = false;
+    }
+
+    Work w;
+    w.linear = runWork(arch, linearWork(spec));
+    w.attention = runWork(arch, attentionWork(spec));
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout, "Fig. 13 — all-layer speedup & energy vs "
+                      "context length (llama-1-7b, decode stage)");
+
+    const ModelProfile &profile = modelProfile("llama-1-7b");
+    const auto archs = allArchs();
+
+    PolicyConfig pcfg;
+    pcfg.sampleRows = 64;
+    pcfg.sampleCols = 384;
+    pcfg.granularity = Granularity::PerChannel;
+    std::cout << "  aligning baseline precision..." << std::flush;
+    const double budget = mantErrorBudget(profile, pcfg);
+    const int w48[] = {4, 8};
+    const int w816[] = {8, 16};
+    std::map<std::string, std::vector<int>> bit_maps;
+    bit_maps["OliVe"] =
+        alignPrecision(profile, WeightMethod::Olive, w48, budget, pcfg)
+            .layerBits;
+    bit_maps["Tender"] =
+        alignPrecision(profile, WeightMethod::Tender, w48, budget, pcfg)
+            .layerBits;
+    PolicyConfig bf_cfg = pcfg; // BitFusion: tensor-wise INT
+    bf_cfg.granularity = Granularity::PerTensor;
+    bit_maps["BitFusion"] =
+        alignPrecision(profile, WeightMethod::Int, w816, budget, bf_cfg)
+            .layerBits;
+    std::cout << " done\n";
+
+    std::map<std::string, std::map<int64_t, Work>> all;
+    const int64_t contexts[] = {2048, 8192, 32768, 131072};
+
+    for (const int64_t ctx : contexts) {
+        for (const ArchConfig &arch : archs) {
+            all[arch.name][ctx] =
+                runAll(arch, profile, ctx, bit_maps[arch.name]);
+        }
+    }
+
+    for (const int64_t ctx : contexts) {
+        const double base = all["BitFusion"][ctx].total().cycles;
+        const double base_e =
+            all["BitFusion"][ctx].total().energy.totalPj();
+        TablePrinter table({"arch", "attn cycles(K)",
+                            "linear cycles(K)", "speedup",
+                            "norm. energy"});
+        for (const ArchConfig &arch : archs) {
+            const Work &w = all[arch.name][ctx];
+            table.addRow({arch.name,
+                          fmt(w.attention.cycles / 1e3, 0),
+                          fmt(w.linear.cycles / 1e3, 0),
+                          fmtX(base / w.total().cycles),
+                          fmt(w.total().energy.totalPj() / base_e, 3)});
+        }
+        std::cout << "\nSeq. len = " << ctx / 1024 << "K:\n";
+        table.print(std::cout);
+    }
+
+    // Headline ratios.
+    std::cout << "\nMANT over baselines by context:\n";
+    TablePrinter head({"context", "vs Tender", "vs OliVe", "vs ANT*",
+                       "vs BitFusion"});
+    for (const int64_t ctx : contexts) {
+        const double m = all["MANT"][ctx].total().cycles;
+        head.addRow(
+            {std::to_string(ctx / 1024) + "K",
+             fmtX(all["Tender"][ctx].total().cycles / m),
+             fmtX(all["OliVe"][ctx].total().cycles / m),
+             fmtX(all["ANT"][ctx].total().cycles / m),
+             fmtX(all["BitFusion"][ctx].total().cycles / m)});
+    }
+    head.print(std::cout);
+    std::cout << "\nPaper: MANT 2.04-4.54x over OliVe across lengths; "
+                 "avg 2.99x (up to 4.46x) over Tender; at 128K OliVe "
+                 "is only ~1.15x over BitFusion (attention-dominated)."
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * Figure 15 reproduction: the selection ratio of coefficient a across
+ * tensors (q/k/v/o/up/gate/down), layers, and models. Paper findings:
+ * layer 0 of LLaMA-2-7B and OPT-6.7B mostly selects a = 0 (PoT-like,
+ * spiky weights); deeper layers and other models select relatively
+ * uniformly across the coefficient set.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench_util.h"
+#include "core/fused_gemm.h"
+#include "model/weights.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+namespace {
+
+/** Histogram (bucket -> fraction) for one tensor. */
+std::map<int, double>
+selectionRatio(const Tensor &w)
+{
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(w, 64);
+    std::map<int, double> ratio;
+    int64_t total = 0;
+    for (const auto &[bucket, count] : q.selectionHistogram()) {
+        ratio[bucket] += static_cast<double>(count);
+        total += count;
+    }
+    for (auto &[bucket, r] : ratio)
+        r /= static_cast<double>(total);
+    return ratio;
+}
+
+std::string
+topBuckets(const std::map<int, double> &ratio)
+{
+    // Render the top-3 buckets as "a=0:62% a=5:11% int:8%".
+    std::vector<std::pair<int, double>> sorted(ratio.begin(),
+                                               ratio.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second > y.second;
+              });
+    std::string out;
+    for (size_t i = 0; i < std::min<size_t>(3, sorted.size()); ++i) {
+        const auto &[bucket, r] = sorted[i];
+        out += (bucket < 0 ? std::string("int")
+                           : "a=" + std::to_string(bucket)) +
+               ":" + fmt(100.0 * r, 0) + "% ";
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout,
+           "Fig. 15 — coefficient-a selection ratio per tensor / layer "
+           "/ model");
+
+    const char *model_names[] = {"llama-2-7b", "llama-3-8b", "opt-6.7b",
+                                 "bloom-7.1b"};
+
+    for (const char *name : model_names) {
+        const ModelProfile &profile = modelProfile(name);
+        const ModelWeights weights = ModelWeights::generate(profile, 64);
+        std::cout << "\nModel " << name << ":\n";
+
+        TablePrinter table({"layer", "tensor", "top selections",
+                            "a<=10 share"});
+        std::map<int, double> model_total;
+        int64_t tensor_count = 0;
+        for (const auto &nt : weights.namedLinearWeights()) {
+            const auto ratio = selectionRatio(*nt.tensor);
+            // Per-layer detail for the first and last layers only
+            // (the paper shows layers 0/8/16).
+            if (nt.layer == 0 ||
+                nt.layer ==
+                    profile.simDims.nLayers - 1) {
+                double low_a = 0.0;
+                for (const auto &[bucket, r] : ratio) {
+                    if (bucket >= 0 && bucket <= 10)
+                        low_a += r;
+                }
+                table.addRow({std::to_string(nt.layer), nt.kind,
+                              topBuckets(ratio),
+                              fmt(100.0 * low_a, 1) + "%"});
+            }
+            for (const auto &[bucket, r] : ratio)
+                model_total[bucket] += r;
+            ++tensor_count;
+        }
+        table.print(std::cout);
+
+        for (auto &[bucket, r] : model_total)
+            r /= static_cast<double>(tensor_count);
+        std::cout << "  model aggregate: " << topBuckets(model_total)
+                  << "\n";
+    }
+    std::cout << "\nShape checks: layer-0 rows shift strongly toward "
+                 "the PoT end (the paper's layer-0 bars are mostly "
+                 "a=0; here the low-coefficient a<=10 share carries "
+                 "that signal — see EXPERIMENTS.md); deeper layers "
+                 "select a broad, relatively uniform mix.\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * Kernel microbenchmarks (google-benchmark): the fused MANT integer
+ * dot product vs the dequantize-then-float path vs plain INT8, the
+ * encode paths, and the real-time quantization primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fused_gemm.h"
+#include "core/kv_quant.h"
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "tensor/distribution.h"
+
+namespace mant {
+namespace {
+
+constexpr int64_t kN = 4096;
+
+Tensor
+weights()
+{
+    DistProfile p;
+    Rng rng(777);
+    return genWeightMatrix(rng, 1, kN, p);
+}
+
+static void
+BM_FusedMantDot(benchmark::State &state)
+{
+    const Tensor w = weights();
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    std::vector<int32_t> x(kN);
+    std::vector<MantCode> codes(kN);
+    Rng rng(1);
+    for (int64_t i = 0; i < kN; ++i) {
+        x[static_cast<size_t>(i)] =
+            static_cast<int32_t>(rng.uniformInt(255)) - 127;
+        codes[static_cast<size_t>(i)] =
+            static_cast<MantCode>(qw.rowCodes(0)[i]);
+    }
+    for (auto _ : state) {
+        MantPsums p = fusedDot(x, codes);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_FusedMantDot);
+
+static void
+BM_DequantFloatDot(benchmark::State &state)
+{
+    const Tensor w = weights();
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const Tensor wd = qw.dequantize();
+    std::vector<float> x(kN);
+    Rng rng(2);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < kN; ++i)
+            acc += static_cast<double>(x[static_cast<size_t>(i)]) *
+                   wd[i];
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_DequantFloatDot);
+
+static void
+BM_Int8Dot(benchmark::State &state)
+{
+    std::vector<int32_t> x(kN), w(kN);
+    Rng rng(3);
+    for (int64_t i = 0; i < kN; ++i) {
+        x[static_cast<size_t>(i)] =
+            static_cast<int32_t>(rng.uniformInt(255)) - 127;
+        w[static_cast<size_t>(i)] =
+            static_cast<int32_t>(rng.uniformInt(15)) - 7;
+    }
+    for (auto _ : state) {
+        int64_t acc = 0;
+        for (int64_t i = 0; i < kN; ++i)
+            acc += static_cast<int64_t>(x[static_cast<size_t>(i)]) *
+                   w[static_cast<size_t>(i)];
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_Int8Dot);
+
+static void
+BM_MantEncodeSearch(benchmark::State &state)
+{
+    const Tensor w = weights();
+    for (auto _ : state) {
+        auto q = MantQuantizedMatrix::quantize(w, 64);
+        benchmark::DoNotOptimize(q);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_MantEncodeSearch);
+
+static void
+BM_IntEncode(benchmark::State &state)
+{
+    const Tensor w = weights();
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 64;
+    for (auto _ : state) {
+        auto q = quantDequantFixed(w, int4Format(), cfg);
+        benchmark::DoNotOptimize(q);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_IntEncode);
+
+static void
+BM_VarianceSelect(benchmark::State &state)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const Tensor w = weights();
+    std::vector<float> out(kN);
+    for (auto _ : state) {
+        auto sels = spatialQuantizeRow(w.span(), 64, sel, out);
+        benchmark::DoNotOptimize(sels);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_VarianceSelect);
+
+static void
+BM_TemporalVPush(benchmark::State &state)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    TemporalVQuantizer tq(128, 64, sel);
+    Rng rng(4);
+    Tensor prefill(Shape{64, 128});
+    for (int64_t i = 0; i < prefill.numel(); ++i)
+        prefill[i] = static_cast<float>(rng.gaussian());
+    tq.pushPrefill(prefill);
+    std::vector<float> v(128);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        tq.pushDecode(v);
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_TemporalVPush);
+
+} // namespace
+} // namespace mant
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/**
+ * Table I reproduction: the feature/efficiency matrix of adaptive
+ * quantization methods — with the qualitative ratings backed by
+ * *measured* software-model costs: encode ns/element, compute-path
+ * ns/MAC (integer fused vs float LUT), and decode mechanism.
+ */
+
+#include <functional>
+#include <numeric>
+
+#include "bench_util.h"
+#include "core/fused_gemm.h"
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "quant/olive.h"
+#include "sim/energy_model.h"
+#include "tensor/distribution.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+namespace {
+
+constexpr int64_t kRows = 64;
+constexpr int64_t kCols = 1024;
+
+double
+timeEncode(const Tensor &w, const std::function<void()> &fn, int reps)
+{
+    (void)w;
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r)
+        fn();
+    return sw.elapsedNs() / (reps * static_cast<double>(kRows * kCols));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout, "Tbl. I — adaptive-method features with "
+                      "measured encode/compute costs");
+
+    DistProfile p;
+    Rng rng(555);
+    const Tensor w = genWeightMatrix(rng, kRows, kCols, p);
+    QuantConfig g64;
+    g64.gran = Granularity::PerGroup;
+    g64.groupSize = 64;
+
+    // --- Encode cost per element (ns).
+    const double enc_int = timeEncode(
+        w, [&] { quantDequantFixed(w, int4Format(), g64); }, 8);
+    const double enc_ant = timeEncode(
+        w, [&] { quantDequantAdaptive(w, antTypeSet(), g64); }, 4);
+    const double enc_olive = timeEncode(
+        w, [&] { quantDequantOlive(w, OliveConfig{}, g64); }, 8);
+    const double enc_mant = timeEncode(
+        w, [&] { MantQuantizedMatrix::quantize(w, 64); }, 2);
+    const double enc_kmeans = timeEncode(
+        w, [&] { quantDequantKMeans(w, 16, g64); }, 1);
+
+    // --- Compute cost per MAC (ns): integer fused vs dequant-float.
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const Tensor x = [&] {
+        Rng r2(556);
+        return genActivationMatrix(r2, 16, kCols, ActProfile{});
+    }();
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    double t_fused, t_dequant;
+    {
+        Stopwatch sw;
+        for (int r = 0; r < 4; ++r)
+            fusedGemm(qx, qw);
+        t_fused = sw.elapsedNs() / (4.0 * 16 * kRows * kCols);
+    }
+    {
+        Stopwatch sw;
+        for (int r = 0; r < 4; ++r)
+            dequantGemmReference(qx, qw);
+        t_dequant = sw.elapsedNs() / (4.0 * 16 * kRows * kCols);
+    }
+
+    TablePrinter table({"method", "encode", "enc ns/elem",
+                        "compute bits", "decode", "adaptivity"});
+    table.addRow({"INT", "round", fmt(enc_int, 1), "int 4&8",
+                  "calculation", "low"});
+    table.addRow({"OliVe", "search", fmt(enc_olive, 1), "int 4&8",
+                  "decoder", "med"});
+    table.addRow({"ANT", "search", fmt(enc_ant, 1), "int 4&8",
+                  "decoder", "med"});
+    table.addRow({"Mokey/GOBO", "cluster", fmt(enc_kmeans, 1),
+                  "float", "LUT", "high"});
+    table.addRow({"MANT", "search+map", fmt(enc_mant, 1), "int 4&8",
+                  "calculation (fused)", "high"});
+    table.print(std::cout);
+
+    std::cout << "\nCompute path, hardware energy model (pJ/MAC, "
+                 "28 nm constants):\n";
+    const EnergyParams e;
+    std::cout << "  MANT fused (INT8x4 MAC + SAC):   "
+              << fmt(macEnergyPj(e, 8, 4) + e.sacPj, 3) << "\n";
+    std::cout << "  plain INT8x8 MAC:                "
+              << fmt(macEnergyPj(e, 8, 8), 3) << "\n";
+    std::cout << "  LUT path (FP16 MAC + table read): "
+              << fmt(macEnergyPj(e, 16, 16) + 2.0 * e.sramPjPerByte, 3)
+              << "\n";
+    std::cout << "\n(Software sanity check, not a hardware estimate: "
+                 "fused loop "
+              << fmt(t_fused, 2) << " ns/MAC vs dequantize-then-float "
+              << fmt(t_dequant, 2)
+              << " ns/MAC on this CPU — the scalar shift loop does "
+                 "not vectorize, which is precisely why the paper "
+                 "builds a SAC lane in hardware.)\n";
+    std::cout << "\nShape checks: INT encodes cheapest; ANT ~3x INT "
+                 "(3-type search); MANT ~16x INT offline (16-type "
+                 "search, done once); clustering is the most "
+                 "expensive encode; the fused path computes without a "
+                 "separate dequantization pass and at a fraction of "
+                 "the FP16 LUT path's energy.\n";
+    return 0;
+}

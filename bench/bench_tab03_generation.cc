@@ -1,0 +1,149 @@
+/**
+ * Table III reproduction: generation tasks with KV-cache quantization
+ * during the decode stage. Paper (LLaMA-2-7B, W4A8 weights/acts):
+ *   TruthfulQA (BLEU): FP16 27.88 | KV FP16 27.55 | INT4 25.48 |
+ *   4-bit MANT 26.19.
+ *   TriviaQA (F1): 87.72 | 86.38 | 85.13 | 86.86.
+ * Substitution: greedy-decode similarity vs the FP16 generation,
+ * rescaled to the paper's FP16 task score (DESIGN.md §2). Exercises
+ * the real decode path: spatial K quant + two-phase temporal V.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "model/generation.h"
+#include "model/transformer.h"
+
+using namespace mant;
+using namespace mant::bench;
+
+namespace {
+
+struct Task
+{
+    const char *name;
+    double fp16Score;
+    int64_t promptLen;
+    int64_t genTokens;
+    uint64_t seed;
+};
+
+std::vector<int32_t>
+makePrompt(int64_t len, uint64_t seed, int64_t vocab)
+{
+    Rng rng(seed);
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p)
+        t = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout, "Tbl. III — generation tasks with KV cache "
+                      "quantization (llama-2-7b-sim, W4A8)");
+
+    const ModelProfile &profile = modelProfile("llama-2-7b");
+    const ModelWeights weights = ModelWeights::generate(profile, 512);
+
+    // Logit scale from the standard evaluator calibration.
+    const PplEvaluator eval(weights, standardEvalConfig());
+    const float scale = eval.logitScale();
+
+    const auto samples = Transformer::collectKvSamples(
+        weights, eval.corpus()[0]);
+    const VarianceSelector kv_sel =
+        VarianceSelector::calibrateMulti(samples, 64);
+    const ModelCalibration calib =
+        ModelCalibration::collect(weights, eval.corpus()[0]);
+
+    // TruthfulQA ~ short prompts; TriviaQA/LongBench ~ long contexts.
+    const Task tasks[] = {
+        {"TruthfulQA (BLEU-proxy)", 27.88, 24, 64, 171},
+        {"TriviaQA (F1-proxy)", 87.72, 120, 64, 172},
+    };
+    struct Config
+    {
+        const char *label;
+        bool quantWeights;
+        KvMethod kv;
+        const char *paperT;
+        const char *paperQ;
+    };
+    const Config configs[] = {
+        {"FP16 / KV FP16", false, KvMethod::Fp16, "27.88", "87.72"},
+        {"W4A8 / KV FP16", true, KvMethod::Fp16, "27.55", "86.38"},
+        {"W4A8 / KV INT4", true, KvMethod::Int4, "25.48", "85.13"},
+        {"W4A8 / KV MANT4", true, KvMethod::Mant4, "26.19", "86.86"},
+    };
+
+    constexpr int kPrompts = 4; // average out single-sequence noise
+    for (const Task &task : tasks) {
+        std::cout << "\nTask: " << task.name << "\n";
+
+        // FP16 reference generations, one per prompt.
+        Transformer ref(weights, fp16Setup());
+        ref.setLogitScale(scale);
+        std::vector<std::vector<int32_t>> prompts, ref_gens;
+        std::vector<double> ref_liks;
+        for (int i = 0; i < kPrompts; ++i) {
+            prompts.push_back(makePrompt(
+                task.promptLen, task.seed + static_cast<uint64_t>(i),
+                profile.simDims.vocab));
+            ref_gens.push_back(
+                greedyGenerate(ref, prompts.back(), task.genTokens));
+            ref_liks.push_back(forcedLikelihood(ref, prompts.back(),
+                                                ref_gens.back()));
+        }
+
+        TablePrinter table({"config", "forced likelihood",
+                            "forced agreement", "measured score",
+                            "paper score"});
+        for (const Config &cfg : configs) {
+            QuantSetup setup =
+                cfg.quantWeights ? mantW4A8Setup(64) : fp16Setup();
+            setup.kv = cfg.kv;
+            setup.kvGroup = 64;
+            setup.quantizeAttention = cfg.kv != KvMethod::Fp16;
+
+            Transformer model(weights, setup,
+                              cfg.kv == KvMethod::Mant4 ? &kv_sel
+                                                        : nullptr,
+                              cfg.quantWeights ? &calib : nullptr);
+            model.setLogitScale(scale);
+            // Teacher-forced metrics resolve the fine KV-quality
+            // differences that free-running greedy decoding hides;
+            // averaged over prompts to wash out sequence noise.
+            double forced = 0.0, log_lik = 0.0;
+            for (int i = 0; i < kPrompts; ++i) {
+                forced += forcedDecodingAgreement(model, prompts[i],
+                                                  ref_gens[i]);
+                log_lik += std::log(
+                    forcedLikelihood(model, prompts[i], ref_gens[i]) /
+                    ref_liks[static_cast<size_t>(i)]);
+            }
+            forced /= kPrompts;
+            const double lik =
+                std::min(1.0, std::exp(log_lik / kPrompts));
+            const double quality = forced * lik;
+            table.addRow({cfg.label, fmt(lik, 3), fmt(forced, 3),
+                          fmt(scaledGenerationScore(quality,
+                                                    task.fp16Score)),
+                          task.name[0] == 'T' && task.fp16Score > 80
+                              ? cfg.paperQ
+                              : cfg.paperT});
+            std::cout << "  [" << cfg.label << "] done\n";
+        }
+        std::cout << "\n";
+        table.print(std::cout);
+    }
+    std::cout << "\nShape checks: KV FP16 ~ FP16; INT4 KV loses the "
+                 "most; 4-bit MANT KV recovers most of the INT4 "
+                 "loss.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: the standard evaluation
+ * configuration, per-model evaluator construction, and the Tbl. II row
+ * catalogue. Every bench prints the paper's reference values next to
+ * the measured ones so the shape comparison is one glance.
+ */
+
+#ifndef MANT_BENCH_BENCH_UTIL_H_
+#define MANT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "model/evaluator.h"
+#include "model/model_profiles.h"
+#include "sim/report.h"
+
+namespace mant::bench {
+
+/** Standard accuracy-run configuration (kept small; see DESIGN.md §2). */
+inline EvalConfig
+standardEvalConfig()
+{
+    EvalConfig cfg;
+    cfg.contexts = 3;
+    cfg.seqLen = 96;
+    cfg.skip = 8;
+    cfg.seed = 4242;
+    return cfg;
+}
+
+/** One model's generated weights + calibrated evaluator. */
+struct ModelInstance
+{
+    ModelProfile profile;
+    std::unique_ptr<ModelWeights> weights;
+    std::unique_ptr<PplEvaluator> evaluator;
+};
+
+inline ModelInstance
+makeInstance(const std::string &name,
+             EvalConfig cfg = standardEvalConfig())
+{
+    ModelInstance inst;
+    inst.profile = modelProfile(name);
+    inst.weights = std::make_unique<ModelWeights>(
+        ModelWeights::generate(inst.profile, 512));
+    inst.evaluator =
+        std::make_unique<PplEvaluator>(*inst.weights, cfg);
+    return inst;
+}
+
+/** Wall-clock helper for the Tbl. I efficiency measurements. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedNs() const
+    {
+        return std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace mant::bench
+
+#endif // MANT_BENCH_BENCH_UTIL_H_

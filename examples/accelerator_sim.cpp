@@ -1,0 +1,127 @@
+/**
+ * Driving the accelerator simulator directly.
+ *
+ * Sweeps a GEMM across precision modes on the MANT systolic array and
+ * compares the five accelerator configs on a single transformer layer,
+ * printing cycles, bottleneck, and the energy breakdown — a miniature
+ * of the Fig. 12/13 pipelines for interactive exploration.
+ *
+ * Build & run:  ./build/examples/accelerator_sim
+ */
+
+#include <cstdio>
+
+#include "sim/accelerators.h"
+#include "sim/layer_walker.h"
+#include "sim/policy.h"
+
+using namespace mant;
+
+namespace {
+
+void
+printStats(const char *label, const ArchConfig &arch,
+           const GemmStats &s)
+{
+    const double e = s.energy.totalPj();
+    std::printf("  %-22s %10.0f cycles  %s  %6.2f uJ "
+                "(core %2.0f%% buf %2.0f%% dram %2.0f%% static %2.0f%%)\n",
+                label, s.cycles,
+                s.memoryBound ? "mem-bound " : "compute   ", e / 1e6,
+                100.0 * s.energy.corePj / e,
+                100.0 * s.energy.bufferPj / e,
+                100.0 * s.energy.dramPj / e,
+                100.0 * s.energy.staticPj / e);
+    (void)arch;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ArchConfig mant = mantArch();
+
+    // --- 1. One GEMM, three precision modes (Sec. VI-B's 32x32 /
+    // 64x32 / 128x32 array configurations).
+    std::printf("GEMM 512 x 4096 x 4096 on the MANT array:\n");
+    for (const int wb : {8, 4, 2}) {
+        GemmShape g;
+        g.m = 512;
+        g.k = 4096;
+        g.n = 4096;
+        g.actBits = 8;
+        g.weightBits = wb;
+        g.groupSize = 64;
+        g.mantWeights = wb == 4;
+        char label[32];
+        std::snprintf(label, sizeof(label), "INT8 x INT%d (%lldx32)",
+                      wb, static_cast<long long>(mant.arrayRows(8, wb)));
+        printStats(label, mant, simulateGemm(mant, g));
+    }
+
+    // --- 2. Decode GEMV: the memory-bound regime.
+    std::printf("\nDecode GEMV 1 x 4096 x 4096 (weights stream from "
+                "DRAM):\n");
+    for (const int wb : {16, 8, 4}) {
+        GemmShape g;
+        g.m = 1;
+        g.k = 4096;
+        g.n = 4096;
+        g.actBits = wb == 16 ? 16 : 8;
+        g.weightBits = wb;
+        g.groupSize = wb == 4 ? 64 : 0;
+        g.mantWeights = wb == 4;
+        char label[32];
+        std::snprintf(label, sizeof(label), "W%d", wb);
+        printStats(label, mant, simulateGemm(mant, g));
+    }
+
+    // --- 3. All five accelerators on one llama-7b layer (prefill).
+    std::printf("\nOne llama-1-7b layer, prefill seq 2048, "
+                "PPL-aligned precision:\n");
+    const ModelProfile &profile = modelProfile("llama-1-7b");
+    PolicyConfig pcfg;
+    pcfg.sampleRows = 48;
+    pcfg.sampleCols = 256;
+    const double budget = mantErrorBudget(profile, pcfg);
+
+    for (const ArchConfig &arch : allArchs()) {
+        WalkSpec spec;
+        spec.dims = profile.archDims;
+        spec.dims.nLayers = 1; // just one layer for the demo
+        spec.stage = Stage::Prefill;
+        spec.seqLen = 2048;
+        spec.ffnMats = 3;
+        spec.quantizeOutputs = true;
+
+        if (arch.name == "MANT") {
+            spec.defaultWeightBits = 4;
+            spec.actBits = 8;
+            spec.groupSize = 64;
+            spec.mantWeights = true;
+        } else if (arch.name == "ANT") {
+            spec.defaultWeightBits = 8;
+            spec.actBits = 8;
+            spec.groupSize = 0;
+        } else {
+            const WeightMethod method =
+                arch.name == "OliVe"    ? WeightMethod::Olive
+                : arch.name == "Tender" ? WeightMethod::Tender
+                                        : WeightMethod::Int;
+            ModelProfile one = profile;
+            one.archDims.nLayers = 1;
+            const std::vector<int> widths =
+                arch.name == "BitFusion" ? std::vector<int>{8, 16}
+                                         : std::vector<int>{4, 8};
+            spec.layerWeightBits =
+                alignPrecision(one, method, widths, budget, pcfg)
+                    .layerBits;
+            spec.actFollowsWeights = true;
+            spec.groupSize = 0;
+        }
+        printStats(arch.name.c_str(), arch,
+                   runWork(arch, linearWork(spec)));
+    }
+    return 0;
+}

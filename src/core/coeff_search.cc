@@ -1,0 +1,84 @@
+#include "core/coeff_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/fixed_formats.h"
+#include "tensor/fp16.h"
+
+namespace mant {
+
+double
+groupError(std::span<const float> group, const NumericFormat &fmt,
+           std::span<const double> weights, bool fp16Scale, float *scaleOut)
+{
+    float absmax = 0.0f;
+    for (float x : group)
+        absmax = std::max(absmax, std::fabs(x));
+    float scale = fmt.scaleFor(absmax);
+    if (fp16Scale)
+        scale = fp16Round(scale);
+    if (scale == 0.0f)
+        scale = 1.0f;
+    if (scaleOut)
+        *scaleOut = scale;
+
+    double err = 0.0;
+    for (size_t i = 0; i < group.size(); ++i) {
+        const double d =
+            static_cast<double>(group[i]) - fmt.quantizeValue(group[i], scale);
+        const double w = weights.empty() ? 1.0 : weights[i];
+        err += w * d * d;
+    }
+    return err;
+}
+
+MantSelection
+searchCoefficient(std::span<const float> group, std::span<const int> candidates,
+                  std::span<const double> weights, bool fp16Scale)
+{
+    if (candidates.empty())
+        candidates = mantCoefficientSet();
+
+    MantSelection best;
+    best.err = INFINITY;
+
+    for (int a : candidates) {
+        float scale = 0.0f;
+        const double err =
+            groupError(group, mantFormat(a), weights, fp16Scale, &scale);
+        if (err < best.err) {
+            best = MantSelection{false, a, err, scale};
+        }
+    }
+    {
+        float scale = 0.0f;
+        const double err =
+            groupError(group, int4Format(), weights, fp16Scale, &scale);
+        if (err < best.err)
+            best = MantSelection{true, 0, err, scale};
+    }
+    return best;
+}
+
+float
+applySelection(std::span<const float> group, const MantSelection &sel,
+               std::span<float> out, bool fp16Scale)
+{
+    const NumericFormat &fmt =
+        sel.isInt ? static_cast<const NumericFormat &>(int4Format())
+                  : mantFormat(sel.a);
+    float absmax = 0.0f;
+    for (float x : group)
+        absmax = std::max(absmax, std::fabs(x));
+    float scale = fmt.scaleFor(absmax);
+    if (fp16Scale)
+        scale = fp16Round(scale);
+    if (scale == 0.0f)
+        scale = 1.0f;
+    for (size_t i = 0; i < group.size(); ++i)
+        out[i] = fmt.quantizeValue(group[i], scale);
+    return scale;
+}
+
+} // namespace mant

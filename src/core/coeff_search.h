@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Coefficient search for MANT weight quantization (Sec. V-A).
+ *
+ * For each group the framework picks one of the 16 selectable types
+ * (15 MANT coefficients + plain INT4) by minimizing either the plain
+ * quantization MSE of the group, or — per Eq. 6 — an output-weighted
+ * MSE, argmin_a ||X Ŵ_a − X W||², approximated per element position by
+ * weighting squared weight error with the calibration activations'
+ * second moment E[x_k²].
+ */
+
+#ifndef MANT_CORE_COEFF_SEARCH_H_
+#define MANT_CORE_COEFF_SEARCH_H_
+
+#include <span>
+
+#include "core/mant_grid.h"
+
+namespace mant {
+
+/** The selected data type for one group: a MANT coefficient or INT4. */
+struct MantSelection
+{
+    bool isInt = false; ///< true when the plain-INT4 option won
+    int a = 0;          ///< the coefficient (valid when !isInt)
+    double err = 0.0;   ///< the search objective value achieved
+    float scale = 0.0f; ///< the (FP16-rounded) scale used
+
+    /** Label for histograms: "int" or the coefficient value. */
+    int
+    histogramBucket() const
+    {
+        return isInt ? -1 : a;
+    }
+};
+
+/**
+ * Quantize-dequantize a group with one candidate and return the
+ * weighted squared error. `weights` may be empty (plain MSE).
+ */
+double groupError(std::span<const float> group, const NumericFormat &fmt,
+                  std::span<const double> weights, bool fp16Scale,
+                  float *scaleOut);
+
+/**
+ * Exhaustive MSE search over the candidate coefficients plus INT4.
+ *
+ * @param group      The values of one quantization group.
+ * @param candidates MANT coefficients to try (empty -> full paper set).
+ * @param weights    Optional per-position weights (E[x²] calibration);
+ *                   empty means plain MSE.
+ * @param fp16Scale  Round scales through FP16 storage.
+ */
+MantSelection searchCoefficient(std::span<const float> group,
+                                std::span<const int> candidates = {},
+                                std::span<const double> weights = {},
+                                bool fp16Scale = true);
+
+/**
+ * Quantize-dequantize one group with an already-chosen selection;
+ * returns the scale used (FP16-rounded if requested).
+ */
+float applySelection(std::span<const float> group, const MantSelection &sel,
+                     std::span<float> out, bool fp16Scale = true);
+
+} // namespace mant
+
+#endif // MANT_CORE_COEFF_SEARCH_H_

@@ -1,0 +1,304 @@
+#include "core/fused_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "quant/fixed_formats.h"
+#include "tensor/fp16.h"
+
+namespace mant {
+
+MantPsums
+fusedDot(std::span<const int32_t> x, std::span<const MantCode> codes)
+{
+    if (x.size() != codes.size())
+        throw std::invalid_argument("fusedDot: length mismatch");
+    MantPsums p;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const MantCode c = codes[i];
+        const int mag = mantMagnitude(c);
+        const int sign = mantSign(c);
+        const int64_t xv = x[i];
+        p.psum1 += xv * (sign * mag);          // MAC lane
+        p.psum2 += sign * (xv << mag);          // SAC lane
+    }
+    return p;
+}
+
+MantQuantizedMatrix
+MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
+                              Search mode,
+                              std::span<const double> calibPower,
+                              bool fp16Scale)
+{
+    if (w.shape().rank() != 2)
+        throw std::invalid_argument("MantQuantizedMatrix: rank-2 required");
+    if (mode == Search::OutputMse &&
+        static_cast<int64_t>(calibPower.size()) != w.shape().dim(1)) {
+        throw std::invalid_argument(
+            "MantQuantizedMatrix: OutputMse needs per-column calibPower");
+    }
+
+    MantQuantizedMatrix q;
+    q.rows_ = w.shape().dim(0);
+    q.cols_ = w.shape().dim(1);
+    q.groupSize_ = groupSize > 0 ? std::min(groupSize, q.cols_) : q.cols_;
+    q.groupsPerRow_ = (q.cols_ + q.groupSize_ - 1) / q.groupSize_;
+    q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
+    q.meta_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
+
+    const MantFormat *fmt_cache = nullptr;
+    for (int64_t r = 0; r < q.rows_; ++r) {
+        const float *row = w.data() + r * q.cols_;
+        for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
+            const int64_t k0 = g * q.groupSize_;
+            const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
+            std::span<const float> group(row + k0,
+                                         static_cast<size_t>(len));
+            std::span<const double> weights =
+                mode == Search::OutputMse
+                    ? calibPower.subspan(static_cast<size_t>(k0),
+                                         static_cast<size_t>(len))
+                    : std::span<const double>{};
+
+            const MantSelection sel =
+                searchCoefficient(group, {}, weights, fp16Scale);
+            MantGroupMeta &meta =
+                q.meta_[static_cast<size_t>(r * q.groupsPerRow_ + g)];
+            meta.scale = sel.scale;
+            meta.isInt = sel.isInt;
+            meta.a = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+
+            int8_t *codes = q.codes_.data() + r * q.cols_ + k0;
+            if (sel.isInt) {
+                for (int64_t i = 0; i < len; ++i) {
+                    const float qv = std::round(group[static_cast<size_t>(i)] /
+                                                meta.scale);
+                    codes[i] = static_cast<int8_t>(
+                        std::clamp(qv, -7.0f, 7.0f));
+                }
+            } else {
+                fmt_cache = &mantFormat(sel.a);
+                for (int64_t i = 0; i < len; ++i) {
+                    codes[i] = static_cast<int8_t>(fmt_cache->encodeToCode(
+                        group[static_cast<size_t>(i)], meta.scale));
+                }
+            }
+        }
+    }
+    return q;
+}
+
+MantQuantizedMatrix
+MantQuantizedMatrix::fromParts(int64_t rows, int64_t cols,
+                               int64_t groupSize,
+                               std::vector<int8_t> codes,
+                               std::vector<MantGroupMeta> meta)
+{
+    MantQuantizedMatrix q;
+    q.rows_ = rows;
+    q.cols_ = cols;
+    q.groupSize_ = groupSize > 0 ? std::min(groupSize, cols) : cols;
+    q.groupsPerRow_ = (cols + q.groupSize_ - 1) / q.groupSize_;
+    if (static_cast<int64_t>(codes.size()) != rows * cols)
+        throw std::invalid_argument("fromParts: code size mismatch");
+    if (static_cast<int64_t>(meta.size()) != rows * q.groupsPerRow_)
+        throw std::invalid_argument("fromParts: meta size mismatch");
+    q.codes_ = std::move(codes);
+    q.meta_ = std::move(meta);
+    return q;
+}
+
+Tensor
+MantQuantizedMatrix::dequantize() const
+{
+    Tensor out(Shape{rows_, cols_});
+    for (int64_t r = 0; r < rows_; ++r) {
+        const int8_t *codes = codes_.data() + r * cols_;
+        float *orow = out.data() + r * cols_;
+        for (int64_t g = 0; g < groupsPerRow_; ++g) {
+            const MantGroupMeta &m =
+                meta_[static_cast<size_t>(r * groupsPerRow_ + g)];
+            const int64_t k0 = g * groupSize_;
+            const int64_t len = std::min(groupSize_, cols_ - k0);
+            for (int64_t i = 0; i < len; ++i) {
+                if (m.isInt) {
+                    orow[k0 + i] =
+                        static_cast<float>(codes[k0 + i]) * m.scale;
+                } else {
+                    orow[k0 + i] =
+                        static_cast<float>(mantCodeValue(
+                            m.a, static_cast<MantCode>(codes[k0 + i]))) *
+                        m.scale;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<int, int64_t>>
+MantQuantizedMatrix::selectionHistogram() const
+{
+    std::map<int, int64_t> hist;
+    for (const MantGroupMeta &m : meta_)
+        ++hist[m.isInt ? -1 : static_cast<int>(m.a)];
+    return {hist.begin(), hist.end()};
+}
+
+double
+MantQuantizedMatrix::bitsPerElement() const
+{
+    // 4-bit codes + per-group 16-bit scale + 8-bit coefficient/type id.
+    const double groups = static_cast<double>(meta_.size());
+    const double elems = static_cast<double>(codes_.size());
+    return 4.0 + (16.0 + 8.0) * groups / elems;
+}
+
+Int8QuantizedActivations
+Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
+                                   bool fp16Scale)
+{
+    if (x.shape().rank() != 2)
+        throw std::invalid_argument(
+            "Int8QuantizedActivations: rank-2 required");
+    Int8QuantizedActivations q;
+    q.rows_ = x.shape().dim(0);
+    q.cols_ = x.shape().dim(1);
+    q.groupSize_ = groupSize > 0 ? std::min(groupSize, q.cols_) : q.cols_;
+    q.groupsPerRow_ = (q.cols_ + q.groupSize_ - 1) / q.groupSize_;
+    q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
+    q.scales_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
+
+    for (int64_t r = 0; r < q.rows_; ++r) {
+        const float *row = x.data() + r * q.cols_;
+        int8_t *codes = q.codes_.data() + r * q.cols_;
+        for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
+            const int64_t k0 = g * q.groupSize_;
+            const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
+            float absmax = 0.0f;
+            for (int64_t i = 0; i < len; ++i)
+                absmax = std::max(absmax, std::fabs(row[k0 + i]));
+            float scale = absmax / 127.0f;
+            if (fp16Scale)
+                scale = fp16Round(scale);
+            if (scale == 0.0f)
+                scale = 1.0f;
+            q.scales_[static_cast<size_t>(r * q.groupsPerRow_ + g)] = scale;
+            for (int64_t i = 0; i < len; ++i) {
+                const float qv = std::round(row[k0 + i] / scale);
+                codes[k0 + i] = static_cast<int8_t>(
+                    std::clamp(qv, -127.0f, 127.0f));
+            }
+        }
+    }
+    return q;
+}
+
+Tensor
+Int8QuantizedActivations::dequantize() const
+{
+    Tensor out(Shape{rows_, cols_});
+    for (int64_t r = 0; r < rows_; ++r) {
+        const int8_t *codes = codes_.data() + r * cols_;
+        float *orow = out.data() + r * cols_;
+        for (int64_t g = 0; g < groupsPerRow_; ++g) {
+            const float s =
+                scales_[static_cast<size_t>(r * groupsPerRow_ + g)];
+            const int64_t k0 = g * groupSize_;
+            const int64_t len = std::min(groupSize_, cols_ - k0);
+            for (int64_t i = 0; i < len; ++i)
+                orow[k0 + i] = static_cast<float>(codes[k0 + i]) * s;
+        }
+    }
+    return out;
+}
+
+Tensor
+fusedGemm(const Int8QuantizedActivations &x, const MantQuantizedMatrix &w)
+{
+    if (x.cols() != w.cols())
+        throw std::invalid_argument("fusedGemm: reduction dims differ");
+    if (x.groupsPerRow() != w.groupsPerRow())
+        throw std::invalid_argument("fusedGemm: group layout mismatch");
+
+    const int64_t m_dim = x.rows();
+    const int64_t n_dim = w.rows();
+    const int64_t k_dim = x.cols();
+    const int64_t gsize = w.groupSize();
+    const int64_t groups = w.groupsPerRow();
+
+    Tensor out(Shape{m_dim, n_dim});
+    for (int64_t m = 0; m < m_dim; ++m) {
+        const int8_t *xrow = x.rowCodes(m).data();
+        for (int64_t n = 0; n < n_dim; ++n) {
+            const int8_t *wrow = w.rowCodes(n).data();
+            double acc = 0.0;
+            for (int64_t g = 0; g < groups; ++g) {
+                const int64_t k0 = g * gsize;
+                const int64_t len = std::min(gsize, k_dim - k0);
+                const MantGroupMeta &meta = w.meta(n, g);
+                const float sx = x.scale(m, g);
+
+                if (meta.isInt) {
+                    // Plain INT4 group: MAC lane only.
+                    int64_t psum = 0;
+                    for (int64_t i = 0; i < len; ++i) {
+                        psum += static_cast<int64_t>(xrow[k0 + i]) *
+                                wrow[k0 + i];
+                    }
+                    acc += static_cast<double>(psum) *
+                           static_cast<double>(sx) *
+                           static_cast<double>(meta.scale);
+                } else {
+                    // Fused MANT group: MAC + SAC lanes (Eq. 5).
+                    int64_t psum1 = 0, psum2 = 0;
+                    for (int64_t i = 0; i < len; ++i) {
+                        const MantCode c =
+                            static_cast<MantCode>(wrow[k0 + i]);
+                        const int mag = mantMagnitude(c);
+                        const int sign = mantSign(c);
+                        const int64_t xv = xrow[k0 + i];
+                        psum1 += xv * (sign * mag);
+                        psum2 += sign * (xv << mag);
+                    }
+                    acc += (static_cast<double>(meta.a) *
+                                static_cast<double>(psum1) +
+                            static_cast<double>(psum2)) *
+                           static_cast<double>(sx) *
+                           static_cast<double>(meta.scale);
+                }
+            }
+            out.at(m, n) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+Tensor
+dequantGemmReference(const Int8QuantizedActivations &x,
+                     const MantQuantizedMatrix &w)
+{
+    const Tensor xf = x.dequantize();
+    const Tensor wf = w.dequantize();
+    // out = xf (M,K) * wf^T (K,N); wf is (N,K).
+    const int64_t m_dim = xf.shape().dim(0);
+    const int64_t k_dim = xf.shape().dim(1);
+    const int64_t n_dim = wf.shape().dim(0);
+    Tensor out(Shape{m_dim, n_dim});
+    for (int64_t m = 0; m < m_dim; ++m) {
+        for (int64_t n = 0; n < n_dim; ++n) {
+            double acc = 0.0;
+            const float *xr = xf.data() + m * k_dim;
+            const float *wr = wf.data() + n * k_dim;
+            for (int64_t k = 0; k < k_dim; ++k)
+                acc += static_cast<double>(xr[k]) * wr[k];
+            out.at(m, n) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Decode-compute fusion (Sec. IV-C, Eq. 5) and the quantized-operand
+ * containers it runs on.
+ *
+ * The key identity: with activations in INT8 (X = Xint * sX) and MANT
+ * weights (W = ±(a*m + 2^m) * sW),
+ *
+ *   X * W = [Xint * Wint] * a * sX*sW  +  [Xint * 2^Wint] * sX*sW
+ *           \____psum1____/              \_____psum2_____/
+ *
+ * so the whole group dot product is one integer multiply-accumulate
+ * stream (psum1, the PE's MAC lane) plus one shift-accumulate stream
+ * (psum2, the SAC lane), with the scales and the coefficient applied
+ * once per group. Groups that selected the plain-INT4 option use only
+ * the MAC lane. The functions here are the bit-exact software model of
+ * that datapath; tests assert equality against dequantize-then-FP.
+ */
+
+#ifndef MANT_CORE_FUSED_GEMM_H_
+#define MANT_CORE_FUSED_GEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coeff_search.h"
+#include "core/mant_grid.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** Integer partial sums produced by one group dot product. */
+struct MantPsums
+{
+    int64_t psum1 = 0; ///< MAC lane: sum of x * (sign * magnitude)
+    int64_t psum2 = 0; ///< SAC lane: sum of sign * (x << magnitude)
+};
+
+/**
+ * Fused group dot product: MANT codes against INT8 activations.
+ *
+ * @param x     INT8 activation values (as int32 for convenience).
+ * @param codes Sign-magnitude MANT codes, same length.
+ */
+MantPsums fusedDot(std::span<const int32_t> x,
+                   std::span<const MantCode> codes);
+
+/** Combine psums into the real value: (a*psum1 + psum2) * sX * sW. */
+inline double
+combinePsums(const MantPsums &p, int a, float sx, float sw)
+{
+    return (static_cast<double>(a) * static_cast<double>(p.psum1) +
+            static_cast<double>(p.psum2)) *
+           static_cast<double>(sx) * static_cast<double>(sw);
+}
+
+/** Per-group metadata of a MANT-quantized matrix. */
+struct MantGroupMeta
+{
+    float scale = 1.0f; ///< sW, FP16-rounded
+    uint8_t a = 0;      ///< coefficient (8-bit field, Sec. IV-A)
+    bool isInt = false; ///< group selected the plain-INT4 option
+};
+
+/**
+ * A MANT-quantized weight matrix, stored (rows = output features,
+ * cols = input features), quantization groups along the input (inner)
+ * dimension so a GEMM walks contiguous codes.
+ *
+ * Code storage is one byte per weight: sign-magnitude MANT codes for
+ * MANT groups, signed two's-complement INT4 values for INT groups.
+ */
+class MantQuantizedMatrix
+{
+  public:
+    /** How the per-group coefficient is chosen. */
+    enum class Search
+    {
+        WeightMse,  ///< argmin of plain group MSE
+        OutputMse,  ///< Eq. 6: MSE weighted by calibration E[x^2]
+    };
+
+    /**
+     * Quantize a weight matrix.
+     *
+     * @param w          Weights, shape (outFeatures, inFeatures).
+     * @param groupSize  Group length along the inner dimension.
+     * @param mode       Coefficient search objective.
+     * @param calibPower Per-input-feature E[x^2] from calibration
+     *                   (required for OutputMse, ignored otherwise).
+     */
+    static MantQuantizedMatrix quantize(
+        const Tensor &w, int64_t groupSize,
+        Search mode = Search::WeightMse,
+        std::span<const double> calibPower = {}, bool fp16Scale = true);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t groupSize() const { return groupSize_; }
+    int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    const MantGroupMeta &
+    meta(int64_t row, int64_t group) const
+    {
+        return meta_[static_cast<size_t>(row * groupsPerRow_ + group)];
+    }
+
+    std::span<const int8_t>
+    rowCodes(int64_t row) const
+    {
+        return {codes_.data() + row * cols_, static_cast<size_t>(cols_)};
+    }
+
+    /**
+     * Reassemble from raw parts (deserialization path). `codes` is
+     * row-major one code per byte; `meta` is row-major per group.
+     */
+    static MantQuantizedMatrix fromParts(int64_t rows, int64_t cols,
+                                         int64_t groupSize,
+                                         std::vector<int8_t> codes,
+                                         std::vector<MantGroupMeta> meta);
+
+    /** Dequantize back to float (the PE-external reference path). */
+    Tensor dequantize() const;
+
+    /** Histogram of selections: bucket -1 = INT, else coefficient a. */
+    std::vector<std::pair<int, int64_t>> selectionHistogram() const;
+
+    /** Effective stored bits per element including metadata. */
+    double bitsPerElement() const;
+
+  private:
+    int64_t rows_ = 0, cols_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
+    std::vector<int8_t> codes_;
+    std::vector<MantGroupMeta> meta_;
+};
+
+/**
+ * Group-wise INT8-quantized activations, groups along the inner
+ * (reduction) dimension, matching the weight group boundaries.
+ */
+class Int8QuantizedActivations
+{
+  public:
+    static Int8QuantizedActivations quantize(const Tensor &x,
+                                             int64_t groupSize,
+                                             bool fp16Scale = true);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    std::span<const int8_t>
+    rowCodes(int64_t row) const
+    {
+        return {codes_.data() + row * cols_, static_cast<size_t>(cols_)};
+    }
+
+    float
+    scale(int64_t row, int64_t group) const
+    {
+        return scales_[static_cast<size_t>(row * groupsPerRow_ + group)];
+    }
+
+    Tensor dequantize() const;
+
+  private:
+    int64_t rows_ = 0, cols_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
+    std::vector<int8_t> codes_;
+    std::vector<float> scales_;
+};
+
+/**
+ * Fully fused integer GEMM: out[m, n] = sum over groups of
+ * (a*psum1 + psum2) * sX[m,g] * sW[n,g]. This is the software model of
+ * the MANT systolic array; all inner arithmetic is integer.
+ *
+ * @param x Quantized activations (M, K).
+ * @param w Quantized weights (N, K) — note the transposed layout.
+ * @return  Float output (M, N).
+ */
+Tensor fusedGemm(const Int8QuantizedActivations &x,
+                 const MantQuantizedMatrix &w);
+
+/**
+ * Reference path: dequantize both operands and multiply in float.
+ * fusedGemm must match this to FP rounding; tests assert it.
+ */
+Tensor dequantGemmReference(const Int8QuantizedActivations &x,
+                            const MantQuantizedMatrix &w);
+
+} // namespace mant
+
+#endif // MANT_CORE_FUSED_GEMM_H_

@@ -1,0 +1,191 @@
+#include "core/kv_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/fp16.h"
+
+namespace mant {
+
+std::vector<MantSelection>
+spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
+                   const VarianceSelector &selector, std::span<float> out,
+                   bool fp16Scale)
+{
+    if (values.size() != out.size())
+        throw std::invalid_argument("spatialQuantizeRow: size mismatch");
+    const int64_t n = static_cast<int64_t>(values.size());
+    const int64_t g = groupSize > 0 ? groupSize : n;
+
+    std::vector<MantSelection> selections;
+    selections.reserve(static_cast<size_t>((n + g - 1) / g));
+
+    for (int64_t g0 = 0; g0 < n; g0 += g) {
+        const int64_t len = std::min(g, n - g0);
+        std::span<const float> group(values.data() + g0,
+                                     static_cast<size_t>(len));
+        StreamingStats st;
+        st.addAll(group);
+        MantSelection sel = selector.selectFromStats(st);
+        sel.scale = applySelection(
+            group, sel,
+            std::span<float>(out.data() + g0, static_cast<size_t>(len)),
+            fp16Scale);
+        selections.push_back(sel);
+    }
+    return selections;
+}
+
+TemporalVQuantizer::TemporalVQuantizer(int64_t channels, int64_t window,
+                                       const VarianceSelector &selector,
+                                       bool fp16Scale)
+    : channels_(channels), window_(window), selector_(selector),
+      fp16Scale_(fp16Scale),
+      channelScales_(static_cast<size_t>(channels), 1.0f),
+      pending_(static_cast<size_t>(window * channels), 0),
+      stats_(static_cast<size_t>(channels))
+{
+    if (channels <= 0 || window <= 0)
+        throw std::invalid_argument(
+            "TemporalVQuantizer: channels/window must be positive");
+}
+
+void
+TemporalVQuantizer::deriveChannelScales(const Tensor &v)
+{
+    const int64_t rows = v.shape().dim(0);
+    for (int64_t c = 0; c < channels_; ++c) {
+        float m = 0.0f;
+        for (int64_t r = 0; r < rows; ++r)
+            m = std::max(m, std::fabs(v.at(r, c)));
+        float s = m / 127.0f;
+        if (fp16Scale_)
+            s = fp16Round(s);
+        if (s == 0.0f)
+            s = 1.0f;
+        channelScales_[static_cast<size_t>(c)] = s;
+    }
+}
+
+void
+TemporalVQuantizer::pushPrefill(const Tensor &v)
+{
+    if (v.shape().rank() != 2 || v.shape().dim(1) != channels_)
+        throw std::invalid_argument("pushPrefill: bad V shape");
+    const int64_t rows = v.shape().dim(0);
+    deriveChannelScales(v);
+
+    // Full windows are spatially available: quantize straight to MANT
+    // from the FP values (the prefill path of Sec. V-C).
+    const int64_t full = (rows / window_) * window_;
+    std::vector<float> column(static_cast<size_t>(window_));
+    std::vector<float> column_out(static_cast<size_t>(window_));
+    for (int64_t w0 = 0; w0 < full; w0 += window_) {
+        const size_t base = finalized_.size();
+        finalized_.resize(base +
+                          static_cast<size_t>(window_ * channels_));
+        for (int64_t c = 0; c < channels_; ++c) {
+            StreamingStats st;
+            for (int64_t r = 0; r < window_; ++r) {
+                column[static_cast<size_t>(r)] = v.at(w0 + r, c);
+                st.add(column[static_cast<size_t>(r)]);
+            }
+            MantSelection sel = selector_.selectFromStats(st);
+            sel.scale = applySelection(column, sel, column_out, fp16Scale_);
+            selections_.push_back(sel);
+            for (int64_t r = 0; r < window_; ++r) {
+                finalized_[base +
+                           static_cast<size_t>(r * channels_ + c)] =
+                    column_out[static_cast<size_t>(r)];
+            }
+        }
+        finalizedRows_ += window_;
+    }
+
+    // Remainder rows seed the pending INT8 window.
+    for (int64_t r = full; r < rows; ++r)
+        pushDecode(v.row(r));
+}
+
+void
+TemporalVQuantizer::pushDecode(std::span<const float> v)
+{
+    if (static_cast<int64_t>(v.size()) != channels_)
+        throw std::invalid_argument("pushDecode: bad vector length");
+
+    int8_t *row = pending_.data() +
+                  static_cast<int64_t>(pendingFill_) * channels_;
+    for (int64_t c = 0; c < channels_; ++c) {
+        const float s = channelScales_[static_cast<size_t>(c)];
+        const float q = std::round(v[static_cast<size_t>(c)] / s);
+        const int8_t code = static_cast<int8_t>(
+            std::clamp(q, -127.0f, 127.0f));
+        row[c] = code;
+        // The RQU accumulates statistics of the INT8-visible values.
+        stats_[static_cast<size_t>(c)].add(static_cast<float>(code) * s);
+    }
+    ++pendingFill_;
+    if (static_cast<int64_t>(pendingFill_) == window_)
+        finalizeWindow();
+}
+
+void
+TemporalVQuantizer::finalizeWindow()
+{
+    std::vector<float> column(static_cast<size_t>(window_));
+    std::vector<float> column_out(static_cast<size_t>(window_));
+    const size_t base = finalized_.size();
+    finalized_.resize(base + static_cast<size_t>(window_ * channels_));
+
+    for (int64_t c = 0; c < channels_; ++c) {
+        const float s = channelScales_[static_cast<size_t>(c)];
+        for (int64_t r = 0; r < window_; ++r) {
+            column[static_cast<size_t>(r)] =
+                static_cast<float>(pending_[static_cast<size_t>(
+                    r * channels_ + c)]) * s;
+        }
+        // Variance from the streamed Σv, Σv² (Eq. 7) picks the type.
+        MantSelection sel =
+            selector_.selectFromStats(stats_[static_cast<size_t>(c)]);
+        sel.scale = applySelection(column, sel, column_out, fp16Scale_);
+        selections_.push_back(sel);
+        for (int64_t r = 0; r < window_; ++r) {
+            finalized_[base + static_cast<size_t>(r * channels_ + c)] =
+                column_out[static_cast<size_t>(r)];
+        }
+        stats_[static_cast<size_t>(c)].reset();
+    }
+    finalizedRows_ += window_;
+    pendingFill_ = 0;
+}
+
+Tensor
+TemporalVQuantizer::reconstruct() const
+{
+    Tensor out(Shape{rows(), channels_});
+    float *op = out.data();
+    std::copy(finalized_.begin(), finalized_.end(), op);
+    op += finalized_.size();
+    for (size_t r = 0; r < pendingFill_; ++r) {
+        const int8_t *row = pending_.data() +
+                            static_cast<int64_t>(r) * channels_;
+        for (int64_t c = 0; c < channels_; ++c)
+            *op++ = static_cast<float>(row[c]) *
+                    channelScales_[static_cast<size_t>(c)];
+    }
+    return out;
+}
+
+double
+TemporalVQuantizer::pendingFraction() const
+{
+    const double total = static_cast<double>(rows()) *
+                         static_cast<double>(channels_);
+    if (total == 0.0)
+        return 0.0;
+    return static_cast<double>(pendingFill_) *
+           static_cast<double>(channels_) / total;
+}
+
+} // namespace mant

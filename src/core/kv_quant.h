@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Real-time KV-cache quantization (Sec. V-C, Fig. 8).
+ *
+ * K cache ("spatial"): a full K vector arrives per decode step and its
+ * groups lie along the arriving vector, so each group is complete
+ * immediately — quantize on arrival using the variance selector.
+ *
+ * V cache ("temporal"): groups run along the *sequence* axis, so each
+ * decode step contributes one element to every group. The two-phase
+ * scheme buffers a process window of G steps in INT8 (channel scales
+ * from prefill), streams Σv, Σv² and max per channel, and when the
+ * window fills, selects a per channel from the variance and re-encodes
+ * the window to 4-bit MANT.
+ */
+
+#ifndef MANT_CORE_KV_QUANT_H_
+#define MANT_CORE_KV_QUANT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fused_gemm.h"
+#include "core/variance_selector.h"
+#include "tensor/stats.h"
+
+namespace mant {
+
+/**
+ * Quantize one spatially-complete vector (a K row or prefill rows) to
+ * 4-bit MANT groups, selecting the coefficient per group through the
+ * variance selector, and write the dequantized result to `out`.
+ *
+ * @return The selections made, one per group.
+ */
+std::vector<MantSelection> spatialQuantizeRow(
+    std::span<const float> values, int64_t groupSize,
+    const VarianceSelector &selector, std::span<float> out,
+    bool fp16Scale = true);
+
+/**
+ * Two-phase temporal quantizer for one head's V cache.
+ *
+ * Usage: construct with the channel count and window size, feed prefill
+ * rows via pushPrefill() (which also derives the channel-wise INT8
+ * scales), then push one decode vector per step with pushDecode().
+ * Reads see finalized 4-bit MANT rows plus the pending INT8 window.
+ */
+class TemporalVQuantizer
+{
+  public:
+    /**
+     * @param channels   Head dimension (elements per V vector).
+     * @param window     Process window size G (the group size).
+     * @param selector   Calibrated variance -> coefficient table.
+     * @param fp16Scale  Round stored scales through FP16.
+     */
+    TemporalVQuantizer(int64_t channels, int64_t window,
+                       const VarianceSelector &selector,
+                       bool fp16Scale = true);
+
+    /**
+     * Ingest the prefill V matrix (rows = positions). Full groups of
+     * `window` rows are MANT-quantized immediately (the sequence is
+     * spatially available in prefill); the remainder seeds the pending
+     * window. Channel INT8 scales are derived from these rows.
+     */
+    void pushPrefill(const Tensor &v);
+
+    /** Ingest one decode-step V vector (length = channels). */
+    void pushDecode(std::span<const float> v);
+
+    /** Total rows visible (finalized + pending). */
+    int64_t rows() const
+    {
+        return finalizedRows_ + static_cast<int64_t>(pendingFill_);
+    }
+
+    int64_t finalizedRows() const { return finalizedRows_; }
+    int64_t pendingRows() const
+    {
+        return static_cast<int64_t>(pendingFill_);
+    }
+    int64_t channels() const { return channels_; }
+
+    /**
+     * Reconstruct the effective (dequantized) V cache into a tensor of
+     * shape (rows(), channels): finalized rows decode from 4-bit MANT,
+     * pending rows decode from INT8.
+     */
+    Tensor reconstruct() const;
+
+    /** Per-finalize selection history (one entry per channel-group). */
+    const std::vector<MantSelection> &
+    selectionHistory() const
+    {
+        return selections_;
+    }
+
+    /** Channel-wise INT8 scales in use (derived from prefill). */
+    std::span<const float> channelScales() const { return channelScales_; }
+
+    /** Fraction of stored elements currently held at 8 bits. */
+    double pendingFraction() const;
+
+  private:
+    void deriveChannelScales(const Tensor &v);
+    void finalizeWindow();
+
+    int64_t channels_;
+    int64_t window_;
+    const VarianceSelector &selector_;
+    bool fp16Scale_;
+
+    /** Channel-wise INT8 scales ("scales" in Fig. 8), from prefill. */
+    std::vector<float> channelScales_;
+
+    /** Pending window: row-major (window, channels) INT8 codes. */
+    std::vector<int8_t> pending_;
+    size_t pendingFill_ = 0;
+
+    /** Streaming Σv, Σv², max per channel over the pending window. */
+    std::vector<StreamingStats> stats_;
+
+    /** Finalized storage: dequantized values (model-facing) ... */
+    std::vector<float> finalized_;
+    int64_t finalizedRows_ = 0;
+    /** ... plus the raw codes/metadata per finalized channel-group. */
+    std::vector<MantSelection> selections_;
+};
+
+} // namespace mant
+
+#endif // MANT_CORE_KV_QUANT_H_

@@ -1,0 +1,47 @@
+#include "core/mant_grid.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace mant {
+
+MantFormat::MantFormat(int a) : a_(a)
+{
+    if (a < 0 || a > kMantMaxCoefficient)
+        throw std::invalid_argument("MantFormat: a must be in [0, 127]");
+    name_ = "mant-a" + std::to_string(a);
+    for (int i = 0; i < 2 * kMantMagnitudes; ++i)
+        levels_[static_cast<size_t>(i)] =
+            static_cast<float>(mantCodeValue(a, indexToCode(i)));
+}
+
+std::span<const int>
+mantCoefficientSet()
+{
+    // Sec. V-A: {0,5,10,17,20,30,40,50,60,70,80,90,100,110,120}.
+    static const int set[] = {0,  5,  10, 17, 20,  30,  40, 50,
+                              60, 70, 80, 90, 100, 110, 120};
+    return {set, std::size(set)};
+}
+
+const MantFormat &
+mantFormat(int a)
+{
+    static std::map<int, MantFormat> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(a);
+    if (it == cache.end())
+        it = cache.emplace(a, MantFormat(a)).first;
+    return it->second;
+}
+
+double
+mantNormalizedValue(int a, int i)
+{
+    return static_cast<double>(mantGridValue(a, i)) /
+           static_cast<double>(mantGridMax(a));
+}
+
+} // namespace mant

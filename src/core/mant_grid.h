@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The MANT numeric type (Sec. IV-A of the paper).
+ *
+ * A MANT grid is defined by an 8-bit group-wise coefficient `a`:
+ *
+ *     Value_grid = ±(a * |INT| + 2^|INT|),  |INT| in [0, 7]
+ *
+ * in sign-magnitude INT4. Both ±0 codes map to ±1 (there is no zero on
+ * the grid; with a = 17 the positive side is {1, 19, 38, 59, 84, 117,
+ * 166, 247}, exactly Fig. 7). Varying `a` smoothly morphs the grid from
+ * power-of-two (a = 0) through float-like (a ≈ 17) and NF-like
+ * (a ≈ 25) toward INT-like (large a), which is what gives MANT its
+ * "mathematically infinite" adaptivity.
+ */
+
+#ifndef MANT_CORE_MANT_GRID_H_
+#define MANT_CORE_MANT_GRID_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "quant/format.h"
+
+namespace mant {
+
+/** Number of magnitude codes in sign-magnitude INT4 (0..7). */
+inline constexpr int kMantMagnitudes = 8;
+
+/** Coefficient a is encoded in 8 bits and constrained below 128. */
+inline constexpr int kMantMaxCoefficient = 127;
+
+/**
+ * A MANT code is sign-magnitude: bit 3 = sign (1 = negative),
+ * bits 2..0 = magnitude. Stored one code per byte here; a packed
+ * variant would hold two codes per byte.
+ */
+using MantCode = uint8_t;
+
+inline constexpr MantCode
+makeMantCode(bool negative, int magnitude)
+{
+    return static_cast<MantCode>((negative ? 0x8 : 0x0) |
+                                 (magnitude & 0x7));
+}
+
+inline constexpr int mantMagnitude(MantCode c) { return c & 0x7; }
+inline constexpr bool mantNegative(MantCode c) { return (c & 0x8) != 0; }
+inline constexpr int mantSign(MantCode c) { return mantNegative(c) ? -1 : 1; }
+
+/** Integer grid value of a magnitude under coefficient a: a*m + 2^m. */
+inline constexpr int32_t
+mantGridValue(int a, int magnitude)
+{
+    return a * magnitude + (1 << magnitude);
+}
+
+/** Signed integer value of a code under coefficient a. */
+inline constexpr int32_t
+mantCodeValue(int a, MantCode c)
+{
+    return mantSign(c) * mantGridValue(a, mantMagnitude(c));
+}
+
+/** Largest grid magnitude: a*7 + 128. */
+inline constexpr int32_t
+mantGridMax(int a)
+{
+    return mantGridValue(a, kMantMagnitudes - 1);
+}
+
+/**
+ * MANT as a NumericFormat: 16 sorted levels for one coefficient.
+ * The sorted-index <-> sign-magnitude mapping is fixed: indices 0..7
+ * are the negative magnitudes 7..0, indices 8..15 are positive 0..7.
+ */
+class MantFormat : public NumericFormat
+{
+  public:
+    explicit MantFormat(int a);
+
+    std::string_view name() const override { return name_; }
+    int bits() const override { return 4; }
+    std::span<const float> levels() const override
+    {
+        return {levels_.data(), levels_.size()};
+    }
+
+    int coefficient() const { return a_; }
+
+    /** Sorted level index -> sign-magnitude code. */
+    static MantCode
+    indexToCode(int index)
+    {
+        return index < kMantMagnitudes
+                   ? makeMantCode(true, kMantMagnitudes - 1 - index)
+                   : makeMantCode(false, index - kMantMagnitudes);
+    }
+
+    /** Sign-magnitude code -> sorted level index. */
+    static int
+    codeToIndex(MantCode c)
+    {
+        return mantNegative(c) ? kMantMagnitudes - 1 - mantMagnitude(c)
+                               : kMantMagnitudes + mantMagnitude(c);
+    }
+
+    /** Encode a real value directly to a sign-magnitude code. */
+    MantCode
+    encodeToCode(float value, float scale) const
+    {
+        return indexToCode(encode(value, scale));
+    }
+
+    /** Decode a sign-magnitude code. */
+    float
+    decodeCode(MantCode c, float scale) const
+    {
+        return static_cast<float>(mantCodeValue(a_, c)) * scale;
+    }
+
+  private:
+    int a_;
+    std::string name_;
+    std::array<float, 2 * kMantMagnitudes> levels_;
+};
+
+/**
+ * The paper's weight-quantization coefficient set (Sec. V-A): 15 MANT
+ * coefficients; together with the plain-INT option this makes the 16
+ * selectable data types.
+ */
+std::span<const int> mantCoefficientSet();
+
+/** Shared immutable MantFormat instances for the coefficient set. */
+const MantFormat &mantFormat(int a);
+
+/**
+ * Normalized positive grid point y(i) = (a*i + 2^i) / (7a + 128) — the
+ * quantity plotted in Fig. 5 / Fig. 6.
+ */
+double mantNormalizedValue(int a, int i);
+
+} // namespace mant
+
+#endif // MANT_CORE_MANT_GRID_H_

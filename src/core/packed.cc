@@ -1,0 +1,209 @@
+#include "core/packed.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "tensor/fp16.h"
+
+namespace mant {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'A', 'N', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readScalar(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!is)
+        throw std::runtime_error("readPacked: truncated stream");
+    return value;
+}
+
+} // namespace
+
+int64_t
+PackedMantMatrix::storageBytes() const
+{
+    return static_cast<int64_t>(nibbles.size()) +
+           static_cast<int64_t>(scaleBits.size()) * 2 +
+           static_cast<int64_t>(typeBytes.size());
+}
+
+double
+PackedMantMatrix::bitsPerElement() const
+{
+    const double elems = static_cast<double>(rows) *
+                         static_cast<double>(cols);
+    return elems > 0.0 ? 8.0 * static_cast<double>(storageBytes()) /
+                             elems
+                       : 0.0;
+}
+
+PackedMantMatrix
+pack(const MantQuantizedMatrix &matrix)
+{
+    PackedMantMatrix p;
+    p.rows = matrix.rows();
+    p.cols = matrix.cols();
+    p.groupSize = matrix.groupSize();
+
+    const int64_t total = p.rows * p.cols;
+    p.nibbles.assign(static_cast<size_t>((total + 1) / 2), 0);
+    for (int64_t r = 0; r < p.rows; ++r) {
+        const auto codes = matrix.rowCodes(r);
+        for (int64_t c = 0; c < p.cols; ++c) {
+            const int64_t flat = r * p.cols + c;
+            // Codes occupy 4 bits in both representations: MANT codes
+            // are sign-magnitude nibbles; INT-group codes are 4-bit
+            // two's complement.
+            const uint8_t nib =
+                static_cast<uint8_t>(codes[static_cast<size_t>(c)]) &
+                0x0f;
+            auto &byte = p.nibbles[static_cast<size_t>(flat / 2)];
+            byte = (flat % 2 == 0)
+                       ? static_cast<uint8_t>((byte & 0xf0) | nib)
+                       : static_cast<uint8_t>((byte & 0x0f) |
+                                              (nib << 4));
+        }
+    }
+
+    const int64_t groups = p.rows * matrix.groupsPerRow();
+    p.scaleBits.reserve(static_cast<size_t>(groups));
+    p.typeBytes.reserve(static_cast<size_t>(groups));
+    for (int64_t r = 0; r < p.rows; ++r) {
+        for (int64_t g = 0; g < matrix.groupsPerRow(); ++g) {
+            const MantGroupMeta &m = matrix.meta(r, g);
+            p.scaleBits.push_back(floatToHalfBits(m.scale));
+            p.typeBytes.push_back(static_cast<uint8_t>(
+                (m.isInt ? 0x80 : 0x00) | (m.a & 0x7f)));
+        }
+    }
+    return p;
+}
+
+MantQuantizedMatrix
+unpack(const PackedMantMatrix &packed)
+{
+    const int64_t total = packed.rows * packed.cols;
+    std::vector<int8_t> codes(static_cast<size_t>(total));
+    for (int64_t flat = 0; flat < total; ++flat) {
+        const uint8_t byte =
+            packed.nibbles[static_cast<size_t>(flat / 2)];
+        uint8_t nib = (flat % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+        // INT-group codes sign-extend from 4 bits at decode; MANT
+        // codes are used as nibbles either way, so sign-extension is
+        // applied per group below once metadata is known.
+        codes[static_cast<size_t>(flat)] = static_cast<int8_t>(nib);
+    }
+
+    const int64_t gsize = packed.groupSize > 0
+                              ? std::min(packed.groupSize, packed.cols)
+                              : packed.cols;
+    const int64_t groups_per_row = (packed.cols + gsize - 1) / gsize;
+    std::vector<MantGroupMeta> meta;
+    meta.reserve(packed.scaleBits.size());
+    for (size_t i = 0; i < packed.scaleBits.size(); ++i) {
+        MantGroupMeta m;
+        m.scale = halfBitsToFloat(packed.scaleBits[i]);
+        m.isInt = (packed.typeBytes[i] & 0x80) != 0;
+        m.a = static_cast<uint8_t>(packed.typeBytes[i] & 0x7f);
+        meta.push_back(m);
+    }
+
+    // Sign-extend INT-group nibbles back to int8 two's complement.
+    for (int64_t r = 0; r < packed.rows; ++r) {
+        for (int64_t g = 0; g < groups_per_row; ++g) {
+            const MantGroupMeta &m =
+                meta[static_cast<size_t>(r * groups_per_row + g)];
+            if (!m.isInt)
+                continue;
+            const int64_t k0 = g * gsize;
+            const int64_t len = std::min(gsize, packed.cols - k0);
+            for (int64_t i = 0; i < len; ++i) {
+                int8_t &code =
+                    codes[static_cast<size_t>(r * packed.cols + k0 +
+                                              i)];
+                if (code & 0x08)
+                    code = static_cast<int8_t>(code | 0xf0);
+            }
+        }
+    }
+    return MantQuantizedMatrix::fromParts(packed.rows, packed.cols,
+                                          packed.groupSize,
+                                          std::move(codes),
+                                          std::move(meta));
+}
+
+void
+writePacked(std::ostream &os, const PackedMantMatrix &packed)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeScalar(os, kVersion);
+    writeScalar(os, packed.rows);
+    writeScalar(os, packed.cols);
+    writeScalar(os, packed.groupSize);
+    writeScalar(os, static_cast<uint64_t>(packed.nibbles.size()));
+    writeScalar(os, static_cast<uint64_t>(packed.scaleBits.size()));
+    os.write(reinterpret_cast<const char *>(packed.nibbles.data()),
+             static_cast<std::streamsize>(packed.nibbles.size()));
+    os.write(reinterpret_cast<const char *>(packed.scaleBits.data()),
+             static_cast<std::streamsize>(packed.scaleBits.size() * 2));
+    os.write(reinterpret_cast<const char *>(packed.typeBytes.data()),
+             static_cast<std::streamsize>(packed.typeBytes.size()));
+    if (!os)
+        throw std::runtime_error("writePacked: stream failure");
+}
+
+PackedMantMatrix
+readPacked(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("readPacked: bad magic");
+    const uint32_t version = readScalar<uint32_t>(is);
+    if (version != kVersion)
+        throw std::runtime_error("readPacked: unsupported version");
+
+    PackedMantMatrix p;
+    p.rows = readScalar<int64_t>(is);
+    p.cols = readScalar<int64_t>(is);
+    p.groupSize = readScalar<int64_t>(is);
+    if (p.rows < 0 || p.cols < 0 || p.groupSize < 0 ||
+        p.rows * p.cols > (int64_t{1} << 40)) {
+        throw std::runtime_error("readPacked: implausible header");
+    }
+    const uint64_t n_nibbles = readScalar<uint64_t>(is);
+    const uint64_t n_groups = readScalar<uint64_t>(is);
+    if (n_nibbles !=
+        static_cast<uint64_t>((p.rows * p.cols + 1) / 2)) {
+        throw std::runtime_error("readPacked: nibble count mismatch");
+    }
+    p.nibbles.resize(n_nibbles);
+    p.scaleBits.resize(n_groups);
+    p.typeBytes.resize(n_groups);
+    is.read(reinterpret_cast<char *>(p.nibbles.data()),
+            static_cast<std::streamsize>(n_nibbles));
+    is.read(reinterpret_cast<char *>(p.scaleBits.data()),
+            static_cast<std::streamsize>(n_groups * 2));
+    is.read(reinterpret_cast<char *>(p.typeBytes.data()),
+            static_cast<std::streamsize>(n_groups));
+    if (!is)
+        throw std::runtime_error("readPacked: truncated payload");
+    return p;
+}
+
+} // namespace mant

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Packed storage and binary serialization for MANT-quantized matrices.
+ *
+ * MantQuantizedMatrix keeps one code per byte for fast kernels; for
+ * storage and transport the codes pack two-per-byte (true 4-bit
+ * footprint) with the per-group metadata (FP16 scale + 8-bit
+ * coefficient/type) alongside — the exact memory layout the paper's
+ * DRAM-traffic accounting assumes (4 bits/element + 24 bits/group).
+ */
+
+#ifndef MANT_CORE_PACKED_H_
+#define MANT_CORE_PACKED_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/fused_gemm.h"
+
+namespace mant {
+
+/**
+ * A serialized MANT weight blob: packed nibbles plus group metadata.
+ */
+struct PackedMantMatrix
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t groupSize = 0;
+
+    /** Two 4-bit codes per byte, row-major, low nibble first. */
+    std::vector<uint8_t> nibbles;
+
+    /** Per-group: FP16 scale bits. */
+    std::vector<uint16_t> scaleBits;
+
+    /** Per-group: coefficient a in bits 6..0, INT-option flag bit 7. */
+    std::vector<uint8_t> typeBytes;
+
+    /** Stored bytes (codes + metadata), the DRAM footprint. */
+    int64_t storageBytes() const;
+
+    /** Effective bits per weight element. */
+    double bitsPerElement() const;
+};
+
+/** Pack a quantized matrix into the 4-bit wire format. */
+PackedMantMatrix pack(const MantQuantizedMatrix &matrix);
+
+/** Unpack back to the kernel-friendly one-code-per-byte form. */
+MantQuantizedMatrix unpack(const PackedMantMatrix &packed);
+
+/**
+ * Serialize to a binary stream ("MANT" magic + version + little-endian
+ * fields). Throws std::runtime_error on stream failure.
+ */
+void writePacked(std::ostream &os, const PackedMantMatrix &packed);
+
+/** Deserialize; throws std::runtime_error on malformed input. */
+PackedMantMatrix readPacked(std::istream &is);
+
+} // namespace mant
+
+#endif // MANT_CORE_PACKED_H_

@@ -1,0 +1,238 @@
+#include "core/variance_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "quant/fixed_formats.h"
+
+namespace mant {
+
+namespace {
+
+/** Variance of a grid's normalized levels under equal occupancy. */
+double
+gridVariance(const NumericFormat &fmt)
+{
+    const auto lv = fmt.levels();
+    const double maxabs = fmt.maxAbsLevel();
+    if (maxabs == 0.0 || lv.empty())
+        return 0.0;
+    double sum = 0.0, sum_sq = 0.0;
+    for (float v : lv) {
+        const double y = v / maxabs;
+        sum += y;
+        sum_sq += y * y;
+    }
+    const double n = static_cast<double>(lv.size());
+    const double mean = sum / n;
+    return sum_sq / n - mean * mean;
+}
+
+} // namespace
+
+VarianceSelector
+VarianceSelector::fromPoints(std::vector<Entry> entries)
+{
+    if (entries.empty())
+        throw std::invalid_argument("VarianceSelector: empty table");
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.meanVariance < b.meanVariance;
+              });
+    for (size_t i = 0; i < entries.size(); ++i) {
+        entries[i].varLo =
+            i == 0 ? -std::numeric_limits<double>::infinity()
+                   : 0.5 * (entries[i - 1].meanVariance +
+                            entries[i].meanVariance);
+        entries[i].varHi =
+            i + 1 == entries.size()
+                ? std::numeric_limits<double>::infinity()
+                : 0.5 * (entries[i].meanVariance +
+                         entries[i + 1].meanVariance);
+    }
+    VarianceSelector sel;
+    sel.table_ = std::move(entries);
+    return sel;
+}
+
+namespace {
+
+/** One calibration group's variance plus its error under every type. */
+struct CalibGroup
+{
+    double variance;
+    std::vector<double> errors; ///< candidates..., then INT last
+};
+
+void
+accumulateCalibration(const Tensor &calib, int64_t groupSize,
+                      std::span<const int> candidates, bool fp16Scale,
+                      std::vector<CalibGroup> &groups)
+{
+    const int64_t inner = calib.shape().innerDim();
+    const int64_t outer = calib.shape().outerCount();
+    const int64_t g = groupSize > 0 ? groupSize : inner;
+
+    for (int64_t r = 0; r < outer; ++r) {
+        const float *row = calib.data() + r * inner;
+        for (int64_t g0 = 0; g0 < inner; g0 += g) {
+            const int64_t len = std::min(g, inner - g0);
+            std::span<const float> group(row + g0,
+                                         static_cast<size_t>(len));
+            CalibGroup cg;
+            StreamingStats st;
+            st.addAll(group);
+            cg.variance = st.normalizedVariance();
+            cg.errors.reserve(candidates.size() + 1);
+            for (int a : candidates) {
+                cg.errors.push_back(groupError(
+                    group, mantFormat(a), {}, fp16Scale, nullptr));
+            }
+            cg.errors.push_back(groupError(group, int4Format(), {},
+                                           fp16Scale, nullptr));
+            groups.push_back(std::move(cg));
+        }
+    }
+}
+
+} // namespace
+
+VarianceSelector
+VarianceSelector::calibrate(const Tensor &calib, int64_t groupSize,
+                            std::span<const int> candidates, bool fp16Scale)
+{
+    const Tensor tensors[] = {calib};
+    return calibrateMulti({tensors, 1}, groupSize, candidates, fp16Scale);
+}
+
+VarianceSelector
+VarianceSelector::calibrateMulti(std::span<const Tensor> calib,
+                                 int64_t groupSize,
+                                 std::span<const int> candidates,
+                                 bool fp16Scale)
+{
+    if (candidates.empty())
+        candidates = mantCoefficientSet();
+
+    std::vector<CalibGroup> groups;
+    for (const Tensor &t : calib)
+        accumulateCalibration(t, groupSize, candidates, fp16Scale,
+                              groups);
+    if (groups.empty())
+        return analytic(candidates);
+
+    // Variance-binned error minimization: sort groups by variance,
+    // split into (up to) 16 equal-count bins, and give each bin the
+    // type that minimizes the bin's total quantization error. Since
+    // INT is among the options, the table can never lose to a fixed
+    // INT grid on the calibration distribution.
+    std::sort(groups.begin(), groups.end(),
+              [](const CalibGroup &a, const CalibGroup &b) {
+                  return a.variance < b.variance;
+              });
+    const size_t n_bins =
+        std::max<size_t>(1, std::min<size_t>(16, groups.size() / 8 + 1));
+    const size_t per_bin = (groups.size() + n_bins - 1) / n_bins;
+    const size_t n_types = candidates.size() + 1;
+
+    std::vector<Entry> entries;
+    for (size_t b0 = 0; b0 < groups.size(); b0 += per_bin) {
+        const size_t b1 = std::min(groups.size(), b0 + per_bin);
+        std::vector<double> total(n_types, 0.0);
+        double var_sum = 0.0;
+        for (size_t i = b0; i < b1; ++i) {
+            for (size_t t = 0; t < n_types; ++t)
+                total[t] += groups[i].errors[t];
+            var_sum += groups[i].variance;
+        }
+        size_t best = 0;
+        for (size_t t = 1; t < n_types; ++t) {
+            if (total[t] < total[best])
+                best = t;
+        }
+        Entry e;
+        e.meanVariance = var_sum / static_cast<double>(b1 - b0);
+        e.winners = static_cast<int64_t>(b1 - b0);
+        e.sel.isInt = best == candidates.size();
+        e.sel.a = e.sel.isInt ? 0 : candidates[best];
+        // Bin boundaries come from the data, not midpoints of means.
+        e.varLo = b0 == 0 ? -std::numeric_limits<double>::infinity()
+                          : 0.5 * (groups[b0 - 1].variance +
+                                   groups[b0].variance);
+        e.varHi = b1 == groups.size()
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.5 * (groups[b1 - 1].variance +
+                               groups[b1].variance);
+        entries.push_back(e);
+    }
+
+    // Merge adjacent bins that chose the same type.
+    std::vector<Entry> merged;
+    for (const Entry &e : entries) {
+        if (!merged.empty() &&
+            merged.back().sel.isInt == e.sel.isInt &&
+            merged.back().sel.a == e.sel.a) {
+            merged.back().varHi = e.varHi;
+            merged.back().winners += e.winners;
+            merged.back().meanVariance =
+                0.5 * (merged.back().meanVariance + e.meanVariance);
+        } else {
+            merged.push_back(e);
+        }
+    }
+    VarianceSelector sel;
+    sel.table_ = std::move(merged);
+    return sel;
+}
+
+VarianceSelector
+VarianceSelector::analytic(std::span<const int> candidates)
+{
+    if (candidates.empty())
+        candidates = mantCoefficientSet();
+    std::vector<Entry> entries;
+    for (int a : candidates) {
+        Entry e;
+        e.meanVariance = gridVariance(mantFormat(a));
+        e.winners = 0;
+        e.sel.isInt = false;
+        e.sel.a = a;
+        entries.push_back(e);
+    }
+    Entry int_entry;
+    int_entry.meanVariance = gridVariance(int4Format());
+    int_entry.winners = 0;
+    int_entry.sel.isInt = true;
+    entries.push_back(int_entry);
+    return fromPoints(std::move(entries));
+}
+
+VarianceSelector
+VarianceSelector::fixed(const MantSelection &sel)
+{
+    Entry e;
+    e.meanVariance = 0.0;
+    e.winners = 0;
+    e.sel = sel;
+    return fromPoints({e});
+}
+
+const MantSelection &
+VarianceSelector::select(double normalizedVariance) const
+{
+    // Binary search over the contiguous ranges.
+    size_t lo = 0, hi = table_.size() - 1;
+    while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (normalizedVariance < table_[mid].varHi)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return table_[lo].sel;
+}
+
+} // namespace mant

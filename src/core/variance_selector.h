@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Variance-based real-time data type selection (Sec. V-C).
+ *
+ * The MSE search used for weights is too slow for the dynamically
+ * generated KV cache, so the paper maps the streaming-computable
+ * normalized variance of a group to a coefficient: calibration groups
+ * are labelled with their MSE-optimal type, the mean normalized
+ * variance per type defines a point, and midpoints between adjacent
+ * points define the selection ranges (the paper's example: a = 35 ->
+ * 0.104, a = 45 -> 0.118, so a = 40 owns [0.104, 0.118]).
+ */
+
+#ifndef MANT_CORE_VARIANCE_SELECTOR_H_
+#define MANT_CORE_VARIANCE_SELECTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "core/coeff_search.h"
+#include "tensor/stats.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/**
+ * The calibrated variance -> data type lookup table.
+ */
+class VarianceSelector
+{
+  public:
+    /** One calibrated table row. */
+    struct Entry
+    {
+        double meanVariance; ///< mean normalized variance of winners
+        double varLo;        ///< owned range [varLo, varHi)
+        double varHi;
+        MantSelection sel;   ///< the data type this range selects
+        int64_t winners;     ///< calibration groups that chose it
+    };
+
+    /**
+     * Calibrate from sample data: split into groups of `groupSize`,
+     * label each group by MSE search, aggregate normalized variance
+     * per winning type, and build the range table.
+     *
+     * @param calib      Calibration tensor (e.g. sampled K or V data).
+     * @param groupSize  Quantization group size.
+     * @param candidates MANT coefficients (empty -> paper set).
+     */
+    static VarianceSelector calibrate(const Tensor &calib, int64_t groupSize,
+                                      std::span<const int> candidates = {},
+                                      bool fp16Scale = true);
+
+    /** Calibrate over several sample tensors (e.g. K and V caches of
+     *  every layer/head, which have different shapes). */
+    static VarianceSelector calibrateMulti(
+        std::span<const Tensor> calib, int64_t groupSize,
+        std::span<const int> candidates = {}, bool fp16Scale = true);
+
+    /**
+     * Analytic fallback: uses the variance of each grid itself (equal
+     * level occupancy) so selection is total even without calibration.
+     */
+    static VarianceSelector analytic(std::span<const int> candidates = {});
+
+    /**
+     * Degenerate single-entry selector that always returns `sel` —
+     * used to force a baseline type (e.g. plain INT4 KV cache) through
+     * the same real-time quantization machinery.
+     */
+    static VarianceSelector fixed(const MantSelection &sel);
+
+    /** Select by precomputed normalized variance. */
+    const MantSelection &select(double normalizedVariance) const;
+
+    /** Select from streaming statistics (the RQU datapath). */
+    const MantSelection &
+    selectFromStats(const StreamingStats &stats) const
+    {
+        return select(stats.normalizedVariance());
+    }
+
+    std::span<const Entry> table() const { return table_; }
+
+  private:
+    static VarianceSelector fromPoints(std::vector<Entry> entries);
+
+    std::vector<Entry> table_; ///< sorted by meanVariance ascending
+};
+
+} // namespace mant
+
+#endif // MANT_CORE_VARIANCE_SELECTOR_H_

@@ -1,0 +1,64 @@
+#include "model/calibration.h"
+
+#include "model/quant_setup.h"
+#include "model/transformer.h"
+
+namespace mant {
+
+void
+ModelCalibration::accumulate(int64_t layer, LinearSlot slot,
+                             const Tensor &x)
+{
+    const size_t k = key(layer, slot);
+    if (slots_.size() <= k)
+        slots_.resize(k + 1);
+    Accum &acc = slots_[k];
+    const int64_t rows = x.shape().dim(0);
+    const int64_t cols = x.shape().dim(1);
+    if (acc.sumSq.empty())
+        acc.sumSq.assign(static_cast<size_t>(cols), 0.0);
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = x.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            acc.sumSq[static_cast<size_t>(c)] +=
+                static_cast<double>(row[c]) * row[c];
+        }
+    }
+    acc.samples += rows;
+}
+
+void
+ModelCalibration::finalize()
+{
+    for (Accum &acc : slots_) {
+        if (!acc.samples)
+            continue;
+        for (double &v : acc.sumSq)
+            v /= static_cast<double>(acc.samples);
+        acc.samples = 1;
+    }
+}
+
+std::span<const double>
+ModelCalibration::power(int64_t layer, LinearSlot slot) const
+{
+    const size_t k = key(layer, slot);
+    if (k >= slots_.size())
+        return {};
+    return slots_[k].sumSq;
+}
+
+ModelCalibration
+ModelCalibration::collect(const ModelWeights &weights,
+                          std::span<const int32_t> tokens)
+{
+    ModelCalibration calib;
+    Transformer ref(weights, fp16Setup());
+    ref.setCalibrationSink(&calib);
+    ref.prefill(tokens);
+    ref.setCalibrationSink(nullptr);
+    calib.finalize();
+    return calib;
+}
+
+} // namespace mant

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Activation calibration for the Eq. 6 coefficient search.
+ *
+ * MANT selects each weight group's coefficient by minimizing
+ * ||X Ŵ_a − X W||² on a calibration dataset (Sec. V-A). The factored
+ * per-position statistic is E[x_k²] for every input feature of every
+ * linear layer; ModelCalibration collects those second moments from an
+ * FP16 forward pass over calibration tokens.
+ */
+
+#ifndef MANT_MODEL_CALIBRATION_H_
+#define MANT_MODEL_CALIBRATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/weights.h"
+
+namespace mant {
+
+/** Which linear input a calibration vector describes. */
+enum class LinearSlot
+{
+    AttnIn = 0, ///< input of wq / wk / wv (post-norm hidden state)
+    OProj = 1,  ///< input of wo (attention output)
+    FfnIn = 2,  ///< input of wGate / wUp (post-norm hidden state)
+    FfnDown = 3, ///< input of wDown (FFN inner activation)
+};
+
+/**
+ * Per-layer, per-slot mean-square input activations.
+ */
+class ModelCalibration
+{
+  public:
+    ModelCalibration() = default;
+
+    /**
+     * Run the FP16 model over calibration tokens and collect E[x²]
+     * for every linear input (the calibration pass of Sec. V-A).
+     */
+    static ModelCalibration collect(const ModelWeights &weights,
+                                    std::span<const int32_t> tokens);
+
+    /** Column-power vector for a (layer, slot); empty if absent. */
+    std::span<const double> power(int64_t layer, LinearSlot slot) const;
+
+    bool empty() const { return slots_.empty(); }
+
+    /** Internal: accumulate one activation matrix's column power. */
+    void accumulate(int64_t layer, LinearSlot slot, const Tensor &x);
+
+    /** Internal: divide sums by sample counts. */
+    void finalize();
+
+  private:
+    struct Accum
+    {
+        std::vector<double> sumSq;
+        int64_t samples = 0;
+    };
+
+    static size_t
+    key(int64_t layer, LinearSlot slot)
+    {
+        return static_cast<size_t>(layer) * 4 +
+               static_cast<size_t>(slot);
+    }
+
+    std::vector<Accum> slots_;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_CALIBRATION_H_

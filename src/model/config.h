@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Model architecture + synthetic-statistics configuration.
+ *
+ * Each paper model (LLaMA-1 7B..65B, LLaMA-2, LLaMA-3, OPT, BLOOM) is
+ * described twice:
+ *  - archDims: the true published dimensions, used by the accelerator
+ *    simulator (performance is analytic, so full size is free);
+ *  - simDims: a reduced configuration used for accuracy runs (forward
+ *    passes are real compute), scaled so experiments finish in seconds
+ *    while the quantization phenomena are preserved.
+ */
+
+#ifndef MANT_MODEL_CONFIG_H_
+#define MANT_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/distribution.h"
+
+namespace mant {
+
+/** Transformer family: drives norm type, FFN type, position encoding. */
+enum class ModelFamily
+{
+    Llama, ///< RMSNorm, RoPE, SwiGLU FFN
+    Opt,   ///< LayerNorm, learned positions, GELU FFN
+    Bloom, ///< LayerNorm, ALiBi-style bias, GELU FFN
+};
+
+/** Pure architecture dimensions. */
+struct ArchDims
+{
+    int64_t nLayers = 0;
+    int64_t dModel = 0;
+    int64_t nHeads = 0;
+    int64_t dFfn = 0;   ///< FFN inner width (per branch for SwiGLU)
+    int64_t vocab = 0;
+
+    int64_t headDim() const { return dModel / nHeads; }
+
+    /** Weight parameter count of all linear layers (no embeddings). */
+    int64_t
+    linearParams() const
+    {
+        const int64_t attn = 4 * dModel * dModel;
+        const int64_t ffn = 3 * dModel * dFfn; // SwiGLU-style upper bound
+        return nLayers * (attn + ffn);
+    }
+};
+
+/** Full model profile: identity, dims, and synthetic statistics. */
+struct ModelProfile
+{
+    std::string name;
+    ModelFamily family = ModelFamily::Llama;
+
+    ArchDims archDims; ///< true dims (accelerator simulator)
+    ArchDims simDims;  ///< reduced dims (accuracy experiments)
+
+    /** Weight statistics; index 0 applies to layer 0, which real LLMs
+     *  show to be spikier (Fig. 15's a=0 dominance). */
+    DistProfile weightStats;
+    DistProfile firstLayerStats;
+    ActProfile actStats;
+
+    /** FP16 baseline perplexity from Tbl. II; the evaluator calibrates
+     *  the logit scale so the FP16 row reproduces this value. */
+    double fp16Ppl = 5.0;
+
+    uint64_t seed = 1; ///< base seed for weight generation
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_CONFIG_H_

@@ -1,0 +1,112 @@
+#include "model/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/layers.h"
+#include "tensor/rng.h"
+
+namespace mant {
+
+PplEvaluator::PplEvaluator(const ModelWeights &weights, EvalConfig cfg)
+    : weights_(weights), cfg_(cfg)
+{
+    // Fixed random corpus.
+    Rng rng(cfg_.seed);
+    const int64_t vocab = weights_.profile.simDims.vocab;
+    contexts_.resize(static_cast<size_t>(cfg_.contexts));
+    for (auto &ctx : contexts_) {
+        ctx.resize(static_cast<size_t>(cfg_.seqLen));
+        for (auto &tok : ctx)
+            tok = static_cast<int32_t>(rng.uniformInt(
+                static_cast<uint64_t>(vocab)));
+    }
+
+    // One reference pass at temperature 1; logits stored raw.
+    Transformer ref(weights_, fp16Setup());
+    ref.setLogitScale(1.0f);
+    refLogits_.reserve(contexts_.size());
+    for (const auto &ctx : contexts_)
+        refLogits_.push_back(ref.prefill(ctx));
+
+    calibrateScale();
+}
+
+double
+PplEvaluator::meanEntropyAt(double scale) const
+{
+    double total = 0.0;
+    int64_t count = 0;
+    std::vector<float> probs;
+    for (const Tensor &logits : refLogits_) {
+        const int64_t t_dim = logits.shape().dim(0);
+        for (int64_t t = cfg_.skip; t < t_dim; ++t) {
+            const auto row = logits.row(t);
+            probs.assign(row.begin(), row.end());
+            softmaxRowScaled(probs, static_cast<float>(scale));
+            total += rowEntropy(probs);
+            ++count;
+        }
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+void
+PplEvaluator::calibrateScale()
+{
+    // Entropy decreases monotonically with scale; bisect for
+    // exp(H) == target, i.e. H == log(target).
+    const double target = std::log(weights_.profile.fp16Ppl);
+    double lo = 1e-3, hi = 256.0;
+    // Ensure the bracket actually contains the target.
+    for (int i = 0; i < 8 && meanEntropyAt(hi) > target; ++i)
+        hi *= 2.0;
+    for (int it = 0; it < 48; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (meanEntropyAt(mid) > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    scale_ = static_cast<float>(0.5 * (lo + hi));
+    refPpl_ = std::exp(meanEntropyAt(scale_));
+}
+
+double
+PplEvaluator::perplexity(Transformer &model) const
+{
+    model.setLogitScale(scale_);
+    double total = 0.0;
+    int64_t count = 0;
+    std::vector<float> pref, pq;
+
+    for (size_t c = 0; c < contexts_.size(); ++c) {
+        const Tensor qlogits = model.prefill(contexts_[c]);
+        const Tensor &rlogits = refLogits_[c];
+        const int64_t t_dim = rlogits.shape().dim(0);
+        for (int64_t t = cfg_.skip; t < t_dim; ++t) {
+            const auto rrow = rlogits.row(t);
+            pref.assign(rrow.begin(), rrow.end());
+            softmaxRowScaled(pref, scale_);
+
+            const auto qrow = qlogits.row(t);
+            pq.assign(qrow.begin(), qrow.end());
+            softmaxRow(pq); // model logits already carry the scale
+
+            total += rowCrossEntropy(pref, pq);
+            ++count;
+        }
+    }
+    return std::exp(count ? total / static_cast<double>(count) : 0.0);
+}
+
+double
+PplEvaluator::perplexityOf(const QuantSetup &setup,
+                           const VarianceSelector *kvSelector,
+                           const ModelCalibration *calibration) const
+{
+    Transformer model(weights_, setup, kvSelector, calibration);
+    return perplexity(model);
+}
+
+} // namespace mant

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Perplexity-proxy evaluation (DESIGN.md §2, substitution 2).
+ *
+ * The "language" is the FP32 reference model's own output distribution
+ * over fixed random contexts. The evaluator:
+ *   1. runs the reference model once and stores its raw logits;
+ *   2. calibrates a logit temperature so the reference perplexity
+ *      exp(E[entropy]) equals the paper's FP16 baseline for the model;
+ *   3. scores any quantized variant as exp(E[CE(P_ref, P_quant)]).
+ * The reference scores exactly the FP16 target; every quantized number
+ * then emerges from running the real quantization + kernels.
+ */
+
+#ifndef MANT_MODEL_EVALUATOR_H_
+#define MANT_MODEL_EVALUATOR_H_
+
+#include <vector>
+
+#include "model/calibration.h"
+#include "model/transformer.h"
+
+namespace mant {
+
+/** Evaluation corpus / calibration settings. */
+struct EvalConfig
+{
+    int64_t contexts = 3;   ///< number of token sequences
+    int64_t seqLen = 96;    ///< tokens per sequence
+    int64_t skip = 8;       ///< warm-up positions excluded from scoring
+    uint64_t seed = 4242;   ///< corpus seed
+};
+
+/**
+ * Perplexity-proxy evaluator bound to one base model.
+ */
+class PplEvaluator
+{
+  public:
+    PplEvaluator(const ModelWeights &weights, EvalConfig cfg = {});
+
+    /** The calibrated logit temperature (apply to evaluated models). */
+    float logitScale() const { return scale_; }
+
+    /** Reference (FP16-baseline) perplexity — matches profile.fp16Ppl. */
+    double referencePerplexity() const { return refPpl_; }
+
+    /**
+     * Evaluate a quantized model: run it over the corpus and return
+     * exp(mean cross-entropy against the reference distribution).
+     * The evaluator sets the model's logit scale.
+     */
+    double perplexity(Transformer &model) const;
+
+    /** Convenience: build a Transformer for `setup` and evaluate it. */
+    double perplexityOf(const QuantSetup &setup,
+                        const VarianceSelector *kvSelector = nullptr,
+                        const ModelCalibration *calibration
+                        = nullptr) const;
+
+    std::span<const std::vector<int32_t>> corpus() const
+    {
+        return {contexts_.data(), contexts_.size()};
+    }
+
+    const ModelWeights &weights() const { return weights_; }
+
+  private:
+    double meanEntropyAt(double scale) const;
+    void calibrateScale();
+
+    const ModelWeights &weights_;
+    EvalConfig cfg_;
+    std::vector<std::vector<int32_t>> contexts_;
+    std::vector<Tensor> refLogits_; ///< raw (temperature-1) logits
+    float scale_ = 1.0f;
+    double refPpl_ = 0.0;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_EVALUATOR_H_

@@ -1,0 +1,116 @@
+#include "model/generation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/layers.h"
+
+namespace mant {
+
+std::vector<int32_t>
+greedyGenerate(Transformer &model, std::span<const int32_t> prompt,
+               int64_t numTokens)
+{
+    std::vector<int32_t> generated;
+    generated.reserve(static_cast<size_t>(numTokens));
+
+    const Tensor logits = model.prefill(prompt);
+    const auto last = logits.row(logits.shape().dim(0) - 1);
+    int32_t next = static_cast<int32_t>(
+        std::max_element(last.begin(), last.end()) - last.begin());
+    generated.push_back(next);
+
+    for (int64_t t = 1; t < numTokens; ++t) {
+        const std::vector<float> row = model.decodeStep(next);
+        next = static_cast<int32_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+        generated.push_back(next);
+    }
+    return generated;
+}
+
+double
+generationSimilarity(std::span<const int32_t> reference,
+                     std::span<const int32_t> candidate)
+{
+    const size_t n = std::min(reference.size(), candidate.size());
+    if (n == 0)
+        return 1.0;
+
+    double score = 0.0, weight_total = 0.0;
+    bool diverged = false;
+    double weight = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+        weight_total += weight;
+        if (reference[i] == candidate[i]) {
+            score += weight;
+        } else if (!diverged) {
+            diverged = true;
+            weight = 0.5; // post-divergence tokens count half
+        }
+    }
+    return weight_total > 0.0 ? score / weight_total : 1.0;
+}
+
+double
+scaledGenerationScore(double similarity, double fp16Score)
+{
+    return fp16Score * similarity;
+}
+
+double
+forcedLikelihood(Transformer &model, std::span<const int32_t> prompt,
+                 std::span<const int32_t> reference)
+{
+    if (reference.empty())
+        return 1.0;
+
+    const Tensor logits = model.prefill(prompt);
+    std::vector<float> probs;
+    const auto first = logits.row(logits.shape().dim(0) - 1);
+    probs.assign(first.begin(), first.end());
+    softmaxRow(probs);
+
+    double log_sum = 0.0;
+    for (size_t t = 0; t < reference.size(); ++t) {
+        const double p = std::max(
+            1e-12, static_cast<double>(
+                       probs[static_cast<size_t>(reference[t])]));
+        log_sum += std::log(p);
+        if (t + 1 == reference.size())
+            break;
+        const std::vector<float> row = model.decodeStep(reference[t]);
+        probs.assign(row.begin(), row.end());
+        softmaxRow(probs);
+    }
+    return std::exp(log_sum / static_cast<double>(reference.size()));
+}
+
+double
+forcedDecodingAgreement(Transformer &model,
+                        std::span<const int32_t> prompt,
+                        std::span<const int32_t> reference)
+{
+    if (reference.empty())
+        return 1.0;
+
+    const Tensor logits = model.prefill(prompt);
+    const auto last = logits.row(logits.shape().dim(0) - 1);
+    int32_t pick = static_cast<int32_t>(
+        std::max_element(last.begin(), last.end()) - last.begin());
+
+    int64_t agree = 0;
+    for (size_t t = 0; t < reference.size(); ++t) {
+        agree += pick == reference[t];
+        if (t + 1 == reference.size())
+            break;
+        // Teacher forcing: feed the reference token regardless.
+        const std::vector<float> row = model.decodeStep(reference[t]);
+        pick = static_cast<int32_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+    }
+    return static_cast<double>(agree) /
+           static_cast<double>(reference.size());
+}
+
+} // namespace mant

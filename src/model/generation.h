@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Generation-task evaluation (Tbl. III substitution, DESIGN.md §2):
+ * greedy decode under a quantized model vs the FP16 reference, scored
+ * by a length-normalized token-overlap similarity. This exercises the
+ * full decode-stage path: KV cache growth, spatial K quantization and
+ * the two-phase temporal V window, token by token.
+ */
+
+#ifndef MANT_MODEL_GENERATION_H_
+#define MANT_MODEL_GENERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace mant {
+
+/**
+ * Greedy generation: prefill the prompt, then decode `numTokens`
+ * tokens, feeding each argmax back in.
+ */
+std::vector<int32_t> greedyGenerate(Transformer &model,
+                                    std::span<const int32_t> prompt,
+                                    int64_t numTokens);
+
+/**
+ * Position-weighted token agreement between two generations: exact
+ * matches count 1, with a mild positional decay after the first
+ * divergence (once streams diverge, later tokens differ for cascade
+ * reasons rather than quantization quality alone). Returns [0, 1].
+ */
+double generationSimilarity(std::span<const int32_t> reference,
+                            std::span<const int32_t> candidate);
+
+/**
+ * Tbl. III-style score: similarity relative to the FP16 generation,
+ * rescaled to the paper's FP16 task score (e.g. BLEU 27.88 for
+ * TruthfulQA means fp16Score = 27.88; an identical generation scores
+ * 27.88, a diverged one proportionally less).
+ */
+double scaledGenerationScore(double similarity, double fp16Score);
+
+/**
+ * Teacher-forced decoding agreement: walk the reference generation
+ * feeding the *reference* tokens, and count the steps where the model
+ * under test would have picked the same token. Unlike free-running
+ * similarity this does not cascade after the first divergence, so it
+ * resolves small quality differences (e.g. KV INT4 vs KV MANT4).
+ */
+double forcedDecodingAgreement(Transformer &model,
+                               std::span<const int32_t> prompt,
+                               std::span<const int32_t> reference);
+
+/**
+ * Forced-decoding likelihood: the geometric-mean probability the model
+ * assigns to the reference generation under teacher forcing. A
+ * continuous generation-quality measure: 1-for-1 with the reference
+ * model on its own output, strictly below it for any perturbation —
+ * resolving differences (KV INT4 vs MANT4) that argmax metrics hide.
+ */
+double forcedLikelihood(Transformer &model,
+                        std::span<const int32_t> prompt,
+                        std::span<const int32_t> reference);
+
+} // namespace mant
+
+#endif // MANT_MODEL_GENERATION_H_

@@ -1,0 +1,115 @@
+#include "model/kv_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/fp16.h"
+
+namespace mant {
+
+HeadKvCache::HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
+                         const VarianceSelector *selector)
+    : method_(method), headDim_(headDim), groupSize_(groupSize),
+      selector_(selector)
+{
+    if (method_ == KvMethod::Int4) {
+        MantSelection int_sel;
+        int_sel.isInt = true;
+        intSelector_ =
+            std::make_unique<VarianceSelector>(
+                VarianceSelector::fixed(int_sel));
+        selector_ = intSelector_.get();
+    }
+    if (method_ == KvMethod::Mant4 && !selector_)
+        throw std::invalid_argument(
+            "HeadKvCache: Mant4 requires a variance selector");
+    if (method_ != KvMethod::Fp16) {
+        vQuant_ = std::make_unique<TemporalVQuantizer>(
+            headDim_, groupSize_, *selector_);
+    }
+}
+
+void
+HeadKvCache::appendK(std::span<const float> k)
+{
+    if (static_cast<int64_t>(k.size()) != headDim_)
+        throw std::invalid_argument("appendK: bad vector length");
+    const size_t base = kData_.size();
+    kData_.resize(base + k.size());
+    std::span<float> out(kData_.data() + base, k.size());
+
+    if (method_ == KvMethod::Fp16) {
+        for (size_t i = 0; i < k.size(); ++i)
+            out[i] = fp16Round(k[i]);
+    } else {
+        auto sels = spatialQuantizeRow(k, groupSize_, *selector_, out);
+        kSelections_.insert(kSelections_.end(), sels.begin(), sels.end());
+    }
+    ++kRows_;
+}
+
+void
+HeadKvCache::prefillV(const Tensor &v)
+{
+    if (v.shape().rank() != 2 || v.shape().dim(1) != headDim_)
+        throw std::invalid_argument("prefillV: bad V shape");
+    if (method_ == KvMethod::Fp16) {
+        const size_t base = vRaw_.size();
+        vRaw_.resize(base + static_cast<size_t>(v.numel()));
+        for (int64_t i = 0; i < v.numel(); ++i)
+            vRaw_[base + static_cast<size_t>(i)] = fp16Round(v[i]);
+        vRows_ += static_cast<size_t>(v.shape().dim(0));
+        return;
+    }
+    vQuant_->pushPrefill(v);
+}
+
+void
+HeadKvCache::appendV(std::span<const float> v)
+{
+    if (static_cast<int64_t>(v.size()) != headDim_)
+        throw std::invalid_argument("appendV: bad vector length");
+    if (method_ == KvMethod::Fp16) {
+        const size_t base = vRaw_.size();
+        vRaw_.resize(base + v.size());
+        for (size_t i = 0; i < v.size(); ++i)
+            vRaw_[base + i] = fp16Round(v[i]);
+        ++vRows_;
+        return;
+    }
+    vQuant_->pushDecode(v);
+}
+
+std::span<const float>
+HeadKvCache::kRow(int64_t pos) const
+{
+    return {kData_.data() + pos * headDim_,
+            static_cast<size_t>(headDim_)};
+}
+
+Tensor
+HeadKvCache::vMatrix() const
+{
+    if (method_ == KvMethod::Fp16) {
+        Tensor out(Shape{static_cast<int64_t>(vRows_), headDim_});
+        std::copy(vRaw_.begin(), vRaw_.end(), out.data());
+        return out;
+    }
+    return vQuant_->reconstruct();
+}
+
+void
+HeadKvCache::reset()
+{
+    kData_.clear();
+    kRows_ = 0;
+    kSelections_.clear();
+    vRaw_.clear();
+    vRows_ = 0;
+    if (method_ != KvMethod::Fp16) {
+        vQuant_ = std::make_unique<TemporalVQuantizer>(
+            headDim_, groupSize_, *selector_);
+    }
+}
+
+} // namespace mant

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-head KV cache with pluggable quantization.
+ *
+ * K rows are quantized spatially on arrival (groups along the head
+ * dimension, the inner dimension of Q*K^T). V is quantized temporally
+ * (groups along the sequence axis, the inner dimension of P*V) through
+ * the two-phase window scheme — or stored raw for the FP16 baseline.
+ */
+
+#ifndef MANT_MODEL_KV_CACHE_H_
+#define MANT_MODEL_KV_CACHE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/kv_quant.h"
+#include "model/quant_setup.h"
+
+namespace mant {
+
+/**
+ * One attention head's cache.
+ */
+class HeadKvCache
+{
+  public:
+    /**
+     * @param method    KV quantization method.
+     * @param headDim   Elements per K/V vector.
+     * @param groupSize Quantization group / process-window size.
+     * @param selector  Variance selector (MANT); may be null for FP16.
+     */
+    HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
+                const VarianceSelector *selector);
+
+    /** Append one K vector (quantized per method, spatial dataflow). */
+    void appendK(std::span<const float> k);
+
+    /** Bulk-ingest the prefill V matrix (rows = positions). */
+    void prefillV(const Tensor &v);
+
+    /** Append one decode-step V vector (temporal dataflow). */
+    void appendV(std::span<const float> v);
+
+    int64_t size() const { return static_cast<int64_t>(kRows_); }
+
+    /** Dequantized K row at a position. */
+    std::span<const float> kRow(int64_t pos) const;
+
+    /** Dequantized V cache as (positions, headDim). */
+    Tensor vMatrix() const;
+
+    /** Selection histories (for diagnostics / the ablation benches). */
+    const std::vector<MantSelection> &kSelections() const
+    {
+        return kSelections_;
+    }
+
+    void reset();
+
+  private:
+    KvMethod method_;
+    int64_t headDim_;
+    int64_t groupSize_;
+    const VarianceSelector *selector_;
+    /** Forced-INT selector for the Int4 baseline. */
+    std::unique_ptr<VarianceSelector> intSelector_;
+
+    /** Dequantized K storage, row-major (positions, headDim). */
+    std::vector<float> kData_;
+    size_t kRows_ = 0;
+    std::vector<MantSelection> kSelections_;
+
+    /** V storage: raw rows for FP16, temporal quantizer otherwise. */
+    std::vector<float> vRaw_;
+    size_t vRows_ = 0;
+    std::unique_ptr<TemporalVQuantizer> vQuant_;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_KV_CACHE_H_

@@ -1,0 +1,125 @@
+#include "model/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mant {
+
+void
+rmsNormRow(std::span<float> row, std::span<const float> gain, float eps)
+{
+    double acc = 0.0;
+    for (float v : row)
+        acc += static_cast<double>(v) * v;
+    const float inv = 1.0f / std::sqrt(
+        static_cast<float>(acc / static_cast<double>(row.size())) + eps);
+    for (size_t i = 0; i < row.size(); ++i)
+        row[i] = row[i] * inv * gain[i];
+}
+
+void
+layerNormRow(std::span<float> row, std::span<const float> gain,
+             std::span<const float> bias, float eps)
+{
+    double sum = 0.0, sum_sq = 0.0;
+    for (float v : row) {
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+    }
+    const double n = static_cast<double>(row.size());
+    const double mean = sum / n;
+    const double var = std::max(0.0, sum_sq / n - mean * mean);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (size_t i = 0; i < row.size(); ++i) {
+        row[i] = (row[i] - static_cast<float>(mean)) * inv * gain[i] +
+                 bias[i];
+    }
+}
+
+void
+softmaxRow(std::span<float> row)
+{
+    softmaxRowScaled(row, 1.0f);
+}
+
+void
+softmaxRowScaled(std::span<float> row, float scale)
+{
+    float maxv = -INFINITY;
+    for (float v : row)
+        maxv = std::max(maxv, v * scale);
+    double sum = 0.0;
+    for (float &v : row) {
+        v = std::exp(v * scale - maxv);
+        sum += v;
+    }
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+    for (float &v : row)
+        v *= inv;
+}
+
+void
+siluInPlace(std::span<float> xs)
+{
+    for (float &x : xs)
+        x = x / (1.0f + std::exp(-x));
+}
+
+void
+geluInPlace(std::span<float> xs)
+{
+    constexpr float kC = 0.7978845608f; // sqrt(2/pi)
+    for (float &x : xs) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        x = 0.5f * x * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+applyRope(std::span<float> headVec, int64_t position, float base)
+{
+    const size_t d = headVec.size();
+    if (d % 2 != 0)
+        throw std::invalid_argument("applyRope: head dim must be even");
+    for (size_t i = 0; i < d; i += 2) {
+        const float freq = std::pow(
+            base, -static_cast<float>(i) / static_cast<float>(d));
+        const float theta = static_cast<float>(position) * freq;
+        const float c = std::cos(theta);
+        const float s = std::sin(theta);
+        const float x0 = headVec[i];
+        const float x1 = headVec[i + 1];
+        headVec[i] = x0 * c - x1 * s;
+        headVec[i + 1] = x0 * s + x1 * c;
+    }
+}
+
+double
+rowEntropy(std::span<const float> probs)
+{
+    double h = 0.0;
+    for (float p : probs) {
+        if (p > 0.0f)
+            h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+    }
+    return h;
+}
+
+double
+rowCrossEntropy(std::span<const float> p, std::span<const float> q)
+{
+    if (p.size() != q.size())
+        throw std::invalid_argument("rowCrossEntropy: size mismatch");
+    constexpr double kFloor = 1e-12;
+    double ce = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+        if (p[i] > 0.0f) {
+            ce -= static_cast<double>(p[i]) *
+                  std::log(std::max(kFloor, static_cast<double>(q[i])));
+        }
+    }
+    return ce;
+}
+
+} // namespace mant

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Transformer layer primitives: normalization, activations, softmax,
+ * and rotary position embedding. All are the straightforward reference
+ * implementations; the quantization machinery wraps around them.
+ */
+
+#ifndef MANT_MODEL_LAYERS_H_
+#define MANT_MODEL_LAYERS_H_
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** RMSNorm: x * gain / sqrt(mean(x^2) + eps), row-wise. */
+void rmsNormRow(std::span<float> row, std::span<const float> gain,
+                float eps = 1e-5f);
+
+/** LayerNorm: (x - mean) * gain / sqrt(var + eps) + bias, row-wise. */
+void layerNormRow(std::span<float> row, std::span<const float> gain,
+                  std::span<const float> bias, float eps = 1e-5f);
+
+/** Numerically stable in-place softmax over a row. */
+void softmaxRow(std::span<float> row);
+
+/** Softmax with temperature scaling: softmax(scale * row). */
+void softmaxRowScaled(std::span<float> row, float scale);
+
+/** SiLU (swish) activation x * sigmoid(x), in place. */
+void siluInPlace(std::span<float> xs);
+
+/** tanh-approximation GELU, in place. */
+void geluInPlace(std::span<float> xs);
+
+/**
+ * Apply rotary position embedding to one head vector at `position`.
+ * Pairs (2i, 2i+1) are rotated by theta = position / base^(2i/d).
+ */
+void applyRope(std::span<float> headVec, int64_t position,
+               float base = 10000.0f);
+
+/** Entropy of a probability row (natural log). */
+double rowEntropy(std::span<const float> probs);
+
+/** Cross entropy -sum p*log(q) with clamping for q -> 0. */
+double rowCrossEntropy(std::span<const float> p, std::span<const float> q);
+
+} // namespace mant
+
+#endif // MANT_MODEL_LAYERS_H_

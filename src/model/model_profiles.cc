@@ -1,0 +1,197 @@
+#include "model/model_profiles.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mant {
+
+namespace {
+
+/** Reduced dims shared by all accuracy runs (see DESIGN.md §2).
+ *  headDim = 64 matches the quantization group size, so one K vector
+ *  group is exactly one head row, as in the full-size models. */
+ArchDims
+simDims()
+{
+    ArchDims d;
+    d.nLayers = 4;
+    d.dModel = 256;
+    d.nHeads = 4;
+    d.dFfn = 640;
+    d.vocab = 1024;
+    return d;
+}
+
+DistProfile
+llamaWeights()
+{
+    DistProfile p;
+    p.sigmaMu = -3.9;
+    p.sigmaSpread = 0.30;
+    p.groupDrift = 0.25;
+    p.outlierRate = 0.0004;
+    p.outlierScale = 7.0;
+    p.laplaceMix = 0.25;
+    p.uniformMix = 0.05;
+    return p;
+}
+
+DistProfile
+optWeights()
+{
+    DistProfile p;
+    p.sigmaMu = -3.7;
+    p.sigmaSpread = 0.40;
+    p.groupDrift = 0.30;
+    p.outlierRate = 0.0012;
+    p.outlierScale = 15.0;
+    p.laplaceMix = 0.30;
+    p.uniformMix = 0.05;
+    return p;
+}
+
+/** Layer-0 weights are spikier in real LLMs (Fig. 15: the selection
+ *  shifts strongly toward the PoT end). Heavy Laplace plus a slice of
+ *  multi-octave log-uniform groups reproduces that shift. In-group
+ *  weight outliers large enough to force a=0 on *most* groups (as the
+ *  paper's layer-0 bars show) destabilize a 4-layer random residual
+ *  stream, so the reproduction targets the low-coefficient shift
+ *  rather than the full a=0 dominance — see EXPERIMENTS.md. */
+DistProfile
+spikyFirstLayer(DistProfile base)
+{
+    base.laplaceMix = 0.70;
+    base.uniformMix = 0.0;
+    base.logUniformMix = 0.15;
+    base.groupDrift = 0.15;
+    base.outlierRate *= 2.0;
+    return base;
+}
+
+ActProfile
+llamaActs()
+{
+    // Rare but hot systematic channels: tensor-wise A4 collapses on
+    // the layers that contain one, tensor-wise A8 survives with mild
+    // loss, group-wise quantization isolates the damage.
+    ActProfile p;
+    p.sigma = 1.0;
+    p.channelSpread = 0.5;
+    p.outlierChannelRate = 0.002; // -> 1 hot channel at sim dims
+    p.outlierChannelScale = 15.0;
+    p.tokenOutlierRate = 0.0003;
+    p.tokenOutlierScale = 6.0;
+    return p;
+}
+
+ActProfile
+optActs()
+{
+    // OPT's activation pathology is stronger (more and hotter
+    // channels), which is what makes every W4A4 baseline catastrophic
+    // on OPT in Tbl. II.
+    ActProfile p;
+    p.sigma = 1.0;
+    p.channelSpread = 0.6;
+    p.outlierChannelRate = 0.008; // -> 2 hot channels at sim dims
+    p.outlierChannelScale = 30.0;
+    p.tokenOutlierRate = 0.0005;
+    p.tokenOutlierScale = 10.0;
+    return p;
+}
+
+ModelProfile
+make(std::string name, ModelFamily family, ArchDims arch, double fp16Ppl,
+     DistProfile weights, ActProfile acts, uint64_t seed)
+{
+    ModelProfile p;
+    p.name = std::move(name);
+    p.family = family;
+    p.archDims = arch;
+    p.simDims = simDims();
+    p.weightStats = weights;
+    p.firstLayerStats = spikyFirstLayer(weights);
+    p.actStats = acts;
+    p.fp16Ppl = fp16Ppl;
+    p.seed = seed;
+    return p;
+}
+
+ArchDims
+dims(int64_t layers, int64_t d, int64_t heads, int64_t ffn, int64_t vocab)
+{
+    ArchDims a;
+    a.nLayers = layers;
+    a.dModel = d;
+    a.nHeads = heads;
+    a.dFfn = ffn;
+    a.vocab = vocab;
+    return a;
+}
+
+std::vector<ModelProfile>
+buildProfiles()
+{
+    std::vector<ModelProfile> v;
+    // FP16 perplexities are the Tbl. II baselines.
+    v.push_back(make("llama-1-7b", ModelFamily::Llama,
+                     dims(32, 4096, 32, 11008, 32000), 5.68,
+                     llamaWeights(), llamaActs(), 101));
+    v.push_back(make("llama-1-13b", ModelFamily::Llama,
+                     dims(40, 5120, 40, 13824, 32000), 5.09,
+                     llamaWeights(), llamaActs(), 102));
+    v.push_back(make("llama-1-30b", ModelFamily::Llama,
+                     dims(60, 6656, 52, 17920, 32000), 4.10,
+                     llamaWeights(), llamaActs(), 103));
+    v.push_back(make("llama-1-65b", ModelFamily::Llama,
+                     dims(80, 8192, 64, 22016, 32000), 3.53,
+                     llamaWeights(), llamaActs(), 104));
+    v.push_back(make("llama-2-7b", ModelFamily::Llama,
+                     dims(32, 4096, 32, 11008, 32000), 5.47,
+                     llamaWeights(), llamaActs(), 105));
+    v.push_back(make("llama-2-13b", ModelFamily::Llama,
+                     dims(40, 5120, 40, 13824, 32000), 4.88,
+                     llamaWeights(), llamaActs(), 106));
+    v.push_back(make("opt-6.7b", ModelFamily::Opt,
+                     dims(32, 4096, 32, 16384, 50272), 10.86,
+                     optWeights(), optActs(), 107));
+    v.push_back(make("opt-13b", ModelFamily::Opt,
+                     dims(40, 5120, 40, 20480, 50272), 10.13,
+                     optWeights(), optActs(), 108));
+    // Fig. 15 extras (not in Tbl. II).
+    v.push_back(make("llama-3-8b", ModelFamily::Llama,
+                     dims(32, 4096, 32, 14336, 128256), 6.10,
+                     llamaWeights(), llamaActs(), 109));
+    v.push_back(make("bloom-7.1b", ModelFamily::Bloom,
+                     dims(30, 4096, 32, 16384, 250880), 8.00,
+                     optWeights(), llamaActs(), 110));
+    return v;
+}
+
+const std::vector<ModelProfile> &
+profiles()
+{
+    static const std::vector<ModelProfile> p = buildProfiles();
+    return p;
+}
+
+} // namespace
+
+const ModelProfile &
+modelProfile(std::string_view name)
+{
+    for (const ModelProfile &p : profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::invalid_argument("modelProfile: unknown model " +
+                                std::string(name));
+}
+
+std::span<const ModelProfile>
+allModelProfiles()
+{
+    return {profiles().data(), profiles().size()};
+}
+
+} // namespace mant

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The catalogue of synthetic model profiles used across the benches:
+ * every model the paper evaluates (Tbl. II, Fig. 12/13/15) plus the
+ * extra Fig. 15 models (LLaMA-3-8B, BLOOM-7.1B).
+ */
+
+#ifndef MANT_MODEL_MODEL_PROFILES_H_
+#define MANT_MODEL_MODEL_PROFILES_H_
+
+#include <span>
+
+#include "model/config.h"
+
+namespace mant {
+
+/** Look up a profile by name; throws on unknown names. Known names:
+ *  llama-1-7b, llama-1-13b, llama-1-30b, llama-1-65b, llama-2-7b,
+ *  llama-2-13b, llama-3-8b, opt-6.7b, opt-13b, bloom-7.1b. */
+const ModelProfile &modelProfile(std::string_view name);
+
+/** All profiles, in Tbl. II column order first. */
+std::span<const ModelProfile> allModelProfiles();
+
+} // namespace mant
+
+#endif // MANT_MODEL_MODEL_PROFILES_H_

@@ -1,0 +1,93 @@
+#include "model/quant_setup.h"
+
+namespace mant {
+
+namespace {
+
+const char *
+weightName(WeightMethod wm)
+{
+    switch (wm) {
+      case WeightMethod::Fp16: return "FP16";
+      case WeightMethod::Int: return "INT";
+      case WeightMethod::Ant: return "ANT";
+      case WeightMethod::Olive: return "OliVe";
+      case WeightMethod::Tender: return "Tender";
+      case WeightMethod::Mant: return "MANT";
+      case WeightMethod::KMeans: return "KMeans";
+      case WeightMethod::Nf4: return "NF4";
+      case WeightMethod::Mxfp4: return "MXFP4";
+    }
+    return "?";
+}
+
+} // namespace
+
+QuantSetup
+fp16Setup()
+{
+    QuantSetup s;
+    s.label = "FP16";
+    return s;
+}
+
+QuantSetup
+w4a4Setup(WeightMethod wm, ActMethod am, Granularity gran, int64_t group)
+{
+    QuantSetup s;
+    s.weight = wm;
+    s.weightBits = 4;
+    s.weightGran = gran;
+    s.weightGroup = group;
+    s.act = am;
+    s.actBits = 4;
+    s.actGran = gran;
+    s.actGroup = group;
+    s.label = std::string(weightName(wm)) + " W4A4";
+    return s;
+}
+
+QuantSetup
+w8a8Setup(WeightMethod wm, ActMethod am, Granularity gran, int64_t group)
+{
+    QuantSetup s;
+    s.weight = wm;
+    s.weightBits = 8;
+    s.weightGran = gran;
+    s.weightGroup = group;
+    s.act = am;
+    s.actBits = 8;
+    s.actGran = gran;
+    s.actGroup = group;
+    s.label = std::string(weightName(wm)) + " W8A8";
+    return s;
+}
+
+QuantSetup
+mantW4A8Setup(int64_t group)
+{
+    QuantSetup s;
+    s.weight = WeightMethod::Mant;
+    s.weightBits = 4;
+    s.weightGran = Granularity::PerGroup;
+    s.weightGroup = group;
+    s.act = ActMethod::Int;
+    s.actBits = 8;
+    s.actGran = Granularity::PerGroup;
+    s.actGroup = group;
+    s.label = "MANT W4A8";
+    return s;
+}
+
+QuantSetup
+mantFullSetup(int64_t group)
+{
+    QuantSetup s = mantW4A8Setup(group);
+    s.kv = KvMethod::Mant4;
+    s.kvGroup = group;
+    s.quantizeAttention = true;
+    s.label = "MANT W4A8 KV4";
+    return s;
+}
+
+} // namespace mant

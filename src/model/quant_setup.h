@@ -1,0 +1,86 @@
+/**
+ * @file
+ * One struct describing a complete quantization configuration of a
+ * model — the rows of Tbl. II / Tbl. V are instances of QuantSetup.
+ */
+
+#ifndef MANT_MODEL_QUANT_SETUP_H_
+#define MANT_MODEL_QUANT_SETUP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "quant/granularity.h"
+
+namespace mant {
+
+/** Weight quantization method. */
+enum class WeightMethod
+{
+    Fp16,   ///< no quantization (FP16 storage rounding only)
+    Int,    ///< symmetric INT
+    Ant,    ///< ANT adaptive {int4, flint4, pot4} (8-bit falls back to INT)
+    Olive,  ///< outlier-victim pairs
+    Tender, ///< channel-chunk power-of-two decomposition
+    Mant,   ///< this paper: per-group coefficient search
+    KMeans, ///< per-group clustering ("Ideal")
+    Nf4,    ///< QLoRA NormalFloat-4
+    Mxfp4,  ///< MXFP4 with E8M0 shared scale
+};
+
+/** Activation quantization method (applied to linear-layer inputs). */
+enum class ActMethod
+{
+    None,   ///< FP16 activations
+    Int,    ///< symmetric INT (MANT's choice: group-wise INT8)
+    Ant,    ///< ANT adaptive (tensor-wise, as in the paper's baselines)
+    Olive,  ///< outlier-victim pairs
+    Tender, ///< channel-chunk decomposition
+};
+
+/** KV-cache quantization method. */
+enum class KvMethod
+{
+    Fp16,  ///< unquantized cache (the baselines' configuration)
+    Int4,  ///< group-wise INT4 through the real-time machinery
+    Mant4, ///< 4-bit MANT: spatial K + two-phase temporal V
+};
+
+/** Full quantization configuration for one experiment row. */
+struct QuantSetup
+{
+    WeightMethod weight = WeightMethod::Fp16;
+    int weightBits = 4;
+    Granularity weightGran = Granularity::PerGroup;
+    int64_t weightGroup = 64;
+
+    ActMethod act = ActMethod::None;
+    int actBits = 8;
+    Granularity actGran = Granularity::PerGroup;
+    int64_t actGroup = 64;
+
+    KvMethod kv = KvMethod::Fp16;
+    int64_t kvGroup = 64;
+
+    /** Quantize Q and softmax outputs to INT8 (the attention-layer
+     *  activation quantization of the final Tbl. II row). */
+    bool quantizeAttention = false;
+
+    /** Human-readable label, e.g. "MANT W4A8 KV4". */
+    std::string label = "fp16";
+};
+
+/** Convenience constructors for the standard paper rows. */
+QuantSetup fp16Setup();
+QuantSetup w4a4Setup(WeightMethod wm, ActMethod am, Granularity gran,
+                     int64_t group);
+QuantSetup w8a8Setup(WeightMethod wm, ActMethod am, Granularity gran,
+                     int64_t group);
+/** MANT W4A8 (linear only). */
+QuantSetup mantW4A8Setup(int64_t group = 64);
+/** MANT W4A8 + INT8 attention activations + 4-bit MANT KV cache. */
+QuantSetup mantFullSetup(int64_t group = 64);
+
+} // namespace mant
+
+#endif // MANT_MODEL_QUANT_SETUP_H_

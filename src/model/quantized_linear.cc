@@ -1,0 +1,175 @@
+#include "model/quantized_linear.h"
+
+#include <stdexcept>
+
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "quant/olive.h"
+#include "quant/tender.h"
+
+namespace mant {
+
+namespace {
+
+QuantConfig
+weightConfig(const QuantSetup &setup)
+{
+    QuantConfig cfg;
+    cfg.gran = setup.weightGran;
+    cfg.groupSize = setup.weightGroup;
+    return cfg;
+}
+
+QuantConfig
+actConfig(const QuantSetup &setup)
+{
+    QuantConfig cfg;
+    cfg.gran = setup.actGran;
+    cfg.groupSize = setup.actGroup;
+    return cfg;
+}
+
+} // namespace
+
+Tensor
+quantizeWeightMatrix(const Tensor &w, const QuantSetup &setup,
+                     std::optional<MantQuantizedMatrix> *qOut,
+                     std::span<const double> calibPower)
+{
+    const QuantConfig cfg = weightConfig(setup);
+    switch (setup.weight) {
+      case WeightMethod::Fp16: {
+        Tensor out = w;
+        out.roundToFp16();
+        return out;
+      }
+      case WeightMethod::Int:
+        return quantDequantFixed(
+            w, setup.weightBits >= 8 ? int8Format() : int4Format(), cfg);
+      case WeightMethod::Ant:
+        if (setup.weightBits >= 8) {
+            // "The 8-bit ANT does not adaptively select the data type
+            // and only uses INT" (Sec. VII-A).
+            return quantDequantFixed(w, int8Format(), cfg);
+        }
+        return quantDequantAdaptive(w, antTypeSet(), cfg);
+      case WeightMethod::Olive: {
+        OliveConfig ocfg;
+        ocfg.bits = setup.weightBits;
+        return quantDequantOlive(w, ocfg, cfg);
+      }
+      case WeightMethod::Tender: {
+        TenderConfig tcfg;
+        tcfg.bits = setup.weightBits;
+        return quantDequantTender(w, tcfg, cfg.fp16Scale);
+      }
+      case WeightMethod::Mant: {
+        if (setup.weightBits >= 8)
+            return quantDequantFixed(w, int8Format(), cfg);
+        const bool use_output_mse =
+            static_cast<int64_t>(calibPower.size()) == w.shape().dim(1);
+        MantQuantizedMatrix q = MantQuantizedMatrix::quantize(
+            w, setup.weightGroup,
+            use_output_mse ? MantQuantizedMatrix::Search::OutputMse
+                           : MantQuantizedMatrix::Search::WeightMse,
+            use_output_mse ? calibPower : std::span<const double>{});
+        Tensor out = q.dequantize();
+        if (qOut)
+            *qOut = std::move(q);
+        return out;
+      }
+      case WeightMethod::KMeans:
+        return quantDequantKMeans(w, 1 << setup.weightBits, cfg);
+      case WeightMethod::Nf4:
+        return quantDequantFixed(w, nf4Format(), cfg);
+      case WeightMethod::Mxfp4:
+        return quantDequantFixed(w, mxfp4Format(), cfg);
+    }
+    throw std::logic_error("quantizeWeightMatrix: unhandled method");
+}
+
+Tensor
+quantizeActivations(const Tensor &x, const QuantSetup &setup)
+{
+    const QuantConfig cfg = actConfig(setup);
+    switch (setup.act) {
+      case ActMethod::None:
+        return x;
+      case ActMethod::Int:
+        return quantDequantFixed(
+            x, setup.actBits >= 8 ? int8Format() : int4Format(), cfg);
+      case ActMethod::Ant:
+        if (setup.actBits >= 8)
+            return quantDequantFixed(x, int8Format(), cfg);
+        return quantDequantAdaptive(x, antTypeSet(), cfg);
+      case ActMethod::Olive: {
+        OliveConfig ocfg;
+        ocfg.bits = setup.actBits;
+        return quantDequantOlive(x, ocfg, cfg);
+      }
+      case ActMethod::Tender: {
+        // Tender decomposes activation channels = feature columns.
+        TenderConfig tcfg;
+        tcfg.bits = setup.actBits;
+        Tensor xt = transpose(x);
+        Tensor qt = quantDequantTender(xt, tcfg, cfg.fp16Scale);
+        return transpose(qt);
+      }
+    }
+    throw std::logic_error("quantizeActivations: unhandled method");
+}
+
+Tensor
+linearNT(const Tensor &x, const Tensor &w)
+{
+    const int64_t t_dim = x.shape().dim(0);
+    const int64_t k_dim = x.shape().dim(1);
+    const int64_t n_dim = w.shape().dim(0);
+    if (w.shape().dim(1) != k_dim)
+        throw std::invalid_argument("linearNT: inner dims differ");
+
+    Tensor out(Shape{t_dim, n_dim});
+    const float *xp = x.data();
+    const float *wp = w.data();
+    for (int64_t t = 0; t < t_dim; ++t) {
+        const float *xrow = xp + t * k_dim;
+        float *orow = out.data() + t * n_dim;
+        for (int64_t n = 0; n < n_dim; ++n) {
+            const float *wrow = wp + n * k_dim;
+            double acc = 0.0;
+            for (int64_t k = 0; k < k_dim; ++k)
+                acc += static_cast<double>(xrow[k]) * wrow[k];
+            orow[n] = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+QuantizedLinear::QuantizedLinear(const Tensor &w, const QuantSetup &setup)
+    : actGroup_(setup.actGroup)
+{
+    std::optional<MantQuantizedMatrix> q;
+    effective_ = quantizeWeightMatrix(w, setup, &q);
+    quantized_ = std::move(q);
+}
+
+Tensor
+QuantizedLinear::forward(const Tensor &x) const
+{
+    return linearNT(x, effective_);
+}
+
+Tensor
+QuantizedLinear::forwardFused(const Tensor &x) const
+{
+    if (!quantized_)
+        throw std::logic_error(
+            "QuantizedLinear::forwardFused: no MANT codes present");
+    // Activation groups must share the weight group boundaries so each
+    // group contributes one (psum1, psum2) pair.
+    const Int8QuantizedActivations qx =
+        Int8QuantizedActivations::quantize(x, quantized_->groupSize());
+    return fusedGemm(qx, *quantized_);
+}
+
+} // namespace mant

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Method dispatch: apply any of the paper's quantization methods to a
+ * weight matrix or an activation tensor, returning the dequantized
+ * ("effective") tensor the float-domain model computes with. The MANT
+ * path also exposes the underlying MantQuantizedMatrix so integration
+ * tests and examples can run the bit-exact fused integer GEMM.
+ */
+
+#ifndef MANT_MODEL_QUANTIZED_LINEAR_H_
+#define MANT_MODEL_QUANTIZED_LINEAR_H_
+
+#include <optional>
+
+#include "core/fused_gemm.h"
+#include "model/quant_setup.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/**
+ * Quantize-dequantize one weight matrix per the setup's weight method.
+ *
+ * @param w          Weights (outFeatures, inFeatures).
+ * @param setup      Method, bits and granularity.
+ * @param qOut       Optional: receives the MANT code container when
+ *                   the method is Mant at 4 bits (for the fused path).
+ * @param calibPower Optional per-input-feature E[x²]: when non-empty
+ *                   and the method is Mant, the coefficient search
+ *                   uses the Eq. 6 output-MSE objective.
+ */
+Tensor quantizeWeightMatrix(const Tensor &w, const QuantSetup &setup,
+                            std::optional<MantQuantizedMatrix> *qOut
+                            = nullptr,
+                            std::span<const double> calibPower = {});
+
+/**
+ * Quantize-dequantize an activation tensor per the setup's activation
+ * method. Shape (tokens, features); Tender decomposes along features.
+ */
+Tensor quantizeActivations(const Tensor &x, const QuantSetup &setup);
+
+/**
+ * Linear layer y = x * W^T with x (T, K) and w (N, K); the reference
+ * float path used by the model after error injection.
+ */
+Tensor linearNT(const Tensor &x, const Tensor &w);
+
+/**
+ * A linear layer holding both the effective float weights and (for
+ * MANT) the quantized codes, able to run either the float path or the
+ * fused integer path. Used by examples and integration tests.
+ */
+class QuantizedLinear
+{
+  public:
+    QuantizedLinear(const Tensor &w, const QuantSetup &setup);
+
+    /** Float path: y = x * Weff^T. */
+    Tensor forward(const Tensor &x) const;
+
+    /**
+     * Fused integer path (MANT weights only): group-quantize x to
+     * INT8 and run the MAC+SAC datapath of Eq. 5.
+     */
+    Tensor forwardFused(const Tensor &x) const;
+
+    bool hasFusedPath() const { return quantized_.has_value(); }
+    const Tensor &effectiveWeights() const { return effective_; }
+    const MantQuantizedMatrix &codes() const { return *quantized_; }
+
+  private:
+    Tensor effective_;
+    std::optional<MantQuantizedMatrix> quantized_;
+    int64_t actGroup_;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_QUANTIZED_LINEAR_H_

@@ -1,0 +1,384 @@
+#include "model/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/calibration.h"
+#include "model/layers.h"
+#include "model/quantized_linear.h"
+#include "tensor/fp16.h"
+
+namespace mant {
+
+namespace {
+
+/** Symmetric INT8 quantize-dequantize of a span in groups. */
+void
+int8RoundSpan(std::span<float> xs, int64_t groupSize)
+{
+    const int64_t n = static_cast<int64_t>(xs.size());
+    const int64_t g = groupSize > 0 ? std::min(groupSize, n) : n;
+    for (int64_t g0 = 0; g0 < n; g0 += g) {
+        const int64_t len = std::min(g, n - g0);
+        float absmax = 0.0f;
+        for (int64_t i = 0; i < len; ++i)
+            absmax = std::max(absmax,
+                              std::fabs(xs[static_cast<size_t>(g0 + i)]));
+        float scale = fp16Round(absmax / 127.0f);
+        if (scale == 0.0f)
+            continue;
+        for (int64_t i = 0; i < len; ++i) {
+            float &v = xs[static_cast<size_t>(g0 + i)];
+            v = std::clamp(std::round(v / scale), -127.0f, 127.0f) * scale;
+        }
+    }
+}
+
+/** ALiBi slope for a head (BLOOM-style): 2^(-8*(h+1)/H). */
+float
+alibiSlope(int64_t head, int64_t nHeads)
+{
+    return std::pow(2.0f, -8.0f * static_cast<float>(head + 1) /
+                              static_cast<float>(nHeads));
+}
+
+} // namespace
+
+Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
+                         const VarianceSelector *kvSelector,
+                         const ModelCalibration *calibration)
+    : base_(weights), setup_(std::move(setup)), kvSelector_(kvSelector)
+{
+    if (setup_.kv == KvMethod::Mant4 && !kvSelector_) {
+        ownedSelector_ = std::make_unique<VarianceSelector>(
+            VarianceSelector::analytic());
+        kvSelector_ = ownedSelector_.get();
+    }
+
+    // Quantize the weights once (the offline encode of Sec. IV-B).
+    // With calibration present the MANT coefficient search uses the
+    // Eq. 6 output-MSE objective per linear input slot.
+    auto calib_power = [&](int64_t layer,
+                           LinearSlot slot) -> std::span<const double> {
+        if (!calibration)
+            return {};
+        return calibration->power(layer, slot);
+    };
+    eff_.reserve(base_.layers.size());
+    for (size_t l = 0; l < base_.layers.size(); ++l) {
+        const LayerWeights &lw = base_.layers[l];
+        const int64_t li = static_cast<int64_t>(l);
+        EffLayer e;
+        e.wq = quantizeWeightMatrix(lw.wq, setup_, nullptr,
+                                    calib_power(li, LinearSlot::AttnIn));
+        e.wk = quantizeWeightMatrix(lw.wk, setup_, nullptr,
+                                    calib_power(li, LinearSlot::AttnIn));
+        e.wv = quantizeWeightMatrix(lw.wv, setup_, nullptr,
+                                    calib_power(li, LinearSlot::AttnIn));
+        e.wo = quantizeWeightMatrix(lw.wo, setup_, nullptr,
+                                    calib_power(li, LinearSlot::OProj));
+        e.wGate = quantizeWeightMatrix(lw.wGate, setup_, nullptr,
+                                       calib_power(li, LinearSlot::FfnIn));
+        if (lw.wUp.numel() > 0)
+            e.wUp = quantizeWeightMatrix(
+                lw.wUp, setup_, nullptr,
+                calib_power(li, LinearSlot::FfnIn));
+        e.wDown = quantizeWeightMatrix(
+            lw.wDown, setup_, nullptr,
+            calib_power(li, LinearSlot::FfnDown));
+        eff_.push_back(std::move(e));
+    }
+    reset();
+}
+
+void
+Transformer::reset()
+{
+    const ArchDims &d = base_.profile.simDims;
+    caches_.clear();
+    caches_.resize(static_cast<size_t>(d.nLayers));
+    for (auto &layer : caches_) {
+        layer.reserve(static_cast<size_t>(d.nHeads));
+        for (int64_t h = 0; h < d.nHeads; ++h) {
+            layer.emplace_back(setup_.kv, d.headDim(), setup_.kvGroup,
+                               kvSelector_);
+        }
+    }
+    pos_ = 0;
+}
+
+Tensor
+Transformer::embed(std::span<const int32_t> tokens, int64_t startPos) const
+{
+    const ArchDims &d = base_.profile.simDims;
+    Tensor x(Shape{static_cast<int64_t>(tokens.size()), d.dModel});
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        const int64_t tok = tokens[t] %
+                            base_.embedding.shape().dim(0);
+        const auto row = base_.embedding.row(tok);
+        float *xr = x.data() + static_cast<int64_t>(t) * d.dModel;
+        std::copy(row.begin(), row.end(), xr);
+        if (base_.profile.family == ModelFamily::Opt &&
+            base_.posEmbedding.numel() > 0) {
+            const int64_t p =
+                std::min<int64_t>(startPos + static_cast<int64_t>(t),
+                                  base_.posEmbedding.shape().dim(0) - 1);
+            const auto prow = base_.posEmbedding.row(p);
+            for (int64_t i = 0; i < d.dModel; ++i)
+                xr[i] += prow[static_cast<size_t>(i)];
+        }
+    }
+    return x;
+}
+
+void
+Transformer::normRows(Tensor &x, std::span<const float> gain,
+                      std::span<const float> bias) const
+{
+    const int64_t rows = x.shape().dim(0);
+    for (int64_t r = 0; r < rows; ++r) {
+        if (base_.profile.family == ModelFamily::Llama)
+            rmsNormRow(x.row(r), gain);
+        else
+            layerNormRow(x.row(r), gain, bias);
+    }
+}
+
+void
+Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
+{
+    const ArchDims &d = base_.profile.simDims;
+    const int64_t t_dim = x.shape().dim(0);
+    const int64_t dh = d.headDim();
+    const LayerWeights &lw = base_.layers[static_cast<size_t>(layer)];
+    const EffLayer &e = eff_[static_cast<size_t>(layer)];
+
+    Tensor h = x;
+    normRows(h, lw.normGain1, lw.normBias1);
+    if (calibSink_)
+        calibSink_->accumulate(layer, LinearSlot::AttnIn, h);
+    if (setup_.act != ActMethod::None)
+        h = quantizeActivations(h, setup_);
+
+    Tensor q = linearNT(h, e.wq);
+    Tensor k = linearNT(h, e.wk);
+    Tensor v = linearNT(h, e.wv);
+
+    // RoPE on Q and K, per head, at absolute positions.
+    if (base_.profile.family == ModelFamily::Llama) {
+        for (int64_t t = 0; t < t_dim; ++t) {
+            for (int64_t head = 0; head < d.nHeads; ++head) {
+                std::span<float> qseg(q.data() + t * d.dModel + head * dh,
+                                      static_cast<size_t>(dh));
+                std::span<float> kseg(k.data() + t * d.dModel + head * dh,
+                                      static_cast<size_t>(dh));
+                applyRope(qseg, startPos + t);
+                applyRope(kseg, startPos + t);
+            }
+        }
+    }
+
+    // Feed the caches: K rows spatially; V spatially in prefill
+    // (startPos == 0, full matrix) and temporally in decode.
+    for (int64_t head = 0; head < d.nHeads; ++head) {
+        HeadKvCache &cache =
+            caches_[static_cast<size_t>(layer)][static_cast<size_t>(head)];
+        for (int64_t t = 0; t < t_dim; ++t) {
+            std::span<const float> kseg(
+                k.data() + t * d.dModel + head * dh,
+                static_cast<size_t>(dh));
+            cache.appendK(kseg);
+        }
+        if (startPos == 0 && t_dim > 1) {
+            Tensor vh(Shape{t_dim, dh});
+            for (int64_t t = 0; t < t_dim; ++t) {
+                std::copy_n(v.data() + t * d.dModel + head * dh, dh,
+                            vh.data() + t * dh);
+            }
+            cache.prefillV(vh);
+        } else {
+            for (int64_t t = 0; t < t_dim; ++t) {
+                std::span<const float> vseg(
+                    v.data() + t * d.dModel + head * dh,
+                    static_cast<size_t>(dh));
+                cache.appendV(vseg);
+            }
+        }
+    }
+
+    // Attention proper. Q (and later the probabilities) are quantized
+    // to INT8 when the attention layer is quantized (final Tbl. II row).
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+    Tensor attn_out(Shape{t_dim, d.dModel});
+
+    for (int64_t head = 0; head < d.nHeads; ++head) {
+        const HeadKvCache &cache =
+            caches_[static_cast<size_t>(layer)][static_cast<size_t>(head)];
+        const Tensor vhat = cache.vMatrix();
+        const float slope =
+            base_.profile.family == ModelFamily::Bloom
+                ? alibiSlope(head, d.nHeads)
+                : 0.0f;
+
+        std::vector<float> probs;
+        for (int64_t t = 0; t < t_dim; ++t) {
+            std::span<float> qseg(q.data() + t * d.dModel + head * dh,
+                                  static_cast<size_t>(dh));
+            if (setup_.quantizeAttention)
+                int8RoundSpan(qseg, setup_.kvGroup);
+
+            const int64_t visible = startPos + t + 1;
+            probs.assign(static_cast<size_t>(visible), 0.0f);
+            for (int64_t p = 0; p < visible; ++p) {
+                const auto krow = cache.kRow(p);
+                double acc = 0.0;
+                for (int64_t i = 0; i < dh; ++i)
+                    acc += static_cast<double>(qseg[static_cast<size_t>(i)]) *
+                           krow[static_cast<size_t>(i)];
+                float score = static_cast<float>(acc) * inv_sqrt_dh;
+                if (slope != 0.0f)
+                    score -= slope * static_cast<float>(visible - 1 - p);
+                probs[static_cast<size_t>(p)] = score;
+            }
+            softmaxRow(probs);
+            if (setup_.quantizeAttention)
+                int8RoundSpan(probs, setup_.kvGroup);
+
+            float *orow = attn_out.data() + t * d.dModel + head * dh;
+            std::fill_n(orow, dh, 0.0f);
+            for (int64_t p = 0; p < visible; ++p) {
+                const float pr = probs[static_cast<size_t>(p)];
+                if (pr == 0.0f)
+                    continue;
+                const float *vrow = vhat.data() + p * dh;
+                for (int64_t i = 0; i < dh; ++i)
+                    orow[i] += pr * vrow[i];
+            }
+        }
+    }
+
+    if (calibSink_)
+        calibSink_->accumulate(layer, LinearSlot::OProj, attn_out);
+    if (setup_.act != ActMethod::None)
+        attn_out = quantizeActivations(attn_out, setup_);
+    const Tensor o = linearNT(attn_out, e.wo);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] += o[i];
+}
+
+void
+Transformer::ffnBlock(int64_t layer, Tensor &x)
+{
+    const LayerWeights &lw = base_.layers[static_cast<size_t>(layer)];
+    const EffLayer &e = eff_[static_cast<size_t>(layer)];
+
+    Tensor h = x;
+    normRows(h, lw.normGain2, lw.normBias2);
+    if (calibSink_)
+        calibSink_->accumulate(layer, LinearSlot::FfnIn, h);
+    if (setup_.act != ActMethod::None)
+        h = quantizeActivations(h, setup_);
+
+    Tensor mid;
+    if (base_.profile.family == ModelFamily::Llama) {
+        Tensor gate = linearNT(h, e.wGate);
+        const Tensor up = linearNT(h, e.wUp);
+        siluInPlace(gate.span());
+        for (int64_t i = 0; i < gate.numel(); ++i)
+            gate[i] *= up[i];
+        mid = std::move(gate);
+    } else {
+        mid = linearNT(h, e.wGate);
+        geluInPlace(mid.span());
+    }
+    if (calibSink_)
+        calibSink_->accumulate(layer, LinearSlot::FfnDown, mid);
+    if (setup_.act != ActMethod::None)
+        mid = quantizeActivations(mid, setup_);
+    const Tensor down = linearNT(mid, e.wDown);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] += down[i];
+}
+
+Tensor
+Transformer::logitsFrom(Tensor x) const
+{
+    Tensor h = std::move(x);
+    const int64_t rows = h.shape().dim(0);
+    for (int64_t r = 0; r < rows; ++r) {
+        if (base_.profile.family == ModelFamily::Llama)
+            rmsNormRow(h.row(r), base_.finalNormGain);
+        else
+            layerNormRow(h.row(r), base_.finalNormGain,
+                         base_.finalNormBias);
+    }
+    Tensor logits = linearNT(h, base_.embedding);
+    logits.scaleInPlace(logitScale_);
+    return logits;
+}
+
+Tensor
+Transformer::forwardInternal(std::span<const int32_t> tokens,
+                             int64_t startPos)
+{
+    Tensor x = embed(tokens, startPos);
+    const int64_t n_layers = base_.profile.simDims.nLayers;
+    for (int64_t l = 0; l < n_layers; ++l) {
+        attentionBlock(l, x, startPos);
+        ffnBlock(l, x);
+    }
+    return logitsFrom(std::move(x));
+}
+
+Tensor
+Transformer::prefill(std::span<const int32_t> tokens)
+{
+    reset();
+    Tensor logits = forwardInternal(tokens, 0);
+    pos_ = static_cast<int64_t>(tokens.size());
+    return logits;
+}
+
+std::vector<float>
+Transformer::decodeStep(int32_t token)
+{
+    const int32_t toks[1] = {token};
+    Tensor logits = forwardInternal(std::span<const int32_t>(toks, 1),
+                                    pos_);
+    ++pos_;
+    const auto row = logits.row(0);
+    return {row.begin(), row.end()};
+}
+
+std::vector<Tensor>
+Transformer::collectKvSamples(const ModelWeights &weights,
+                              std::span<const int32_t> tokens)
+{
+    Transformer ref(weights, fp16Setup());
+    ref.prefill(tokens);
+
+    const ArchDims &d = weights.profile.simDims;
+    std::vector<Tensor> samples;
+    for (int64_t l = 0; l < d.nLayers; ++l) {
+        for (int64_t h = 0; h < d.nHeads; ++h) {
+            const HeadKvCache &cache = ref.cache(l, h);
+            const int64_t rows = cache.size();
+            // K sample: (positions, headDim) — groups along headDim.
+            Tensor ks(Shape{rows, d.headDim()});
+            for (int64_t p = 0; p < rows; ++p) {
+                const auto kr = cache.kRow(p);
+                std::copy(kr.begin(), kr.end(),
+                          ks.data() + p * d.headDim());
+            }
+            samples.push_back(std::move(ks));
+            // V sample transposed: (headDim, positions) — groups along
+            // the sequence, V's quantization direction.
+            samples.push_back(transpose(cache.vMatrix()));
+        }
+    }
+    return samples;
+}
+
+} // namespace mant

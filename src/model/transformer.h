@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The transformer inference engine with pluggable quantization: weight
+ * methods applied at construction, activation methods applied at each
+ * linear input, KV-cache methods applied through the real-time
+ * machinery (spatial K, two-phase temporal V). Supports prefill over a
+ * full sequence and one-token decode steps — the two LLM stages the
+ * paper's framework distinguishes.
+ */
+
+#ifndef MANT_MODEL_TRANSFORMER_H_
+#define MANT_MODEL_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/variance_selector.h"
+#include "model/kv_cache.h"
+#include "model/quant_setup.h"
+#include "model/weights.h"
+
+namespace mant {
+
+class ModelCalibration;
+
+/**
+ * A quantization-aware transformer instance over shared base weights.
+ */
+class Transformer
+{
+  public:
+    /**
+     * @param weights     The generated base model (kept by reference;
+     *                    must outlive the Transformer).
+     * @param setup       Quantization configuration.
+     * @param kvSelector  Calibrated variance selector for Mant4 KV; a
+     *                    default analytic selector is built when null.
+     * @param calibration Optional activation calibration: when present
+     *                    and the weight method is MANT, coefficients
+     *                    are chosen by the Eq. 6 output-MSE search.
+     */
+    Transformer(const ModelWeights &weights, QuantSetup setup,
+                const VarianceSelector *kvSelector = nullptr,
+                const ModelCalibration *calibration = nullptr);
+
+    /** Attach a calibration collector (FP16 instances only): every
+     *  linear-layer input's column power is accumulated into it. */
+    void setCalibrationSink(ModelCalibration *sink)
+    {
+        calibSink_ = sink;
+    }
+
+    /** Logit temperature (set by the evaluator's calibration). */
+    void setLogitScale(float s) { logitScale_ = s; }
+    float logitScale() const { return logitScale_; }
+
+    /**
+     * Reset caches and run the prefill stage over a token sequence.
+     * @return Logits, shape (tokens, vocab).
+     */
+    Tensor prefill(std::span<const int32_t> tokens);
+
+    /** Decode one token; returns the next-token logits row. */
+    std::vector<float> decodeStep(int32_t token);
+
+    /** Current sequence position (tokens consumed). */
+    int64_t position() const { return pos_; }
+
+    void reset();
+
+    const QuantSetup &setup() const { return setup_; }
+    const ModelWeights &weights() const { return base_; }
+
+    /** Cache access for diagnostics and the ablation benches. */
+    const HeadKvCache &
+    cache(int64_t layer, int64_t head) const
+    {
+        return caches_[static_cast<size_t>(layer)]
+                      [static_cast<size_t>(head)];
+    }
+
+    /**
+     * Collect K-cache and V-cache sample tensors from a prefill run of
+     * an FP16-KV model over the given tokens — the "calibration
+     * dataset" pass of Sec. V-C. Returned tensors have quantization
+     * groups along their inner dims (K: head dim; V: sequence).
+     */
+    static std::vector<Tensor> collectKvSamples(
+        const ModelWeights &weights, std::span<const int32_t> tokens);
+
+  private:
+    struct EffLayer
+    {
+        Tensor wq, wk, wv, wo, wGate, wUp, wDown;
+    };
+
+    Tensor embed(std::span<const int32_t> tokens, int64_t startPos) const;
+    void normRows(Tensor &x, std::span<const float> gain,
+                  std::span<const float> bias) const;
+    void attentionBlock(int64_t layer, Tensor &x, int64_t startPos);
+    void ffnBlock(int64_t layer, Tensor &x);
+    Tensor forwardInternal(std::span<const int32_t> tokens,
+                           int64_t startPos);
+    Tensor logitsFrom(Tensor x) const;
+
+    const ModelWeights &base_;
+    QuantSetup setup_;
+    std::vector<EffLayer> eff_;
+    std::vector<std::vector<HeadKvCache>> caches_;
+    std::unique_ptr<VarianceSelector> ownedSelector_;
+    const VarianceSelector *kvSelector_ = nullptr;
+    ModelCalibration *calibSink_ = nullptr;
+    int64_t pos_ = 0;
+    float logitScale_ = 1.0f;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_TRANSFORMER_H_

@@ -1,0 +1,141 @@
+#include "model/weights.h"
+
+#include <cmath>
+
+namespace mant {
+
+namespace {
+
+std::vector<float>
+genNormGain(Rng &rng, int64_t n, const ActProfile &acts,
+            std::span<const int64_t> hotChannels)
+{
+    std::vector<float> gain(static_cast<size_t>(n));
+    for (auto &g : gain)
+        g = static_cast<float>(rng.gaussian(1.0, 0.1));
+    // Hot channels: boosted norm gains are the mechanism that produces
+    // systematic activation outliers downstream. Real LLMs' outlier
+    // channels are consistent across layers, so the positions are
+    // chosen once per model and reused for every norm.
+    for (int64_t c : hotChannels) {
+        gain[static_cast<size_t>(c)] *= static_cast<float>(
+            rng.uniform(0.6, 1.0) * acts.outlierChannelScale);
+    }
+    return gain;
+}
+
+std::vector<float>
+genNormBias(Rng &rng, int64_t n)
+{
+    std::vector<float> bias(static_cast<size_t>(n));
+    for (auto &b : bias)
+        b = static_cast<float>(rng.gaussian(0.0, 0.02));
+    return bias;
+}
+
+} // namespace
+
+ModelWeights
+ModelWeights::generate(const ModelProfile &profile, int64_t maxSeq)
+{
+    ModelWeights mw;
+    mw.profile = profile;
+    mw.maxSeq = maxSeq;
+    const ArchDims &d = profile.simDims;
+    Rng root(profile.seed);
+
+    // Embedding rows at unit-ish scale; the logit temperature is
+    // calibrated separately by the evaluator.
+    {
+        Rng rng = root.fork(1);
+        mw.embedding = Tensor(Shape{d.vocab, d.dModel});
+        const float sigma =
+            1.0f / std::sqrt(static_cast<float>(d.dModel));
+        for (int64_t i = 0; i < mw.embedding.numel(); ++i)
+            mw.embedding[i] =
+                static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+    if (profile.family != ModelFamily::Llama) {
+        Rng rng = root.fork(2);
+        mw.posEmbedding = Tensor(Shape{maxSeq, d.dModel});
+        const float sigma =
+            0.5f / std::sqrt(static_cast<float>(d.dModel));
+        for (int64_t i = 0; i < mw.posEmbedding.numel(); ++i)
+            mw.posEmbedding[i] =
+                static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+
+    // Model-wide hot activation channels: count follows the profile
+    // rate (at least one), positions fixed for the whole model.
+    std::vector<int64_t> hot_channels;
+    {
+        Rng rng = root.fork(4);
+        const int64_t count = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   profile.actStats.outlierChannelRate *
+                   static_cast<double>(d.dModel) + 0.5));
+        for (int64_t i = 0; i < count; ++i) {
+            hot_channels.push_back(static_cast<int64_t>(
+                rng.uniformInt(static_cast<uint64_t>(d.dModel))));
+        }
+    }
+
+    mw.layers.reserve(static_cast<size_t>(d.nLayers));
+    for (int64_t l = 0; l < d.nLayers; ++l) {
+        Rng rng = root.fork(100 + static_cast<uint64_t>(l));
+        const DistProfile &stats =
+            l == 0 ? profile.firstLayerStats : profile.weightStats;
+
+        LayerWeights lw;
+        lw.wq = genWeightMatrix(rng, d.dModel, d.dModel, stats);
+        lw.wk = genWeightMatrix(rng, d.dModel, d.dModel, stats);
+        lw.wv = genWeightMatrix(rng, d.dModel, d.dModel, stats);
+        lw.wo = genWeightMatrix(rng, d.dModel, d.dModel, stats);
+        lw.wGate = genWeightMatrix(rng, d.dFfn, d.dModel, stats);
+        if (profile.family == ModelFamily::Llama)
+            lw.wUp = genWeightMatrix(rng, d.dFfn, d.dModel, stats);
+        lw.wDown = genWeightMatrix(rng, d.dModel, d.dFfn, stats);
+
+        lw.normGain1 =
+            genNormGain(rng, d.dModel, profile.actStats, hot_channels);
+        lw.normBias1 = genNormBias(rng, d.dModel);
+        lw.normGain2 =
+            genNormGain(rng, d.dModel, profile.actStats, hot_channels);
+        lw.normBias2 = genNormBias(rng, d.dModel);
+        mw.layers.push_back(std::move(lw));
+    }
+
+    {
+        Rng rng = root.fork(3);
+        mw.finalNormGain.assign(static_cast<size_t>(d.dModel), 1.0f);
+        for (auto &g : mw.finalNormGain)
+            g = static_cast<float>(rng.gaussian(1.0, 0.05));
+        mw.finalNormBias = genNormBias(rng, d.dModel);
+    }
+    return mw;
+}
+
+std::vector<ModelWeights::NamedTensor>
+ModelWeights::namedLinearWeights() const
+{
+    std::vector<NamedTensor> out;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        const int64_t li = static_cast<int64_t>(l);
+        const LayerWeights &lw = layers[l];
+        out.push_back({"q", li, &lw.wq});
+        out.push_back({"k", li, &lw.wk});
+        out.push_back({"v", li, &lw.wv});
+        out.push_back({"o", li, &lw.wo});
+        out.push_back({profile.family == ModelFamily::Llama ? "gate"
+                                                            : "fc1",
+                       li, &lw.wGate});
+        if (lw.wUp.numel() > 0)
+            out.push_back({"up", li, &lw.wUp});
+        out.push_back({profile.family == ModelFamily::Llama ? "down"
+                                                            : "fc2",
+                       li, &lw.wDown});
+    }
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Model weight containers and the synthetic generator.
+ *
+ * Weight matrices are stored (outFeatures, inFeatures) so quantization
+ * groups run along the inner (reduction) dimension contiguously and the
+ * linear layers compute y = x * W^T.
+ */
+
+#ifndef MANT_MODEL_WEIGHTS_H_
+#define MANT_MODEL_WEIGHTS_H_
+
+#include <vector>
+
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** One transformer layer's parameters. */
+struct LayerWeights
+{
+    Tensor wq, wk, wv, wo; ///< attention projections, (dModel, dModel)
+    Tensor wGate;          ///< SwiGLU gate / OPT fc1, (dFfn, dModel)
+    Tensor wUp;            ///< SwiGLU up, (dFfn, dModel); empty for OPT
+    Tensor wDown;          ///< down / fc2, (dModel, dFfn)
+
+    std::vector<float> normGain1, normBias1; ///< pre-attention norm
+    std::vector<float> normGain2, normBias2; ///< pre-FFN norm
+};
+
+/** A full synthetic model instance (always built from simDims). */
+struct ModelWeights
+{
+    ModelProfile profile;
+    Tensor embedding;     ///< (vocab, dModel), also the tied LM head
+    Tensor posEmbedding;  ///< (maxSeq, dModel); OPT/BLOOM only
+    std::vector<LayerWeights> layers;
+    std::vector<float> finalNormGain, finalNormBias;
+
+    int64_t maxSeq = 0;
+
+    /**
+     * Generate a model from a profile. Layer 0 uses the spiky
+     * first-layer statistics; a sparse set of norm-gain channels is
+     * boosted to create the systematic activation outliers real LLMs
+     * exhibit (the mechanism behind the W4A4 baseline failures).
+     */
+    static ModelWeights generate(const ModelProfile &profile,
+                                 int64_t maxSeq = 512);
+
+    /** All linear weight matrices with names, for sweep experiments:
+     *  ("q"|"k"|"v"|"o"|"gate"|"up"|"down", layer index, tensor). */
+    struct NamedTensor
+    {
+        const char *kind;
+        int64_t layer;
+        const Tensor *tensor;
+    };
+    std::vector<NamedTensor> namedLinearWeights() const;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_WEIGHTS_H_

@@ -1,0 +1,129 @@
+#include "quant/fixed_formats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace mant {
+
+IntFormat::IntFormat(int bits) : bits_(bits)
+{
+    if (bits < 2 || bits > 16)
+        throw std::invalid_argument("IntFormat: bits must be in [2, 16]");
+    name_ = "int" + std::to_string(bits);
+    const int maxv = (1 << (bits - 1)) - 1;
+    for (int v = -maxv; v <= maxv; ++v)
+        levels_.push_back(static_cast<float>(v));
+}
+
+PotFormat::PotFormat()
+{
+    levels_.push_back(0.0f);
+    for (int e = 0; e <= 6; ++e) {
+        const float v = static_cast<float>(1 << e);
+        levels_.push_back(v);
+        levels_.push_back(-v);
+    }
+    std::sort(levels_.begin(), levels_.end());
+}
+
+FlintFormat::FlintFormat()
+{
+    const std::array<float, 7> mags = {1, 2, 3, 4, 6, 8, 12};
+    levels_.push_back(0.0f);
+    for (float m : mags) {
+        levels_.push_back(m);
+        levels_.push_back(-m);
+    }
+    std::sort(levels_.begin(), levels_.end());
+}
+
+Nf4Format::Nf4Format()
+{
+    // Exact NF4 constants from the QLoRA reference implementation
+    // (bitsandbytes); equal-probability Gaussian quantiles in [-1, 1].
+    levels_ = {
+        -1.0f, -0.6961928009986877f, -0.5250730514526367f,
+        -0.39491748809814453f, -0.28444138169288635f,
+        -0.18477343022823334f, -0.09105003625154495f, 0.0f,
+        0.07958029955625534f, 0.16093020141124725f, 0.24611230194568634f,
+        0.33791524171829224f, 0.44070982933044434f, 0.5626170039176941f,
+        0.7229568362236023f, 1.0f,
+    };
+}
+
+Mxfp4Format::Mxfp4Format()
+{
+    const std::array<float, 7> mags = {0.5f, 1.0f, 1.5f, 2.0f, 3.0f,
+                                       4.0f, 6.0f};
+    levels_.push_back(0.0f);
+    for (float m : mags) {
+        levels_.push_back(m);
+        levels_.push_back(-m);
+    }
+    std::sort(levels_.begin(), levels_.end());
+}
+
+float
+Mxfp4Format::scaleFor(float absmax) const
+{
+    if (absmax <= 0.0f)
+        return 1.0f;
+    // Smallest power of two s with absmax / s <= maxAbsLevel (6.0).
+    const float ideal = absmax / maxAbsLevel();
+    const float e = std::ceil(std::log2(ideal));
+    return std::ldexp(1.0f, static_cast<int>(e));
+}
+
+const IntFormat &
+int4Format()
+{
+    static const IntFormat f(4);
+    return f;
+}
+
+const IntFormat &
+int8Format()
+{
+    static const IntFormat f(8);
+    return f;
+}
+
+const PotFormat &
+pot4Format()
+{
+    static const PotFormat f;
+    return f;
+}
+
+const FlintFormat &
+flint4Format()
+{
+    static const FlintFormat f;
+    return f;
+}
+
+const Nf4Format &
+nf4Format()
+{
+    static const Nf4Format f;
+    return f;
+}
+
+const Mxfp4Format &
+mxfp4Format()
+{
+    static const Mxfp4Format f;
+    return f;
+}
+
+std::span<const NumericFormat *const>
+antTypeSet()
+{
+    static const std::array<const NumericFormat *, 3> set = {
+        &int4Format(), &flint4Format(), &pot4Format()};
+    return {set.data(), set.size()};
+}
+
+} // namespace mant

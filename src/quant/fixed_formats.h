@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The fixed (non-MANT) numeric formats the paper compares against:
+ * symmetric INT, PoT (power-of-two), ANT flint, QLoRA NF4, and MXFP4
+ * elements with an E8M0 power-of-two shared scale.
+ */
+
+#ifndef MANT_QUANT_FIXED_FORMATS_H_
+#define MANT_QUANT_FIXED_FORMATS_H_
+
+#include <string>
+#include <vector>
+
+#include "quant/format.h"
+
+namespace mant {
+
+/**
+ * Symmetric integer grid: levels -(2^(b-1)-1) .. (2^(b-1)-1).
+ * INT4 covers [-7, 7], INT8 covers [-127, 127].
+ */
+class IntFormat : public NumericFormat
+{
+  public:
+    explicit IntFormat(int bits);
+
+    std::string_view name() const override { return name_; }
+    int bits() const override { return bits_; }
+    std::span<const float> levels() const override { return levels_; }
+
+  private:
+    int bits_;
+    std::string name_;
+    std::vector<float> levels_;
+};
+
+/**
+ * Power-of-two grid (4-bit): {0, ±2^0 .. ±2^6}. One sign-magnitude
+ * code is spent on zero, leaving exponents 0..6 — the Laplace-friendly
+ * member of ANT's type set.
+ */
+class PotFormat : public NumericFormat
+{
+  public:
+    PotFormat();
+
+    std::string_view name() const override { return "pot4"; }
+    int bits() const override { return 4; }
+    std::span<const float> levels() const override { return levels_; }
+
+  private:
+    std::vector<float> levels_;
+};
+
+/**
+ * ANT's flint4: a float-int hybrid whose grid is integer-dense near
+ * zero and exponential in the tail — {0, ±1, ±2, ±3, ±4, ±6, ±8, ±12}.
+ * (Gaussian-friendly member of ANT's type set.)
+ */
+class FlintFormat : public NumericFormat
+{
+  public:
+    FlintFormat();
+
+    std::string_view name() const override { return "flint4"; }
+    int bits() const override { return 4; }
+    std::span<const float> levels() const override { return levels_; }
+
+  private:
+    std::vector<float> levels_;
+};
+
+/**
+ * QLoRA NormalFloat-4: the 16 levels are equal-probability quantiles of
+ * a standard Gaussian, normalized to [-1, 1] (exact constants from the
+ * QLoRA reference implementation). Note NF4 is asymmetric and includes
+ * an exact zero.
+ */
+class Nf4Format : public NumericFormat
+{
+  public:
+    Nf4Format();
+
+    std::string_view name() const override { return "nf4"; }
+    int bits() const override { return 4; }
+    std::span<const float> levels() const override { return levels_; }
+
+  private:
+    std::vector<float> levels_;
+};
+
+/**
+ * MXFP4 element grid (FP4 E2M1: {0, ±0.5, ±1, ±1.5, ±2, ±3, ±4, ±6})
+ * with the OCP MX restriction that the shared scale is a power of two
+ * (E8M0, exponent-only). scaleFor() returns the smallest power of two
+ * that avoids clipping the group maximum.
+ */
+class Mxfp4Format : public NumericFormat
+{
+  public:
+    Mxfp4Format();
+
+    std::string_view name() const override { return "mxfp4"; }
+    int bits() const override { return 4; }
+    std::span<const float> levels() const override { return levels_; }
+    float scaleFor(float absmax) const override;
+
+  private:
+    std::vector<float> levels_;
+};
+
+/** Shared singleton instances (formats are immutable). */
+const IntFormat &int4Format();
+const IntFormat &int8Format();
+const PotFormat &pot4Format();
+const FlintFormat &flint4Format();
+const Nf4Format &nf4Format();
+const Mxfp4Format &mxfp4Format();
+
+/** ANT's adaptive type set: {int4, flint4, pot4}. */
+std::span<const NumericFormat *const> antTypeSet();
+
+} // namespace mant
+
+#endif // MANT_QUANT_FIXED_FORMATS_H_

@@ -1,0 +1,60 @@
+#include "quant/format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mant {
+
+int
+nearestLevel(std::span<const float> sortedLevels, float x)
+{
+    if (sortedLevels.empty())
+        throw std::invalid_argument("nearestLevel: empty level table");
+    const auto it =
+        std::lower_bound(sortedLevels.begin(), sortedLevels.end(), x);
+    if (it == sortedLevels.begin())
+        return 0;
+    if (it == sortedLevels.end())
+        return static_cast<int>(sortedLevels.size()) - 1;
+    const int hi = static_cast<int>(it - sortedLevels.begin());
+    const int lo = hi - 1;
+    // Ties resolve to the lower level, matching round-half-down argmin.
+    return (x - sortedLevels[lo]) <= (sortedLevels[hi] - x) ? lo : hi;
+}
+
+float
+NumericFormat::scaleFor(float absmax) const
+{
+    const float ml = maxAbsLevel();
+    if (absmax <= 0.0f || ml <= 0.0f)
+        return 1.0f;
+    return absmax / ml;
+}
+
+float
+NumericFormat::maxAbsLevel() const
+{
+    float m = 0.0f;
+    for (float v : levels())
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+int
+NumericFormat::encode(float value, float scale) const
+{
+    const float normalized = scale != 0.0f ? value / scale : 0.0f;
+    return nearestLevel(levels(), normalized);
+}
+
+float
+NumericFormat::decode(int code, float scale) const
+{
+    const auto lv = levels();
+    if (code < 0 || code >= static_cast<int>(lv.size()))
+        throw std::out_of_range("NumericFormat::decode: bad code");
+    return lv[static_cast<size_t>(code)] * scale;
+}
+
+} // namespace mant

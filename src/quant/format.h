@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Numeric format abstraction for quantization grids.
+ *
+ * Every fixed data type in the paper's comparison space (INT4/8, PoT,
+ * ANT flint, QLoRA NF4, MXFP4 elements, OliVe abfloat, and the MANT
+ * family itself) is a finite, symmetric-or-not set of representable
+ * levels. A NumericFormat exposes the sorted level set plus the scale
+ * rule; encode is nearest-level search, decode is a table lookup.
+ */
+
+#ifndef MANT_QUANT_FORMAT_H_
+#define MANT_QUANT_FORMAT_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mant {
+
+/**
+ * A finite quantization grid ("data type").
+ *
+ * Levels are in *natural* units (e.g. INT4 levels are -7..7); the scale
+ * maps real values onto the grid: encode(x) = nearest level to x/scale,
+ * decode(c) = levels[c] * scale.
+ */
+class NumericFormat
+{
+  public:
+    virtual ~NumericFormat() = default;
+
+    /** Human-readable type name, e.g. "int4", "flint4", "mant-a17". */
+    virtual std::string_view name() const = 0;
+
+    /** Storage bits per element (the code width, including sign). */
+    virtual int bits() const = 0;
+
+    /** Sorted (ascending) representable levels in natural units. */
+    virtual std::span<const float> levels() const = 0;
+
+    /**
+     * Scale for a group with the given max-abs value. The default is
+     * the symmetric rule absmax / maxAbsLevel; formats with restricted
+     * scales (MXFP's power-of-two E8M0 scale) override this.
+     */
+    virtual float scaleFor(float absmax) const;
+
+    /** Largest |level| on the grid. */
+    float maxAbsLevel() const;
+
+    /** Index of the level nearest to value/scale (ties to the lower). */
+    int encode(float value, float scale) const;
+
+    /** levels()[code] * scale. */
+    float decode(int code, float scale) const;
+
+    /** Round-trip a single value through the grid. */
+    float
+    quantizeValue(float value, float scale) const
+    {
+        return decode(encode(value, scale), scale);
+    }
+};
+
+/**
+ * Nearest index into a sorted level table — shared helper used by both
+ * NumericFormat::encode and the per-group K-means codebooks.
+ */
+int nearestLevel(std::span<const float> sortedLevels, float x);
+
+} // namespace mant
+
+#endif // MANT_QUANT_FORMAT_H_

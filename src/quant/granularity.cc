@@ -1,0 +1,33 @@
+#include "quant/granularity.h"
+
+namespace mant {
+
+int64_t
+quantUnitCount(const Tensor &t, const QuantConfig &cfg)
+{
+    switch (cfg.gran) {
+      case Granularity::PerTensor:
+        return 1;
+      case Granularity::PerChannel:
+        return t.shape().outerCount();
+      case Granularity::PerGroup:
+      default: {
+        const int64_t inner = t.shape().innerDim();
+        const int64_t g = cfg.groupSize > 0 ? cfg.groupSize : inner;
+        const int64_t per_row = (inner + g - 1) / g;
+        return t.shape().outerCount() * per_row;
+      }
+    }
+}
+
+double
+metaBitsPerElement(const Tensor &t, const QuantConfig &cfg,
+                   int extraBitsPerUnit)
+{
+    const int64_t units = quantUnitCount(t, cfg);
+    const double bits_per_unit = 16.0 + extraBitsPerUnit;
+    return bits_per_unit * static_cast<double>(units) /
+           static_cast<double>(t.numel());
+}
+
+} // namespace mant

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quantization granularity machinery.
+ *
+ * A quantization *unit* is the set of elements that share one scale
+ * (and, for adaptive methods, one data type): the whole tensor, one
+ * channel (row), or one group of `groupSize` contiguous elements along
+ * the inner dimension — the paper's standard configuration.
+ */
+
+#ifndef MANT_QUANT_GRANULARITY_H_
+#define MANT_QUANT_GRANULARITY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** Scale-sharing granularity. */
+enum class Granularity
+{
+    PerTensor,
+    PerChannel,
+    PerGroup,
+};
+
+/** Quantization configuration shared by all methods. */
+struct QuantConfig
+{
+    Granularity gran = Granularity::PerGroup;
+
+    /** Group size (contiguous inner-dim elements); used for PerGroup. */
+    int64_t groupSize = 64;
+
+    /** Round stored scales through FP16 (models 16-bit metadata). */
+    bool fp16Scale = true;
+};
+
+/**
+ * Metadata overhead in bits per element for a configuration: a 16-bit
+ * scale per unit, plus optional extra per-unit bits (e.g. MANT's 8-bit
+ * coefficient, a clustering codebook, ...).
+ */
+double metaBitsPerElement(const Tensor &t, const QuantConfig &cfg,
+                          int extraBitsPerUnit);
+
+/**
+ * Invoke fn(std::span<const float> in, std::span<float> out) once per
+ * quantization unit. Units are contiguous in row-major storage for all
+ * three granularities, so this is a simple strided walk.
+ */
+template <typename Fn>
+void
+forEachQuantUnit(const Tensor &in, Tensor &out, const QuantConfig &cfg,
+                 Fn &&fn)
+{
+    const int64_t total = in.numel();
+    const float *ip = in.data();
+    float *op = out.data();
+
+    int64_t unit;
+    switch (cfg.gran) {
+      case Granularity::PerTensor:
+        unit = total;
+        break;
+      case Granularity::PerChannel:
+        unit = in.shape().innerDim();
+        break;
+      case Granularity::PerGroup:
+      default:
+        unit = cfg.groupSize;
+        break;
+    }
+    if (unit <= 0)
+        unit = total;
+
+    if (cfg.gran == Granularity::PerGroup) {
+        // Groups never straddle a channel boundary: walk row by row.
+        const int64_t inner = in.shape().innerDim();
+        const int64_t outer = in.shape().outerCount();
+        for (int64_t r = 0; r < outer; ++r) {
+            for (int64_t g0 = 0; g0 < inner; g0 += unit) {
+                const int64_t len = std::min(unit, inner - g0);
+                const int64_t base = r * inner + g0;
+                fn(std::span<const float>(ip + base,
+                                          static_cast<size_t>(len)),
+                   std::span<float>(op + base, static_cast<size_t>(len)));
+            }
+        }
+        return;
+    }
+    for (int64_t base = 0; base < total; base += unit) {
+        const int64_t len = std::min(unit, total - base);
+        fn(std::span<const float>(ip + base, static_cast<size_t>(len)),
+           std::span<float>(op + base, static_cast<size_t>(len)));
+    }
+}
+
+/** Number of quantization units for a tensor under a configuration. */
+int64_t quantUnitCount(const Tensor &t, const QuantConfig &cfg);
+
+} // namespace mant
+
+#endif // MANT_QUANT_GRANULARITY_H_

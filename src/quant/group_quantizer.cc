@@ -1,0 +1,274 @@
+#include "quant/group_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/fp16.h"
+#include "tensor/stats.h"
+
+namespace mant {
+
+namespace {
+
+float
+unitAbsMax(std::span<const float> xs)
+{
+    float m = 0.0f;
+    for (float x : xs)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+/** Quantize one unit with one grid; returns the squared error. */
+double
+roundUnit(std::span<const float> in, std::span<float> out,
+          const NumericFormat &fmt, bool fp16_scale)
+{
+    float scale = fmt.scaleFor(unitAbsMax(in));
+    if (fp16_scale)
+        scale = fp16Round(scale);
+    if (scale == 0.0f)
+        scale = 1.0f;
+    double err = 0.0;
+    for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = fmt.quantizeValue(in[i], scale);
+        const double d = static_cast<double>(in[i]) - out[i];
+        err += d * d;
+    }
+    return err;
+}
+
+} // namespace
+
+void
+fillErrorStats(const Tensor &input, const Tensor &output, QuantStats *stats)
+{
+    if (!stats)
+        return;
+    stats->mse = mse(input.span(), output.span());
+    stats->nmse = nmse(input.span(), output.span());
+}
+
+Tensor
+quantDequantFixed(const Tensor &input, const NumericFormat &format,
+                  const QuantConfig &cfg, QuantStats *stats)
+{
+    Tensor out(input.shape());
+    forEachQuantUnit(input, out, cfg,
+                     [&](std::span<const float> in, std::span<float> o) {
+                         roundUnit(in, o, format, cfg.fp16Scale);
+                     });
+    if (stats) {
+        stats->unitCount = quantUnitCount(input, cfg);
+        stats->metaBits = metaBitsPerElement(input, cfg, 0);
+        fillErrorStats(input, out, stats);
+    }
+    return out;
+}
+
+Tensor
+quantDequantAdaptive(const Tensor &input,
+                     std::span<const NumericFormat *const> formats,
+                     const QuantConfig &cfg, QuantStats *stats)
+{
+    Tensor out(input.shape());
+    std::vector<int64_t> counts(formats.size(), 0);
+    std::vector<float> scratch;
+
+    forEachQuantUnit(
+        input, out, cfg,
+        [&](std::span<const float> in, std::span<float> o) {
+            scratch.resize(in.size());
+            double best_err = INFINITY;
+            int best = 0;
+            for (size_t f = 0; f < formats.size(); ++f) {
+                const double err =
+                    roundUnit(in, std::span<float>(scratch), *formats[f],
+                              cfg.fp16Scale);
+                if (err < best_err) {
+                    best_err = err;
+                    best = static_cast<int>(f);
+                }
+            }
+            roundUnit(in, o, *formats[static_cast<size_t>(best)],
+                      cfg.fp16Scale);
+            ++counts[static_cast<size_t>(best)];
+        });
+
+    if (stats) {
+        stats->unitCount = quantUnitCount(input, cfg);
+        // ANT-style type selector costs ceil(log2(#types)) bits per unit.
+        int sel_bits = 0;
+        while ((1 << sel_bits) < static_cast<int>(formats.size()))
+            ++sel_bits;
+        stats->metaBits = metaBitsPerElement(input, cfg, sel_bits);
+        stats->formatCounts = std::move(counts);
+        fillErrorStats(input, out, stats);
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Exact 1-D k-means via interval dynamic programming (clusters of a
+ * sorted sequence are contiguous intervals). O(k n^2) — fine for the
+ * group sizes in play (n <= 256). Returns sorted centroids.
+ */
+std::vector<float>
+kmeans1dExact(std::span<const float> sorted, int k)
+{
+    const int n = static_cast<int>(sorted.size());
+    const int kk = std::min(k, n);
+
+    // Prefix sums for O(1) interval cost.
+    std::vector<double> s(static_cast<size_t>(n) + 1, 0.0);
+    std::vector<double> s2(static_cast<size_t>(n) + 1, 0.0);
+    for (int i = 0; i < n; ++i) {
+        s[static_cast<size_t>(i) + 1] = s[static_cast<size_t>(i)] +
+                                        sorted[static_cast<size_t>(i)];
+        s2[static_cast<size_t>(i) + 1] =
+            s2[static_cast<size_t>(i)] +
+            static_cast<double>(sorted[static_cast<size_t>(i)]) *
+                sorted[static_cast<size_t>(i)];
+    }
+    // Within-cluster squared error of sorted[i..j] inclusive.
+    auto cost = [&](int i, int j) {
+        const double cnt = j - i + 1;
+        const double sum = s[static_cast<size_t>(j) + 1] -
+                           s[static_cast<size_t>(i)];
+        const double sq = s2[static_cast<size_t>(j) + 1] -
+                          s2[static_cast<size_t>(i)];
+        return sq - sum * sum / cnt;
+    };
+
+    constexpr double kInf = 1e300;
+    // dp[c][j]: best cost of first j items in c clusters.
+    std::vector<std::vector<double>> dp(
+        static_cast<size_t>(kk) + 1,
+        std::vector<double>(static_cast<size_t>(n) + 1, kInf));
+    std::vector<std::vector<int>> split(
+        static_cast<size_t>(kk) + 1,
+        std::vector<int>(static_cast<size_t>(n) + 1, 0));
+    dp[0][0] = 0.0;
+    for (int c = 1; c <= kk; ++c) {
+        for (int j = c; j <= n; ++j) {
+            for (int i = c; i <= j; ++i) {
+                const double cand =
+                    dp[static_cast<size_t>(c) - 1]
+                      [static_cast<size_t>(i) - 1] +
+                    cost(i - 1, j - 1);
+                if (cand < dp[static_cast<size_t>(c)]
+                               [static_cast<size_t>(j)]) {
+                    dp[static_cast<size_t>(c)][static_cast<size_t>(j)] =
+                        cand;
+                    split[static_cast<size_t>(c)]
+                         [static_cast<size_t>(j)] = i;
+                }
+            }
+        }
+    }
+    // Backtrack interval means.
+    std::vector<float> centroids(static_cast<size_t>(kk));
+    int j = n;
+    for (int c = kk; c >= 1; --c) {
+        const int i = split[static_cast<size_t>(c)]
+                           [static_cast<size_t>(j)];
+        const double cnt = j - i + 1;
+        const double sum = s[static_cast<size_t>(j)] -
+                           s[static_cast<size_t>(i) - 1];
+        centroids[static_cast<size_t>(c) - 1] =
+            static_cast<float>(sum / cnt);
+        j = i - 1;
+    }
+    return centroids;
+}
+
+/** Lloyd's algorithm fallback for large units, quantile init. */
+std::vector<float>
+kmeans1dLloyd(std::span<const float> sorted, int k, int iters)
+{
+    const size_t n = sorted.size();
+    const int kk = std::min<int>(k, static_cast<int>(n));
+    std::vector<float> centroids(static_cast<size_t>(kk));
+    for (int c = 0; c < kk; ++c) {
+        const size_t idx = static_cast<size_t>(
+            (static_cast<double>(c) + 0.5) * static_cast<double>(n) /
+            kk);
+        centroids[static_cast<size_t>(c)] =
+            sorted[std::min(idx, n - 1)];
+    }
+    std::vector<double> sum(static_cast<size_t>(kk));
+    std::vector<int64_t> cnt(static_cast<size_t>(kk));
+    for (int it = 0; it < iters; ++it) {
+        std::fill(sum.begin(), sum.end(), 0.0);
+        std::fill(cnt.begin(), cnt.end(), 0);
+        for (float x : sorted) {
+            const int c =
+                nearestLevel(std::span<const float>(centroids), x);
+            sum[static_cast<size_t>(c)] += x;
+            ++cnt[static_cast<size_t>(c)];
+        }
+        bool moved = false;
+        for (int c = 0; c < kk; ++c) {
+            if (!cnt[static_cast<size_t>(c)])
+                continue;
+            const float next = static_cast<float>(
+                sum[static_cast<size_t>(c)] /
+                cnt[static_cast<size_t>(c)]);
+            if (next != centroids[static_cast<size_t>(c)]) {
+                centroids[static_cast<size_t>(c)] = next;
+                moved = true;
+            }
+        }
+        std::sort(centroids.begin(), centroids.end());
+        if (!moved)
+            break;
+    }
+    return centroids;
+}
+
+} // namespace
+
+Tensor
+quantDequantKMeans(const Tensor &input, int k, const QuantConfig &cfg,
+                   QuantStats *stats, int lloydIters)
+{
+    Tensor out(input.shape());
+    std::vector<float> sorted, centroids;
+
+    forEachQuantUnit(
+        input, out, cfg,
+        [&](std::span<const float> in, std::span<float> o) {
+            const size_t n = in.size();
+            sorted.assign(in.begin(), in.end());
+            std::sort(sorted.begin(), sorted.end());
+
+            // Exact interval DP for group-sized units; Lloyd's for
+            // channel/tensor units where O(k n^2) would be too slow.
+            centroids = n <= 256
+                            ? kmeans1dExact(sorted, k)
+                            : kmeans1dLloyd(sorted, k, lloydIters);
+
+            for (size_t i = 0; i < n; ++i) {
+                const int c = nearestLevel(
+                    std::span<const float>(centroids), in[i]);
+                float v = centroids[static_cast<size_t>(c)];
+                if (cfg.fp16Scale)
+                    v = fp16Round(v); // codebook entries stored in FP16
+                o[i] = v;
+            }
+        });
+
+    if (stats) {
+        stats->unitCount = quantUnitCount(input, cfg);
+        // Codebook overhead: k FP16 entries per unit, minus the scale
+        // the other methods also store (the codebook subsumes it).
+        stats->metaBits =
+            metaBitsPerElement(input, cfg, 16 * (k - 1));
+        fillErrorStats(input, out, stats);
+    }
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quantize-dequantize engines for the accuracy experiments.
+ *
+ * Three families, matching the paper's taxonomy (Sec. III):
+ *  - fixed data type (INT / PoT / flint / NF4 / MXFP4): one grid for
+ *    every unit;
+ *  - data-type-based adaptive (ANT): per-unit grid chosen from a small
+ *    set by quantization MSE;
+ *  - clustering-based adaptive ("Ideal", GOBO/Mokey-style): per-unit
+ *    K-means codebook — the accuracy-optimal reference of Fig. 2.
+ */
+
+#ifndef MANT_QUANT_GROUP_QUANTIZER_H_
+#define MANT_QUANT_GROUP_QUANTIZER_H_
+
+#include <vector>
+
+#include "quant/format.h"
+#include "quant/granularity.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** Diagnostics returned by the quantize-dequantize engines. */
+struct QuantStats
+{
+    double mse = 0.0;          ///< elementwise MSE vs the input
+    double nmse = 0.0;         ///< MSE normalized by input power
+    int64_t unitCount = 0;     ///< number of quantization units
+    double metaBits = 0.0;     ///< metadata bits per element
+    /** For adaptive methods: how often each candidate grid was chosen. */
+    std::vector<int64_t> formatCounts;
+};
+
+/** Quantize-dequantize with a single fixed grid. */
+Tensor quantDequantFixed(const Tensor &input, const NumericFormat &format,
+                         const QuantConfig &cfg, QuantStats *stats = nullptr);
+
+/**
+ * ANT-style adaptive quantize-dequantize: per unit, pick the grid in
+ * `formats` with the smallest quantization MSE, then use it.
+ */
+Tensor quantDequantAdaptive(const Tensor &input,
+                            std::span<const NumericFormat *const> formats,
+                            const QuantConfig &cfg,
+                            QuantStats *stats = nullptr);
+
+/**
+ * Clustering-based ("Ideal") quantize-dequantize: per unit, fit k
+ * centroids with Lloyd's algorithm (quantile init) and snap each value
+ * to its nearest centroid. Metadata cost is the per-unit codebook,
+ * which is what makes this ideal-but-impractical (Sec. III-A).
+ *
+ * @param k           Number of centroids (16 for 4-bit).
+ * @param lloydIters  Lloyd iterations (converges fast from quantiles).
+ */
+Tensor quantDequantKMeans(const Tensor &input, int k, const QuantConfig &cfg,
+                          QuantStats *stats = nullptr, int lloydIters = 10);
+
+/** Fill stats->mse/nmse from the input/output pair. */
+void fillErrorStats(const Tensor &input, const Tensor &output,
+                    QuantStats *stats);
+
+} // namespace mant
+
+#endif // MANT_QUANT_GROUP_QUANTIZER_H_

@@ -1,0 +1,114 @@
+#include "quant/mixed_precision.h"
+
+#include <algorithm>
+
+namespace mant {
+
+double
+aggregateNmse(std::span<const LayerError> layers, std::span<const int> bits)
+{
+    double err = 0.0, weight = 0.0;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const double w = static_cast<double>(layers[i].weightCount);
+        err += w * (bits[i] >= 8 ? layers[i].nmse8 : layers[i].nmse4);
+        weight += w;
+    }
+    return weight > 0.0 ? err / weight : 0.0;
+}
+
+BitAssignment
+assignBits(std::span<const LayerError> layers, double budget)
+{
+    BitAssignment result;
+    result.bits.assign(layers.size(), 4);
+
+    double agg = aggregateNmse(layers, result.bits);
+    while (agg > budget) {
+        // Pick the 4-bit layer with the largest weighted error drop.
+        int best = -1;
+        double best_gain = 0.0;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            if (result.bits[i] >= 8)
+                continue;
+            const double gain =
+                static_cast<double>(layers[i].weightCount) *
+                (layers[i].nmse4 - layers[i].nmse8);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = static_cast<int>(i);
+            }
+        }
+        if (best < 0)
+            break; // nothing left to promote
+        result.bits[static_cast<size_t>(best)] = 8;
+        agg = aggregateNmse(layers, result.bits);
+    }
+
+    result.aggregateNmse = agg;
+    double bit_sum = 0.0, weight = 0.0;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const double w = static_cast<double>(layers[i].weightCount);
+        bit_sum += w * result.bits[i];
+        weight += w;
+        if (result.bits[i] >= 8)
+            ++result.layersAt8;
+    }
+    result.avgBits = weight > 0.0 ? bit_sum / weight : 0.0;
+    return result;
+}
+
+TieredAssignment
+assignBitsTiered(std::span<const TieredLayerError> layers, double budget)
+{
+    TieredAssignment result;
+    result.tier.assign(layers.size(), 0);
+
+    auto aggregate = [&]() {
+        double err = 0.0, weight = 0.0;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const double w =
+                static_cast<double>(layers[i].weightCount);
+            err += w * layers[i].nmse[static_cast<size_t>(
+                result.tier[i])];
+            weight += w;
+        }
+        return weight > 0.0 ? err / weight : 0.0;
+    };
+
+    double agg = aggregate();
+    while (agg > budget) {
+        int best = -1;
+        double best_gain = 0.0;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const size_t t = static_cast<size_t>(result.tier[i]);
+            if (t + 1 >= layers[i].nmse.size())
+                continue;
+            const double gain =
+                static_cast<double>(layers[i].weightCount) *
+                (layers[i].nmse[t] - layers[i].nmse[t + 1]);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = static_cast<int>(i);
+            }
+        }
+        if (best < 0)
+            break;
+        ++result.tier[static_cast<size_t>(best)];
+        agg = aggregate();
+    }
+
+    result.aggregateNmse = agg;
+    result.bits.resize(layers.size());
+    double bit_sum = 0.0, weight = 0.0;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        result.bits[i] =
+            layers[i].bits[static_cast<size_t>(result.tier[i])];
+        const double w = static_cast<double>(layers[i].weightCount);
+        bit_sum += w * result.bits[i];
+        weight += w;
+    }
+    result.avgBits = weight > 0.0 ? bit_sum / weight : 0.0;
+    return result;
+}
+
+} // namespace mant

@@ -1,0 +1,146 @@
+#include "quant/olive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "tensor/fp16.h"
+#include "tensor/stats.h"
+
+namespace mant {
+
+namespace {
+
+/**
+ * abfloat magnitudes: E2M1 with a per-unit bias — the grid
+ * {1, 1.5, 2, 3, 4, 6, 8, 12} * 2^bias, which keeps outliers within
+ * ~±17% relative error while spending only 4 bits.
+ */
+constexpr float kAbfloatMags[] = {1.0f, 1.5f, 2.0f, 3.0f,
+                                  4.0f, 6.0f, 8.0f, 12.0f};
+
+/** Quantize an outlier to the biased E2M1 grid. */
+float
+abfloatQuantize(float x, int bias)
+{
+    if (x == 0.0f)
+        return 0.0f;
+    const float mag = std::fabs(x) * std::ldexp(1.0f, -bias);
+    float best = kAbfloatMags[0];
+    float best_err = std::fabs(mag - best);
+    for (float m : kAbfloatMags) {
+        const float err = std::fabs(mag - m);
+        if (err < best_err) {
+            best_err = err;
+            best = m;
+        }
+    }
+    return std::copysign(std::ldexp(best, bias), x);
+}
+
+} // namespace
+
+Tensor
+quantDequantOlive(const Tensor &input, const OliveConfig &ocfg,
+                  const QuantConfig &cfg, QuantStats *stats)
+{
+    Tensor out(input.shape());
+    const int maxq = (1 << (ocfg.bits - 1)) - 1;
+
+    // At 8 bits the integer grid's dynamic range (127:1) covers LLM
+    // outlier magnitudes without clipping, so the outlier-victim
+    // mechanism is only engaged at narrow widths — consistent with
+    // OliVe's near-lossless 8-bit results.
+    if (ocfg.bits >= 8) {
+        Tensor out8 = quantDequantFixed(input, int8Format(), cfg, stats);
+        if (stats)
+            stats->metaBits = metaBitsPerElement(input, cfg, 8);
+        return out8;
+    }
+
+    forEachQuantUnit(
+        input, out, cfg,
+        [&](std::span<const float> in, std::span<float> o) {
+            const size_t n = in.size();
+
+            // Sigma over the unit decides the outlier threshold.
+            double sum = 0.0, sum_sq = 0.0;
+            float absmax = 0.0f;
+            for (float x : in) {
+                sum += x;
+                sum_sq += static_cast<double>(x) * x;
+                absmax = std::max(absmax, std::fabs(x));
+            }
+            const double mean = sum / static_cast<double>(n);
+            const double var =
+                std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+            const float thresh = static_cast<float>(
+                ocfg.outlierSigma * std::sqrt(var));
+
+            // Normal-value scale from the non-outlier max.
+            float normal_max = 0.0f;
+            for (float x : in) {
+                const float a = std::fabs(x);
+                if (thresh <= 0.0f || a <= thresh)
+                    normal_max = std::max(normal_max, a);
+            }
+            if (normal_max == 0.0f)
+                normal_max = absmax;
+            float scale = normal_max / static_cast<float>(maxq);
+            if (cfg.fp16Scale)
+                scale = fp16Round(scale);
+            if (scale == 0.0f)
+                scale = 1.0f;
+
+            // abfloat bias: position the grid top (12 * 2^bias) at or
+            // above the unit max so no outlier clips.
+            int bias = 0;
+            if (absmax > 0.0f)
+                bias = static_cast<int>(
+                    std::ceil(std::log2(absmax / 12.0f)));
+
+            // First pass: integer-quantize everything.
+            for (size_t i = 0; i < n; ++i) {
+                const float q = std::round(in[i] / scale);
+                o[i] = std::clamp(q, static_cast<float>(-maxq),
+                                  static_cast<float>(maxq)) * scale;
+            }
+
+            // Second pass: outlier-victim pairs. Even/odd neighbours
+            // form a pair; one outlier per pair may steal the slot.
+            for (size_t p = 0; p + 1 < n + 1; p += 2) {
+                const size_t a = p;
+                const size_t b = std::min(p + 1, n - 1);
+                const bool a_out =
+                    thresh > 0.0f && std::fabs(in[a]) > thresh;
+                const bool b_out = b != a && thresh > 0.0f &&
+                                   std::fabs(in[b]) > thresh;
+                if (a_out && b_out) {
+                    // Both outliers: protect the larger, the smaller
+                    // stays at the clipped integer value.
+                    if (std::fabs(in[a]) >= std::fabs(in[b]))
+                        o[a] = abfloatQuantize(in[a], bias);
+                    else
+                        o[b] = abfloatQuantize(in[b], bias);
+                } else if (a_out) {
+                    o[a] = abfloatQuantize(in[a], bias);
+                    if (b != a)
+                        o[b] = 0.0f; // victim
+                } else if (b_out) {
+                    o[b] = abfloatQuantize(in[b], bias);
+                    o[a] = 0.0f; // victim
+                }
+            }
+        });
+
+    if (stats) {
+        stats->unitCount = quantUnitCount(input, cfg);
+        // Scale plus the per-unit abfloat bias byte.
+        stats->metaBits = metaBitsPerElement(input, cfg, 8);
+        fillErrorStats(input, out, stats);
+    }
+    return out;
+}
+
+} // namespace mant

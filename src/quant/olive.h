@@ -1,0 +1,50 @@
+/**
+ * @file
+ * OliVe-style outlier-victim-pair quantization (Guo et al., ISCA'23).
+ *
+ * OliVe observes that outliers matter but are sparse, and that the
+ * value *adjacent* to an outlier (the "victim") can be sacrificed to
+ * give the outlier a wider encoding without disturbing the memory
+ * layout. Normal values use symmetric INT; an outlier steals its
+ * neighbour's slot and is encoded in "abfloat" — here modelled as a
+ * sign + 3-bit power-of-two with a per-unit bias that positions the
+ * 8-exponent window over the outlier range.
+ *
+ * Substitution note (DESIGN.md §2): the original abfloat is an adaptive
+ * biased float with mantissa; the E3M0+bias model keeps the property
+ * that matters for the paper's comparison — outliers survive with
+ * coarse relative precision while victims are zeroed — and its failure
+ * mode at small group sizes (victim loss outweighs outlier protection,
+ * Tbl. V) emerges naturally.
+ */
+
+#ifndef MANT_QUANT_OLIVE_H_
+#define MANT_QUANT_OLIVE_H_
+
+#include "quant/granularity.h"
+#include "quant/group_quantizer.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** OliVe quantization parameters. */
+struct OliveConfig
+{
+    int bits = 4;            ///< normal-value integer width
+    double outlierSigma = 4.0; ///< |x| > k*sigma marks an outlier
+};
+
+/**
+ * Outlier-victim pair quantize-dequantize.
+ *
+ * Within each quantization unit: normal values are INT-quantized with a
+ * scale derived from the non-outlier max; each outlier zeroes its pair
+ * partner and is encoded as sign * 2^(bias + e), e in 0..7, with bias
+ * chosen per unit to cover the unit's absolute maximum.
+ */
+Tensor quantDequantOlive(const Tensor &input, const OliveConfig &ocfg,
+                         const QuantConfig &cfg, QuantStats *stats = nullptr);
+
+} // namespace mant
+
+#endif // MANT_QUANT_OLIVE_H_

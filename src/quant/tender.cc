@@ -1,0 +1,97 @@
+#include "quant/tender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/fp16.h"
+#include "tensor/stats.h"
+
+namespace mant {
+
+Tensor
+quantDequantTender(const Tensor &input, const TenderConfig &tcfg,
+                   bool fp16Scale, QuantStats *stats)
+{
+    const int64_t rows = input.shape().outerCount();
+    const int64_t cols = input.shape().innerDim();
+    const int maxq = (1 << (tcfg.bits - 1)) - 1;
+    Tensor out(input.shape());
+
+    // Per-channel absolute maxima.
+    std::vector<float> chan_max(static_cast<size_t>(rows), 0.0f);
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = input.data() + r * cols;
+        float m = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            m = std::max(m, std::fabs(row[c]));
+        chan_max[static_cast<size_t>(r)] = m;
+    }
+
+    // Sort channels by magnitude and split into chunks of equal count —
+    // Tender's decomposition step.
+    std::vector<int64_t> order(static_cast<size_t>(rows));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return chan_max[static_cast<size_t>(a)] <
+               chan_max[static_cast<size_t>(b)];
+    });
+
+    const int chunks = std::max(1, std::min<int>(tcfg.numChunks,
+                                                 static_cast<int>(rows)));
+    const int64_t per_chunk = (rows + chunks - 1) / chunks;
+
+    for (int ch = 0; ch < chunks; ++ch) {
+        const int64_t c0 = static_cast<int64_t>(ch) * per_chunk;
+        const int64_t c1 = std::min<int64_t>(rows, c0 + per_chunk);
+        if (c0 >= c1)
+            break;
+
+        // Chunk base scale from the chunk's largest channel.
+        float chunk_max = 0.0f;
+        for (int64_t i = c0; i < c1; ++i)
+            chunk_max = std::max(
+                chunk_max, chan_max[static_cast<size_t>(
+                               order[static_cast<size_t>(i)])]);
+        float base = chunk_max / static_cast<float>(maxq);
+        if (fp16Scale)
+            base = fp16Round(base);
+        if (base == 0.0f)
+            base = 1.0f;
+
+        for (int64_t i = c0; i < c1; ++i) {
+            const int64_t r = order[static_cast<size_t>(i)];
+            const float cm = chan_max[static_cast<size_t>(r)];
+            // Per-channel shift: how many halvings of the base scale
+            // still avoid clipping this channel.
+            int shift = 0;
+            if (cm > 0.0f) {
+                shift = static_cast<int>(std::floor(
+                    std::log2(chunk_max / cm)));
+                shift = std::clamp(shift, 0, tcfg.maxShift);
+            }
+            const float scale = std::ldexp(base, -shift);
+
+            const float *row = input.data() + r * cols;
+            float *orow = out.data() + r * cols;
+            for (int64_t c = 0; c < cols; ++c) {
+                const float q = std::round(row[c] / scale);
+                orow[c] = std::clamp(q, static_cast<float>(-maxq),
+                                     static_cast<float>(maxq)) * scale;
+            }
+        }
+    }
+
+    if (stats) {
+        stats->unitCount = chunks;
+        // One FP16 base per chunk plus a 3-bit shift per channel.
+        stats->metaBits =
+            (16.0 * chunks + 3.0 * static_cast<double>(rows)) /
+            static_cast<double>(input.numel());
+        fillErrorStats(input, out, stats);
+    }
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tender-style channel-decomposition quantization (Lee et al., ISCA'24).
+ *
+ * Tender splits channels into chunks by magnitude, and within a chunk
+ * assigns each channel a scale that is the chunk base scale divided by
+ * a power of two, so dequantization across channels reduces to shifts
+ * folded into accumulation. Outlier channels land in their own chunk
+ * with a large base scale, while quiet channels keep fine resolution.
+ */
+
+#ifndef MANT_QUANT_TENDER_H_
+#define MANT_QUANT_TENDER_H_
+
+#include "quant/granularity.h"
+#include "quant/group_quantizer.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/** Tender quantization parameters. */
+struct TenderConfig
+{
+    int bits = 4;      ///< integer width
+    int numChunks = 8; ///< channel chunks per tensor
+    int maxShift = 7;  ///< largest per-channel power-of-two shift
+};
+
+/**
+ * Tender quantize-dequantize over a rank-2 tensor (rows = channels).
+ * Channel granularity is inherent to the method, so there is no
+ * QuantConfig: each channel gets scale = chunkBase / 2^shift.
+ */
+Tensor quantDequantTender(const Tensor &input, const TenderConfig &tcfg,
+                          bool fp16Scale = true,
+                          QuantStats *stats = nullptr);
+
+} // namespace mant
+
+#endif // MANT_QUANT_TENDER_H_

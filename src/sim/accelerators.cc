@@ -1,0 +1,80 @@
+#include "sim/accelerators.h"
+
+#include <vector>
+
+namespace mant {
+
+namespace {
+
+ArchConfig
+baseline4bit(const std::string &name)
+{
+    ArchConfig a;
+    a.name = name;
+    a.peBits = 4;
+    a.numPes = 4096;
+    a.arrayCols = 32;
+    a.mantFused = false;
+    a.hasRqu = false;
+    a.groupwiseHw = false;
+    a.quantizesAttention = false;
+    a.minWeightBits = 4;
+    a.totalAreaMm2 = areaReport(name).totalMm2();
+    return a;
+}
+
+} // namespace
+
+ArchConfig
+mantArch()
+{
+    ArchConfig a;
+    a.name = "MANT";
+    a.peBits = 8;
+    a.numPes = 1024;
+    a.arrayCols = 32;
+    a.mantFused = true;
+    a.hasRqu = true;
+    a.groupwiseHw = true;
+    a.quantizesAttention = true;
+    a.minWeightBits = 2;
+    a.totalAreaMm2 = areaReport("MANT").totalMm2();
+    return a;
+}
+
+ArchConfig
+antArch()
+{
+    return baseline4bit("ANT");
+}
+
+ArchConfig
+oliveArch()
+{
+    return baseline4bit("OliVe");
+}
+
+ArchConfig
+tenderArch()
+{
+    return baseline4bit("Tender");
+}
+
+ArchConfig
+bitFusionArch()
+{
+    ArchConfig a = baseline4bit("BitFusion");
+    a.minWeightBits = 4;
+    return a;
+}
+
+std::span<const ArchConfig>
+allArchs()
+{
+    static const std::vector<ArchConfig> archs = {
+        mantArch(), tenderArch(), oliveArch(), antArch(),
+        bitFusionArch()};
+    return {archs.data(), archs.size()};
+}
+
+} // namespace mant

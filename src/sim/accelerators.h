@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Named accelerator configurations (Sec. VII-A): MANT plus the four
+ * baselines, area-equalized, sharing bandwidth / buffers / frequency.
+ */
+
+#ifndef MANT_SIM_ACCELERATORS_H_
+#define MANT_SIM_ACCELERATORS_H_
+
+#include <span>
+
+#include "sim/arch_config.h"
+#include "sim/area_model.h"
+
+namespace mant {
+
+/** The MANT accelerator: 1024 8-bit PEs + 32 RQUs, fused decode. */
+ArchConfig mantArch();
+
+/** ANT*: 4096 4-bit PEs, adaptive-type decoders, 8-bit INT operation. */
+ArchConfig antArch();
+
+/** OliVe: 4096 4-bit PEs + outlier decoders, 4/8 mixed precision. */
+ArchConfig oliveArch();
+
+/** Tender: 4096 4-bit PEs, shift-based rescaling, 4/8 mixed. */
+ArchConfig tenderArch();
+
+/** BitFusion: 4096 4-bit fusion PEs, INT quantization, 8/16 mixed. */
+ArchConfig bitFusionArch();
+
+/** All five, in the figures' order: MANT, Tender, OliVe, ANT*, BitFusion. */
+std::span<const ArchConfig> allArchs();
+
+} // namespace mant
+
+#endif // MANT_SIM_ACCELERATORS_H_

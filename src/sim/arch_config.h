@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accelerator architecture descriptors.
+ *
+ * All five accelerators share memory bandwidth, buffer size and
+ * frequency (Sec. VII-A) and are area-equalized: MANT has 1024 8-bit
+ * PEs + 32 RQUs, the baselines 4096 4-bit fusion PEs. Mixed-precision
+ * throughput follows BitFusion composition: an (wa x wb) operation
+ * occupies wa*wb / peBits² PEs, so lanes = numPes * peBits² / (wa*wb).
+ */
+
+#ifndef MANT_SIM_ARCH_CONFIG_H_
+#define MANT_SIM_ARCH_CONFIG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/energy_model.h"
+
+namespace mant {
+
+/** Static description of one accelerator. */
+struct ArchConfig
+{
+    std::string name;
+
+    int peBits = 8;        ///< native PE operand width
+    int64_t numPes = 1024; ///< PE count (area-equalized)
+    int64_t arrayCols = 32; ///< systolic output columns (N tile)
+
+    double freqGHz = 1.0;
+    double dramGBps = 128.0;
+    int64_t bufferKB = 512;
+
+    /** Fused MANT decode (MAC+SAC) available in the PEs. */
+    bool mantFused = false;
+    /** On-chip real-time quantization units present. */
+    bool hasRqu = false;
+    /** Hardware support for per-group scale handling in accumulation. */
+    bool groupwiseHw = false;
+    /** Quantizes the attention layer (baselines run it at FP16). */
+    bool quantizesAttention = false;
+
+    /** Minimum operand width the datapath supports for weights. */
+    int minWeightBits = 2;
+
+    double totalAreaMm2 = 0.0; ///< from the area model
+
+    EnergyParams energy;
+
+    /** Parallel (wa x wb) lanes under BitFusion-style composition. */
+    int64_t
+    lanes(int wa, int wb) const
+    {
+        const int64_t pe_cap = static_cast<int64_t>(peBits) * peBits;
+        const int64_t need =
+            static_cast<int64_t>(std::max(wa, 2)) * std::max(wb, 2);
+        // Composition can split a PE (two 8x4 ops per 8-bit PE) or gang
+        // PEs (four 4-bit PEs per 8x8 op); both directions are ratios.
+        return std::max<int64_t>(1, numPes * pe_cap / need);
+    }
+
+    /** Systolic accumulation rows for a precision mode. */
+    int64_t
+    arrayRows(int wa, int wb) const
+    {
+        return std::max<int64_t>(1, lanes(wa, wb) / arrayCols);
+    }
+
+    /** DRAM bytes transferable per cycle. */
+    double
+    bytesPerCycle() const
+    {
+        return dramGBps / freqGHz;
+    }
+
+    /** Static power in watts (density x area). */
+    double
+    staticWatts() const
+    {
+        return energy.staticMwPerMm2 * totalAreaMm2 * 1e-3;
+    }
+};
+
+} // namespace mant
+
+#endif // MANT_SIM_ARCH_CONFIG_H_

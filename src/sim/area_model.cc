@@ -1,0 +1,73 @@
+#include "sim/area_model.h"
+
+#include <stdexcept>
+
+namespace mant {
+
+double
+AreaReport::coreMm2() const
+{
+    double total = 0.0;
+    for (const AreaItem &i : core)
+        total += i.totalMm2();
+    return total;
+}
+
+double
+AreaReport::sharedMm2() const
+{
+    double total = 0.0;
+    for (const AreaItem &i : shared)
+        total += i.totalMm2();
+    return total;
+}
+
+double
+AreaReport::totalMm2() const
+{
+    return coreMm2() + sharedMm2();
+}
+
+AreaReport
+areaReport(const std::string &arch)
+{
+    AreaReport r;
+    r.arch = arch;
+    // Shared components are identical across accelerators (Sec. VII-C).
+    r.shared = {
+        {"buffer-512KB", area::kBufferMm2 * 1e6, 1},
+        {"vector-units-x64", area::kVectorUnitsMm2 * 1e6, 1},
+        {"accumulation-units-x32", area::kAccumUnitsMm2 * 1e6, 1},
+    };
+
+    if (arch == "MANT") {
+        r.core = {
+            {"8-bit PE", area::kMant8bitPeUm2, 1024},
+            {"RQU", area::kRquUm2, 32},
+        };
+    } else if (arch == "OliVe") {
+        r.core = {
+            {"4-bit PE", area::kOlive4bitPeUm2, 4096},
+            {"4-bit decoder", area::kOlive4bitDecoderUm2, 128},
+            {"8-bit decoder", area::kOlive8bitDecoderUm2, 64},
+        };
+    } else if (arch == "ANT") {
+        r.core = {
+            {"4-bit PE", area::kAnt4bitPeUm2, 4096},
+            {"decoder", area::kAntDecoderUm2, 128},
+        };
+    } else if (arch == "Tender") {
+        r.core = {
+            {"4-bit PE", area::kTender4bitPeUm2, 4096},
+        };
+    } else if (arch == "BitFusion") {
+        r.core = {
+            {"4-bit PE", area::kBitFusion4bitPeUm2, 4096},
+        };
+    } else {
+        throw std::invalid_argument("areaReport: unknown arch " + arch);
+    }
+    return r;
+}
+
+} // namespace mant

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Area model (Tbl. IV): per-component areas at 28 nm. The per-PE /
+ * decoder / RQU figures are the paper's own synthesis results (used
+ * here as constants); buffer and vector-unit areas likewise. Totals
+ * feed the static-power model and the area-equalization argument
+ * (baselines get 4x the 4-bit PEs of MANT's 8-bit PEs).
+ */
+
+#ifndef MANT_SIM_AREA_MODEL_H_
+#define MANT_SIM_AREA_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mant {
+
+/** One area line item. */
+struct AreaItem
+{
+    std::string component;
+    double unitUm2 = 0.0; ///< area per instance, µm²
+    int64_t count = 0;
+
+    double
+    totalMm2() const
+    {
+        return unitUm2 * static_cast<double>(count) * 1e-6;
+    }
+};
+
+/** Area report for one accelerator. */
+struct AreaReport
+{
+    std::string arch;
+    std::vector<AreaItem> core;   ///< PEs, decoders, RQUs
+    std::vector<AreaItem> shared; ///< buffers, vector units, accumulators
+
+    double coreMm2() const;
+    double sharedMm2() const;
+    double totalMm2() const;
+};
+
+/** Tbl. IV constants (µm², 28 nm). */
+namespace area {
+inline constexpr double kMant8bitPeUm2 = 281.75;
+inline constexpr double kRquUm2 = 416.63;
+inline constexpr double kOlive4bitPeUm2 = 79.57;
+inline constexpr double kOlive4bitDecoderUm2 = 48.51;
+inline constexpr double kOlive8bitDecoderUm2 = 73.25;
+inline constexpr double kAnt4bitPeUm2 = 79.57;
+inline constexpr double kAntDecoderUm2 = 4.9;
+inline constexpr double kTender4bitPeUm2 = 77.28;
+/** BitFusion PE modelled like the other 4-bit fusion PEs. */
+inline constexpr double kBitFusion4bitPeUm2 = 79.57;
+inline constexpr double kBufferMm2 = 4.2;      // 512 KB
+inline constexpr double kVectorUnitsMm2 = 0.069; // #64
+inline constexpr double kAccumUnitsMm2 = 0.016;  // #32
+} // namespace area
+
+/** Build the Tbl. IV report for a named architecture
+ *  ("MANT", "ANT", "OliVe", "Tender", "BitFusion"). */
+AreaReport areaReport(const std::string &arch);
+
+} // namespace mant
+
+#endif // MANT_SIM_AREA_MODEL_H_

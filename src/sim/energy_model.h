@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Energy model constants and accounting (28 nm).
+ *
+ * Per DESIGN.md §2 (substitution 4), synthesis/CACTI numbers are
+ * replaced by an analytic model. Constants are drawn from published
+ * 28-45 nm figures, primarily Horowitz, "Computing's energy problem"
+ * (ISSCC 2014), scaled to 28 nm:
+ *  - INT8 multiply ≈ 0.2 pJ @45 nm -> ≈ 0.12 pJ @28 nm; multiplier
+ *    energy scales roughly with the product of operand widths;
+ *  - 32-bit add ≈ 0.1 pJ @45 nm -> ≈ 0.06 pJ;
+ *  - large SRAM ≈ 0.08 pJ/bit per access (CACTI-class 512 KB array);
+ *  - DRAM ≈ 15 pJ/bit end-to-end (DDR4-class);
+ *  - static power density ≈ 30 mW/mm² for always-on logic at 28 nm.
+ * Absolute joules are therefore approximate; the benches report values
+ * normalized to a baseline, which is what the paper's figures show.
+ */
+
+#ifndef MANT_SIM_ENERGY_MODEL_H_
+#define MANT_SIM_ENERGY_MODEL_H_
+
+namespace mant {
+
+/** Tunable energy constants (picojoules unless noted). */
+struct EnergyParams
+{
+    /** INT8xINT8 MAC; other widths scale by (wa*wb)/64. */
+    double macPj8x8 = 0.12;
+
+    /** Shift-accumulate (the SAC lane): barrel shift + add. */
+    double sacPj = 0.04;
+
+    /** Vector-unit op (FP16 multiply for dequant scale products). */
+    double vectorPj = 0.4;
+
+    /** RQU element step (FP16 compare + two FP16 accumulates). */
+    double rquPj = 0.3;
+
+    /** On-chip buffer access energy per byte. */
+    double sramPjPerByte = 0.64; // 0.08 pJ/bit
+
+    /** DRAM access energy per byte. */
+    double dramPjPerByte = 120.0; // 15 pJ/bit
+
+    /** Static power density, mW per mm² of accelerator area. */
+    double staticMwPerMm2 = 30.0;
+};
+
+/** MAC energy for an (wa x wb)-bit multiply-accumulate. */
+inline double
+macEnergyPj(const EnergyParams &p, int wa, int wb)
+{
+    return p.macPj8x8 * static_cast<double>(wa) *
+           static_cast<double>(wb) / 64.0;
+}
+
+/** Energy totals by component (joules). */
+struct EnergyBreakdown
+{
+    double corePj = 0.0;
+    double bufferPj = 0.0;
+    double dramPj = 0.0;
+    double staticPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return corePj + bufferPj + dramPj + staticPj;
+    }
+
+    void
+    add(const EnergyBreakdown &o)
+    {
+        corePj += o.corePj;
+        bufferPj += o.bufferPj;
+        dramPj += o.dramPj;
+        staticPj += o.staticPj;
+    }
+};
+
+} // namespace mant
+
+#endif // MANT_SIM_ENERGY_MODEL_H_

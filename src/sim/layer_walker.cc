@@ -1,0 +1,108 @@
+#include "sim/layer_walker.h"
+
+#include <stdexcept>
+
+namespace mant {
+
+namespace {
+
+GemmShape
+linearShape(const WalkSpec &spec, int64_t k, int64_t n, int weightBits)
+{
+    GemmShape g;
+    g.m = spec.stage == Stage::Prefill ? spec.seqLen : 1;
+    g.k = k;
+    g.n = n;
+    g.actBits = spec.actFollowsWeights ? weightBits : spec.actBits;
+    g.weightBits = weightBits;
+    g.groupSize = spec.groupSize;
+    // The fused MANT path only applies to 4-bit MANT-coded weights;
+    // layers promoted to 8-bit run as plain INT8.
+    g.mantWeights = spec.mantWeights && weightBits == 4;
+    g.outputQuant = spec.quantizeOutputs;
+    g.weightsFromDram = true;
+    return g;
+}
+
+} // namespace
+
+std::vector<WorkItem>
+linearWork(const WalkSpec &spec)
+{
+    const ArchDims &d = spec.dims;
+    if (!spec.layerWeightBits.empty() &&
+        static_cast<int64_t>(spec.layerWeightBits.size()) != d.nLayers) {
+        throw std::invalid_argument(
+            "linearWork: layerWeightBits size must equal nLayers");
+    }
+
+    std::vector<WorkItem> items;
+    for (int64_t l = 0; l < d.nLayers; ++l) {
+        const int bits =
+            spec.layerWeightBits.empty()
+                ? spec.defaultWeightBits
+                : spec.layerWeightBits[static_cast<size_t>(l)];
+        items.push_back({"qkv+o l" + std::to_string(l),
+                         linearShape(spec, d.dModel, d.dModel, bits), 4});
+        items.push_back({"ffn-up l" + std::to_string(l),
+                         linearShape(spec, d.dModel, d.dFfn, bits),
+                         spec.ffnMats - 1});
+        items.push_back({"ffn-down l" + std::to_string(l),
+                         linearShape(spec, d.dFfn, d.dModel, bits), 1});
+    }
+    return items;
+}
+
+std::vector<WorkItem>
+attentionWork(const WalkSpec &spec)
+{
+    const ArchDims &d = spec.dims;
+    const int64_t dh = d.headDim();
+    const int64_t m = spec.stage == Stage::Prefill ? spec.seqLen : 1;
+    const int64_t ctx = spec.seqLen;
+
+    std::vector<WorkItem> items;
+
+    // Q * K^T: reduction over the head dim; the K cache streams from
+    // DRAM as "dynamic weights".
+    GemmShape qk;
+    qk.m = m;
+    qk.k = dh;
+    qk.n = ctx;
+    qk.actBits = spec.attnActBits;
+    qk.weightBits = spec.kvBits;
+    qk.groupSize = spec.attnGroupSize;
+    qk.mantWeights = spec.mantKv;
+    qk.outputQuant = spec.mantKv; // scores requantized for P
+    qk.weightsFromDram = true;
+    items.push_back({"qk^T", qk, d.nLayers * d.nHeads});
+
+    // P * V: reduction over the sequence.
+    GemmShape pv;
+    pv.m = m;
+    pv.k = ctx;
+    pv.n = dh;
+    pv.actBits = spec.attnActBits;
+    pv.weightBits = spec.kvBits;
+    pv.groupSize = spec.attnGroupSize;
+    pv.mantWeights = spec.mantKv;
+    pv.outputQuant = spec.mantKv;
+    pv.weightsFromDram = true;
+    items.push_back({"pv", pv, d.nLayers * d.nHeads});
+
+    return items;
+}
+
+GemmStats
+runWork(const ArchConfig &arch, std::span<const WorkItem> items)
+{
+    GemmStats total;
+    for (const WorkItem &item : items) {
+        GemmStats one = simulateGemm(arch, item.shape);
+        for (int64_t c = 0; c < item.count; ++c)
+            total.add(one);
+    }
+    return total;
+}
+
+} // namespace mant

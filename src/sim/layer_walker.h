@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Transformer -> GEMM decomposition for the accelerator simulator.
+ *
+ * Walks a model's published (full-size) dimensions and emits the GEMM
+ * work list of the linear layers and/or the attention layers, for the
+ * prefill stage (M = sequence) or one decode step (M = 1 at a given
+ * context length). Per-layer weight bit widths come from the
+ * error-budget policy, reproducing the paper's PPL-aligned
+ * mixed-precision baselines.
+ */
+
+#ifndef MANT_SIM_LAYER_WALKER_H_
+#define MANT_SIM_LAYER_WALKER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "sim/systolic.h"
+
+namespace mant {
+
+/** Inference stage being simulated. */
+enum class Stage
+{
+    Prefill, ///< GEMM over the whole sequence
+    Decode,  ///< GEMV for one token at a context length
+};
+
+/** One GEMM of the walk, with a repeat count. */
+struct WorkItem
+{
+    std::string what;
+    GemmShape shape;
+    int64_t count = 1;
+};
+
+/** Everything the walker needs to emit work for one accelerator. */
+struct WalkSpec
+{
+    ArchDims dims;
+    Stage stage = Stage::Prefill;
+    int64_t seqLen = 2048; ///< prefill length / decode context
+
+    /** FFN matrices per layer: 3 for SwiGLU (LLaMA), 2 for OPT/BLOOM. */
+    int ffnMats = 3;
+
+    /** Per-layer weight bits (size nLayers); empty = all defaultBits. */
+    std::vector<int> layerWeightBits;
+    int defaultWeightBits = 4;
+
+    int actBits = 8;
+    /** Baselines' PEs couple activation and weight widths (Sec.
+     *  VII-B): when set, each layer's activations use its weight
+     *  bits instead of actBits. */
+    bool actFollowsWeights = false;
+    int64_t groupSize = 64; ///< 0 = channel/tensor-wise metadata
+    bool mantWeights = false;
+    bool quantizeOutputs = false; ///< runtime activation re-quant
+
+    /** Attention configuration (the baselines run it at FP16). */
+    int attnActBits = 16;
+    int kvBits = 16;
+    int64_t attnGroupSize = 0;
+    bool mantKv = false;
+};
+
+/** GEMMs of all linear (projection + FFN) layers. */
+std::vector<WorkItem> linearWork(const WalkSpec &spec);
+
+/** GEMMs of all attention (QK^T and PV) operations. */
+std::vector<WorkItem> attentionWork(const WalkSpec &spec);
+
+/** Simulate a work list on an architecture and aggregate the stats. */
+GemmStats runWork(const ArchConfig &arch,
+                  std::span<const WorkItem> items);
+
+} // namespace mant
+
+#endif // MANT_SIM_LAYER_WALKER_H_

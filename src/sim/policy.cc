@@ -1,0 +1,145 @@
+#include "sim/policy.h"
+
+#include <string>
+
+#include "model/quantized_linear.h"
+#include "tensor/stats.h"
+
+namespace mant {
+
+namespace {
+
+/** The activation method each weight method's hardware pairs with. */
+ActMethod
+pairedActMethod(WeightMethod wm)
+{
+    switch (wm) {
+      case WeightMethod::Ant: return ActMethod::Ant;
+      case WeightMethod::Olive: return ActMethod::Olive;
+      case WeightMethod::Tender: return ActMethod::Tender;
+      case WeightMethod::Mant: return ActMethod::Int;
+      default: return ActMethod::Int;
+    }
+}
+
+/** Sample activation/weight pair for one arch layer. */
+struct LayerSample
+{
+    Tensor x;   ///< (tokens, inner)
+    Tensor w;   ///< (rows, inner)
+    Tensor ref; ///< x * w^T
+};
+
+LayerSample
+sampleLayer(const ModelProfile &profile, int64_t layer,
+            const PolicyConfig &cfg)
+{
+    Rng rng(profile.seed * 7919 + static_cast<uint64_t>(layer) * 131);
+    const DistProfile &stats =
+        layer == 0 ? profile.firstLayerStats : profile.weightStats;
+    LayerSample s;
+    s.w = genWeightMatrix(rng, cfg.sampleRows, cfg.sampleCols, stats);
+    s.x = genActivationMatrix(rng, 64, cfg.sampleCols, profile.actStats);
+    s.ref = linearNT(s.x, s.w);
+    return s;
+}
+
+/**
+ * Output NMSE of one layer sample under (method, width): quantize both
+ * operands the way the method's hardware would and compare the GEMM
+ * output against the FP reference. Width 16 means FP16 storage.
+ */
+double
+layerOutputNmse(const LayerSample &s, WeightMethod method, int width,
+                const PolicyConfig &cfg)
+{
+    QuantSetup setup;
+    setup.weightGran = cfg.granularity;
+    setup.weightGroup = cfg.groupSize;
+    setup.actGran = cfg.granularity == Granularity::PerGroup
+                        ? Granularity::PerGroup
+                        : Granularity::PerTensor;
+    setup.actGroup = cfg.groupSize;
+
+    if (width >= 16) {
+        setup.weight = WeightMethod::Fp16;
+        setup.act = ActMethod::None;
+    } else {
+        setup.weight = method;
+        setup.weightBits = width;
+        setup.act = pairedActMethod(method);
+        // MANT's activations are always INT8; the baselines' hardware
+        // couples activation and weight widths (Sec. VII-B).
+        setup.actBits = method == WeightMethod::Mant ? 8 : width;
+    }
+
+    const Tensor weff = quantizeWeightMatrix(s.w, setup);
+    const Tensor xeff = setup.act == ActMethod::None
+                            ? s.x
+                            : quantizeActivations(s.x, setup);
+    const Tensor out = linearNT(xeff, weff);
+    return nmse(s.ref.span(), out.span());
+}
+
+/** Per-layer parameter count of the full-size model. */
+int64_t
+layerParams(const ArchDims &d, int ffnMats)
+{
+    return 4 * d.dModel * d.dModel +
+           static_cast<int64_t>(ffnMats) * d.dModel * d.dFfn;
+}
+
+} // namespace
+
+double
+mantErrorBudget(const ModelProfile &profile, const PolicyConfig &cfg)
+{
+    PolicyConfig mant_cfg = cfg;
+    mant_cfg.granularity = Granularity::PerGroup;
+
+    const int64_t n_layers = profile.archDims.nLayers;
+    double err = 0.0;
+    for (int64_t l = 0; l < n_layers; ++l) {
+        const LayerSample s = sampleLayer(profile, l, mant_cfg);
+        err += layerOutputNmse(s, WeightMethod::Mant, 4, mant_cfg);
+    }
+    return err / static_cast<double>(n_layers);
+}
+
+PrecisionPlan
+alignPrecision(const ModelProfile &profile, WeightMethod method,
+               std::span<const int> widths, double budget,
+               const PolicyConfig &cfg)
+{
+    const int64_t n_layers = profile.archDims.nLayers;
+    const int ffn_mats =
+        profile.family == ModelFamily::Llama ? 3 : 2;
+    const int64_t params = layerParams(profile.archDims, ffn_mats);
+
+    std::vector<TieredLayerError> layers;
+    layers.reserve(static_cast<size_t>(n_layers));
+    for (int64_t l = 0; l < n_layers; ++l) {
+        const LayerSample s = sampleLayer(profile, l, cfg);
+        TieredLayerError e;
+        e.name = "layer" + std::to_string(l);
+        e.weightCount = params;
+        for (int w : widths) {
+            e.bits.push_back(w);
+            e.nmse.push_back(layerOutputNmse(s, method, w, cfg));
+        }
+        layers.push_back(std::move(e));
+    }
+
+    const TieredAssignment a = assignBitsTiered(layers, budget);
+    PrecisionPlan plan;
+    plan.layerBits = a.bits;
+    plan.aggregateNmse = a.aggregateNmse;
+    plan.avgBits = a.avgBits;
+    for (int b : a.bits) {
+        if (b > widths.front())
+            ++plan.layersAbove4;
+    }
+    return plan;
+}
+
+} // namespace mant

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PPL-aligned precision policy (Sec. VII-A methodology).
+ *
+ * The paper compares accelerators at "nearly equivalent area and PPL":
+ * each baseline promotes layers to higher precision until its accuracy
+ * matches MANT's. We reproduce this honestly: per arch layer we sample
+ * a weight matrix with the model's statistics, measure the method's
+ * quantization NMSE at each candidate width, and run the greedy
+ * error-budget assignment with MANT's own aggregate error as budget.
+ */
+
+#ifndef MANT_SIM_POLICY_H_
+#define MANT_SIM_POLICY_H_
+
+#include <vector>
+
+#include "model/model_profiles.h"
+#include "model/quant_setup.h"
+#include "quant/mixed_precision.h"
+
+namespace mant {
+
+/** Result: the per-layer bit map fed to the layer walker. */
+struct PrecisionPlan
+{
+    std::vector<int> layerBits; ///< one entry per arch layer
+    double aggregateNmse = 0.0;
+    double avgBits = 0.0;
+    int layersAbove4 = 0;
+};
+
+/** Options for the policy measurement. */
+struct PolicyConfig
+{
+    int64_t sampleRows = 96;  ///< proxy matrix rows per layer
+    int64_t sampleCols = 512; ///< proxy matrix cols (inner dim)
+    int64_t groupSize = 64;   ///< group size for group-wise methods
+    Granularity granularity = Granularity::PerChannel;
+};
+
+/**
+ * Measured aggregate NMSE of MANT 4-bit group-wise quantization on the
+ * profile — this is the budget the baselines must meet.
+ */
+double mantErrorBudget(const ModelProfile &profile,
+                       const PolicyConfig &cfg = {});
+
+/**
+ * Build the PPL-aligned per-layer bit map for a baseline method.
+ *
+ * @param profile  Model whose layers are sampled.
+ * @param method   Baseline weight method.
+ * @param widths   Candidate widths ascending (e.g. {4, 8} or {8, 16}).
+ * @param budget   Aggregate NMSE budget (use mantErrorBudget()).
+ */
+PrecisionPlan alignPrecision(const ModelProfile &profile,
+                             WeightMethod method,
+                             std::span<const int> widths, double budget,
+                             const PolicyConfig &cfg = {});
+
+} // namespace mant
+
+#endif // MANT_SIM_POLICY_H_

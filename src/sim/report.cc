@@ -1,0 +1,72 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mant {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::left
+               << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << " |\n";
+    };
+    emit(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(width[c] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream ss;
+    if (value != 0.0 && (value >= 1e5 || value < 1e-3)) {
+        ss << std::scientific << std::setprecision(1) << value;
+    } else {
+        ss << std::fixed << std::setprecision(precision) << value;
+    }
+    return ss.str();
+}
+
+std::string
+fmtX(double value, int precision)
+{
+    return fmt(value, precision) + "x";
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace mant

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table formatting for the bench binaries: fixed-width columns that
+ * read like the paper's tables on a terminal.
+ */
+
+#ifndef MANT_SIM_REPORT_H_
+#define MANT_SIM_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mant {
+
+/** Accumulates rows and prints a fixed-width table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 2);
+
+/** Format as "x.yz×" (speedup style). */
+std::string fmtX(double value, int precision = 2);
+
+/** Section banner for bench output. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace mant
+
+#endif // MANT_SIM_REPORT_H_

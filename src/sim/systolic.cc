@@ -1,0 +1,154 @@
+#include "sim/systolic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mant {
+
+void
+GemmStats::add(const GemmStats &o)
+{
+    computeCycles += o.computeCycles;
+    memCycles += o.memCycles;
+    exposedQuantCycles += o.exposedQuantCycles;
+    cycles += o.cycles;
+    memoryBound = memoryBound || o.memoryBound;
+    macOps += o.macOps;
+    sacOps += o.sacOps;
+    vectorOps += o.vectorOps;
+    rquOps += o.rquOps;
+    dramBytes += o.dramBytes;
+    bufferBytes += o.bufferBytes;
+    energy.add(o.energy);
+}
+
+double
+exposedDividerCycles(int64_t kTiles, int64_t nTiles)
+{
+    // The divider pipeline overlaps with the next tile's K-iterations;
+    // with >= 12 iterations the 12-cycle latency is fully hidden.
+    if (kTiles >= kDividerLatency)
+        return 0.0;
+    return static_cast<double>(kDividerLatency - kTiles) *
+           static_cast<double>(nTiles);
+}
+
+double
+rquTailCycles(int64_t cols, int64_t groupSize)
+{
+    // Comparator chain fill plus the final reduction rounds for one
+    // group (Fig. 10: 64-element groups over 32 RQUs need 2 rounds).
+    const int64_t rounds = (groupSize + cols - 1) / cols;
+    return static_cast<double>(cols + rounds);
+}
+
+GemmStats
+simulateGemm(const ArchConfig &arch, const GemmShape &shape)
+{
+    GemmStats s;
+    const int wa = shape.actBits;
+    const int wb = std::max(shape.weightBits, arch.minWeightBits);
+
+    const int64_t cols = arch.arrayCols;
+    const int64_t rows = arch.arrayRows(wa, wb);
+    const int64_t k_tiles = (shape.k + rows - 1) / rows;
+    const int64_t n_tiles = (shape.n + cols - 1) / cols;
+
+    // --- Compute timing. Weight tiles are double-buffered and stream
+    // into the array at lane rate, so consecutive tiles (across both K
+    // and N) run back to back and the (rows + cols) pipeline fill is a
+    // one-time latency. This is what makes the decode-stage GEMV
+    // bandwidth-bound rather than fill-bound, matching the paper's
+    // characterization of the decode stage.
+    s.computeCycles =
+        static_cast<double>(k_tiles) * static_cast<double>(n_tiles) *
+            static_cast<double>(shape.m) +
+        static_cast<double>(rows) + static_cast<double>(cols);
+
+    // --- Output quantization overhead.
+    if (shape.outputQuant) {
+        if (arch.hasRqu) {
+            s.exposedQuantCycles =
+                exposedDividerCycles(k_tiles, n_tiles) +
+                rquTailCycles(cols, shape.groupSize > 0 ? shape.groupSize
+                                                        : cols);
+            s.rquOps = 2.0 * static_cast<double>(shape.m) *
+                       static_cast<double>(shape.n);
+        } else {
+            // No RQU: scale search + division run on the vector units,
+            // serialized after the GEMM (Sec. VII-D).
+            s.exposedQuantCycles =
+                static_cast<double>(shape.m) *
+                    static_cast<double>(shape.n) / 64.0 +
+                static_cast<double>(kDividerLatency) *
+                    static_cast<double>(n_tiles);
+            s.vectorOps += static_cast<double>(shape.m) *
+                           static_cast<double>(shape.n);
+        }
+    }
+
+    // --- DRAM traffic.
+    const double w_elems =
+        static_cast<double>(shape.k) * static_cast<double>(shape.n);
+    const double a_elems =
+        static_cast<double>(shape.m) * static_cast<double>(shape.k);
+    const double o_elems =
+        static_cast<double>(shape.m) * static_cast<double>(shape.n);
+
+    double w_bytes = w_elems * wb / 8.0;
+    double a_bytes = a_elems * wa / 8.0;
+    if (shape.groupSize > 0) {
+        const double w_groups =
+            std::ceil(static_cast<double>(shape.k) /
+                      static_cast<double>(shape.groupSize)) *
+            static_cast<double>(shape.n);
+        const double a_groups =
+            std::ceil(static_cast<double>(shape.k) /
+                      static_cast<double>(shape.groupSize)) *
+            static_cast<double>(shape.m);
+        // FP16 scale per group; MANT adds the 8-bit coefficient.
+        w_bytes += w_groups * (2.0 + (shape.mantWeights ? 1.0 : 0.0));
+        a_bytes += a_groups * 2.0;
+    }
+    const double o_bytes = o_elems * (shape.outputQuant ? 1.0 : 2.0);
+
+    s.dramBytes = a_bytes + o_bytes +
+                  (shape.weightsFromDram ? w_bytes : 0.0);
+    s.memCycles = s.dramBytes / arch.bytesPerCycle();
+
+    // Quantization overhead is compute-side: when the GEMM is
+    // bandwidth-bound it hides under the DRAM stalls.
+    s.memoryBound = s.memCycles > s.computeCycles;
+    s.cycles = std::max(s.computeCycles + s.exposedQuantCycles,
+                        s.memCycles);
+
+    // --- Operation counts.
+    s.macOps = static_cast<double>(shape.m) *
+               static_cast<double>(shape.k) *
+               static_cast<double>(shape.n);
+    s.sacOps = (shape.mantWeights && arch.mantFused) ? s.macOps : 0.0;
+    // Deferred dequantization: one scale multiply per output partial
+    // per K-tile, pipelined in the accumulators (Sec. VI-E).
+    s.vectorOps += o_elems * static_cast<double>(k_tiles);
+
+    // --- Buffer traffic: weights once, activations once per N-tile,
+    // outputs write+read once (accumulation lives in the accumulator
+    // registers between K-tiles).
+    s.bufferBytes = w_bytes +
+                    a_bytes * static_cast<double>(n_tiles) +
+                    o_elems * 4.0 * 2.0;
+
+    // --- Energy.
+    const EnergyParams &e = arch.energy;
+    s.energy.corePj = s.macOps * macEnergyPj(e, wa, wb) +
+                      s.sacOps * e.sacPj + s.vectorOps * e.vectorPj +
+                      s.rquOps * e.rquPj;
+    s.energy.bufferPj = s.bufferBytes * e.sramPjPerByte;
+    s.energy.dramPj = s.dramBytes * e.dramPjPerByte;
+    // staticW * seconds -> J; convert to pJ (1e12), cycles at GHz (1e9).
+    s.energy.staticPj =
+        arch.staticWatts() * s.cycles / (arch.freqGHz * 1e9) * 1e12;
+    return s;
+}
+
+} // namespace mant

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-level GEMM simulation on the weight-stationary systolic array
+ * (Sec. VI-B / VI-E). Tile-granularity accounting, the modelling level
+ * of DNNWeaver-class simulators: double-buffered weight tiles (fill and
+ * drain paid once per output-column tile, so consecutive K-tiles stream
+ * back to back), the deferred group-wise dequantization in the
+ * accumulators, RQU overlap for output quantization, the non-pipelined
+ * 12-cycle division unit (hidden once a tile accumulates over >= 12
+ * K-iterations), and a bandwidth-limited DRAM model; energy by
+ * component.
+ */
+
+#ifndef MANT_SIM_SYSTOLIC_H_
+#define MANT_SIM_SYSTOLIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/arch_config.h"
+
+namespace mant {
+
+/** One GEMM (or GEMV) workload. */
+struct GemmShape
+{
+    int64_t m = 1; ///< output rows (1 in the decode stage)
+    int64_t k = 1; ///< reduction dimension
+    int64_t n = 1; ///< output columns
+
+    int actBits = 8;
+    int weightBits = 4;
+
+    /** Group size of the quantized operands (0 = channel/tensor-wise:
+     *  scale handling costs nothing extra per group). */
+    int64_t groupSize = 64;
+
+    /** Weight operand is MANT-coded (enables the SAC lane cost). */
+    bool mantWeights = false;
+
+    /** Output must be re-quantized in real time (activations / KV). */
+    bool outputQuant = false;
+
+    /** The "weight" operand streams from DRAM each time (weights, KV
+     *  cache) rather than staying resident. */
+    bool weightsFromDram = true;
+};
+
+/** Simulation result for one GEMM (all values for a single pass). */
+struct GemmStats
+{
+    double computeCycles = 0.0;
+    double memCycles = 0.0;
+    double exposedQuantCycles = 0.0;
+    double cycles = 0.0; ///< max(compute, mem) + exposed
+    bool memoryBound = false;
+
+    double macOps = 0.0;
+    double sacOps = 0.0;
+    double vectorOps = 0.0;
+    double rquOps = 0.0;
+
+    double dramBytes = 0.0;
+    double bufferBytes = 0.0;
+
+    EnergyBreakdown energy;
+
+    /** Aggregate another stats record (cycles are additive: the layer
+     *  walker serializes GEMMs, as the single systolic array does). */
+    void add(const GemmStats &o);
+
+    double
+    timeUs(const ArchConfig &arch) const
+    {
+        return cycles / (arch.freqGHz * 1e3);
+    }
+};
+
+/** Latency of the division unit used for scale computation. */
+inline constexpr int kDividerLatency = 12;
+
+/**
+ * Simulate one GEMM on an architecture.
+ *
+ * @param arch  The accelerator.
+ * @param shape The workload.
+ */
+GemmStats simulateGemm(const ArchConfig &arch, const GemmShape &shape);
+
+/**
+ * Exposed (non-hidden) output-quantization cycles for a tile that
+ * accumulates over `kTiles` K-iterations: the 12-cycle non-pipelined
+ * divider is fully hidden when kTiles >= 12 (Sec. VI-E).
+ */
+double exposedDividerCycles(int64_t kTiles, int64_t nTiles);
+
+/**
+ * RQU pipeline latency for an output tile of (rows x cols): the
+ * comparator chain fills in `cols` cycles and then streams one result
+ * per cycle, overlapping the array's own drain; the exposed tail is
+ * cols + ceil(groupSize/cols) - pipelined against compute when more
+ * tiles follow.
+ */
+double rquTailCycles(int64_t cols, int64_t groupSize);
+
+} // namespace mant
+
+#endif // MANT_SIM_SYSTOLIC_H_

@@ -1,0 +1,85 @@
+#include "tensor/distribution.h"
+
+#include <cmath>
+
+namespace mant {
+
+Tensor
+genWeightMatrix(Rng &rng, int64_t rows, int64_t cols,
+                const DistProfile &profile)
+{
+    Tensor w(Shape{rows, cols});
+    const int64_t gsize = std::max<int64_t>(1, profile.shapeGroup);
+
+    for (int64_t r = 0; r < rows; ++r) {
+        // Channel-level scale.
+        const double chan_sigma =
+            rng.logNormal(profile.sigmaMu, profile.sigmaSpread);
+        float *row = w.data() + r * cols;
+
+        for (int64_t g0 = 0; g0 < cols; g0 += gsize) {
+            const int64_t g1 = std::min(cols, g0 + gsize);
+            // Group-level drift and shape selection: this is what makes
+            // groups within one channel genuinely different (Fig. 3).
+            const double sigma =
+                chan_sigma * rng.logNormal(0.0, profile.groupDrift);
+            const double shape_pick = rng.uniform();
+            const double lap_hi = profile.laplaceMix;
+            const double uni_hi = lap_hi + profile.uniformMix;
+            const double logu_hi = uni_hi + profile.logUniformMix;
+
+            for (int64_t c = g0; c < g1; ++c) {
+                double v;
+                if (shape_pick < lap_hi) {
+                    v = rng.laplace(sigma / std::sqrt(2.0));
+                } else if (shape_pick < uni_hi) {
+                    v = rng.uniform(-sigma * 1.7320508, sigma * 1.7320508);
+                } else if (shape_pick < logu_hi) {
+                    // Log-uniform magnitudes over several octaves.
+                    const double e = rng.uniform(
+                        -profile.logUniformOctaves, 0.0);
+                    v = (rng.bernoulli(0.5) ? 1.0 : -1.0) * sigma *
+                        std::exp2(e + 2.0);
+                } else {
+                    v = rng.gaussian(0.0, sigma);
+                }
+                if (rng.bernoulli(profile.outlierRate)) {
+                    // Heavy-tail outlier: Student-t(3) scaled up.
+                    v = rng.studentT(3.0) * sigma * profile.outlierScale;
+                }
+                row[c] = static_cast<float>(v);
+            }
+        }
+    }
+    return w;
+}
+
+Tensor
+genActivationMatrix(Rng &rng, int64_t tokens, int64_t features,
+                    const ActProfile &profile)
+{
+    Tensor x(Shape{tokens, features});
+
+    // Systematic hot channels: choose them once so every token shares
+    // the same outlier channels, like real LLM activations.
+    std::vector<double> chan_scale(static_cast<size_t>(features));
+    for (int64_t c = 0; c < features; ++c) {
+        double s = profile.sigma * rng.logNormal(0.0, profile.channelSpread);
+        if (rng.bernoulli(profile.outlierChannelRate))
+            s *= profile.outlierChannelScale;
+        chan_scale[static_cast<size_t>(c)] = s;
+    }
+
+    for (int64_t t = 0; t < tokens; ++t) {
+        float *row = x.data() + t * features;
+        for (int64_t c = 0; c < features; ++c) {
+            double v = rng.gaussian(0.0, chan_scale[static_cast<size_t>(c)]);
+            if (rng.bernoulli(profile.tokenOutlierRate))
+                v *= profile.tokenOutlierScale;
+            row[c] = static_cast<float>(v);
+        }
+    }
+    return x;
+}
+
+} // namespace mant

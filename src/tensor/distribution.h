@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic weight / activation generators.
+ *
+ * The paper's accuracy experiments run on pretrained LLaMA/OPT/BLOOM
+ * checkpoints, which we do not have. These generators produce tensors
+ * with the *statistics that drive quantization behaviour* (see
+ * DESIGN.md §2):
+ *
+ *  - per-channel sigma spread (log-normal across channels), which makes
+ *    channel-/tensor-wise quantization lossy and group-wise quantization
+ *    much better (Fig. 1);
+ *  - per-group sigma and shape drift within a channel, which creates the
+ *    group-level distribution diversity of Fig. 3 (Takeaway 1);
+ *  - heavy-tailed outlier injection (rate and magnitude), which is what
+ *    breaks coarse INT quantization and what OliVe/Tender specialise in;
+ *  - a Laplace/Gaussian shape mix, so different groups genuinely prefer
+ *    different numeric types (PoT vs float-like vs NF-like vs INT).
+ */
+
+#ifndef MANT_TENSOR_DISTRIBUTION_H_
+#define MANT_TENSOR_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mant {
+
+/**
+ * Statistical profile of one tensor class (e.g. "LLaMA-7B attention
+ * weights" or "OPT activations").
+ */
+struct DistProfile
+{
+    /** Mean of log(sigma) across channels. exp(sigmaMu) ~ typical scale. */
+    double sigmaMu = -3.9; // exp(-3.9) ~ 0.02, a typical LLM weight sigma
+
+    /** Std-dev of log(sigma) across channels (channel diversity). */
+    double sigmaSpread = 0.3;
+
+    /** Std-dev of log(sigma) across groups *within* a channel. */
+    double groupDrift = 0.25;
+
+    /** Fraction of elements replaced by heavy-tail outliers. */
+    double outlierRate = 0.001;
+
+    /** Outlier magnitude as a multiple of the local sigma. */
+    double outlierScale = 12.0;
+
+    /** Fraction of groups drawn from Laplace instead of Gaussian. */
+    double laplaceMix = 0.25;
+
+    /** Fraction of groups drawn from a near-uniform distribution. */
+    double uniformMix = 0.05;
+
+    /** Fraction of groups with log-uniform magnitudes spanning several
+     *  octaves — the PoT-friendly shape that dominates layer 0 of real
+     *  LLMs (Fig. 15's a=0 columns). */
+    double logUniformMix = 0.0;
+
+    /** Octaves of dynamic range for the log-uniform groups. */
+    double logUniformOctaves = 6.0;
+
+    /**
+     * Group size used when applying per-group drift / shape mixing.
+     * This is a property of the generator, independent of whatever
+     * group size the quantizers later use.
+     */
+    int64_t shapeGroup = 64;
+};
+
+/**
+ * Generate a weight matrix of shape (rows, cols) where each row is a
+ * channel and quantization groups run along the inner (cols) axis.
+ *
+ * @param rng      Generator (consumed).
+ * @param rows     Output channels.
+ * @param cols     Input features (inner / accumulation dimension).
+ * @param profile  Statistical profile.
+ */
+Tensor genWeightMatrix(Rng &rng, int64_t rows, int64_t cols,
+                       const DistProfile &profile);
+
+/**
+ * Profile of activation tensors: like weights but with *systematic*
+ * channel outliers — a small set of feature channels is consistently
+ * large across all tokens (the well-known LLM activation pathology
+ * SmoothQuant/OliVe/Tender target).
+ */
+struct ActProfile
+{
+    double sigma = 1.0;            ///< base activation scale
+    double channelSpread = 0.5;    ///< log-normal spread across channels
+    double outlierChannelRate = 0.01;  ///< fraction of hot channels
+    double outlierChannelScale = 20.0; ///< hot channel magnitude multiple
+    double tokenOutlierRate = 0.0005;  ///< sporadic single-element spikes
+    double tokenOutlierScale = 10.0;
+};
+
+/**
+ * Generate an activation matrix of shape (tokens, features) with
+ * systematic hot channels.
+ */
+Tensor genActivationMatrix(Rng &rng, int64_t tokens, int64_t features,
+                           const ActProfile &profile);
+
+} // namespace mant
+
+#endif // MANT_TENSOR_DISTRIBUTION_H_

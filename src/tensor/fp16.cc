@@ -1,0 +1,104 @@
+#include "tensor/fp16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mant {
+
+namespace {
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+uint16_t
+floatToHalfBits(float value)
+{
+    const uint32_t bits = floatBits(value);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
+    uint32_t mantissa = bits & 0x7fffffu;
+
+    if (((bits >> 23) & 0xff) == 0xff) {
+        // Inf / NaN: keep NaN-ness, saturate exponent.
+        return static_cast<uint16_t>(
+            sign | 0x7c00u | (mantissa ? 0x200u : 0u));
+    }
+    if (exponent >= 0x1f) {
+        // Overflow to infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+    if (exponent <= 0) {
+        // Subnormal or zero in half precision.
+        if (exponent < -10)
+            return static_cast<uint16_t>(sign);
+        // Add the implicit leading one, then shift into subnormal range.
+        mantissa |= 0x800000u;
+        const int shift = 14 - exponent;
+        uint32_t half_mant = mantissa >> shift;
+        // Round to nearest even.
+        const uint32_t rem = mantissa & ((1u << shift) - 1u);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1u)))
+            ++half_mant;
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+    // Normal case: round mantissa from 23 to 10 bits, nearest even.
+    uint32_t half_mant = mantissa >> 13;
+    const uint32_t rem = mantissa & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+        if (half_mant == 0x400u) { // mantissa overflow -> bump exponent
+            half_mant = 0;
+            ++exponent;
+            if (exponent >= 0x1f)
+                return static_cast<uint16_t>(sign | 0x7c00u);
+        }
+    }
+    return static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(exponent) << 10) | half_mant);
+}
+
+float
+halfBitsToFloat(uint16_t bits)
+{
+    const uint32_t sign = (static_cast<uint32_t>(bits) & 0x8000u) << 16;
+    const uint32_t exponent = (bits >> 10) & 0x1f;
+    const uint32_t mantissa = bits & 0x3ffu;
+
+    if (exponent == 0) {
+        if (mantissa == 0)
+            return bitsFloat(sign); // signed zero
+        // Subnormal: normalize.
+        int e = -1;
+        uint32_t m = mantissa;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        const uint32_t exp32 = static_cast<uint32_t>(127 - 15 - e);
+        return bitsFloat(sign | (exp32 << 23) | ((m & 0x3ffu) << 13));
+    }
+    if (exponent == 0x1f) {
+        // Inf / NaN.
+        return bitsFloat(sign | 0x7f800000u | (mantissa << 13));
+    }
+    const uint32_t exp32 = exponent - 15 + 127;
+    return bitsFloat(sign | (exp32 << 23) | (mantissa << 13));
+}
+
+} // namespace mant

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * IEEE-754 binary16 (FP16) storage emulation.
+ *
+ * The paper stores group scaling factors and baseline activations in
+ * FP16. We compute in float (binary32) but round values through binary16
+ * whenever the hardware would have stored them in 16 bits, so metadata
+ * precision costs are modelled faithfully.
+ */
+
+#ifndef MANT_TENSOR_FP16_H_
+#define MANT_TENSOR_FP16_H_
+
+#include <cstdint>
+
+namespace mant {
+
+/** Convert a float to its IEEE binary16 bit pattern (round-to-nearest-even). */
+uint16_t floatToHalfBits(float value);
+
+/** Convert an IEEE binary16 bit pattern back to float. */
+float halfBitsToFloat(uint16_t bits);
+
+/** Round a float through FP16 storage (the composition of the above). */
+inline float
+fp16Round(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+/** Largest finite FP16 value. */
+inline constexpr float kFp16Max = 65504.0f;
+
+} // namespace mant
+
+#endif // MANT_TENSOR_FP16_H_

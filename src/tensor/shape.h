@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dense row-major tensor shape with stride arithmetic.
+ *
+ * The shape type is deliberately tiny: the reproduction only needs
+ * rank-1..3 dense tensors (weights, activations, KV caches), so we keep
+ * a small fixed-capacity dimension vector and expose the handful of
+ * index helpers the rest of the library uses.
+ */
+
+#ifndef MANT_TENSOR_SHAPE_H_
+#define MANT_TENSOR_SHAPE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace mant {
+
+/**
+ * A dense row-major shape of rank 1..4.
+ *
+ * Invariants: every dimension is >= 1; rank() is in [1, kMaxRank].
+ */
+class Shape
+{
+  public:
+    static constexpr int kMaxRank = 4;
+
+    Shape() : rank_(1) { dims_[0] = 0; }
+
+    /** Construct from an explicit dimension list, e.g. Shape{rows, cols}. */
+    Shape(std::initializer_list<int64_t> dims)
+    {
+        if (dims.size() == 0 || dims.size() > kMaxRank)
+            throw std::invalid_argument("Shape: rank must be in [1, 4]");
+        rank_ = static_cast<int>(dims.size());
+        int i = 0;
+        for (int64_t d : dims) {
+            if (d < 0)
+                throw std::invalid_argument("Shape: negative dimension");
+            dims_[i++] = d;
+        }
+    }
+
+    int rank() const { return rank_; }
+
+    int64_t
+    dim(int axis) const
+    {
+        checkAxis(axis);
+        return dims_[axis];
+    }
+
+    /** Total number of elements. */
+    int64_t
+    numel() const
+    {
+        int64_t n = 1;
+        for (int i = 0; i < rank_; ++i)
+            n *= dims_[i];
+        return n;
+    }
+
+    /** Row-major stride of the given axis (innermost axis has stride 1). */
+    int64_t
+    stride(int axis) const
+    {
+        checkAxis(axis);
+        int64_t s = 1;
+        for (int i = axis + 1; i < rank_; ++i)
+            s *= dims_[i];
+        return s;
+    }
+
+    /** Size of the innermost (fastest-varying) dimension. */
+    int64_t innerDim() const { return dims_[rank_ - 1]; }
+
+    /** Number of rows when the shape is viewed as a 2-D matrix. */
+    int64_t
+    outerCount() const
+    {
+        int64_t n = 1;
+        for (int i = 0; i < rank_ - 1; ++i)
+            n *= dims_[i];
+        return n;
+    }
+
+    bool
+    operator==(const Shape &other) const
+    {
+        if (rank_ != other.rank_)
+            return false;
+        for (int i = 0; i < rank_; ++i) {
+            if (dims_[i] != other.dims_[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    std::string
+    toString() const
+    {
+        std::string s = "[";
+        for (int i = 0; i < rank_; ++i) {
+            if (i)
+                s += ", ";
+            s += std::to_string(dims_[i]);
+        }
+        s += "]";
+        return s;
+    }
+
+  private:
+    void
+    checkAxis(int axis) const
+    {
+        if (axis < 0 || axis >= rank_)
+            throw std::out_of_range("Shape: axis out of range");
+    }
+
+    std::array<int64_t, kMaxRank> dims_{};
+    int rank_;
+};
+
+} // namespace mant
+
+#endif // MANT_TENSOR_SHAPE_H_

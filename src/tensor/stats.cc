@@ -1,0 +1,143 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mant {
+
+double
+mse(std::span<const float> a, std::span<const float> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("mse: size mismatch");
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+double
+nmse(std::span<const float> reference, std::span<const float> approx)
+{
+    if (reference.size() != approx.size())
+        throw std::invalid_argument("nmse: size mismatch");
+    if (reference.empty())
+        return 0.0;
+    double err = 0.0, ref = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        const double d = static_cast<double>(reference[i]) - approx[i];
+        err += d * d;
+        ref += static_cast<double>(reference[i]) * reference[i];
+    }
+    if (ref == 0.0)
+        return err == 0.0 ? 0.0 : INFINITY;
+    return err / ref;
+}
+
+double
+maxAbsDiff(std::span<const float> a, std::span<const float> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("maxAbsDiff: size mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+    return m;
+}
+
+std::vector<float>
+normalizedCdf(std::span<const float> values)
+{
+    std::vector<float> out(values.begin(), values.end());
+    float maxabs = 0.0f;
+    for (float v : out)
+        maxabs = std::max(maxabs, std::fabs(v));
+    if (maxabs > 0.0f) {
+        for (float &v : out)
+            v /= maxabs;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<double>
+cdfAt(std::span<const float> normalizedSorted, std::span<const double> queries)
+{
+    std::vector<double> out;
+    out.reserve(queries.size());
+    const double n = static_cast<double>(normalizedSorted.size());
+    for (double q : queries) {
+        const auto it = std::upper_bound(
+            normalizedSorted.begin(), normalizedSorted.end(),
+            static_cast<float>(q));
+        out.push_back(
+            n > 0 ? static_cast<double>(it - normalizedSorted.begin()) / n
+                  : 0.0);
+    }
+    return out;
+}
+
+double
+probit(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("probit: p must be in (0, 1)");
+
+    // Acklam's inverse-normal-CDF rational approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                     q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+double
+cdfDiversity(const std::vector<std::vector<double>> &series)
+{
+    if (series.empty() || series.front().empty())
+        return 0.0;
+    const size_t npts = series.front().size();
+    double total = 0.0;
+    for (size_t p = 0; p < npts; ++p) {
+        double lo = 1.0, hi = 0.0;
+        for (const auto &s : series) {
+            lo = std::min(lo, s[p]);
+            hi = std::max(hi, s[p]);
+        }
+        total += hi - lo;
+    }
+    return total / static_cast<double>(npts);
+}
+
+} // namespace mant

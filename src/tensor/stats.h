@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Statistics utilities: streaming moments (the RQU accumulates Σx, Σx²
+ * and max in hardware — StreamingStats is the software model of that
+ * datapath), quantization error metrics, and empirical CDF sampling
+ * used to reproduce Fig. 3.
+ */
+
+#ifndef MANT_TENSOR_STATS_H_
+#define MANT_TENSOR_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mant {
+
+/**
+ * Streaming accumulator mirroring the RQU hardware: running sum,
+ * squared sum, max-absolute-value, and count. Variance is computed as
+ * E[x^2] - E[x]^2, exactly Eq. (7) of the paper.
+ */
+class StreamingStats
+{
+  public:
+    void
+    add(float x)
+    {
+        sum_ += x;
+        sumSq_ += static_cast<double>(x) * x;
+        const double a = x < 0 ? -static_cast<double>(x) : x;
+        if (a > maxAbs_)
+            maxAbs_ = a;
+        ++count_;
+    }
+
+    void
+    addAll(std::span<const float> xs)
+    {
+        for (float x : xs)
+            add(x);
+    }
+
+    /** Merge another accumulator (used when combining banks). */
+    void
+    merge(const StreamingStats &other)
+    {
+        sum_ += other.sum_;
+        sumSq_ += other.sumSq_;
+        if (other.maxAbs_ > maxAbs_)
+            maxAbs_ = other.maxAbs_;
+        count_ += other.count_;
+    }
+
+    void
+    reset()
+    {
+        sum_ = sumSq_ = maxAbs_ = 0.0;
+        count_ = 0;
+    }
+
+    int64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double sumSq() const { return sumSq_; }
+    double maxAbs() const { return maxAbs_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Population variance via Eq. (7): E[x^2] - (E[x])^2, clamped >= 0. */
+    double
+    variance() const
+    {
+        if (!count_)
+            return 0.0;
+        const double m = mean();
+        const double v = sumSq_ / count_ - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+    /**
+     * Variance of the max-abs-normalized data, the quantity the paper's
+     * variance->a mapping is calibrated on (Sec. V-C).
+     */
+    double
+    normalizedVariance() const
+    {
+        if (!count_ || maxAbs_ == 0.0)
+            return 0.0;
+        return variance() / (maxAbs_ * maxAbs_);
+    }
+
+  private:
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double maxAbs_ = 0.0;
+    int64_t count_ = 0;
+};
+
+/** Mean squared error between two equal-length spans. */
+double mse(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Normalized MSE: mse(a, b) / mean(a^2). Returns 0 for an all-zero
+ * reference. This is the per-layer error measure the mixed-precision
+ * policy budgets against.
+ */
+double nmse(std::span<const float> reference, std::span<const float> approx);
+
+/** Maximum absolute elementwise difference. */
+double maxAbsDiff(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Empirical CDF of the max-abs-normalized values: returns the sorted
+ * normalized samples (x-coordinates); the implied y-coordinate of entry
+ * i is (i + 1) / n. Used by the Fig. 3 bench.
+ */
+std::vector<float> normalizedCdf(std::span<const float> values);
+
+/**
+ * Evaluate the empirical CDF at fixed query points in [-1, 1]; returns
+ * P(x <= q) for each query. Handy for fixed-grid CDF series output.
+ */
+std::vector<double> cdfAt(std::span<const float> normalizedSorted,
+                          std::span<const double> queries);
+
+/**
+ * Summary of cross-series CDF diversity: mean over query points of the
+ * range (max - min) of the CDF values across the series. Larger means
+ * the distributions differ more — this is the quantity that must grow
+ * from tensor-level to group-level to reproduce Takeaway 1.
+ */
+double cdfDiversity(const std::vector<std::vector<double>> &series);
+
+/**
+ * Probit function: inverse CDF of the standard normal distribution
+ * (Acklam's rational approximation, |relative error| < 1.2e-9). Used to
+ * construct NormalFloat reference grids (Eq. 3 of the paper).
+ */
+double probit(double p);
+
+} // namespace mant
+
+#endif // MANT_TENSOR_STATS_H_

@@ -1,0 +1,123 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/fp16.h"
+
+namespace mant {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data))
+{
+    if (static_cast<int64_t>(data_.size()) != shape_.numel())
+        throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+std::span<float>
+Tensor::row(int64_t r)
+{
+    const int64_t inner = shape_.innerDim();
+    return {data_.data() + r * inner, static_cast<size_t>(inner)};
+}
+
+std::span<const float>
+Tensor::row(int64_t r) const
+{
+    const int64_t inner = shape_.innerDim();
+    return {data_.data() + r * inner, static_cast<size_t>(inner)};
+}
+
+void
+Tensor::roundToFp16()
+{
+    for (float &v : data_)
+        v = fp16Round(v);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+void
+Tensor::scaleInPlace(float factor)
+{
+    for (float &v : data_)
+        v *= factor;
+}
+
+Tensor
+matmul(const Tensor &x, const Tensor &w)
+{
+    if (x.shape().rank() != 2 || w.shape().rank() != 2)
+        throw std::invalid_argument("matmul: operands must be rank 2");
+    const int64_t m = x.shape().dim(0);
+    const int64_t k = x.shape().dim(1);
+    const int64_t n = w.shape().dim(1);
+    if (w.shape().dim(0) != k)
+        throw std::invalid_argument("matmul: inner dimensions differ");
+
+    Tensor out(Shape{m, n});
+    matmulAccum(x, w, out);
+    return out;
+}
+
+void
+matmulAccum(const Tensor &x, const Tensor &w, Tensor &out)
+{
+    const int64_t m = x.shape().dim(0);
+    const int64_t k = x.shape().dim(1);
+    const int64_t n = w.shape().dim(1);
+    if (out.shape().dim(0) != m || out.shape().dim(1) != n)
+        throw std::invalid_argument("matmulAccum: output shape mismatch");
+
+    const float *xp = x.data();
+    const float *wp = w.data();
+    float *op = out.data();
+
+    // i-k-j loop order keeps the inner loop streaming over w rows and
+    // the output row, which is the cache-friendly order for row-major.
+    for (int64_t i = 0; i < m; ++i) {
+        float *orow = op + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float xv = xp[i * k + kk];
+            if (xv == 0.0f)
+                continue;
+            const float *wrow = wp + kk * n;
+            for (int64_t j = 0; j < n; ++j)
+                orow[j] += xv * wrow[j];
+        }
+    }
+}
+
+Tensor
+transpose(const Tensor &t)
+{
+    if (t.shape().rank() != 2)
+        throw std::invalid_argument("transpose: rank-2 only");
+    const int64_t r = t.shape().dim(0);
+    const int64_t c = t.shape().dim(1);
+    Tensor out(Shape{c, r});
+    for (int64_t i = 0; i < r; ++i)
+        for (int64_t j = 0; j < c; ++j)
+            out.at(j, i) = t.at(i, j);
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        throw std::invalid_argument("sub: shape mismatch");
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dense row-major float tensor plus the reference linear algebra the
+ * reproduction needs (GEMM, transpose, row access).
+ *
+ * The substrate intentionally computes in binary32. Binary16 storage
+ * effects (scale metadata, FP16 baselines) are modelled explicitly by
+ * rounding through fp16Round() at the points where the hardware would
+ * hold 16-bit values.
+ */
+
+#ifndef MANT_TENSOR_TENSOR_H_
+#define MANT_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace mant {
+
+/**
+ * Dense row-major float tensor of rank 1..4.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor with the given shape. */
+    explicit Tensor(Shape shape)
+        : shape_(shape), data_(static_cast<size_t>(shape.numel()), 0.0f)
+    {}
+
+    /** Allocate with an initial fill value. */
+    Tensor(Shape shape, float fill)
+        : shape_(shape), data_(static_cast<size_t>(shape.numel()), fill)
+    {}
+
+    /** Wrap existing data (copied); size must match the shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    std::span<float> span() { return {data_.data(), data_.size()}; }
+    std::span<const float>
+    span() const
+    {
+        return {data_.data(), data_.size()};
+    }
+
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float
+    operator[](int64_t i) const
+    {
+        return data_[static_cast<size_t>(i)];
+    }
+
+    /** 2-D element access (requires rank 2). */
+    float &
+    at(int64_t row, int64_t col)
+    {
+        return data_[static_cast<size_t>(row * shape_.stride(0) + col)];
+    }
+    float
+    at(int64_t row, int64_t col) const
+    {
+        return data_[static_cast<size_t>(row * shape_.stride(0) + col)];
+    }
+
+    /** Contiguous row view when the tensor is treated as 2-D. */
+    std::span<float> row(int64_t r);
+    std::span<const float> row(int64_t r) const;
+
+    /** Round every element through FP16 storage, in place. */
+    void roundToFp16();
+
+    /** Elementwise utilities used throughout the experiments. */
+    float maxAbs() const;
+    void scaleInPlace(float factor);
+
+  private:
+    Shape shape_{};
+    std::vector<float> data_;
+};
+
+/**
+ * Reference GEMM: out[M,N] = x[M,K] * w[K,N]. Row-major, accumulates in
+ * double to serve as the golden model for the integer fused path.
+ *
+ * @param x Left operand, shape (M, K).
+ * @param w Right operand, shape (K, N).
+ * @return Product tensor of shape (M, N).
+ */
+Tensor matmul(const Tensor &x, const Tensor &w);
+
+/** out[M,N] += x[M,K] * w[K,N] into an existing accumulator. */
+void matmulAccum(const Tensor &x, const Tensor &w, Tensor &out);
+
+/** Transpose a rank-2 tensor. */
+Tensor transpose(const Tensor &t);
+
+/** Elementwise difference a - b (shapes must match). */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+} // namespace mant
+
+#endif // MANT_TENSOR_TENSOR_H_

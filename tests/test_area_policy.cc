@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sim/area_model.h"
+#include "sim/policy.h"
+
+namespace mant {
+namespace {
+
+TEST(AreaModel, MantCoreMatchesTableIV)
+{
+    const AreaReport r = areaReport("MANT");
+    // 1024 * 281.75 µm² + 32 * 416.63 µm² ≈ 0.302 mm².
+    EXPECT_NEAR(r.coreMm2(), 0.302, 0.005);
+}
+
+TEST(AreaModel, OliveCoreMatchesTableIV)
+{
+    const AreaReport r = areaReport("OliVe");
+    EXPECT_NEAR(r.coreMm2(), 0.337, 0.005);
+}
+
+TEST(AreaModel, AntCoreMatchesTableIV)
+{
+    EXPECT_NEAR(areaReport("ANT").coreMm2(), 0.327, 0.005);
+}
+
+TEST(AreaModel, TenderCoreMatchesTableIV)
+{
+    EXPECT_NEAR(areaReport("Tender").coreMm2(), 0.317, 0.005);
+}
+
+TEST(AreaModel, CoresAreaEqualized)
+{
+    // All five accelerators within ~15% of each other in core area.
+    double lo = 1e9, hi = 0.0;
+    for (const char *name :
+         {"MANT", "ANT", "OliVe", "Tender", "BitFusion"}) {
+        const double a = areaReport(name).coreMm2();
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+    }
+    EXPECT_LT(hi / lo, 1.15);
+}
+
+TEST(AreaModel, SharedComponentsIdentical)
+{
+    const double mant = areaReport("MANT").sharedMm2();
+    const double ant = areaReport("ANT").sharedMm2();
+    EXPECT_DOUBLE_EQ(mant, ant);
+    EXPECT_NEAR(mant, 4.2 + 0.069 + 0.016, 1e-9);
+}
+
+TEST(AreaModel, UnknownArchThrows)
+{
+    EXPECT_THROW(areaReport("TPU"), std::invalid_argument);
+}
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        profile_ = new ModelProfile(modelProfile("llama-1-7b"));
+        // Shrink the layer count so policy tests stay fast; statistics
+        // machinery is identical.
+        profile_->archDims.nLayers = 8;
+        cfg_.sampleRows = 48;
+        cfg_.sampleCols = 256;
+        budget_ = mantErrorBudget(*profile_, cfg_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete profile_;
+        profile_ = nullptr;
+    }
+
+    static ModelProfile *profile_;
+    static PolicyConfig cfg_;
+    static double budget_;
+};
+
+ModelProfile *PolicyTest::profile_ = nullptr;
+PolicyConfig PolicyTest::cfg_;
+double PolicyTest::budget_ = 0.0;
+
+TEST_F(PolicyTest, MantBudgetIsSmall)
+{
+    EXPECT_GT(budget_, 0.0);
+    EXPECT_LT(budget_, 0.05);
+}
+
+TEST_F(PolicyTest, BaselinesPromoteSomeLayers)
+{
+    const int widths[] = {4, 8};
+    const PrecisionPlan tender = alignPrecision(
+        *profile_, WeightMethod::Tender, widths, budget_, cfg_);
+    EXPECT_GE(tender.layersAbove4, 1);
+    EXPECT_LE(tender.aggregateNmse, budget_ * 1.001 + 1e-9);
+}
+
+TEST_F(PolicyTest, BitFusionNeedsHighBits)
+{
+    const int widths[] = {8, 16};
+    const PrecisionPlan bf = alignPrecision(
+        *profile_, WeightMethod::Int, widths, budget_, cfg_);
+    // Tensor/channel-wise INT8 cannot match MANT everywhere: some
+    // layers must escalate to 16-bit.
+    EXPECT_GE(bf.avgBits, 8.0);
+}
+
+TEST_F(PolicyTest, LooserBudgetFewerPromotions)
+{
+    const int widths[] = {4, 8};
+    const PrecisionPlan tight = alignPrecision(
+        *profile_, WeightMethod::Olive, widths, budget_, cfg_);
+    const PrecisionPlan loose = alignPrecision(
+        *profile_, WeightMethod::Olive, widths, budget_ * 20.0, cfg_);
+    EXPECT_LE(loose.layersAbove4, tight.layersAbove4);
+}
+
+TEST_F(PolicyTest, PlanCoversAllLayers)
+{
+    const int widths[] = {4, 8};
+    const PrecisionPlan p = alignPrecision(
+        *profile_, WeightMethod::Tender, widths, budget_, cfg_);
+    EXPECT_EQ(p.layerBits.size(), 8u);
+    for (int b : p.layerBits)
+        EXPECT_TRUE(b == 4 || b == 8);
+}
+
+} // namespace
+} // namespace mant

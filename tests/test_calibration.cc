@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/calibration.h"
+#include "model/evaluator.h"
+#include "model/transformer.h"
+#include "tensor/stats.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+std::vector<int32_t>
+tokens(int n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int32_t> t(static_cast<size_t>(n));
+    for (auto &x : t)
+        x = static_cast<int32_t>(rng.uniformInt(128));
+    return t;
+}
+
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        profile_ = test::tinyProfile();
+        weights_ = ModelWeights::generate(profile_, 128);
+        toks_ = tokens(24, 77);
+    }
+
+    ModelProfile profile_;
+    ModelWeights weights_;
+    std::vector<int32_t> toks_;
+};
+
+TEST_F(CalibrationTest, CollectsAllSlots)
+{
+    const ModelCalibration calib =
+        ModelCalibration::collect(weights_, toks_);
+    EXPECT_FALSE(calib.empty());
+    const ArchDims &d = profile_.simDims;
+    for (int64_t l = 0; l < d.nLayers; ++l) {
+        EXPECT_EQ(calib.power(l, LinearSlot::AttnIn).size(),
+                  static_cast<size_t>(d.dModel));
+        EXPECT_EQ(calib.power(l, LinearSlot::OProj).size(),
+                  static_cast<size_t>(d.dModel));
+        EXPECT_EQ(calib.power(l, LinearSlot::FfnIn).size(),
+                  static_cast<size_t>(d.dModel));
+        EXPECT_EQ(calib.power(l, LinearSlot::FfnDown).size(),
+                  static_cast<size_t>(d.dFfn));
+    }
+}
+
+TEST_F(CalibrationTest, PowersArePositive)
+{
+    const ModelCalibration calib =
+        ModelCalibration::collect(weights_, toks_);
+    for (double p : calib.power(0, LinearSlot::AttnIn)) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_TRUE(std::isfinite(p));
+    }
+}
+
+TEST_F(CalibrationTest, HotChannelHasHighPower)
+{
+    // The model-wide hot activation channel must show up as a spike in
+    // the attention-input power vector — that is what Eq. 6 exploits.
+    const ModelCalibration calib =
+        ModelCalibration::collect(weights_, toks_);
+    const auto power = calib.power(0, LinearSlot::AttnIn);
+    double max_p = 0.0, sum = 0.0;
+    for (double p : power) {
+        max_p = std::max(max_p, p);
+        sum += p;
+    }
+    const double mean = sum / static_cast<double>(power.size());
+    EXPECT_GT(max_p, 5.0 * mean);
+}
+
+TEST_F(CalibrationTest, DeterministicAcrossRuns)
+{
+    const ModelCalibration a = ModelCalibration::collect(weights_, toks_);
+    const ModelCalibration b = ModelCalibration::collect(weights_, toks_);
+    const auto pa = a.power(1, LinearSlot::FfnIn);
+    const auto pb = b.power(1, LinearSlot::FfnIn);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i)
+        EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST_F(CalibrationTest, MissingSlotReturnsEmpty)
+{
+    ModelCalibration calib;
+    EXPECT_TRUE(calib.empty());
+    EXPECT_TRUE(calib.power(0, LinearSlot::AttnIn).empty());
+}
+
+TEST_F(CalibrationTest, Eq6ImprovesOrMatchesWeightMse)
+{
+    // End-to-end: the output-MSE search should not be worse than the
+    // plain weight-MSE search on the model it was calibrated for.
+    ModelProfile p = profile_;
+    p.fp16Ppl = 9.0;
+    const ModelWeights w = ModelWeights::generate(p, 128);
+    EvalConfig cfg;
+    cfg.contexts = 2;
+    cfg.seqLen = 32;
+    cfg.skip = 4;
+    const PplEvaluator eval(w, cfg);
+    const ModelCalibration calib =
+        ModelCalibration::collect(w, eval.corpus()[0]);
+
+    QuantSetup setup = mantW4A8Setup(16);
+    setup.act = ActMethod::None; // isolate the weight search
+    const double ppl_plain = eval.perplexityOf(setup);
+    const double ppl_eq6 = eval.perplexityOf(setup, nullptr, &calib);
+    EXPECT_LT(ppl_eq6, ppl_plain * 1.1);
+}
+
+TEST_F(CalibrationTest, AccumulateAveragesOverRows)
+{
+    ModelCalibration calib;
+    Tensor x(Shape{2, 3}, {1, 2, 3, 3, 2, 1});
+    calib.accumulate(0, LinearSlot::AttnIn, x);
+    calib.finalize();
+    const auto p = calib.power(0, LinearSlot::AttnIn);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_DOUBLE_EQ(p[0], (1.0 + 9.0) / 2.0);
+    EXPECT_DOUBLE_EQ(p[1], 4.0);
+    EXPECT_DOUBLE_EQ(p[2], (9.0 + 1.0) / 2.0);
+}
+
+} // namespace
+} // namespace mant

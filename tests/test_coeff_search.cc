@@ -1,0 +1,168 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coeff_search.h"
+#include "quant/fixed_formats.h"
+#include "tensor/fp16.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+std::vector<float>
+gaussianGroup(uint64_t seed, size_t n = 64, double sigma = 1.0)
+{
+    Rng rng(seed);
+    std::vector<float> g(n);
+    for (auto &v : g)
+        v = static_cast<float>(rng.gaussian(0.0, sigma));
+    return g;
+}
+
+TEST(CoeffSearch, MatchesBruteForce)
+{
+    const auto group = gaussianGroup(51);
+    const MantSelection best = searchCoefficient(group);
+
+    // Recompute by hand: search error must equal the minimum over all
+    // candidates plus INT.
+    double min_err = INFINITY;
+    for (int a : mantCoefficientSet()) {
+        min_err = std::min(min_err, groupError(group, mantFormat(a), {},
+                                               true, nullptr));
+    }
+    min_err = std::min(min_err,
+                       groupError(group, int4Format(), {}, true, nullptr));
+    EXPECT_DOUBLE_EQ(best.err, min_err);
+}
+
+TEST(CoeffSearch, PotDataSelectsSmallA)
+{
+    // Exact powers of two: the a = 0 grid represents them losslessly.
+    std::vector<float> group;
+    for (int i = 0; i < 64; ++i) {
+        const int e = i % 8;
+        group.push_back(((i % 2) ? 1.0f : -1.0f) *
+                        static_cast<float>(1 << e));
+    }
+    const MantSelection sel = searchCoefficient(group);
+    EXPECT_FALSE(sel.isInt);
+    EXPECT_EQ(sel.a, 0);
+    EXPECT_NEAR(sel.err, 0.0, 1e-6);
+}
+
+TEST(CoeffSearch, UniformDataSelectsIntOrLargeA)
+{
+    Rng rng(52);
+    std::vector<float> group(64);
+    for (auto &v : group)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const MantSelection sel = searchCoefficient(group);
+    EXPECT_TRUE(sel.isInt || sel.a >= 60) << "a=" << sel.a;
+}
+
+TEST(CoeffSearch, LaplaceDataPrefersSmallerAThanUniform)
+{
+    Rng rng(53);
+    std::vector<float> laplace(64), uniform(64);
+    for (auto &v : laplace)
+        v = static_cast<float>(rng.laplace(0.2));
+    for (auto &v : uniform)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    const MantSelection sl = searchCoefficient(laplace);
+    const MantSelection su = searchCoefficient(uniform);
+    const int al = sl.isInt ? 999 : sl.a;
+    const int au = su.isInt ? 999 : su.a;
+    EXPECT_LT(al, au);
+}
+
+TEST(CoeffSearch, SelectionErrorNotWorseThanInt)
+{
+    for (uint64_t seed = 60; seed < 75; ++seed) {
+        const auto group = gaussianGroup(seed);
+        const MantSelection sel = searchCoefficient(group);
+        const double int_err =
+            groupError(group, int4Format(), {}, true, nullptr);
+        EXPECT_LE(sel.err, int_err + 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(CoeffSearch, WeightedSearchRespectsWeights)
+{
+    // Two-element toy: huge weight on position 0 forces the search to
+    // represent position 0 well.
+    std::vector<float> group = {1.0f, 0.013f};
+    std::vector<double> weights = {1000.0, 0.001};
+    const MantSelection sel =
+        searchCoefficient(group, {}, weights, false);
+
+    std::vector<float> out(2);
+    applySelection(group, sel, out, false);
+    EXPECT_NEAR(out[0], 1.0f, 0.02f);
+}
+
+TEST(CoeffSearch, ApplySelectionMatchesSearchError)
+{
+    const auto group = gaussianGroup(54);
+    const MantSelection sel = searchCoefficient(group);
+    std::vector<float> out(group.size());
+    applySelection(group, sel, out, true);
+    double err = 0.0;
+    for (size_t i = 0; i < group.size(); ++i) {
+        const double d = static_cast<double>(group[i]) - out[i];
+        err += d * d;
+    }
+    EXPECT_NEAR(err, sel.err, 1e-6 * (1.0 + sel.err));
+}
+
+TEST(CoeffSearch, RestrictedCandidateSet)
+{
+    const auto group = gaussianGroup(55);
+    const int only17[] = {17};
+    const MantSelection sel = searchCoefficient(group, only17);
+    EXPECT_TRUE(sel.isInt || sel.a == 17);
+}
+
+TEST(CoeffSearch, HistogramBucket)
+{
+    MantSelection s;
+    s.isInt = true;
+    EXPECT_EQ(s.histogramBucket(), -1);
+    s.isInt = false;
+    s.a = 40;
+    EXPECT_EQ(s.histogramBucket(), 40);
+}
+
+TEST(CoeffSearch, ScaleIsFp16Rounded)
+{
+    const auto group = gaussianGroup(56);
+    const MantSelection sel = searchCoefficient(group, {}, {}, true);
+    EXPECT_GT(sel.scale, 0.0f);
+    // FP16-rounded: surviving another rounding must be a no-op.
+    EXPECT_EQ(fp16Round(sel.scale), sel.scale);
+}
+
+/** Parameterized: different sigmas all produce valid selections. */
+class CoeffSearchSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CoeffSearchSweep, ValidSelection)
+{
+    const auto group = gaussianGroup(57, 64, GetParam());
+    const MantSelection sel = searchCoefficient(group);
+    EXPECT_GT(sel.scale, 0.0f);
+    if (!sel.isInt) {
+        EXPECT_GE(sel.a, 0);
+        EXPECT_LE(sel.a, 120);
+    }
+    EXPECT_TRUE(std::isfinite(sel.err));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, CoeffSearchSweep,
+                         ::testing::Values(1e-4, 0.01, 1.0, 100.0));
+
+} // namespace
+} // namespace mant

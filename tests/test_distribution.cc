@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/distribution.h"
+#include "tensor/stats.h"
+
+namespace mant {
+namespace {
+
+TEST(WeightGen, Deterministic)
+{
+    DistProfile p;
+    Rng a(5), b(5);
+    const Tensor w1 = genWeightMatrix(a, 8, 64, p);
+    const Tensor w2 = genWeightMatrix(b, 8, 64, p);
+    for (int64_t i = 0; i < w1.numel(); ++i)
+        EXPECT_EQ(w1[i], w2[i]);
+}
+
+TEST(WeightGen, ShapeAndScale)
+{
+    DistProfile p;
+    Rng rng(6);
+    const Tensor w = genWeightMatrix(rng, 16, 128, p);
+    EXPECT_EQ(w.shape(), Shape({16, 128}));
+    // Typical scale ~ exp(sigmaMu): values should be small.
+    StreamingStats s;
+    s.addAll(w.span());
+    EXPECT_LT(std::sqrt(s.variance()), 0.5);
+    EXPECT_GT(std::sqrt(s.variance()), 0.001);
+}
+
+TEST(WeightGen, ChannelSigmaSpreadCreatesDiversity)
+{
+    DistProfile p;
+    p.sigmaSpread = 0.6;
+    p.outlierRate = 0.0;
+    Rng rng(7);
+    const Tensor w = genWeightMatrix(rng, 64, 256, p);
+    // Per-channel standard deviations must differ substantially.
+    double lo = 1e9, hi = 0.0;
+    for (int64_t r = 0; r < 64; ++r) {
+        StreamingStats s;
+        s.addAll(w.row(r));
+        const double sd = std::sqrt(s.variance());
+        lo = std::min(lo, sd);
+        hi = std::max(hi, sd);
+    }
+    EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(WeightGen, OutliersPresentAtRequestedRate)
+{
+    DistProfile p;
+    p.outlierRate = 0.01;
+    p.outlierScale = 30.0;
+    Rng rng(8);
+    const Tensor w = genWeightMatrix(rng, 32, 512, p);
+    // Count elements beyond 6 sigma of their own channel.
+    int64_t outliers = 0;
+    for (int64_t r = 0; r < 32; ++r) {
+        StreamingStats s;
+        s.addAll(w.row(r));
+        const double sd = std::sqrt(s.variance());
+        for (float v : w.row(r))
+            outliers += std::fabs(v) > 6.0 * sd;
+    }
+    EXPECT_GT(outliers, 10); // ~160 expected at 1%
+}
+
+TEST(WeightGen, GroupDriftCreatesGroupDiversity)
+{
+    // The Fig. 3 phenomenon: group-level CDFs diverge more than
+    // tensor-level CDFs.
+    DistProfile p;
+    p.groupDrift = 0.5;
+    p.shapeGroup = 64;
+    Rng rng(9);
+    const Tensor w = genWeightMatrix(rng, 8, 512, p);
+
+    const double queries[] = {-0.5, -0.25, -0.1, 0.1, 0.25, 0.5};
+    std::vector<std::vector<double>> group_series;
+    const float *base = w.data();
+    for (int g = 0; g < 16; ++g) {
+        std::span<const float> grp(base + g * 64, 64);
+        group_series.push_back(cdfAt(normalizedCdf(grp), queries));
+    }
+    std::vector<std::vector<double>> tensor_series;
+    for (int t = 0; t < 2; ++t) {
+        Rng r2(100 + static_cast<uint64_t>(t));
+        const Tensor w2 = genWeightMatrix(r2, 8, 512, p);
+        tensor_series.push_back(
+            cdfAt(normalizedCdf(w2.span()), queries));
+    }
+    EXPECT_GT(cdfDiversity(group_series),
+              cdfDiversity(tensor_series) * 1.5);
+}
+
+TEST(ActGen, HotChannelsAreSystematic)
+{
+    ActProfile p;
+    p.outlierChannelRate = 0.05;
+    p.outlierChannelScale = 30.0;
+    Rng rng(10);
+    const Tensor x = genActivationMatrix(rng, 64, 256, p);
+
+    // Per-channel mean |x| should show a small set of hot channels.
+    std::vector<double> mag(256, 0.0);
+    for (int64_t t = 0; t < 64; ++t)
+        for (int64_t c = 0; c < 256; ++c)
+            mag[static_cast<size_t>(c)] += std::fabs(x.at(t, c));
+    double total = 0.0, peak = 0.0;
+    for (double m : mag) {
+        total += m;
+        peak = std::max(peak, m);
+    }
+    const double mean = total / 256.0;
+    EXPECT_GT(peak, 8.0 * mean);
+}
+
+TEST(ActGen, Deterministic)
+{
+    ActProfile p;
+    Rng a(11), b(11);
+    const Tensor x1 = genActivationMatrix(a, 8, 32, p);
+    const Tensor x2 = genActivationMatrix(b, 8, 32, p);
+    for (int64_t i = 0; i < x1.numel(); ++i)
+        EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(ActGen, Shape)
+{
+    ActProfile p;
+    Rng rng(12);
+    EXPECT_EQ(genActivationMatrix(rng, 5, 9, p).shape(), Shape({5, 9}));
+}
+
+} // namespace
+} // namespace mant

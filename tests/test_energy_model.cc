@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/accelerators.h"
+#include "sim/energy_model.h"
+
+namespace mant {
+namespace {
+
+TEST(EnergyModel, MacScalesWithWidthProduct)
+{
+    const EnergyParams p;
+    EXPECT_DOUBLE_EQ(macEnergyPj(p, 8, 8), p.macPj8x8);
+    EXPECT_DOUBLE_EQ(macEnergyPj(p, 8, 4), p.macPj8x8 / 2.0);
+    EXPECT_DOUBLE_EQ(macEnergyPj(p, 16, 16), p.macPj8x8 * 4.0);
+    EXPECT_DOUBLE_EQ(macEnergyPj(p, 4, 4), p.macPj8x8 / 4.0);
+}
+
+TEST(EnergyModel, SacCheaperThanAnyMac)
+{
+    const EnergyParams p;
+    EXPECT_LT(p.sacPj, macEnergyPj(p, 8, 4));
+}
+
+TEST(EnergyModel, BreakdownArithmetic)
+{
+    EnergyBreakdown e;
+    e.corePj = 1.0;
+    e.bufferPj = 2.0;
+    e.dramPj = 3.0;
+    e.staticPj = 4.0;
+    EXPECT_DOUBLE_EQ(e.totalPj(), 10.0);
+
+    EnergyBreakdown f = e;
+    f.add(e);
+    EXPECT_DOUBLE_EQ(f.totalPj(), 20.0);
+    EXPECT_DOUBLE_EQ(f.dramPj, 6.0);
+}
+
+TEST(EnergyModel, StaticPowerProportionalToArea)
+{
+    ArchConfig a = mantArch();
+    const double base = a.staticWatts();
+    a.totalAreaMm2 *= 2.0;
+    EXPECT_NEAR(a.staticWatts(), 2.0 * base, 1e-12);
+}
+
+TEST(EnergyModel, DramDominatesPerByte)
+{
+    // DRAM must cost far more per byte than SRAM — the premise of the
+    // paper's bit-width savings translating into energy.
+    const EnergyParams p;
+    EXPECT_GT(p.dramPjPerByte, 20.0 * p.sramPjPerByte);
+}
+
+TEST(EnergyModel, ArchsShareEnergyConstants)
+{
+    // Fair comparison: all five accelerators use identical constants.
+    const auto archs = allArchs();
+    for (const ArchConfig &a : archs) {
+        EXPECT_DOUBLE_EQ(a.energy.macPj8x8,
+                         archs[0].energy.macPj8x8);
+        EXPECT_DOUBLE_EQ(a.energy.dramPjPerByte,
+                         archs[0].energy.dramPjPerByte);
+    }
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "quant/fixed_formats.h"
+
+namespace mant {
+namespace {
+
+TEST(IntFormat, LevelsSymmetricDense)
+{
+    const auto &f = int4Format();
+    EXPECT_EQ(f.bits(), 4);
+    ASSERT_EQ(f.levels().size(), 15u);
+    EXPECT_EQ(f.levels().front(), -7.0f);
+    EXPECT_EQ(f.levels().back(), 7.0f);
+    EXPECT_EQ(f.maxAbsLevel(), 7.0f);
+}
+
+TEST(IntFormat, Int8Range)
+{
+    const auto &f = int8Format();
+    EXPECT_EQ(f.levels().size(), 255u);
+    EXPECT_EQ(f.maxAbsLevel(), 127.0f);
+}
+
+TEST(IntFormat, RejectsBadBits)
+{
+    EXPECT_THROW(IntFormat(1), std::invalid_argument);
+    EXPECT_THROW(IntFormat(20), std::invalid_argument);
+}
+
+TEST(PotFormat, PowersOfTwoWithZero)
+{
+    const auto &f = pot4Format();
+    ASSERT_EQ(f.levels().size(), 15u);
+    EXPECT_EQ(f.maxAbsLevel(), 64.0f);
+    // Zero present exactly once.
+    int zeros = 0;
+    for (float v : f.levels())
+        zeros += v == 0.0f;
+    EXPECT_EQ(zeros, 1);
+}
+
+TEST(FlintFormat, GridShape)
+{
+    const auto &f = flint4Format();
+    ASSERT_EQ(f.levels().size(), 15u);
+    EXPECT_EQ(f.maxAbsLevel(), 12.0f);
+}
+
+TEST(Nf4Format, SixteenAsymmetricLevels)
+{
+    const auto &f = nf4Format();
+    ASSERT_EQ(f.levels().size(), 16u);
+    EXPECT_EQ(f.levels().front(), -1.0f);
+    EXPECT_EQ(f.levels().back(), 1.0f);
+    // Includes exact zero, and is asymmetric (QLoRA property).
+    bool has_zero = false;
+    for (float v : f.levels())
+        has_zero |= v == 0.0f;
+    EXPECT_TRUE(has_zero);
+    EXPECT_NE(-f.levels()[1], f.levels()[14]);
+}
+
+TEST(Mxfp4Format, E2M1Grid)
+{
+    const auto &f = mxfp4Format();
+    ASSERT_EQ(f.levels().size(), 15u);
+    EXPECT_EQ(f.maxAbsLevel(), 6.0f);
+}
+
+TEST(Mxfp4Format, ScaleIsPowerOfTwo)
+{
+    const auto &f = mxfp4Format();
+    for (float absmax : {0.013f, 1.0f, 5.9f, 6.0f, 6.1f, 300.0f}) {
+        const float s = f.scaleFor(absmax);
+        const float l2 = std::log2(s);
+        EXPECT_EQ(l2, std::round(l2)) << absmax;
+        // No clipping: max value representable.
+        EXPECT_GE(s * f.maxAbsLevel(), absmax * 0.999f);
+    }
+}
+
+TEST(NearestLevel, PicksClosest)
+{
+    const float levels[] = {-4.0f, -1.0f, 0.0f, 2.0f, 8.0f};
+    EXPECT_EQ(nearestLevel(levels, -10.0f), 0);
+    EXPECT_EQ(nearestLevel(levels, -2.4f), 1);
+    EXPECT_EQ(nearestLevel(levels, 0.9f), 2);
+    EXPECT_EQ(nearestLevel(levels, 1.1f), 3);
+    EXPECT_EQ(nearestLevel(levels, 100.0f), 4);
+}
+
+TEST(NearestLevel, TieGoesLower)
+{
+    const float levels[] = {0.0f, 2.0f};
+    EXPECT_EQ(nearestLevel(levels, 1.0f), 0);
+}
+
+TEST(AntTypeSet, ContainsThreeTypes)
+{
+    const auto set = antTypeSet();
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0]->name(), "int4");
+    EXPECT_EQ(set[1]->name(), "flint4");
+    EXPECT_EQ(set[2]->name(), "pot4");
+}
+
+/** Property: encode/decode round-trips to the nearest level for every
+ *  format in the catalogue. */
+class FormatPropertyTest
+    : public ::testing::TestWithParam<const NumericFormat *>
+{};
+
+TEST_P(FormatPropertyTest, LevelsSortedAscending)
+{
+    const auto lv = GetParam()->levels();
+    for (size_t i = 1; i < lv.size(); ++i)
+        EXPECT_LT(lv[i - 1], lv[i]);
+}
+
+TEST_P(FormatPropertyTest, DecodeOfEncodeIsNearest)
+{
+    const NumericFormat &f = *GetParam();
+    const float scale = f.scaleFor(3.7f);
+    for (int i = -50; i <= 50; ++i) {
+        const float x = 0.074f * static_cast<float>(i);
+        const float q = f.quantizeValue(x, scale);
+        // No level may be strictly closer than the chosen one.
+        for (float lvl : f.levels()) {
+            EXPECT_LE(std::fabs(q - x),
+                      std::fabs(lvl * scale - x) + 1e-6f)
+                << f.name() << " x=" << x;
+        }
+    }
+}
+
+TEST_P(FormatPropertyTest, QuantizationIdempotent)
+{
+    const NumericFormat &f = *GetParam();
+    const float scale = f.scaleFor(2.0f);
+    for (int i = -20; i <= 20; ++i) {
+        const float x = 0.1f * static_cast<float>(i);
+        const float once = f.quantizeValue(x, scale);
+        EXPECT_FLOAT_EQ(f.quantizeValue(once, scale), once);
+    }
+}
+
+TEST_P(FormatPropertyTest, SymmetricScaleCoversMax)
+{
+    const NumericFormat &f = *GetParam();
+    const float absmax = 5.0f;
+    const float scale = f.scaleFor(absmax);
+    EXPECT_GE(scale * f.maxAbsLevel(), absmax * 0.999f);
+}
+
+TEST_P(FormatPropertyTest, EncodeRangeValid)
+{
+    const NumericFormat &f = *GetParam();
+    const float scale = f.scaleFor(1.0f);
+    for (float x : {-100.0f, -1.0f, 0.0f, 0.3f, 1.0f, 100.0f}) {
+        const int c = f.encode(x, scale);
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, static_cast<int>(f.levels().size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatPropertyTest,
+    ::testing::Values(&int4Format(), &int8Format(), &pot4Format(),
+                      &flint4Format(), &nf4Format(), &mxfp4Format()),
+    [](const ::testing::TestParamInfo<const NumericFormat *> &info) {
+        std::string n(info.param->name());
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace mant

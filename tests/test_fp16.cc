@@ -1,0 +1,98 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "tensor/fp16.h"
+
+namespace mant {
+namespace {
+
+TEST(Fp16, ExactSmallIntegers)
+{
+    for (int i = -2048; i <= 2048; ++i) {
+        const float f = static_cast<float>(i);
+        EXPECT_EQ(fp16Round(f), f) << "integer " << i;
+    }
+}
+
+TEST(Fp16, ExactPowersOfTwo)
+{
+    for (int e = -14; e <= 15; ++e) {
+        const float f = std::ldexp(1.0f, e);
+        EXPECT_EQ(fp16Round(f), f) << "2^" << e;
+    }
+}
+
+TEST(Fp16, SignPreserved)
+{
+    EXPECT_EQ(fp16Round(-1.5f), -1.5f);
+    EXPECT_EQ(fp16Round(1.5f), 1.5f);
+    EXPECT_TRUE(std::signbit(fp16Round(-0.0f)));
+    EXPECT_FALSE(std::signbit(fp16Round(0.0f)));
+}
+
+TEST(Fp16, RoundingIsNearest)
+{
+    // 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10; RNE keeps 1.
+    const float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(fp16Round(halfway), 1.0f);
+    // Slightly above halfway rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -11) * 1.5f;
+    EXPECT_EQ(fp16Round(above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16, OverflowToInfinity)
+{
+    EXPECT_TRUE(std::isinf(fp16Round(1e6f)));
+    EXPECT_TRUE(std::isinf(fp16Round(-1e6f)));
+    EXPECT_EQ(fp16Round(kFp16Max), kFp16Max);
+}
+
+TEST(Fp16, SubnormalsRepresented)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(fp16Round(tiny), tiny);
+    // Below half of that flushes to zero.
+    EXPECT_EQ(fp16Round(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, NanPreserved)
+{
+    EXPECT_TRUE(std::isnan(
+        fp16Round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Fp16, RelativeErrorBounded)
+{
+    // For normal values the relative error of one rounding is <= 2^-11.
+    for (int i = 1; i < 5000; ++i) {
+        const float f = 0.001f * static_cast<float>(i) * 3.3f;
+        const float r = fp16Round(f);
+        EXPECT_NEAR(r, f, std::fabs(f) * 0x1.0p-10) << f;
+    }
+}
+
+TEST(Fp16, Idempotent)
+{
+    for (int i = 1; i < 1000; ++i) {
+        const float f = fp16Round(0.37f * static_cast<float>(i));
+        EXPECT_EQ(fp16Round(f), f);
+    }
+}
+
+TEST(Fp16, BitsRoundTrip)
+{
+    // Every finite half bit pattern survives half->float->half exactly.
+    for (uint32_t bits = 0; bits < 0x10000u; ++bits) {
+        const uint16_t h = static_cast<uint16_t>(bits);
+        if (((h >> 10) & 0x1f) == 0x1f)
+            continue; // skip inf/nan patterns
+        const float f = halfBitsToFloat(h);
+        EXPECT_EQ(floatToHalfBits(f), h) << "pattern " << bits;
+    }
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,245 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/fused_gemm.h"
+#include "tensor/distribution.h"
+#include "tensor/stats.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(FusedDot, Eq5IdentityExactIntegers)
+{
+    // For integer activations and grid values, (a*psum1 + psum2) must
+    // equal the direct integer dot product exactly.
+    const int a = 17;
+    std::vector<int32_t> x = {5, -3, 127, 0, -127, 64, 1, -1};
+    std::vector<MantCode> codes;
+    for (int i = 0; i < 8; ++i)
+        codes.push_back(makeMantCode(i % 3 == 0, i % 8));
+
+    const MantPsums p = fusedDot(x, codes);
+    int64_t direct = 0;
+    for (size_t i = 0; i < x.size(); ++i)
+        direct += static_cast<int64_t>(x[i]) * mantCodeValue(a, codes[i]);
+    EXPECT_EQ(static_cast<int64_t>(a) * p.psum1 + p.psum2, direct);
+}
+
+TEST(FusedDot, IdentityHoldsForEveryCoefficient)
+{
+    // psum1/psum2 are coefficient-independent; the identity must hold
+    // for every a with the same psums — that is the whole trick.
+    std::vector<int32_t> x = {17, -100, 3, 99, -64, 2, -2, 50};
+    std::vector<MantCode> codes;
+    for (int i = 0; i < 8; ++i)
+        codes.push_back(makeMantCode(i % 2 == 1, (7 - i) % 8));
+    const MantPsums p = fusedDot(x, codes);
+
+    for (int a : mantCoefficientSet()) {
+        int64_t direct = 0;
+        for (size_t i = 0; i < x.size(); ++i)
+            direct += static_cast<int64_t>(x[i]) *
+                      mantCodeValue(a, codes[i]);
+        EXPECT_EQ(static_cast<int64_t>(a) * p.psum1 + p.psum2, direct)
+            << "a=" << a;
+    }
+}
+
+TEST(FusedDot, EmptyIsZero)
+{
+    const MantPsums p = fusedDot({}, {});
+    EXPECT_EQ(p.psum1, 0);
+    EXPECT_EQ(p.psum2, 0);
+}
+
+TEST(FusedDot, LengthMismatchThrows)
+{
+    std::vector<int32_t> x = {1};
+    std::vector<MantCode> c = {0, 1};
+    EXPECT_THROW(fusedDot(x, c), std::invalid_argument);
+}
+
+TEST(QuantizedMatrix, DequantizeHitsNearestGridPoints)
+{
+    const Tensor w = test::gaussianTensor(Shape{8, 128}, 81, 0.02);
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(w, 64);
+    const Tensor wd = q.dequantize();
+    // Quantizing the dequantized tensor again must be a fixed point.
+    const MantQuantizedMatrix q2 =
+        MantQuantizedMatrix::quantize(wd, 64);
+    const Tensor wd2 = q2.dequantize();
+    EXPECT_LT(test::maxDiff(wd.span(), wd2.span()), 1e-5);
+}
+
+TEST(QuantizedMatrix, SelectionHistogramCoversAllGroups)
+{
+    const Tensor w = test::gaussianTensor(Shape{16, 256}, 82, 0.02);
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(w, 64);
+    int64_t total = 0;
+    for (const auto &[bucket, count] : q.selectionHistogram())
+        total += count;
+    EXPECT_EQ(total, 16 * 4);
+}
+
+TEST(QuantizedMatrix, BitsPerElementIncludesMetadata)
+{
+    const Tensor w = test::gaussianTensor(Shape{4, 128}, 83);
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(w, 64);
+    // 4 bits + 24 metadata bits per 64-element group = 4.375.
+    EXPECT_NEAR(q.bitsPerElement(), 4.375, 1e-9);
+}
+
+TEST(QuantizedMatrix, OutputMseRequiresCalibration)
+{
+    const Tensor w = test::gaussianTensor(Shape{4, 64}, 84);
+    EXPECT_THROW(MantQuantizedMatrix::quantize(
+                     w, 64, MantQuantizedMatrix::Search::OutputMse),
+                 std::invalid_argument);
+}
+
+TEST(QuantizedMatrix, OutputMseUsesCalibrationPower)
+{
+    const Tensor w = test::gaussianTensor(Shape{8, 64}, 85, 0.05);
+    std::vector<double> power(64, 1.0);
+    power[3] = 1e6; // position 3 is critical
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(
+        w, 64, MantQuantizedMatrix::Search::OutputMse, power);
+    const Tensor wd = q.dequantize();
+    // The weighted search must keep column 3 accurate relative to the
+    // group's overall error.
+    double col3_err = 0.0, rest_err = 0.0;
+    for (int64_t r = 0; r < 8; ++r) {
+        for (int64_t c = 0; c < 64; ++c) {
+            const double d = std::fabs(
+                static_cast<double>(w.at(r, c)) - wd.at(r, c));
+            if (c == 3)
+                col3_err += d;
+            else
+                rest_err += d / 63.0;
+        }
+    }
+    EXPECT_LT(col3_err, rest_err * 2.5);
+}
+
+TEST(Int8Activations, RoundTripAccuracy)
+{
+    const Tensor x = test::gaussianTensor(Shape{4, 128}, 86);
+    const auto q = Int8QuantizedActivations::quantize(x, 64);
+    const Tensor xd = q.dequantize();
+    // INT8 group-wise: relative error well under 1%.
+    EXPECT_LT(nmse(x.span(), xd.span()), 1e-4);
+}
+
+TEST(Int8Activations, CodesWithinRange)
+{
+    const Tensor x = test::gaussianTensor(Shape{2, 64}, 87, 10.0);
+    const auto q = Int8QuantizedActivations::quantize(x, 64);
+    for (int64_t r = 0; r < 2; ++r) {
+        for (int8_t c : q.rowCodes(r)) {
+            EXPECT_GE(c, -127);
+            EXPECT_LE(c, 127);
+        }
+    }
+}
+
+TEST(FusedGemm, MatchesDequantReference)
+{
+    // The headline property (Sec. IV-C): the all-integer fused path
+    // equals dequantize-then-float-multiply up to FP rounding.
+    DistProfile p;
+    Rng rng(88);
+    const Tensor w = genWeightMatrix(rng, 24, 128, p);
+    const Tensor x = test::gaussianTensor(Shape{6, 128}, 89);
+
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+
+    const Tensor fused = fusedGemm(qx, qw);
+    const Tensor ref = dequantGemmReference(qx, qw);
+    ASSERT_EQ(fused.shape(), ref.shape());
+    for (int64_t i = 0; i < fused.numel(); ++i) {
+        EXPECT_NEAR(fused[i], ref[i],
+                    1e-4f * (1.0f + std::fabs(ref[i])))
+            << "index " << i;
+    }
+}
+
+TEST(FusedGemm, GroupLayoutMismatchThrows)
+{
+    const Tensor w = test::gaussianTensor(Shape{4, 128}, 90);
+    const Tensor x = test::gaussianTensor(Shape{2, 128}, 91);
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const auto qx = Int8QuantizedActivations::quantize(x, 32);
+    EXPECT_THROW(fusedGemm(qx, qw), std::invalid_argument);
+}
+
+TEST(FusedGemm, ReductionMismatchThrows)
+{
+    const Tensor w = test::gaussianTensor(Shape{4, 128}, 92);
+    const Tensor x = test::gaussianTensor(Shape{2, 64}, 93);
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    EXPECT_THROW(fusedGemm(qx, qw), std::invalid_argument);
+}
+
+TEST(FusedGemm, AccuracyAgainstFloatGemm)
+{
+    // End-to-end quantization error of the full fused pipeline stays
+    // small on Gaussian data (W4A8 G64).
+    DistProfile p;
+    Rng rng(94);
+    const Tensor w = genWeightMatrix(rng, 32, 256, p);
+    const Tensor x = test::gaussianTensor(Shape{8, 256}, 95);
+
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    const Tensor fused = fusedGemm(qx, qw);
+
+    // Float reference with unquantized operands.
+    Tensor ref(Shape{8, 32});
+    for (int64_t m = 0; m < 8; ++m)
+        for (int64_t n = 0; n < 32; ++n) {
+            double acc = 0.0;
+            for (int64_t k = 0; k < 256; ++k)
+                acc += static_cast<double>(x.at(m, k)) * w.at(n, k);
+            ref.at(m, n) = static_cast<float>(acc);
+        }
+    EXPECT_LT(nmse(ref.span(), fused.span()), 0.01);
+}
+
+/** Parameterized sweep over shapes and group sizes. */
+class FusedGemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(FusedGemmSweep, FusedEqualsReference)
+{
+    const auto [m, k, n, g] = GetParam();
+    DistProfile p;
+    Rng rng(static_cast<uint64_t>(m * 131 + k * 17 + n * 3 + g));
+    const Tensor w = genWeightMatrix(rng, n, k, p);
+    const Tensor x = test::gaussianTensor(
+        Shape{m, k}, static_cast<uint64_t>(g + 7));
+
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, g);
+    const auto qx = Int8QuantizedActivations::quantize(x, g);
+    const Tensor fused = fusedGemm(qx, qw);
+    const Tensor ref = dequantGemmReference(qx, qw);
+    for (int64_t i = 0; i < fused.numel(); ++i)
+        EXPECT_NEAR(fused[i], ref[i],
+                    1e-4f * (1.0f + std::fabs(ref[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedGemmSweep,
+    ::testing::Values(std::tuple{1, 64, 1, 64},   // GEMV, one group
+                      std::tuple{1, 128, 8, 64},  // GEMV, two groups
+                      std::tuple{4, 96, 8, 64},   // ragged tail group
+                      std::tuple{2, 64, 4, 16},   // small groups
+                      std::tuple{3, 200, 5, 64},  // non-multiple K
+                      std::tuple{2, 64, 4, 128})); // group > K
+
+} // namespace
+} // namespace mant

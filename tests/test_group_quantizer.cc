@@ -1,0 +1,223 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+QuantConfig
+groupCfg(int64_t g)
+{
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = g;
+    return cfg;
+}
+
+TEST(Granularity, UnitCounts)
+{
+    const Tensor t(Shape{4, 128});
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerTensor;
+    EXPECT_EQ(quantUnitCount(t, cfg), 1);
+    cfg.gran = Granularity::PerChannel;
+    EXPECT_EQ(quantUnitCount(t, cfg), 4);
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 64;
+    EXPECT_EQ(quantUnitCount(t, cfg), 8);
+    cfg.groupSize = 100; // ragged tail group per row
+    EXPECT_EQ(quantUnitCount(t, cfg), 8);
+}
+
+TEST(Granularity, MetaBitsPerElement)
+{
+    const Tensor t(Shape{2, 128});
+    QuantConfig cfg = groupCfg(64);
+    // 4 groups of 64 -> 16 bits / 64 elements = 0.25 bits/elem.
+    EXPECT_NEAR(metaBitsPerElement(t, cfg, 0), 0.25, 1e-12);
+    EXPECT_NEAR(metaBitsPerElement(t, cfg, 8), 0.375, 1e-12);
+}
+
+TEST(Granularity, GroupsDoNotStraddleChannels)
+{
+    // 2 rows of 96 with group 64 -> groups 64+32 per row, 4 total.
+    Tensor in(Shape{2, 96}, 1.0f);
+    Tensor out(Shape{2, 96});
+    std::vector<size_t> sizes;
+    forEachQuantUnit(in, out, groupCfg(64),
+                     [&](std::span<const float> g, std::span<float>) {
+                         sizes.push_back(g.size());
+                     });
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes[0], 64u);
+    EXPECT_EQ(sizes[1], 32u);
+    EXPECT_EQ(sizes[2], 64u);
+    EXPECT_EQ(sizes[3], 32u);
+}
+
+TEST(FixedQuant, ZeroTensorSurvives)
+{
+    const Tensor t(Shape{2, 64});
+    QuantStats stats;
+    const Tensor q = quantDequantFixed(t, int4Format(), groupCfg(64),
+                                       &stats);
+    EXPECT_EQ(stats.mse, 0.0);
+}
+
+TEST(FixedQuant, ErrorBounded)
+{
+    const Tensor t = test::gaussianTensor(Shape{8, 128}, 21);
+    QuantStats stats;
+    quantDequantFixed(t, int4Format(), groupCfg(64), &stats);
+    // INT4 group-wise on a Gaussian: NMSE well under 1% of power...
+    EXPECT_LT(stats.nmse, 0.05);
+    EXPECT_GT(stats.nmse, 0.0);
+}
+
+TEST(FixedQuant, GroupBeatsChannelBeatsTensor)
+{
+    // The Fig. 1 phenomenon: finer granularity -> lower error, on data
+    // with channel and group scale diversity.
+    DistProfile p;
+    p.sigmaSpread = 0.5;
+    p.groupDrift = 0.4;
+    p.outlierRate = 0.002;
+    Rng rng(22);
+    const Tensor w = genWeightMatrix(rng, 32, 512, p);
+
+    QuantStats tensor_s, chan_s, group_s;
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerTensor;
+    quantDequantFixed(w, int4Format(), cfg, &tensor_s);
+    cfg.gran = Granularity::PerChannel;
+    quantDequantFixed(w, int4Format(), cfg, &chan_s);
+    quantDequantFixed(w, int4Format(), groupCfg(64), &group_s);
+
+    EXPECT_LT(group_s.mse, chan_s.mse);
+    EXPECT_LT(chan_s.mse, tensor_s.mse);
+}
+
+TEST(FixedQuant, SmallerGroupsLowerError)
+{
+    DistProfile p;
+    p.groupDrift = 0.4;
+    Rng rng(23);
+    const Tensor w = genWeightMatrix(rng, 16, 512, p);
+    double prev = 1e18;
+    for (int64_t g : {256, 128, 64, 32}) {
+        QuantStats s;
+        quantDequantFixed(w, int4Format(), groupCfg(g), &s);
+        EXPECT_LT(s.mse, prev * 1.0001) << "group " << g;
+        prev = s.mse;
+    }
+}
+
+TEST(AdaptiveQuant, NeverWorseThanAnySingleType)
+{
+    const Tensor t = test::gaussianTensor(Shape{8, 256}, 25, 0.1);
+    QuantStats ant;
+    quantDequantAdaptive(t, antTypeSet(), groupCfg(64), &ant);
+    for (const NumericFormat *f : antTypeSet()) {
+        QuantStats single;
+        quantDequantFixed(t, *f, groupCfg(64), &single);
+        EXPECT_LE(ant.mse, single.mse * 1.0001) << f->name();
+    }
+}
+
+TEST(AdaptiveQuant, FormatCountsSumToUnits)
+{
+    const Tensor t = test::gaussianTensor(Shape{4, 256}, 26);
+    QuantStats stats;
+    quantDequantAdaptive(t, antTypeSet(), groupCfg(64), &stats);
+    int64_t total = 0;
+    for (int64_t c : stats.formatCounts)
+        total += c;
+    EXPECT_EQ(total, stats.unitCount);
+    EXPECT_EQ(stats.unitCount, 16);
+}
+
+TEST(AdaptiveQuant, PicksPotForExponentialData)
+{
+    // Data concentrated near zero with exponential tails favours PoT.
+    Tensor t(Shape{1, 64});
+    Rng rng(27);
+    for (int64_t i = 0; i < 64; ++i)
+        t[i] = static_cast<float>(rng.laplace(0.05));
+    QuantStats stats;
+    quantDequantAdaptive(t, antTypeSet(), groupCfg(64), &stats);
+    // pot4 is index 2 in the set.
+    EXPECT_GE(stats.formatCounts[2] + stats.formatCounts[1], 1);
+}
+
+TEST(KMeans, BeatsAdaptiveOnMixedData)
+{
+    // Per-group clustering is the accuracy-optimal reference (Fig. 2).
+    DistProfile p;
+    p.groupDrift = 0.4;
+    p.laplaceMix = 0.3;
+    Rng rng(28);
+    const Tensor w = genWeightMatrix(rng, 16, 256, p);
+
+    QuantStats ant, ideal;
+    quantDequantAdaptive(w, antTypeSet(), groupCfg(64), &ant);
+    quantDequantKMeans(w, 16, groupCfg(64), &ideal);
+    EXPECT_LT(ideal.mse, ant.mse);
+}
+
+TEST(KMeans, PerfectWhenFewDistinctValues)
+{
+    Tensor t(Shape{1, 64});
+    for (int64_t i = 0; i < 64; ++i)
+        t[i] = static_cast<float>(i % 4); // 4 distinct values, k=16
+    QuantStats stats;
+    QuantConfig cfg = groupCfg(64);
+    cfg.fp16Scale = false; // exact codebook
+    quantDequantKMeans(t, 16, cfg, &stats);
+    EXPECT_NEAR(stats.mse, 0.0, 1e-10);
+}
+
+TEST(KMeans, MetaBitsReflectCodebook)
+{
+    const Tensor t = test::gaussianTensor(Shape{1, 128}, 29);
+    QuantStats stats;
+    quantDequantKMeans(t, 16, groupCfg(64), &stats);
+    // 16 FP16 entries per 64-element group: 256 bits / 64 = 4 extra
+    // bits/elem beyond the scale slot -> "effectively 6-bit" storage.
+    EXPECT_GT(stats.metaBits, 3.5);
+}
+
+TEST(Fp16Scale, RoundingScaleMattersLittle)
+{
+    const Tensor t = test::gaussianTensor(Shape{4, 128}, 30);
+    QuantConfig exact = groupCfg(64);
+    exact.fp16Scale = false;
+    QuantConfig fp16 = groupCfg(64);
+    QuantStats se, sf;
+    quantDequantFixed(t, int4Format(), exact, &se);
+    quantDequantFixed(t, int4Format(), fp16, &sf);
+    EXPECT_NEAR(sf.mse, se.mse, se.mse * 0.2 + 1e-12);
+}
+
+/** Parameterized sweep: every engine preserves shape and determinism. */
+class EngineSweep : public ::testing::TestWithParam<int64_t>
+{};
+
+TEST_P(EngineSweep, DeterministicAndShapePreserving)
+{
+    const int64_t g = GetParam();
+    const Tensor t = test::gaussianTensor(Shape{4, 256}, 31);
+    const Tensor a = quantDequantFixed(t, int4Format(), groupCfg(g));
+    const Tensor b = quantDequantFixed(t, int4Format(), groupCfg(g));
+    EXPECT_EQ(a.shape(), t.shape());
+    EXPECT_EQ(test::maxDiff(a.span(), b.span()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, EngineSweep,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+} // namespace
+} // namespace mant

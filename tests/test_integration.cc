@@ -1,0 +1,159 @@
+/**
+ * Cross-module integration tests: the fused integer path inside a real
+ * model layer, the Fig. 2 accuracy ordering, and end-to-end quantized
+ * inference sanity.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/evaluator.h"
+#include "model/model_profiles.h"
+#include "model/quantized_linear.h"
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "tensor/stats.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(Integration, QuantizedLinearFusedMatchesFloatPath)
+{
+    // Take a real generated layer weight and verify the all-integer
+    // fused path equals the float path on the same quantized operands.
+    const ModelProfile p = test::tinyProfile();
+    const ModelWeights w = ModelWeights::generate(p, 64);
+
+    QuantSetup setup = mantW4A8Setup(16);
+    const QuantizedLinear lin(w.layers[0].wq, setup);
+    ASSERT_TRUE(lin.hasFusedPath());
+
+    const Tensor x = test::gaussianTensor(Shape{4, 64}, 301);
+    const Tensor fused = lin.forwardFused(x);
+
+    // Reference: INT8-quantized activations against effective weights.
+    const auto qx = Int8QuantizedActivations::quantize(x, 16);
+    const Tensor ref = linearNT(qx.dequantize(), lin.effectiveWeights());
+    for (int64_t i = 0; i < fused.numel(); ++i)
+        EXPECT_NEAR(fused[i], ref[i],
+                    1e-4f * (1.0f + std::fabs(ref[i])));
+}
+
+TEST(Integration, Fig2OrderingIntAntMantIdeal)
+{
+    // The Fig. 2 story at G-128: INT > ANT > MANT >= Ideal (K-means).
+    const ModelProfile p = modelProfile("llama-1-7b");
+    Rng rng(302);
+    const Tensor w = genWeightMatrix(rng, 64, 512, p.weightStats);
+
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 128;
+
+    QuantStats int_s, ant_s, ideal_s;
+    quantDequantFixed(w, int4Format(), cfg, &int_s);
+    quantDequantAdaptive(w, antTypeSet(), cfg, &ant_s);
+    quantDequantKMeans(w, 16, cfg, &ideal_s);
+
+    const MantQuantizedMatrix mq = MantQuantizedMatrix::quantize(w, 128);
+    const double mant_mse = mse(w.span(), mq.dequantize().span());
+
+    EXPECT_LT(ant_s.mse, int_s.mse);
+    EXPECT_LT(mant_mse, ant_s.mse);
+    // Per-group clustering and MANT are both near-optimal; they must
+    // land within ~25% of each other (Lloyd's is not globally optimal,
+    // so either may win narrowly) and both clearly beat ANT.
+    EXPECT_LE(ideal_s.mse, mant_mse * 1.25);
+    EXPECT_LE(ideal_s.mse, ant_s.mse);
+}
+
+TEST(Integration, MantSelectionDiverse)
+{
+    // On realistic weights MANT must actually use its adaptivity:
+    // multiple coefficients selected, not one dominant type.
+    const ModelProfile p = modelProfile("llama-1-7b");
+    Rng rng(303);
+    const Tensor w = genWeightMatrix(rng, 32, 512, p.weightStats);
+    const MantQuantizedMatrix q = MantQuantizedMatrix::quantize(w, 64);
+    const auto hist = q.selectionHistogram();
+    EXPECT_GE(hist.size(), 3u);
+}
+
+TEST(Integration, WeightMethodDispatchAllRun)
+{
+    const Tensor w = test::gaussianTensor(Shape{8, 128}, 304, 0.02);
+    for (WeightMethod m :
+         {WeightMethod::Fp16, WeightMethod::Int, WeightMethod::Ant,
+          WeightMethod::Olive, WeightMethod::Tender, WeightMethod::Mant,
+          WeightMethod::KMeans, WeightMethod::Nf4,
+          WeightMethod::Mxfp4}) {
+        QuantSetup setup;
+        setup.weight = m;
+        setup.weightBits = 4;
+        setup.weightGroup = 64;
+        const Tensor q = quantizeWeightMatrix(w, setup);
+        EXPECT_EQ(q.shape(), w.shape());
+        const double err = nmse(w.span(), q.span());
+        EXPECT_LT(err, 0.6) << "method " << static_cast<int>(m);
+    }
+}
+
+TEST(Integration, ActMethodDispatchAllRun)
+{
+    const Tensor x = test::gaussianTensor(Shape{8, 128}, 305);
+    for (ActMethod m : {ActMethod::Int, ActMethod::Ant, ActMethod::Olive,
+                        ActMethod::Tender}) {
+        QuantSetup setup;
+        setup.act = m;
+        setup.actBits = 8;
+        setup.actGroup = 64;
+        const Tensor q = quantizeActivations(x, setup);
+        EXPECT_EQ(q.shape(), x.shape());
+        EXPECT_LT(nmse(x.span(), q.span()), 0.05)
+            << "method " << static_cast<int>(m);
+    }
+}
+
+TEST(Integration, EndToEndMantPipelineSane)
+{
+    // Full pipeline: calibrated KV selector + W4A8 + MANT KV, decode
+    // steps after prefill, finite outputs, modest perplexity delta.
+    ModelProfile p = test::tinyProfile();
+    p.fp16Ppl = 10.0;
+    const ModelWeights w = ModelWeights::generate(p, 128);
+
+    EvalConfig ecfg;
+    ecfg.contexts = 2;
+    ecfg.seqLen = 24;
+    ecfg.skip = 4;
+    const PplEvaluator eval(w, ecfg);
+
+    const auto samples =
+        Transformer::collectKvSamples(w, eval.corpus()[0]);
+    const VarianceSelector sel =
+        VarianceSelector::calibrateMulti(samples, 16);
+
+    QuantSetup full = mantFullSetup(16);
+    const double ppl = eval.perplexityOf(full, &sel);
+    EXPECT_TRUE(std::isfinite(ppl));
+    EXPECT_GE(ppl, eval.referencePerplexity() - 0.1);
+    EXPECT_LT(ppl, eval.referencePerplexity() * 3.0);
+}
+
+TEST(Integration, MetaBitsMatchPaperArithmetic)
+{
+    // Sec. III-A: G-128 with a 16-bit scale is 4.125 bits/element;
+    // G-32 has 4x the overhead.
+    const Tensor t(Shape{16, 512});
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    EXPECT_NEAR(4.0 + metaBitsPerElement(t, cfg, 0), 4.125, 1e-9);
+    cfg.groupSize = 32;
+    EXPECT_NEAR(4.0 + metaBitsPerElement(t, cfg, 0), 4.5, 1e-9);
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,212 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/kv_quant.h"
+#include "tensor/stats.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+class KvQuantTest : public ::testing::Test
+{
+  protected:
+    VarianceSelector sel_ = VarianceSelector::analytic();
+};
+
+TEST_F(KvQuantTest, SpatialRowQuantizesPerGroup)
+{
+    const Tensor row = test::gaussianTensor(Shape{128}, 101);
+    std::vector<float> out(128);
+    const auto sels = spatialQuantizeRow(row.span(), 64, sel_, out);
+    ASSERT_EQ(sels.size(), 2u);
+    // Error bounded: 4-bit adaptive on Gaussian data.
+    EXPECT_LT(nmse(row.span(), out), 0.1);
+}
+
+TEST_F(KvQuantTest, SpatialRowRaggedTail)
+{
+    const Tensor row = test::gaussianTensor(Shape{100}, 102);
+    std::vector<float> out(100);
+    const auto sels = spatialQuantizeRow(row.span(), 64, sel_, out);
+    EXPECT_EQ(sels.size(), 2u); // 64 + 36
+}
+
+TEST_F(KvQuantTest, SpatialSizeMismatchThrows)
+{
+    const Tensor row = test::gaussianTensor(Shape{64}, 103);
+    std::vector<float> out(32);
+    EXPECT_THROW(spatialQuantizeRow(row.span(), 64, sel_, out),
+                 std::invalid_argument);
+}
+
+TEST_F(KvQuantTest, TemporalWindowFinalizesExactlyAtG)
+{
+    TemporalVQuantizer tq(8, 16, sel_);
+    const Tensor v = test::gaussianTensor(Shape{16, 8}, 104);
+    // Seed channel scales from a prefill of zero full windows.
+    tq.pushPrefill(test::gaussianTensor(Shape{4, 8}, 105));
+    EXPECT_EQ(tq.finalizedRows(), 0);
+    EXPECT_EQ(tq.pendingRows(), 4);
+
+    for (int64_t r = 0; r < 11; ++r)
+        tq.pushDecode(v.row(r));
+    EXPECT_EQ(tq.pendingRows(), 15);
+    EXPECT_EQ(tq.finalizedRows(), 0);
+
+    tq.pushDecode(v.row(11)); // 16th pending row -> finalize
+    EXPECT_EQ(tq.pendingRows(), 0);
+    EXPECT_EQ(tq.finalizedRows(), 16);
+}
+
+TEST_F(KvQuantTest, PrefillFullWindowsQuantizedImmediately)
+{
+    TemporalVQuantizer tq(8, 16, sel_);
+    tq.pushPrefill(test::gaussianTensor(Shape{40, 8}, 106));
+    EXPECT_EQ(tq.finalizedRows(), 32); // two full windows
+    EXPECT_EQ(tq.pendingRows(), 8);
+    EXPECT_EQ(tq.rows(), 40);
+}
+
+TEST_F(KvQuantTest, ReconstructShapeAndAccuracy)
+{
+    TemporalVQuantizer tq(16, 32, sel_);
+    const Tensor v = test::gaussianTensor(Shape{48, 16}, 107);
+    tq.pushPrefill(v);
+    const Tensor rec = tq.reconstruct();
+    ASSERT_EQ(rec.shape(), Shape({48, 16}));
+    // Finalized rows at 4-bit, pending at 8-bit: overall error small.
+    EXPECT_LT(nmse(v.span(), rec.span()), 0.1);
+}
+
+TEST_F(KvQuantTest, PendingRowsMoreAccurateThanFinalized)
+{
+    // INT8 pending rows should reconstruct better than 4-bit MANT
+    // finalized rows — the design intent behind keeping the newest
+    // tokens at higher precision (Sec. V-C).
+    TemporalVQuantizer tq(32, 32, sel_);
+    const Tensor prefill = test::gaussianTensor(Shape{32, 32}, 108);
+    tq.pushPrefill(prefill); // one full window -> finalized
+    const Tensor decode = test::gaussianTensor(Shape{8, 32}, 109);
+    for (int64_t r = 0; r < 8; ++r)
+        tq.pushDecode(decode.row(r));
+
+    const Tensor rec = tq.reconstruct();
+    double fin_err = 0.0, pend_err = 0.0;
+    for (int64_t c = 0; c < 32; ++c) {
+        for (int64_t r = 0; r < 32; ++r) {
+            const double d = rec.at(r, c) - prefill.at(r, c);
+            fin_err += d * d;
+        }
+        for (int64_t r = 0; r < 8; ++r) {
+            const double d = rec.at(32 + r, c) - decode.at(r, c);
+            pend_err += d * d;
+        }
+    }
+    EXPECT_LT(pend_err / (8 * 32), fin_err / (32 * 32));
+}
+
+TEST_F(KvQuantTest, PendingFraction)
+{
+    TemporalVQuantizer tq(4, 8, sel_);
+    tq.pushPrefill(test::gaussianTensor(Shape{8, 4}, 110));
+    EXPECT_EQ(tq.pendingFraction(), 0.0);
+    tq.pushDecode(std::vector<float>(4, 1.0f));
+    EXPECT_NEAR(tq.pendingFraction(), 1.0 / 9.0, 1e-12);
+}
+
+TEST_F(KvQuantTest, ChannelScalesFromPrefill)
+{
+    TemporalVQuantizer tq(2, 4, sel_);
+    Tensor v(Shape{4, 2}, {1.0f, 10.0f, -2.0f, 20.0f,
+                           0.5f, -30.0f, 1.5f, 5.0f});
+    tq.pushPrefill(v);
+    const auto scales = tq.channelScales();
+    EXPECT_NEAR(scales[0], 2.0f / 127.0f, 2e-4);
+    EXPECT_NEAR(scales[1], 30.0f / 127.0f, 2e-3);
+}
+
+TEST_F(KvQuantTest, SelectionHistoryGrowsPerChannelGroup)
+{
+    TemporalVQuantizer tq(8, 16, sel_);
+    tq.pushPrefill(test::gaussianTensor(Shape{32, 8}, 111));
+    // Two finalized windows x 8 channels = 16 selections.
+    EXPECT_EQ(tq.selectionHistory().size(), 16u);
+}
+
+TEST_F(KvQuantTest, StreamedStatsMatchBatchVariance)
+{
+    // The variance the temporal quantizer computes from streamed
+    // Σv, Σv² must equal the batch variance of the INT8-visible data.
+    TemporalVQuantizer tq(1, 8, sel_);
+    Tensor pre(Shape{2, 1});
+    pre[0] = 1.0f;
+    pre[1] = -1.0f;
+    tq.pushPrefill(pre);
+    // (No full window yet; finalize runs after 8 decode pushes.)
+    Rng rng(112);
+    for (int i = 0; i < 6; ++i) {
+        const float v[] = {static_cast<float>(rng.gaussian(0.0, 0.5))};
+        tq.pushDecode(v);
+    }
+    EXPECT_EQ(tq.finalizedRows(), 8);
+    EXPECT_EQ(tq.selectionHistory().size(), 1u);
+}
+
+TEST_F(KvQuantTest, BadShapesThrow)
+{
+    TemporalVQuantizer tq(4, 8, sel_);
+    EXPECT_THROW(tq.pushPrefill(Tensor(Shape{4, 3})),
+                 std::invalid_argument);
+    EXPECT_THROW(tq.pushDecode(std::vector<float>(3, 0.0f)),
+                 std::invalid_argument);
+    EXPECT_THROW(TemporalVQuantizer(0, 8, sel_), std::invalid_argument);
+}
+
+TEST_F(KvQuantTest, TwoPhaseCloseToDirectSpatialQuantization)
+{
+    // The two-phase scheme (INT8 window then MANT4) should track the
+    // oracle that quantizes the finalized window directly from FP.
+    const int64_t ch = 16, win = 32;
+    TemporalVQuantizer tq(ch, win, sel_);
+    Tensor seed(Shape{win, ch});
+    Rng rng(113);
+    for (int64_t i = 0; i < seed.numel(); ++i)
+        seed[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    tq.pushPrefill(seed); // derives scales, finalizes one window
+
+    Tensor decode(Shape{win, ch});
+    for (int64_t i = 0; i < decode.numel(); ++i)
+        decode[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    for (int64_t r = 0; r < win; ++r)
+        tq.pushDecode(decode.row(r));
+
+    const Tensor rec = tq.reconstruct();
+    double two_phase_err = 0.0;
+    for (int64_t r = 0; r < win; ++r)
+        for (int64_t c = 0; c < ch; ++c) {
+            const double d = rec.at(win + r, c) - decode.at(r, c);
+            two_phase_err += d * d;
+        }
+
+    // Oracle: direct spatial quantization of the same window.
+    double oracle_err = 0.0;
+    std::vector<float> col(static_cast<size_t>(win));
+    std::vector<float> out(static_cast<size_t>(win));
+    for (int64_t c = 0; c < ch; ++c) {
+        for (int64_t r = 0; r < win; ++r)
+            col[static_cast<size_t>(r)] = decode.at(r, c);
+        spatialQuantizeRow(col, win, sel_, out);
+        for (int64_t r = 0; r < win; ++r) {
+            const double d = out[static_cast<size_t>(r)] -
+                             col[static_cast<size_t>(r)];
+            oracle_err += d * d;
+        }
+    }
+    // The INT8 intermediate adds only a modest penalty.
+    EXPECT_LT(two_phase_err, oracle_err * 1.5 + 1e-9);
+}
+
+} // namespace
+} // namespace mant

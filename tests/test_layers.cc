@@ -1,0 +1,191 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "model/layers.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(Softmax, SumsToOne)
+{
+    std::vector<float> row = {1.0f, 2.0f, 3.0f, -1.0f};
+    softmaxRow(row);
+    const double sum = std::accumulate(row.begin(), row.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    for (float p : row)
+        EXPECT_GT(p, 0.0f);
+}
+
+TEST(Softmax, MonotonicInLogits)
+{
+    std::vector<float> row = {0.0f, 1.0f, 2.0f};
+    softmaxRow(row);
+    EXPECT_LT(row[0], row[1]);
+    EXPECT_LT(row[1], row[2]);
+}
+
+TEST(Softmax, StableForHugeLogits)
+{
+    std::vector<float> row = {1000.0f, 999.0f};
+    softmaxRow(row);
+    EXPECT_FALSE(std::isnan(row[0]));
+    EXPECT_GT(row[0], row[1]);
+}
+
+TEST(Softmax, TemperatureSharpens)
+{
+    std::vector<float> soft = {1.0f, 2.0f};
+    std::vector<float> sharp = {1.0f, 2.0f};
+    softmaxRowScaled(soft, 0.5f);
+    softmaxRowScaled(sharp, 5.0f);
+    EXPECT_GT(sharp[1], soft[1]);
+}
+
+TEST(RmsNorm, UnitGainNormalizesRms)
+{
+    std::vector<float> row = {3.0f, -4.0f, 5.0f, 1.0f};
+    const std::vector<float> gain(4, 1.0f);
+    rmsNormRow(row, gain);
+    double ms = 0.0;
+    for (float v : row)
+        ms += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(ms / 4.0), 1.0, 1e-3);
+}
+
+TEST(RmsNorm, GainScalesChannels)
+{
+    std::vector<float> row = {1.0f, 1.0f};
+    const std::vector<float> gain = {1.0f, 3.0f};
+    rmsNormRow(row, gain);
+    EXPECT_NEAR(row[1] / row[0], 3.0f, 1e-5);
+}
+
+TEST(LayerNorm, ZeroMeanUnitVar)
+{
+    std::vector<float> row = {1.0f, 2.0f, 3.0f, 4.0f};
+    const std::vector<float> gain(4, 1.0f), bias(4, 0.0f);
+    layerNormRow(row, gain, bias);
+    double mean = 0.0, var = 0.0;
+    for (float v : row)
+        mean += v;
+    mean /= 4.0;
+    for (float v : row)
+        var += (v - mean) * (v - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-2);
+}
+
+TEST(LayerNorm, BiasAdds)
+{
+    std::vector<float> row = {1.0f, -1.0f};
+    const std::vector<float> gain(2, 0.0f), bias = {5.0f, -5.0f};
+    layerNormRow(row, gain, bias);
+    EXPECT_FLOAT_EQ(row[0], 5.0f);
+    EXPECT_FLOAT_EQ(row[1], -5.0f);
+}
+
+TEST(Silu, KnownValues)
+{
+    std::vector<float> xs = {0.0f, 10.0f, -10.0f};
+    siluInPlace(xs);
+    EXPECT_FLOAT_EQ(xs[0], 0.0f);
+    EXPECT_NEAR(xs[1], 10.0f, 1e-3);
+    EXPECT_NEAR(xs[2], 0.0f, 1e-3);
+}
+
+TEST(Gelu, KnownValues)
+{
+    std::vector<float> xs = {0.0f, 3.0f, -3.0f};
+    geluInPlace(xs);
+    EXPECT_FLOAT_EQ(xs[0], 0.0f);
+    EXPECT_NEAR(xs[1], 3.0f, 0.02f);
+    EXPECT_NEAR(xs[2], 0.0f, 0.02f);
+}
+
+TEST(Rope, PreservesNorm)
+{
+    std::vector<float> v = {1.0f, 2.0f, -3.0f, 0.5f};
+    double before = 0.0;
+    for (float x : v)
+        before += static_cast<double>(x) * x;
+    applyRope(v, 17);
+    double after = 0.0;
+    for (float x : v)
+        after += static_cast<double>(x) * x;
+    EXPECT_NEAR(before, after, 1e-4);
+}
+
+TEST(Rope, PositionZeroIsIdentity)
+{
+    std::vector<float> v = {1.0f, 2.0f, -3.0f, 0.5f};
+    const std::vector<float> orig = v;
+    applyRope(v, 0);
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(v[i], orig[i], 1e-6);
+}
+
+TEST(Rope, RelativePhaseProperty)
+{
+    // The dot product of two RoPE'd vectors depends only on the
+    // position difference.
+    std::vector<float> q = {0.3f, -0.7f, 1.1f, 0.2f};
+    std::vector<float> k = {-0.5f, 0.9f, 0.4f, -1.0f};
+
+    auto dot_at = [&](int64_t pq, int64_t pk) {
+        std::vector<float> qq = q, kk = k;
+        applyRope(qq, pq);
+        applyRope(kk, pk);
+        double acc = 0.0;
+        for (size_t i = 0; i < qq.size(); ++i)
+            acc += static_cast<double>(qq[i]) * kk[i];
+        return acc;
+    };
+    EXPECT_NEAR(dot_at(5, 3), dot_at(12, 10), 1e-4);
+    EXPECT_NEAR(dot_at(9, 9), dot_at(0, 0), 1e-4);
+}
+
+TEST(Rope, OddDimThrows)
+{
+    std::vector<float> v = {1.0f, 2.0f, 3.0f};
+    EXPECT_THROW(applyRope(v, 1), std::invalid_argument);
+}
+
+TEST(Entropy, UniformIsLogN)
+{
+    const std::vector<float> p(8, 0.125f);
+    EXPECT_NEAR(rowEntropy(p), std::log(8.0), 1e-6);
+}
+
+TEST(Entropy, DeltaIsZero)
+{
+    const std::vector<float> p = {1.0f, 0.0f, 0.0f};
+    EXPECT_EQ(rowEntropy(p), 0.0);
+}
+
+TEST(CrossEntropy, SelfIsEntropy)
+{
+    std::vector<float> p = {0.1f, 0.2f, 0.3f, 0.4f};
+    EXPECT_NEAR(rowCrossEntropy(p, p), rowEntropy(p), 1e-9);
+}
+
+TEST(CrossEntropy, GibbsInequality)
+{
+    const std::vector<float> p = {0.7f, 0.2f, 0.1f};
+    const std::vector<float> q = {0.1f, 0.2f, 0.7f};
+    EXPECT_GT(rowCrossEntropy(p, q), rowEntropy(p));
+}
+
+TEST(CrossEntropy, ClampsZeroQ)
+{
+    const std::vector<float> p = {0.5f, 0.5f};
+    const std::vector<float> q = {1.0f, 0.0f};
+    const double ce = rowCrossEntropy(p, q);
+    EXPECT_TRUE(std::isfinite(ce));
+    EXPECT_GT(ce, 5.0); // heavy penalty from the floor
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,206 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/mant_grid.h"
+#include "quant/fixed_formats.h"
+#include "tensor/stats.h"
+
+namespace mant {
+namespace {
+
+/** NF quantile helper (Eq. 3 of the paper). */
+[[maybe_unused]] double
+probitQuantile(int i, double eps)
+{
+    return probit(static_cast<double>(i) * (1.0 - eps) * 0.5 / 7.0 + 0.5);
+}
+
+TEST(MantGrid, Fig7GridForA17)
+{
+    // The paper's worked example: a = 17 gives positive magnitudes
+    // {1, 19, 38, 59, 84, 117, 166, 247}.
+    const int expected[] = {1, 19, 38, 59, 84, 117, 166, 247};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mantGridValue(17, i), expected[i]) << "i=" << i;
+}
+
+TEST(MantGrid, AZeroIsPot)
+{
+    // a = 0 -> Value = ±2^|INT| exactly (Sec. IV-A).
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mantGridValue(0, i), 1 << i);
+}
+
+TEST(MantGrid, GridMax)
+{
+    EXPECT_EQ(mantGridMax(17), 7 * 17 + 128);
+    EXPECT_EQ(mantGridMax(0), 128);
+    EXPECT_EQ(mantGridMax(120), 968);
+}
+
+TEST(MantGrid, NoZeroOnGrid)
+{
+    // Both ±0 codes map to ±1: the grid contains no zero.
+    for (int a : mantCoefficientSet()) {
+        for (float lvl : mantFormat(a).levels())
+            EXPECT_NE(lvl, 0.0f) << "a=" << a;
+    }
+}
+
+TEST(MantGrid, SixteenDistinctLevels)
+{
+    for (int a : mantCoefficientSet()) {
+        std::set<float> distinct;
+        for (float lvl : mantFormat(a).levels())
+            distinct.insert(lvl);
+        EXPECT_EQ(distinct.size(), 16u) << "a=" << a;
+    }
+}
+
+TEST(MantGrid, CodeHelpers)
+{
+    const MantCode c = makeMantCode(true, 5);
+    EXPECT_TRUE(mantNegative(c));
+    EXPECT_EQ(mantMagnitude(c), 5);
+    EXPECT_EQ(mantSign(c), -1);
+    EXPECT_EQ(mantCodeValue(17, c), -(17 * 5 + 32));
+
+    const MantCode p = makeMantCode(false, 0);
+    EXPECT_EQ(mantCodeValue(17, p), 1);
+}
+
+TEST(MantGrid, IndexCodeBijection)
+{
+    for (int idx = 0; idx < 16; ++idx) {
+        const MantCode c = MantFormat::indexToCode(idx);
+        EXPECT_EQ(MantFormat::codeToIndex(c), idx);
+    }
+    // And the level order matches the code values.
+    const MantFormat &f = mantFormat(17);
+    for (int idx = 0; idx < 16; ++idx) {
+        EXPECT_FLOAT_EQ(
+            f.levels()[static_cast<size_t>(idx)],
+            static_cast<float>(
+                mantCodeValue(17, MantFormat::indexToCode(idx))));
+    }
+}
+
+TEST(MantGrid, CoefficientSetMatchesPaper)
+{
+    // Sec. V-A set; with the INT option it makes 16 selectable types.
+    const auto set = mantCoefficientSet();
+    ASSERT_EQ(set.size(), 15u);
+    EXPECT_EQ(set[0], 0);
+    EXPECT_EQ(set[3], 17);
+    EXPECT_EQ(set[14], 120);
+}
+
+TEST(MantGrid, CoefficientBounds)
+{
+    EXPECT_THROW(MantFormat(-1), std::invalid_argument);
+    EXPECT_THROW(MantFormat(128), std::invalid_argument);
+    EXPECT_NO_THROW(MantFormat(127));
+}
+
+TEST(MantGrid, NormalizedValueEndpoints)
+{
+    for (int a : {0, 17, 60, 120}) {
+        EXPECT_NEAR(mantNormalizedValue(a, 7), 1.0, 1e-12);
+        EXPECT_GT(mantNormalizedValue(a, 0), 0.0);
+        EXPECT_LT(mantNormalizedValue(a, 0), 0.02);
+    }
+}
+
+TEST(MantGrid, LargerACloserToLinear)
+{
+    // As a grows the grid approaches INT (y(i) -> i/7): measure L1
+    // distance to the linear ramp, must decrease with a.
+    auto dist_to_linear = [](int a) {
+        double d = 0.0;
+        for (int i = 0; i <= 7; ++i)
+            d += std::fabs(mantNormalizedValue(a, i) - i / 7.0);
+        return d;
+    };
+    EXPECT_GT(dist_to_linear(0), dist_to_linear(17));
+    EXPECT_GT(dist_to_linear(17), dist_to_linear(60));
+    EXPECT_GT(dist_to_linear(60), dist_to_linear(120));
+}
+
+TEST(MantGrid, A17IsTheBestFloatApproximation)
+{
+    // Fig. 5: a = 17 tracks the float (E2M1-style) curve
+    // {1,2,3,4,6,8,12,16}/16 better than any other grid in the
+    // selectable neighbourhood — and far better than PoT or INT.
+    const double fp4[] = {1 / 16.0, 2 / 16.0,  3 / 16.0, 4 / 16.0,
+                          6 / 16.0, 8 / 16.0, 12 / 16.0, 1.0};
+    auto l1 = [&](int a) {
+        double d = 0.0;
+        for (int i = 0; i < 8; ++i)
+            d += std::fabs(mantNormalizedValue(a, i) - fp4[i]);
+        return d;
+    };
+    int best_a = -1;
+    double best = 1e9;
+    for (int a = 0; a <= 127; ++a) {
+        if (l1(a) < best) {
+            best = l1(a);
+            best_a = a;
+        }
+    }
+    EXPECT_NEAR(best_a, 17, 6);
+    EXPECT_LT(l1(17), l1(0));   // much better than PoT
+    EXPECT_LT(l1(17), l1(120)); // much better than near-INT
+}
+
+TEST(MantGrid, A25BestApproximatesNf4)
+{
+    // Fig. 5: a = 25 tracks NormalFloat. Fit against the deployed NF4
+    // grid's positive levels (QLoRA constants).
+    const auto nf = nf4Format().levels();
+    auto l1 = [&](int a) {
+        double d = 0.0;
+        for (int i = 0; i < 8; ++i)
+            d += std::fabs(mantNormalizedValue(a, i) -
+                           nf[static_cast<size_t>(8 + i)]);
+        return d;
+    };
+    int best_a = -1;
+    double best = 1e9;
+    for (int a = 0; a <= 127; ++a) {
+        if (l1(a) < best) {
+            best = l1(a);
+            best_a = a;
+        }
+    }
+    // The exact best-fit depends on the eps convention in Eq. 3; the
+    // robust property is that a *moderate* coefficient wins, and a=25
+    // (the paper's pick) beats both extremes decisively.
+    EXPECT_GE(best_a, 10);
+    EXPECT_LE(best_a, 60);
+    EXPECT_LT(l1(25), l1(0));
+    EXPECT_LT(l1(25), l1(120));
+}
+
+TEST(MantGrid, EncodeDecodeRoundTrip)
+{
+    const MantFormat &f = mantFormat(40);
+    const float scale = f.scaleFor(10.0f);
+    for (int i = -30; i <= 30; ++i) {
+        const float x = 0.33f * static_cast<float>(i);
+        const MantCode c = f.encodeToCode(x, scale);
+        const float v = f.decodeCode(c, scale);
+        // Must match the generic format path exactly.
+        EXPECT_FLOAT_EQ(v, f.quantizeValue(x, scale));
+    }
+}
+
+TEST(MantGrid, FormatCacheReturnsSameInstance)
+{
+    EXPECT_EQ(&mantFormat(17), &mantFormat(17));
+    EXPECT_NE(&mantFormat(17), &mantFormat(20));
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "quant/mixed_precision.h"
+
+namespace mant {
+namespace {
+
+std::vector<LayerError>
+threeLayers()
+{
+    return {
+        {"a", 0.10, 0.001, 100},
+        {"b", 0.02, 0.0005, 100},
+        {"c", 0.30, 0.002, 100},
+    };
+}
+
+TEST(MixedPrecision, LooseBudgetKeepsEverything4Bit)
+{
+    const auto layers = threeLayers();
+    const BitAssignment a = assignBits(layers, 1.0);
+    EXPECT_EQ(a.layersAt8, 0);
+    EXPECT_EQ(a.avgBits, 4.0);
+}
+
+TEST(MixedPrecision, TightBudgetPromotesWorstFirst)
+{
+    const auto layers = threeLayers();
+    // Aggregate at all-4 = (0.10+0.02+0.30)/3 = 0.14; budget 0.05
+    // forces promoting "c" (0.30) first, then "a".
+    const BitAssignment a = assignBits(layers, 0.05);
+    EXPECT_EQ(a.bits[2], 8); // c promoted
+    EXPECT_LE(a.aggregateNmse, 0.05);
+}
+
+TEST(MixedPrecision, ImpossibleBudgetPromotesAll)
+{
+    const auto layers = threeLayers();
+    const BitAssignment a = assignBits(layers, 0.0);
+    EXPECT_EQ(a.layersAt8, 3);
+    EXPECT_EQ(a.avgBits, 8.0);
+}
+
+TEST(MixedPrecision, WeightingBySizeMatters)
+{
+    std::vector<LayerError> layers = {
+        {"big", 0.10, 0.001, 1000},
+        {"small", 0.50, 0.001, 10},
+    };
+    // Weighted error: (1000*0.10 + 10*0.50)/1010 = 0.104. The big
+    // layer's promotion removes ~0.098, the small one's only ~0.005 —
+    // greedy must take the big one first despite lower NMSE.
+    const BitAssignment a = assignBits(layers, 0.01);
+    EXPECT_EQ(a.bits[0], 8);
+}
+
+TEST(MixedPrecision, AggregateMonotoneInBudget)
+{
+    const auto layers = threeLayers();
+    double prev_avg_bits = 100.0;
+    for (double budget : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+        const BitAssignment a = assignBits(layers, budget);
+        EXPECT_LE(a.avgBits, prev_avg_bits + 1e-12);
+        prev_avg_bits = a.avgBits;
+    }
+}
+
+TEST(MixedPrecisionTiered, ThreeTierPromotion)
+{
+    std::vector<TieredLayerError> layers(2);
+    layers[0] = {"x", {4, 8, 16}, {0.5, 0.05, 1e-7}, 100};
+    layers[1] = {"y", {4, 8, 16}, {0.1, 0.01, 1e-7}, 100};
+
+    // Budget below what all-8 achieves forces a 16-bit tier.
+    const TieredAssignment a = assignBitsTiered(layers, 0.005);
+    EXPECT_LE(a.aggregateNmse, 0.005);
+    EXPECT_GE(a.bits[0], 8);
+    bool any16 = a.bits[0] == 16 || a.bits[1] == 16;
+    EXPECT_TRUE(any16);
+}
+
+TEST(MixedPrecisionTiered, StopsWhenBudgetMet)
+{
+    std::vector<TieredLayerError> layers(1);
+    layers[0] = {"x", {4, 8}, {0.01, 0.001}, 100};
+    const TieredAssignment a = assignBitsTiered(layers, 0.02);
+    EXPECT_EQ(a.bits[0], 4);
+}
+
+TEST(MixedPrecisionTiered, AvgBitsWeighted)
+{
+    std::vector<TieredLayerError> layers(2);
+    layers[0] = {"x", {4, 8}, {1.0, 0.0}, 300};
+    layers[1] = {"y", {4, 8}, {0.0, 0.0}, 100};
+    const TieredAssignment a = assignBitsTiered(layers, 0.01);
+    // x (weight 300) -> 8, y stays 4: avg = (300*8+100*4)/400 = 7.
+    EXPECT_DOUBLE_EQ(a.avgBits, 7.0);
+}
+
+TEST(MixedPrecision, AggregateNmseHelper)
+{
+    const auto layers = threeLayers();
+    const int bits4[] = {4, 4, 4};
+    const int bits8[] = {8, 8, 8};
+    EXPECT_GT(aggregateNmse(layers, bits4),
+              aggregateNmse(layers, bits8));
+}
+
+} // namespace
+} // namespace mant

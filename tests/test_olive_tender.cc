@@ -1,0 +1,194 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "quant/olive.h"
+#include "quant/tender.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+QuantConfig
+chanCfg()
+{
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerChannel;
+    return cfg;
+}
+
+/** A tensor with one huge outlier per channel. */
+Tensor
+outlierTensor(uint64_t seed, int64_t rows = 8, int64_t cols = 128,
+              float outlier = 50.0f)
+{
+    Tensor t = test::gaussianTensor(Shape{rows, cols}, seed, 1.0);
+    for (int64_t r = 0; r < rows; ++r)
+        t.at(r, (r * 13) % cols) = outlier * ((r % 2) ? 1.0f : -1.0f);
+    return t;
+}
+
+TEST(Olive, BeatsIntOnOutlierData)
+{
+    const Tensor t = outlierTensor(33);
+    QuantStats olive_s, int_s;
+    OliveConfig ocfg;
+    quantDequantOlive(t, ocfg, chanCfg(), &olive_s);
+    quantDequantFixed(t, int4Format(), chanCfg(), &int_s);
+    EXPECT_LT(olive_s.mse, int_s.mse * 0.5);
+}
+
+TEST(Olive, OutlierMagnitudePreserved)
+{
+    const Tensor t = outlierTensor(34, 4, 64, 80.0f);
+    const Tensor q = quantDequantOlive(t, OliveConfig{}, chanCfg());
+    for (int64_t r = 0; r < 4; ++r) {
+        const int64_t c = (r * 13) % 64;
+        // The outlier survives within a factor-of-2 (PoT abfloat).
+        EXPECT_GT(std::fabs(q.at(r, c)), 40.0f);
+        EXPECT_LT(std::fabs(q.at(r, c)), 160.0f);
+        EXPECT_EQ(std::signbit(q.at(r, c)), std::signbit(t.at(r, c)));
+    }
+}
+
+TEST(Olive, VictimIsZeroed)
+{
+    Tensor t(Shape{1, 8}, {0.5f, 0.4f, 40.0f, 0.3f,
+                           0.2f, -0.1f, 0.6f, 0.1f});
+    const Tensor q = quantDequantOlive(t, OliveConfig{}, chanCfg());
+    // Element 2 is the outlier; its pair partner (3) is the victim.
+    EXPECT_EQ(q.at(0, 3), 0.0f);
+    EXPECT_GT(std::fabs(q.at(0, 2)), 10.0f);
+}
+
+TEST(Olive, CleanDataUnaffectedByPairing)
+{
+    // Without outliers OliVe degenerates to plain INT quantization.
+    const Tensor t = test::gaussianTensor(Shape{4, 128}, 35, 0.1);
+    QuantStats olive_s, int_s;
+    quantDequantOlive(t, OliveConfig{}, chanCfg(), &olive_s);
+    quantDequantFixed(t, int4Format(), chanCfg(), &int_s);
+    EXPECT_LT(olive_s.mse, int_s.mse * 3.0);
+}
+
+TEST(Olive, SmallGroupsSufferFromVictims)
+{
+    // Tbl. V phenomenon: with shrinking groups, zeroed victims start
+    // to cost more than outlier protection buys.
+    DistProfile p;
+    p.outlierRate = 0.01;
+    p.outlierScale = 15.0;
+    Rng rng(36);
+    const Tensor w = genWeightMatrix(rng, 16, 512, p);
+
+    QuantConfig g128;
+    g128.gran = Granularity::PerGroup;
+    g128.groupSize = 128;
+    QuantConfig g32 = g128;
+    g32.groupSize = 32;
+
+    QuantStats olive128, olive32, int128, int32;
+    quantDequantOlive(w, OliveConfig{}, g128, &olive128);
+    quantDequantOlive(w, OliveConfig{}, g32, &olive32);
+    quantDequantFixed(w, int4Format(), g128, &int128);
+    quantDequantFixed(w, int4Format(), g32, &int32);
+
+    // INT improves more from group shrinking than OliVe does.
+    const double int_gain = int128.mse / int32.mse;
+    const double olive_gain = olive128.mse / (olive32.mse + 1e-18);
+    EXPECT_GT(int_gain, olive_gain * 0.9);
+}
+
+TEST(Olive, EightBitMode)
+{
+    const Tensor t = outlierTensor(37);
+    OliveConfig ocfg;
+    ocfg.bits = 8;
+    QuantStats s8, s4;
+    quantDequantOlive(t, ocfg, chanCfg(), &s8);
+    quantDequantOlive(t, OliveConfig{}, chanCfg(), &s4);
+    EXPECT_LT(s8.mse, s4.mse);
+}
+
+TEST(Tender, BeatsPerTensorIntOnSpreadChannels)
+{
+    DistProfile p;
+    p.sigmaSpread = 0.8;
+    p.outlierRate = 0.0;
+    Rng rng(38);
+    const Tensor w = genWeightMatrix(rng, 64, 128, p);
+
+    QuantStats tender_s, int_s;
+    quantDequantTender(w, TenderConfig{}, true, &tender_s);
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerTensor;
+    quantDequantFixed(w, int4Format(), cfg, &int_s);
+    EXPECT_LT(tender_s.mse, int_s.mse);
+}
+
+TEST(Tender, ChannelScalesArePowerOfTwoRelated)
+{
+    // Reconstruction per channel must use base/2^k: verify every
+    // channel's implied scale is the chunk base over a power of two by
+    // checking quantized values land on that channel's lattice.
+    DistProfile p;
+    p.sigmaSpread = 0.6;
+    Rng rng(39);
+    const Tensor w = genWeightMatrix(rng, 16, 64, p);
+    TenderConfig tcfg;
+    tcfg.numChunks = 2;
+    const Tensor q = quantDequantTender(w, tcfg, false);
+
+    for (int64_t r = 0; r < 16; ++r) {
+        // Smallest nonzero |q| on the row divides all others ~exactly.
+        float unit = 0.0f;
+        for (float v : q.row(r)) {
+            const float a = std::fabs(v);
+            if (a > 0.0f && (unit == 0.0f || a < unit))
+                unit = a;
+        }
+        if (unit == 0.0f)
+            continue;
+        for (float v : q.row(r)) {
+            const float ratio = std::fabs(v) / unit;
+            EXPECT_NEAR(ratio, std::round(ratio), 1e-3)
+                << "row " << r;
+        }
+    }
+}
+
+TEST(Tender, EightBitMode)
+{
+    const Tensor t = outlierTensor(40);
+    TenderConfig t8;
+    t8.bits = 8;
+    QuantStats s8, s4;
+    quantDequantTender(t, t8, true, &s8);
+    quantDequantTender(t, TenderConfig{}, true, &s4);
+    EXPECT_LT(s8.mse, s4.mse);
+}
+
+TEST(Tender, StatsReportChunks)
+{
+    const Tensor t = test::gaussianTensor(Shape{32, 64}, 41);
+    TenderConfig tcfg;
+    tcfg.numChunks = 8;
+    QuantStats s;
+    quantDequantTender(t, tcfg, true, &s);
+    EXPECT_EQ(s.unitCount, 8);
+    EXPECT_GT(s.metaBits, 0.0);
+}
+
+TEST(Tender, SingleChannelDegenerate)
+{
+    const Tensor t = test::gaussianTensor(Shape{1, 64}, 42);
+    QuantStats s;
+    quantDequantTender(t, TenderConfig{}, true, &s);
+    EXPECT_GT(s.mse, 0.0);
+    EXPECT_LT(s.nmse, 0.05);
+}
+
+} // namespace
+} // namespace mant

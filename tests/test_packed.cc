@@ -1,0 +1,134 @@
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/packed.h"
+#include "tensor/distribution.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+MantQuantizedMatrix
+sampleMatrix(uint64_t seed, int64_t rows = 16, int64_t cols = 128,
+             int64_t group = 64)
+{
+    DistProfile p;
+    Rng rng(seed);
+    const Tensor w = genWeightMatrix(rng, rows, cols, p);
+    return MantQuantizedMatrix::quantize(w, group);
+}
+
+TEST(Packed, RoundTripExact)
+{
+    const MantQuantizedMatrix q = sampleMatrix(401);
+    const PackedMantMatrix p = pack(q);
+    const MantQuantizedMatrix q2 = unpack(p);
+
+    const Tensor a = q.dequantize();
+    const Tensor b = q2.dequantize();
+    EXPECT_EQ(test::maxDiff(a.span(), b.span()), 0.0);
+}
+
+TEST(Packed, RoundTripPreservesMetadata)
+{
+    const MantQuantizedMatrix q = sampleMatrix(402);
+    const MantQuantizedMatrix q2 = unpack(pack(q));
+    for (int64_t r = 0; r < q.rows(); ++r) {
+        for (int64_t g = 0; g < q.groupsPerRow(); ++g) {
+            EXPECT_EQ(q.meta(r, g).a, q2.meta(r, g).a);
+            EXPECT_EQ(q.meta(r, g).isInt, q2.meta(r, g).isInt);
+            EXPECT_FLOAT_EQ(q.meta(r, g).scale, q2.meta(r, g).scale);
+        }
+    }
+}
+
+TEST(Packed, StorageMatchesPaperArithmetic)
+{
+    // 4 bits/element + 24 bits per 64-element group = 4.375 bits/elem.
+    const MantQuantizedMatrix q = sampleMatrix(403, 8, 128, 64);
+    const PackedMantMatrix p = pack(q);
+    EXPECT_NEAR(p.bitsPerElement(), 4.375, 1e-9);
+    EXPECT_EQ(p.storageBytes(), 8 * 128 / 2 + 8 * 2 * 3);
+}
+
+TEST(Packed, OddElementCount)
+{
+    const MantQuantizedMatrix q = sampleMatrix(404, 3, 33, 16);
+    const MantQuantizedMatrix q2 = unpack(pack(q));
+    EXPECT_EQ(test::maxDiff(q.dequantize().span(),
+                            q2.dequantize().span()),
+              0.0);
+}
+
+TEST(Packed, FusedGemmEquivalentAfterRoundTrip)
+{
+    const MantQuantizedMatrix q = sampleMatrix(405);
+    const MantQuantizedMatrix q2 = unpack(pack(q));
+    const Tensor x = test::gaussianTensor(Shape{4, 128}, 406);
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    const Tensor y1 = fusedGemm(qx, q);
+    const Tensor y2 = fusedGemm(qx, q2);
+    EXPECT_EQ(test::maxDiff(y1.span(), y2.span()), 0.0);
+}
+
+TEST(Packed, SerializeDeserialize)
+{
+    const MantQuantizedMatrix q = sampleMatrix(407);
+    const PackedMantMatrix p = pack(q);
+
+    std::stringstream ss;
+    writePacked(ss, p);
+    const PackedMantMatrix p2 = readPacked(ss);
+
+    EXPECT_EQ(p2.rows, p.rows);
+    EXPECT_EQ(p2.cols, p.cols);
+    EXPECT_EQ(p2.groupSize, p.groupSize);
+    EXPECT_EQ(p2.nibbles, p.nibbles);
+    EXPECT_EQ(p2.scaleBits, p.scaleBits);
+    EXPECT_EQ(p2.typeBytes, p.typeBytes);
+}
+
+TEST(Packed, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOPE-this-is-not-a-mant-blob";
+    EXPECT_THROW(readPacked(ss), std::runtime_error);
+}
+
+TEST(Packed, RejectsTruncatedStream)
+{
+    const MantQuantizedMatrix q = sampleMatrix(408);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(readPacked(cut), std::runtime_error);
+}
+
+TEST(Packed, RejectsVersionMismatch)
+{
+    const MantQuantizedMatrix q = sampleMatrix(409, 2, 16, 16);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    std::string bytes = ss.str();
+    bytes[4] = 99; // corrupt the version field
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+TEST(Packed, FromPartsValidatesSizes)
+{
+    EXPECT_THROW(MantQuantizedMatrix::fromParts(
+                     2, 16, 16, std::vector<int8_t>(31),
+                     std::vector<MantGroupMeta>(2)),
+                 std::invalid_argument);
+    EXPECT_THROW(MantQuantizedMatrix::fromParts(
+                     2, 16, 16, std::vector<int8_t>(32),
+                     std::vector<MantGroupMeta>(3)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "model/quant_setup.h"
+
+namespace mant {
+namespace {
+
+TEST(QuantSetup, Fp16Defaults)
+{
+    const QuantSetup s = fp16Setup();
+    EXPECT_EQ(s.weight, WeightMethod::Fp16);
+    EXPECT_EQ(s.act, ActMethod::None);
+    EXPECT_EQ(s.kv, KvMethod::Fp16);
+    EXPECT_FALSE(s.quantizeAttention);
+    EXPECT_EQ(s.label, "FP16");
+}
+
+TEST(QuantSetup, W4A4Factory)
+{
+    const QuantSetup s = w4a4Setup(WeightMethod::Olive, ActMethod::Olive,
+                                   Granularity::PerChannel, 0);
+    EXPECT_EQ(s.weightBits, 4);
+    EXPECT_EQ(s.actBits, 4);
+    EXPECT_EQ(s.weightGran, Granularity::PerChannel);
+    EXPECT_EQ(s.label, "OliVe W4A4");
+}
+
+TEST(QuantSetup, W8A8Factory)
+{
+    const QuantSetup s = w8a8Setup(WeightMethod::Tender, ActMethod::Tender,
+                                   Granularity::PerChannel, 0);
+    EXPECT_EQ(s.weightBits, 8);
+    EXPECT_EQ(s.actBits, 8);
+    EXPECT_EQ(s.label, "Tender W8A8");
+}
+
+TEST(QuantSetup, MantW4A8)
+{
+    const QuantSetup s = mantW4A8Setup(32);
+    EXPECT_EQ(s.weight, WeightMethod::Mant);
+    EXPECT_EQ(s.weightBits, 4);
+    EXPECT_EQ(s.act, ActMethod::Int);
+    EXPECT_EQ(s.actBits, 8);
+    EXPECT_EQ(s.weightGroup, 32);
+    EXPECT_EQ(s.actGroup, 32);
+    EXPECT_EQ(s.kv, KvMethod::Fp16);
+}
+
+TEST(QuantSetup, MantFullAddsKvAndAttention)
+{
+    const QuantSetup s = mantFullSetup(64);
+    EXPECT_EQ(s.kv, KvMethod::Mant4);
+    EXPECT_EQ(s.kvGroup, 64);
+    EXPECT_TRUE(s.quantizeAttention);
+    EXPECT_EQ(s.label, "MANT W4A8 KV4");
+}
+
+TEST(QuantSetup, LabelsCoverAllMethods)
+{
+    for (WeightMethod m :
+         {WeightMethod::Int, WeightMethod::Ant, WeightMethod::Olive,
+          WeightMethod::Tender, WeightMethod::Mant, WeightMethod::KMeans,
+          WeightMethod::Nf4, WeightMethod::Mxfp4}) {
+        const QuantSetup s =
+            w4a4Setup(m, ActMethod::Int, Granularity::PerGroup, 64);
+        EXPECT_FALSE(s.label.empty());
+        EXPECT_NE(s.label.find("W4A4"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,66 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.h"
+
+namespace mant {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // All lines share the same width (aligned pipes).
+    std::istringstream is(out);
+    std::string line;
+    size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(TablePrinter, PadsShortRows)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"only-one"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+    EXPECT_EQ(fmt(0.0), "0.00");
+}
+
+TEST(Fmt, ScientificForExtremes)
+{
+    EXPECT_NE(fmt(1.5e7).find("e"), std::string::npos);
+    EXPECT_NE(fmt(1.5e-5).find("e"), std::string::npos);
+}
+
+TEST(Fmt, SpeedupSuffix)
+{
+    EXPECT_EQ(fmtX(2.5), "2.50x");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    banner(os, "Hello");
+    EXPECT_NE(os.str().find("=== Hello ==="), std::string::npos);
+}
+
+} // namespace
+} // namespace mant

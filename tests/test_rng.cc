@@ -1,0 +1,146 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace mant {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianMeanStddev)
+{
+    Rng rng(17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LaplaceVariance)
+{
+    // Var(Laplace(b)) = 2 b^2.
+    Rng rng(19);
+    const double b = 1.5;
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.laplace(b);
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 2.0 * b * b, 0.15);
+}
+
+TEST(Rng, StudentTHeavyTail)
+{
+    // t(3) produces |x| > 5 far more often than a Gaussian does.
+    Rng rng(23);
+    const int n = 100000;
+    int t_tail = 0, g_tail = 0;
+    for (int i = 0; i < n; ++i) {
+        if (std::fabs(rng.studentT(3.0)) > 5.0)
+            ++t_tail;
+        if (std::fabs(rng.gaussian()) > 5.0)
+            ++g_tail;
+    }
+    EXPECT_GT(t_tail, 10 * (g_tail + 1));
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(-2.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(31);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng root(41);
+    Rng a = root.fork(1);
+    Rng b = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng rng(55);
+    const uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(55);
+    EXPECT_EQ(rng.next(), first);
+}
+
+} // namespace
+} // namespace mant

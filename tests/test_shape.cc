@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+
+namespace mant {
+namespace {
+
+TEST(Shape, Rank1Basics)
+{
+    Shape s{10};
+    EXPECT_EQ(s.rank(), 1);
+    EXPECT_EQ(s.dim(0), 10);
+    EXPECT_EQ(s.numel(), 10);
+    EXPECT_EQ(s.stride(0), 1);
+    EXPECT_EQ(s.innerDim(), 10);
+    EXPECT_EQ(s.outerCount(), 1);
+}
+
+TEST(Shape, Rank2Strides)
+{
+    Shape s{3, 7};
+    EXPECT_EQ(s.rank(), 2);
+    EXPECT_EQ(s.numel(), 21);
+    EXPECT_EQ(s.stride(0), 7);
+    EXPECT_EQ(s.stride(1), 1);
+    EXPECT_EQ(s.innerDim(), 7);
+    EXPECT_EQ(s.outerCount(), 3);
+}
+
+TEST(Shape, Rank3Strides)
+{
+    Shape s{2, 3, 5};
+    EXPECT_EQ(s.numel(), 30);
+    EXPECT_EQ(s.stride(0), 15);
+    EXPECT_EQ(s.stride(1), 5);
+    EXPECT_EQ(s.stride(2), 1);
+    EXPECT_EQ(s.outerCount(), 6);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ZeroDimAllowed)
+{
+    Shape s{0, 4};
+    EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(Shape({2, 3}).toString(), "[2, 3]");
+}
+
+TEST(Shape, RejectsBadRank)
+{
+    EXPECT_THROW(Shape({1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsNegativeDim)
+{
+    EXPECT_THROW(Shape({-1, 2}), std::invalid_argument);
+}
+
+TEST(Shape, AxisOutOfRangeThrows)
+{
+    Shape s{2, 2};
+    EXPECT_THROW(s.dim(2), std::out_of_range);
+    EXPECT_THROW(s.stride(-1), std::out_of_range);
+}
+
+} // namespace
+} // namespace mant

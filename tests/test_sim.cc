@@ -1,0 +1,282 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/accelerators.h"
+#include "sim/layer_walker.h"
+#include "sim/systolic.h"
+
+namespace mant {
+namespace {
+
+TEST(ArchConfig, MantLaneComposition)
+{
+    const ArchConfig a = mantArch();
+    EXPECT_EQ(a.lanes(8, 8), 1024);  // 32x32 native
+    EXPECT_EQ(a.lanes(8, 4), 2048);  // 64x32 (Sec. VI-B)
+    EXPECT_EQ(a.lanes(8, 2), 4096);  // 128x32
+    EXPECT_EQ(a.arrayRows(8, 4), 64);
+}
+
+TEST(ArchConfig, Baseline4bitComposition)
+{
+    const ArchConfig a = tenderArch();
+    EXPECT_EQ(a.lanes(4, 4), 4096);
+    EXPECT_EQ(a.lanes(8, 4), 2048);
+    EXPECT_EQ(a.lanes(8, 8), 1024);
+    EXPECT_EQ(a.lanes(16, 16), 256);
+}
+
+TEST(ArchConfig, BytesPerCycle)
+{
+    ArchConfig a = mantArch();
+    a.dramGBps = 128.0;
+    a.freqGHz = 1.0;
+    EXPECT_DOUBLE_EQ(a.bytesPerCycle(), 128.0);
+}
+
+TEST(Systolic, ComputeBoundLargeGemm)
+{
+    const ArchConfig arch = mantArch();
+    GemmShape g;
+    g.m = 2048;
+    g.k = 4096;
+    g.n = 4096;
+    g.actBits = 8;
+    g.weightBits = 4;
+    g.mantWeights = true;
+    const GemmStats s = simulateGemm(arch, g);
+    EXPECT_FALSE(s.memoryBound);
+    // Cycles at least macOps / lanes.
+    EXPECT_GE(s.cycles, s.macOps / 2048.0);
+    EXPECT_LT(s.cycles, s.macOps / 2048.0 * 1.2);
+    EXPECT_EQ(s.sacOps, s.macOps);
+}
+
+TEST(Systolic, MemoryBoundGemv)
+{
+    const ArchConfig arch = mantArch();
+    GemmShape g;
+    g.m = 1; // decode-stage GEMV
+    g.k = 4096;
+    g.n = 4096;
+    g.actBits = 8;
+    g.weightBits = 4;
+    const GemmStats s = simulateGemm(arch, g);
+    EXPECT_TRUE(s.memoryBound);
+    EXPECT_GT(s.dramBytes, 4096.0 * 4096 * 0.5);
+}
+
+TEST(Systolic, LowerWeightBitsFewerCycles)
+{
+    const ArchConfig arch = mantArch();
+    GemmShape g;
+    g.m = 512;
+    g.k = 2048;
+    g.n = 2048;
+    g.actBits = 8;
+    g.weightBits = 8;
+    const double c8 = simulateGemm(arch, g).cycles;
+    g.weightBits = 4;
+    const double c4 = simulateGemm(arch, g).cycles;
+    EXPECT_NEAR(c8 / c4, 2.0, 0.2);
+}
+
+TEST(Systolic, MetadataCostedForGroups)
+{
+    const ArchConfig arch = mantArch();
+    GemmShape g;
+    g.m = 1;
+    g.k = 4096;
+    g.n = 4096;
+    g.groupSize = 64;
+    g.mantWeights = true;
+    const double with_groups = simulateGemm(arch, g).dramBytes;
+    g.groupSize = 0;
+    g.mantWeights = false;
+    const double without = simulateGemm(arch, g).dramBytes;
+    // 3 bytes per 64-element weight group + 2 per act group.
+    EXPECT_GT(with_groups, without);
+    EXPECT_LT(with_groups, without * 1.15);
+}
+
+TEST(Systolic, DividerHiddenWithManyKTiles)
+{
+    EXPECT_EQ(exposedDividerCycles(12, 10), 0.0);
+    EXPECT_EQ(exposedDividerCycles(20, 10), 0.0);
+    EXPECT_EQ(exposedDividerCycles(4, 10), 80.0);
+    EXPECT_EQ(exposedDividerCycles(11, 1), 1.0);
+}
+
+TEST(Systolic, RquTailSmall)
+{
+    // 64-element groups over 32 columns: 2 rounds (Fig. 10).
+    EXPECT_EQ(rquTailCycles(32, 64), 34.0);
+    EXPECT_EQ(rquTailCycles(32, 32), 33.0);
+}
+
+TEST(Systolic, QuantOverheadLargerWithoutRqu)
+{
+    GemmShape g;
+    g.m = 2048;
+    g.k = 4096;
+    g.n = 4096;
+    g.outputQuant = true;
+    const GemmStats with_rqu = simulateGemm(mantArch(), g);
+    const GemmStats without = simulateGemm(tenderArch(), g);
+    EXPECT_LT(with_rqu.exposedQuantCycles, without.exposedQuantCycles);
+}
+
+TEST(Systolic, QuantOverheadSmallFraction)
+{
+    // The paper: ~0.3% non-overlapped overhead on (2048,4096,4096).
+    GemmShape g;
+    g.m = 2048;
+    g.k = 4096;
+    g.n = 4096;
+    g.outputQuant = true;
+    g.mantWeights = true;
+    const GemmStats s = simulateGemm(mantArch(), g);
+    EXPECT_LT(s.exposedQuantCycles / s.cycles, 0.01);
+}
+
+TEST(Systolic, EnergyComponentsPositive)
+{
+    GemmShape g;
+    g.m = 128;
+    g.k = 1024;
+    g.n = 1024;
+    const GemmStats s = simulateGemm(mantArch(), g);
+    EXPECT_GT(s.energy.corePj, 0.0);
+    EXPECT_GT(s.energy.bufferPj, 0.0);
+    EXPECT_GT(s.energy.dramPj, 0.0);
+    EXPECT_GT(s.energy.staticPj, 0.0);
+    EXPECT_NEAR(s.energy.totalPj(),
+                s.energy.corePj + s.energy.bufferPj + s.energy.dramPj +
+                    s.energy.staticPj,
+                1e-6);
+}
+
+TEST(Systolic, StatsAggregation)
+{
+    GemmShape g;
+    g.m = 16;
+    g.k = 256;
+    g.n = 256;
+    const GemmStats one = simulateGemm(mantArch(), g);
+    GemmStats two = one;
+    two.add(one);
+    EXPECT_DOUBLE_EQ(two.cycles, 2.0 * one.cycles);
+    EXPECT_DOUBLE_EQ(two.energy.totalPj(), 2.0 * one.energy.totalPj());
+}
+
+TEST(Walker, LinearWorkCounts)
+{
+    WalkSpec spec;
+    spec.dims.nLayers = 2;
+    spec.dims.dModel = 128;
+    spec.dims.nHeads = 4;
+    spec.dims.dFfn = 512;
+    spec.ffnMats = 3;
+    const auto items = linearWork(spec);
+    ASSERT_EQ(items.size(), 6u); // 3 entries per layer
+    int64_t gemms = 0;
+    for (const auto &i : items)
+        gemms += i.count;
+    EXPECT_EQ(gemms, 2 * (4 + 2 + 1));
+}
+
+TEST(Walker, PerLayerBitsRespected)
+{
+    WalkSpec spec;
+    spec.dims.nLayers = 2;
+    spec.dims.dModel = 128;
+    spec.dims.nHeads = 4;
+    spec.dims.dFfn = 512;
+    spec.layerWeightBits = {4, 8};
+    const auto items = linearWork(spec);
+    EXPECT_EQ(items[0].shape.weightBits, 4);
+    EXPECT_EQ(items[3].shape.weightBits, 8);
+}
+
+TEST(Walker, MantFlagDropsFor8BitLayers)
+{
+    WalkSpec spec;
+    spec.dims.nLayers = 2;
+    spec.dims.dModel = 128;
+    spec.dims.nHeads = 4;
+    spec.dims.dFfn = 512;
+    spec.mantWeights = true;
+    spec.layerWeightBits = {4, 8};
+    const auto items = linearWork(spec);
+    EXPECT_TRUE(items[0].shape.mantWeights);
+    EXPECT_FALSE(items[3].shape.mantWeights);
+}
+
+TEST(Walker, AttentionScalesWithContext)
+{
+    WalkSpec spec;
+    spec.dims.nLayers = 4;
+    spec.dims.dModel = 256;
+    spec.dims.nHeads = 8;
+    spec.dims.dFfn = 512;
+    spec.stage = Stage::Decode;
+    spec.seqLen = 1024;
+    const auto i1k = attentionWork(spec);
+    spec.seqLen = 4096;
+    const auto i4k = attentionWork(spec);
+    const GemmStats s1 = runWork(mantArch(), i1k);
+    const GemmStats s4 = runWork(mantArch(), i4k);
+    EXPECT_GT(s4.dramBytes, 3.5 * s1.dramBytes);
+}
+
+TEST(Walker, BadBitVectorThrows)
+{
+    WalkSpec spec;
+    spec.dims.nLayers = 3;
+    spec.dims.dModel = 64;
+    spec.dims.nHeads = 2;
+    spec.dims.dFfn = 128;
+    spec.layerWeightBits = {4, 8}; // wrong length
+    EXPECT_THROW(linearWork(spec), std::invalid_argument);
+}
+
+TEST(Archs, CatalogueOrder)
+{
+    const auto archs = allArchs();
+    ASSERT_EQ(archs.size(), 5u);
+    EXPECT_EQ(archs[0].name, "MANT");
+    EXPECT_EQ(archs[4].name, "BitFusion");
+    EXPECT_TRUE(archs[0].mantFused);
+    EXPECT_FALSE(archs[1].mantFused);
+}
+
+TEST(Archs, DecodePerTokenMantFasterAtLongContext)
+{
+    // The Fig. 13 headline at 128K: MANT's 4-bit KV beats FP16 KV.
+    WalkSpec mant_spec;
+    mant_spec.dims.nLayers = 32;
+    mant_spec.dims.dModel = 4096;
+    mant_spec.dims.nHeads = 32;
+    mant_spec.dims.dFfn = 11008;
+    mant_spec.stage = Stage::Decode;
+    mant_spec.seqLen = 131072;
+    mant_spec.attnActBits = 8;
+    mant_spec.kvBits = 4;
+    mant_spec.attnGroupSize = 64;
+    mant_spec.mantKv = true;
+
+    WalkSpec base_spec = mant_spec;
+    base_spec.attnActBits = 16;
+    base_spec.kvBits = 16;
+    base_spec.attnGroupSize = 0;
+    base_spec.mantKv = false;
+
+    const GemmStats sm = runWork(mantArch(), attentionWork(mant_spec));
+    const GemmStats sb = runWork(oliveArch(), attentionWork(base_spec));
+    EXPECT_GT(sb.cycles / sm.cycles, 3.0);
+    EXPECT_LT(sb.cycles / sm.cycles, 4.5);
+}
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/stats.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(StreamingStats, BasicMoments)
+{
+    StreamingStats s;
+    for (float v : {1.0f, 2.0f, 3.0f, 4.0f})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.25); // population variance
+    EXPECT_DOUBLE_EQ(s.maxAbs(), 4.0);
+}
+
+TEST(StreamingStats, Eq7Identity)
+{
+    // variance == E[x^2] - E[x]^2 exactly as Eq. (7) computes it.
+    StreamingStats s;
+    const float xs[] = {0.5f, -1.25f, 2.0f, 0.0f, -0.75f};
+    s.addAll(xs);
+    double sum = 0.0, sum_sq = 0.0;
+    for (float x : xs) {
+        sum += x;
+        sum_sq += static_cast<double>(x) * x;
+    }
+    const double n = 5.0;
+    EXPECT_NEAR(s.variance(), sum_sq / n - (sum / n) * (sum / n), 1e-12);
+}
+
+TEST(StreamingStats, NormalizedVarianceScaleInvariant)
+{
+    StreamingStats a, b;
+    const float xs[] = {0.1f, -0.4f, 0.9f, -0.2f};
+    for (float x : xs) {
+        a.add(x);
+        b.add(x * 100.0f);
+    }
+    EXPECT_NEAR(a.normalizedVariance(), b.normalizedVariance(),
+                1e-6 * a.normalizedVariance());
+}
+
+TEST(StreamingStats, MergeEqualsConcatenation)
+{
+    StreamingStats all, left, right;
+    const float xs[] = {1, -2, 3, -4, 5, -6};
+    for (int i = 0; i < 6; ++i) {
+        all.add(xs[i]);
+        (i < 3 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_DOUBLE_EQ(left.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(left.variance(), all.variance());
+    EXPECT_DOUBLE_EQ(left.maxAbs(), all.maxAbs());
+}
+
+TEST(StreamingStats, ResetClears)
+{
+    StreamingStats s;
+    s.add(5.0f);
+    s.reset();
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, EmptyIsSafe)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.normalizedVariance(), 0.0);
+}
+
+TEST(ErrorMetrics, MseBasics)
+{
+    const float a[] = {1, 2, 3};
+    const float b[] = {1, 2, 5};
+    EXPECT_NEAR(mse(a, b), 4.0 / 3.0, 1e-12);
+    EXPECT_EQ(mse(a, a), 0.0);
+}
+
+TEST(ErrorMetrics, NmseNormalization)
+{
+    const float ref[] = {2, 0, 0};
+    const float app[] = {0, 0, 0};
+    EXPECT_NEAR(nmse(ref, app), 1.0, 1e-12); // all signal lost
+}
+
+TEST(ErrorMetrics, NmseZeroReference)
+{
+    const float zero[] = {0, 0};
+    EXPECT_EQ(nmse(zero, zero), 0.0);
+}
+
+TEST(ErrorMetrics, MaxAbsDiff)
+{
+    const float a[] = {1, 5, -3};
+    const float b[] = {1, 2, -7};
+    EXPECT_EQ(maxAbsDiff(a, b), 4.0);
+}
+
+TEST(ErrorMetrics, SizeMismatchThrows)
+{
+    const float a[] = {1, 2};
+    const float b[] = {1};
+    EXPECT_THROW(mse(std::span<const float>(a),
+                     std::span<const float>(b)),
+                 std::invalid_argument);
+}
+
+TEST(Cdf, SortedAndNormalized)
+{
+    const float xs[] = {4.0f, -2.0f, 1.0f, -4.0f};
+    const auto cdf = normalizedCdf(xs);
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_FLOAT_EQ(cdf.front(), -1.0f);
+    EXPECT_FLOAT_EQ(cdf.back(), 1.0f);
+    for (size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_LE(cdf[i - 1], cdf[i]);
+}
+
+TEST(Cdf, EvaluationAtQueries)
+{
+    const float xs[] = {-1.0f, -0.5f, 0.0f, 0.5f, 1.0f};
+    const auto sorted = normalizedCdf(xs);
+    const double queries[] = {-1.0, 0.0, 1.0};
+    const auto vals = cdfAt(sorted, queries);
+    EXPECT_NEAR(vals[0], 0.2, 1e-9); // one of five <= -1
+    EXPECT_NEAR(vals[1], 0.6, 1e-9);
+    EXPECT_NEAR(vals[2], 1.0, 1e-9);
+}
+
+TEST(Cdf, DiversityZeroForIdenticalSeries)
+{
+    const std::vector<std::vector<double>> series = {
+        {0.1, 0.5, 0.9}, {0.1, 0.5, 0.9}};
+    EXPECT_EQ(cdfDiversity(series), 0.0);
+}
+
+TEST(Cdf, DiversityMeasuresSpread)
+{
+    const std::vector<std::vector<double>> series = {
+        {0.0, 0.5, 1.0}, {0.2, 0.5, 0.8}};
+    EXPECT_NEAR(cdfDiversity(series), (0.2 + 0.0 + 0.2) / 3.0, 1e-12);
+}
+
+TEST(Probit, MatchesKnownQuantiles)
+{
+    EXPECT_NEAR(probit(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(probit(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(probit(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(probit(0.8413447), 1.0, 1e-4);
+}
+
+TEST(Probit, Symmetry)
+{
+    for (double p : {0.01, 0.1, 0.3, 0.45}) {
+        EXPECT_NEAR(probit(p), -probit(1.0 - p), 1e-8);
+    }
+}
+
+TEST(Probit, RejectsBoundary)
+{
+    EXPECT_THROW(probit(0.0), std::invalid_argument);
+    EXPECT_THROW(probit(1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mant

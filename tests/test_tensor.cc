@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape{3, 4});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t(Shape{5}, 2.5f);
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorChecksSize)
+{
+    EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+                 std::invalid_argument);
+    const Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, At2D)
+{
+    Tensor t(Shape{2, 3});
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+}
+
+TEST(Tensor, RowSpan)
+{
+    Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const auto row = t.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], 4.0f);
+    EXPECT_EQ(row[2], 6.0f);
+}
+
+TEST(Tensor, MaxAbs)
+{
+    const Tensor t(Shape{4}, {1.0f, -5.0f, 3.0f, 2.0f});
+    EXPECT_EQ(t.maxAbs(), 5.0f);
+}
+
+TEST(Tensor, ScaleInPlace)
+{
+    Tensor t(Shape{3}, {1, 2, 3});
+    t.scaleInPlace(2.0f);
+    EXPECT_EQ(t[2], 6.0f);
+}
+
+TEST(Matmul, KnownProduct)
+{
+    const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), Shape({2, 2}));
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityIsNoop)
+{
+    const Tensor a = test::gaussianTensor(Shape{4, 4}, 3);
+    Tensor eye(Shape{4, 4});
+    for (int64_t i = 0; i < 4; ++i)
+        eye.at(i, i) = 1.0f;
+    const Tensor c = matmul(a, eye);
+    EXPECT_LT(test::maxDiff(a.span(), c.span()), 1e-6);
+}
+
+TEST(Matmul, ShapeMismatchThrows)
+{
+    const Tensor a(Shape{2, 3});
+    const Tensor b(Shape{4, 2});
+    EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, AccumulateAddsToExisting)
+{
+    const Tensor a(Shape{1, 2}, {1, 1});
+    const Tensor b(Shape{2, 1}, {2, 3});
+    Tensor out(Shape{1, 1}, 10.0f);
+    matmulAccum(a, b, out);
+    EXPECT_FLOAT_EQ(out[0], 15.0f);
+}
+
+TEST(Transpose, RoundTrip)
+{
+    const Tensor a = test::gaussianTensor(Shape{3, 5}, 11);
+    const Tensor att = transpose(transpose(a));
+    EXPECT_EQ(att.shape(), a.shape());
+    EXPECT_LT(test::maxDiff(a.span(), att.span()), 0.0f + 1e-9);
+}
+
+TEST(Transpose, Values)
+{
+    const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor t = transpose(a);
+    EXPECT_EQ(t.shape(), Shape({3, 2}));
+    EXPECT_EQ(t.at(2, 1), 6.0f);
+    EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(Sub, Elementwise)
+{
+    const Tensor a(Shape{3}, {5, 6, 7});
+    const Tensor b(Shape{3}, {1, 2, 3});
+    const Tensor c = sub(a, b);
+    EXPECT_EQ(c[0], 4.0f);
+    EXPECT_EQ(c[2], 4.0f);
+}
+
+TEST(Tensor, RoundToFp16InPlace)
+{
+    Tensor t(Shape{2}, {1.0000001f, 3.14159f});
+    t.roundToFp16();
+    EXPECT_EQ(t[0], 1.0f);
+    EXPECT_NEAR(t[1], 3.14159f, 3.14159f * 0x1.0p-10);
+}
+
+/** Property sweep: matmul against a naive triple loop. */
+class MatmulParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(MatmulParamTest, MatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const Tensor a = test::gaussianTensor(
+        Shape{m, k}, static_cast<uint64_t>(m * 31 + k));
+    const Tensor b = test::gaussianTensor(
+        Shape{k, n}, static_cast<uint64_t>(k * 17 + n));
+    const Tensor c = matmul(a, b);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+            EXPECT_NEAR(c.at(i, j), acc, 1e-4 * (1.0 + std::fabs(acc)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulParamTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 7, 3},
+                      std::tuple{5, 1, 5}, std::tuple{8, 8, 8},
+                      std::tuple{3, 16, 2}, std::tuple{13, 9, 11}));
+
+} // namespace
+} // namespace mant

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared test helpers: small deterministic tensors, a tiny model
+ * profile that keeps transformer tests fast, and tolerance utilities.
+ */
+
+#ifndef MANT_TESTS_TEST_UTIL_H_
+#define MANT_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "model/config.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace mant::test {
+
+/** Deterministic Gaussian tensor. */
+inline Tensor
+gaussianTensor(Shape shape, uint64_t seed, double sigma = 1.0)
+{
+    Tensor t(shape);
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.gaussian(0.0, sigma));
+    return t;
+}
+
+/** Tiny model profile for fast transformer tests. */
+inline ModelProfile
+tinyProfile(ModelFamily family = ModelFamily::Llama)
+{
+    ModelProfile p;
+    p.name = "tiny";
+    p.family = family;
+    p.simDims.nLayers = 2;
+    p.simDims.dModel = 64;
+    p.simDims.nHeads = 2;
+    p.simDims.dFfn = 96;
+    p.simDims.vocab = 128;
+    p.archDims = p.simDims;
+    p.fp16Ppl = 8.0;
+    p.seed = 7;
+    p.actStats.outlierChannelRate = 0.02;
+    return p;
+}
+
+/** Max |a-b| over two spans. */
+inline double
+maxDiff(std::span<const float> a, std::span<const float> b)
+{
+    double m = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+    return m;
+}
+
+} // namespace mant::test
+
+#endif // MANT_TESTS_TEST_UTIL_H_

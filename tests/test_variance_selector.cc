@@ -1,0 +1,166 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/variance_selector.h"
+#include "tensor/distribution.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(VarianceSelector, AnalyticTableSortedAndTotal)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const auto table = sel.table();
+    ASSERT_EQ(table.size(), 16u); // 15 coefficients + INT
+    for (size_t i = 1; i < table.size(); ++i)
+        EXPECT_GT(table[i].meanVariance, table[i - 1].meanVariance);
+    // Ranges tile the whole real line.
+    EXPECT_TRUE(std::isinf(table.front().varLo));
+    EXPECT_TRUE(std::isinf(table.back().varHi));
+    for (size_t i = 1; i < table.size(); ++i)
+        EXPECT_DOUBLE_EQ(table[i].varLo, table[i - 1].varHi);
+}
+
+TEST(VarianceSelector, AnalyticGridVarianceIncreasesWithA)
+{
+    // Higher a -> more uniform grid -> higher variance; INT highest.
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const auto table = sel.table();
+    // The last (highest-variance) entry must be the INT option.
+    EXPECT_TRUE(table.back().sel.isInt);
+    // Low-variance end is small-a MANT.
+    EXPECT_FALSE(table.front().sel.isInt);
+    EXPECT_LE(table.front().sel.a, 10);
+}
+
+TEST(VarianceSelector, SelectByRange)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const auto table = sel.table();
+    // Selecting exactly at a mean variance returns that entry.
+    for (const auto &e : table) {
+        const MantSelection &s = sel.select(e.meanVariance);
+        EXPECT_EQ(s.isInt, e.sel.isInt);
+        if (!s.isInt) {
+            EXPECT_EQ(s.a, e.sel.a);
+        }
+    }
+}
+
+TEST(VarianceSelector, ExtremesSelectEnds)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const auto table = sel.table();
+    const MantSelection &lo = sel.select(-1.0);
+    const MantSelection &hi = sel.select(10.0);
+    EXPECT_EQ(lo.a, table.front().sel.a);
+    EXPECT_EQ(hi.isInt, table.back().sel.isInt);
+}
+
+TEST(VarianceSelector, CalibrationLearnsDataRanges)
+{
+    // Calibrate on synthetic weights with shape diversity; the table
+    // must be non-empty, sorted, and cover several types.
+    DistProfile p;
+    p.laplaceMix = 0.4;
+    p.uniformMix = 0.2;
+    p.groupDrift = 0.4;
+    Rng rng(71);
+    const Tensor w = genWeightMatrix(rng, 64, 512, p);
+    const VarianceSelector sel = VarianceSelector::calibrate(w, 64);
+    EXPECT_GE(sel.table().size(), 3u);
+    int64_t winners = 0;
+    for (const auto &e : sel.table())
+        winners += e.winners;
+    EXPECT_EQ(winners, 64 * 512 / 64);
+}
+
+TEST(VarianceSelector, CalibratedSelectionErrorNearMseSearch)
+{
+    // The variance shortcut is a lossy but cheap approximation of the
+    // exhaustive MSE search (Sec. V-C): on held-out groups its total
+    // quantization error must stay within a modest factor of the
+    // search's, and far below plain INT4.
+    DistProfile p;
+    p.groupDrift = 0.4;
+    Rng rng(72);
+    const Tensor calib = genWeightMatrix(rng, 64, 512, p);
+    const VarianceSelector sel = VarianceSelector::calibrate(calib, 64);
+
+    Rng rng2(73);
+    const Tensor test_data = genWeightMatrix(rng2, 16, 512, p);
+    double fast_err = 0.0, slow_err = 0.0;
+    std::vector<float> out(64);
+    for (int64_t r = 0; r < 16; ++r) {
+        for (int64_t g0 = 0; g0 + 64 <= 512; g0 += 64) {
+            std::span<const float> group(test_data.data() + r * 512 + g0,
+                                         64);
+            StreamingStats st;
+            st.addAll(group);
+            const MantSelection &fast = sel.selectFromStats(st);
+            applySelection(group, fast, out);
+            for (size_t i = 0; i < 64; ++i) {
+                const double d = group[i] - out[i];
+                fast_err += d * d;
+            }
+            slow_err += searchCoefficient(group).err;
+        }
+    }
+    EXPECT_LT(fast_err, slow_err * 2.0);
+    EXPECT_GE(fast_err, slow_err * 0.999); // search is optimal
+}
+
+TEST(VarianceSelector, FixedSelectorAlwaysReturnsSame)
+{
+    MantSelection int_sel;
+    int_sel.isInt = true;
+    const VarianceSelector sel = VarianceSelector::fixed(int_sel);
+    for (double v : {-1.0, 0.0, 0.1, 0.5, 100.0})
+        EXPECT_TRUE(sel.select(v).isInt);
+}
+
+TEST(VarianceSelector, SelectFromStatsMatchesDirect)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    StreamingStats st;
+    for (float v : {0.5f, -0.25f, 0.75f, -1.0f, 0.1f})
+        st.add(v);
+    const MantSelection &a = sel.selectFromStats(st);
+    const MantSelection &b = sel.select(st.normalizedVariance());
+    EXPECT_EQ(a.isInt, b.isInt);
+    EXPECT_EQ(a.a, b.a);
+}
+
+TEST(VarianceSelector, CalibrateMultiCombinesTensors)
+{
+    DistProfile p;
+    Rng rng(74);
+    std::vector<Tensor> tensors;
+    tensors.push_back(genWeightMatrix(rng, 8, 256, p));
+    tensors.push_back(genWeightMatrix(rng, 8, 128, p));
+    const VarianceSelector sel =
+        VarianceSelector::calibrateMulti(tensors, 64);
+    int64_t winners = 0;
+    for (const auto &e : sel.table())
+        winners += e.winners;
+    EXPECT_EQ(winners, 8 * 4 + 8 * 2);
+}
+
+TEST(VarianceSelector, LowVarianceDataGetsSmallA)
+{
+    // Spiky data (one large value, the rest tiny) has low normalized
+    // variance -> PoT-like grid.
+    const VarianceSelector sel = VarianceSelector::analytic();
+    StreamingStats st;
+    st.add(1.0f);
+    for (int i = 0; i < 63; ++i)
+        st.add(0.001f);
+    const MantSelection &s = sel.selectFromStats(st);
+    EXPECT_FALSE(s.isInt);
+    EXPECT_LE(s.a, 20);
+}
+
+} // namespace
+} // namespace mant
