@@ -44,8 +44,8 @@ MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
     MantQuantizedMatrix q;
     q.rows_ = w.shape().dim(0);
     q.cols_ = w.shape().dim(1);
-    q.groupSize_ = groupSize > 0 ? std::min(groupSize, q.cols_) : q.cols_;
-    q.groupsPerRow_ = (q.cols_ + q.groupSize_ - 1) / q.groupSize_;
+    q.groupSize_ = effectiveGroupSize(q.cols_, groupSize);
+    q.groupsPerRow_ = groupsPerRowFor(q.cols_, groupSize);
     q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
     q.meta_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
 
@@ -100,8 +100,8 @@ MantQuantizedMatrix::fromParts(int64_t rows, int64_t cols,
     MantQuantizedMatrix q;
     q.rows_ = rows;
     q.cols_ = cols;
-    q.groupSize_ = groupSize > 0 ? std::min(groupSize, cols) : cols;
-    q.groupsPerRow_ = (cols + q.groupSize_ - 1) / q.groupSize_;
+    q.groupSize_ = effectiveGroupSize(cols, groupSize);
+    q.groupsPerRow_ = groupsPerRowFor(cols, groupSize);
     if (static_cast<int64_t>(codes.size()) != rows * cols)
         throw std::invalid_argument("fromParts: code size mismatch");
     if (static_cast<int64_t>(meta.size()) != rows * q.groupsPerRow_)
@@ -167,8 +167,8 @@ Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
     Int8QuantizedActivations q;
     q.rows_ = x.shape().dim(0);
     q.cols_ = x.shape().dim(1);
-    q.groupSize_ = groupSize > 0 ? std::min(groupSize, q.cols_) : q.cols_;
-    q.groupsPerRow_ = (q.cols_ + q.groupSize_ - 1) / q.groupSize_;
+    q.groupSize_ = effectiveGroupSize(q.cols_, groupSize);
+    q.groupsPerRow_ = groupsPerRowFor(q.cols_, groupSize);
     q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
     q.scales_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
 

@@ -20,6 +20,7 @@
 #ifndef MANT_CORE_FUSED_GEMM_H_
 #define MANT_CORE_FUSED_GEMM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +53,24 @@ combinePsums(const MantPsums &p, int a, float sx, float sw)
     return (static_cast<double>(a) * static_cast<double>(p.psum1) +
             static_cast<double>(p.psum2)) *
            static_cast<double>(sx) * static_cast<double>(sw);
+}
+
+/** Effective group length: groupSize clamped to cols, cols when <= 0. */
+inline int64_t
+effectiveGroupSize(int64_t cols, int64_t groupSize)
+{
+    return groupSize > 0 ? std::min(groupSize, cols) : cols;
+}
+
+/**
+ * Number of quantization groups along a row of `cols` elements
+ * (0 for an empty row — never divides by zero).
+ */
+inline int64_t
+groupsPerRowFor(int64_t cols, int64_t groupSize)
+{
+    const int64_t gsize = effectiveGroupSize(cols, groupSize);
+    return gsize > 0 ? (cols + gsize - 1) / gsize : 0;
 }
 
 /** Per-group metadata of a MANT-quantized matrix. */

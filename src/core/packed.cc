@@ -1,7 +1,9 @@
 #include "core/packed.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <stdexcept>
 
@@ -13,6 +15,17 @@ namespace {
 
 constexpr char kMagic[4] = {'M', 'A', 'N', 'T'};
 constexpr uint32_t kVersion = 1;
+
+/** Element-count cap: keeps every rows/cols product overflow-free. */
+constexpr int64_t kMaxElems = int64_t{1} << 40;
+
+/** True when rows x cols is non-negative and within kMaxElems. */
+bool
+plausibleDims(int64_t rows, int64_t cols)
+{
+    return rows >= 0 && cols >= 0 &&
+           (rows == 0 || cols <= kMaxElems / rows);
+}
 
 template <typename T>
 void
@@ -30,6 +43,30 @@ readScalar(std::istream &is)
     if (!is)
         throw std::runtime_error("readPacked: truncated stream");
     return value;
+}
+
+/**
+ * Read `count` elements into `v` in bounded chunks, so memory growth
+ * tracks bytes actually received: a 48-byte hostile header on a
+ * non-seekable stream cannot force a terabyte zero-filled resize.
+ */
+template <typename T>
+void
+readVector(std::istream &is, std::vector<T> &v, uint64_t count)
+{
+    constexpr uint64_t kChunkBytes = uint64_t{1} << 20;
+    const uint64_t chunk = std::max<uint64_t>(1, kChunkBytes / sizeof(T));
+    v.clear();
+    uint64_t got = 0;
+    while (got < count) {
+        const uint64_t step = std::min(chunk, count - got);
+        v.resize(static_cast<size_t>(got + step));
+        is.read(reinterpret_cast<char *>(v.data() + got),
+                static_cast<std::streamsize>(step * sizeof(T)));
+        if (!is)
+            throw std::runtime_error("readPacked: truncated payload");
+        got += step;
+    }
 }
 
 } // namespace
@@ -97,7 +134,23 @@ pack(const MantQuantizedMatrix &matrix)
 MantQuantizedMatrix
 unpack(const PackedMantMatrix &packed)
 {
+    // Validate before the sign-extend loop below indexes metadata by
+    // geometry; unpack is public and must not read out of bounds (or
+    // overflow rows * cols) for any caller, not just readPacked.
+    if (!plausibleDims(packed.rows, packed.cols)) {
+        throw std::invalid_argument(
+            "unpack: inconsistent PackedMantMatrix");
+    }
     const int64_t total = packed.rows * packed.cols;
+    if (static_cast<int64_t>(packed.nibbles.size()) !=
+            (total + 1) / 2 ||
+        static_cast<int64_t>(packed.scaleBits.size()) !=
+            packed.rows * groupsPerRowFor(packed.cols,
+                                          packed.groupSize) ||
+        packed.typeBytes.size() != packed.scaleBits.size()) {
+        throw std::invalid_argument(
+            "unpack: inconsistent PackedMantMatrix");
+    }
     std::vector<int8_t> codes(static_cast<size_t>(total));
     for (int64_t flat = 0; flat < total; ++flat) {
         const uint8_t byte =
@@ -109,10 +162,10 @@ unpack(const PackedMantMatrix &packed)
         codes[static_cast<size_t>(flat)] = static_cast<int8_t>(nib);
     }
 
-    const int64_t gsize = packed.groupSize > 0
-                              ? std::min(packed.groupSize, packed.cols)
-                              : packed.cols;
-    const int64_t groups_per_row = (packed.cols + gsize - 1) / gsize;
+    const int64_t gsize =
+        effectiveGroupSize(packed.cols, packed.groupSize);
+    const int64_t groups_per_row =
+        groupsPerRowFor(packed.cols, packed.groupSize);
     std::vector<MantGroupMeta> meta;
     meta.reserve(packed.scaleBits.size());
     for (size_t i = 0; i < packed.scaleBits.size(); ++i) {
@@ -182,27 +235,47 @@ readPacked(std::istream &is)
     p.rows = readScalar<int64_t>(is);
     p.cols = readScalar<int64_t>(is);
     p.groupSize = readScalar<int64_t>(is);
-    if (p.rows < 0 || p.cols < 0 || p.groupSize < 0 ||
-        p.rows * p.cols > (int64_t{1} << 40)) {
+    if (!plausibleDims(p.rows, p.cols) || p.groupSize < 0)
         throw std::runtime_error("readPacked: implausible header");
-    }
     const uint64_t n_nibbles = readScalar<uint64_t>(is);
     const uint64_t n_groups = readScalar<uint64_t>(is);
     if (n_nibbles !=
         static_cast<uint64_t>((p.rows * p.cols + 1) / 2)) {
         throw std::runtime_error("readPacked: nibble count mismatch");
     }
-    p.nibbles.resize(n_nibbles);
-    p.scaleBits.resize(n_groups);
-    p.typeBytes.resize(n_groups);
-    is.read(reinterpret_cast<char *>(p.nibbles.data()),
-            static_cast<std::streamsize>(n_nibbles));
-    is.read(reinterpret_cast<char *>(p.scaleBits.data()),
-            static_cast<std::streamsize>(n_groups * 2));
-    is.read(reinterpret_cast<char *>(p.typeBytes.data()),
-            static_cast<std::streamsize>(n_groups));
-    if (!is)
-        throw std::runtime_error("readPacked: truncated payload");
+    // unpack() indexes metadata as rows * groupsPerRow; a stream whose
+    // group count disagrees with its own geometry would read out of
+    // bounds there, so reject it at the header.
+    const int64_t groups_per_row =
+        groupsPerRowFor(p.cols, p.groupSize);
+    if (n_groups != static_cast<uint64_t>(p.rows * groups_per_row)) {
+        throw std::runtime_error("readPacked: group count mismatch");
+    }
+    // A self-consistent hostile header can still name buffer sizes in
+    // the terabytes; when the stream is seekable, require the payload
+    // to actually be present before allocating anything.
+    const std::streampos here = is.tellg();
+    if (here != std::streampos(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::streampos end = is.tellg();
+        is.clear();
+        is.seekg(here);
+        const uint64_t avail =
+            end > here ? static_cast<uint64_t>(end - here) : 0;
+        if (avail < n_nibbles + n_groups * 3)
+            throw std::runtime_error("readPacked: truncated payload");
+    }
+    try {
+        readVector(is, p.nibbles, n_nibbles);
+        readVector(is, p.scaleBits, n_groups);
+        readVector(is, p.typeBytes, n_groups);
+    } catch (const std::bad_alloc &) {
+        throw std::runtime_error(
+            "readPacked: header demands implausible allocation");
+    } catch (const std::length_error &) {
+        throw std::runtime_error(
+            "readPacked: header demands implausible allocation");
+    }
     return p;
 }
 

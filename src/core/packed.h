@@ -57,7 +57,12 @@ MantQuantizedMatrix unpack(const PackedMantMatrix &packed);
  */
 void writePacked(std::ostream &os, const PackedMantMatrix &packed);
 
-/** Deserialize; throws std::runtime_error on malformed input. */
+/**
+ * Deserialize; throws std::runtime_error on malformed input: bad
+ * magic, unsupported version, truncated header or payload, or a
+ * header whose nibble/group counts disagree with its own geometry
+ * (rows x cols and rows x groupsPerRow respectively).
+ */
 PackedMantMatrix readPacked(std::istream &is);
 
 } // namespace mant
