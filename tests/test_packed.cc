@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstring>
 #include <sstream>
 
@@ -116,6 +117,189 @@ TEST(Packed, RejectsVersionMismatch)
     bytes[4] = 99; // corrupt the version field
     std::stringstream bad(bytes);
     EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+TEST(Packed, BitsPerElementEmptyMatrixIsZero)
+{
+    const PackedMantMatrix empty;
+    EXPECT_EQ(empty.bitsPerElement(), 0.0);
+    EXPECT_FALSE(std::isnan(empty.bitsPerElement()));
+    EXPECT_EQ(empty.storageBytes(), 0);
+}
+
+TEST(Packed, RejectsEmptyStream)
+{
+    std::stringstream ss;
+    EXPECT_THROW(readPacked(ss), std::runtime_error);
+}
+
+TEST(Packed, RejectsTruncatedHeader)
+{
+    // Valid magic but the version field is cut short: exercises the
+    // readScalar truncation guard rather than the payload check.
+    std::stringstream ss;
+    ss << "MANT" << '\x01';
+    EXPECT_THROW(readPacked(ss), std::runtime_error);
+}
+
+TEST(Packed, RejectsNibbleCountMismatch)
+{
+    const MantQuantizedMatrix q = sampleMatrix(410, 2, 16, 16);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    std::string bytes = ss.str();
+    bytes[32] = static_cast<char>(bytes[32] + 1); // n_nibbles field
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+TEST(Packed, RejectsGroupCountMismatch)
+{
+    // A stream whose group count disagrees with rows x groupsPerRow
+    // must be rejected at the header, not crash later in unpack().
+    const MantQuantizedMatrix q = sampleMatrix(411, 2, 32, 16);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    std::string bytes = ss.str();
+    bytes[40] = static_cast<char>(bytes[40] + 1); // n_groups field
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+TEST(Packed, RejectsImplausibleHeader)
+{
+    const MantQuantizedMatrix q = sampleMatrix(412, 2, 16, 16);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    std::string bytes = ss.str();
+    bytes[15] = '\x80'; // sign bit of the rows field: rows < 0
+    std::stringstream bad(bytes);
+    EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+namespace {
+
+// Build a raw header: magic + version + the given geometry/counts.
+std::string
+rawHeader(int64_t rows, int64_t cols, int64_t groupSize,
+          uint64_t nNibbles, uint64_t nGroups)
+{
+    std::stringstream ss;
+    ss.write("MANT", 4);
+    const uint32_t version = 1;
+    ss.write(reinterpret_cast<const char *>(&version), 4);
+    ss.write(reinterpret_cast<const char *>(&rows), 8);
+    ss.write(reinterpret_cast<const char *>(&cols), 8);
+    ss.write(reinterpret_cast<const char *>(&groupSize), 8);
+    ss.write(reinterpret_cast<const char *>(&nNibbles), 8);
+    ss.write(reinterpret_cast<const char *>(&nGroups), 8);
+    return ss.str();
+}
+
+} // namespace
+
+TEST(Packed, RejectsOverflowingDimensions)
+{
+    // rows * cols would wrap int64 to 0 and sail past every count
+    // check; the per-dimension bound must reject it first.
+    std::stringstream bad(
+        rawHeader(int64_t{1} << 33, int64_t{1} << 31, 1, 0, 0));
+    EXPECT_THROW(readPacked(bad), std::runtime_error);
+}
+
+TEST(Packed, AcceptsTallSkinnyHeader)
+{
+    // 2^21 x 1 is a legitimate geometry (writePacked accepts it), so
+    // the plausibility check must let it through; with no payload the
+    // failure has to be the payload check, not the dimension cap.
+    std::stringstream ss(rawHeader(int64_t{1} << 21, 1, 1,
+                                   int64_t{1} << 20,
+                                   int64_t{1} << 21));
+    try {
+        readPacked(ss);
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "readPacked: truncated payload");
+    }
+}
+
+TEST(Packed, RejectsAllocationBombHeader)
+{
+    // Self-consistent counts naming ~2.5 TiB of buffers with no
+    // payload behind them: must throw before allocating anything.
+    const int64_t dim = int64_t{1} << 20;
+    std::stringstream ss(rawHeader(dim, dim, 1,
+                                   (dim * dim + 1) / 2,
+                                   dim * dim));
+    EXPECT_THROW(readPacked(ss), std::runtime_error);
+}
+
+namespace {
+
+/** A read-only, non-seekable stream buffer (tellg() reports -1). */
+class PipeBuf : public std::streambuf
+{
+  public:
+    explicit PipeBuf(std::string data) : data_(std::move(data))
+    {
+        setg(data_.data(), data_.data(), data_.data() + data_.size());
+    }
+
+  private:
+    std::string data_;
+};
+
+} // namespace
+
+TEST(Packed, RejectsAllocationBombOnNonSeekableStream)
+{
+    // Without tellg() the payload-presence check cannot run; the
+    // chunked reader must still fail fast instead of zero-filling
+    // terabytes before noticing the stream is empty.
+    const int64_t dim = int64_t{1} << 20;
+    PipeBuf buf(rawHeader(dim, dim, 1, (dim * dim + 1) / 2, dim * dim));
+    std::istream in(&buf);
+    ASSERT_EQ(in.tellg(), std::streampos(-1));
+    EXPECT_THROW(readPacked(in), std::runtime_error);
+}
+
+TEST(Packed, UnpackValidatesConsistency)
+{
+    // unpack is public API: metadata shorter than rows x groupsPerRow
+    // must throw, not index out of bounds in the sign-extend loop.
+    PackedMantMatrix p;
+    p.rows = 2;
+    p.cols = 16;
+    p.groupSize = 16;
+    p.nibbles.assign(16, 0);
+    p.scaleBits.assign(1, 0x3c00); // needs 2 groups, has 1
+    p.typeBytes.assign(1, 0x80);
+    EXPECT_THROW(unpack(p), std::invalid_argument);
+
+    p.nibbles.assign(15, 0); // wrong nibble count
+    p.scaleBits.assign(2, 0x3c00);
+    p.typeBytes.assign(2, 0x80);
+    EXPECT_THROW(unpack(p), std::invalid_argument);
+
+    // rows * cols would overflow int64; must be rejected before the
+    // product is ever formed.
+    PackedMantMatrix huge;
+    huge.rows = int64_t{1} << 32;
+    huge.cols = int64_t{1} << 32;
+    huge.groupSize = 1;
+    EXPECT_THROW(unpack(huge), std::invalid_argument);
+}
+
+TEST(Packed, ZeroColumnStreamDoesNotCrash)
+{
+    // Degenerate but self-consistent geometry: must parse and unpack
+    // (no groups, no codes) rather than divide by zero.
+    std::stringstream ss(rawHeader(1, 0, 0, 0, 0));
+    const PackedMantMatrix p = readPacked(ss);
+    const MantQuantizedMatrix q = unpack(p);
+    EXPECT_EQ(q.rows(), 1);
+    EXPECT_EQ(q.cols(), 0);
+    EXPECT_EQ(q.groupsPerRow(), 0);
 }
 
 TEST(Packed, FromPartsValidatesSizes)
