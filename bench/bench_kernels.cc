@@ -1,13 +1,26 @@
 /**
  * Kernel microbenchmarks (google-benchmark): the fused MANT integer
  * dot product vs the dequantize-then-float path vs plain INT8, the
- * encode paths, and the real-time quantization primitives.
+ * encode paths, the real-time quantization primitives, and
+ * serial-vs-parallel throughput for the threaded kernels.
+ *
+ * Unless --benchmark_out is given explicitly, results are also written
+ * to BENCH_kernels.json (google-benchmark JSON) in the working
+ * directory, so CI records the perf trajectory per commit.
+ *
+ * Threaded benchmarks take the thread budget as their argument:
+ * /1 pins the kernel serial, /0 resolves to all hardware threads.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/fused_gemm.h"
 #include "core/kv_quant.h"
+#include "core/parallel.h"
 #include "quant/fixed_formats.h"
 #include "quant/group_quantizer.h"
 #include "tensor/distribution.h"
@@ -131,6 +144,94 @@ BM_VarianceSelect(benchmark::State &state)
 }
 BENCHMARK(BM_VarianceSelect);
 
+/* ------------------------------------------------------------------ */
+/* Serial vs parallel kernel throughput (arg = thread budget, 0=auto)  */
+/* ------------------------------------------------------------------ */
+
+constexpr int64_t kBigDim = 4096;
+
+const Tensor &
+bigMatrix()
+{
+    static const Tensor w = [] {
+        DistProfile p;
+        Rng rng(4242);
+        return genWeightMatrix(rng, kBigDim, kBigDim, p);
+    }();
+    return w;
+}
+
+void
+setBenchThreads(benchmark::State &state)
+{
+    setMaxThreads(static_cast<int>(state.range(0)));
+    state.counters["threads"] = static_cast<double>(maxThreads());
+}
+
+static void
+BM_AdaptiveQuant4096(benchmark::State &state)
+{
+    setBenchThreads(state);
+    const Tensor &w = bigMatrix();
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 64;
+    for (auto _ : state) {
+        auto q = quantDequantAdaptive(w, antTypeSet(), cfg);
+        benchmark::DoNotOptimize(q);
+    }
+    state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
+    setMaxThreads(0);
+}
+BENCHMARK(BM_AdaptiveQuant4096)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void
+BM_MantEncode4096(benchmark::State &state)
+{
+    setBenchThreads(state);
+    const Tensor &w = bigMatrix();
+    for (auto _ : state) {
+        auto q = MantQuantizedMatrix::quantize(w, 64);
+        benchmark::DoNotOptimize(q);
+    }
+    state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
+    setMaxThreads(0);
+}
+BENCHMARK(BM_MantEncode4096)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void
+BM_FusedGemmThreaded(benchmark::State &state)
+{
+    setBenchThreads(state);
+    constexpr int64_t kM = 32, kK = 1024, kNOut = 512;
+    DistProfile p;
+    Rng rng(4343);
+    const Tensor w = genWeightMatrix(rng, kNOut, kK, p);
+    Tensor x(Shape{kM, kK});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
+    const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    for (auto _ : state) {
+        Tensor out = fusedGemm(qx, qw);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * kM * kK * kNOut);
+    setMaxThreads(0);
+}
+BENCHMARK(BM_FusedGemmThreaded)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 static void
 BM_TemporalVPush(benchmark::State &state)
 {
@@ -154,4 +255,28 @@ BENCHMARK(BM_TemporalVPush);
 } // namespace
 } // namespace mant
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default to recording JSON alongside the console output so the
+    // perf trajectory lands in CI artifacts without extra flags.
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out = true;
+    }
+    std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int argn = static_cast<int>(args.size());
+    benchmark::Initialize(&argn, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argn, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

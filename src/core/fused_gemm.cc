@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "quant/fixed_formats.h"
 #include "tensor/fp16.h"
 
@@ -22,7 +23,7 @@ fusedDot(std::span<const int32_t> x, std::span<const MantCode> codes)
         const int sign = mantSign(c);
         const int64_t xv = x[i];
         p.psum1 += xv * (sign * mag);          // MAC lane
-        p.psum2 += sign * (xv << mag);          // SAC lane
+        p.psum2 += sign * sacShift(xv, mag);   // SAC lane
     }
     return p;
 }
@@ -49,45 +50,49 @@ MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
     q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
     q.meta_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
 
-    const MantFormat *fmt_cache = nullptr;
-    for (int64_t r = 0; r < q.rows_; ++r) {
-        const float *row = w.data() + r * q.cols_;
-        for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
-            const int64_t k0 = g * q.groupSize_;
-            const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
-            std::span<const float> group(row + k0,
-                                         static_cast<size_t>(len));
-            std::span<const double> weights =
-                mode == Search::OutputMse
-                    ? calibPower.subspan(static_cast<size_t>(k0),
-                                         static_cast<size_t>(len))
-                    : std::span<const double>{};
+    // Rows are independent: each writes its own code/meta stripe, and
+    // the per-group coefficient search is a pure function of the group,
+    // so the encode is bit-identical at any thread count.
+    parallelFor(0, q.rows_, 1, [&](int64_t rb, int64_t re, int64_t) {
+        for (int64_t r = rb; r < re; ++r) {
+            const float *row = w.data() + r * q.cols_;
+            for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
+                const int64_t k0 = g * q.groupSize_;
+                const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
+                std::span<const float> group(row + k0,
+                                             static_cast<size_t>(len));
+                std::span<const double> weights =
+                    mode == Search::OutputMse
+                        ? calibPower.subspan(static_cast<size_t>(k0),
+                                             static_cast<size_t>(len))
+                        : std::span<const double>{};
 
-            const MantSelection sel =
-                searchCoefficient(group, {}, weights, fp16Scale);
-            MantGroupMeta &meta =
-                q.meta_[static_cast<size_t>(r * q.groupsPerRow_ + g)];
-            meta.scale = sel.scale;
-            meta.isInt = sel.isInt;
-            meta.a = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+                const MantSelection sel =
+                    searchCoefficient(group, {}, weights, fp16Scale);
+                MantGroupMeta &meta =
+                    q.meta_[static_cast<size_t>(r * q.groupsPerRow_ + g)];
+                meta.scale = sel.scale;
+                meta.isInt = sel.isInt;
+                meta.a = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
 
-            int8_t *codes = q.codes_.data() + r * q.cols_ + k0;
-            if (sel.isInt) {
-                for (int64_t i = 0; i < len; ++i) {
-                    const float qv = std::round(group[static_cast<size_t>(i)] /
-                                                meta.scale);
-                    codes[i] = static_cast<int8_t>(
-                        std::clamp(qv, -7.0f, 7.0f));
-                }
-            } else {
-                fmt_cache = &mantFormat(sel.a);
-                for (int64_t i = 0; i < len; ++i) {
-                    codes[i] = static_cast<int8_t>(fmt_cache->encodeToCode(
-                        group[static_cast<size_t>(i)], meta.scale));
+                int8_t *codes = q.codes_.data() + r * q.cols_ + k0;
+                if (sel.isInt) {
+                    for (int64_t i = 0; i < len; ++i) {
+                        const float qv = std::round(
+                            group[static_cast<size_t>(i)] / meta.scale);
+                        codes[i] = static_cast<int8_t>(
+                            std::clamp(qv, -7.0f, 7.0f));
+                    }
+                } else {
+                    const MantFormat &fmt = mantFormat(sel.a);
+                    for (int64_t i = 0; i < len; ++i) {
+                        codes[i] = static_cast<int8_t>(fmt.encodeToCode(
+                            group[static_cast<size_t>(i)], meta.scale));
+                    }
                 }
             }
         }
-    }
+    });
     return q;
 }
 
@@ -115,27 +120,30 @@ Tensor
 MantQuantizedMatrix::dequantize() const
 {
     Tensor out(Shape{rows_, cols_});
-    for (int64_t r = 0; r < rows_; ++r) {
-        const int8_t *codes = codes_.data() + r * cols_;
-        float *orow = out.data() + r * cols_;
-        for (int64_t g = 0; g < groupsPerRow_; ++g) {
-            const MantGroupMeta &m =
-                meta_[static_cast<size_t>(r * groupsPerRow_ + g)];
-            const int64_t k0 = g * groupSize_;
-            const int64_t len = std::min(groupSize_, cols_ - k0);
-            for (int64_t i = 0; i < len; ++i) {
-                if (m.isInt) {
-                    orow[k0 + i] =
-                        static_cast<float>(codes[k0 + i]) * m.scale;
-                } else {
-                    orow[k0 + i] =
-                        static_cast<float>(mantCodeValue(
-                            m.a, static_cast<MantCode>(codes[k0 + i]))) *
-                        m.scale;
+    parallelFor(0, rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
+        for (int64_t r = rb; r < re; ++r) {
+            const int8_t *codes = codes_.data() + r * cols_;
+            float *orow = out.data() + r * cols_;
+            for (int64_t g = 0; g < groupsPerRow_; ++g) {
+                const MantGroupMeta &m =
+                    meta_[static_cast<size_t>(r * groupsPerRow_ + g)];
+                const int64_t k0 = g * groupSize_;
+                const int64_t len = std::min(groupSize_, cols_ - k0);
+                for (int64_t i = 0; i < len; ++i) {
+                    if (m.isInt) {
+                        orow[k0 + i] =
+                            static_cast<float>(codes[k0 + i]) * m.scale;
+                    } else {
+                        orow[k0 + i] =
+                            static_cast<float>(mantCodeValue(
+                                m.a,
+                                static_cast<MantCode>(codes[k0 + i]))) *
+                            m.scale;
+                    }
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -172,28 +180,31 @@ Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
     q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
     q.scales_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
 
-    for (int64_t r = 0; r < q.rows_; ++r) {
-        const float *row = x.data() + r * q.cols_;
-        int8_t *codes = q.codes_.data() + r * q.cols_;
-        for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
-            const int64_t k0 = g * q.groupSize_;
-            const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
-            float absmax = 0.0f;
-            for (int64_t i = 0; i < len; ++i)
-                absmax = std::max(absmax, std::fabs(row[k0 + i]));
-            float scale = absmax / 127.0f;
-            if (fp16Scale)
-                scale = fp16Round(scale);
-            if (scale == 0.0f)
-                scale = 1.0f;
-            q.scales_[static_cast<size_t>(r * q.groupsPerRow_ + g)] = scale;
-            for (int64_t i = 0; i < len; ++i) {
-                const float qv = std::round(row[k0 + i] / scale);
-                codes[k0 + i] = static_cast<int8_t>(
-                    std::clamp(qv, -127.0f, 127.0f));
+    parallelFor(0, q.rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
+        for (int64_t r = rb; r < re; ++r) {
+            const float *row = x.data() + r * q.cols_;
+            int8_t *codes = q.codes_.data() + r * q.cols_;
+            for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
+                const int64_t k0 = g * q.groupSize_;
+                const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
+                float absmax = 0.0f;
+                for (int64_t i = 0; i < len; ++i)
+                    absmax = std::max(absmax, std::fabs(row[k0 + i]));
+                float scale = absmax / 127.0f;
+                if (fp16Scale)
+                    scale = fp16Round(scale);
+                if (scale == 0.0f)
+                    scale = 1.0f;
+                q.scales_[static_cast<size_t>(r * q.groupsPerRow_ + g)] =
+                    scale;
+                for (int64_t i = 0; i < len; ++i) {
+                    const float qv = std::round(row[k0 + i] / scale);
+                    codes[k0 + i] = static_cast<int8_t>(
+                        std::clamp(qv, -127.0f, 127.0f));
+                }
             }
         }
-    }
+    });
     return q;
 }
 
@@ -201,18 +212,20 @@ Tensor
 Int8QuantizedActivations::dequantize() const
 {
     Tensor out(Shape{rows_, cols_});
-    for (int64_t r = 0; r < rows_; ++r) {
-        const int8_t *codes = codes_.data() + r * cols_;
-        float *orow = out.data() + r * cols_;
-        for (int64_t g = 0; g < groupsPerRow_; ++g) {
-            const float s =
-                scales_[static_cast<size_t>(r * groupsPerRow_ + g)];
-            const int64_t k0 = g * groupSize_;
-            const int64_t len = std::min(groupSize_, cols_ - k0);
-            for (int64_t i = 0; i < len; ++i)
-                orow[k0 + i] = static_cast<float>(codes[k0 + i]) * s;
+    parallelFor(0, rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
+        for (int64_t r = rb; r < re; ++r) {
+            const int8_t *codes = codes_.data() + r * cols_;
+            float *orow = out.data() + r * cols_;
+            for (int64_t g = 0; g < groupsPerRow_; ++g) {
+                const float s =
+                    scales_[static_cast<size_t>(r * groupsPerRow_ + g)];
+                const int64_t k0 = g * groupSize_;
+                const int64_t len = std::min(groupSize_, cols_ - k0);
+                for (int64_t i = 0; i < len; ++i)
+                    orow[k0 + i] = static_cast<float>(codes[k0 + i]) * s;
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -230,50 +243,58 @@ fusedGemm(const Int8QuantizedActivations &x, const MantQuantizedMatrix &w)
     const int64_t gsize = w.groupSize();
     const int64_t groups = w.groupsPerRow();
 
+    // Every output cell is an independent reduction whose inner
+    // accumulation order is fixed, so partitioning the flattened
+    // (m, n) index space is bit-identical at any thread count — and,
+    // unlike row partitioning, it still scales for single-token decode
+    // (m_dim == 1) against a wide weight matrix.
     Tensor out(Shape{m_dim, n_dim});
-    for (int64_t m = 0; m < m_dim; ++m) {
-        const int8_t *xrow = x.rowCodes(m).data();
-        for (int64_t n = 0; n < n_dim; ++n) {
-            const int8_t *wrow = w.rowCodes(n).data();
-            double acc = 0.0;
-            for (int64_t g = 0; g < groups; ++g) {
-                const int64_t k0 = g * gsize;
-                const int64_t len = std::min(gsize, k_dim - k0);
-                const MantGroupMeta &meta = w.meta(n, g);
-                const float sx = x.scale(m, g);
+    parallelFor(
+        0, m_dim * n_dim, 8, [&](int64_t cb, int64_t ce, int64_t) {
+            for (int64_t cell = cb; cell < ce; ++cell) {
+                const int64_t m = cell / n_dim;
+                const int64_t n = cell % n_dim;
+                const int8_t *xrow = x.rowCodes(m).data();
+                const int8_t *wrow = w.rowCodes(n).data();
+                double acc = 0.0;
+                for (int64_t g = 0; g < groups; ++g) {
+                    const int64_t k0 = g * gsize;
+                    const int64_t len = std::min(gsize, k_dim - k0);
+                    const MantGroupMeta &meta = w.meta(n, g);
+                    const float sx = x.scale(m, g);
 
-                if (meta.isInt) {
-                    // Plain INT4 group: MAC lane only.
-                    int64_t psum = 0;
-                    for (int64_t i = 0; i < len; ++i) {
-                        psum += static_cast<int64_t>(xrow[k0 + i]) *
-                                wrow[k0 + i];
+                    if (meta.isInt) {
+                        // Plain INT4 group: MAC lane only.
+                        int64_t psum = 0;
+                        for (int64_t i = 0; i < len; ++i) {
+                            psum += static_cast<int64_t>(xrow[k0 + i]) *
+                                    wrow[k0 + i];
+                        }
+                        acc += static_cast<double>(psum) *
+                               static_cast<double>(sx) *
+                               static_cast<double>(meta.scale);
+                    } else {
+                        // Fused MANT group: MAC + SAC lanes (Eq. 5).
+                        int64_t psum1 = 0, psum2 = 0;
+                        for (int64_t i = 0; i < len; ++i) {
+                            const MantCode c =
+                                static_cast<MantCode>(wrow[k0 + i]);
+                            const int mag = mantMagnitude(c);
+                            const int sign = mantSign(c);
+                            const int64_t xv = xrow[k0 + i];
+                            psum1 += xv * (sign * mag);
+                            psum2 += sign * sacShift(xv, mag);
+                        }
+                        acc += (static_cast<double>(meta.a) *
+                                    static_cast<double>(psum1) +
+                                static_cast<double>(psum2)) *
+                               static_cast<double>(sx) *
+                               static_cast<double>(meta.scale);
                     }
-                    acc += static_cast<double>(psum) *
-                           static_cast<double>(sx) *
-                           static_cast<double>(meta.scale);
-                } else {
-                    // Fused MANT group: MAC + SAC lanes (Eq. 5).
-                    int64_t psum1 = 0, psum2 = 0;
-                    for (int64_t i = 0; i < len; ++i) {
-                        const MantCode c =
-                            static_cast<MantCode>(wrow[k0 + i]);
-                        const int mag = mantMagnitude(c);
-                        const int sign = mantSign(c);
-                        const int64_t xv = xrow[k0 + i];
-                        psum1 += xv * (sign * mag);
-                        psum2 += sign * (xv << mag);
-                    }
-                    acc += (static_cast<double>(meta.a) *
-                                static_cast<double>(psum1) +
-                            static_cast<double>(psum2)) *
-                           static_cast<double>(sx) *
-                           static_cast<double>(meta.scale);
                 }
+                out.at(m, n) = static_cast<float>(acc);
             }
-            out.at(m, n) = static_cast<float>(acc);
-        }
-    }
+        });
     return out;
 }
 

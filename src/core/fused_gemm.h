@@ -38,6 +38,22 @@ struct MantPsums
 };
 
 /**
+ * SAC-lane shift: x * 2^magnitude, UBSan-clean for negative x and for
+ * any magnitude the 4-bit grid (0..7) — or a corrupted code — can
+ * present. The shift runs in uint64 (defined for the full clamped
+ * range [0, 63]) and converts back with C++20 wraparound semantics,
+ * so hostile magnitudes wrap instead of invoking UB; every magnitude
+ * real codes emit is exact.
+ */
+inline int64_t
+sacShift(int64_t x, int magnitude)
+{
+    const unsigned m =
+        static_cast<unsigned>(std::clamp(magnitude, 0, 63));
+    return static_cast<int64_t>(static_cast<uint64_t>(x) << m);
+}
+
+/**
  * Fused group dot product: MANT codes against INT8 activations.
  *
  * @param x     INT8 activation values (as int32 for convenience).

@@ -1,6 +1,6 @@
 #include "core/mant_grid.h"
 
-#include <map>
+#include <atomic>
 #include <mutex>
 #include <stdexcept>
 
@@ -28,13 +28,24 @@ mantCoefficientSet()
 const MantFormat &
 mantFormat(int a)
 {
-    static std::map<int, MantFormat> cache;
+    if (a < 0 || a > kMantMaxCoefficient)
+        throw std::invalid_argument("mantFormat: a must be in [0, 127]");
+    // Lock-free fast path: the parallel encode engines hit this once
+    // per coefficient candidate per group, so a shared mutex on reads
+    // would serialize them. Slots are immortal once published.
+    static std::atomic<const MantFormat *>
+        slots[kMantMaxCoefficient + 1] = {};
     static std::mutex mutex;
+    std::atomic<const MantFormat *> &slot =
+        slots[static_cast<size_t>(a)];
+    if (const MantFormat *fmt = slot.load(std::memory_order_acquire))
+        return *fmt;
     std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(a);
-    if (it == cache.end())
-        it = cache.emplace(a, MantFormat(a)).first;
-    return it->second;
+    if (const MantFormat *fmt = slot.load(std::memory_order_relaxed))
+        return *fmt;
+    const MantFormat *fmt = new MantFormat(a);
+    slot.store(fmt, std::memory_order_release);
+    return *fmt;
 }
 
 double

@@ -1,0 +1,268 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mant {
+
+namespace {
+
+/** Hard cap so a typo'd MANT_THREADS can't fork-bomb the process. */
+constexpr int kThreadCap = 256;
+
+std::atomic<int> gThreadOverride{0};
+
+/**
+ * Set while a thread is executing chunk bodies (worker threads
+ * permanently, the calling thread for the duration of a parallelFor).
+ * Nested parallelFor calls see it and run inline.
+ */
+thread_local bool tlsInParallelRegion = false;
+
+/** One parallelFor invocation's shared state. */
+struct Job
+{
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t chunks = 0;
+    const ParallelChunkFn *fn = nullptr;
+    std::atomic<int64_t> nextChunk{0};
+    std::atomic<int> slots{0};  ///< helper participation tickets
+    std::atomic<int> active{0}; ///< helpers currently running chunks
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errMu;
+};
+
+/** Chunk-stealing loop shared by the caller and the workers. */
+void
+runChunks(Job &j)
+{
+    for (;;) {
+        const int64_t c =
+            j.nextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= j.chunks)
+            return;
+        if (j.failed.load(std::memory_order_relaxed))
+            return;
+        const int64_t cb = j.begin + c * j.grain;
+        const int64_t ce = std::min(j.end, cb + j.grain);
+        try {
+            (*j.fn)(cb, ce, c);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(j.errMu);
+            if (!j.error)
+                j.error = std::current_exception();
+            j.failed.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+/**
+ * Persistent worker pool. Threads are spawned lazily up to the largest
+ * helper count ever requested and sleep between jobs; one job runs at
+ * a time (concurrent top-level parallelFor calls from other user
+ * threads fall back to inline execution).
+ */
+class Pool
+{
+  public:
+    static Pool &
+    instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    void
+    run(int64_t begin, int64_t end, int64_t grain, int64_t chunks,
+        int helpers, const ParallelChunkFn &fn)
+    {
+        auto j = std::make_shared<Job>();
+        j->begin = begin;
+        j->end = end;
+        j->grain = grain;
+        j->chunks = chunks;
+        j->fn = &fn;
+        j->slots.store(helpers, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ensureWorkersLocked(helpers);
+            job_ = j;
+            ++generation_;
+        }
+        cv_.notify_all();
+        runChunks(*j);
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            doneCv_.wait(lk, [&] {
+                return j->active.load(std::memory_order_acquire) == 0;
+            });
+            job_.reset();
+        }
+        if (j->error)
+            std::rethrow_exception(j->error);
+    }
+
+    /** Serializes top-level parallelFor calls across user threads. */
+    std::mutex callerMu;
+
+  private:
+    Pool() = default;
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            shutdown_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    void
+    ensureWorkersLocked(int helpers)
+    {
+        while (static_cast<int>(workers_.size()) < helpers)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    workerLoop()
+    {
+        tlsInParallelRegion = true;
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            cv_.wait(lk, [&] {
+                return shutdown_ || (job_ && generation_ != seen);
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            std::shared_ptr<Job> j = job_;
+            if (!j)
+                continue;
+            // Tickets cap participation at the job's thread budget even
+            // when the pool holds more threads from an earlier job.
+            if (j->slots.fetch_sub(1, std::memory_order_acq_rel) <= 0)
+                continue;
+            j->active.fetch_add(1, std::memory_order_acq_rel);
+            lk.unlock();
+            runChunks(*j);
+            lk.lock();
+            if (j->active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                doneCv_.notify_all();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+void
+runInline(int64_t begin, int64_t end, int64_t grain, int64_t chunks,
+          const ParallelChunkFn &fn)
+{
+    for (int64_t c = 0; c < chunks; ++c) {
+        const int64_t cb = begin + c * grain;
+        const int64_t ce = std::min(end, cb + grain);
+        fn(cb, ce, c);
+    }
+}
+
+} // namespace
+
+int
+hardwareThreads()
+{
+    static const int n = [] {
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc > 0 ? static_cast<int>(hc) : 1;
+    }();
+    return n;
+}
+
+int
+maxThreads()
+{
+    const int override_ = gThreadOverride.load(std::memory_order_relaxed);
+    if (override_ > 0)
+        return override_;
+    // Re-read the environment every call so tests (and long-lived
+    // servers) can adjust MANT_THREADS at runtime.
+    if (const char *env = std::getenv("MANT_THREADS")) {
+        char *endp = nullptr;
+        const long v = std::strtol(env, &endp, 10);
+        if (endp && endp != env && *endp == '\0' && v > 0)
+            return static_cast<int>(std::min<long>(v, kThreadCap));
+    }
+    return hardwareThreads();
+}
+
+void
+setMaxThreads(int n)
+{
+    gThreadOverride.store(n > 0 ? std::min(n, kThreadCap) : 0,
+                          std::memory_order_relaxed);
+}
+
+int64_t
+parallelChunkCount(int64_t begin, int64_t end, int64_t grain)
+{
+    if (end <= begin)
+        return 0;
+    const int64_t g = std::max<int64_t>(1, grain);
+    return (end - begin + g - 1) / g;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const ParallelChunkFn &fn)
+{
+    if (end <= begin)
+        return;
+    const int64_t g = std::max<int64_t>(1, grain);
+    const int64_t chunks = (end - begin + g - 1) / g;
+    const int threads = maxThreads();
+    if (chunks <= 1 || threads <= 1 || tlsInParallelRegion) {
+        runInline(begin, end, g, chunks, fn);
+        return;
+    }
+
+    Pool &pool = Pool::instance();
+    std::unique_lock<std::mutex> callerLk(pool.callerMu,
+                                          std::try_to_lock);
+    if (!callerLk.owns_lock()) {
+        // Another user thread owns the pool right now; stay correct.
+        runInline(begin, end, g, chunks, fn);
+        return;
+    }
+
+    const int helpers = static_cast<int>(std::min<int64_t>(
+        static_cast<int64_t>(threads) - 1, chunks - 1));
+    tlsInParallelRegion = true;
+    try {
+        pool.run(begin, end, g, chunks, helpers, fn);
+    } catch (...) {
+        tlsInParallelRegion = false;
+        throw;
+    }
+    tlsInParallelRegion = false;
+}
+
+} // namespace mant

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parallel execution subsystem: a lazily-initialized persistent thread
+ * pool behind one primitive, parallelFor().
+ *
+ * Determinism contract: the range [begin, end) is split into fixed
+ * chunks of `grain` indices (the last chunk may be short). Chunk
+ * geometry depends only on (begin, end, grain) — never on the thread
+ * count — so a kernel that writes disjoint outputs per index and
+ * reduces into per-chunk accumulators merged in chunk order produces
+ * bit-identical results at any MANT_THREADS setting, including 1.
+ * The tests in tests/test_parallel.cc enforce this for the quantizer
+ * engines and the fused GEMM.
+ *
+ * Thread count resolution, in priority order:
+ *  1. setMaxThreads(n) with n > 0 (programmatic override);
+ *  2. the MANT_THREADS environment variable, if it parses as a
+ *     positive integer (0, negative or garbage values are ignored);
+ *  3. std::thread::hardware_concurrency().
+ */
+
+#ifndef MANT_CORE_PARALLEL_H_
+#define MANT_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace mant {
+
+/** Cached std::thread::hardware_concurrency(), at least 1. */
+int hardwareThreads();
+
+/** Resolved thread budget: override, else MANT_THREADS, else hardware. */
+int maxThreads();
+
+/**
+ * Programmatic thread-count override. n > 0 pins the budget (capped at
+ * 256); n <= 0 clears the override, falling back to MANT_THREADS /
+ * hardware_concurrency.
+ */
+void setMaxThreads(int n);
+
+/**
+ * Number of chunks parallelFor() will split [begin, end) into with the
+ * given grain — use it to size per-chunk accumulator arrays.
+ */
+int64_t parallelChunkCount(int64_t begin, int64_t end, int64_t grain);
+
+/**
+ * Chunk body: fn(chunkBegin, chunkEnd, chunkIndex) processes indices
+ * [chunkBegin, chunkEnd). Chunk indices are dense in [0, chunkCount).
+ */
+using ParallelChunkFn =
+    std::function<void(int64_t, int64_t, int64_t)>;
+
+/**
+ * Run fn over [begin, end) in chunks of `grain` (clamped to >= 1),
+ * using up to maxThreads() threads (the calling thread participates).
+ *
+ * Guarantees:
+ *  - every chunk is invoked exactly once (unless a chunk throws);
+ *  - nested calls (from inside a chunk body) run inline, serially, in
+ *    chunk order — safe, never deadlocks;
+ *  - if a chunk throws, the first exception is rethrown on the calling
+ *    thread once all in-flight chunks finish; remaining chunks may be
+ *    skipped, so outputs are unspecified after a throw;
+ *  - with maxThreads() == 1, an empty/singleton range, or a single
+ *    chunk, everything runs inline on the calling thread.
+ */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const ParallelChunkFn &fn);
+
+} // namespace mant
+
+#endif // MANT_CORE_PARALLEL_H_

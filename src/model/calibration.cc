@@ -1,5 +1,8 @@
 #include "model/calibration.h"
 
+#include <stdexcept>
+
+#include "core/parallel.h"
 #include "model/quant_setup.h"
 #include "model/transformer.h"
 
@@ -17,13 +20,22 @@ ModelCalibration::accumulate(int64_t layer, LinearSlot slot,
     const int64_t cols = x.shape().dim(1);
     if (acc.sumSq.empty())
         acc.sumSq.assign(static_cast<size_t>(cols), 0.0);
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = x.data() + r * cols;
-        for (int64_t c = 0; c < cols; ++c) {
-            acc.sumSq[static_cast<size_t>(c)] +=
-                static_cast<double>(row[c]) * row[c];
+    else if (static_cast<int64_t>(acc.sumSq.size()) != cols)
+        throw std::invalid_argument(
+            "ModelCalibration::accumulate: column count changed for slot");
+    // Partition by column: each worker owns a disjoint column stripe
+    // and walks the rows in order, so every per-column running sum
+    // accumulates in exactly the serial order — bit-identical results
+    // at any thread count.
+    parallelFor(0, cols, 256, [&](int64_t cb, int64_t ce, int64_t) {
+        for (int64_t r = 0; r < rows; ++r) {
+            const float *row = x.data() + r * cols;
+            for (int64_t c = cb; c < ce; ++c) {
+                acc.sumSq[static_cast<size_t>(c)] +=
+                    static_cast<double>(row[c]) * row[c];
+            }
         }
-    }
+    });
     acc.samples += rows;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "quant/fixed_formats.h"
 #include "quant/group_quantizer.h"
 #include "quant/olive.h"
@@ -128,20 +129,27 @@ linearNT(const Tensor &x, const Tensor &w)
     if (w.shape().dim(1) != k_dim)
         throw std::invalid_argument("linearNT: inner dims differ");
 
+    // Flattened (t, n) partition: every output cell is an independent
+    // reduction with a fixed accumulation order, so the result is
+    // bit-identical at any thread count and single-token decode
+    // (t_dim == 1) still parallelizes across output features.
     Tensor out(Shape{t_dim, n_dim});
     const float *xp = x.data();
     const float *wp = w.data();
-    for (int64_t t = 0; t < t_dim; ++t) {
-        const float *xrow = xp + t * k_dim;
-        float *orow = out.data() + t * n_dim;
-        for (int64_t n = 0; n < n_dim; ++n) {
-            const float *wrow = wp + n * k_dim;
-            double acc = 0.0;
-            for (int64_t k = 0; k < k_dim; ++k)
-                acc += static_cast<double>(xrow[k]) * wrow[k];
-            orow[n] = static_cast<float>(acc);
-        }
-    }
+    float *op = out.data();
+    parallelFor(
+        0, t_dim * n_dim, 16, [&](int64_t cb, int64_t ce, int64_t) {
+            for (int64_t cell = cb; cell < ce; ++cell) {
+                const int64_t t = cell / n_dim;
+                const int64_t n = cell % n_dim;
+                const float *xrow = xp + t * k_dim;
+                const float *wrow = wp + n * k_dim;
+                double acc = 0.0;
+                for (int64_t k = 0; k < k_dim; ++k)
+                    acc += static_cast<double>(xrow[k]) * wrow[k];
+                op[t * n_dim + n] = static_cast<float>(acc);
+            }
+        });
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "model/calibration.h"
 #include "model/layers.h"
 #include "model/quantized_linear.h"
@@ -65,30 +66,45 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
             return {};
         return calibration->power(layer, slot);
     };
-    eff_.reserve(base_.layers.size());
+    // Every (layer, matrix) pair quantizes independently (a pure
+    // function of its own weights), so the offline encode flattens
+    // to one work item per matrix — finer than per-layer partitioning,
+    // which would cap the speedup at the layer count for shallow
+    // models. Each item writes only its own eff_ slot.
+    struct EncodeItem
+    {
+        const Tensor *w;
+        Tensor *out;
+        LinearSlot slot;
+        int64_t layer;
+    };
+    eff_.resize(base_.layers.size());
+    std::vector<EncodeItem> items;
+    items.reserve(base_.layers.size() * 7);
     for (size_t l = 0; l < base_.layers.size(); ++l) {
         const LayerWeights &lw = base_.layers[l];
+        EffLayer &e = eff_[l];
         const int64_t li = static_cast<int64_t>(l);
-        EffLayer e;
-        e.wq = quantizeWeightMatrix(lw.wq, setup_, nullptr,
-                                    calib_power(li, LinearSlot::AttnIn));
-        e.wk = quantizeWeightMatrix(lw.wk, setup_, nullptr,
-                                    calib_power(li, LinearSlot::AttnIn));
-        e.wv = quantizeWeightMatrix(lw.wv, setup_, nullptr,
-                                    calib_power(li, LinearSlot::AttnIn));
-        e.wo = quantizeWeightMatrix(lw.wo, setup_, nullptr,
-                                    calib_power(li, LinearSlot::OProj));
-        e.wGate = quantizeWeightMatrix(lw.wGate, setup_, nullptr,
-                                       calib_power(li, LinearSlot::FfnIn));
+        items.push_back({&lw.wq, &e.wq, LinearSlot::AttnIn, li});
+        items.push_back({&lw.wk, &e.wk, LinearSlot::AttnIn, li});
+        items.push_back({&lw.wv, &e.wv, LinearSlot::AttnIn, li});
+        items.push_back({&lw.wo, &e.wo, LinearSlot::OProj, li});
+        items.push_back({&lw.wGate, &e.wGate, LinearSlot::FfnIn, li});
         if (lw.wUp.numel() > 0)
-            e.wUp = quantizeWeightMatrix(
-                lw.wUp, setup_, nullptr,
-                calib_power(li, LinearSlot::FfnIn));
-        e.wDown = quantizeWeightMatrix(
-            lw.wDown, setup_, nullptr,
-            calib_power(li, LinearSlot::FfnDown));
-        eff_.push_back(std::move(e));
+            items.push_back({&lw.wUp, &e.wUp, LinearSlot::FfnIn, li});
+        items.push_back({&lw.wDown, &e.wDown, LinearSlot::FfnDown, li});
     }
+    parallelFor(
+        0, static_cast<int64_t>(items.size()), 1,
+        [&](int64_t ib, int64_t ie, int64_t) {
+            for (int64_t i = ib; i < ie; ++i) {
+                const EncodeItem &item =
+                    items[static_cast<size_t>(i)];
+                *item.out = quantizeWeightMatrix(
+                    *item.w, setup_, nullptr,
+                    calib_power(item.layer, item.slot));
+            }
+        });
     reset();
 }
 

@@ -5,6 +5,8 @@ namespace mant {
 int64_t
 quantUnitCount(const Tensor &t, const QuantConfig &cfg)
 {
+    if (t.numel() == 0)
+        return 0;
     switch (cfg.gran) {
       case Granularity::PerTensor:
         return 1;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/parallel.h"
 #include "tensor/tensor.h"
 
 namespace mant {
@@ -46,60 +47,116 @@ struct QuantConfig
 double metaBitsPerElement(const Tensor &t, const QuantConfig &cfg,
                           int extraBitsPerUnit);
 
+/** Number of quantization units for a tensor under a configuration. */
+int64_t quantUnitCount(const Tensor &t, const QuantConfig &cfg);
+
+/** Storage extent of one quantization unit (row-major contiguous). */
+struct QuantUnitRange
+{
+    int64_t base = 0; ///< offset of the first element
+    int64_t len = 0;  ///< number of elements
+};
+
+/**
+ * Geometry of unit `u` (0 <= u < quantUnitCount). Units are contiguous
+ * in row-major storage for all three granularities and are indexed
+ * row-major themselves (all groups of row 0, then row 1, ...), so the
+ * unit walk is random-access — the parallel engines partition the unit
+ * index space and each worker writes a disjoint output range.
+ */
+inline QuantUnitRange
+quantUnitAt(const Tensor &t, const QuantConfig &cfg, int64_t u)
+{
+    switch (cfg.gran) {
+      case Granularity::PerTensor:
+        return {0, t.numel()};
+      case Granularity::PerChannel: {
+        const int64_t inner = t.shape().innerDim();
+        return {u * inner, inner};
+      }
+      case Granularity::PerGroup:
+      default: {
+        const int64_t inner = t.shape().innerDim();
+        // Groups never straddle a channel boundary; groupSize <= 0
+        // means one group per row (matching quantUnitCount).
+        const int64_t g =
+            cfg.groupSize > 0 ? std::min(cfg.groupSize, inner) : inner;
+        const int64_t per_row = g > 0 ? (inner + g - 1) / g : 0;
+        if (per_row == 0)
+            return {0, 0};
+        const int64_t r = u / per_row;
+        const int64_t g0 = (u % per_row) * g;
+        return {r * inner + g0, std::min(g, inner - g0)};
+      }
+    }
+}
+
 /**
  * Invoke fn(std::span<const float> in, std::span<float> out) once per
- * quantization unit. Units are contiguous in row-major storage for all
- * three granularities, so this is a simple strided walk.
+ * quantization unit, in unit-index order.
  */
 template <typename Fn>
 void
 forEachQuantUnit(const Tensor &in, Tensor &out, const QuantConfig &cfg,
                  Fn &&fn)
 {
-    const int64_t total = in.numel();
+    const int64_t units = quantUnitCount(in, cfg);
     const float *ip = in.data();
     float *op = out.data();
-
-    int64_t unit;
-    switch (cfg.gran) {
-      case Granularity::PerTensor:
-        unit = total;
-        break;
-      case Granularity::PerChannel:
-        unit = in.shape().innerDim();
-        break;
-      case Granularity::PerGroup:
-      default:
-        unit = cfg.groupSize;
-        break;
-    }
-    if (unit <= 0)
-        unit = total;
-
-    if (cfg.gran == Granularity::PerGroup) {
-        // Groups never straddle a channel boundary: walk row by row.
-        const int64_t inner = in.shape().innerDim();
-        const int64_t outer = in.shape().outerCount();
-        for (int64_t r = 0; r < outer; ++r) {
-            for (int64_t g0 = 0; g0 < inner; g0 += unit) {
-                const int64_t len = std::min(unit, inner - g0);
-                const int64_t base = r * inner + g0;
-                fn(std::span<const float>(ip + base,
-                                          static_cast<size_t>(len)),
-                   std::span<float>(op + base, static_cast<size_t>(len)));
-            }
-        }
-        return;
-    }
-    for (int64_t base = 0; base < total; base += unit) {
-        const int64_t len = std::min(unit, total - base);
-        fn(std::span<const float>(ip + base, static_cast<size_t>(len)),
-           std::span<float>(op + base, static_cast<size_t>(len)));
+    for (int64_t u = 0; u < units; ++u) {
+        const QuantUnitRange r = quantUnitAt(in, cfg, u);
+        fn(std::span<const float>(ip + r.base,
+                                  static_cast<size_t>(r.len)),
+           std::span<float>(op + r.base, static_cast<size_t>(r.len)));
     }
 }
 
-/** Number of quantization units for a tensor under a configuration. */
-int64_t quantUnitCount(const Tensor &t, const QuantConfig &cfg);
+/**
+ * Units handed to one parallelForEachQuantUnit chunk. Units are small
+ * (typically one 64-element group), so batch enough of them that the
+ * scheduling cost disappears; the value is part of the deterministic
+ * chunk geometry and must not depend on the thread count.
+ */
+inline constexpr int64_t kQuantUnitGrain = 32;
+
+/**
+ * Parallel sibling of forEachQuantUnit: invoke
+ * fn(int64_t chunk, std::span<const float> in, std::span<float> out)
+ * once per unit, partitioned into fixed chunks of kQuantUnitGrain
+ * units. Each unit writes a disjoint output range; chunk indices are
+ * dense in [0, quantUnitChunkCount) so callers can reduce into
+ * per-chunk accumulators and merge them in chunk order — bit-identical
+ * results at any thread count.
+ */
+template <typename Fn>
+void
+parallelForEachQuantUnit(const Tensor &in, Tensor &out,
+                         const QuantConfig &cfg, Fn &&fn)
+{
+    const int64_t units = quantUnitCount(in, cfg);
+    const float *ip = in.data();
+    float *op = out.data();
+    parallelFor(
+        0, units, kQuantUnitGrain,
+        [&](int64_t ub, int64_t ue, int64_t chunk) {
+            for (int64_t u = ub; u < ue; ++u) {
+                const QuantUnitRange r = quantUnitAt(in, cfg, u);
+                fn(chunk,
+                   std::span<const float>(ip + r.base,
+                                          static_cast<size_t>(r.len)),
+                   std::span<float>(op + r.base,
+                                    static_cast<size_t>(r.len)));
+            }
+        });
+}
+
+/** Number of chunks parallelForEachQuantUnit uses for a tensor. */
+inline int64_t
+quantUnitChunkCount(const Tensor &t, const QuantConfig &cfg)
+{
+    return parallelChunkCount(0, quantUnitCount(t, cfg),
+                              kQuantUnitGrain);
+}
 
 } // namespace mant
 

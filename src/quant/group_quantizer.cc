@@ -54,10 +54,11 @@ quantDequantFixed(const Tensor &input, const NumericFormat &format,
                   const QuantConfig &cfg, QuantStats *stats)
 {
     Tensor out(input.shape());
-    forEachQuantUnit(input, out, cfg,
-                     [&](std::span<const float> in, std::span<float> o) {
-                         roundUnit(in, o, format, cfg.fp16Scale);
-                     });
+    parallelForEachQuantUnit(
+        input, out, cfg,
+        [&](int64_t, std::span<const float> in, std::span<float> o) {
+            roundUnit(in, o, format, cfg.fp16Scale);
+        });
     if (stats) {
         stats->unitCount = quantUnitCount(input, cfg);
         stats->metaBits = metaBitsPerElement(input, cfg, 0);
@@ -72,19 +73,34 @@ quantDequantAdaptive(const Tensor &input,
                      const QuantConfig &cfg, QuantStats *stats)
 {
     Tensor out(input.shape());
-    std::vector<int64_t> counts(formats.size(), 0);
-    std::vector<float> scratch;
 
-    forEachQuantUnit(
+    // When stats are requested, each chunk tallies grid selections
+    // into its own row of one flat counter slab; rows are merged in
+    // chunk-index order below, so the result is bit-identical at any
+    // thread count. Without stats the tally is skipped entirely.
+    const size_t n_formats = formats.size();
+    std::vector<int64_t> chunk_counts;
+    if (stats) {
+        chunk_counts.assign(
+            static_cast<size_t>(quantUnitChunkCount(input, cfg)) *
+                n_formats,
+            0);
+    }
+
+    parallelForEachQuantUnit(
         input, out, cfg,
-        [&](std::span<const float> in, std::span<float> o) {
+        [&](int64_t chunk, std::span<const float> in,
+            std::span<float> o) {
+            // Reused across units on the same thread; fully rewritten
+            // before every read, so determinism is unaffected.
+            thread_local std::vector<float> scratch;
             scratch.resize(in.size());
             double best_err = INFINITY;
             int best = 0;
-            for (size_t f = 0; f < formats.size(); ++f) {
+            for (size_t f = 0; f < n_formats; ++f) {
                 const double err =
-                    roundUnit(in, std::span<float>(scratch), *formats[f],
-                              cfg.fp16Scale);
+                    roundUnit(in, std::span<float>(scratch),
+                              *formats[f], cfg.fp16Scale);
                 if (err < best_err) {
                     best_err = err;
                     best = static_cast<int>(f);
@@ -92,10 +108,18 @@ quantDequantAdaptive(const Tensor &input,
             }
             roundUnit(in, o, *formats[static_cast<size_t>(best)],
                       cfg.fp16Scale);
-            ++counts[static_cast<size_t>(best)];
+            if (stats) {
+                ++chunk_counts[static_cast<size_t>(chunk) * n_formats +
+                               static_cast<size_t>(best)];
+            }
         });
 
     if (stats) {
+        std::vector<int64_t> counts(n_formats, 0);
+        for (size_t c = 0; c * n_formats < chunk_counts.size(); ++c) {
+            for (size_t f = 0; f < n_formats; ++f)
+                counts[f] += chunk_counts[c * n_formats + f];
+        }
         stats->unitCount = quantUnitCount(input, cfg);
         // ANT-style type selector costs ceil(log2(#types)) bits per unit.
         int sel_bits = 0;
@@ -235,20 +259,21 @@ quantDequantKMeans(const Tensor &input, int k, const QuantConfig &cfg,
                    QuantStats *stats, int lloydIters)
 {
     Tensor out(input.shape());
-    std::vector<float> sorted, centroids;
-
-    forEachQuantUnit(
+    parallelForEachQuantUnit(
         input, out, cfg,
-        [&](std::span<const float> in, std::span<float> o) {
+        [&](int64_t, std::span<const float> in, std::span<float> o) {
+            // Reused across units on the same thread; fully rewritten
+            // per unit, so determinism is unaffected.
+            thread_local std::vector<float> sorted;
             const size_t n = in.size();
             sorted.assign(in.begin(), in.end());
             std::sort(sorted.begin(), sorted.end());
 
             // Exact interval DP for group-sized units; Lloyd's for
             // channel/tensor units where O(k n^2) would be too slow.
-            centroids = n <= 256
-                            ? kmeans1dExact(sorted, k)
-                            : kmeans1dLloyd(sorted, k, lloydIters);
+            const std::vector<float> centroids =
+                n <= 256 ? kmeans1dExact(sorted, k)
+                         : kmeans1dLloyd(sorted, k, lloydIters);
 
             for (size_t i = 0; i < n; ++i) {
                 const int c = nearestLevel(

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -45,6 +46,23 @@ TEST(FusedDot, IdentityHoldsForEveryCoefficient)
         EXPECT_EQ(static_cast<int64_t>(a) * p.psum1 + p.psum2, direct)
             << "a=" << a;
     }
+}
+
+TEST(FusedDot, SacShiftGuardsExtremeMagnitudes)
+{
+    // Grid magnitudes are 0..7; the SAC lane must stay defined (and
+    // int64-widened) even for magnitudes a corrupted code could carry.
+    EXPECT_EQ(sacShift(1, 0), 1);
+    EXPECT_EQ(sacShift(-3, 2), -12);
+    EXPECT_EQ(sacShift(127, 7), 127 * 128);
+    EXPECT_EQ(sacShift(1, 62), int64_t{1} << 62);
+    // Beyond the int64 width the value wraps (uint64 shift semantics);
+    // the point is defined behavior, not a meaningful product.
+    EXPECT_EQ(sacShift(1, 63), std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(sacShift(1, 1000), std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(sacShift(2, 62), std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(sacShift(-1, -5), -1);
+    EXPECT_EQ(sacShift(0, 40), 0);
 }
 
 TEST(FusedDot, EmptyIsZero)

@@ -202,6 +202,74 @@ TEST(Fp16Scale, RoundingScaleMattersLittle)
     EXPECT_NEAR(sf.mse, se.mse, se.mse * 0.2 + 1e-12);
 }
 
+/**
+ * Property: quantize-dequantize is idempotent. A dequantized tensor
+ * lies exactly on the grid its scale implies, so requantizing it must
+ * be a fixed point — for every fixed format at every granularity the
+ * sweep covers, bit-exactly.
+ */
+class RoundTripSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const NumericFormat *, int64_t>>
+{};
+
+TEST_P(RoundTripSweep, QuantDequantIsIdempotent)
+{
+    const auto [fmt, g] = GetParam();
+    // 96 columns: group 32 divides, 40 leaves a ragged tail, 128
+    // clamps to one group per row, -1 means per-row, 1 is per-element.
+    const Tensor t = test::gaussianTensor(Shape{6, 96}, 501);
+    const Tensor once = quantDequantFixed(t, *fmt, groupCfg(g));
+    const Tensor twice = quantDequantFixed(once, *fmt, groupCfg(g));
+    ASSERT_EQ(once.shape(), t.shape());
+    for (int64_t i = 0; i < once.numel(); ++i)
+        ASSERT_EQ(once[i], twice[i])
+            << fmt->name() << " group=" << g << " index " << i;
+}
+
+std::string
+roundTripName(
+    const ::testing::TestParamInfo<std::tuple<const NumericFormat *,
+                                              int64_t>> &info)
+{
+    const NumericFormat *fmt = std::get<0>(info.param);
+    const int64_t g = std::get<1>(info.param);
+    std::string name(fmt->name());
+    name += g < 0 ? "_gneg1" : "_g" + std::to_string(g);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatsAndGroups, RoundTripSweep,
+    ::testing::Combine(
+        ::testing::Values(
+            static_cast<const NumericFormat *>(&int4Format()),
+            static_cast<const NumericFormat *>(&int8Format()),
+            static_cast<const NumericFormat *>(&pot4Format()),
+            static_cast<const NumericFormat *>(&flint4Format()),
+            static_cast<const NumericFormat *>(&nf4Format()),
+            static_cast<const NumericFormat *>(&mxfp4Format())),
+        ::testing::Values<int64_t>(-1, 1, 32, 128, 40)),
+    roundTripName);
+
+TEST(RoundTrip, AdaptiveIsIdempotent)
+{
+    // The adaptive engine re-selects grids on the second pass, but a
+    // tensor already on its chosen grids quantizes to itself (each
+    // unit's winning grid reproduces it with zero error).
+    const Tensor t = test::gaussianTensor(Shape{6, 96}, 502);
+    for (int64_t g : {-1L, 1L, 32L, 128L, 40L}) {
+        const Tensor once =
+            quantDequantAdaptive(t, antTypeSet(), groupCfg(g));
+        QuantStats stats;
+        const Tensor twice =
+            quantDequantAdaptive(once, antTypeSet(), groupCfg(g), &stats);
+        EXPECT_EQ(test::maxDiff(once.span(), twice.span()), 0.0)
+            << "group " << g;
+        EXPECT_EQ(stats.mse, 0.0) << "group " << g;
+    }
+}
+
 /** Parameterized sweep: every engine preserves shape and determinism. */
 class EngineSweep : public ::testing::TestWithParam<int64_t>
 {};

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Tests for the parallel execution subsystem: parallelFor semantics
+ * (chunk geometry, nesting, exceptions, MANT_THREADS resolution) and
+ * the determinism guarantee — every parallelized kernel must produce
+ * bit-identical results at any thread count.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fused_gemm.h"
+#include "core/parallel.h"
+#include "model/calibration.h"
+#include "model/model_profiles.h"
+#include "model/transformer.h"
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+/** Saves/restores MANT_THREADS and clears any programmatic override. */
+class ThreadEnvGuard
+{
+  public:
+    ThreadEnvGuard()
+    {
+        const char *v = std::getenv("MANT_THREADS");
+        if (v) {
+            had_ = true;
+            saved_ = v;
+        }
+        setMaxThreads(0);
+    }
+
+    ~ThreadEnvGuard()
+    {
+        if (had_)
+            setenv("MANT_THREADS", saved_.c_str(), 1);
+        else
+            unsetenv("MANT_THREADS");
+        setMaxThreads(0);
+    }
+
+  private:
+    bool had_ = false;
+    std::string saved_;
+};
+
+/** Run fn under a pinned thread budget, then clear the override. */
+template <typename Fn>
+auto
+withThreads(int n, Fn &&fn)
+{
+    setMaxThreads(n);
+    auto restore = [] { setMaxThreads(0); };
+    try {
+        auto result = fn();
+        restore();
+        return result;
+    } catch (...) {
+        restore();
+        throw;
+    }
+}
+
+bool
+bytesEqual(std::span<const float> a, std::span<const float> b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void
+expectStatsIdentical(const QuantStats &a, const QuantStats &b)
+{
+    // Bit-exact doubles: the determinism contract is exact equality,
+    // not tolerance.
+    EXPECT_EQ(a.mse, b.mse);
+    EXPECT_EQ(a.nmse, b.nmse);
+    EXPECT_EQ(a.unitCount, b.unitCount);
+    EXPECT_EQ(a.metaBits, b.metaBits);
+    EXPECT_EQ(a.formatCounts, b.formatCounts);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokes)
+{
+    ThreadEnvGuard env;
+    std::atomic<int> calls{0};
+    parallelFor(0, 0, 4, [&](int64_t, int64_t, int64_t) { ++calls; });
+    parallelFor(5, 5, 4, [&](int64_t, int64_t, int64_t) { ++calls; });
+    parallelFor(7, 3, 4, [&](int64_t, int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(parallelChunkCount(0, 0, 4), 0);
+    EXPECT_EQ(parallelChunkCount(7, 3, 4), 0);
+}
+
+TEST(ParallelFor, SingletonRangeRunsInline)
+{
+    ThreadEnvGuard env;
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> seen;
+    parallelFor(3, 4, 16, [&](int64_t b, int64_t e, int64_t c) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        seen.emplace_back(b, e, c);
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    const std::tuple<int64_t, int64_t, int64_t> expected{3, 4, 0};
+    EXPECT_EQ(seen[0], expected);
+}
+
+TEST(ParallelFor, ChunkGeometryIsFixedAndUnbalancedTailIsShort)
+{
+    ThreadEnvGuard env;
+    EXPECT_EQ(parallelChunkCount(0, 10, 4), 3);
+    // Thread count must not affect the chunk geometry.
+    for (int threads : {1, 2, 8}) {
+        auto chunks = withThreads(threads, [&] {
+            std::mutex mu;
+            std::vector<std::tuple<int64_t, int64_t, int64_t>> seen;
+            parallelFor(0, 10, 4, [&](int64_t b, int64_t e, int64_t c) {
+                std::lock_guard<std::mutex> lk(mu);
+                seen.emplace_back(b, e, c);
+            });
+            std::sort(seen.begin(), seen.end());
+            return seen;
+        });
+        ASSERT_EQ(chunks.size(), 3u) << "threads=" << threads;
+        const std::vector<std::tuple<int64_t, int64_t, int64_t>>
+            expected{{0, 4, 0}, {4, 8, 1}, {8, 10, 2}};
+        EXPECT_EQ(chunks, expected) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnce)
+{
+    ThreadEnvGuard env;
+    constexpr int64_t kN = 1000;
+    auto visits = withThreads(8, [&] {
+        std::vector<std::atomic<int>> v(kN);
+        parallelFor(0, kN, 7, [&](int64_t b, int64_t e, int64_t) {
+            for (int64_t i = b; i < e; ++i)
+                ++v[static_cast<size_t>(i)];
+        });
+        std::vector<int> out;
+        for (auto &x : v)
+            out.push_back(x.load());
+        return out;
+    });
+    for (int64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(visits[static_cast<size_t>(i)], 1) << "index " << i;
+}
+
+TEST(ParallelFor, GrainBelowOneIsClampedToOne)
+{
+    ThreadEnvGuard env;
+    EXPECT_EQ(parallelChunkCount(0, 5, 0), 5);
+    EXPECT_EQ(parallelChunkCount(0, 5, -3), 5);
+    std::atomic<int> calls{0};
+    parallelFor(0, 5, 0, [&](int64_t b, int64_t e, int64_t) {
+        EXPECT_EQ(e, b + 1);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadEnvGuard env;
+    auto sums = withThreads(4, [&] {
+        std::vector<int64_t> outer(8, 0);
+        parallelFor(0, 8, 1, [&](int64_t b, int64_t e, int64_t) {
+            for (int64_t i = b; i < e; ++i) {
+                const auto inner_thread = std::this_thread::get_id();
+                int64_t sum = 0;
+                parallelFor(0, 100, 9,
+                            [&](int64_t ib, int64_t ie, int64_t) {
+                                // Nested bodies must stay on the same
+                                // thread (inline execution).
+                                EXPECT_EQ(std::this_thread::get_id(),
+                                          inner_thread);
+                                for (int64_t j = ib; j < ie; ++j)
+                                    sum += j;
+                            });
+                outer[static_cast<size_t>(i)] = sum;
+            }
+        });
+        return outer;
+    });
+    for (int64_t s : sums)
+        EXPECT_EQ(s, 99 * 100 / 2);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller)
+{
+    ThreadEnvGuard env;
+    for (int threads : {1, 4}) {
+        setMaxThreads(threads);
+        EXPECT_THROW(
+            parallelFor(0, 64, 1,
+                        [&](int64_t b, int64_t, int64_t) {
+                            if (b == 13)
+                                throw std::runtime_error("chunk 13");
+                        }),
+            std::runtime_error)
+            << "threads=" << threads;
+    }
+    setMaxThreads(0);
+    // The pool must stay usable after a failed job.
+    std::atomic<int64_t> sum{0};
+    setMaxThreads(4);
+    parallelFor(0, 100, 3, [&](int64_t b, int64_t e, int64_t) {
+        for (int64_t i = b; i < e; ++i)
+            sum += i;
+    });
+    setMaxThreads(0);
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelFor, UsesAtMostMaxThreads)
+{
+    ThreadEnvGuard env;
+    auto ids = withThreads(3, [&] {
+        std::mutex mu;
+        std::set<std::thread::id> seen;
+        parallelFor(0, 256, 1, [&](int64_t, int64_t, int64_t) {
+            std::lock_guard<std::mutex> lk(mu);
+            seen.insert(std::this_thread::get_id());
+        });
+        return seen;
+    });
+    EXPECT_LE(ids.size(), 3u);
+    EXPECT_GE(ids.size(), 1u);
+}
+
+TEST(MaxThreads, EnvAndOverrideResolution)
+{
+    ThreadEnvGuard env;
+
+    unsetenv("MANT_THREADS");
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+
+    setenv("MANT_THREADS", "3", 1);
+    EXPECT_EQ(maxThreads(), 3);
+
+    // 0, negative and garbage all fall back to the hardware default.
+    setenv("MANT_THREADS", "0", 1);
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+    setenv("MANT_THREADS", "-4", 1);
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+    setenv("MANT_THREADS", "garbage", 1);
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+    setenv("MANT_THREADS", "2x", 1);
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+    setenv("MANT_THREADS", "", 1);
+    EXPECT_EQ(maxThreads(), hardwareThreads());
+
+    // Programmatic override beats the environment; clearing it
+    // falls back to the environment again.
+    setenv("MANT_THREADS", "3", 1);
+    setMaxThreads(5);
+    EXPECT_EQ(maxThreads(), 5);
+    setMaxThreads(0);
+    EXPECT_EQ(maxThreads(), 3);
+
+    // Absurd values are capped, not honored literally.
+    setenv("MANT_THREADS", "99999999", 1);
+    EXPECT_LE(maxThreads(), 256);
+}
+
+TEST(ParallelFor, EnvVarControlsWorkerCount)
+{
+    ThreadEnvGuard env;
+    setenv("MANT_THREADS", "1", 1);
+    const auto caller = std::this_thread::get_id();
+    parallelFor(0, 128, 1, [&](int64_t, int64_t, int64_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+/* ------------------------------------------------------------------ */
+/* Determinism: parallel kernels are bit-identical at any thread count */
+/* ------------------------------------------------------------------ */
+
+QuantConfig
+groupCfg(int64_t g)
+{
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = g;
+    return cfg;
+}
+
+TEST(Determinism, QuantDequantFixedBitIdentical)
+{
+    ThreadEnvGuard env;
+    // 200 columns: ragged tail groups exercise the unit indexing.
+    const Tensor t = test::gaussianTensor(Shape{16, 200}, 401);
+    auto run = [&](int threads) {
+        return withThreads(threads, [&] {
+            QuantStats stats;
+            Tensor out =
+                quantDequantFixed(t, int4Format(), groupCfg(64), &stats);
+            return std::make_pair(std::move(out), stats);
+        });
+    };
+    const auto [ref, refStats] = run(1);
+    for (int threads : {2, 8}) {
+        const auto [out, stats] = run(threads);
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "threads=" << threads;
+        expectStatsIdentical(refStats, stats);
+    }
+}
+
+TEST(Determinism, QuantDequantAdaptiveBitIdentical)
+{
+    ThreadEnvGuard env;
+    const Tensor t = test::gaussianTensor(Shape{16, 200}, 402);
+    auto run = [&](int threads) {
+        return withThreads(threads, [&] {
+            QuantStats stats;
+            Tensor out = quantDequantAdaptive(t, antTypeSet(),
+                                              groupCfg(64), &stats);
+            return std::make_pair(std::move(out), stats);
+        });
+    };
+    const auto [ref, refStats] = run(1);
+    ASSERT_EQ(refStats.formatCounts.size(), antTypeSet().size());
+    for (int threads : {2, 8}) {
+        const auto [out, stats] = run(threads);
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "threads=" << threads;
+        expectStatsIdentical(refStats, stats);
+    }
+}
+
+TEST(Determinism, QuantDequantKMeansBitIdentical)
+{
+    ThreadEnvGuard env;
+    const Tensor t = test::gaussianTensor(Shape{8, 200}, 403);
+    auto run = [&](int threads) {
+        return withThreads(threads, [&] {
+            QuantStats stats;
+            Tensor out = quantDequantKMeans(t, 16, groupCfg(64), &stats);
+            return std::make_pair(std::move(out), stats);
+        });
+    };
+    const auto [ref, refStats] = run(1);
+    for (int threads : {2, 8}) {
+        const auto [out, stats] = run(threads);
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "threads=" << threads;
+        expectStatsIdentical(refStats, stats);
+    }
+}
+
+TEST(Determinism, FusedGemmPipelineBitIdentical)
+{
+    ThreadEnvGuard env;
+    const Tensor w = test::gaussianTensor(Shape{24, 200}, 404, 0.02);
+    const Tensor x = test::gaussianTensor(Shape{5, 200}, 405);
+    auto run = [&](int threads) {
+        return withThreads(threads, [&] {
+            const MantQuantizedMatrix qw =
+                MantQuantizedMatrix::quantize(w, 64);
+            const auto qx = Int8QuantizedActivations::quantize(x, 64);
+            return std::make_pair(fusedGemm(qx, qw), qw.dequantize());
+        });
+    };
+    const auto [refOut, refDeq] = run(1);
+    for (int threads : {2, 8}) {
+        const auto [out, deq] = run(threads);
+        EXPECT_TRUE(bytesEqual(refOut.span(), out.span()))
+            << "threads=" << threads;
+        EXPECT_TRUE(bytesEqual(refDeq.span(), deq.span()))
+            << "threads=" << threads;
+    }
+}
+
+TEST(Determinism, MantEncodeCodesBitIdentical)
+{
+    ThreadEnvGuard env;
+    const Tensor w = test::gaussianTensor(Shape{32, 128}, 406, 0.02);
+    auto codes = [&](int threads) {
+        return withThreads(threads, [&] {
+            const MantQuantizedMatrix q =
+                MantQuantizedMatrix::quantize(w, 32);
+            std::vector<int8_t> all;
+            for (int64_t r = 0; r < q.rows(); ++r) {
+                const auto row = q.rowCodes(r);
+                all.insert(all.end(), row.begin(), row.end());
+            }
+            return all;
+        });
+    };
+    const auto ref = codes(1);
+    EXPECT_EQ(ref, codes(2));
+    EXPECT_EQ(ref, codes(8));
+}
+
+TEST(Determinism, CalibrationAccumulateBitIdentical)
+{
+    ThreadEnvGuard env;
+    const Tensor x = test::gaussianTensor(Shape{40, 700}, 407);
+    auto power = [&](int threads) {
+        return withThreads(threads, [&] {
+            ModelCalibration calib;
+            calib.accumulate(0, LinearSlot::AttnIn, x);
+            calib.accumulate(0, LinearSlot::AttnIn, x);
+            calib.finalize();
+            const auto p = calib.power(0, LinearSlot::AttnIn);
+            return std::vector<double>(p.begin(), p.end());
+        });
+    };
+    const auto ref = power(1);
+    ASSERT_EQ(ref.size(), 700u);
+    // Exact double equality: per-column accumulation order is fixed.
+    EXPECT_EQ(ref, power(2));
+    EXPECT_EQ(ref, power(8));
+}
+
+TEST(Determinism, TransformerLogitsBitIdentical)
+{
+    ThreadEnvGuard env;
+    const ModelProfile profile = test::tinyProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 128);
+    std::vector<int32_t> toks;
+    Rng rng(408);
+    for (int i = 0; i < 12; ++i)
+        toks.push_back(static_cast<int32_t>(rng.uniformInt(128)));
+
+    auto logits = [&](int threads) {
+        return withThreads(threads, [&] {
+            Transformer m(weights, mantW4A8Setup(32));
+            return m.prefill(toks);
+        });
+    };
+    const Tensor ref = logits(1);
+    for (int threads : {2, 8}) {
+        const Tensor out = logits(threads);
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "threads=" << threads;
+    }
+}
+
+} // namespace
+} // namespace mant
