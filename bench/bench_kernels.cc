@@ -2,14 +2,23 @@
  * Kernel microbenchmarks (google-benchmark): the fused MANT integer
  * dot product vs the dequantize-then-float path vs plain INT8, the
  * encode paths, the real-time quantization primitives, and
- * serial-vs-parallel throughput for the threaded kernels.
+ * scalar-vs-SIMD × serial-vs-parallel throughput for the dispatched
+ * kernels.
  *
  * Unless --benchmark_out is given explicitly, results are also written
  * to BENCH_kernels.json (google-benchmark JSON) in the working
  * directory, so CI records the perf trajectory per commit.
  *
- * Threaded benchmarks take the thread budget as their argument:
- * /1 pins the kernel serial, /0 resolves to all hardware threads.
+ * The matrix benchmarks take two arguments, /threads/simd:
+ *   threads: 1 pins the kernel serial, 0 resolves to all hardware
+ *            threads (MANT_THREADS-style).
+ *   simd:    0 pins the scalar backend, 1 follows the environment
+ *            (MANT_SIMD or the best available path).
+ * Each run reports a `checksum` counter — a fixed-order sum over the
+ * produced values. The determinism contract says checksums must be
+ * identical across every /threads/simd variant and across
+ * MANT_SIMD=scalar vs =auto runs of the whole binary; CI diffs the
+ * two JSON files and fails on any mismatch.
  */
 
 #include <benchmark/benchmark.h>
@@ -21,6 +30,8 @@
 #include "core/fused_gemm.h"
 #include "core/kv_quant.h"
 #include "core/parallel.h"
+#include "core/simd.h"
+#include "model/quantized_linear.h"
 #include "quant/fixed_formats.h"
 #include "quant/group_quantizer.h"
 #include "tensor/distribution.h"
@@ -145,7 +156,9 @@ BM_VarianceSelect(benchmark::State &state)
 BENCHMARK(BM_VarianceSelect);
 
 /* ------------------------------------------------------------------ */
-/* Serial vs parallel kernel throughput (arg = thread budget, 0=auto)  */
+/* Scalar-vs-SIMD × serial-vs-parallel kernel throughput               */
+/* (args = /threads/simd: threads 0 = all hardware, 1 = serial;        */
+/*  simd 0 = scalar backend, 1 = environment / best available)         */
 /* ------------------------------------------------------------------ */
 
 constexpr int64_t kBigDim = 4096;
@@ -162,55 +175,180 @@ bigMatrix()
 }
 
 void
-setBenchThreads(benchmark::State &state)
+setBenchMode(benchmark::State &state)
 {
     setMaxThreads(static_cast<int>(state.range(0)));
+    setSimdPath(state.range(1) == 0 ? SimdPath::Scalar
+                                    : SimdPath::Auto);
     state.counters["threads"] = static_cast<double>(maxThreads());
+    state.counters["simd"] =
+        static_cast<double>(static_cast<int>(activeSimdPath()));
+    state.SetLabel(simdOps().name);
+}
+
+void
+clearBenchMode()
+{
+    setMaxThreads(0);
+    setSimdPath(SimdPath::Auto);
+}
+
+/** Fixed-order output digest: bit-identical tensors <=> equal sums. */
+double
+checksum(std::span<const float> xs)
+{
+    double acc = 0.0;
+    for (float x : xs)
+        acc += static_cast<double>(x);
+    return acc;
 }
 
 static void
 BM_AdaptiveQuant4096(benchmark::State &state)
 {
-    setBenchThreads(state);
+    setBenchMode(state);
     const Tensor &w = bigMatrix();
     QuantConfig cfg;
     cfg.gran = Granularity::PerGroup;
     cfg.groupSize = 64;
+    Tensor q;
     for (auto _ : state) {
-        auto q = quantDequantAdaptive(w, antTypeSet(), cfg);
+        q = quantDequantAdaptive(w, antTypeSet(), cfg);
         benchmark::DoNotOptimize(q);
     }
+    state.counters["checksum"] = checksum(q.span());
     state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
-    setMaxThreads(0);
+    clearBenchMode();
 }
 BENCHMARK(BM_AdaptiveQuant4096)
-    ->Arg(1)
-    ->Arg(0)
+    ->ArgsProduct({{1, 0}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
 static void
 BM_MantEncode4096(benchmark::State &state)
 {
-    setBenchThreads(state);
+    setBenchMode(state);
     const Tensor &w = bigMatrix();
+    MantQuantizedMatrix q;
     for (auto _ : state) {
-        auto q = MantQuantizedMatrix::quantize(w, 64);
+        q = MantQuantizedMatrix::quantize(w, 64);
         benchmark::DoNotOptimize(q);
     }
+    double sum = 0.0;
+    for (int64_t r = 0; r < q.rows(); ++r)
+        for (int8_t c : q.rowCodes(r))
+            sum += c;
+    state.counters["checksum"] = sum;
     state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
-    setMaxThreads(0);
+    clearBenchMode();
 }
 BENCHMARK(BM_MantEncode4096)
-    ->Arg(1)
-    ->Arg(0)
+    ->ArgsProduct({{1, 0}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
 static void
+BM_Dequantize4096(benchmark::State &state)
+{
+    setBenchMode(state);
+    const MantQuantizedMatrix qw =
+        MantQuantizedMatrix::quantize(bigMatrix(), 64);
+    Tensor out;
+    for (auto _ : state) {
+        out = qw.dequantize();
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["checksum"] = checksum(out.span());
+    state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
+    clearBenchMode();
+}
+BENCHMARK(BM_Dequantize4096)
+    ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Raw dequantize kernel into a preallocated buffer: isolates the LUT
+ * decode from the output-tensor allocation that dominates the
+ * end-to-end BM_Dequantize4096 walltime.
+ */
+static void
+BM_DequantKernel(benchmark::State &state)
+{
+    setBenchMode(state);
+    constexpr int64_t kElems = int64_t{1} << 22;
+    std::vector<int8_t> codes(static_cast<size_t>(kElems));
+    std::vector<float> out(static_cast<size_t>(kElems));
+    Rng rng(4646);
+    for (auto &c : codes)
+        c = static_cast<int8_t>(rng.uniformInt(16));
+    float lut[16];
+    for (int i = 0; i < 16; ++i)
+        lut[i] = static_cast<float>(
+            mantCodeValue(17, static_cast<MantCode>(i)));
+    const SimdOps &ops = simdOps();
+    for (auto _ : state) {
+        ops.dequantLut16(codes.data(), out.data(), kElems, lut,
+                         0.01f);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.counters["checksum"] =
+        checksum(std::span<const float>(out));
+    state.SetItemsProcessed(state.iterations() * kElems);
+    clearBenchMode();
+}
+BENCHMARK(BM_DequantKernel)
+    ->ArgsProduct({{1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_QuantizeFixed4096(benchmark::State &state)
+{
+    setBenchMode(state);
+    const Tensor &w = bigMatrix();
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = 64;
+    Tensor out;
+    for (auto _ : state) {
+        out = quantDequantFixed(w, int4Format(), cfg);
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["checksum"] = checksum(out.span());
+    state.SetItemsProcessed(state.iterations() * kBigDim * kBigDim);
+    clearBenchMode();
+}
+BENCHMARK(BM_QuantizeFixed4096)
+    ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_Int8ActQuantize(benchmark::State &state)
+{
+    setBenchMode(state);
+    Rng rng(4444);
+    Tensor x(Shape{64, kBigDim});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    Tensor out;
+    for (auto _ : state) {
+        const auto qx = Int8QuantizedActivations::quantize(x, 64);
+        out = qx.dequantize();
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["checksum"] = checksum(out.span());
+    state.SetItemsProcessed(state.iterations() * x.numel());
+    clearBenchMode();
+}
+BENCHMARK(BM_Int8ActQuantize)
+    ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+static void
 BM_FusedGemmThreaded(benchmark::State &state)
 {
-    setBenchThreads(state);
+    setBenchMode(state);
     constexpr int64_t kM = 32, kK = 1024, kNOut = 512;
     DistProfile p;
     Rng rng(4343);
@@ -220,16 +358,41 @@ BM_FusedGemmThreaded(benchmark::State &state)
         x[i] = static_cast<float>(rng.gaussian());
     const MantQuantizedMatrix qw = MantQuantizedMatrix::quantize(w, 64);
     const auto qx = Int8QuantizedActivations::quantize(x, 64);
+    Tensor out;
     for (auto _ : state) {
-        Tensor out = fusedGemm(qx, qw);
+        out = fusedGemm(qx, qw);
         benchmark::DoNotOptimize(out);
     }
+    state.counters["checksum"] = checksum(out.span());
     state.SetItemsProcessed(state.iterations() * kM * kK * kNOut);
-    setMaxThreads(0);
+    clearBenchMode();
 }
 BENCHMARK(BM_FusedGemmThreaded)
-    ->Arg(1)
-    ->Arg(0)
+    ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_LinearNT(benchmark::State &state)
+{
+    setBenchMode(state);
+    constexpr int64_t kM = 32, kK = 1024, kNOut = 512;
+    Rng rng(4545);
+    Tensor x(Shape{kM, kK}), w(Shape{kNOut, kK});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.gaussian(0.0, 0.02));
+    Tensor out;
+    for (auto _ : state) {
+        out = linearNT(x, w);
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["checksum"] = checksum(out.span());
+    state.SetItemsProcessed(state.iterations() * kM * kK * kNOut);
+    clearBenchMode();
+}
+BENCHMARK(BM_LinearNT)
+    ->ArgsProduct({{1, 0}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 static void

@@ -3,42 +3,58 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.h"
 #include "quant/fixed_formats.h"
-#include "tensor/fp16.h"
 
 namespace mant {
+
+namespace {
+
+double
+groupErrorWithAbsMax(const SimdOps &ops, std::span<const float> group,
+                     const NumericFormat &fmt, float absmax,
+                     std::span<const double> weights, bool fp16Scale,
+                     float *scaleOut)
+{
+    const float scale = fmt.storedScaleFor(absmax, fp16Scale);
+    if (scaleOut)
+        *scaleOut = scale;
+    const auto levels = fmt.levels();
+    return ops.unitError(group.data(), std::ssize(group),
+                         levels.data(),
+                         static_cast<int>(levels.size()), scale,
+                         weights.empty() ? nullptr : weights.data());
+}
+
+} // namespace
+
+double
+groupError(const SimdOps &ops, std::span<const float> group,
+           const NumericFormat &fmt, std::span<const double> weights,
+           bool fp16Scale, float *scaleOut)
+{
+    return groupErrorWithAbsMax(
+        ops, group, fmt, ops.absMax(group.data(), std::ssize(group)),
+        weights, fp16Scale, scaleOut);
+}
 
 double
 groupError(std::span<const float> group, const NumericFormat &fmt,
            std::span<const double> weights, bool fp16Scale, float *scaleOut)
 {
-    float absmax = 0.0f;
-    for (float x : group)
-        absmax = std::max(absmax, std::fabs(x));
-    float scale = fmt.scaleFor(absmax);
-    if (fp16Scale)
-        scale = fp16Round(scale);
-    if (scale == 0.0f)
-        scale = 1.0f;
-    if (scaleOut)
-        *scaleOut = scale;
-
-    double err = 0.0;
-    for (size_t i = 0; i < group.size(); ++i) {
-        const double d =
-            static_cast<double>(group[i]) - fmt.quantizeValue(group[i], scale);
-        const double w = weights.empty() ? 1.0 : weights[i];
-        err += w * d * d;
-    }
-    return err;
+    return groupError(simdOps(), group, fmt, weights, fp16Scale,
+                      scaleOut);
 }
 
 MantSelection
-searchCoefficient(std::span<const float> group, std::span<const int> candidates,
+searchCoefficient(const SimdOps &ops, std::span<const float> group,
+                  std::span<const int> candidates,
                   std::span<const double> weights, bool fp16Scale)
 {
     if (candidates.empty())
         candidates = mantCoefficientSet();
+
+    const float absmax = ops.absMax(group.data(), std::ssize(group));
 
     MantSelection best;
     best.err = INFINITY;
@@ -46,7 +62,8 @@ searchCoefficient(std::span<const float> group, std::span<const int> candidates,
     for (int a : candidates) {
         float scale = 0.0f;
         const double err =
-            groupError(group, mantFormat(a), weights, fp16Scale, &scale);
+            groupErrorWithAbsMax(ops, group, mantFormat(a), absmax,
+                                 weights, fp16Scale, &scale);
         if (err < best.err) {
             best = MantSelection{false, a, err, scale};
         }
@@ -54,31 +71,44 @@ searchCoefficient(std::span<const float> group, std::span<const int> candidates,
     {
         float scale = 0.0f;
         const double err =
-            groupError(group, int4Format(), weights, fp16Scale, &scale);
+            groupErrorWithAbsMax(ops, group, int4Format(), absmax,
+                                 weights, fp16Scale, &scale);
         if (err < best.err)
             best = MantSelection{true, 0, err, scale};
     }
     return best;
 }
 
+MantSelection
+searchCoefficient(std::span<const float> group, std::span<const int> candidates,
+                  std::span<const double> weights, bool fp16Scale)
+{
+    return searchCoefficient(simdOps(), group, candidates, weights,
+                             fp16Scale);
+}
+
 float
-applySelection(std::span<const float> group, const MantSelection &sel,
-               std::span<float> out, bool fp16Scale)
+applySelection(const SimdOps &ops, std::span<const float> group,
+               const MantSelection &sel, std::span<float> out,
+               bool fp16Scale)
 {
     const NumericFormat &fmt =
         sel.isInt ? static_cast<const NumericFormat &>(int4Format())
                   : mantFormat(sel.a);
-    float absmax = 0.0f;
-    for (float x : group)
-        absmax = std::max(absmax, std::fabs(x));
-    float scale = fmt.scaleFor(absmax);
-    if (fp16Scale)
-        scale = fp16Round(scale);
-    if (scale == 0.0f)
-        scale = 1.0f;
-    for (size_t i = 0; i < group.size(); ++i)
-        out[i] = fmt.quantizeValue(group[i], scale);
+    const float scale = fmt.storedScaleFor(
+        ops.absMax(group.data(), std::ssize(group)), fp16Scale);
+    const auto levels = fmt.levels();
+    ops.quantizeUnit(group.data(), out.data(), std::ssize(group),
+                     levels.data(), static_cast<int>(levels.size()),
+                     scale);
     return scale;
+}
+
+float
+applySelection(std::span<const float> group, const MantSelection &sel,
+               std::span<float> out, bool fp16Scale)
+{
+    return applySelection(simdOps(), group, sel, out, fp16Scale);
 }
 
 } // namespace mant

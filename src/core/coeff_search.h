@@ -16,6 +16,7 @@
 #include <span>
 
 #include "core/mant_grid.h"
+#include "core/simd.h"
 
 namespace mant {
 
@@ -38,7 +39,15 @@ struct MantSelection
 /**
  * Quantize-dequantize a group with one candidate and return the
  * weighted squared error. `weights` may be empty (plain MSE).
+ *
+ * The SimdOps overloads let hot loops resolve the kernel backend once
+ * per engine call instead of once per group (simdOps() re-reads the
+ * MANT_SIMD environment); the short forms forward to simdOps().
  */
+double groupError(const SimdOps &ops, std::span<const float> group,
+                  const NumericFormat &fmt,
+                  std::span<const double> weights, bool fp16Scale,
+                  float *scaleOut);
 double groupError(std::span<const float> group, const NumericFormat &fmt,
                   std::span<const double> weights, bool fp16Scale,
                   float *scaleOut);
@@ -52,6 +61,11 @@ double groupError(std::span<const float> group, const NumericFormat &fmt,
  *                   empty means plain MSE.
  * @param fp16Scale  Round scales through FP16 storage.
  */
+MantSelection searchCoefficient(const SimdOps &ops,
+                                std::span<const float> group,
+                                std::span<const int> candidates = {},
+                                std::span<const double> weights = {},
+                                bool fp16Scale = true);
 MantSelection searchCoefficient(std::span<const float> group,
                                 std::span<const int> candidates = {},
                                 std::span<const double> weights = {},
@@ -61,6 +75,9 @@ MantSelection searchCoefficient(std::span<const float> group,
  * Quantize-dequantize one group with an already-chosen selection;
  * returns the scale used (FP16-rounded if requested).
  */
+float applySelection(const SimdOps &ops, std::span<const float> group,
+                     const MantSelection &sel, std::span<float> out,
+                     bool fp16Scale = true);
 float applySelection(std::span<const float> group, const MantSelection &sel,
                      std::span<float> out, bool fp16Scale = true);
 

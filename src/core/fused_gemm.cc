@@ -1,15 +1,44 @@
 #include "core/fused_gemm.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "quant/fixed_formats.h"
 #include "tensor/fp16.h"
 
 namespace mant {
+
+namespace {
+
+/** Sorted-level-index -> sign-magnitude code map for encodeCodes. */
+const int8_t *
+mantIndexToCodeLut()
+{
+    static const std::array<int8_t, 2 * kMantMagnitudes> lut = [] {
+        std::array<int8_t, 2 * kMantMagnitudes> t{};
+        for (int i = 0; i < 2 * kMantMagnitudes; ++i)
+            t[static_cast<size_t>(i)] =
+                static_cast<int8_t>(MantFormat::indexToCode(i));
+        return t;
+    }();
+    return lut.data();
+}
+
+/** 16-entry nibble -> value table of one MANT group's grid. */
+void
+mantValueLut(int a, float lut[16])
+{
+    for (int c = 0; c < 16; ++c)
+        lut[c] = static_cast<float>(
+            mantCodeValue(a, static_cast<MantCode>(c)));
+}
+
+} // namespace
 
 MantPsums
 fusedDot(std::span<const int32_t> x, std::span<const MantCode> codes)
@@ -53,6 +82,7 @@ MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
     // Rows are independent: each writes its own code/meta stripe, and
     // the per-group coefficient search is a pure function of the group,
     // so the encode is bit-identical at any thread count.
+    const SimdOps &ops = simdOps();
     parallelFor(0, q.rows_, 1, [&](int64_t rb, int64_t re, int64_t) {
         for (int64_t r = rb; r < re; ++r) {
             const float *row = w.data() + r * q.cols_;
@@ -67,8 +97,8 @@ MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
                                              static_cast<size_t>(len))
                         : std::span<const double>{};
 
-                const MantSelection sel =
-                    searchCoefficient(group, {}, weights, fp16Scale);
+                const MantSelection sel = searchCoefficient(
+                    ops, group, {}, weights, fp16Scale);
                 MantGroupMeta &meta =
                     q.meta_[static_cast<size_t>(r * q.groupsPerRow_ + g)];
                 meta.scale = sel.scale;
@@ -77,18 +107,14 @@ MantQuantizedMatrix::quantize(const Tensor &w, int64_t groupSize,
 
                 int8_t *codes = q.codes_.data() + r * q.cols_ + k0;
                 if (sel.isInt) {
-                    for (int64_t i = 0; i < len; ++i) {
-                        const float qv = std::round(
-                            group[static_cast<size_t>(i)] / meta.scale);
-                        codes[i] = static_cast<int8_t>(
-                            std::clamp(qv, -7.0f, 7.0f));
-                    }
+                    ops.quantizeRoundClamp(group.data(), codes, len,
+                                           meta.scale, 7);
                 } else {
-                    const MantFormat &fmt = mantFormat(sel.a);
-                    for (int64_t i = 0; i < len; ++i) {
-                        codes[i] = static_cast<int8_t>(fmt.encodeToCode(
-                            group[static_cast<size_t>(i)], meta.scale));
-                    }
+                    const auto levels = mantFormat(sel.a).levels();
+                    ops.encodeCodes(group.data(), codes, len,
+                                    levels.data(),
+                                    static_cast<int>(levels.size()),
+                                    mantIndexToCodeLut(), meta.scale);
                 }
             }
         }
@@ -120,6 +146,17 @@ Tensor
 MantQuantizedMatrix::dequantize() const
 {
     Tensor out(Shape{rows_, cols_});
+    const SimdOps &ops = simdOps();
+    // One nibble->value table per possible coefficient, built once up
+    // front instead of once per group — groups are as short as 16
+    // codes, so a per-group rebuild would cost a quarter of the
+    // decode itself. Sized for the full uint8 field, not just the
+    // 7-bit wire-format range: fromParts() accepts arbitrary meta, so
+    // a hostile a > 127 must stay an in-bounds lookup (decoding to
+    // the same arithmetic values the pre-LUT code produced).
+    std::vector<std::array<float, 16>> luts(256);
+    for (int a = 0; a < 256; ++a)
+        mantValueLut(a, luts[static_cast<size_t>(a)].data());
     parallelFor(0, rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
         for (int64_t r = rb; r < re; ++r) {
             const int8_t *codes = codes_.data() + r * cols_;
@@ -129,17 +166,16 @@ MantQuantizedMatrix::dequantize() const
                     meta_[static_cast<size_t>(r * groupsPerRow_ + g)];
                 const int64_t k0 = g * groupSize_;
                 const int64_t len = std::min(groupSize_, cols_ - k0);
-                for (int64_t i = 0; i < len; ++i) {
-                    if (m.isInt) {
-                        orow[k0 + i] =
-                            static_cast<float>(codes[k0 + i]) * m.scale;
-                    } else {
-                        orow[k0 + i] =
-                            static_cast<float>(mantCodeValue(
-                                m.a,
-                                static_cast<MantCode>(codes[k0 + i]))) *
-                            m.scale;
-                    }
+                if (m.isInt) {
+                    // INT groups store sign-extended int8 codes.
+                    ops.dequantInt8(codes + k0, orow + k0, len,
+                                    m.scale);
+                } else {
+                    // MANT groups decode through the 16-entry grid
+                    // of this group's coefficient (low nibble only,
+                    // matching mantMagnitude/mantSign).
+                    ops.dequantLut16(codes + k0, orow + k0, len,
+                                     luts[m.a].data(), m.scale);
                 }
             }
         }
@@ -180,6 +216,7 @@ Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
     q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
     q.scales_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
 
+    const SimdOps &ops = simdOps();
     parallelFor(0, q.rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
         for (int64_t r = rb; r < re; ++r) {
             const float *row = x.data() + r * q.cols_;
@@ -187,21 +224,15 @@ Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
             for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
                 const int64_t k0 = g * q.groupSize_;
                 const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
-                float absmax = 0.0f;
-                for (int64_t i = 0; i < len; ++i)
-                    absmax = std::max(absmax, std::fabs(row[k0 + i]));
-                float scale = absmax / 127.0f;
+                float scale = ops.absMax(row + k0, len) / 127.0f;
                 if (fp16Scale)
                     scale = fp16Round(scale);
                 if (scale == 0.0f)
                     scale = 1.0f;
                 q.scales_[static_cast<size_t>(r * q.groupsPerRow_ + g)] =
                     scale;
-                for (int64_t i = 0; i < len; ++i) {
-                    const float qv = std::round(row[k0 + i] / scale);
-                    codes[k0 + i] = static_cast<int8_t>(
-                        std::clamp(qv, -127.0f, 127.0f));
-                }
+                ops.quantizeRoundClamp(row + k0, codes + k0, len,
+                                       scale, 127);
             }
         }
     });
@@ -212,6 +243,7 @@ Tensor
 Int8QuantizedActivations::dequantize() const
 {
     Tensor out(Shape{rows_, cols_});
+    const SimdOps &ops = simdOps();
     parallelFor(0, rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
         for (int64_t r = rb; r < re; ++r) {
             const int8_t *codes = codes_.data() + r * cols_;
@@ -221,8 +253,7 @@ Int8QuantizedActivations::dequantize() const
                     scales_[static_cast<size_t>(r * groupsPerRow_ + g)];
                 const int64_t k0 = g * groupSize_;
                 const int64_t len = std::min(groupSize_, cols_ - k0);
-                for (int64_t i = 0; i < len; ++i)
-                    orow[k0 + i] = static_cast<float>(codes[k0 + i]) * s;
+                ops.dequantInt8(codes + k0, orow + k0, len, s);
             }
         }
     });
@@ -249,6 +280,7 @@ fusedGemm(const Int8QuantizedActivations &x, const MantQuantizedMatrix &w)
     // unlike row partitioning, it still scales for single-token decode
     // (m_dim == 1) against a wide weight matrix.
     Tensor out(Shape{m_dim, n_dim});
+    const SimdOps &ops = simdOps();
     parallelFor(
         0, m_dim * n_dim, 8, [&](int64_t cb, int64_t ce, int64_t) {
             for (int64_t cell = cb; cell < ce; ++cell) {
@@ -265,29 +297,18 @@ fusedGemm(const Int8QuantizedActivations &x, const MantQuantizedMatrix &w)
 
                     if (meta.isInt) {
                         // Plain INT4 group: MAC lane only.
-                        int64_t psum = 0;
-                        for (int64_t i = 0; i < len; ++i) {
-                            psum += static_cast<int64_t>(xrow[k0 + i]) *
-                                    wrow[k0 + i];
-                        }
+                        const int64_t psum =
+                            ops.dotInt8(xrow + k0, wrow + k0, len);
                         acc += static_cast<double>(psum) *
                                static_cast<double>(sx) *
                                static_cast<double>(meta.scale);
                     } else {
                         // Fused MANT group: MAC + SAC lanes (Eq. 5).
-                        int64_t psum1 = 0, psum2 = 0;
-                        for (int64_t i = 0; i < len; ++i) {
-                            const MantCode c =
-                                static_cast<MantCode>(wrow[k0 + i]);
-                            const int mag = mantMagnitude(c);
-                            const int sign = mantSign(c);
-                            const int64_t xv = xrow[k0 + i];
-                            psum1 += xv * (sign * mag);
-                            psum2 += sign * sacShift(xv, mag);
-                        }
+                        const SimdPsums p = ops.fusedDotMant(
+                            xrow + k0, wrow + k0, len);
                         acc += (static_cast<double>(meta.a) *
-                                    static_cast<double>(psum1) +
-                                static_cast<double>(psum2)) *
+                                    static_cast<double>(p.mac) +
+                                static_cast<double>(p.sac)) *
                                static_cast<double>(sx) *
                                static_cast<double>(meta.scale);
                     }

@@ -21,6 +21,7 @@
 #define MANT_CORE_FUSED_GEMM_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -44,12 +45,21 @@ struct MantPsums
  * range [0, 63]) and converts back with C++20 wraparound semantics,
  * so hostile magnitudes wrap instead of invoking UB; every magnitude
  * real codes emit is exact.
+ *
+ * Invariant (asserted in debug builds): the clamp is the sole guard
+ * between `magnitude` and the `<<` operator — the shift count that
+ * reaches the shift MUST lie in [0, 63], the entire domain on which
+ * a uint64 shift is defined. Real codes only produce [0, 7] (see
+ * mantMagnitude's 3-bit mask); anything larger is a hostile or
+ * corrupted input that the clamp deliberately wraps rather than
+ * rejects, so callers never need to pre-validate.
  */
 inline int64_t
 sacShift(int64_t x, int magnitude)
 {
     const unsigned m =
         static_cast<unsigned>(std::clamp(magnitude, 0, 63));
+    assert(m <= 63 && "sacShift: clamped shift must stay defined");
     return static_cast<int64_t>(static_cast<uint64_t>(x) << m);
 }
 

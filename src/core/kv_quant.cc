@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd.h"
 #include "tensor/fp16.h"
 
 namespace mant {
@@ -21,6 +22,8 @@ spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
     std::vector<MantSelection> selections;
     selections.reserve(static_cast<size_t>((n + g - 1) / g));
 
+    // Resolve the kernel backend once per row, not once per group.
+    const SimdOps &ops = simdOps();
     for (int64_t g0 = 0; g0 < n; g0 += g) {
         const int64_t len = std::min(g, n - g0);
         std::span<const float> group(values.data() + g0,
@@ -29,7 +32,7 @@ spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
         st.addAll(group);
         MantSelection sel = selector.selectFromStats(st);
         sel.scale = applySelection(
-            group, sel,
+            ops, group, sel,
             std::span<float>(out.data() + g0, static_cast<size_t>(len)),
             fp16Scale);
         selections.push_back(sel);
@@ -81,6 +84,8 @@ TemporalVQuantizer::pushPrefill(const Tensor &v)
     const int64_t full = (rows / window_) * window_;
     std::vector<float> column(static_cast<size_t>(window_));
     std::vector<float> column_out(static_cast<size_t>(window_));
+    // Resolve the kernel backend once per prefill, not per column.
+    const SimdOps &ops = simdOps();
     for (int64_t w0 = 0; w0 < full; w0 += window_) {
         const size_t base = finalized_.size();
         finalized_.resize(base +
@@ -92,7 +97,8 @@ TemporalVQuantizer::pushPrefill(const Tensor &v)
                 st.add(column[static_cast<size_t>(r)]);
             }
             MantSelection sel = selector_.selectFromStats(st);
-            sel.scale = applySelection(column, sel, column_out, fp16Scale_);
+            sel.scale = applySelection(ops, column, sel, column_out,
+                                       fp16Scale_);
             selections_.push_back(sel);
             for (int64_t r = 0; r < window_; ++r) {
                 finalized_[base +
@@ -137,6 +143,8 @@ TemporalVQuantizer::finalizeWindow()
     std::vector<float> column_out(static_cast<size_t>(window_));
     const size_t base = finalized_.size();
     finalized_.resize(base + static_cast<size_t>(window_ * channels_));
+    // Resolve the kernel backend once per window, not per channel.
+    const SimdOps &ops = simdOps();
 
     for (int64_t c = 0; c < channels_; ++c) {
         const float s = channelScales_[static_cast<size_t>(c)];
@@ -148,7 +156,8 @@ TemporalVQuantizer::finalizeWindow()
         // Variance from the streamed Σv, Σv² (Eq. 7) picks the type.
         MantSelection sel =
             selector_.selectFromStats(stats_[static_cast<size_t>(c)]);
-        sel.scale = applySelection(column, sel, column_out, fp16Scale_);
+        sel.scale = applySelection(ops, column, sel, column_out,
+                                   fp16Scale_);
         selections_.push_back(sel);
         for (int64_t r = 0; r < window_; ++r) {
             finalized_[base + static_cast<size_t>(r * channels_ + c)] =

@@ -134,7 +134,24 @@ class MantFormat : public NumericFormat
  */
 std::span<const int> mantCoefficientSet();
 
-/** Shared immutable MantFormat instances for the coefficient set. */
+/**
+ * Shared immutable MantFormat instance for a coefficient, built on
+ * first use and cached for the life of the process.
+ *
+ * Concurrency contract (relied on by the parallel encode engines,
+ * which call this once per candidate per group from many threads):
+ *
+ *  - the read path is lock-free — one acquire load per call; a mutex
+ *    here would serialize the whole coefficient search;
+ *  - slots are immortal: once a MantFormat pointer is published
+ *    (release store) it is never replaced or freed, so a reader can
+ *    hold the reference indefinitely without synchronization;
+ *  - construction races are resolved by a single builder mutex
+ *    (double-checked), so each coefficient is constructed exactly
+ *    once.
+ *
+ * Throws std::invalid_argument for a outside [0, kMantMaxCoefficient].
+ */
 const MantFormat &mantFormat(int a);
 
 /**

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Runtime SIMD dispatch: CPU capability detection, MANT_SIMD /
+ * setSimdPath() resolution, and the backend table registry.
+ */
+
+#include "core/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mant {
+
+namespace simd_detail {
+extern const SimdOps kScalarOps;
+/** Null when the backend is not compiled in (wrong target ISA). */
+const SimdOps *avx2Ops();
+const SimdOps *neonOps();
+} // namespace simd_detail
+
+namespace {
+
+/** Programmatic override; Auto means "no override". */
+std::atomic<SimdPath> gSimdOverride{SimdPath::Auto};
+
+bool
+pathAvailable(SimdPath path)
+{
+    switch (path) {
+      case SimdPath::Scalar:
+        return true;
+      case SimdPath::Avx2:
+        return simd_detail::avx2Ops() != nullptr;
+      case SimdPath::Neon:
+        return simd_detail::neonOps() != nullptr;
+      case SimdPath::Auto:
+      default:
+        return false;
+    }
+}
+
+/**
+ * One warning per process per failure kind, so a hot loop resolving
+ * the path every call cannot spam stderr.
+ */
+void
+warnOnce(std::atomic<bool> &flag, const char *fmt, const char *arg)
+{
+    bool expected = false;
+    if (flag.compare_exchange_strong(expected, true)) {
+        std::fprintf(stderr, fmt, arg);
+        std::fflush(stderr);
+    }
+}
+
+/** Parse a MANT_SIMD-style name; Auto + ok=false on garbage. */
+SimdPath
+parsePathName(const char *s, bool *ok)
+{
+    char buf[8] = {};
+    size_t n = 0;
+    for (; s[n] != '\0' && n < sizeof(buf) - 1; ++n)
+        buf[n] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s[n])));
+    *ok = s[n] == '\0';
+    if (!*ok)
+        return SimdPath::Auto;
+    if (std::strcmp(buf, "auto") == 0)
+        return SimdPath::Auto;
+    if (std::strcmp(buf, "scalar") == 0)
+        return SimdPath::Scalar;
+    if (std::strcmp(buf, "avx2") == 0)
+        return SimdPath::Avx2;
+    if (std::strcmp(buf, "neon") == 0)
+        return SimdPath::Neon;
+    *ok = false;
+    return SimdPath::Auto;
+}
+
+} // namespace
+
+const char *
+simdPathName(SimdPath path)
+{
+    switch (path) {
+      case SimdPath::Scalar:
+        return "scalar";
+      case SimdPath::Avx2:
+        return "avx2";
+      case SimdPath::Neon:
+        return "neon";
+      case SimdPath::Auto:
+      default:
+        return "auto";
+    }
+}
+
+SimdPath
+bestSimdPath()
+{
+    static const SimdPath best = [] {
+        if (pathAvailable(SimdPath::Avx2))
+            return SimdPath::Avx2;
+        if (pathAvailable(SimdPath::Neon))
+            return SimdPath::Neon;
+        return SimdPath::Scalar;
+    }();
+    return best;
+}
+
+SimdPath
+activeSimdPath()
+{
+    static std::atomic<bool> warnedOverride{false};
+    static std::atomic<bool> warnedEnvParse{false};
+    static std::atomic<bool> warnedEnvAvail{false};
+
+    const SimdPath override_ =
+        gSimdOverride.load(std::memory_order_relaxed);
+    if (override_ != SimdPath::Auto) {
+        if (pathAvailable(override_))
+            return override_;
+        warnOnce(warnedOverride,
+                 "mant: setSimdPath(%s): backend unavailable on this "
+                 "CPU, falling back to auto\n",
+                 simdPathName(override_));
+        return bestSimdPath();
+    }
+    // Re-read the environment every call so tests (and long-lived
+    // servers) can adjust MANT_SIMD at runtime, matching MANT_THREADS.
+    if (const char *env = std::getenv("MANT_SIMD")) {
+        bool ok = false;
+        const SimdPath wanted = parsePathName(env, &ok);
+        if (!ok) {
+            warnOnce(warnedEnvParse,
+                     "mant: MANT_SIMD=%s: expected "
+                     "auto|scalar|avx2|neon, falling back to auto\n",
+                     env);
+        } else if (wanted != SimdPath::Auto) {
+            if (pathAvailable(wanted))
+                return wanted;
+            warnOnce(warnedEnvAvail,
+                     "mant: MANT_SIMD=%s: backend unavailable on this "
+                     "CPU, falling back to auto\n",
+                     env);
+        }
+    }
+    return bestSimdPath();
+}
+
+void
+setSimdPath(SimdPath path)
+{
+    gSimdOverride.store(path, std::memory_order_relaxed);
+}
+
+const SimdOps &
+simdOpsFor(SimdPath path)
+{
+    switch (path == SimdPath::Auto ? activeSimdPath() : path) {
+      case SimdPath::Avx2:
+        if (const SimdOps *ops = simd_detail::avx2Ops())
+            return *ops;
+        break;
+      case SimdPath::Neon:
+        if (const SimdOps *ops = simd_detail::neonOps())
+            return *ops;
+        break;
+      default:
+        break;
+    }
+    return simd_detail::kScalarOps;
+}
+
+const SimdOps &
+simdOps()
+{
+    return simdOpsFor(activeSimdPath());
+}
+
+} // namespace mant

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * SIMD kernel layer with runtime ISA dispatch.
+ *
+ * Every hot inner loop of the library — group quantize/dequantize,
+ * the MANT coefficient-search error accumulation, the fused GEMM's
+ * MAC/SAC lanes, `linearNT`, and calibration accumulation — funnels
+ * through the function-pointer table returned by simdOps(). Three
+ * backends implement the table: a portable scalar reference, AVX2+FMA
+ * (x86-64), and NEON (aarch64). The backend is chosen at runtime from
+ * CPU capabilities, overridable via the MANT_SIMD environment variable
+ * or setSimdPath() — mirroring the MANT_THREADS / setMaxThreads pair.
+ *
+ * # Determinism contract (scalar ≡ SIMD, bit-exact)
+ *
+ * Every backend must produce bit-identical outputs for every kernel,
+ * so packed streams, dequantized tensors, and selection decisions are
+ * the same no matter which ISA path ran (tests/test_simd.cc enforces
+ * this). The contract rests on three rules:
+ *
+ *  1. *Integer reductions are free.* The fused GEMM's MAC and SAC
+ *     partial sums are exact integer arithmetic; lanes may reduce in
+ *     any order provided intermediate widths never overflow.
+ *
+ *  2. *Float reductions use one canonical lane geometry.* Reductions
+ *     that round (squared-error sums, float dot products) accumulate
+ *     into kSimdReduceLanes interleaved partial sums — lane j owns the
+ *     elements with index ≡ j (mod kSimdReduceLanes) — and merge with
+ *     combineReduceLanes(). The scalar backend implements exactly this
+ *     geometry, so wide backends match it instead of the other way
+ *     around.
+ *
+ *  3. *Rounding is explicit.* Elementwise ops use IEEE ops with one
+ *     rounding each (div, mul, sub behave identically in scalar and
+ *     vector form). FMA is used only where the product is exact (a
+ *     float×float product widened to double needs ≤ 48 significand
+ *     bits), making fused and unfused evaluation bit-equal. Backends
+ *     are compiled with -ffp-contract=off so the compiler cannot
+ *     introduce contractions the other backends lack.
+ */
+
+#ifndef MANT_CORE_SIMD_H_
+#define MANT_CORE_SIMD_H_
+
+#include <cstdint>
+
+namespace mant {
+
+/** Selectable kernel backends. Auto means "best available". */
+enum class SimdPath
+{
+    Auto,
+    Scalar,
+    Avx2,
+    Neon,
+};
+
+/** Lowercase name: "auto", "scalar", "avx2", "neon". */
+const char *simdPathName(SimdPath path);
+
+/** Best backend this CPU can run (never Auto; Scalar if nothing else). */
+SimdPath bestSimdPath();
+
+/**
+ * Resolved backend, in priority order: setSimdPath() override, then
+ * the MANT_SIMD environment variable (auto|scalar|avx2|neon, case
+ * insensitive), then bestSimdPath(). A value naming an unavailable
+ * backend, or garbage, falls back to auto with a one-time warning on
+ * stderr. Never returns Auto.
+ */
+SimdPath activeSimdPath();
+
+/**
+ * Programmatic backend override; beats MANT_SIMD. Pass SimdPath::Auto
+ * to clear. Requesting an unavailable backend falls back to auto with
+ * a one-time warning, like the environment variable.
+ */
+void setSimdPath(SimdPath path);
+
+/** Integer partial sums of one fused MANT group dot product. */
+struct SimdPsums
+{
+    int64_t mac = 0; ///< sum of x * (sign * magnitude)
+    int64_t sac = 0; ///< sum of sign * (x << magnitude)
+};
+
+/**
+ * Kernel table. All length parameters are element counts; all pointers
+ * must be valid for the stated counts (no alignment requirements).
+ * Level tables are sorted ascending; the nearest-level tie rule is the
+ * nearestLevel() contract (ties resolve to the lower level).
+ */
+struct SimdOps
+{
+    /** Backend name for diagnostics ("scalar", "avx2", "neon"). */
+    const char *name;
+
+    /** max_i |x[i]| (0 for n == 0). Exact in any order. */
+    float (*absMax)(const float *x, int64_t n);
+
+    /**
+     * Quantize-dequantize one unit: out[i] = levels[idx]*scale with
+     * idx = nearest level to in[i]/scale. Returns the squared error
+     * sum((in[i] - out[i])^2) in canonical lane order.
+     * Requires nLevels >= 1; vector paths engage for nLevels <= 16.
+     */
+    double (*quantizeUnit)(const float *in, float *out, int64_t n,
+                           const float *levels, int nLevels,
+                           float scale);
+
+    /**
+     * Error-only sibling of quantizeUnit (nothing stored): returns
+     * sum_i w_i * (in[i] - q(in[i]))^2 with w_i = weights[i], or 1
+     * when weights == nullptr. Unweighted results are bit-identical
+     * to quantizeUnit's return value.
+     */
+    double (*unitError)(const float *in, int64_t n, const float *levels,
+                        int nLevels, float scale,
+                        const double *weights);
+
+    /**
+     * Nearest-level encode straight to storage codes:
+     * codes[i] = codeLut[idx(in[i]/scale)]. codeLut has nLevels
+     * entries (e.g. the MANT sorted-index -> sign-magnitude map).
+     */
+    void (*encodeCodes)(const float *in, int8_t *codes, int64_t n,
+                        const float *levels, int nLevels,
+                        const int8_t *codeLut, float scale);
+
+    /**
+     * Codebook snap: out[i] = outLevels[nearestLevel(levels, in[i])].
+     * levels/outLevels both have nLevels entries (K-means centroids
+     * and their storage-rounded values).
+     */
+    void (*mapNearest)(const float *in, float *out, int64_t n,
+                       const float *levels, int nLevels,
+                       const float *outLevels);
+
+    /**
+     * Integer-grid encode: codes[i] = clamp(round(in[i]/scale),
+     * -maxq, maxq) with round-half-away-from-zero (std::round).
+     * Requires |in[i]/scale| < 2^23 and 0 < maxq <= 127.
+     */
+    void (*quantizeRoundClamp)(const float *in, int8_t *codes,
+                               int64_t n, float scale, int maxq);
+
+    /**
+     * Fused integer-grid quantize-dequantize:
+     * out[i] = clamp(round(in[i]/scale), -maxq, maxq) * scale.
+     * Same domain requirements as quantizeRoundClamp.
+     */
+    void (*roundClampDequant)(const float *in, float *out, int64_t n,
+                              float scale, float maxq);
+
+    /**
+     * 4-bit LUT dequantize: out[i] = lut16[codes[i] & 0xf] * scale.
+     * Covers MANT sign-magnitude groups and packed INT4 groups alike
+     * (the caller builds the 16-entry value table per group).
+     */
+    void (*dequantLut16)(const int8_t *codes, float *out, int64_t n,
+                         const float *lut16, float scale);
+
+    /** INT8 dequantize: out[i] = (float)codes[i] * scale. */
+    void (*dequantInt8)(const int8_t *codes, float *out, int64_t n,
+                        float scale);
+
+    /** Exact integer dot product: sum_i x[i] * w[i] (int8 operands). */
+    int64_t (*dotInt8)(const int8_t *x, const int8_t *w, int64_t n);
+
+    /**
+     * Fused MANT group dot product against INT8 activations. Only the
+     * low 4 bits of each wcodes byte participate (bit 3 = sign, bits
+     * 2..0 = magnitude), matching mantMagnitude()/mantSign().
+     */
+    SimdPsums (*fusedDotMant)(const int8_t *x, const int8_t *wcodes,
+                              int64_t n);
+
+    /**
+     * Float dot product accumulated in double, canonical lane order.
+     * Exact-product FMA allowed (rule 3 above).
+     */
+    double (*dotF32)(const float *x, const float *w, int64_t n);
+
+    /**
+     * Calibration second-moment accumulate: acc[i] += x[i]^2 in
+     * double. Lanes are independent columns, so vectorization never
+     * reorders any single column's running sum.
+     */
+    void (*accumulateSq)(const float *x, double *acc, int64_t n);
+};
+
+/** Kernel table for activeSimdPath(). Fetch once per engine call. */
+const SimdOps &simdOps();
+
+/** Kernel table for a specific backend (Auto = active). Used by the
+ *  parity tests and benches to pin a path per call site. */
+const SimdOps &simdOpsFor(SimdPath path);
+
+} // namespace mant
+
+#endif // MANT_CORE_SIMD_H_

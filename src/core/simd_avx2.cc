@@ -1,0 +1,523 @@
+/**
+ * @file
+ * AVX2 + FMA backend. Compiled with -mavx2 -mfma -ffp-contract=off on
+ * x86-64 (see src/CMakeLists.txt); on other targets the translation
+ * unit collapses to a null registration and dispatch never offers the
+ * path.
+ *
+ * Bit-exactness with the scalar backend (the contract in simd.h):
+ *  - nearest-level encode evaluates idx = sum_k [(x - L[k]) > (L[k+1]
+ *    - x)] with vsubps/vcmpps — the same IEEE subtractions the scalar
+ *    tie-break performs, and every non-boundary term is decided by the
+ *    sign of an exact comparison (see simd_common.h);
+ *  - rounding reductions keep the canonical 8-lane geometry: two
+ *    4-double accumulators hold lanes 0..3 / 4..7, merged by
+ *    combineReduceLanes(); squared-error terms use mul+add (two
+ *    roundings) exactly like the scalar code; FMA appears only where
+ *    the product is exact (float×float widened to double);
+ *  - integer lanes (MAC/SAC, INT8 dot) accumulate in int32 with
+ *    periodic widening to int64 well inside overflow bounds, so the
+ *    result equals the scalar int64 sum exactly;
+ *  - loop tails call the canonical scalar helpers with the lane
+ *    accumulators already in flight, so a 13-element unit follows the
+ *    identical code path mix on every backend.
+ */
+
+#include "core/simd_common.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace mant {
+namespace simd_detail {
+
+namespace {
+
+/** Widen one int32 accumulator vector into a scalar int64 (exact). */
+int64_t
+hsumEpi32ToI64(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const __m256i lo64 = _mm256_cvtepi32_epi64(lo);
+    const __m256i hi64 = _mm256_cvtepi32_epi64(hi);
+    const __m256i s = _mm256_add_epi64(lo64, hi64);
+    alignas(32) int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), s);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+/**
+ * Nearest-level indices for 8 normalized values. `levels` must be the
+ * caller's 16-entry padded copy; indices land in [0, nLevels - 1].
+ */
+__m256i
+nearestIdx8(__m256 norm, const float *levels, int nLevels)
+{
+    __m256i idx = _mm256_setzero_si256();
+    for (int k = 0; k + 1 < nLevels; ++k) {
+        const __m256 lo = _mm256_set1_ps(levels[k]);
+        const __m256 hi = _mm256_set1_ps(levels[k + 1]);
+        const __m256 lhs = _mm256_sub_ps(norm, lo);
+        const __m256 rhs = _mm256_sub_ps(hi, norm);
+        const __m256 gt = _mm256_cmp_ps(lhs, rhs, _CMP_GT_OQ);
+        // Mask is all-ones where true: subtracting adds 1.
+        idx = _mm256_sub_epi32(idx, _mm256_castps_si256(gt));
+    }
+    return idx;
+}
+
+/** Gather lut[idx] for 8 indices in [0, 15] from a 16-float table. */
+__m256
+gatherLut16(__m256 lutLo, __m256 lutHi, __m256i idx)
+{
+    // permutevar8x32 uses the low 3 bits of each lane; bit 3 selects
+    // the table half.
+    const __m256 lo = _mm256_permutevar8x32_ps(lutLo, idx);
+    const __m256 hi = _mm256_permutevar8x32_ps(lutHi, idx);
+    const __m256i inHi = _mm256_cmpgt_epi32(idx, _mm256_set1_epi32(7));
+    return _mm256_blendv_ps(lo, hi, _mm256_castsi256_ps(inHi));
+}
+
+/** Copy a level table into a 16-entry buffer, padding with the last
+ *  level so the vector gather never reads past the real entries. */
+void
+padLevels(const float *levels, int nLevels, float out[16])
+{
+    for (int i = 0; i < 16; ++i)
+        out[i] = levels[i < nLevels ? i : nLevels - 1];
+}
+
+float
+avx2AbsMax(const float *x, int64_t n)
+{
+    const __m256 absMask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 m8 = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v =
+            _mm256_and_ps(_mm256_loadu_ps(x + i), absMask);
+        // Operand order matters: maxps returns the SECOND operand on
+        // an unordered compare, so (v, m8) keeps the running maximum
+        // when v is NaN — matching std::max(m, fabs(x)), which
+        // ignores a NaN candidate. (m8, v) would let one NaN lane
+        // discard everything seen so far and break backend parity.
+        m8 = _mm256_max_ps(v, m8);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, m8);
+    float m = 0.0f;
+    for (int j = 0; j < 8; ++j)
+        m = std::max(m, lanes[j]);
+    for (; i < n; ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+/**
+ * Vector body shared by quantizeUnit and unitError: encode, decode,
+ * optional store, squared-error accumulation into the canonical lane
+ * accumulators. Returns the first unprocessed index.
+ */
+int64_t
+quantizeBlocks(const float *in, float *out, int64_t n,
+               const float *levels16, int nLevels, float scale,
+               const double *weights, __m256d &acc03, __m256d &acc47)
+{
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    const __m256 lutLo = _mm256_loadu_ps(levels16);
+    const __m256 lutHi = _mm256_loadu_ps(levels16 + 8);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 xv = _mm256_loadu_ps(in + i);
+        const __m256 norm = _mm256_div_ps(xv, scale8);
+        const __m256i idx = nearestIdx8(norm, levels16, nLevels);
+        const __m256 q =
+            _mm256_mul_ps(gatherLut16(lutLo, lutHi, idx), scale8);
+        if (out)
+            _mm256_storeu_ps(out + i, q);
+        const __m128 xlo = _mm256_castps256_ps128(xv);
+        const __m128 xhi = _mm256_extractf128_ps(xv, 1);
+        const __m128 qlo = _mm256_castps256_ps128(q);
+        const __m128 qhi = _mm256_extractf128_ps(q, 1);
+        const __m256d d03 =
+            _mm256_sub_pd(_mm256_cvtps_pd(xlo), _mm256_cvtps_pd(qlo));
+        const __m256d d47 =
+            _mm256_sub_pd(_mm256_cvtps_pd(xhi), _mm256_cvtps_pd(qhi));
+        __m256d c03, c47;
+        if (weights) {
+            // (w * d) * d: same three roundings as the scalar loop.
+            c03 = _mm256_mul_pd(
+                _mm256_mul_pd(_mm256_loadu_pd(weights + i), d03), d03);
+            c47 = _mm256_mul_pd(
+                _mm256_mul_pd(_mm256_loadu_pd(weights + i + 4), d47),
+                d47);
+        } else {
+            c03 = _mm256_mul_pd(d03, d03);
+            c47 = _mm256_mul_pd(d47, d47);
+        }
+        // add (not fmadd): d*d is inexact, the contract is mul+add.
+        acc03 = _mm256_add_pd(acc03, c03);
+        acc47 = _mm256_add_pd(acc47, c47);
+    }
+    return i;
+}
+
+double
+quantizeImpl(const float *in, float *out, int64_t n,
+             const float *levels, int nLevels, float scale,
+             const double *weights)
+{
+    alignas(32) float levels16[16];
+    padLevels(levels, nLevels, levels16);
+    __m256d acc03 = _mm256_setzero_pd();
+    __m256d acc47 = _mm256_setzero_pd();
+    const int64_t done = quantizeBlocks(in, out, n, levels16, nLevels,
+                                        scale, weights, acc03, acc47);
+    alignas(32) double lanes[kSimdReduceLanes];
+    _mm256_store_pd(lanes, acc03);
+    _mm256_store_pd(lanes + 4, acc47);
+    scalarQuantizeRange(in, out, done, n, levels, nLevels, scale,
+                        weights, lanes);
+    return combineReduceLanes(lanes);
+}
+
+double
+avx2QuantizeUnit(const float *in, float *out, int64_t n,
+                 const float *levels, int nLevels, float scale)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels)
+        return scalarQuantizeUnit(in, out, n, levels, nLevels, scale);
+    return quantizeImpl(in, out, n, levels, nLevels, scale, nullptr);
+}
+
+double
+avx2UnitError(const float *in, int64_t n, const float *levels,
+              int nLevels, float scale, const double *weights)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels)
+        return scalarUnitError(in, n, levels, nLevels, scale, weights);
+    return quantizeImpl(in, nullptr, n, levels, nLevels, scale,
+                        weights);
+}
+
+void
+avx2EncodeCodes(const float *in, int8_t *codes, int64_t n,
+                const float *levels, int nLevels, const int8_t *codeLut,
+                float scale)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels) {
+        scalarEncodeCodes(in, codes, n, levels, nLevels, codeLut,
+                          scale);
+        return;
+    }
+    alignas(32) float levels16[16];
+    padLevels(levels, nLevels, levels16);
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    int64_t i = 0;
+    alignas(32) int32_t idxBuf[8];
+    for (; i + 8 <= n; i += 8) {
+        const __m256 norm =
+            _mm256_div_ps(_mm256_loadu_ps(in + i), scale8);
+        const __m256i idx = nearestIdx8(norm, levels16, nLevels);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(idxBuf), idx);
+        for (int j = 0; j < 8; ++j)
+            codes[i + j] = codeLut[idxBuf[j]];
+    }
+    scalarEncodeCodes(in + i, codes + i, n - i, levels, nLevels,
+                      codeLut, scale);
+}
+
+void
+avx2MapNearest(const float *in, float *out, int64_t n,
+               const float *levels, int nLevels, const float *outLevels)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels) {
+        scalarMapNearest(in, out, n, levels, nLevels, outLevels);
+        return;
+    }
+    alignas(32) float levels16[16];
+    alignas(32) float outLevels16[16];
+    padLevels(levels, nLevels, levels16);
+    padLevels(outLevels, nLevels, outLevels16);
+    const __m256 lutLo = _mm256_loadu_ps(outLevels16);
+    const __m256 lutHi = _mm256_loadu_ps(outLevels16 + 8);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 xv = _mm256_loadu_ps(in + i);
+        const __m256i idx = nearestIdx8(xv, levels16, nLevels);
+        _mm256_storeu_ps(out + i, gatherLut16(lutLo, lutHi, idx));
+    }
+    scalarMapNearest(in + i, out + i, n - i, levels, nLevels,
+                     outLevels);
+}
+
+/** round-half-away-from-zero, the vector twin of roundHalfAway(). */
+__m256
+roundHalfAway8(__m256 x)
+{
+    const __m256 t =
+        _mm256_round_ps(x, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m256 f = _mm256_sub_ps(x, t);
+    const __m256 absMask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 half = _mm256_cmp_ps(_mm256_and_ps(f, absMask),
+                                      _mm256_set1_ps(0.5f),
+                                      _CMP_GE_OQ);
+    const __m256 signBit = _mm256_set1_ps(-0.0f);
+    const __m256 one = _mm256_or_ps(_mm256_and_ps(signBit, x),
+                                    _mm256_set1_ps(1.0f));
+    // Blend, don't add a masked zero: t + 0.0f would turn the -0.0f
+    // that trunc produces for small negative x into +0.0f, silently
+    // breaking bit-parity with the scalar std::round semantics.
+    return _mm256_blendv_ps(t, _mm256_add_ps(t, one), half);
+}
+
+__m256
+roundClamp8(__m256 xv, __m256 scale8, __m256 lo8, __m256 hi8)
+{
+    const __m256 q = roundHalfAway8(_mm256_div_ps(xv, scale8));
+    return _mm256_min_ps(_mm256_max_ps(q, lo8), hi8);
+}
+
+void
+avx2QuantizeRoundClamp(const float *in, int8_t *codes, int64_t n,
+                       float scale, int maxq)
+{
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    const __m256 hi8 = _mm256_set1_ps(static_cast<float>(maxq));
+    const __m256 lo8 = _mm256_set1_ps(-static_cast<float>(maxq));
+    int64_t i = 0;
+    alignas(32) int32_t qBuf[8];
+    for (; i + 8 <= n; i += 8) {
+        const __m256 r =
+            roundClamp8(_mm256_loadu_ps(in + i), scale8, lo8, hi8);
+        // r is integral in [-127, 127]; the convert is exact.
+        _mm256_store_si256(reinterpret_cast<__m256i *>(qBuf),
+                           _mm256_cvtps_epi32(r));
+        for (int j = 0; j < 8; ++j)
+            codes[i + j] = static_cast<int8_t>(qBuf[j]);
+    }
+    scalarQuantizeRoundClamp(in + i, codes + i, n - i, scale, maxq);
+}
+
+void
+avx2RoundClampDequant(const float *in, float *out, int64_t n,
+                      float scale, float maxq)
+{
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    const __m256 hi8 = _mm256_set1_ps(maxq);
+    const __m256 lo8 = _mm256_set1_ps(-maxq);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 r =
+            roundClamp8(_mm256_loadu_ps(in + i), scale8, lo8, hi8);
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(r, scale8));
+    }
+    scalarRoundClampDequant(in + i, out + i, n - i, scale, maxq);
+}
+
+void
+avx2DequantLut16(const int8_t *codes, float *out, int64_t n,
+                 const float *lut16, float scale)
+{
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    const __m256 lutLo = _mm256_loadu_ps(lut16);
+    const __m256 lutHi = _mm256_loadu_ps(lut16 + 8);
+    const __m256i nibMask = _mm256_set1_epi32(0xf);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(codes + i));
+        const __m256i idx =
+            _mm256_and_si256(_mm256_cvtepi8_epi32(raw), nibMask);
+        const __m256 v = gatherLut16(lutLo, lutHi, idx);
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(v, scale8));
+    }
+    scalarDequantLut16(codes + i, out + i, n - i, lut16, scale);
+}
+
+void
+avx2DequantInt8(const int8_t *codes, float *out, int64_t n, float scale)
+{
+    const __m256 scale8 = _mm256_set1_ps(scale);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(codes + i));
+        const __m256 v =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(v, scale8));
+    }
+    scalarDequantInt8(codes + i, out + i, n - i, scale);
+}
+
+/**
+ * int32 lanes widen to int64 at least every kWidenBlock elements:
+ * the largest per-iteration madd lane magnitude is 2 * 127 * 128 =
+ * 32512, so (kWidenBlock / 16) iterations stay below 2^27 * ~16 —
+ * comfortably inside int32.
+ */
+constexpr int64_t kWidenBlock = 1 << 16;
+
+int64_t
+avx2DotInt8(const int8_t *x, const int8_t *w, int64_t n)
+{
+    int64_t total = 0;
+    int64_t i = 0;
+    while (i + 16 <= n) {
+        const int64_t blockEnd = std::min(n, i + kWidenBlock);
+        __m256i acc = _mm256_setzero_si256();
+        for (; i + 16 <= blockEnd; i += 16) {
+            const __m128i xb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i));
+            const __m128i wb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w + i));
+            const __m256i x16 = _mm256_cvtepi8_epi16(xb);
+            const __m256i w16 = _mm256_cvtepi8_epi16(wb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(x16, w16));
+        }
+        total += hsumEpi32ToI64(acc);
+    }
+    total += scalarDotInt8(x + i, w + i, n - i);
+    return total;
+}
+
+SimdPsums
+avx2FusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
+{
+    // nibble -> sign * magnitude, as int8.
+    const __m128i tblMac = _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, //
+                                         0, -1, -2, -3, -4, -5, -6,
+                                         -7);
+    // nibble -> 2^magnitude, as *unsigned* bytes (128 = 0x80).
+    const __m128i tblPow = _mm_setr_epi8(
+        1, 2, 4, 8, 16, 32, 64, static_cast<char>(0x80), //
+        1, 2, 4, 8, 16, 32, 64, static_cast<char>(0x80));
+    const __m128i nibMask = _mm_set1_epi8(0xf);
+    const __m128i signBit = _mm_set1_epi8(0x8);
+
+    SimdPsums p;
+    int64_t i = 0;
+    while (i + 16 <= n) {
+        const int64_t blockEnd = std::min(n, i + kWidenBlock);
+        __m256i accMac = _mm256_setzero_si256();
+        __m256i accSac = _mm256_setzero_si256();
+        for (; i + 16 <= blockEnd; i += 16) {
+            const __m128i xb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i));
+            const __m128i wb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wcodes + i));
+            const __m128i nib = _mm_and_si128(wb, nibMask);
+            const __m256i x16 = _mm256_cvtepi8_epi16(xb);
+
+            const __m256i mac16 = _mm256_cvtepi8_epi16(
+                _mm_shuffle_epi8(tblMac, nib));
+            accMac = _mm256_add_epi32(accMac,
+                                      _mm256_madd_epi16(x16, mac16));
+
+            const __m256i pow16 = _mm256_cvtepu8_epi16(
+                _mm_shuffle_epi8(tblPow, nib));
+            const __m256i neg16 = _mm256_cvtepi8_epi16(_mm_cmpeq_epi8(
+                _mm_and_si128(nib, signBit), signBit));
+            // Conditional negate: (pow ^ mask) - mask.
+            const __m256i sac16 = _mm256_sub_epi16(
+                _mm256_xor_si256(pow16, neg16), neg16);
+            accSac = _mm256_add_epi32(accSac,
+                                      _mm256_madd_epi16(x16, sac16));
+        }
+        p.mac += hsumEpi32ToI64(accMac);
+        p.sac += hsumEpi32ToI64(accSac);
+    }
+    const SimdPsums tail = scalarFusedDotMant(x + i, wcodes + i, n - i);
+    p.mac += tail.mac;
+    p.sac += tail.sac;
+    return p;
+}
+
+double
+avx2DotF32(const float *x, const float *w, int64_t n)
+{
+    __m256d acc03 = _mm256_setzero_pd();
+    __m256d acc47 = _mm256_setzero_pd();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 xv = _mm256_loadu_ps(x + i);
+        const __m256 wv = _mm256_loadu_ps(w + i);
+        // float*float widened to double is exact, so FMA == mul+add.
+        acc03 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm256_castps256_ps128(xv)),
+            _mm256_cvtps_pd(_mm256_castps256_ps128(wv)), acc03);
+        acc47 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(wv, 1)), acc47);
+    }
+    alignas(32) double lanes[kSimdReduceLanes];
+    _mm256_store_pd(lanes, acc03);
+    _mm256_store_pd(lanes + 4, acc47);
+    scalarDotF32Range(x, w, i, n, lanes);
+    return combineReduceLanes(lanes);
+}
+
+void
+avx2AccumulateSq(const float *x, double *acc, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+        const __m256d a = _mm256_loadu_pd(acc + i);
+        // Exact product: FMA == mul+add (each lane is one column).
+        _mm256_storeu_pd(acc + i, _mm256_fmadd_pd(xd, xd, a));
+    }
+    scalarAccumulateSq(x + i, acc + i, n - i);
+}
+
+const SimdOps kAvx2Ops = {
+    "avx2",
+    &avx2AbsMax,
+    &avx2QuantizeUnit,
+    &avx2UnitError,
+    &avx2EncodeCodes,
+    &avx2MapNearest,
+    &avx2QuantizeRoundClamp,
+    &avx2RoundClampDequant,
+    &avx2DequantLut16,
+    &avx2DequantInt8,
+    &avx2DotInt8,
+    &avx2FusedDotMant,
+    &avx2DotF32,
+    &avx2AccumulateSq,
+};
+
+} // namespace
+
+const SimdOps *
+avx2Ops()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return &kAvx2Ops;
+#endif
+    return nullptr;
+}
+
+} // namespace simd_detail
+} // namespace mant
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace mant {
+namespace simd_detail {
+
+const SimdOps *
+avx2Ops()
+{
+    return nullptr;
+}
+
+} // namespace simd_detail
+} // namespace mant
+
+#endif

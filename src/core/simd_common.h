@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Canonical (scalar) kernel implementations shared by every SIMD
+ * backend. The scalar backend registers these directly; the wide
+ * backends call them for loop tails and for fallback cases (e.g.
+ * level tables wider than 16 entries), so every backend computes the
+ * exact same function by construction.
+ *
+ * Translation units including this header must be compiled with
+ * -ffp-contract=off: several loops rely on "multiply then add" being
+ * two IEEE roundings, and a compiler-fused FMA here would silently
+ * diverge from the backends that keep them separate.
+ *
+ * # Canonical reduction geometry
+ *
+ * Rounding float reductions accumulate into kSimdReduceLanes = 8
+ * interleaved partial sums: lane j owns indices i with i % 8 == j.
+ * A 256-bit backend holds lanes 0..3 and 4..7 in two double vectors;
+ * a 128-bit backend holds four pairs; the scalar code below keeps a
+ * plain array. combineReduceLanes() merges them in one fixed order:
+ *
+ *     c_j = lane[j] + lane[j + 4]   (j = 0..3)
+ *     total = ((c0 + c1) + c2) + c3
+ *
+ * which is exactly the cheapest in-register merge for the wide
+ * backends, so nobody pays extra for determinism.
+ */
+
+#ifndef MANT_CORE_SIMD_COMMON_H_
+#define MANT_CORE_SIMD_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/simd.h"
+
+namespace mant {
+namespace simd_detail {
+
+/** Lane count of the canonical float-reduction geometry. */
+inline constexpr int kSimdReduceLanes = 8;
+
+/** Level tables wider than this fall back to scalar binary search. */
+inline constexpr int kMaxVectorLevels = 16;
+
+/** Merge the canonical 8 partial sums in the fixed order. */
+inline double
+combineReduceLanes(const double lanes[kSimdReduceLanes])
+{
+    const double c0 = lanes[0] + lanes[4];
+    const double c1 = lanes[1] + lanes[5];
+    const double c2 = lanes[2] + lanes[6];
+    const double c3 = lanes[3] + lanes[7];
+    return ((c0 + c1) + c2) + c3;
+}
+
+/**
+ * Index of the level nearest to x, ties to the lower level — the
+ * nearestLevel() contract restated here so backends need not link
+ * quant/format.cc. Branchless vector backends compute the same index
+ * as sum_k [ (x - levels[k]) > (levels[k+1] - x) ]: the predicate is
+ * monotone non-increasing in k, every term except the boundary one is
+ * decided by exact sign comparison, and the boundary term is the very
+ * float expression evaluated below.
+ */
+inline int
+nearestLevelIndex(const float *levels, int nLevels, float x)
+{
+    int lo = 0, hi = nLevels;
+    while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (levels[mid] < x)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return 0;
+    if (lo == nLevels)
+        return nLevels - 1;
+    const int below = lo - 1;
+    return (x - levels[below]) <= (levels[lo] - x) ? below : lo;
+}
+
+inline float
+scalarAbsMax(const float *x, int64_t n)
+{
+    float m = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+/**
+ * Shared body of quantizeUnit/unitError. `out` may be null (error
+ * only); `weights` may be null (unweighted). `i0` biases the lane
+ * assignment so wide backends can run this for a tail starting at a
+ * non-zero index with the accumulators they already hold.
+ */
+inline void
+scalarQuantizeRange(const float *in, float *out, int64_t i0, int64_t n,
+                    const float *levels, int nLevels, float scale,
+                    const double *weights,
+                    double lanes[kSimdReduceLanes])
+{
+    for (int64_t i = i0; i < n; ++i) {
+        const float norm = in[i] / scale;
+        const int idx = nearestLevelIndex(levels, nLevels, norm);
+        const float q = levels[idx] * scale;
+        if (out)
+            out[i] = q;
+        const double d =
+            static_cast<double>(in[i]) - static_cast<double>(q);
+        double contrib = d * d;
+        if (weights)
+            contrib = (weights[i] * d) * d;
+        lanes[i % kSimdReduceLanes] += contrib;
+    }
+}
+
+inline double
+scalarQuantizeUnit(const float *in, float *out, int64_t n,
+                   const float *levels, int nLevels, float scale)
+{
+    double lanes[kSimdReduceLanes] = {};
+    scalarQuantizeRange(in, out, 0, n, levels, nLevels, scale, nullptr,
+                        lanes);
+    return combineReduceLanes(lanes);
+}
+
+inline double
+scalarUnitError(const float *in, int64_t n, const float *levels,
+                int nLevels, float scale, const double *weights)
+{
+    double lanes[kSimdReduceLanes] = {};
+    scalarQuantizeRange(in, nullptr, 0, n, levels, nLevels, scale,
+                        weights, lanes);
+    return combineReduceLanes(lanes);
+}
+
+inline void
+scalarEncodeCodes(const float *in, int8_t *codes, int64_t n,
+                  const float *levels, int nLevels,
+                  const int8_t *codeLut, float scale)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const int idx =
+            nearestLevelIndex(levels, nLevels, in[i] / scale);
+        codes[i] = codeLut[idx];
+    }
+}
+
+inline void
+scalarMapNearest(const float *in, float *out, int64_t n,
+                 const float *levels, int nLevels,
+                 const float *outLevels)
+{
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = outLevels[nearestLevelIndex(levels, nLevels, in[i])];
+}
+
+/**
+ * round-half-away-from-zero, the std::round contract, written in the
+ * trunc/fraction form every backend can reproduce exactly:
+ * t = trunc(x) and f = x - t are both exact for |x| < 2^23, so the
+ * half test and the ±1 adjustment match std::round bit-for-bit.
+ */
+inline float
+roundHalfAway(float x)
+{
+    const float t = std::trunc(x);
+    const float f = x - t;
+    if (std::fabs(f) >= 0.5f)
+        return t + std::copysign(1.0f, x);
+    return t;
+}
+
+/**
+ * Clamp with the x86 maxps/minps select semantics — "a > b ? a : b"
+ * returns the SECOND operand on an unordered compare — so a NaN
+ * input collapses to lo on every backend instead of diverging
+ * (std::clamp would propagate the NaN here, and casting that NaN to
+ * int8 would be undefined). Identical to std::clamp for all ordered
+ * inputs.
+ */
+inline float
+clampSelect(float q, float lo, float hi)
+{
+    const float a = q > lo ? q : lo;
+    return a < hi ? a : hi;
+}
+
+inline void
+scalarQuantizeRoundClamp(const float *in, int8_t *codes, int64_t n,
+                         float scale, int maxq)
+{
+    const float lo = -static_cast<float>(maxq);
+    const float hi = static_cast<float>(maxq);
+    for (int64_t i = 0; i < n; ++i) {
+        const float q = roundHalfAway(in[i] / scale);
+        codes[i] = static_cast<int8_t>(clampSelect(q, lo, hi));
+    }
+}
+
+inline void
+scalarRoundClampDequant(const float *in, float *out, int64_t n,
+                        float scale, float maxq)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const float q = roundHalfAway(in[i] / scale);
+        out[i] = clampSelect(q, -maxq, maxq) * scale;
+    }
+}
+
+inline void
+scalarDequantLut16(const int8_t *codes, float *out, int64_t n,
+                   const float *lut16, float scale)
+{
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = lut16[static_cast<uint8_t>(codes[i]) & 0xf] * scale;
+}
+
+inline void
+scalarDequantInt8(const int8_t *codes, float *out, int64_t n,
+                  float scale)
+{
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(codes[i]) * scale;
+}
+
+inline int64_t
+scalarDotInt8(const int8_t *x, const int8_t *w, int64_t n)
+{
+    int64_t acc = 0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += static_cast<int64_t>(x[i]) * w[i];
+    return acc;
+}
+
+inline SimdPsums
+scalarFusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
+{
+    SimdPsums p;
+    for (int64_t i = 0; i < n; ++i) {
+        const uint8_t c = static_cast<uint8_t>(wcodes[i]);
+        const int mag = c & 0x7;
+        const int sign = (c & 0x8) ? -1 : 1;
+        const int64_t xv = x[i];
+        p.mac += xv * (sign * mag);
+        p.sac += sign * static_cast<int64_t>(
+                            static_cast<uint64_t>(xv) << mag);
+    }
+    return p;
+}
+
+/** Tail/partial f32 dot: lanes biased by i0 like scalarQuantizeRange.
+ *  The float×float product is exact in double, so += here equals the
+ *  wide backends' FMA. */
+inline void
+scalarDotF32Range(const float *x, const float *w, int64_t i0, int64_t n,
+                  double lanes[kSimdReduceLanes])
+{
+    for (int64_t i = i0; i < n; ++i) {
+        lanes[i % kSimdReduceLanes] +=
+            static_cast<double>(x[i]) * static_cast<double>(w[i]);
+    }
+}
+
+inline double
+scalarDotF32(const float *x, const float *w, int64_t n)
+{
+    double lanes[kSimdReduceLanes] = {};
+    scalarDotF32Range(x, w, 0, n, lanes);
+    return combineReduceLanes(lanes);
+}
+
+inline void
+scalarAccumulateSq(const float *x, double *acc, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        acc[i] += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+}
+
+} // namespace simd_detail
+} // namespace mant
+
+#endif // MANT_CORE_SIMD_COMMON_H_

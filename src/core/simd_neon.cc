@@ -1,0 +1,489 @@
+/**
+ * @file
+ * NEON (aarch64 ASIMD) backend. ARMv8 mandates ASIMD, so no runtime
+ * CPU check is needed — availability is a compile-target question.
+ * On non-aarch64 targets the translation unit collapses to a null
+ * registration.
+ *
+ * The same bit-exactness rules as the AVX2 backend apply (see
+ * simd.h / simd_avx2.cc): canonical 8-lane reduction geometry held in
+ * four 2-double vectors, mul+add (never FMA) for inexact products,
+ * exact-product FMA for float×float-in-double, integer lanes widened
+ * to int64 inside overflow bounds, scalar-helper tails. Gathers
+ * (level decode, LUT dequant) run scalar; the vector win here is the
+ * branchless nearest-level compare ladder and the wide arithmetic.
+ */
+
+#include "core/simd_common.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace mant {
+namespace simd_detail {
+
+namespace {
+
+/** Merge four 2-lane accumulators exactly like combineReduceLanes. */
+double
+combineAcc(float64x2_t a01, float64x2_t a23, float64x2_t a45,
+           float64x2_t a67, double lanes[kSimdReduceLanes])
+{
+    vst1q_f64(lanes, a01);
+    vst1q_f64(lanes + 2, a23);
+    vst1q_f64(lanes + 4, a45);
+    vst1q_f64(lanes + 6, a67);
+    return combineReduceLanes(lanes);
+}
+
+float
+neonAbsMax(const float *x, int64_t n)
+{
+    float32x4_t m4 = vdupq_n_f32(0.0f);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t av = vabsq_f32(vld1q_f32(x + i));
+        // vmaxq propagates NaN; std::max(m, fabs(x)) ignores a NaN
+        // candidate. Select explicitly so a NaN lane keeps the
+        // running maximum, preserving backend parity.
+        m4 = vbslq_f32(vcgtq_f32(av, m4), av, m4);
+    }
+    float m = vmaxvq_f32(m4);
+    for (; i < n; ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+/** Nearest-level indices for 4 normalized values (see nearestIdx8). */
+uint32x4_t
+nearestIdx4(float32x4_t norm, const float *levels, int nLevels)
+{
+    uint32x4_t idx = vdupq_n_u32(0);
+    for (int k = 0; k + 1 < nLevels; ++k) {
+        const float32x4_t lhs =
+            vsubq_f32(norm, vdupq_n_f32(levels[k]));
+        const float32x4_t rhs =
+            vsubq_f32(vdupq_n_f32(levels[k + 1]), norm);
+        // All-ones where true: subtracting adds 1.
+        idx = vsubq_u32(idx, vcgtq_f32(lhs, rhs));
+    }
+    return idx;
+}
+
+/** Encode 4 values and gather their dequantized levels via buffer. */
+void
+encodeGather4(const float *in, const float *levels, int nLevels,
+              float scale, float q[4], int32_t idxOut[4])
+{
+    const float32x4_t norm =
+        vdivq_f32(vld1q_f32(in), vdupq_n_f32(scale));
+    uint32x4_t idx = nearestIdx4(norm, levels, nLevels);
+    uint32_t buf[4];
+    vst1q_u32(buf, idx);
+    for (int j = 0; j < 4; ++j) {
+        idxOut[j] = static_cast<int32_t>(buf[j]);
+        q[j] = levels[buf[j]] * scale;
+    }
+}
+
+double
+quantizeImpl(const float *in, float *out, int64_t n,
+             const float *levels, int nLevels, float scale,
+             const double *weights)
+{
+    float64x2_t a01 = vdupq_n_f64(0.0), a23 = vdupq_n_f64(0.0);
+    float64x2_t a45 = vdupq_n_f64(0.0), a67 = vdupq_n_f64(0.0);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        float q[8];
+        int32_t idx[8];
+        encodeGather4(in + i, levels, nLevels, scale, q, idx);
+        encodeGather4(in + i + 4, levels, nLevels, scale, q + 4,
+                      idx + 4);
+        const float32x4_t q0 = vld1q_f32(q);
+        const float32x4_t q1 = vld1q_f32(q + 4);
+        if (out) {
+            vst1q_f32(out + i, q0);
+            vst1q_f32(out + i + 4, q1);
+        }
+        const float32x4_t x0 = vld1q_f32(in + i);
+        const float32x4_t x1 = vld1q_f32(in + i + 4);
+        float64x2_t d01 = vsubq_f64(vcvt_f64_f32(vget_low_f32(x0)),
+                                    vcvt_f64_f32(vget_low_f32(q0)));
+        float64x2_t d23 = vsubq_f64(vcvt_high_f64_f32(x0),
+                                    vcvt_high_f64_f32(q0));
+        float64x2_t d45 = vsubq_f64(vcvt_f64_f32(vget_low_f32(x1)),
+                                    vcvt_f64_f32(vget_low_f32(q1)));
+        float64x2_t d67 = vsubq_f64(vcvt_high_f64_f32(x1),
+                                    vcvt_high_f64_f32(q1));
+        float64x2_t c01 = vmulq_f64(d01, d01);
+        float64x2_t c23 = vmulq_f64(d23, d23);
+        float64x2_t c45 = vmulq_f64(d45, d45);
+        float64x2_t c67 = vmulq_f64(d67, d67);
+        if (weights) {
+            // (w * d) * d, three roundings like the scalar loop.
+            c01 = vmulq_f64(vmulq_f64(vld1q_f64(weights + i), d01),
+                            d01);
+            c23 = vmulq_f64(vmulq_f64(vld1q_f64(weights + i + 2), d23),
+                            d23);
+            c45 = vmulq_f64(vmulq_f64(vld1q_f64(weights + i + 4), d45),
+                            d45);
+            c67 = vmulq_f64(vmulq_f64(vld1q_f64(weights + i + 6), d67),
+                            d67);
+        }
+        // add (not FMA): d*d is inexact, the contract is mul+add.
+        a01 = vaddq_f64(a01, c01);
+        a23 = vaddq_f64(a23, c23);
+        a45 = vaddq_f64(a45, c45);
+        a67 = vaddq_f64(a67, c67);
+    }
+    alignas(16) double lanes[kSimdReduceLanes];
+    combineAcc(a01, a23, a45, a67, lanes);
+    scalarQuantizeRange(in, out, i, n, levels, nLevels, scale, weights,
+                        lanes);
+    return combineReduceLanes(lanes);
+}
+
+double
+neonQuantizeUnit(const float *in, float *out, int64_t n,
+                 const float *levels, int nLevels, float scale)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels)
+        return scalarQuantizeUnit(in, out, n, levels, nLevels, scale);
+    return quantizeImpl(in, out, n, levels, nLevels, scale, nullptr);
+}
+
+double
+neonUnitError(const float *in, int64_t n, const float *levels,
+              int nLevels, float scale, const double *weights)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels)
+        return scalarUnitError(in, n, levels, nLevels, scale, weights);
+    return quantizeImpl(in, nullptr, n, levels, nLevels, scale,
+                        weights);
+}
+
+void
+neonEncodeCodes(const float *in, int8_t *codes, int64_t n,
+                const float *levels, int nLevels, const int8_t *codeLut,
+                float scale)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels) {
+        scalarEncodeCodes(in, codes, n, levels, nLevels, codeLut,
+                          scale);
+        return;
+    }
+    const float32x4_t scale4 = vdupq_n_f32(scale);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t norm =
+            vdivq_f32(vld1q_f32(in + i), scale4);
+        uint32_t idx[4];
+        vst1q_u32(idx, nearestIdx4(norm, levels, nLevels));
+        for (int j = 0; j < 4; ++j)
+            codes[i + j] = codeLut[idx[j]];
+    }
+    scalarEncodeCodes(in + i, codes + i, n - i, levels, nLevels,
+                      codeLut, scale);
+}
+
+void
+neonMapNearest(const float *in, float *out, int64_t n,
+               const float *levels, int nLevels, const float *outLevels)
+{
+    if (nLevels < 1 || nLevels > kMaxVectorLevels) {
+        scalarMapNearest(in, out, n, levels, nLevels, outLevels);
+        return;
+    }
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        uint32_t idx[4];
+        vst1q_u32(idx,
+                  nearestIdx4(vld1q_f32(in + i), levels, nLevels));
+        for (int j = 0; j < 4; ++j)
+            out[i + j] = outLevels[idx[j]];
+    }
+    scalarMapNearest(in + i, out + i, n - i, levels, nLevels,
+                     outLevels);
+}
+
+/** round-half-away-from-zero, the vector twin of roundHalfAway(). */
+float32x4_t
+roundHalfAway4(float32x4_t x)
+{
+    const float32x4_t t = vrndq_f32(x); // toward zero (frintz)
+    const float32x4_t f = vsubq_f32(x, t);
+    const uint32x4_t half =
+        vcgeq_f32(vabsq_f32(f), vdupq_n_f32(0.5f));
+    const uint32x4_t sign = vandq_u32(vreinterpretq_u32_f32(x),
+                                      vdupq_n_u32(0x80000000u));
+    const float32x4_t one = vreinterpretq_f32_u32(vorrq_u32(
+        sign, vreinterpretq_u32_f32(vdupq_n_f32(1.0f))));
+    // Select, don't add a masked zero: t + 0.0f would turn the -0.0f
+    // that trunc produces for small negative x into +0.0f, silently
+    // breaking bit-parity with the scalar std::round semantics.
+    return vbslq_f32(half, vaddq_f32(t, one), t);
+}
+
+float32x4_t
+roundClamp4(float32x4_t xv, float32x4_t scale4, float32x4_t lo4,
+            float32x4_t hi4)
+{
+    const float32x4_t q = roundHalfAway4(vdivq_f32(xv, scale4));
+    // Explicit selects, not vmin/vmax (which propagate NaN on ARM):
+    // clampSelect's "a > b ? a : b" form collapses a NaN lane to lo,
+    // matching the scalar backend and x86 maxps/minps exactly.
+    const float32x4_t a = vbslq_f32(vcgtq_f32(q, lo4), q, lo4);
+    return vbslq_f32(vcltq_f32(a, hi4), a, hi4);
+}
+
+void
+neonQuantizeRoundClamp(const float *in, int8_t *codes, int64_t n,
+                       float scale, int maxq)
+{
+    const float32x4_t scale4 = vdupq_n_f32(scale);
+    const float32x4_t hi4 = vdupq_n_f32(static_cast<float>(maxq));
+    const float32x4_t lo4 = vdupq_n_f32(-static_cast<float>(maxq));
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t r =
+            roundClamp4(vld1q_f32(in + i), scale4, lo4, hi4);
+        // r is integral in [-127, 127]; the convert is exact.
+        int32_t q[4];
+        vst1q_s32(q, vcvtq_s32_f32(r));
+        for (int j = 0; j < 4; ++j)
+            codes[i + j] = static_cast<int8_t>(q[j]);
+    }
+    scalarQuantizeRoundClamp(in + i, codes + i, n - i, scale, maxq);
+}
+
+void
+neonRoundClampDequant(const float *in, float *out, int64_t n,
+                      float scale, float maxq)
+{
+    const float32x4_t scale4 = vdupq_n_f32(scale);
+    const float32x4_t hi4 = vdupq_n_f32(maxq);
+    const float32x4_t lo4 = vdupq_n_f32(-maxq);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t r =
+            roundClamp4(vld1q_f32(in + i), scale4, lo4, hi4);
+        vst1q_f32(out + i, vmulq_f32(r, scale4));
+    }
+    scalarRoundClampDequant(in + i, out + i, n - i, scale, maxq);
+}
+
+void
+neonDequantLut16(const int8_t *codes, float *out, int64_t n,
+                 const float *lut16, float scale)
+{
+    const float32x4_t scale4 = vdupq_n_f32(scale);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        float v[4];
+        for (int j = 0; j < 4; ++j)
+            v[j] = lut16[static_cast<uint8_t>(codes[i + j]) & 0xf];
+        vst1q_f32(out + i, vmulq_f32(vld1q_f32(v), scale4));
+    }
+    scalarDequantLut16(codes + i, out + i, n - i, lut16, scale);
+}
+
+void
+neonDequantInt8(const int8_t *codes, float *out, int64_t n, float scale)
+{
+    const float32x4_t scale4 = vdupq_n_f32(scale);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const int16x8_t w = vmovl_s8(vld1_s8(codes + i));
+        const float32x4_t v0 =
+            vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+        const float32x4_t v1 =
+            vcvtq_f32_s32(vmovl_s16(vget_high_s16(w)));
+        vst1q_f32(out + i, vmulq_f32(v0, scale4));
+        vst1q_f32(out + i + 4, vmulq_f32(v1, scale4));
+    }
+    scalarDequantInt8(codes + i, out + i, n - i, scale);
+}
+
+/** Same widening bound rationale as the AVX2 backend. */
+constexpr int64_t kWidenBlock = 1 << 16;
+
+int64_t
+neonDotInt8(const int8_t *x, const int8_t *w, int64_t n)
+{
+    int64_t total = 0;
+    int64_t i = 0;
+    while (i + 16 <= n) {
+        const int64_t blockEnd = std::min(n, i + kWidenBlock);
+        int32x4_t acc = vdupq_n_s32(0);
+        for (; i + 16 <= blockEnd; i += 16) {
+            const int8x16_t xv = vld1q_s8(x + i);
+            const int8x16_t wv = vld1q_s8(w + i);
+            acc = vpadalq_s16(
+                acc, vmull_s8(vget_low_s8(xv), vget_low_s8(wv)));
+            acc = vpadalq_s16(
+                acc, vmull_s8(vget_high_s8(xv), vget_high_s8(wv)));
+        }
+        total += vaddlvq_s32(acc);
+    }
+    total += scalarDotInt8(x + i, w + i, n - i);
+    return total;
+}
+
+SimdPsums
+neonFusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
+{
+    // nibble -> sign * magnitude, as int8.
+    const int8x16_t tblMac = {0, 1, 2, 3, 4, 5, 6, 7, //
+                              0, -1, -2, -3, -4, -5, -6, -7};
+    // nibble -> 2^magnitude, as unsigned bytes (128 = 0x80).
+    const uint8x16_t tblPow = {1, 2, 4, 8, 16, 32, 64, 128, //
+                               1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x16_t nibMask = vdupq_n_u8(0xf);
+    const uint8x16_t signBit = vdupq_n_u8(0x8);
+
+    SimdPsums p;
+    int64_t i = 0;
+    while (i + 16 <= n) {
+        const int64_t blockEnd = std::min(n, i + kWidenBlock);
+        int32x4_t accMac = vdupq_n_s32(0);
+        int32x4_t accSac = vdupq_n_s32(0);
+        for (; i + 16 <= blockEnd; i += 16) {
+            const int8x16_t xv = vld1q_s8(x + i);
+            const uint8x16_t nib = vandq_u8(
+                vreinterpretq_u8_s8(vld1q_s8(wcodes + i)), nibMask);
+
+            const int8x16_t mac8 =
+                vqtbl1q_s8(tblMac, nib); // |values| <= 7
+            accMac = vpadalq_s16(
+                accMac,
+                vmull_s8(vget_low_s8(xv), vget_low_s8(mac8)));
+            accMac = vpadalq_s16(
+                accMac,
+                vmull_s8(vget_high_s8(xv), vget_high_s8(mac8)));
+
+            // 2^mag reaches 128, so the SAC weights live in int16.
+            const uint8x16_t pow8 = vqtbl1q_u8(tblPow, nib);
+            const uint8x16_t neg8 =
+                vceqq_u8(vandq_u8(nib, signBit), signBit);
+            const int16x8_t powLo = vreinterpretq_s16_u16(
+                vmovl_u8(vget_low_u8(pow8)));
+            const int16x8_t powHi = vreinterpretq_s16_u16(
+                vmovl_u8(vget_high_u8(pow8)));
+            const int16x8_t negLo =
+                vmovl_s8(vget_low_s8(vreinterpretq_s8_u8(neg8)));
+            const int16x8_t negHi =
+                vmovl_s8(vget_high_s8(vreinterpretq_s8_u8(neg8)));
+            // Conditional negate: (pow ^ mask) - mask.
+            const int16x8_t sacLo =
+                vsubq_s16(veorq_s16(powLo, negLo), negLo);
+            const int16x8_t sacHi =
+                vsubq_s16(veorq_s16(powHi, negHi), negHi);
+            const int16x8_t x16Lo = vmovl_s8(vget_low_s8(xv));
+            const int16x8_t x16Hi = vmovl_s8(vget_high_s8(xv));
+            accSac = vmlal_s16(accSac, vget_low_s16(x16Lo),
+                               vget_low_s16(sacLo));
+            accSac = vmlal_s16(accSac, vget_high_s16(x16Lo),
+                               vget_high_s16(sacLo));
+            accSac = vmlal_s16(accSac, vget_low_s16(x16Hi),
+                               vget_low_s16(sacHi));
+            accSac = vmlal_s16(accSac, vget_high_s16(x16Hi),
+                               vget_high_s16(sacHi));
+        }
+        p.mac += vaddlvq_s32(accMac);
+        p.sac += vaddlvq_s32(accSac);
+    }
+    const SimdPsums tail = scalarFusedDotMant(x + i, wcodes + i, n - i);
+    p.mac += tail.mac;
+    p.sac += tail.sac;
+    return p;
+}
+
+double
+neonDotF32(const float *x, const float *w, int64_t n)
+{
+    float64x2_t a01 = vdupq_n_f64(0.0), a23 = vdupq_n_f64(0.0);
+    float64x2_t a45 = vdupq_n_f64(0.0), a67 = vdupq_n_f64(0.0);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const float32x4_t x0 = vld1q_f32(x + i);
+        const float32x4_t x1 = vld1q_f32(x + i + 4);
+        const float32x4_t w0 = vld1q_f32(w + i);
+        const float32x4_t w1 = vld1q_f32(w + i + 4);
+        // float*float widened to double is exact, so FMA == mul+add.
+        a01 = vfmaq_f64(a01, vcvt_f64_f32(vget_low_f32(x0)),
+                        vcvt_f64_f32(vget_low_f32(w0)));
+        a23 = vfmaq_f64(a23, vcvt_high_f64_f32(x0),
+                        vcvt_high_f64_f32(w0));
+        a45 = vfmaq_f64(a45, vcvt_f64_f32(vget_low_f32(x1)),
+                        vcvt_f64_f32(vget_low_f32(w1)));
+        a67 = vfmaq_f64(a67, vcvt_high_f64_f32(x1),
+                        vcvt_high_f64_f32(w1));
+    }
+    alignas(16) double lanes[kSimdReduceLanes];
+    combineAcc(a01, a23, a45, a67, lanes);
+    scalarDotF32Range(x, w, i, n, lanes);
+    return combineReduceLanes(lanes);
+}
+
+void
+neonAccumulateSq(const float *x, double *acc, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t xv = vld1q_f32(x + i);
+        const float64x2_t x01 = vcvt_f64_f32(vget_low_f32(xv));
+        const float64x2_t x23 = vcvt_high_f64_f32(xv);
+        // Exact product: FMA == mul+add (each lane is one column).
+        vst1q_f64(acc + i,
+                  vfmaq_f64(vld1q_f64(acc + i), x01, x01));
+        vst1q_f64(acc + i + 2,
+                  vfmaq_f64(vld1q_f64(acc + i + 2), x23, x23));
+    }
+    scalarAccumulateSq(x + i, acc + i, n - i);
+}
+
+const SimdOps kNeonOps = {
+    "neon",
+    &neonAbsMax,
+    &neonQuantizeUnit,
+    &neonUnitError,
+    &neonEncodeCodes,
+    &neonMapNearest,
+    &neonQuantizeRoundClamp,
+    &neonRoundClampDequant,
+    &neonDequantLut16,
+    &neonDequantInt8,
+    &neonDotInt8,
+    &neonFusedDotMant,
+    &neonDotF32,
+    &neonAccumulateSq,
+};
+
+} // namespace
+
+const SimdOps *
+neonOps()
+{
+    return &kNeonOps;
+}
+
+} // namespace simd_detail
+} // namespace mant
+
+#else // !__aarch64__
+
+namespace mant {
+namespace simd_detail {
+
+const SimdOps *
+neonOps()
+{
+    return nullptr;
+}
+
+} // namespace simd_detail
+} // namespace mant
+
+#endif

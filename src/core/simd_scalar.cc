@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scalar SIMD backend: registers the canonical implementations from
+ * simd_common.h verbatim. This backend *defines* the semantics the
+ * wide backends must reproduce bit-for-bit; it is also the runtime
+ * fallback for CPUs without AVX2/NEON and the MANT_SIMD=scalar path.
+ *
+ * Compiled with -ffp-contract=off (see src/CMakeLists.txt) so the
+ * compiler cannot fuse the multiply-then-add sequences the contract
+ * keeps separate.
+ */
+
+#include "core/simd_common.h"
+
+namespace mant {
+namespace simd_detail {
+
+extern const SimdOps kScalarOps;
+const SimdOps kScalarOps = {
+    "scalar",
+    &scalarAbsMax,
+    &scalarQuantizeUnit,
+    &scalarUnitError,
+    &scalarEncodeCodes,
+    &scalarMapNearest,
+    &scalarQuantizeRoundClamp,
+    &scalarRoundClampDequant,
+    &scalarDequantLut16,
+    &scalarDequantInt8,
+    &scalarDotInt8,
+    &scalarFusedDotMant,
+    &scalarDotF32,
+    &scalarAccumulateSq,
+};
+
+} // namespace simd_detail
+} // namespace mant

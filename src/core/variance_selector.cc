@@ -76,6 +76,7 @@ accumulateCalibration(const Tensor &calib, int64_t groupSize,
     const int64_t outer = calib.shape().outerCount();
     const int64_t g = groupSize > 0 ? groupSize : inner;
 
+    const SimdOps &ops = simdOps();
     for (int64_t r = 0; r < outer; ++r) {
         const float *row = calib.data() + r * inner;
         for (int64_t g0 = 0; g0 < inner; g0 += g) {
@@ -89,10 +90,11 @@ accumulateCalibration(const Tensor &calib, int64_t groupSize,
             cg.errors.reserve(candidates.size() + 1);
             for (int a : candidates) {
                 cg.errors.push_back(groupError(
-                    group, mantFormat(a), {}, fp16Scale, nullptr));
+                    ops, group, mantFormat(a), {}, fp16Scale,
+                    nullptr));
             }
-            cg.errors.push_back(groupError(group, int4Format(), {},
-                                           fp16Scale, nullptr));
+            cg.errors.push_back(groupError(ops, group, int4Format(),
+                                           {}, fp16Scale, nullptr));
             groups.push_back(std::move(cg));
         }
     }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "model/quant_setup.h"
 #include "model/transformer.h"
 
@@ -26,14 +27,13 @@ ModelCalibration::accumulate(int64_t layer, LinearSlot slot,
     // Partition by column: each worker owns a disjoint column stripe
     // and walks the rows in order, so every per-column running sum
     // accumulates in exactly the serial order — bit-identical results
-    // at any thread count.
+    // at any thread count, and every vector lane is one column, so
+    // SIMD never reorders a column's sum either.
+    const SimdOps &ops = simdOps();
     parallelFor(0, cols, 256, [&](int64_t cb, int64_t ce, int64_t) {
         for (int64_t r = 0; r < rows; ++r) {
-            const float *row = x.data() + r * cols;
-            for (int64_t c = cb; c < ce; ++c) {
-                acc.sumSq[static_cast<size_t>(c)] +=
-                    static_cast<double>(row[c]) * row[c];
-            }
+            ops.accumulateSq(x.data() + r * cols + cb,
+                             acc.sumSq.data() + cb, ce - cb);
         }
     });
     acc.samples += rows;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "quant/fixed_formats.h"
 #include "quant/group_quantizer.h"
 #include "quant/olive.h"
@@ -137,17 +138,14 @@ linearNT(const Tensor &x, const Tensor &w)
     const float *xp = x.data();
     const float *wp = w.data();
     float *op = out.data();
+    const SimdOps &ops = simdOps();
     parallelFor(
         0, t_dim * n_dim, 16, [&](int64_t cb, int64_t ce, int64_t) {
             for (int64_t cell = cb; cell < ce; ++cell) {
                 const int64_t t = cell / n_dim;
                 const int64_t n = cell % n_dim;
-                const float *xrow = xp + t * k_dim;
-                const float *wrow = wp + n * k_dim;
-                double acc = 0.0;
-                for (int64_t k = 0; k < k_dim; ++k)
-                    acc += static_cast<double>(xrow[k]) * wrow[k];
-                op[t * n_dim + n] = static_cast<float>(acc);
+                op[t * n_dim + n] = static_cast<float>(ops.dotF32(
+                    xp + t * k_dim, wp + n * k_dim, k_dim));
             }
         });
     return out;

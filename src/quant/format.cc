@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/fp16.h"
+
 namespace mant {
 
 int
@@ -30,6 +32,17 @@ NumericFormat::scaleFor(float absmax) const
     if (absmax <= 0.0f || ml <= 0.0f)
         return 1.0f;
     return absmax / ml;
+}
+
+float
+NumericFormat::storedScaleFor(float absmax, bool fp16Scale) const
+{
+    float scale = scaleFor(absmax);
+    if (fp16Scale)
+        scale = fp16Round(scale);
+    if (scale == 0.0f)
+        scale = 1.0f;
+    return scale;
 }
 
 float

@@ -46,6 +46,16 @@ class NumericFormat
      */
     virtual float scaleFor(float absmax) const;
 
+    /**
+     * The scale as the engines store and use it: scaleFor(absmax),
+     * rounded through FP16 storage when requested, with all-zero
+     * units quantizing against scale 1. This rule is
+     * determinism-critical — the adaptive engine and the MANT
+     * coefficient search must agree on it bit-for-bit, which is why
+     * it lives here and not in each engine.
+     */
+    float storedScaleFor(float absmax, bool fp16Scale) const;
+
     /** Largest |level| on the grid. */
     float maxAbsLevel() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.h"
 #include "tensor/fp16.h"
 #include "tensor/stats.h"
 
@@ -10,32 +11,18 @@ namespace mant {
 
 namespace {
 
-float
-unitAbsMax(std::span<const float> xs)
-{
-    float m = 0.0f;
-    for (float x : xs)
-        m = std::max(m, std::fabs(x));
-    return m;
-}
-
 /** Quantize one unit with one grid; returns the squared error. */
 double
-roundUnit(std::span<const float> in, std::span<float> out,
-          const NumericFormat &fmt, bool fp16_scale)
+roundUnit(const SimdOps &ops, std::span<const float> in,
+          std::span<float> out, const NumericFormat &fmt,
+          bool fp16_scale)
 {
-    float scale = fmt.scaleFor(unitAbsMax(in));
-    if (fp16_scale)
-        scale = fp16Round(scale);
-    if (scale == 0.0f)
-        scale = 1.0f;
-    double err = 0.0;
-    for (size_t i = 0; i < in.size(); ++i) {
-        out[i] = fmt.quantizeValue(in[i], scale);
-        const double d = static_cast<double>(in[i]) - out[i];
-        err += d * d;
-    }
-    return err;
+    const float scale = fmt.storedScaleFor(
+        ops.absMax(in.data(), std::ssize(in)), fp16_scale);
+    const auto levels = fmt.levels();
+    return ops.quantizeUnit(in.data(), out.data(), std::ssize(in),
+                            levels.data(),
+                            static_cast<int>(levels.size()), scale);
 }
 
 } // namespace
@@ -54,10 +41,11 @@ quantDequantFixed(const Tensor &input, const NumericFormat &format,
                   const QuantConfig &cfg, QuantStats *stats)
 {
     Tensor out(input.shape());
+    const SimdOps &ops = simdOps();
     parallelForEachQuantUnit(
         input, out, cfg,
         [&](int64_t, std::span<const float> in, std::span<float> o) {
-            roundUnit(in, o, format, cfg.fp16Scale);
+            roundUnit(ops, in, o, format, cfg.fp16Scale);
         });
     if (stats) {
         stats->unitCount = quantUnitCount(input, cfg);
@@ -87,27 +75,38 @@ quantDequantAdaptive(const Tensor &input,
             0);
     }
 
+    const SimdOps &ops = simdOps();
     parallelForEachQuantUnit(
         input, out, cfg,
         [&](int64_t chunk, std::span<const float> in,
             std::span<float> o) {
-            // Reused across units on the same thread; fully rewritten
-            // before every read, so determinism is unaffected.
-            thread_local std::vector<float> scratch;
-            scratch.resize(in.size());
+            // One absmax serves every candidate; unitError returns
+            // the same bits quantizeUnit would, so the selection is
+            // identical to trial-quantizing into a scratch buffer.
+            const float absmax =
+                ops.absMax(in.data(), std::ssize(in));
             double best_err = INFINITY;
             int best = 0;
             for (size_t f = 0; f < n_formats; ++f) {
-                const double err =
-                    roundUnit(in, std::span<float>(scratch),
-                              *formats[f], cfg.fp16Scale);
+                const auto levels = formats[f]->levels();
+                const double err = ops.unitError(
+                    in.data(), std::ssize(in), levels.data(),
+                    static_cast<int>(levels.size()),
+                    formats[f]->storedScaleFor(absmax, cfg.fp16Scale),
+                    nullptr);
                 if (err < best_err) {
                     best_err = err;
                     best = static_cast<int>(f);
                 }
             }
-            roundUnit(in, o, *formats[static_cast<size_t>(best)],
-                      cfg.fp16Scale);
+            const NumericFormat &fmt =
+                *formats[static_cast<size_t>(best)];
+            const auto levels = fmt.levels();
+            ops.quantizeUnit(in.data(), o.data(), std::ssize(in),
+                             levels.data(),
+                             static_cast<int>(levels.size()),
+                             fmt.storedScaleFor(absmax,
+                                                cfg.fp16Scale));
             if (stats) {
                 ++chunk_counts[static_cast<size_t>(chunk) * n_formats +
                                static_cast<size_t>(best)];
@@ -259,6 +258,7 @@ quantDequantKMeans(const Tensor &input, int k, const QuantConfig &cfg,
                    QuantStats *stats, int lloydIters)
 {
     Tensor out(input.shape());
+    const SimdOps &ops = simdOps();
     parallelForEachQuantUnit(
         input, out, cfg,
         [&](int64_t, std::span<const float> in, std::span<float> o) {
@@ -275,14 +275,20 @@ quantDequantKMeans(const Tensor &input, int k, const QuantConfig &cfg,
                 n <= 256 ? kmeans1dExact(sorted, k)
                          : kmeans1dLloyd(sorted, k, lloydIters);
 
-            for (size_t i = 0; i < n; ++i) {
-                const int c = nearestLevel(
-                    std::span<const float>(centroids), in[i]);
-                float v = centroids[static_cast<size_t>(c)];
-                if (cfg.fp16Scale)
-                    v = fp16Round(v); // codebook entries stored in FP16
-                o[i] = v;
+            // Snap each value to the nearest centroid; codebook
+            // entries are stored in FP16, so the emitted value table
+            // is rounded once up front (identical to rounding per
+            // element — the assignment still uses the raw centroids).
+            thread_local std::vector<float> emitted;
+            emitted.assign(centroids.begin(), centroids.end());
+            if (cfg.fp16Scale) {
+                for (float &v : emitted)
+                    v = fp16Round(v);
             }
+            ops.mapNearest(in.data(), o.data(),
+                           static_cast<int64_t>(n), centroids.data(),
+                           static_cast<int>(centroids.size()),
+                           emitted.data());
         });
 
     if (stats) {

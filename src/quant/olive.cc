@@ -59,9 +59,13 @@ quantDequantOlive(const Tensor &input, const OliveConfig &ocfg,
         return out8;
     }
 
-    forEachQuantUnit(
+    // Units are independent (the outlier-victim pairing never crosses
+    // a unit boundary), so the baseline threads through the same
+    // deterministic unit walk as the main engines — benchmark
+    // comparisons against MANT stay apples-to-apples.
+    parallelForEachQuantUnit(
         input, out, cfg,
-        [&](std::span<const float> in, std::span<float> o) {
+        [&](int64_t, std::span<const float> in, std::span<float> o) {
             const size_t n = in.size();
 
             // Sigma over the unit decides the outlier threshold.

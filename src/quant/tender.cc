@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "core/parallel.h"
+#include "core/simd.h"
 #include "tensor/fp16.h"
 #include "tensor/stats.h"
 
@@ -19,15 +21,16 @@ quantDequantTender(const Tensor &input, const TenderConfig &tcfg,
     const int maxq = (1 << (tcfg.bits - 1)) - 1;
     Tensor out(input.shape());
 
-    // Per-channel absolute maxima.
+    // Per-channel absolute maxima. Channels are independent, so the
+    // row partition is deterministic at any thread count.
+    const SimdOps &ops = simdOps();
     std::vector<float> chan_max(static_cast<size_t>(rows), 0.0f);
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = input.data() + r * cols;
-        float m = 0.0f;
-        for (int64_t c = 0; c < cols; ++c)
-            m = std::max(m, std::fabs(row[c]));
-        chan_max[static_cast<size_t>(r)] = m;
-    }
+    parallelFor(0, rows, 16, [&](int64_t rb, int64_t re, int64_t) {
+        for (int64_t r = rb; r < re; ++r) {
+            chan_max[static_cast<size_t>(r)] =
+                ops.absMax(input.data() + r * cols, cols);
+        }
+    });
 
     // Sort channels by magnitude and split into chunks of equal count —
     // Tender's decomposition step.
@@ -60,27 +63,28 @@ quantDequantTender(const Tensor &input, const TenderConfig &tcfg,
         if (base == 0.0f)
             base = 1.0f;
 
-        for (int64_t i = c0; i < c1; ++i) {
-            const int64_t r = order[static_cast<size_t>(i)];
-            const float cm = chan_max[static_cast<size_t>(r)];
-            // Per-channel shift: how many halvings of the base scale
-            // still avoid clipping this channel.
-            int shift = 0;
-            if (cm > 0.0f) {
-                shift = static_cast<int>(std::floor(
-                    std::log2(chunk_max / cm)));
-                shift = std::clamp(shift, 0, tcfg.maxShift);
+        // Channels within a chunk share only the (already computed)
+        // base scale and write disjoint rows: deterministic at any
+        // thread count.
+        parallelFor(c0, c1, 4, [&](int64_t ib, int64_t ie, int64_t) {
+            for (int64_t i = ib; i < ie; ++i) {
+                const int64_t r = order[static_cast<size_t>(i)];
+                const float cm = chan_max[static_cast<size_t>(r)];
+                // Per-channel shift: how many halvings of the base
+                // scale still avoid clipping this channel.
+                int shift = 0;
+                if (cm > 0.0f) {
+                    shift = static_cast<int>(std::floor(
+                        std::log2(chunk_max / cm)));
+                    shift = std::clamp(shift, 0, tcfg.maxShift);
+                }
+                const float scale = std::ldexp(base, -shift);
+                ops.roundClampDequant(input.data() + r * cols,
+                                      out.data() + r * cols, cols,
+                                      scale,
+                                      static_cast<float>(maxq));
             }
-            const float scale = std::ldexp(base, -shift);
-
-            const float *row = input.data() + r * cols;
-            float *orow = out.data() + r * cols;
-            for (int64_t c = 0; c < cols; ++c) {
-                const float q = std::round(row[c] / scale);
-                orow[c] = std::clamp(q, static_cast<float>(-maxq),
-                                     static_cast<float>(maxq)) * scale;
-            }
-        }
+        });
     }
 
     if (stats) {

@@ -1,6 +1,9 @@
 #include "sim/layer_walker.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
 
 namespace mant {
 
@@ -96,11 +99,23 @@ attentionWork(const WalkSpec &spec)
 GemmStats
 runWork(const ArchConfig &arch, std::span<const WorkItem> items)
 {
+    // simulateGemm is a pure function of (arch, shape): simulate the
+    // items in parallel, then merge in item order so the aggregate is
+    // bit-identical at any thread count — the same walk discipline as
+    // the quantizer engines, keeping baseline sims apples-to-apples.
+    const int64_t n = static_cast<int64_t>(items.size());
+    std::vector<GemmStats> per_item(static_cast<size_t>(n));
+    parallelFor(0, n, 1, [&](int64_t b, int64_t e, int64_t) {
+        for (int64_t i = b; i < e; ++i) {
+            per_item[static_cast<size_t>(i)] =
+                simulateGemm(arch, items[static_cast<size_t>(i)].shape);
+        }
+    });
     GemmStats total;
-    for (const WorkItem &item : items) {
-        GemmStats one = simulateGemm(arch, item.shape);
-        for (int64_t c = 0; c < item.count; ++c)
-            total.add(one);
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t c = 0; c < items[static_cast<size_t>(i)].count;
+             ++c)
+            total.add(per_item[static_cast<size_t>(i)]);
     }
     return total;
 }

@@ -1,0 +1,651 @@
+/**
+ * @file
+ * SIMD dispatch and parity tests.
+ *
+ * The core suite pins the scalar backend, then the best available
+ * backend, and asserts *bit-identical* results for every routed
+ * kernel: packed MANT streams, dequantized tensors, quantizer engine
+ * outputs and stats, fused GEMM, linearNT, and calibration — across
+ * every fixed format × group size {-1, 1, 32, 128, 40}, at 1 and 8
+ * threads. On a machine whose best path is scalar the comparisons are
+ * trivially true; the dispatch tests still exercise the resolution
+ * logic (MANT_SIMD parsing, overrides, fallbacks).
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fused_gemm.h"
+#include "core/packed.h"
+#include "core/parallel.h"
+#include "core/simd.h"
+#include "model/calibration.h"
+#include "model/quantized_linear.h"
+#include "quant/fixed_formats.h"
+#include "quant/group_quantizer.h"
+#include "quant/olive.h"
+#include "quant/tender.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+/** Saves/restores MANT_SIMD and MANT_THREADS; clears overrides. */
+class SimdEnvGuard
+{
+  public:
+    SimdEnvGuard()
+    {
+        save("MANT_SIMD", &hadSimd_, &simd_);
+        save("MANT_THREADS", &hadThreads_, &threads_);
+        unsetenv("MANT_SIMD");
+        setSimdPath(SimdPath::Auto);
+        setMaxThreads(0);
+    }
+
+    ~SimdEnvGuard()
+    {
+        restore("MANT_SIMD", hadSimd_, simd_);
+        restore("MANT_THREADS", hadThreads_, threads_);
+        setSimdPath(SimdPath::Auto);
+        setMaxThreads(0);
+    }
+
+  private:
+    static void
+    save(const char *name, bool *had, std::string *value)
+    {
+        const char *v = std::getenv(name);
+        *had = v != nullptr;
+        if (v)
+            *value = v;
+    }
+
+    static void
+    restore(const char *name, bool had, const std::string &value)
+    {
+        if (had)
+            setenv(name, value.c_str(), 1);
+        else
+            unsetenv(name);
+    }
+
+    bool hadSimd_ = false, hadThreads_ = false;
+    std::string simd_, threads_;
+};
+
+/** Run fn under a pinned SIMD path and thread count. */
+template <typename Fn>
+auto
+withPath(SimdPath path, int threads, Fn &&fn)
+{
+    setSimdPath(path);
+    setMaxThreads(threads);
+    auto restore = [] {
+        setSimdPath(SimdPath::Auto);
+        setMaxThreads(0);
+    };
+    try {
+        auto result = fn();
+        restore();
+        return result;
+    } catch (...) {
+        restore();
+        throw;
+    }
+}
+
+bool
+bytesEqual(std::span<const float> a, std::span<const float> b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) ==
+               0;
+}
+
+const std::vector<int64_t> &
+groupSizes()
+{
+    static const std::vector<int64_t> sizes = {-1, 1, 32, 128, 40};
+    return sizes;
+}
+
+QuantConfig
+groupCfg(int64_t g)
+{
+    QuantConfig cfg;
+    cfg.gran = Granularity::PerGroup;
+    cfg.groupSize = g;
+    return cfg;
+}
+
+/* ------------------------------------------------------------------ */
+/* Dispatch resolution                                                 */
+/* ------------------------------------------------------------------ */
+
+TEST(SimdDispatch, BestPathIsAvailableAndActiveByDefault)
+{
+    SimdEnvGuard env;
+    const SimdPath best = bestSimdPath();
+    EXPECT_NE(best, SimdPath::Auto);
+    EXPECT_EQ(activeSimdPath(), best);
+    EXPECT_STREQ(simdOps().name, simdPathName(best));
+}
+
+TEST(SimdDispatch, EnvSelectsScalar)
+{
+    SimdEnvGuard env;
+    setenv("MANT_SIMD", "scalar", 1);
+    EXPECT_EQ(activeSimdPath(), SimdPath::Scalar);
+    EXPECT_STREQ(simdOps().name, "scalar");
+    // Case-insensitive, like most feature-flag env vars.
+    setenv("MANT_SIMD", "SCALAR", 1);
+    EXPECT_EQ(activeSimdPath(), SimdPath::Scalar);
+}
+
+TEST(SimdDispatch, EnvGarbageFallsBackToAuto)
+{
+    SimdEnvGuard env;
+    for (const char *bad : {"garbage", "avx512", "scalar2", "", "1"}) {
+        setenv("MANT_SIMD", bad, 1);
+        EXPECT_EQ(activeSimdPath(), bestSimdPath())
+            << "MANT_SIMD=" << bad;
+    }
+    setenv("MANT_SIMD", "auto", 1);
+    EXPECT_EQ(activeSimdPath(), bestSimdPath());
+}
+
+TEST(SimdDispatch, EnvUnavailableBackendFallsBackToAuto)
+{
+    SimdEnvGuard env;
+    // At most one of avx2/neon can be available; naming the present
+    // one selects it and naming the missing one falls back — both
+    // land on bestSimdPath(), never on a missing backend or Auto.
+    for (const char *name : {"avx2", "neon"}) {
+        setenv("MANT_SIMD", name, 1);
+        const SimdPath got = activeSimdPath();
+        EXPECT_EQ(got, bestSimdPath()) << "MANT_SIMD=" << name;
+        EXPECT_NE(got, SimdPath::Auto) << "MANT_SIMD=" << name;
+    }
+}
+
+TEST(SimdDispatch, OverrideBeatsEnvAndClears)
+{
+    SimdEnvGuard env;
+    setenv("MANT_SIMD", "scalar", 1);
+    setSimdPath(bestSimdPath());
+    EXPECT_EQ(activeSimdPath(), bestSimdPath());
+    setSimdPath(SimdPath::Auto);
+    EXPECT_EQ(activeSimdPath(), SimdPath::Scalar);
+}
+
+TEST(SimdDispatch, OpsForPinsBackend)
+{
+    SimdEnvGuard env;
+    EXPECT_STREQ(simdOpsFor(SimdPath::Scalar).name, "scalar");
+    EXPECT_STREQ(simdOpsFor(SimdPath::Auto).name,
+                 simdPathName(activeSimdPath()));
+}
+
+/* ------------------------------------------------------------------ */
+/* Raw kernel parity (edge lengths, tails, widen blocks)               */
+/* ------------------------------------------------------------------ */
+
+TEST(SimdKernels, RoundClampMatchesStdRoundOnTies)
+{
+    SimdEnvGuard env;
+    // Exact .5 ties and near-tie neighbours, both signs.
+    std::vector<float> in;
+    for (float v : {0.5f, -0.5f, 1.5f, -1.5f, 2.5f, 126.5f, -126.5f,
+                    0.49999997f, -0.49999997f, 7.5f, -7.5f, 0.0f})
+        in.push_back(v);
+    while (in.size() % 8 != 3) // force a vector body plus a tail
+        in.push_back(static_cast<float>(in.size()) * 0.3f);
+
+    const SimdOps &wide = simdOpsFor(bestSimdPath());
+    std::vector<int8_t> codes(in.size());
+    wide.quantizeRoundClamp(in.data(), codes.data(),
+                            static_cast<int64_t>(in.size()), 1.0f, 127);
+    for (size_t i = 0; i < in.size(); ++i) {
+        const float expect =
+            std::clamp(std::round(in[i]), -127.0f, 127.0f);
+        EXPECT_EQ(static_cast<float>(codes[i]), expect)
+            << "in=" << in[i];
+    }
+}
+
+TEST(SimdKernels, RoundClampDequantPreservesNegativeZero)
+{
+    SimdEnvGuard env;
+    // round(x) for x in (-0.5, -0.0] is -0.0; a naive "t + masked 0"
+    // vector adjustment collapses it to +0.0 and breaks bit-parity
+    // even though the values compare equal (this was a real bug the
+    // parity suite caught via memcmp).
+    std::vector<float> in(16, 0.0f);
+    in[0] = -0.3f;
+    in[1] = -0.0f;
+    in[2] = -0.49f;
+    in[9] = -0.3f; // also hit the vector body's second half
+    for (SimdPath path : {SimdPath::Scalar, bestSimdPath()}) {
+        std::vector<float> out(in.size(), 1.0f);
+        simdOpsFor(path).roundClampDequant(
+            in.data(), out.data(), static_cast<int64_t>(in.size()),
+            1.0f, 7.0f);
+        for (size_t i = 0; i < in.size(); ++i) {
+            const float expect =
+                std::clamp(std::round(in[i]), -7.0f, 7.0f) * 1.0f;
+            EXPECT_EQ(std::signbit(out[i]), std::signbit(expect))
+                << simdPathName(path) << " i=" << i;
+            EXPECT_EQ(out[i], expect)
+                << simdPathName(path) << " i=" << i;
+        }
+    }
+}
+
+TEST(SimdKernels, AbsMaxIgnoresNaNLikeScalar)
+{
+    SimdEnvGuard env;
+    // std::max(m, fabs(x)) ignores a NaN candidate; the wide maxes
+    // must neither propagate a NaN nor let one discard the running
+    // maximum (maxps returns its second operand on unordered compares
+    // — a wrong operand order zeroed out everything seen before the
+    // NaN lane).
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> x(21, 1.0f);
+    x[0] = -100.0f;
+    x[8] = nan;
+    x[15] = nan;
+    x[20] = 50.0f;
+    for (SimdPath path : {SimdPath::Scalar, bestSimdPath()}) {
+        const float m = simdOpsFor(path).absMax(
+            x.data(), static_cast<int64_t>(x.size()));
+        EXPECT_EQ(m, 100.0f) << simdPathName(path);
+    }
+}
+
+TEST(SimdKernels, RoundClampCollapsesNaNDeterministically)
+{
+    SimdEnvGuard env;
+    // std::clamp would propagate a NaN (and casting it to int8 is
+    // UB); the kernels instead use the maxps/minps select form, which
+    // collapses NaN to -maxq identically on every backend.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> in(11, 2.25f);
+    in[1] = nan;
+    in[9] = nan;
+    for (SimdPath path : {SimdPath::Scalar, bestSimdPath()}) {
+        const SimdOps &ops = simdOpsFor(path);
+        std::vector<int8_t> codes(in.size());
+        ops.quantizeRoundClamp(in.data(), codes.data(),
+                               static_cast<int64_t>(in.size()), 1.0f,
+                               7);
+        std::vector<float> out(in.size());
+        ops.roundClampDequant(in.data(), out.data(),
+                              static_cast<int64_t>(in.size()), 1.0f,
+                              7.0f);
+        for (size_t i = 0; i < in.size(); ++i) {
+            const float expect = std::isnan(in[i]) ? -7.0f : 2.0f;
+            EXPECT_EQ(static_cast<float>(codes[i]), expect)
+                << simdPathName(path) << " i=" << i;
+            EXPECT_EQ(out[i], expect)
+                << simdPathName(path) << " i=" << i;
+        }
+    }
+}
+
+TEST(SimdKernels, DequantizeHostileCoefficientStaysInBounds)
+{
+    SimdEnvGuard env;
+    // fromParts validates sizes only, so metadata may carry a
+    // coefficient above the 7-bit wire-format range; dequantize must
+    // treat it as an in-bounds table lookup producing the same
+    // arithmetic values as mantCodeValue, on every backend.
+    std::vector<int8_t> codes(16);
+    for (int i = 0; i < 16; ++i)
+        codes[static_cast<size_t>(i)] = static_cast<int8_t>(i);
+    std::vector<MantGroupMeta> meta(1);
+    meta[0].scale = 0.5f;
+    meta[0].a = 200;
+    meta[0].isInt = false;
+    for (SimdPath path : {SimdPath::Scalar, bestSimdPath()}) {
+        const Tensor out = withPath(path, 1, [&] {
+            return MantQuantizedMatrix::fromParts(1, 16, 16, codes,
+                                                  meta)
+                .dequantize();
+        });
+        for (int c = 0; c < 16; ++c) {
+            EXPECT_EQ(out[c],
+                      static_cast<float>(mantCodeValue(
+                          200, static_cast<MantCode>(c))) *
+                          0.5f)
+                << simdPathName(path) << " code=" << c;
+        }
+    }
+}
+
+TEST(SimdKernels, NearestLevelEncodeMatchesScalarEverywhere)
+{
+    SimdEnvGuard env;
+    const SimdOps &scalar = simdOpsFor(SimdPath::Scalar);
+    const SimdOps &wide = simdOpsFor(bestSimdPath());
+    const NumericFormat *formats[] = {&int4Format(),  &int8Format(),
+                                      &pot4Format(),  &flint4Format(),
+                                      &nf4Format(),   &mxfp4Format()};
+    Rng rng(991);
+    for (const NumericFormat *fmt : formats) {
+        const auto levels = fmt->levels();
+        std::vector<float> in;
+        // Adversarial probes: exact levels and exact midpoints...
+        for (size_t i = 0; i < levels.size(); ++i) {
+            in.push_back(levels[i]);
+            if (i + 1 < levels.size())
+                in.push_back(0.5f * (levels[i] + levels[i + 1]));
+        }
+        // ...plus out-of-range and random fill.
+        in.push_back(levels.front() - 3.0f);
+        in.push_back(levels.back() + 3.0f);
+        for (int i = 0; i < 133; ++i)
+            in.push_back(static_cast<float>(rng.gaussian(0.0, 4.0)));
+
+        const int64_t n = static_cast<int64_t>(in.size());
+        std::vector<float> outA(in.size()), outB(in.size());
+        const double errA = scalar.quantizeUnit(
+            in.data(), outA.data(), n, levels.data(),
+            static_cast<int>(levels.size()), 1.0f);
+        const double errB = wide.quantizeUnit(
+            in.data(), outB.data(), n, levels.data(),
+            static_cast<int>(levels.size()), 1.0f);
+        EXPECT_TRUE(bytesEqual(outA, outB)) << fmt->name();
+        EXPECT_EQ(errA, errB) << fmt->name();
+    }
+}
+
+TEST(SimdKernels, IntegerDotsCrossWidenBlocks)
+{
+    SimdEnvGuard env;
+    const SimdOps &scalar = simdOpsFor(SimdPath::Scalar);
+    const SimdOps &wide = simdOpsFor(bestSimdPath());
+    // Longer than the 2^16 int32->int64 widen block, with a ragged
+    // tail; worst-case magnitudes so lane overflow would be caught.
+    const int64_t n = (int64_t{1} << 16) + 77;
+    std::vector<int8_t> x(static_cast<size_t>(n)), w(x.size()),
+        codes(x.size());
+    Rng rng(992);
+    for (int64_t i = 0; i < n; ++i) {
+        x[static_cast<size_t>(i)] = static_cast<int8_t>(
+            static_cast<int>(rng.uniformInt(255)) - 127);
+        w[static_cast<size_t>(i)] = static_cast<int8_t>(
+            static_cast<int>(rng.uniformInt(15)) - 7);
+        codes[static_cast<size_t>(i)] =
+            static_cast<int8_t>(rng.uniformInt(16));
+    }
+    for (int64_t len : {int64_t{0}, int64_t{1}, int64_t{15},
+                        int64_t{16}, int64_t{64}, n}) {
+        EXPECT_EQ(scalar.dotInt8(x.data(), w.data(), len),
+                  wide.dotInt8(x.data(), w.data(), len))
+            << "len=" << len;
+        const SimdPsums a =
+            scalar.fusedDotMant(x.data(), codes.data(), len);
+        const SimdPsums b =
+            wide.fusedDotMant(x.data(), codes.data(), len);
+        EXPECT_EQ(a.mac, b.mac) << "len=" << len;
+        EXPECT_EQ(a.sac, b.sac) << "len=" << len;
+    }
+}
+
+TEST(SimdKernels, DotF32AndAccumulateSqParity)
+{
+    SimdEnvGuard env;
+    const SimdOps &scalar = simdOpsFor(SimdPath::Scalar);
+    const SimdOps &wide = simdOpsFor(bestSimdPath());
+    Rng rng(993);
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{8},
+                      int64_t{9}, int64_t{1023}}) {
+        std::vector<float> x(static_cast<size_t>(n)), w(x.size());
+        for (auto &v : x)
+            v = static_cast<float>(rng.gaussian());
+        for (auto &v : w)
+            v = static_cast<float>(rng.gaussian());
+        const double a = scalar.dotF32(x.data(), w.data(), n);
+        const double b = wide.dotF32(x.data(), w.data(), n);
+        EXPECT_EQ(a, b) << "n=" << n;
+
+        std::vector<double> accA(x.size(), 0.125);
+        std::vector<double> accB(x.size(), 0.125);
+        scalar.accumulateSq(x.data(), accA.data(), n);
+        wide.accumulateSq(x.data(), accB.data(), n);
+        EXPECT_EQ(accA, accB) << "n=" << n;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Engine-level parity: scalar vs best path, 1 and 8 threads           */
+/* ------------------------------------------------------------------ */
+
+void
+expectStatsIdentical(const QuantStats &a, const QuantStats &b,
+                     const std::string &what)
+{
+    EXPECT_EQ(a.mse, b.mse) << what;
+    EXPECT_EQ(a.nmse, b.nmse) << what;
+    EXPECT_EQ(a.unitCount, b.unitCount) << what;
+    EXPECT_EQ(a.metaBits, b.metaBits) << what;
+    EXPECT_EQ(a.formatCounts, b.formatCounts) << what;
+}
+
+TEST(SimdParity, FixedFormatsAcrossGroupSizesAndThreads)
+{
+    SimdEnvGuard env;
+    const Tensor t = test::gaussianTensor(Shape{16, 200}, 501);
+    const NumericFormat *formats[] = {&int4Format(),  &int8Format(),
+                                      &pot4Format(),  &flint4Format(),
+                                      &nf4Format(),   &mxfp4Format()};
+    for (const NumericFormat *fmt : formats) {
+        for (int64_t g : groupSizes()) {
+            for (int threads : {1, 8}) {
+                auto run = [&](SimdPath path) {
+                    return withPath(path, threads, [&] {
+                        QuantStats stats;
+                        Tensor out = quantDequantFixed(
+                            t, *fmt, groupCfg(g), &stats);
+                        return std::make_pair(std::move(out), stats);
+                    });
+                };
+                const auto [ref, refStats] = run(SimdPath::Scalar);
+                const auto [out, stats] = run(bestSimdPath());
+                const std::string what =
+                    std::string(fmt->name()) + " g=" +
+                    std::to_string(g) +
+                    " threads=" + std::to_string(threads);
+                EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+                    << what;
+                expectStatsIdentical(refStats, stats, what);
+            }
+        }
+    }
+}
+
+TEST(SimdParity, AdaptiveSelectionAndOutput)
+{
+    SimdEnvGuard env;
+    const Tensor t = test::gaussianTensor(Shape{16, 200}, 502);
+    for (int64_t g : groupSizes()) {
+        for (int threads : {1, 8}) {
+            auto run = [&](SimdPath path) {
+                return withPath(path, threads, [&] {
+                    QuantStats stats;
+                    Tensor out = quantDequantAdaptive(
+                        t, antTypeSet(), groupCfg(g), &stats);
+                    return std::make_pair(std::move(out), stats);
+                });
+            };
+            const auto [ref, refStats] = run(SimdPath::Scalar);
+            const auto [out, stats] = run(bestSimdPath());
+            const std::string what = "g=" + std::to_string(g) +
+                                     " threads=" +
+                                     std::to_string(threads);
+            EXPECT_TRUE(bytesEqual(ref.span(), out.span())) << what;
+            expectStatsIdentical(refStats, stats, what);
+        }
+    }
+}
+
+TEST(SimdParity, KMeansCodebookSnap)
+{
+    SimdEnvGuard env;
+    const Tensor t = test::gaussianTensor(Shape{8, 200}, 503);
+    for (int64_t g : {int64_t{-1}, int64_t{32}, int64_t{40}}) {
+        auto run = [&](SimdPath path) {
+            return withPath(path, 8, [&] {
+                return quantDequantKMeans(t, 16, groupCfg(g));
+            });
+        };
+        const Tensor ref = run(SimdPath::Scalar);
+        const Tensor out = run(bestSimdPath());
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "g=" << g;
+    }
+}
+
+TEST(SimdParity, MantPackedStreamsBitIdentical)
+{
+    SimdEnvGuard env;
+    const Tensor w = test::gaussianTensor(Shape{24, 200}, 504, 0.02);
+    // Per-column calibration power for the OutputMse search mode.
+    std::vector<double> power(200);
+    Rng rng(505);
+    for (auto &p : power)
+        p = 0.01 + std::fabs(rng.gaussian());
+
+    for (int64_t g : groupSizes()) {
+        for (const bool outputMse : {false, true}) {
+            auto stream = [&](SimdPath path) {
+                return withPath(path, 8, [&] {
+                    const MantQuantizedMatrix q =
+                        MantQuantizedMatrix::quantize(
+                            w, g,
+                            outputMse
+                                ? MantQuantizedMatrix::Search::OutputMse
+                                : MantQuantizedMatrix::Search::WeightMse,
+                            outputMse ? std::span<const double>(power)
+                                      : std::span<const double>{});
+                    std::ostringstream os;
+                    writePacked(os, pack(q));
+                    return os.str();
+                });
+            };
+            EXPECT_EQ(stream(SimdPath::Scalar), stream(bestSimdPath()))
+                << "g=" << g << " outputMse=" << outputMse;
+        }
+    }
+}
+
+TEST(SimdParity, FusedGemmDequantizeAndActivations)
+{
+    SimdEnvGuard env;
+    const Tensor w = test::gaussianTensor(Shape{24, 200}, 506, 0.02);
+    const Tensor x = test::gaussianTensor(Shape{5, 200}, 507);
+    for (int64_t g : groupSizes()) {
+        for (int threads : {1, 8}) {
+            auto run = [&](SimdPath path) {
+                return withPath(path, threads, [&] {
+                    const MantQuantizedMatrix qw =
+                        MantQuantizedMatrix::quantize(w, g);
+                    const auto qx =
+                        Int8QuantizedActivations::quantize(x, g);
+                    std::vector<Tensor> r;
+                    r.push_back(fusedGemm(qx, qw));
+                    r.push_back(qw.dequantize());
+                    r.push_back(qx.dequantize());
+                    return r;
+                });
+            };
+            const auto ref = run(SimdPath::Scalar);
+            const auto out = run(bestSimdPath());
+            for (size_t i = 0; i < ref.size(); ++i) {
+                EXPECT_TRUE(
+                    bytesEqual(ref[i].span(), out[i].span()))
+                    << "g=" << g << " threads=" << threads
+                    << " tensor=" << i;
+            }
+        }
+    }
+}
+
+TEST(SimdParity, LinearNTBitIdentical)
+{
+    SimdEnvGuard env;
+    const Tensor x = test::gaussianTensor(Shape{7, 300}, 508);
+    const Tensor w = test::gaussianTensor(Shape{13, 300}, 509);
+    for (int threads : {1, 8}) {
+        auto run = [&](SimdPath path) {
+            return withPath(path, threads,
+                            [&] { return linearNT(x, w); });
+        };
+        const Tensor ref = run(SimdPath::Scalar);
+        const Tensor out = run(bestSimdPath());
+        EXPECT_TRUE(bytesEqual(ref.span(), out.span()))
+            << "threads=" << threads;
+    }
+}
+
+TEST(SimdParity, CalibrationAccumulateBitIdentical)
+{
+    SimdEnvGuard env;
+    const Tensor x = test::gaussianTensor(Shape{40, 700}, 510);
+    auto run = [&](SimdPath path) {
+        return withPath(path, 8, [&] {
+            ModelCalibration calib;
+            calib.accumulate(0, LinearSlot::AttnIn, x);
+            calib.accumulate(0, LinearSlot::AttnIn, x);
+            calib.finalize();
+            const auto p = calib.power(0, LinearSlot::AttnIn);
+            return std::vector<double>(p.begin(), p.end());
+        });
+    };
+    EXPECT_EQ(run(SimdPath::Scalar), run(bestSimdPath()));
+}
+
+TEST(SimdParity, BaselinesUnderThreadsMatchSerial)
+{
+    SimdEnvGuard env;
+    // OliVe and Tender are threaded now; parity here is across both
+    // the SIMD path and the thread count in one sweep.
+    const Tensor t = test::gaussianTensor(Shape{16, 200}, 511);
+    auto runOlive = [&](SimdPath path, int threads) {
+        return withPath(path, threads, [&] {
+            OliveConfig ocfg;
+            ocfg.bits = 4;
+            return quantDequantOlive(t, ocfg, groupCfg(64));
+        });
+    };
+    auto runTender = [&](SimdPath path, int threads) {
+        return withPath(path, threads, [&] {
+            TenderConfig tcfg;
+            tcfg.bits = 4;
+            return quantDequantTender(t, tcfg, true);
+        });
+    };
+    const Tensor oliveRef = runOlive(SimdPath::Scalar, 1);
+    const Tensor tenderRef = runTender(SimdPath::Scalar, 1);
+    for (int threads : {2, 8}) {
+        EXPECT_TRUE(bytesEqual(
+            oliveRef.span(),
+            runOlive(bestSimdPath(), threads).span()))
+            << "threads=" << threads;
+        EXPECT_TRUE(bytesEqual(
+            tenderRef.span(),
+            runTender(bestSimdPath(), threads).span()))
+            << "threads=" << threads;
+    }
+}
+
+} // namespace
+} // namespace mant
