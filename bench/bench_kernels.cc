@@ -24,11 +24,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/fused_gemm.h"
 #include "core/kv_quant.h"
+#include "core/packed_tiles.h"
 #include "core/parallel.h"
 #include "core/simd.h"
 #include "model/quantized_linear.h"
@@ -393,6 +396,141 @@ BM_LinearNT(benchmark::State &state)
 }
 BENCHMARK(BM_LinearNT)
     ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/* ------------------------------------------------------------------ */
+/* M×N×K GEMM sweep: reference fused path vs prepacked tiles           */
+/* (arg = M: 1 is the decode shape, 256 the prefill shape; K = N =     */
+/*  2048, group 64, serial so the per-code kernel cost is isolated.    */
+/*  The tiled checksum must equal the reference checksum bit-for-bit   */
+/*  — tools/bench_gate.py fails CI on mismatch or on a >10% tiled      */
+/*  throughput regression against BENCH_kernels.baseline.json.)       */
+/* ------------------------------------------------------------------ */
+
+constexpr int64_t kSweepK = 2048, kSweepN = 2048, kSweepGroup = 64;
+
+/** Nominal CPU frequency parsed from /proc/cpuinfo ("@ x.xxGHz"), 0
+ *  when unknown — feeds the codes/cycle counter, best effort only. */
+double
+nominalCpuHz()
+{
+    static const double hz = [] {
+        std::ifstream in("/proc/cpuinfo");
+        std::string line;
+        while (std::getline(in, line)) {
+            const size_t at = line.find("@ ");
+            const size_t ghz = line.find("GHz");
+            if (line.rfind("model name", 0) == 0 &&
+                at != std::string::npos && ghz > at) {
+                try {
+                    return std::stod(line.substr(at + 2, ghz - at - 2)) *
+                           1e9;
+                } catch (...) {
+                    return 0.0;
+                }
+            }
+        }
+        return 0.0;
+    }();
+    return hz;
+}
+
+const MantQuantizedMatrix &
+sweepWeights()
+{
+    static const MantQuantizedMatrix qw = [] {
+        DistProfile p;
+        Rng rng(9090);
+        const Tensor w = genWeightMatrix(rng, kSweepN, kSweepK, p);
+        return MantQuantizedMatrix::quantize(w, kSweepGroup);
+    }();
+    return qw;
+}
+
+const Int8QuantizedActivations &
+sweepActivations(int64_t m)
+{
+    static std::map<int64_t, Int8QuantizedActivations> cache;
+    auto it = cache.find(m);
+    if (it != cache.end())
+        return it->second;
+    Rng rng(static_cast<uint64_t>(9191 + m));
+    Tensor x(Shape{m, kSweepK});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian());
+    return cache
+        .emplace(m, Int8QuantizedActivations::quantize(x, kSweepGroup))
+        .first->second;
+}
+
+/** Shared counter block: GB/s of operand traffic (activation codes +
+ *  weight codes per GEMM) and codes/cycle at the nominal clock. */
+void
+setSweepCounters(benchmark::State &state, int64_t m,
+                 int64_t weightBytes, std::span<const float> out)
+{
+    const int64_t codes = m * kSweepN * kSweepK;
+    const int64_t bytes = m * kSweepK + weightBytes;
+    state.SetItemsProcessed(state.iterations() * codes);
+    state.counters["GBps"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * bytes),
+        benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1024);
+    if (nominalCpuHz() > 0.0) {
+        state.counters["codes_per_cycle"] = benchmark::Counter(
+            static_cast<double>(state.iterations() * codes) /
+                nominalCpuHz(),
+            benchmark::Counter::kIsRate);
+    }
+    state.counters["checksum"] = checksum(out);
+}
+
+static void
+BM_GemmRef(benchmark::State &state)
+{
+    setMaxThreads(1);
+    const int64_t m = state.range(0);
+    const MantQuantizedMatrix &qw = sweepWeights();
+    const Int8QuantizedActivations &qx = sweepActivations(m);
+    Tensor out;
+    for (auto _ : state) {
+        out = fusedGemm(qx, qw);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetLabel(simdOps().name);
+    // One byte per weight code in the reference layout.
+    setSweepCounters(state, m, kSweepN * kSweepK, out.span());
+    setMaxThreads(0);
+}
+BENCHMARK(BM_GemmRef)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_GemmTiled(benchmark::State &state)
+{
+    setMaxThreads(1);
+    const int64_t m = state.range(0);
+    const MantQuantizedMatrix &qw = sweepWeights();
+    const MantPackedTiles tiles = MantPackedTiles::pack(qw);
+    const Int8QuantizedActivations &qx = sweepActivations(m);
+    Tensor out;
+    for (auto _ : state) {
+        fusedGemmTiledInto(qx, tiles, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel(simdOps().name);
+    // Two weight codes per byte in the tiled layout.
+    setSweepCounters(state, m, kSweepN * kSweepK / 2, out.span());
+    setMaxThreads(0);
+}
+BENCHMARK(BM_GemmTiled)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 static void

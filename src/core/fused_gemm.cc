@@ -205,38 +205,45 @@ Int8QuantizedActivations
 Int8QuantizedActivations::quantize(const Tensor &x, int64_t groupSize,
                                    bool fp16Scale)
 {
+    Int8QuantizedActivations q;
+    q.assign(x, groupSize, fp16Scale);
+    return q;
+}
+
+void
+Int8QuantizedActivations::assign(const Tensor &x, int64_t groupSize,
+                                 bool fp16Scale)
+{
     if (x.shape().rank() != 2)
         throw std::invalid_argument(
             "Int8QuantizedActivations: rank-2 required");
-    Int8QuantizedActivations q;
-    q.rows_ = x.shape().dim(0);
-    q.cols_ = x.shape().dim(1);
-    q.groupSize_ = effectiveGroupSize(q.cols_, groupSize);
-    q.groupsPerRow_ = groupsPerRowFor(q.cols_, groupSize);
-    q.codes_.resize(static_cast<size_t>(q.rows_ * q.cols_));
-    q.scales_.resize(static_cast<size_t>(q.rows_ * q.groupsPerRow_));
+    rows_ = x.shape().dim(0);
+    cols_ = x.shape().dim(1);
+    groupSize_ = effectiveGroupSize(cols_, groupSize);
+    groupsPerRow_ = groupsPerRowFor(cols_, groupSize);
+    codes_.resize(static_cast<size_t>(rows_ * cols_));
+    scales_.resize(static_cast<size_t>(rows_ * groupsPerRow_));
 
     const SimdOps &ops = simdOps();
-    parallelFor(0, q.rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
+    parallelFor(0, rows_, 4, [&](int64_t rb, int64_t re, int64_t) {
         for (int64_t r = rb; r < re; ++r) {
-            const float *row = x.data() + r * q.cols_;
-            int8_t *codes = q.codes_.data() + r * q.cols_;
-            for (int64_t g = 0; g < q.groupsPerRow_; ++g) {
-                const int64_t k0 = g * q.groupSize_;
-                const int64_t len = std::min(q.groupSize_, q.cols_ - k0);
+            const float *row = x.data() + r * cols_;
+            int8_t *codes = codes_.data() + r * cols_;
+            for (int64_t g = 0; g < groupsPerRow_; ++g) {
+                const int64_t k0 = g * groupSize_;
+                const int64_t len = std::min(groupSize_, cols_ - k0);
                 float scale = ops.absMax(row + k0, len) / 127.0f;
                 if (fp16Scale)
                     scale = fp16Round(scale);
                 if (scale == 0.0f)
                     scale = 1.0f;
-                q.scales_[static_cast<size_t>(r * q.groupsPerRow_ + g)] =
+                scales_[static_cast<size_t>(r * groupsPerRow_ + g)] =
                     scale;
                 ops.quantizeRoundClamp(row + k0, codes + k0, len,
                                        scale, 127);
             }
         }
     });
-    return q;
 }
 
 Tensor

@@ -191,6 +191,15 @@ class Int8QuantizedActivations
                                              int64_t groupSize,
                                              bool fp16Scale = true);
 
+    /**
+     * In-place requantize reusing this object's storage: vector
+     * capacity persists across calls, so a decode loop that feeds the
+     * same shapes repeatedly allocates exactly once (the scratch-pool
+     * path of QuantizedLinear). Results are identical to quantize().
+     */
+    void assign(const Tensor &x, int64_t groupSize,
+                bool fp16Scale = true);
+
     int64_t rows() const { return rows_; }
     int64_t cols() const { return cols_; }
     int64_t groupsPerRow() const { return groupsPerRow_; }

@@ -1,0 +1,282 @@
+#include "core/packed_tiles.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace mant {
+
+namespace {
+
+/** Cache-block geometry of fusedGemmTiled. The K block is expressed
+ *  in elements and snapped to whole groups so every group contributes
+ *  exactly one (mac, sac) pair per cell — the bit-exactness condition
+ *  against the unblocked reference. */
+constexpr int64_t kTileMC = 64;      ///< activation rows per L2 block
+constexpr int64_t kTileNCPanels = 4; ///< panels per task (32 columns)
+constexpr int64_t kTileKC = 4096;    ///< reduction elements per block
+
+/** Sign-magnitude nibble of one stored code. */
+uint8_t
+codeNibble(int8_t code, bool isInt)
+{
+    if (!isInt)
+        return static_cast<uint8_t>(code) & 0xf;
+    if (code < -7 || code > 7)
+        throw std::invalid_argument(
+            "MantPackedTiles: INT code outside the [-7, 7] INT4 range");
+    return code < 0 ? static_cast<uint8_t>(0x8 | -code)
+                    : static_cast<uint8_t>(code);
+}
+
+} // namespace
+
+MantPackedTiles
+MantPackedTiles::pack(const MantQuantizedMatrix &w)
+{
+    MantPackedTiles t;
+    t.rows_ = w.rows();
+    t.cols_ = w.cols();
+    t.groupSize_ = w.groupSize();
+    t.groupsPerRow_ = w.groupsPerRow();
+    t.panels_ = (t.rows_ + kTilePanelCols - 1) / kTilePanelCols;
+
+    t.groupByteOff_.resize(static_cast<size_t>(t.groupsPerRow_) + 1, 0);
+    for (int64_t g = 0; g < t.groupsPerRow_; ++g) {
+        const int64_t k0 = g * t.groupSize_;
+        const int64_t len = std::min(t.groupSize_, t.cols_ - k0);
+        t.groupByteOff_[static_cast<size_t>(g) + 1] =
+            t.groupByteOff_[static_cast<size_t>(g)] +
+            (len + 1) / 2 * kTilePanelCols;
+    }
+    t.panelBytes_ = t.groupByteOff_[static_cast<size_t>(t.groupsPerRow_)];
+
+    const size_t metaCount = static_cast<size_t>(
+        t.panels_ * t.groupsPerRow_ * kTilePanelCols);
+    t.codes_.assign(static_cast<size_t>(t.panels_ * t.panelBytes_), 0);
+    t.scales_.assign(metaCount, 0.0f);
+    t.coeff_.assign(metaCount, 0);
+    // Padded panel columns default to INT with scale 0: the kernel
+    // computes their (zero) lanes branch-free and the combine
+    // multiplies them away; they are never written to the output.
+    t.isInt_.assign(metaCount, 1);
+
+    // Panels are independent: each writes its own code/meta stripe,
+    // so the repack is bit-identical at any thread count.
+    parallelFor(0, t.panels_, 1, [&](int64_t pb, int64_t pe, int64_t) {
+        for (int64_t p = pb; p < pe; ++p) {
+            const int cols_here = static_cast<int>(std::min<int64_t>(
+                kTilePanelCols, t.rows_ - p * kTilePanelCols));
+            for (int c = 0; c < cols_here; ++c) {
+                const int64_t row = p * kTilePanelCols + c;
+                const int8_t *src = w.rowCodes(row).data();
+                for (int64_t g = 0; g < t.groupsPerRow_; ++g) {
+                    const MantGroupMeta &m = w.meta(row, g);
+                    const size_t mi =
+                        t.tileMetaIndex(p, g) + static_cast<size_t>(c);
+                    t.scales_[mi] = m.scale;
+                    t.coeff_[mi] = m.a;
+                    t.isInt_[mi] = m.isInt ? 1 : 0;
+
+                    const int64_t k0 = g * t.groupSize_;
+                    const int64_t len =
+                        std::min(t.groupSize_, t.cols_ - k0);
+                    uint8_t *dst =
+                        t.codes_.data() + p * t.panelBytes_ +
+                        t.groupByteOff_[static_cast<size_t>(g)];
+                    for (int64_t i = 0; i < len; ++i) {
+                        const uint8_t nib =
+                            codeNibble(src[k0 + i], m.isInt);
+                        uint8_t &b =
+                            dst[(i / 2) * kTilePanelCols + c];
+                        b = (i % 2 == 0)
+                                ? static_cast<uint8_t>(
+                                      (b & 0xf0) | nib)
+                                : static_cast<uint8_t>(
+                                      (b & 0x0f) | (nib << 4));
+                    }
+                }
+            }
+        }
+    });
+    return t;
+}
+
+std::vector<int8_t>
+MantPackedTiles::unpackRowCodes(int64_t row) const
+{
+    std::vector<int8_t> out(static_cast<size_t>(cols_), 0);
+    const int64_t p = row / kTilePanelCols;
+    const int c = static_cast<int>(row % kTilePanelCols);
+    for (int64_t g = 0; g < groupsPerRow_; ++g) {
+        const int64_t k0 = g * groupSize_;
+        const int64_t len = std::min(groupSize_, cols_ - k0);
+        const uint8_t *src = tileCodes(p, g);
+        const bool isInt = tileIsInt(p, g)[static_cast<size_t>(c)] != 0;
+        for (int64_t i = 0; i < len; ++i) {
+            const uint8_t b = src[(i / 2) * kTilePanelCols + c];
+            const uint8_t nib = (i % 2 == 0) ? (b & 0xf)
+                                             : ((b >> 4) & 0xf);
+            out[static_cast<size_t>(k0 + i)] =
+                isInt ? static_cast<int8_t>(
+                            (nib & 0x8) ? -(nib & 0x7) : (nib & 0x7))
+                      : static_cast<int8_t>(nib);
+        }
+    }
+    return out;
+}
+
+MantGroupMeta
+MantPackedTiles::metaAt(int64_t row, int64_t group) const
+{
+    const int64_t p = row / kTilePanelCols;
+    const size_t c = static_cast<size_t>(row % kTilePanelCols);
+    MantGroupMeta m;
+    m.scale = tileScales(p, group)[c];
+    m.a = tileCoeffs(p, group)[c];
+    m.isInt = tileIsInt(p, group)[c] != 0;
+    return m;
+}
+
+void
+fusedGemmTiledInto(const Int8QuantizedActivations &x,
+                   const MantPackedTiles &w, Tensor &out)
+{
+    if (x.cols() != w.cols())
+        throw std::invalid_argument(
+            "fusedGemmTiled: reduction dims differ");
+    if (x.groupsPerRow() != w.groupsPerRow())
+        throw std::invalid_argument(
+            "fusedGemmTiled: group layout mismatch");
+
+    const int64_t m_dim = x.rows();
+    const int64_t n_dim = w.rows();
+    const int64_t k_dim = x.cols();
+    const int64_t gsize = w.groupSize();
+    const int64_t groups = w.groupsPerRow();
+    const int64_t panels = w.panels();
+
+    const Shape shape{m_dim, n_dim};
+    if (!(out.shape() == shape))
+        out = Tensor(shape);
+    if (m_dim == 0 || n_dim == 0)
+        return;
+
+    // K blocks snapped to whole groups: a group split across blocks
+    // would emit two partial double contributions per cell and break
+    // bit-parity with the unblocked reference.
+    const int64_t groupsPerKb =
+        std::max<int64_t>(1, gsize > 0 ? kTileKC / gsize : 1);
+    const int64_t numKb =
+        groups > 0 ? (groups + groupsPerKb - 1) / groupsPerKb : 0;
+    const int64_t numMb = (m_dim + kTileMC - 1) / kTileMC;
+    const int64_t numNc = (panels + kTileNCPanels - 1) / kTileNCPanels;
+
+    // Task = (M block, panel block). Every output cell belongs to
+    // exactly one task and accumulates its groups in ascending order
+    // inside it, so the result is bit-identical at any thread count.
+    const SimdOps &ops = simdOps();
+    parallelFor(
+        0, numMb * numNc, 1, [&](int64_t tb, int64_t te, int64_t) {
+            for (int64_t task = tb; task < te; ++task) {
+                const int64_t mb = task / numNc;
+                const int64_t nc = task % numNc;
+                const int64_t m0 = mb * kTileMC;
+                const int64_t m1 = std::min(m_dim, m0 + kTileMC);
+                const int64_t p0 = nc * kTileNCPanels;
+                const int64_t p1 =
+                    std::min(panels, p0 + kTileNCPanels);
+                for (int64_t p = p0; p < p1; ++p) {
+                    double acc[kTileMC][kTilePanelCols];
+                    for (int64_t m = m0; m < m1; ++m)
+                        std::memset(acc[m - m0], 0, sizeof(acc[0]));
+                    for (int64_t kb = 0; kb < numKb; ++kb) {
+                        const int64_t g0 = kb * groupsPerKb;
+                        const int64_t g1 =
+                            std::min(groups, g0 + groupsPerKb);
+                        for (int64_t mt = m0; mt < m1;
+                             mt += kTileMaxRows) {
+                            const int mr = static_cast<int>(
+                                std::min<int64_t>(kTileMaxRows,
+                                                  m1 - mt));
+                            const int8_t *xrows =
+                                x.rowCodes(mt).data();
+                            for (int64_t g = g0; g < g1; ++g) {
+                                const int64_t k0 = g * gsize;
+                                const int64_t len =
+                                    std::min(gsize, k_dim - k0);
+                                int64_t mac[kTileMaxRows *
+                                            kTilePanelCols] = {};
+                                int64_t sac[kTileMaxRows *
+                                            kTilePanelCols] = {};
+                                ops.fusedTilePanel(
+                                    xrows + k0, k_dim, mr,
+                                    w.tileCodes(p, g), len, mac,
+                                    sac);
+                                const float *sw =
+                                    w.tileScales(p, g).data();
+                                const uint8_t *ac =
+                                    w.tileCoeffs(p, g).data();
+                                const uint8_t *ii =
+                                    w.tileIsInt(p, g).data();
+                                for (int a = 0; a < mr; ++a) {
+                                    const double sx = static_cast<
+                                        double>(x.scale(mt + a, g));
+                                    double *arow = acc[mt - m0 + a];
+                                    const int64_t *am =
+                                        mac + a * kTilePanelCols;
+                                    const int64_t *as =
+                                        sac + a * kTilePanelCols;
+                                    for (int c = 0;
+                                         c < kTilePanelCols; ++c) {
+                                        // Same rounding sequence as
+                                        // fusedGemm's combine.
+                                        if (ii[c]) {
+                                            arow[c] +=
+                                                static_cast<double>(
+                                                    am[c]) *
+                                                sx *
+                                                static_cast<double>(
+                                                    sw[c]);
+                                        } else {
+                                            arow[c] +=
+                                                (static_cast<double>(
+                                                     ac[c]) *
+                                                     static_cast<
+                                                         double>(
+                                                         am[c]) +
+                                                 static_cast<double>(
+                                                     as[c])) *
+                                                sx *
+                                                static_cast<double>(
+                                                    sw[c]);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    const int64_t n0 = p * kTilePanelCols;
+                    const int64_t nCols = std::min<int64_t>(
+                        kTilePanelCols, n_dim - n0);
+                    for (int64_t m = m0; m < m1; ++m)
+                        for (int64_t c = 0; c < nCols; ++c)
+                            out.at(m, n0 + c) = static_cast<float>(
+                                acc[m - m0][c]);
+                }
+            }
+        });
+}
+
+Tensor
+fusedGemmTiled(const Int8QuantizedActivations &x,
+               const MantPackedTiles &w)
+{
+    Tensor out;
+    fusedGemmTiledInto(x, w, out);
+    return out;
+}
+
+} // namespace mant

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Prepacked tile representation of a MANT-quantized weight matrix and
+ * the cache-blocked fused GEMM that consumes it.
+ *
+ * The reference fusedGemm() stores one 4-bit code per byte and chases
+ * `meta(row, group)` strides inside its inner loop; the ANT
+ * accelerator line (Guo et al., MICRO '22) shows the custom-type win
+ * only materializes when the packed layout is what the compute kernel
+ * consumes. MantPackedTiles repacks a MantQuantizedMatrix once —
+ * typically at QuantizedLinear setup time — into the exact layout the
+ * fusedTilePanel SIMD microkernel streams:
+ *
+ *  - weight rows (output features) are grouped into panels of
+ *    kTilePanelCols = 8 columns;
+ *  - within a panel, each quantization group's codes are stored two
+ *    4-bit codes per byte, k-pair-major and panel-column-minor, so
+ *    one 8/16-byte load feeds all 8 panel columns at once;
+ *  - per-tile metadata (scale, coefficient, INT flag) for the 8 panel
+ *    columns of each group is laid out contiguously, so the combine
+ *    loop walks flat arrays instead of strided meta lookups;
+ *  - plain-INT4 groups are re-encoded from two's complement to
+ *    sign-magnitude nibbles at pack time, which makes the microkernel
+ *    uniform: the MAC lane of the sign-magnitude decode *is* the
+ *    integer dot product for INT groups (the SAC lane is simply
+ *    ignored at combine time).
+ *
+ * fusedGemmTiled() adds MC/NC/KC cache blocking (K blocks aligned to
+ * group boundaries) and multi-row microkernel calls on top. It is
+ * bit-identical to fusedGemm() at every thread count and SIMD backend:
+ * the integer partial sums are exact, and the per-cell double combine
+ * applies groups in the same ascending order with the same rounding
+ * sequence (see the determinism contract in docs/ARCHITECTURE.md).
+ */
+
+#ifndef MANT_CORE_PACKED_TILES_H_
+#define MANT_CORE_PACKED_TILES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fused_gemm.h"
+#include "core/simd.h"
+
+namespace mant {
+
+/**
+ * Cache-friendly tile repack of a MantQuantizedMatrix. Immutable
+ * after pack(); cheap to move, safe to share across threads.
+ */
+class MantPackedTiles
+{
+  public:
+    MantPackedTiles() = default;
+
+    /**
+     * Repack a quantized matrix. Throws std::invalid_argument when an
+     * INT group carries a code outside the nominal [-7, 7] INT4 range
+     * (sign-magnitude nibbles cannot represent -8; real encodes never
+     * produce it, only hand-assembled fromParts() inputs can).
+     */
+    static MantPackedTiles pack(const MantQuantizedMatrix &w);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t groupSize() const { return groupSize_; }
+    int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** Number of 8-column panels: ceil(rows / kTilePanelCols). */
+    int64_t panels() const { return panels_; }
+
+    /** Packed bytes of one panel (all groups). */
+    int64_t panelBytes() const { return panelBytes_; }
+
+    /** Packed code block of one (panel, group) tile:
+     *  ceil(len / 2) * kTilePanelCols bytes, k-pair-major. */
+    const uint8_t *
+    tileCodes(int64_t panel, int64_t group) const
+    {
+        return codes_.data() + panel * panelBytes_ +
+               groupByteOff_[static_cast<size_t>(group)];
+    }
+
+    /** Per-tile metadata, kTilePanelCols entries each, contiguous.
+     *  Padded panel columns (row >= rows()) read as INT with scale 0
+     *  so the microkernel and combine loop never branch on them. */
+    std::span<const float>
+    tileScales(int64_t panel, int64_t group) const
+    {
+        return {scales_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileCoeffs(int64_t panel, int64_t group) const
+    {
+        return {coeff_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileIsInt(int64_t panel, int64_t group) const
+    {
+        return {isInt_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+
+    /**
+     * Reverse the repack for one row: one code per byte, MANT groups
+     * as sign-magnitude codes, INT groups as two's-complement int8 —
+     * byte-identical to MantQuantizedMatrix::rowCodes() of the packed
+     * source (round-trip tested).
+     */
+    std::vector<int8_t> unpackRowCodes(int64_t row) const;
+
+    /** Metadata of one (row, group), identical to the source meta(). */
+    MantGroupMeta metaAt(int64_t row, int64_t group) const;
+
+  private:
+    size_t
+    tileMetaIndex(int64_t panel, int64_t group) const
+    {
+        return static_cast<size_t>(
+            (panel * groupsPerRow_ + group) * kTilePanelCols);
+    }
+
+    int64_t rows_ = 0, cols_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
+    int64_t panels_ = 0, panelBytes_ = 0;
+    std::vector<uint8_t> codes_;
+    std::vector<float> scales_;
+    std::vector<uint8_t> coeff_;
+    std::vector<uint8_t> isInt_;
+    /** Byte offset of each group's code block within a panel
+     *  (groupsPerRow + 1 entries; identical across panels). */
+    std::vector<int64_t> groupByteOff_;
+};
+
+/**
+ * Cache-blocked fused integer GEMM over prepacked tiles: the tiled
+ * twin of fusedGemm(), bit-identical to it (and therefore matching
+ * dequantGemmReference() to FP rounding) at every MANT_THREADS and
+ * MANT_SIMD setting.
+ *
+ * @param x Quantized activations (M, K), groups matching `w`.
+ * @param w Prepacked weight tiles (N, K).
+ * @return  Float output (M, N).
+ */
+Tensor fusedGemmTiled(const Int8QuantizedActivations &x,
+                      const MantPackedTiles &w);
+
+/**
+ * Scratch-friendly variant: writes into `out`, reusing its storage
+ * when the shape already matches (the decode-loop path — no per-call
+ * allocation). `out` is reshaped/reallocated otherwise.
+ */
+void fusedGemmTiledInto(const Int8QuantizedActivations &x,
+                        const MantPackedTiles &w, Tensor &out);
+
+} // namespace mant
+
+#endif // MANT_CORE_PACKED_TILES_H_

@@ -84,6 +84,12 @@ struct SimdPsums
     int64_t sac = 0; ///< sum of sign * (x << magnitude)
 };
 
+/** Column count of one packed weight tile panel (MantPackedTiles). */
+inline constexpr int kTilePanelCols = 8;
+
+/** Max activation rows one fusedTilePanel call processes. */
+inline constexpr int kTileMaxRows = 4;
+
 /**
  * Kernel table. All length parameters are element counts; all pointers
  * must be valid for the stated counts (no alignment requirements).
@@ -174,6 +180,25 @@ struct SimdOps
      */
     SimdPsums (*fusedDotMant)(const int8_t *x, const int8_t *wcodes,
                               int64_t n);
+
+    /**
+     * Tile-panel fused dot: `mr` activation rows (int8 codes,
+     * `xStride` elements apart, 1 <= mr <= kTileMaxRows) against one
+     * group's packed panel codes. `wtile` holds kTilePanelCols nibble
+     * columns interleaved two codes per byte, k-pair-major and
+     * panel-column-minor: byte `kp * kTilePanelCols + c` carries
+     * column c's codes for elements 2*kp (low nibble) and 2*kp + 1
+     * (high nibble) — see MantPackedTiles in core/packed_tiles.h.
+     * Nibbles are sign-magnitude (bit 3 = sign, bits 2..0 = the
+     * magnitude), the same decode as fusedDotMant. Accumulates the
+     * exact integer MAC and SAC partial sums into
+     * mac/sac[a * kTilePanelCols + c] for activation row a and panel
+     * column c; the caller zeroes the arrays. An odd `len` consumes
+     * the final byte's low nibble only (the pad nibble is ignored).
+     */
+    void (*fusedTilePanel)(const int8_t *x, int64_t xStride, int mr,
+                           const uint8_t *wtile, int64_t len,
+                           int64_t *mac, int64_t *sac);
 
     /**
      * Float dot product accumulated in double, canonical lane order.

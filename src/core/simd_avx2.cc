@@ -437,6 +437,140 @@ avx2FusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
     return p;
 }
 
+/** Sign-extend two int8 activations into a broadcast [x0, x1] pair
+ *  vector whose int16 lanes line up with madd's pairwise add. */
+inline __m256i
+broadcastXPair(const int8_t *x)
+{
+    const uint32_t pair =
+        static_cast<uint16_t>(static_cast<int16_t>(x[0])) |
+        (static_cast<uint32_t>(
+             static_cast<uint16_t>(static_cast<int16_t>(x[1])))
+         << 16);
+    return _mm256_set1_epi32(static_cast<int32_t>(pair));
+}
+
+/**
+ * Tile-panel microkernel, one instantiation per activation-row count
+ * so the MAC/SAC accumulators stay in registers. Each 16-byte load
+ * covers two k-pairs × 8 panel columns (32 codes); the nibble->value
+ * shuffles are shared across the MR activation rows, which is where
+ * the panel layout beats per-cell fusedDotMant. Interleaving the
+ * even-k and odd-k decoded weights per column makes madd_epi16's
+ * pairwise add produce exactly one int32 lane per panel column.
+ */
+template <int MR>
+void
+avx2TilePanelImpl(const int8_t *x, int64_t xStride,
+                  const uint8_t *wtile, int64_t len, int64_t *mac,
+                  int64_t *sac)
+{
+    // Same nibble tables as avx2FusedDotMant.
+    const __m128i tblMac = _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, //
+                                         0, -1, -2, -3, -4, -5, -6,
+                                         -7);
+    const __m128i tblPow = _mm_setr_epi8(
+        1, 2, 4, 8, 16, 32, 64, static_cast<char>(0x80), //
+        1, 2, 4, 8, 16, 32, 64, static_cast<char>(0x80));
+    const __m128i nibMask = _mm_set1_epi8(0xf);
+    const __m128i signBit = _mm_set1_epi8(0x8);
+
+    __m256i accMac[MR], accSac[MR];
+    for (int a = 0; a < MR; ++a) {
+        accMac[a] = _mm256_setzero_si256();
+        accSac[a] = _mm256_setzero_si256();
+    }
+
+    int64_t i = 0;
+    while (i + 4 <= len) {
+        // Each iteration adds two madd lanes (<= 2 * 32512) per int32
+        // accumulator for 4 elements, so a kWidenBlock-element block
+        // stays below 2^31 exactly like the other integer kernels.
+        const int64_t blockEnd = std::min(len, i + kWidenBlock);
+        for (; i + 4 <= blockEnd; i += 4) {
+            const __m128i wb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    wtile + (i / 2) * kTilePanelCols));
+            const __m128i nibLo = _mm_and_si128(wb, nibMask);
+            const __m128i nibHi =
+                _mm_and_si128(_mm_srli_epi16(wb, 4), nibMask);
+
+            const __m128i macLo = _mm_shuffle_epi8(tblMac, nibLo);
+            const __m128i macHi = _mm_shuffle_epi8(tblMac, nibHi);
+            const __m256i mac0 = _mm256_cvtepi8_epi16(
+                _mm_unpacklo_epi8(macLo, macHi));
+            const __m256i mac1 = _mm256_cvtepi8_epi16(
+                _mm_unpackhi_epi8(macLo, macHi));
+
+            // 2^mag reaches 128, so the SAC weights widen unsigned
+            // and the conditional negate runs in int16.
+            const __m128i powLo = _mm_shuffle_epi8(tblPow, nibLo);
+            const __m128i powHi = _mm_shuffle_epi8(tblPow, nibHi);
+            const __m128i negLo = _mm_cmpeq_epi8(
+                _mm_and_si128(nibLo, signBit), signBit);
+            const __m128i negHi = _mm_cmpeq_epi8(
+                _mm_and_si128(nibHi, signBit), signBit);
+            const __m256i pow0 = _mm256_cvtepu8_epi16(
+                _mm_unpacklo_epi8(powLo, powHi));
+            const __m256i pow1 = _mm256_cvtepu8_epi16(
+                _mm_unpackhi_epi8(powLo, powHi));
+            const __m256i neg0 = _mm256_cvtepi8_epi16(
+                _mm_unpacklo_epi8(negLo, negHi));
+            const __m256i neg1 = _mm256_cvtepi8_epi16(
+                _mm_unpackhi_epi8(negLo, negHi));
+            // Conditional negate: (pow ^ mask) - mask.
+            const __m256i sac0 = _mm256_sub_epi16(
+                _mm256_xor_si256(pow0, neg0), neg0);
+            const __m256i sac1 = _mm256_sub_epi16(
+                _mm256_xor_si256(pow1, neg1), neg1);
+
+            for (int a = 0; a < MR; ++a) {
+                const int8_t *xr = x + a * xStride + i;
+                const __m256i xp0 = broadcastXPair(xr);
+                const __m256i xp1 = broadcastXPair(xr + 2);
+                accMac[a] = _mm256_add_epi32(
+                    accMac[a], _mm256_madd_epi16(mac0, xp0));
+                accMac[a] = _mm256_add_epi32(
+                    accMac[a], _mm256_madd_epi16(mac1, xp1));
+                accSac[a] = _mm256_add_epi32(
+                    accSac[a], _mm256_madd_epi16(sac0, xp0));
+                accSac[a] = _mm256_add_epi32(
+                    accSac[a], _mm256_madd_epi16(sac1, xp1));
+            }
+        }
+        for (int a = 0; a < MR; ++a) {
+            alignas(32) int32_t lanes[8];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                               accMac[a]);
+            for (int c = 0; c < kTilePanelCols; ++c)
+                mac[a * kTilePanelCols + c] += lanes[c];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                               accSac[a]);
+            for (int c = 0; c < kTilePanelCols; ++c)
+                sac[a * kTilePanelCols + c] += lanes[c];
+            accMac[a] = _mm256_setzero_si256();
+            accSac[a] = _mm256_setzero_si256();
+        }
+    }
+    scalarFusedTilePanelRange(x, xStride, MR, wtile, i, len, mac, sac);
+}
+
+void
+avx2FusedTilePanel(const int8_t *x, int64_t xStride, int mr,
+                   const uint8_t *wtile, int64_t len, int64_t *mac,
+                   int64_t *sac)
+{
+    switch (mr) {
+      case 1: avx2TilePanelImpl<1>(x, xStride, wtile, len, mac, sac); break;
+      case 2: avx2TilePanelImpl<2>(x, xStride, wtile, len, mac, sac); break;
+      case 3: avx2TilePanelImpl<3>(x, xStride, wtile, len, mac, sac); break;
+      case 4: avx2TilePanelImpl<4>(x, xStride, wtile, len, mac, sac); break;
+      default:
+        scalarFusedTilePanel(x, xStride, mr, wtile, len, mac, sac);
+        break;
+    }
+}
+
 double
 avx2DotF32(const float *x, const float *w, int64_t n)
 {
@@ -487,6 +621,7 @@ const SimdOps kAvx2Ops = {
     &avx2DequantInt8,
     &avx2DotInt8,
     &avx2FusedDotMant,
+    &avx2FusedTilePanel,
     &avx2DotF32,
     &avx2AccumulateSq,
 };

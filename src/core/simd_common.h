@@ -254,6 +254,54 @@ scalarFusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
     return p;
 }
 
+/**
+ * Tail/partial tile-panel fused dot starting at element `i0` (must be
+ * even — nibble pairs never split across calls). Wide backends call
+ * this for the ragged end of a group with the int64 accumulators they
+ * already hold; the full-range scalar kernel is the i0 == 0 case.
+ */
+inline void
+scalarFusedTilePanelRange(const int8_t *x, int64_t xStride, int mr,
+                          const uint8_t *wtile, int64_t i0, int64_t len,
+                          int64_t *mac, int64_t *sac)
+{
+    for (int64_t i = i0; i < len; i += 2) {
+        const uint8_t *bytes = wtile + (i / 2) * kTilePanelCols;
+        const bool hasOdd = i + 1 < len;
+        for (int c = 0; c < kTilePanelCols; ++c) {
+            const uint8_t b = bytes[c];
+            const int magLo = b & 0x7;
+            const int signLo = (b & 0x8) ? -1 : 1;
+            const int magHi = (b >> 4) & 0x7;
+            const int signHi = (b & 0x80) ? -1 : 1;
+            for (int a = 0; a < mr; ++a) {
+                int64_t &m = mac[a * kTilePanelCols + c];
+                int64_t &s = sac[a * kTilePanelCols + c];
+                const int64_t xLo = x[a * xStride + i];
+                m += xLo * (signLo * magLo);
+                s += signLo *
+                     static_cast<int64_t>(static_cast<uint64_t>(xLo)
+                                          << magLo);
+                if (hasOdd) {
+                    const int64_t xHi = x[a * xStride + i + 1];
+                    m += xHi * (signHi * magHi);
+                    s += signHi *
+                         static_cast<int64_t>(
+                             static_cast<uint64_t>(xHi) << magHi);
+                }
+            }
+        }
+    }
+}
+
+inline void
+scalarFusedTilePanel(const int8_t *x, int64_t xStride, int mr,
+                     const uint8_t *wtile, int64_t len, int64_t *mac,
+                     int64_t *sac)
+{
+    scalarFusedTilePanelRange(x, xStride, mr, wtile, 0, len, mac, sac);
+}
+
 /** Tail/partial f32 dot: lanes biased by i0 like scalarQuantizeRange.
  *  The float×float product is exact in double, so += here equals the
  *  wide backends' FMA. */

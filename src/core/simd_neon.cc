@@ -400,6 +400,128 @@ neonFusedDotMant(const int8_t *x, const int8_t *wcodes, int64_t n)
     return p;
 }
 
+/**
+ * Tile-panel microkernel, one instantiation per activation-row count
+ * so the MAC/SAC accumulators stay in registers. Each 8-byte load
+ * covers one k-pair × 8 panel columns (16 codes); the nibble->value
+ * table lookups are shared across the MR activation rows. Per panel
+ * column the accumulator lane layout is fixed: columns 0..3 in the
+ * Lo int32x4, columns 4..7 in the Hi int32x4.
+ */
+template <int MR>
+void
+neonTilePanelImpl(const int8_t *x, int64_t xStride,
+                  const uint8_t *wtile, int64_t len, int64_t *mac,
+                  int64_t *sac)
+{
+    // Same nibble tables as neonFusedDotMant.
+    const int8x16_t tblMac = {0, 1, 2, 3, 4, 5, 6, 7, //
+                              0, -1, -2, -3, -4, -5, -6, -7};
+    const uint8x16_t tblPow = {1, 2, 4, 8, 16, 32, 64, 128, //
+                               1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x8_t nibMask = vdup_n_u8(0xf);
+    const uint8x16_t signBit = vdupq_n_u8(0x8);
+
+    int32x4_t accMacLo[MR], accMacHi[MR], accSacLo[MR], accSacHi[MR];
+    for (int a = 0; a < MR; ++a) {
+        accMacLo[a] = vdupq_n_s32(0);
+        accMacHi[a] = vdupq_n_s32(0);
+        accSacLo[a] = vdupq_n_s32(0);
+        accSacHi[a] = vdupq_n_s32(0);
+    }
+
+    int64_t i = 0;
+    while (i + 2 <= len) {
+        // Each iteration adds two products (<= 2 * 16256) per int32
+        // lane for 2 elements, so a kWidenBlock-element block stays
+        // below 2^31 exactly like the other integer kernels.
+        const int64_t blockEnd = std::min(len, i + kWidenBlock);
+        for (; i + 2 <= blockEnd; i += 2) {
+            const uint8x8_t wb = vld1_u8(wtile + (i / 2) * 8);
+            // Low 8 lanes of `nib`: even-k codes; high 8: odd-k.
+            const uint8x16_t nib = vcombine_u8(
+                vand_u8(wb, nibMask), vshr_n_u8(wb, 4));
+            const int8x16_t mac8 = vqtbl1q_s8(tblMac, nib);
+            const int16x8_t macEven = vmovl_s8(vget_low_s8(mac8));
+            const int16x8_t macOdd = vmovl_s8(vget_high_s8(mac8));
+
+            // 2^mag reaches 128, so the SAC weights widen unsigned
+            // and the conditional negate runs in int16.
+            const uint8x16_t pow8 = vqtbl1q_u8(tblPow, nib);
+            const uint8x16_t neg8 =
+                vceqq_u8(vandq_u8(nib, signBit), signBit);
+            const int16x8_t powEven = vreinterpretq_s16_u16(
+                vmovl_u8(vget_low_u8(pow8)));
+            const int16x8_t powOdd = vreinterpretq_s16_u16(
+                vmovl_u8(vget_high_u8(pow8)));
+            const int16x8_t negEven =
+                vmovl_s8(vget_low_s8(vreinterpretq_s8_u8(neg8)));
+            const int16x8_t negOdd =
+                vmovl_s8(vget_high_s8(vreinterpretq_s8_u8(neg8)));
+            // Conditional negate: (pow ^ mask) - mask.
+            const int16x8_t sacEven =
+                vsubq_s16(veorq_s16(powEven, negEven), negEven);
+            const int16x8_t sacOdd =
+                vsubq_s16(veorq_s16(powOdd, negOdd), negOdd);
+
+            for (int a = 0; a < MR; ++a) {
+                const int16_t xk =
+                    static_cast<int16_t>(x[a * xStride + i]);
+                const int16_t xk1 =
+                    static_cast<int16_t>(x[a * xStride + i + 1]);
+                accMacLo[a] = vmlal_n_s16(
+                    accMacLo[a], vget_low_s16(macEven), xk);
+                accMacHi[a] = vmlal_n_s16(
+                    accMacHi[a], vget_high_s16(macEven), xk);
+                accMacLo[a] = vmlal_n_s16(
+                    accMacLo[a], vget_low_s16(macOdd), xk1);
+                accMacHi[a] = vmlal_n_s16(
+                    accMacHi[a], vget_high_s16(macOdd), xk1);
+                accSacLo[a] = vmlal_n_s16(
+                    accSacLo[a], vget_low_s16(sacEven), xk);
+                accSacHi[a] = vmlal_n_s16(
+                    accSacHi[a], vget_high_s16(sacEven), xk);
+                accSacLo[a] = vmlal_n_s16(
+                    accSacLo[a], vget_low_s16(sacOdd), xk1);
+                accSacHi[a] = vmlal_n_s16(
+                    accSacHi[a], vget_high_s16(sacOdd), xk1);
+            }
+        }
+        for (int a = 0; a < MR; ++a) {
+            int32_t lanes[8];
+            vst1q_s32(lanes, accMacLo[a]);
+            vst1q_s32(lanes + 4, accMacHi[a]);
+            for (int c = 0; c < kTilePanelCols; ++c)
+                mac[a * kTilePanelCols + c] += lanes[c];
+            vst1q_s32(lanes, accSacLo[a]);
+            vst1q_s32(lanes + 4, accSacHi[a]);
+            for (int c = 0; c < kTilePanelCols; ++c)
+                sac[a * kTilePanelCols + c] += lanes[c];
+            accMacLo[a] = vdupq_n_s32(0);
+            accMacHi[a] = vdupq_n_s32(0);
+            accSacLo[a] = vdupq_n_s32(0);
+            accSacHi[a] = vdupq_n_s32(0);
+        }
+    }
+    scalarFusedTilePanelRange(x, xStride, MR, wtile, i, len, mac, sac);
+}
+
+void
+neonFusedTilePanel(const int8_t *x, int64_t xStride, int mr,
+                   const uint8_t *wtile, int64_t len, int64_t *mac,
+                   int64_t *sac)
+{
+    switch (mr) {
+      case 1: neonTilePanelImpl<1>(x, xStride, wtile, len, mac, sac); break;
+      case 2: neonTilePanelImpl<2>(x, xStride, wtile, len, mac, sac); break;
+      case 3: neonTilePanelImpl<3>(x, xStride, wtile, len, mac, sac); break;
+      case 4: neonTilePanelImpl<4>(x, xStride, wtile, len, mac, sac); break;
+      default:
+        scalarFusedTilePanel(x, xStride, mr, wtile, len, mac, sac);
+        break;
+    }
+}
+
 double
 neonDotF32(const float *x, const float *w, int64_t n)
 {
@@ -457,6 +579,7 @@ const SimdOps kNeonOps = {
     &neonDequantInt8,
     &neonDotInt8,
     &neonFusedDotMant,
+    &neonFusedTilePanel,
     &neonDotF32,
     &neonAccumulateSq,
 };

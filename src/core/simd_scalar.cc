@@ -29,6 +29,7 @@ const SimdOps kScalarOps = {
     &scalarDequantInt8,
     &scalarDotInt8,
     &scalarFusedDotMant,
+    &scalarFusedTilePanel,
     &scalarDotF32,
     &scalarAccumulateSq,
 };

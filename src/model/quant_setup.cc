@@ -80,6 +80,15 @@ mantW4A8Setup(int64_t group)
 }
 
 QuantSetup
+mantFusedSetup(int64_t group)
+{
+    QuantSetup s = mantW4A8Setup(group);
+    s.fusedInference = true;
+    s.label = "MANT W4A8 fused";
+    return s;
+}
+
+QuantSetup
 mantFullSetup(int64_t group)
 {
     QuantSetup s = mantW4A8Setup(group);

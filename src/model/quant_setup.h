@@ -66,6 +66,16 @@ struct QuantSetup
      *  activation quantization of the final Tbl. II row). */
     bool quantizeAttention = false;
 
+    /**
+     * Route linear layers through the prepacked-tile fused integer
+     * GEMM (the Eq. 5 MAC+SAC datapath over MantPackedTiles) instead
+     * of float linearNT on dequantized weights. Only takes effect for
+     * 4-bit MANT weights; the activation quantization then happens
+     * inside the fused kernel (group-wise INT8 at the weight group
+     * size), modelling the accelerator datapath end to end.
+     */
+    bool fusedInference = false;
+
     /** Human-readable label, e.g. "MANT W4A8 KV4". */
     std::string label = "fp16";
 };
@@ -78,6 +88,8 @@ QuantSetup w8a8Setup(WeightMethod wm, ActMethod am, Granularity gran,
                      int64_t group);
 /** MANT W4A8 (linear only). */
 QuantSetup mantW4A8Setup(int64_t group = 64);
+/** MANT W4A8 running the fused integer GEMM over prepacked tiles. */
+QuantSetup mantFusedSetup(int64_t group = 64);
 /** MANT W4A8 + INT8 attention activations + 4-bit MANT KV cache. */
 QuantSetup mantFullSetup(int64_t group = 64);
 

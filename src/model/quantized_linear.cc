@@ -151,12 +151,19 @@ linearNT(const Tensor &x, const Tensor &w)
     return out;
 }
 
-QuantizedLinear::QuantizedLinear(const Tensor &w, const QuantSetup &setup)
+QuantizedLinear::QuantizedLinear(const Tensor &w, const QuantSetup &setup,
+                                 std::span<const double> calibPower,
+                                 bool retainFused)
     : actGroup_(setup.actGroup)
 {
     std::optional<MantQuantizedMatrix> q;
-    effective_ = quantizeWeightMatrix(w, setup, &q);
+    effective_ = quantizeWeightMatrix(w, setup, retainFused ? &q : nullptr,
+                                      calibPower);
     quantized_ = std::move(q);
+    if (quantized_) {
+        tiles_ = MantPackedTiles::pack(*quantized_);
+        scratch_ = std::make_unique<ActScratchPool>();
+    }
 }
 
 Tensor
@@ -168,11 +175,41 @@ QuantizedLinear::forward(const Tensor &x) const
 Tensor
 QuantizedLinear::forwardFused(const Tensor &x) const
 {
+    Tensor out;
+    forwardFusedInto(x, out);
+    return out;
+}
+
+void
+QuantizedLinear::forwardFusedInto(const Tensor &x, Tensor &out) const
+{
     if (!quantized_)
         throw std::logic_error(
             "QuantizedLinear::forwardFused: no MANT codes present");
     // Activation groups must share the weight group boundaries so each
     // group contributes one (psum1, psum2) pair.
+    auto qx = scratch_->acquire();
+    qx->assign(x, quantized_->groupSize());
+    fusedGemmTiledInto(*qx, *tiles_, out);
+    scratch_->release(std::move(qx));
+}
+
+void
+QuantizedLinear::forwardFusedInto(const Int8QuantizedActivations &qx,
+                                  Tensor &out) const
+{
+    if (!quantized_)
+        throw std::logic_error(
+            "QuantizedLinear::forwardFused: no MANT codes present");
+    fusedGemmTiledInto(qx, *tiles_, out);
+}
+
+Tensor
+QuantizedLinear::forwardFusedReference(const Tensor &x) const
+{
+    if (!quantized_)
+        throw std::logic_error(
+            "QuantizedLinear::forwardFused: no MANT codes present");
     const Int8QuantizedActivations qx =
         Int8QuantizedActivations::quantize(x, quantized_->groupSize());
     return fusedGemm(qx, *quantized_);

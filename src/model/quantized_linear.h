@@ -10,9 +10,13 @@
 #ifndef MANT_MODEL_QUANTIZED_LINEAR_H_
 #define MANT_MODEL_QUANTIZED_LINEAR_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/fused_gemm.h"
+#include "core/packed_tiles.h"
 #include "model/quant_setup.h"
 #include "tensor/tensor.h"
 
@@ -47,32 +51,101 @@ Tensor quantizeActivations(const Tensor &x, const QuantSetup &setup);
 Tensor linearNT(const Tensor &x, const Tensor &w);
 
 /**
- * A linear layer holding both the effective float weights and (for
- * MANT) the quantized codes, able to run either the float path or the
- * fused integer path. Used by examples and integration tests.
+ * Thread-safe pool of activation-quantization scratch buffers: a
+ * forward call checks one out, requantizes in place (reusing vector
+ * capacity), and returns it — so a steady-state decode loop performs
+ * no per-call allocation, and concurrent forward calls each get their
+ * own buffer instead of racing on a shared member.
+ */
+class ActScratchPool
+{
+  public:
+    std::unique_ptr<Int8QuantizedActivations>
+    acquire()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (free_.empty())
+            return std::make_unique<Int8QuantizedActivations>();
+        auto buf = std::move(free_.back());
+        free_.pop_back();
+        return buf;
+    }
+
+    void
+    release(std::unique_ptr<Int8QuantizedActivations> buf)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.push_back(std::move(buf));
+    }
+
+  private:
+    std::mutex mu_;
+    std::vector<std::unique_ptr<Int8QuantizedActivations>> free_;
+};
+
+/**
+ * A linear layer holding the effective float weights and (for MANT)
+ * the quantized codes plus their prepacked tile form, able to run
+ * either the float path or the fused integer path. The tiles are
+ * packed once at construction (the offline encode), so every
+ * forwardFused call streams the cache-blocked layout directly.
  */
 class QuantizedLinear
 {
   public:
-    QuantizedLinear(const Tensor &w, const QuantSetup &setup);
+    QuantizedLinear() = default;
+
+    /**
+     * Quantize a weight matrix per the setup. `calibPower` (per-input-
+     * feature E[x²]) switches the MANT coefficient search to the Eq. 6
+     * output-MSE objective when its length matches the columns.
+     * `retainFused = false` drops the MANT codes and skips the tile
+     * prepack (no fused path, ~40% less weight memory) — for callers
+     * that only ever run the float path, e.g. a Transformer without
+     * `fusedInference`.
+     */
+    QuantizedLinear(const Tensor &w, const QuantSetup &setup,
+                    std::span<const double> calibPower = {},
+                    bool retainFused = true);
 
     /** Float path: y = x * Weff^T. */
     Tensor forward(const Tensor &x) const;
 
     /**
      * Fused integer path (MANT weights only): group-quantize x to
-     * INT8 and run the MAC+SAC datapath of Eq. 5.
+     * INT8 and run the MAC+SAC datapath of Eq. 5 over the prepacked
+     * tiles. Bit-identical to forwardFusedReference().
      */
     Tensor forwardFused(const Tensor &x) const;
+
+    /**
+     * Scratch-friendly fused path: activation quantization reuses a
+     * pooled buffer and `out`'s storage is reused when the shape
+     * matches — zero steady-state allocation in a decode loop.
+     */
+    void forwardFusedInto(const Tensor &x, Tensor &out) const;
+
+    /** Fused path over already-quantized activations (shared across
+     *  several linears consuming the same input, e.g. Q/K/V). */
+    void forwardFusedInto(const Int8QuantizedActivations &qx,
+                          Tensor &out) const;
+
+    /** The PR 3 unblocked fused path, kept as the bit-exactness
+     *  oracle for the tiled kernels (tests assert equality). */
+    Tensor forwardFusedReference(const Tensor &x) const;
 
     bool hasFusedPath() const { return quantized_.has_value(); }
     const Tensor &effectiveWeights() const { return effective_; }
     const MantQuantizedMatrix &codes() const { return *quantized_; }
+    const MantPackedTiles &tiles() const { return *tiles_; }
 
   private:
     Tensor effective_;
     std::optional<MantQuantizedMatrix> quantized_;
-    int64_t actGroup_;
+    std::optional<MantPackedTiles> tiles_;
+    int64_t actGroup_ = 64;
+    /** unique_ptr keeps the class movable despite the pool's mutex. */
+    std::unique_ptr<ActScratchPool> scratch_;
 };
 
 } // namespace mant

@@ -74,7 +74,7 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
     struct EncodeItem
     {
         const Tensor *w;
-        Tensor *out;
+        QuantizedLinear *out;
         LinearSlot slot;
         int64_t layer;
     };
@@ -100,11 +100,18 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
             for (int64_t i = ib; i < ie; ++i) {
                 const EncodeItem &item =
                     items[static_cast<size_t>(i)];
-                *item.out = quantizeWeightMatrix(
-                    *item.w, setup_, nullptr,
-                    calib_power(item.layer, item.slot));
+                // Codes and tiles are only retained when the fused
+                // path will actually run them; float-path setups
+                // keep exactly the pre-PR 4 memory footprint.
+                *item.out = QuantizedLinear(
+                    *item.w, setup_,
+                    calib_power(item.layer, item.slot),
+                    setup_.fusedInference);
             }
         });
+    fusedLinears_ = setup_.fusedInference &&
+                    setup_.weight == WeightMethod::Mant &&
+                    setup_.weightBits < 8;
     reset();
 }
 
@@ -174,12 +181,26 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
     normRows(h, lw.normGain1, lw.normBias1);
     if (calibSink_)
         calibSink_->accumulate(layer, LinearSlot::AttnIn, h);
-    if (setup_.act != ActMethod::None)
-        h = quantizeActivations(h, setup_);
 
-    Tensor q = linearNT(h, e.wq);
-    Tensor k = linearNT(h, e.wk);
-    Tensor v = linearNT(h, e.wv);
+    // Fused path: the kernel quantizes activations internally (one
+    // shared INT8 encode feeds Q, K and V), so the explicit float
+    // quantize-dequantize is skipped.
+    Tensor qLoc, kLoc, vLoc;
+    Tensor &q = fusedLinears_ ? linQ_ : qLoc;
+    Tensor &k = fusedLinears_ ? linK_ : kLoc;
+    Tensor &v = fusedLinears_ ? linV_ : vLoc;
+    if (fusedLinears_) {
+        actScratch_.assign(h, setup_.weightGroup);
+        e.wq.forwardFusedInto(actScratch_, linQ_);
+        e.wk.forwardFusedInto(actScratch_, linK_);
+        e.wv.forwardFusedInto(actScratch_, linV_);
+    } else {
+        if (setup_.act != ActMethod::None)
+            h = quantizeActivations(h, setup_);
+        qLoc = e.wq.forward(h);
+        kLoc = e.wk.forward(h);
+        vLoc = e.wv.forward(h);
+    }
 
     // RoPE on Q and K, per head, at absolute positions.
     if (base_.profile.family == ModelFamily::Llama) {
@@ -277,11 +298,20 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
 
     if (calibSink_)
         calibSink_->accumulate(layer, LinearSlot::OProj, attn_out);
-    if (setup_.act != ActMethod::None)
-        attn_out = quantizeActivations(attn_out, setup_);
-    const Tensor o = linearNT(attn_out, e.wo);
+    Tensor oLoc;
+    const Tensor *o;
+    if (fusedLinears_) {
+        actScratch_.assign(attn_out, setup_.weightGroup);
+        e.wo.forwardFusedInto(actScratch_, linO_);
+        o = &linO_;
+    } else {
+        if (setup_.act != ActMethod::None)
+            attn_out = quantizeActivations(attn_out, setup_);
+        oLoc = e.wo.forward(attn_out);
+        o = &oLoc;
+    }
     for (int64_t i = 0; i < x.numel(); ++i)
-        x[i] += o[i];
+        x[i] += (*o)[i];
 }
 
 void
@@ -294,28 +324,52 @@ Transformer::ffnBlock(int64_t layer, Tensor &x)
     normRows(h, lw.normGain2, lw.normBias2);
     if (calibSink_)
         calibSink_->accumulate(layer, LinearSlot::FfnIn, h);
-    if (setup_.act != ActMethod::None)
-        h = quantizeActivations(h, setup_);
 
-    Tensor mid;
-    if (base_.profile.family == ModelFamily::Llama) {
-        Tensor gate = linearNT(h, e.wGate);
-        const Tensor up = linearNT(h, e.wUp);
-        siluInPlace(gate.span());
-        for (int64_t i = 0; i < gate.numel(); ++i)
-            gate[i] *= up[i];
-        mid = std::move(gate);
+    Tensor midLoc;
+    Tensor &mid = fusedLinears_ ? linGate_ : midLoc;
+    if (fusedLinears_) {
+        actScratch_.assign(h, setup_.weightGroup);
+        if (base_.profile.family == ModelFamily::Llama) {
+            e.wGate.forwardFusedInto(actScratch_, linGate_);
+            e.wUp.forwardFusedInto(actScratch_, linUp_);
+            siluInPlace(linGate_.span());
+            for (int64_t i = 0; i < linGate_.numel(); ++i)
+                linGate_[i] *= linUp_[i];
+        } else {
+            e.wGate.forwardFusedInto(actScratch_, linGate_);
+            geluInPlace(linGate_.span());
+        }
     } else {
-        mid = linearNT(h, e.wGate);
-        geluInPlace(mid.span());
+        if (setup_.act != ActMethod::None)
+            h = quantizeActivations(h, setup_);
+        if (base_.profile.family == ModelFamily::Llama) {
+            Tensor gate = e.wGate.forward(h);
+            const Tensor up = e.wUp.forward(h);
+            siluInPlace(gate.span());
+            for (int64_t i = 0; i < gate.numel(); ++i)
+                gate[i] *= up[i];
+            midLoc = std::move(gate);
+        } else {
+            midLoc = e.wGate.forward(h);
+            geluInPlace(midLoc.span());
+        }
     }
     if (calibSink_)
         calibSink_->accumulate(layer, LinearSlot::FfnDown, mid);
-    if (setup_.act != ActMethod::None)
-        mid = quantizeActivations(mid, setup_);
-    const Tensor down = linearNT(mid, e.wDown);
+    Tensor downLoc;
+    const Tensor *down;
+    if (fusedLinears_) {
+        actScratch_.assign(mid, setup_.weightGroup);
+        e.wDown.forwardFusedInto(actScratch_, linDown_);
+        down = &linDown_;
+    } else {
+        if (setup_.act != ActMethod::None)
+            mid = quantizeActivations(mid, setup_);
+        downLoc = e.wDown.forward(mid);
+        down = &downLoc;
+    }
     for (int64_t i = 0; i < x.numel(); ++i)
-        x[i] += down[i];
+        x[i] += (*down)[i];
 }
 
 Tensor

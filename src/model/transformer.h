@@ -17,6 +17,7 @@
 #include "core/variance_selector.h"
 #include "model/kv_cache.h"
 #include "model/quant_setup.h"
+#include "model/quantized_linear.h"
 #include "model/weights.h"
 
 namespace mant {
@@ -89,9 +90,15 @@ class Transformer
         const ModelWeights &weights, std::span<const int32_t> tokens);
 
   private:
+    /**
+     * One layer's quantized linears. Each holds the effective float
+     * weights (the float path computes with these, exactly as before)
+     * and, for 4-bit MANT, the codes plus prepacked tiles the fused
+     * inference path streams.
+     */
     struct EffLayer
     {
-        Tensor wq, wk, wv, wo, wGate, wUp, wDown;
+        QuantizedLinear wq, wk, wv, wo, wGate, wUp, wDown;
     };
 
     Tensor embed(std::span<const int32_t> tokens, int64_t startPos) const;
@@ -112,6 +119,14 @@ class Transformer
     ModelCalibration *calibSink_ = nullptr;
     int64_t pos_ = 0;
     float logitScale_ = 1.0f;
+
+    /** True when linears route through the prepacked fused path. */
+    bool fusedLinears_ = false;
+    /** Decode-loop scratch for the fused path: the activation
+     *  quantization buffer and per-slot output tensors are reused
+     *  across layers and steps (no steady-state allocation). */
+    Int8QuantizedActivations actScratch_;
+    Tensor linQ_, linK_, linV_, linO_, linGate_, linUp_, linDown_;
 };
 
 } // namespace mant

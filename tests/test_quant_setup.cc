@@ -46,6 +46,16 @@ TEST(QuantSetup, MantW4A8)
     EXPECT_EQ(s.kv, KvMethod::Fp16);
 }
 
+TEST(QuantSetup, MantFusedRoutesThroughTiles)
+{
+    const QuantSetup s = mantFusedSetup(32);
+    EXPECT_EQ(s.weight, WeightMethod::Mant);
+    EXPECT_EQ(s.weightBits, 4);
+    EXPECT_TRUE(s.fusedInference);
+    EXPECT_EQ(s.label, "MANT W4A8 fused");
+    EXPECT_FALSE(mantW4A8Setup(32).fusedInference);
+}
+
 TEST(QuantSetup, MantFullAddsKvAndAttention)
 {
     const QuantSetup s = mantFullSetup(64);

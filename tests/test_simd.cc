@@ -81,34 +81,8 @@ class SimdEnvGuard
     std::string simd_, threads_;
 };
 
-/** Run fn under a pinned SIMD path and thread count. */
-template <typename Fn>
-auto
-withPath(SimdPath path, int threads, Fn &&fn)
-{
-    setSimdPath(path);
-    setMaxThreads(threads);
-    auto restore = [] {
-        setSimdPath(SimdPath::Auto);
-        setMaxThreads(0);
-    };
-    try {
-        auto result = fn();
-        restore();
-        return result;
-    } catch (...) {
-        restore();
-        throw;
-    }
-}
-
-bool
-bytesEqual(std::span<const float> a, std::span<const float> b)
-{
-    return a.size() == b.size() &&
-           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) ==
-               0;
-}
+using test::bytesEqual;
+using test::withPath;
 
 const std::vector<int64_t> &
 groupSizes()

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "model/generation.h"
 #include "model/model_profiles.h"
 #include "model/transformer.h"
@@ -99,6 +100,51 @@ TEST_F(TransformerTest, QuantizedWeightsPerturbLogitsSlightly)
     const double err = nmse(a.span(), b.span());
     EXPECT_GT(err, 0.0);
     EXPECT_LT(err, 0.3);
+}
+
+TEST_F(TransformerTest, FusedInferenceTracksFloatMantPath)
+{
+    // The fused-tile integer path is a different (but equally valid)
+    // W4A8 evaluation: group-wise INT8 activations consumed by the
+    // MAC+SAC datapath instead of float-requantized activations
+    // through linearNT. Logits must stay close to the float MANT
+    // path and to FP16.
+    Transformer fp16(weights_, fp16Setup());
+    Transformer fl(weights_, mantW4A8Setup(64));
+    Transformer fused(weights_, mantFusedSetup(64));
+    const Tensor ref = fp16.prefill(toks_);
+    const Tensor a = fl.prefill(toks_);
+    const Tensor b = fused.prefill(toks_);
+    ASSERT_EQ(b.shape(), a.shape());
+    EXPECT_LT(nmse(a.span(), b.span()), 5e-3);
+    EXPECT_LT(nmse(ref.span(), b.span()), 5e-2);
+}
+
+TEST_F(TransformerTest, FusedInferenceDecodeRuns)
+{
+    // Exercises the scratch-reuse decode loop: repeated M=1 forwards
+    // through every linear slot, KV growth included.
+    Transformer fused(weights_, mantFusedSetup(64));
+    std::vector<int32_t> prefix(toks_.begin(), toks_.begin() + 8);
+    fused.prefill(prefix);
+    std::vector<float> last;
+    for (size_t t = 8; t < 16; ++t)
+        last = fused.decodeStep(toks_[t]);
+    ASSERT_EQ(last.size(), 128u);
+    for (float v : last)
+        EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(fused.position(), 16);
+}
+
+TEST_F(TransformerTest, FusedInferenceDeterministicAcrossThreads)
+{
+    Transformer fused(weights_, mantFusedSetup(64));
+    setMaxThreads(1);
+    const Tensor a = fused.prefill(toks_);
+    setMaxThreads(8);
+    const Tensor b = fused.prefill(toks_);
+    setMaxThreads(0);
+    EXPECT_EQ(test::maxDiff(a.span(), b.span()), 0.0);
 }
 
 TEST_F(TransformerTest, MantKvCacheRuns)

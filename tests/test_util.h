@@ -7,8 +7,11 @@
 #ifndef MANT_TESTS_TEST_UTIL_H_
 #define MANT_TESTS_TEST_UTIL_H_
 
+#include <cstring>
 #include <vector>
 
+#include "core/parallel.h"
+#include "core/simd.h"
 #include "model/config.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
@@ -43,6 +46,38 @@ tinyProfile(ModelFamily family = ModelFamily::Llama)
     p.seed = 7;
     p.actStats.outlierChannelRate = 0.02;
     return p;
+}
+
+/** Run fn under a pinned SIMD path and thread count, restoring the
+ *  Auto/default configuration afterwards (parity-suite helper). */
+template <typename Fn>
+auto
+withPath(SimdPath path, int threads, Fn &&fn)
+{
+    setSimdPath(path);
+    setMaxThreads(threads);
+    auto restore = [] {
+        setSimdPath(SimdPath::Auto);
+        setMaxThreads(0);
+    };
+    try {
+        auto result = fn();
+        restore();
+        return result;
+    } catch (...) {
+        restore();
+        throw;
+    }
+}
+
+/** Bitwise equality of two float spans (the determinism-contract
+ *  comparison — NaN-safe, unlike element-wise ==). */
+inline bool
+bytesEqual(std::span<const float> a, std::span<const float> b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) ==
+               0;
 }
 
 /** Max |a-b| over two spans. */

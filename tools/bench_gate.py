@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the tiled fused GEMM.
+
+Usage: bench_gate.py CURRENT_JSON BASELINE_JSON
+
+Reads two google-benchmark JSON files and enforces, for every
+BM_GemmTiled/<M> present in the baseline:
+
+ 1. **Bit-identity**: the `checksum` counter of BM_GemmTiled/<M> must
+    equal BM_GemmRef/<M> exactly in the CURRENT run — the tiled path
+    is only a valid optimization while it reproduces the reference
+    fused GEMM bit-for-bit (docs/ARCHITECTURE.md, determinism
+    contract).
+
+ 2. **Throughput**: the tiled/reference speedup ratio
+    (items_per_second of BM_GemmTiled/<M> over BM_GemmRef/<M>) must
+    not fall more than 10% below the same ratio in the BASELINE file.
+    Gating on the ratio rather than absolute time keeps the gate
+    meaningful across runner hardware generations; the reference path
+    run in the same process is the control. Shapes whose baseline
+    speedup is below MIN_GATED_RATIO (near-parity shapes like the
+    M=1 decode, where a 10% band sits inside run-to-run noise on
+    shared runners) are checksum-gated only.
+
+Exit status 0 when every shape passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+MIN_GATED_RATIO = 1.2
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def ratio(benches, name):
+    ref = benches.get(name.replace("BM_GemmTiled", "BM_GemmRef"))
+    tiled = benches.get(name)
+    if not ref or not tiled:
+        return None
+    try:
+        return tiled["items_per_second"] / ref["items_per_second"]
+    except (KeyError, ZeroDivisionError):
+        return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    current = load(argv[1])
+    baseline = load(argv[2])
+
+    shapes = sorted(
+        n for n in baseline if n.startswith("BM_GemmTiled/")
+    )
+    if not shapes:
+        sys.exit("baseline contains no BM_GemmTiled benchmarks")
+
+    failures = []
+    for name in shapes:
+        refname = name.replace("BM_GemmTiled", "BM_GemmRef")
+        cur_tiled = current.get(name)
+        cur_ref = current.get(refname)
+        if not cur_tiled or not cur_ref:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        cs_tiled = cur_tiled.get("checksum")
+        cs_ref = cur_ref.get("checksum")
+        if cs_tiled != cs_ref:
+            failures.append(
+                f"{name}: checksum mismatch vs reference "
+                f"(tiled={cs_tiled!r} ref={cs_ref!r}) — the tiled "
+                f"path no longer reproduces fusedGemm bit-for-bit"
+            )
+
+        cur = ratio(current, name)
+        base = ratio(baseline, name)
+        if cur is None or base is None:
+            failures.append(f"{name}: missing items_per_second")
+            continue
+        if base < MIN_GATED_RATIO:
+            print(
+                f"{name}: speedup {cur:.2f}x vs baseline {base:.2f}x "
+                f"(near parity — checksum-gated only)"
+            )
+            continue
+        floor = 0.9 * base
+        status = "OK" if cur >= floor else "REGRESSION"
+        print(
+            f"{name}: speedup {cur:.2f}x vs baseline {base:.2f}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if cur < floor:
+            failures.append(
+                f"{name}: tiled speedup {cur:.2f}x fell more than "
+                f"10% below the baseline {base:.2f}x"
+            )
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    print(
+        f"checked {len(shapes)} shapes, {len(failures)} failures"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
