@@ -23,12 +23,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/fused_gemm.h"
 #include "core/kv_quant.h"
 #include "core/packed_tiles.h"
@@ -37,6 +40,7 @@
 #include "model/quantized_linear.h"
 #include "quant/fixed_formats.h"
 #include "quant/group_quantizer.h"
+#include "serve/serving_engine.h"
 #include "tensor/distribution.h"
 
 namespace mant {
@@ -531,6 +535,115 @@ BENCHMARK(BM_GemmTiled)
     ->Arg(1)
     ->Arg(16)
     ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Serving decode benches: aggregate greedy-decode throughput of N
+ * streams, run serially through the single-stream path
+ * (BM_DecodeSerial) vs batched through the ServingEngine's
+ * continuous-batching M = N passes (BM_DecodeBatched). The serial
+ * side is a hand-rolled prefill + decodeStep loop on the model's
+ * default stream — deliberately NOT greedyGenerate, which is itself
+ * an engine run; the gate must compare the engine against the
+ * independent single-stream oracle, not against itself. Both report
+ * a `checksum` over the generated token ids in stream-major order;
+ * the serving determinism contract says the two must match exactly,
+ * and tools/bench_gate.py fails CI when they do not.
+ * items_per_second is aggregate decode tokens/s. Serial runs pinned
+ * (setMaxThreads(1)) would hide nothing here — both sides share the
+ * thread setting, so the ratio isolates batching; threads stay at
+ * the environment value like the serving engine itself.
+ */
+constexpr int64_t kServeTokens = 24;
+constexpr int kServePromptLen = 8;
+
+const ModelWeights &
+servingWeights()
+{
+    static const ModelWeights w =
+        ModelWeights::generate(bench::servingBenchProfile(), 256);
+    return w;
+}
+
+Transformer &
+servingModel()
+{
+    static Transformer m(servingWeights(), mantFusedSetup(64));
+    return m;
+}
+
+std::vector<int32_t>
+servingPrompt(int64_t stream)
+{
+    return bench::servingBenchPrompt(
+        stream, kServePromptLen,
+        servingWeights().embedding.shape().dim(0));
+}
+
+double
+tokenChecksum(const std::vector<std::vector<int32_t>> &outs)
+{
+    double sum = 0.0;
+    int64_t i = 1;
+    for (const auto &stream : outs)
+        for (const int32_t t : stream)
+            sum += static_cast<double>(t) * static_cast<double>(i++);
+    return sum;
+}
+
+static void
+BM_DecodeSerial(benchmark::State &state)
+{
+    const int64_t streams = state.range(0);
+    Transformer &model = servingModel();
+    std::vector<std::vector<int32_t>> outs;
+    for (auto _ : state) {
+        outs.clear();
+        for (int64_t s = 0; s < streams; ++s)
+            outs.push_back(bench::serialGreedyOracle(
+                model, servingPrompt(s), kServeTokens));
+        benchmark::DoNotOptimize(outs);
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * streams *
+                            kServeTokens);
+    state.counters["checksum"] = tokenChecksum(outs);
+}
+BENCHMARK(BM_DecodeSerial)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_DecodeBatched(benchmark::State &state)
+{
+    const int64_t streams = state.range(0);
+    Transformer &model = servingModel();
+    std::vector<std::vector<int32_t>> outs;
+    for (auto _ : state) {
+        ServingEngine engine(model,
+                             ServingConfig{.maxStreams = streams});
+        std::vector<RequestId> ids;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = servingPrompt(s);
+            req.maxNewTokens = kServeTokens;
+            ids.push_back(engine.submit(std::move(req)));
+        }
+        engine.run();
+        outs.clear();
+        for (const RequestId id : ids)
+            outs.push_back(engine.output(id));
+        benchmark::DoNotOptimize(outs);
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * streams *
+                            kServeTokens);
+    state.counters["checksum"] = tokenChecksum(outs);
+}
+BENCHMARK(BM_DecodeBatched)
+    ->Arg(2)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 static void

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-engine throughput sweep: aggregate decode tokens/s of the
+ * batched multi-stream engine vs the same streams run serially through
+ * the single-stream path, over a streams × tokens grid (the Fig. 13/14
+ * batching story applied to the software decode path).
+ *
+ * Every cell is parity-checked: the batched engine must produce
+ * byte-identical token sequences to the serial runs (the serving
+ * determinism contract), and the binary exits non-zero on any
+ * mismatch — so this sweep doubles as an end-to-end check wherever it
+ * runs (CI executes it in the bench job).
+ *
+ * Usage: bench_serving [tokensPerStream] (default 32)
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+#include "core/simd.h"
+#include "model/transformer.h"
+#include "serve/serving_engine.h"
+#include "tensor/rng.h"
+
+namespace mant {
+namespace {
+
+int
+runSweep(int64_t tokensPerStream)
+{
+    const ModelProfile profile = bench::servingBenchProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 256);
+    Transformer model(weights, mantFusedSetup(64));
+    const int64_t vocab = profile.simDims.vocab;
+    constexpr int kPromptLen = 8;
+
+    std::cout << "Serving decode throughput (" << profile.simDims.dModel
+              << "d x " << profile.simDims.nLayers << "L, vocab "
+              << vocab << ", MANT W4A8 fused, backend "
+              << simdPathName(activeSimdPath()) << ", "
+              << maxThreads() << " thread(s)), " << tokensPerStream
+              << " tokens/stream:\n\n";
+    std::cout << "streams | serial ms | batched ms | serial tok/s | "
+                 "batched tok/s | speedup | parity\n";
+    std::cout << "--------+-----------+------------+--------------+-"
+                 "--------------+---------+-------\n";
+
+    bool all_ok = true;
+    for (const int64_t streams : {1, 2, 4, 8, 16}) {
+        std::vector<std::vector<int32_t>> prompts;
+        for (int64_t s = 0; s < streams; ++s)
+            prompts.push_back(
+                bench::servingBenchPrompt(s, kPromptLen, vocab));
+
+        // Serial: each stream alone through the single-stream path.
+        std::vector<std::vector<int32_t>> serial;
+        const bench::Stopwatch serial_watch;
+        for (int64_t s = 0; s < streams; ++s)
+            serial.push_back(bench::serialGreedyOracle(
+                model, prompts[static_cast<size_t>(s)],
+                tokensPerStream));
+        const double serial_ms = serial_watch.elapsedNs() / 1e6;
+
+        // Batched: one engine, one decode pass per step for all
+        // streams together.
+        ServingEngine engine(model,
+                             ServingConfig{.maxStreams = streams});
+        std::vector<RequestId> ids;
+        const bench::Stopwatch batched_watch;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = prompts[static_cast<size_t>(s)];
+            req.maxNewTokens = tokensPerStream;
+            ids.push_back(engine.submit(std::move(req)));
+        }
+        engine.run();
+        const double batched_ms = batched_watch.elapsedNs() / 1e6;
+
+        bool parity = true;
+        for (int64_t s = 0; s < streams; ++s)
+            parity = parity &&
+                     engine.output(ids[static_cast<size_t>(s)]) ==
+                         serial[static_cast<size_t>(s)];
+        all_ok = all_ok && parity;
+
+        const double total_tokens =
+            static_cast<double>(streams * tokensPerStream);
+        std::printf(
+            "%7lld | %9.1f | %10.1f | %12.0f | %13.0f | %6.2fx | %s\n",
+            static_cast<long long>(streams), serial_ms, batched_ms,
+            total_tokens / (serial_ms / 1e3),
+            total_tokens / (batched_ms / 1e3),
+            serial_ms / batched_ms, parity ? "OK" : "MISMATCH");
+    }
+
+    if (!all_ok) {
+        std::cerr << "\nFAIL: batched outputs diverged from the "
+                     "serial single-stream path\n";
+        return 1;
+    }
+    std::cout << "\nAll batch widths byte-identical to serial.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace mant
+
+int
+main(int argc, char **argv)
+{
+    int64_t tokens = 32;
+    if (argc > 1) {
+        try {
+            tokens = std::stoll(argv[1]);
+        } catch (const std::exception &) {
+            tokens = 0; // falls through to the usage error below
+        }
+    }
+    if (tokens < 1) {
+        std::cerr << "bench_serving: tokensPerStream must be a "
+                     "positive integer\n";
+        return 2;
+    }
+    return mant::runSweep(tokens);
+}

@@ -9,13 +9,17 @@
 #ifndef MANT_BENCH_BENCH_UTIL_H_
 #define MANT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "model/evaluator.h"
 #include "model/model_profiles.h"
+#include "model/transformer.h"
 #include "sim/report.h"
 
 namespace mant::bench {
@@ -51,6 +55,69 @@ makeInstance(const std::string &name,
     inst.evaluator =
         std::make_unique<PplEvaluator>(*inst.weights, cfg);
     return inst;
+}
+
+/**
+ * Shared serving-bench fixtures: the model profile, per-stream
+ * prompts, and the hand-rolled single-stream greedy oracle used by
+ * both `bench_serving` and `bench_kernels`' BM_Decode* gate entries.
+ * One definition, so the two parity gates can never desynchronize.
+ */
+inline ModelProfile
+servingBenchProfile()
+{
+    ModelProfile p;
+    p.name = "bench-serving";
+    p.family = ModelFamily::Llama;
+    p.simDims.nLayers = 2;
+    p.simDims.dModel = 512;
+    p.simDims.nHeads = 4;
+    p.simDims.dFfn = 1024;
+    p.simDims.vocab = 256;
+    p.archDims = p.simDims;
+    p.fp16Ppl = 8.0;
+    p.seed = 21;
+    p.actStats.outlierChannelRate = 0.02;
+    return p;
+}
+
+/** Deterministic per-stream prompt, `len` ids in [0, vocab). */
+inline std::vector<int32_t>
+servingBenchPrompt(int64_t stream, int len, int64_t vocab)
+{
+    Rng rng(4000 + static_cast<uint64_t>(stream));
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p)
+        t = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return p;
+}
+
+/**
+ * The pre-engine single-stream loop (prefill + decodeStep feedback on
+ * the model's default stream): the independent serial oracle the
+ * batched ServingEngine's token checksums are gated against.
+ * Deliberately NOT greedyGenerate — that now runs on the engine
+ * itself, and an engine-vs-engine comparison would gate nothing.
+ * Requires numTokens >= 1 and a non-empty prompt.
+ */
+inline std::vector<int32_t>
+serialGreedyOracle(Transformer &model, std::span<const int32_t> prompt,
+                   int64_t numTokens)
+{
+    std::vector<int32_t> out;
+    const Tensor logits = model.prefill(prompt);
+    const auto last = logits.row(logits.shape().dim(0) - 1);
+    int32_t next = static_cast<int32_t>(
+        std::max_element(last.begin(), last.end()) - last.begin());
+    out.push_back(next);
+    while (static_cast<int64_t>(out.size()) < numTokens) {
+        const std::vector<float> row = model.decodeStep(next);
+        next = static_cast<int32_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+        out.push_back(next);
+    }
+    return out;
 }
 
 /** Wall-clock helper for the Tbl. I efficiency measurements. */

@@ -172,7 +172,15 @@ fusedGemmTiledInto(const Int8QuantizedActivations &x,
     const int64_t numKb =
         groups > 0 ? (groups + groupsPerKb - 1) / groupsPerKb : 0;
     const int64_t numMb = (m_dim + kTileMC - 1) / kTileMC;
-    const int64_t numNc = (panels + kTileNCPanels - 1) / kTileNCPanels;
+    // Small batches (the batched-serving decode shape, M well under
+    // one MC block) leave numMb == 1, making panel blocks the only
+    // source of parallel tasks; shrink the panel block to one so the
+    // thread pool still fills on narrow matrices. Per-cell group
+    // accumulation order is unaffected by the task grid, so bit-parity
+    // with the reference holds at any block size.
+    const int64_t ncPanels =
+        m_dim <= kTileMC / 2 ? 1 : kTileNCPanels;
+    const int64_t numNc = (panels + ncPanels - 1) / ncPanels;
 
     // Task = (M block, panel block). Every output cell belongs to
     // exactly one task and accumulates its groups in ascending order
@@ -185,9 +193,9 @@ fusedGemmTiledInto(const Int8QuantizedActivations &x,
                 const int64_t nc = task % numNc;
                 const int64_t m0 = mb * kTileMC;
                 const int64_t m1 = std::min(m_dim, m0 + kTileMC);
-                const int64_t p0 = nc * kTileNCPanels;
+                const int64_t p0 = nc * ncPanels;
                 const int64_t p1 =
-                    std::min(panels, p0 + kTileNCPanels);
+                    std::min(panels, p0 + ncPanels);
                 for (int64_t p = p0; p < p1; ++p) {
                     double acc[kTileMC][kTilePanelCols];
                     for (int64_t m = m0; m < m1; ++m)

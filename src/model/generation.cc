@@ -2,31 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "model/layers.h"
+#include "serve/serving_engine.h"
 
 namespace mant {
+
+namespace {
+
+/**
+ * Reject reference token ids the decode path cannot take: a negative
+ * or >= vocab id would index the logits row (forcedLikelihood) or the
+ * embedding table (teacher forcing) out of bounds — UB, not a soft
+ * error. Shared by both forced-decoding evaluators.
+ */
+void
+validateReferenceTokens(std::span<const int32_t> reference,
+                        int64_t vocab, const char *fn)
+{
+    for (size_t t = 0; t < reference.size(); ++t) {
+        if (reference[t] < 0 ||
+            static_cast<int64_t>(reference[t]) >= vocab) {
+            throw std::out_of_range(
+                std::string(fn) + ": reference token " +
+                std::to_string(reference[t]) + " at position " +
+                std::to_string(t) + " outside vocab [0, " +
+                std::to_string(vocab) + ")");
+        }
+    }
+}
+
+} // namespace
 
 std::vector<int32_t>
 greedyGenerate(Transformer &model, std::span<const int32_t> prompt,
                int64_t numTokens)
 {
-    std::vector<int32_t> generated;
-    generated.reserve(static_cast<size_t>(numTokens));
+    // Clamp degenerate counts: a negative numTokens used to underflow
+    // the size_t reserve() into a huge allocation, and numTokens == 0
+    // still emitted the prefill argmax. Empty output for both (and for
+    // an empty prompt, which has no last logits row to seed from).
+    if (numTokens <= 0 || prompt.empty())
+        return {};
 
-    const Tensor logits = model.prefill(prompt);
-    const auto last = logits.row(logits.shape().dim(0) - 1);
-    int32_t next = static_cast<int32_t>(
-        std::max_element(last.begin(), last.end()) - last.begin());
-    generated.push_back(next);
-
-    for (int64_t t = 1; t < numTokens; ++t) {
-        const std::vector<float> row = model.decodeStep(next);
-        next = static_cast<int32_t>(
-            std::max_element(row.begin(), row.end()) - row.begin());
-        generated.push_back(next);
-    }
-    return generated;
+    // One single-slot serving engine run: identical tokens to the old
+    // hand-rolled prefill + decodeStep loop (the engine's determinism
+    // contract), with the model's own default-stream state untouched.
+    ServingEngine engine(model, ServingConfig{.maxStreams = 1});
+    GenRequest req;
+    req.prompt.assign(prompt.begin(), prompt.end());
+    req.maxNewTokens = numTokens;
+    const RequestId id = engine.submit(std::move(req));
+    engine.run();
+    return engine.output(id);
 }
 
 double
@@ -64,6 +94,9 @@ forcedLikelihood(Transformer &model, std::span<const int32_t> prompt,
 {
     if (reference.empty())
         return 1.0;
+    validateReferenceTokens(
+        reference, model.weights().embedding.shape().dim(0),
+        "forcedLikelihood");
 
     const Tensor logits = model.prefill(prompt);
     std::vector<float> probs;
@@ -93,6 +126,9 @@ forcedDecodingAgreement(Transformer &model,
 {
     if (reference.empty())
         return 1.0;
+    validateReferenceTokens(
+        reference, model.weights().embedding.shape().dim(0),
+        "forcedDecodingAgreement");
 
     const Tensor logits = model.prefill(prompt);
     const auto last = logits.row(logits.shape().dim(0) - 1);

@@ -19,7 +19,11 @@ namespace mant {
 
 /**
  * Greedy generation: prefill the prompt, then decode `numTokens`
- * tokens, feeding each argmax back in.
+ * tokens, feeding each argmax back in. Runs on a single-slot
+ * ServingEngine stream (src/serve/), leaving the model's own
+ * default-stream state untouched. Non-positive `numTokens` and empty
+ * prompts return an empty vector; prompt tokens outside the model
+ * vocabulary throw std::invalid_argument.
  */
 std::vector<int32_t> greedyGenerate(Transformer &model,
                                     std::span<const int32_t> prompt,
@@ -48,6 +52,9 @@ double scaledGenerationScore(double similarity, double fp16Score);
  * under test would have picked the same token. Unlike free-running
  * similarity this does not cascade after the first divergence, so it
  * resolves small quality differences (e.g. KV INT4 vs KV MANT4).
+ * Reference token ids outside [0, vocab) throw std::out_of_range
+ * before any model work runs (they would otherwise index the
+ * embedding table out of bounds under teacher forcing).
  */
 double forcedDecodingAgreement(Transformer &model,
                                std::span<const int32_t> prompt,
@@ -59,6 +66,9 @@ double forcedDecodingAgreement(Transformer &model,
  * continuous generation-quality measure: 1-for-1 with the reference
  * model on its own output, strictly below it for any perturbation —
  * resolving differences (KV INT4 vs MANT4) that argmax metrics hide.
+ * Reference token ids outside [0, vocab) throw std::out_of_range
+ * before any model work runs (they would otherwise index the logits
+ * row out of bounds).
  */
 double forcedLikelihood(Transformer &model,
                         std::span<const int32_t> prompt,

@@ -1,6 +1,7 @@
 #include "model/kv_cache.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "tensor/fp16.h"
@@ -83,6 +84,8 @@ HeadKvCache::appendV(std::span<const float> v)
 std::span<const float>
 HeadKvCache::kRow(int64_t pos) const
 {
+    assert(pos >= 0 && pos < static_cast<int64_t>(kRows_) &&
+           "HeadKvCache::kRow: position outside [0, size())");
     return {kData_.data() + pos * headDim_,
             static_cast<size_t>(headDim_)};
 }

@@ -45,7 +45,16 @@ class HeadKvCache
 
     int64_t size() const { return static_cast<int64_t>(kRows_); }
 
-    /** Dequantized K row at a position. */
+    /**
+     * Dequantized K row at a position.
+     *
+     * Contract: `pos` must lie in [0, size()). Out-of-range positions
+     * are a caller bug — debug builds abort on the assert; release
+     * builds make no promise about the returned span (it may point
+     * outside the cache's storage). The attention walk guarantees this
+     * by construction: it only reads positions below the visible
+     * horizon, which never exceeds the appended row count.
+     */
     std::span<const float> kRow(int64_t pos) const;
 
     /** Dequantized V cache as (positions, headDim). */
@@ -57,6 +66,20 @@ class HeadKvCache
         return kSelections_;
     }
 
+    /** Construction parameters (diagnostics and tests; ownership of
+     *  pooled streams is tracked by the Transformer epoch, not by
+     *  re-deriving compatibility from these). */
+    KvMethod method() const { return method_; }
+    int64_t headDim() const { return headDim_; }
+    int64_t groupSize() const { return groupSize_; }
+
+    /**
+     * Drop all cached rows and selection history, keeping the K-row
+     * storage allocation: a reset cache re-fills up to its previous
+     * length without reallocating, which is what lets a serving layer
+     * pool and recycle stream slots. Subsequent appends behave exactly
+     * as on a freshly constructed cache (no stale selections or rows).
+     */
     void reset();
 
   private:

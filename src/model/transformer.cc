@@ -10,9 +10,19 @@
 #include "model/quantized_linear.h"
 #include "tensor/fp16.h"
 
+#include <atomic>
+
 namespace mant {
 
 namespace {
+
+/** Monotonic instance ids for the StreamContext ownership check. */
+uint64_t
+nextStreamEpoch()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /** Symmetric INT8 quantize-dequantize of a span in groups. */
 void
@@ -49,7 +59,8 @@ alibiSlope(int64_t head, int64_t nHeads)
 Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
                          const VarianceSelector *kvSelector,
                          const ModelCalibration *calibration)
-    : base_(weights), setup_(std::move(setup)), kvSelector_(kvSelector)
+    : base_(weights), setup_(std::move(setup)),
+      streamEpoch_(nextStreamEpoch()), kvSelector_(kvSelector)
 {
     if (setup_.kv == KvMethod::Mant4 && !kvSelector_) {
         ownedSelector_ = std::make_unique<VarianceSelector>(
@@ -118,34 +129,60 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
 void
 Transformer::reset()
 {
+    initStream(self_);
+}
+
+void
+Transformer::initStream(StreamContext &s) const
+{
     const ArchDims &d = base_.profile.simDims;
-    caches_.clear();
-    caches_.resize(static_cast<size_t>(d.nLayers));
-    for (auto &layer : caches_) {
-        layer.reserve(static_cast<size_t>(d.nHeads));
-        for (int64_t h = 0; h < d.nHeads; ++h) {
-            layer.emplace_back(setup_.kv, d.headDim(), setup_.kvGroup,
-                               kvSelector_);
+    const size_t n_layers = static_cast<size_t>(d.nLayers);
+    if (ownsStream(s) && s.caches_.size() == n_layers) {
+        // Same model, same geometry: reset every head cache in place.
+        // Cache storage capacity survives, so a pooled stream slot
+        // re-enters service without reallocating (see HeadKvCache::
+        // reset()'s contract).
+        for (auto &layer : s.caches_)
+            for (auto &c : layer)
+                c.reset();
+    } else {
+        s.caches_.clear();
+        s.caches_.resize(n_layers);
+        for (auto &layer : s.caches_) {
+            layer.reserve(static_cast<size_t>(d.nHeads));
+            for (int64_t h = 0; h < d.nHeads; ++h) {
+                layer.emplace_back(setup_.kv, d.headDim(),
+                                   setup_.kvGroup, kvSelector_);
+            }
         }
+        s.owner_ = this;
+        s.ownerEpoch_ = streamEpoch_;
     }
-    pos_ = 0;
+    s.pos_ = 0;
 }
 
 Tensor
-Transformer::embed(std::span<const int32_t> tokens, int64_t startPos) const
+Transformer::embed(std::span<const int32_t> tokens,
+                   std::span<const int64_t> rowPos) const
 {
     const ArchDims &d = base_.profile.simDims;
     Tensor x(Shape{static_cast<int64_t>(tokens.size()), d.dModel});
+    const int64_t vocab = base_.embedding.shape().dim(0);
     for (size_t t = 0; t < tokens.size(); ++t) {
-        const int64_t tok = tokens[t] %
-                            base_.embedding.shape().dim(0);
+        // Euclidean wrap: C++ % yields a negative remainder for
+        // negative ids, which would index before the table. Negative
+        // and >= vocab ids wrap identically instead of being UB
+        // (ServingEngine::submit rejects them outright).
+        int64_t tok = tokens[t] % vocab;
+        if (tok < 0)
+            tok += vocab;
         const auto row = base_.embedding.row(tok);
         float *xr = x.data() + static_cast<int64_t>(t) * d.dModel;
         std::copy(row.begin(), row.end(), xr);
         if (base_.profile.family == ModelFamily::Opt &&
             base_.posEmbedding.numel() > 0) {
             const int64_t p =
-                std::min<int64_t>(startPos + static_cast<int64_t>(t),
+                std::min<int64_t>(rowPos[t],
                                   base_.posEmbedding.shape().dim(0) - 1);
             const auto prow = base_.posEmbedding.row(p);
             for (int64_t i = 0; i < d.dModel; ++i)
@@ -169,13 +206,24 @@ Transformer::normRows(Tensor &x, std::span<const float> gain,
 }
 
 void
-Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
+Transformer::attentionBlock(int64_t layer, Tensor &x,
+                            std::span<StreamContext *const> rowStream,
+                            std::span<const int64_t> rowPos,
+                            bool bulkPrefillV)
 {
     const ArchDims &d = base_.profile.simDims;
     const int64_t t_dim = x.shape().dim(0);
+    if (t_dim == 0)
+        return; // empty prefill: nothing to attend or cache
     const int64_t dh = d.headDim();
     const LayerWeights &lw = base_.layers[static_cast<size_t>(layer)];
     const EffLayer &e = eff_[static_cast<size_t>(layer)];
+    // All rows one stream (the prefill / single-stream decode shape)?
+    // Then per-head work that walks the cache hoists out of the row
+    // loop, exactly as the pre-batching code did.
+    bool same_stream = true;
+    for (size_t r = 1; r < rowStream.size(); ++r)
+        same_stream = same_stream && rowStream[r] == rowStream[0];
 
     Tensor h = x;
     normRows(h, lw.normGain1, lw.normBias1);
@@ -202,7 +250,7 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
         vLoc = e.wv.forward(h);
     }
 
-    // RoPE on Q and K, per head, at absolute positions.
+    // RoPE on Q and K, per head, at each row's absolute position.
     if (base_.profile.family == ModelFamily::Llama) {
         for (int64_t t = 0; t < t_dim; ++t) {
             for (int64_t head = 0; head < d.nHeads; ++head) {
@@ -210,24 +258,30 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
                                       static_cast<size_t>(dh));
                 std::span<float> kseg(k.data() + t * d.dModel + head * dh,
                                       static_cast<size_t>(dh));
-                applyRope(qseg, startPos + t);
-                applyRope(kseg, startPos + t);
+                applyRope(qseg, rowPos[static_cast<size_t>(t)]);
+                applyRope(kseg, rowPos[static_cast<size_t>(t)]);
             }
         }
     }
 
     // Feed the caches: K rows spatially; V spatially in prefill
-    // (startPos == 0, full matrix) and temporally in decode.
+    // (bulk matrix at the start of a sequence) and temporally in
+    // decode. Each row feeds its own stream's caches.
     for (int64_t head = 0; head < d.nHeads; ++head) {
-        HeadKvCache &cache =
-            caches_[static_cast<size_t>(layer)][static_cast<size_t>(head)];
         for (int64_t t = 0; t < t_dim; ++t) {
+            HeadKvCache &cache =
+                rowStream[static_cast<size_t>(t)]
+                    ->caches_[static_cast<size_t>(layer)]
+                             [static_cast<size_t>(head)];
             std::span<const float> kseg(
                 k.data() + t * d.dModel + head * dh,
                 static_cast<size_t>(dh));
             cache.appendK(kseg);
         }
-        if (startPos == 0 && t_dim > 1) {
+        if (bulkPrefillV) {
+            HeadKvCache &cache =
+                rowStream[0]->caches_[static_cast<size_t>(layer)]
+                                     [static_cast<size_t>(head)];
             Tensor vh(Shape{t_dim, dh});
             for (int64_t t = 0; t < t_dim; ++t) {
                 std::copy_n(v.data() + t * d.dModel + head * dh, dh,
@@ -236,6 +290,10 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
             cache.prefillV(vh);
         } else {
             for (int64_t t = 0; t < t_dim; ++t) {
+                HeadKvCache &cache =
+                    rowStream[static_cast<size_t>(t)]
+                        ->caches_[static_cast<size_t>(layer)]
+                                 [static_cast<size_t>(head)];
                 std::span<const float> vseg(
                     v.data() + t * d.dModel + head * dh,
                     static_cast<size_t>(dh));
@@ -251,22 +309,34 @@ Transformer::attentionBlock(int64_t layer, Tensor &x, int64_t startPos)
     Tensor attn_out(Shape{t_dim, d.dModel});
 
     for (int64_t head = 0; head < d.nHeads; ++head) {
-        const HeadKvCache &cache =
-            caches_[static_cast<size_t>(layer)][static_cast<size_t>(head)];
-        const Tensor vhat = cache.vMatrix();
         const float slope =
             base_.profile.family == ModelFamily::Bloom
                 ? alibiSlope(head, d.nHeads)
                 : 0.0f;
+        // One V reconstruction per head when all rows share a stream;
+        // per row otherwise (each stream has its own cache).
+        Tensor vhat;
+        if (same_stream) {
+            vhat = rowStream[0]
+                       ->caches_[static_cast<size_t>(layer)]
+                                [static_cast<size_t>(head)]
+                       .vMatrix();
+        }
 
         std::vector<float> probs;
         for (int64_t t = 0; t < t_dim; ++t) {
+            const HeadKvCache &cache =
+                rowStream[static_cast<size_t>(t)]
+                    ->caches_[static_cast<size_t>(layer)]
+                             [static_cast<size_t>(head)];
+            if (!same_stream)
+                vhat = cache.vMatrix();
             std::span<float> qseg(q.data() + t * d.dModel + head * dh,
                                   static_cast<size_t>(dh));
             if (setup_.quantizeAttention)
                 int8RoundSpan(qseg, setup_.kvGroup);
 
-            const int64_t visible = startPos + t + 1;
+            const int64_t visible = rowPos[static_cast<size_t>(t)] + 1;
             probs.assign(static_cast<size_t>(visible), 0.0f);
             for (int64_t p = 0; p < visible; ++p) {
                 const auto krow = cache.kRow(p);
@@ -390,36 +460,100 @@ Transformer::logitsFrom(Tensor x) const
 }
 
 Tensor
-Transformer::forwardInternal(std::span<const int32_t> tokens,
-                             int64_t startPos)
+Transformer::forwardRows(std::span<const int32_t> tokens,
+                         std::span<StreamContext *const> rowStream,
+                         std::span<const int64_t> rowPos,
+                         bool bulkPrefillV)
 {
-    Tensor x = embed(tokens, startPos);
+    Tensor x = embed(tokens, rowPos);
     const int64_t n_layers = base_.profile.simDims.nLayers;
     for (int64_t l = 0; l < n_layers; ++l) {
-        attentionBlock(l, x, startPos);
+        attentionBlock(l, x, rowStream, rowPos, bulkPrefillV);
         ffnBlock(l, x);
     }
     return logitsFrom(std::move(x));
 }
 
 Tensor
+Transformer::forwardInternal(StreamContext &s,
+                             std::span<const int32_t> tokens,
+                             int64_t startPos)
+{
+    std::vector<StreamContext *> streams(tokens.size(), &s);
+    std::vector<int64_t> positions(tokens.size());
+    for (size_t t = 0; t < tokens.size(); ++t)
+        positions[t] = startPos + static_cast<int64_t>(t);
+    return forwardRows(tokens, streams, positions,
+                       startPos == 0 && tokens.size() > 1);
+}
+
+Tensor
 Transformer::prefill(std::span<const int32_t> tokens)
 {
-    reset();
-    Tensor logits = forwardInternal(tokens, 0);
-    pos_ = static_cast<int64_t>(tokens.size());
+    return prefill(self_, tokens);
+}
+
+Tensor
+Transformer::prefill(StreamContext &s, std::span<const int32_t> tokens)
+{
+    initStream(s);
+    Tensor logits = forwardInternal(s, tokens, 0);
+    s.pos_ = static_cast<int64_t>(tokens.size());
     return logits;
 }
 
 std::vector<float>
 Transformer::decodeStep(int32_t token)
 {
+    return decodeStep(self_, token);
+}
+
+std::vector<float>
+Transformer::decodeStep(StreamContext &s, int32_t token)
+{
+    // A fresh context auto-initializes (matching the default stream,
+    // which is usable straight after construction); a context owned
+    // by a *different* model is a caller bug — silently wiping it
+    // would decode against an empty cache and return garbage.
+    if (!s.initialized())
+        initStream(s);
+    else if (!ownsStream(s))
+        throw std::invalid_argument(
+            "decodeStep: stream belongs to a different model");
     const int32_t toks[1] = {token};
-    Tensor logits = forwardInternal(std::span<const int32_t>(toks, 1),
-                                    pos_);
-    ++pos_;
+    Tensor logits = forwardInternal(s, std::span<const int32_t>(toks, 1),
+                                    s.pos_);
+    ++s.pos_;
     const auto row = logits.row(0);
     return {row.begin(), row.end()};
+}
+
+Tensor
+Transformer::decodeBatch(std::span<const int32_t> tokens,
+                         std::span<StreamContext *const> streams)
+{
+    if (tokens.size() != streams.size())
+        throw std::invalid_argument(
+            "decodeBatch: one stream required per token");
+    if (tokens.empty())
+        throw std::invalid_argument("decodeBatch: empty batch");
+    std::vector<int64_t> positions(tokens.size());
+    for (size_t r = 0; r < streams.size(); ++r) {
+        if (!streams[r] || !ownsStream(*streams[r]))
+            throw std::invalid_argument(
+                "decodeBatch: stream not initialized for this model "
+                "(call initStream()/prefill() first)");
+        for (size_t q = 0; q < r; ++q) {
+            if (streams[q] == streams[r])
+                throw std::invalid_argument(
+                    "decodeBatch: duplicate stream in batch");
+        }
+        positions[r] = streams[r]->pos_;
+    }
+    Tensor logits = forwardRows(tokens, streams, positions, false);
+    for (StreamContext *s : streams)
+        ++s->pos_;
+    return logits;
 }
 
 std::vector<Tensor>

@@ -5,7 +5,10 @@
  * linear input, KV-cache methods applied through the real-time
  * machinery (spatial K, two-phase temporal V). Supports prefill over a
  * full sequence and one-token decode steps — the two LLM stages the
- * paper's framework distinguishes.
+ * paper's framework distinguishes — plus multi-stream batched decode:
+ * generation state (KV caches + position) lives in StreamContext
+ * handles, so a serving layer can run N independent streams through
+ * one batched M=N forward pass per step (see src/serve/).
  */
 
 #ifndef MANT_MODEL_TRANSFORMER_H_
@@ -23,6 +26,80 @@
 namespace mant {
 
 class ModelCalibration;
+class Transformer;
+
+/**
+ * Per-stream generation state: one KV cache per (layer, head) plus the
+ * stream's sequence position. A Transformer owns one default context
+ * for the classic single-stream API; a serving layer owns one per
+ * concurrent request and passes them to prefill()/decodeBatch().
+ * Contexts are cheap to move and reusable: Transformer::initStream()
+ * resets an already-sized context in place (cache storage capacity is
+ * retained), which is what makes stream-slot pooling allocation-free.
+ */
+class StreamContext
+{
+  public:
+    StreamContext() = default;
+
+    /** Moves transfer ownership: the moved-from context returns to
+     *  the uninitialized state (its empty cache vector must not keep
+     *  passing the ownership check, or a later decode would index
+     *  into it). Copying is disabled by the cache internals. */
+    StreamContext(StreamContext &&other) noexcept
+        : caches_(std::move(other.caches_)), pos_(other.pos_),
+          owner_(other.owner_), ownerEpoch_(other.ownerEpoch_)
+    {
+        other.disown();
+    }
+    StreamContext &
+    operator=(StreamContext &&other) noexcept
+    {
+        caches_ = std::move(other.caches_);
+        pos_ = other.pos_;
+        owner_ = other.owner_;
+        ownerEpoch_ = other.ownerEpoch_;
+        other.disown();
+        return *this;
+    }
+
+    /** Tokens this stream has consumed. */
+    int64_t position() const { return pos_; }
+
+    /** True once initStream()/prefill() has sized the caches. */
+    bool initialized() const { return owner_ != nullptr; }
+
+    /** Cache access for diagnostics and tests. */
+    const HeadKvCache &
+    cache(int64_t layer, int64_t head) const
+    {
+        return caches_[static_cast<size_t>(layer)]
+                      [static_cast<size_t>(head)];
+    }
+
+  private:
+    friend class Transformer;
+
+    void
+    disown()
+    {
+        caches_.clear();
+        pos_ = 0;
+        owner_ = nullptr;
+        ownerEpoch_ = 0;
+    }
+
+    std::vector<std::vector<HeadKvCache>> caches_;
+    int64_t pos_ = 0;
+    /** Transformer whose setup sized the caches; a different owner
+     *  forces a rebuild instead of an in-place reset. The epoch
+     *  disambiguates a new Transformer allocated at a recycled
+     *  address (ABA): pointer equality alone would let a stale
+     *  context smuggle another setup's caches — and their dangling
+     *  selector pointers — into the new model. */
+    const Transformer *owner_ = nullptr;
+    uint64_t ownerEpoch_ = 0;
+};
 
 /**
  * A quantization-aware transformer instance over shared base weights.
@@ -44,6 +121,13 @@ class Transformer
                 const VarianceSelector *kvSelector = nullptr,
                 const ModelCalibration *calibration = nullptr);
 
+    /** Non-copyable, non-movable: stream contexts (including the
+     *  default one) record the owning instance's address, so a moved
+     *  Transformer would disown every stream initialized before the
+     *  move. Hold Transformers in place (or behind unique_ptr). */
+    Transformer(const Transformer &) = delete;
+    Transformer &operator=(const Transformer &) = delete;
+
     /** Attach a calibration collector (FP16 instances only): every
      *  linear-layer input's column power is accumulated into it. */
     void setCalibrationSink(ModelCalibration *sink)
@@ -64,20 +148,54 @@ class Transformer
     /** Decode one token; returns the next-token logits row. */
     std::vector<float> decodeStep(int32_t token);
 
-    /** Current sequence position (tokens consumed). */
-    int64_t position() const { return pos_; }
+    /**
+     * (Re)initialize a stream context for this model: caches sized per
+     * the setup, position zero. An already-matching context is reset in
+     * place, reusing its cache storage (the serving engine's stream
+     * pool relies on this being allocation-light).
+     */
+    void initStream(StreamContext &s) const;
+
+    /** Prefill into an explicit stream context (initStream'd first).
+     *  The Transformer's own default-stream state is untouched. */
+    Tensor prefill(StreamContext &s, std::span<const int32_t> tokens);
+
+    /** Decode one token on an explicit stream context. */
+    std::vector<float> decodeStep(StreamContext &s, int32_t token);
+
+    /**
+     * Batched multi-stream decode: one token per stream, executed as a
+     * single M = streams.size() pass through every linear (one shared
+     * activation quantization per batch on the fused path). Row r
+     * attends to streams[r]'s cache at streams[r]->position(); each
+     * stream's position advances by one. Returns logits (M, vocab).
+     *
+     * Determinism contract: row r of the result is bit-identical to
+     * the logits of a decodeStep(streams[r], token[r]) run serially —
+     * every per-row kernel (INT8 activation encode, fused tiled GEMM,
+     * linearNT, KV quantization, attention) computes each row/cell
+     * independently with a fixed accumulation order, so batch
+     * composition cannot perturb any stream (tests/test_serving.cc
+     * asserts byte equality across MANT_SIMD × MANT_THREADS). Setups
+     * whose activation method quantizes across rows (ActMethod::Tender
+     * and the tensor-wise granularities) fall outside this guarantee.
+     */
+    Tensor decodeBatch(std::span<const int32_t> tokens,
+                       std::span<StreamContext *const> streams);
+
+    /** Current sequence position of the default stream. */
+    int64_t position() const { return self_.pos_; }
 
     void reset();
 
     const QuantSetup &setup() const { return setup_; }
     const ModelWeights &weights() const { return base_; }
 
-    /** Cache access for diagnostics and the ablation benches. */
+    /** Default-stream cache access for diagnostics and benches. */
     const HeadKvCache &
     cache(int64_t layer, int64_t head) const
     {
-        return caches_[static_cast<size_t>(layer)]
-                      [static_cast<size_t>(head)];
+        return self_.cache(layer, head);
     }
 
     /**
@@ -101,23 +219,52 @@ class Transformer
         QuantizedLinear wq, wk, wv, wo, wGate, wUp, wDown;
     };
 
-    Tensor embed(std::span<const int32_t> tokens, int64_t startPos) const;
+    Tensor embed(std::span<const int32_t> tokens,
+                 std::span<const int64_t> rowPos) const;
     void normRows(Tensor &x, std::span<const float> gain,
                   std::span<const float> bias) const;
-    void attentionBlock(int64_t layer, Tensor &x, int64_t startPos);
+    /**
+     * One attention block over rows with per-row stream state: row r
+     * appends its K/V to rowStream[r]'s caches and attends at position
+     * rowPos[r]. The single-stream prefill/decode path passes the same
+     * stream for every row (rows causal within the batch by their
+     * ascending positions); the batched decode path passes one stream
+     * per row. `bulkPrefillV` selects the prefill-stage V ingest (all
+     * rows one stream, start of sequence).
+     */
+    void attentionBlock(int64_t layer, Tensor &x,
+                        std::span<StreamContext *const> rowStream,
+                        std::span<const int64_t> rowPos,
+                        bool bulkPrefillV);
     void ffnBlock(int64_t layer, Tensor &x);
-    Tensor forwardInternal(std::span<const int32_t> tokens,
+    /** Shared forward core: embed rows, walk the layers, project
+     *  logits. Positions/caches are per row; no position is advanced
+     *  here (callers own that). */
+    Tensor forwardRows(std::span<const int32_t> tokens,
+                       std::span<StreamContext *const> rowStream,
+                       std::span<const int64_t> rowPos,
+                       bool bulkPrefillV);
+    Tensor forwardInternal(StreamContext &s,
+                           std::span<const int32_t> tokens,
                            int64_t startPos);
     Tensor logitsFrom(Tensor x) const;
+
+    /** True when `s` was initialized by this Transformer instance
+     *  (not merely one that reused this address). */
+    bool ownsStream(const StreamContext &s) const
+    {
+        return s.owner_ == this && s.ownerEpoch_ == streamEpoch_;
+    }
 
     const ModelWeights &base_;
     QuantSetup setup_;
     std::vector<EffLayer> eff_;
-    std::vector<std::vector<HeadKvCache>> caches_;
+    /** Process-unique instance id (see StreamContext::ownerEpoch_). */
+    const uint64_t streamEpoch_;
+    StreamContext self_;
     std::unique_ptr<VarianceSelector> ownedSelector_;
     const VarianceSelector *kvSelector_ = nullptr;
     ModelCalibration *calibSink_ = nullptr;
-    int64_t pos_ = 0;
     float logitScale_ = 1.0f;
 
     /** True when linears route through the prepacked fused path. */

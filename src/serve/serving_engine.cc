@@ -1,0 +1,218 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mant {
+
+namespace {
+
+/** Greedy pick: first index of the row maximum — the same tie rule as
+ *  the single-stream greedyGenerate path, so outputs stay
+ *  byte-identical. */
+int32_t
+argmaxToken(std::span<const float> row)
+{
+    return static_cast<int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(Transformer &model, ServingConfig cfg)
+    : model_(model), cfg_(cfg)
+{
+    if (cfg_.maxStreams < 1)
+        throw std::invalid_argument(
+            "ServingEngine: maxStreams must be >= 1");
+    // The engine's whole value is the batched-equals-serial
+    // determinism contract; activation methods whose statistics span
+    // batch rows (Tender's channel decomposition, tensor-wise scales)
+    // would make a stream's tokens depend on who shares its batch.
+    // Reject them up front rather than serve silently-divergent
+    // output. A single-slot engine is exempt: its decode passes are
+    // always M = 1, so no foreign rows ever enter the statistics
+    // (this keeps greedyGenerate working for the Tender/per-tensor
+    // baselines). (The fused path encodes activations per row inside
+    // the kernel; ActMethod::None has nothing to quantize.)
+    const QuantSetup &setup = model_.setup();
+    if (cfg_.maxStreams > 1 && setup.act != ActMethod::None &&
+        (setup.act == ActMethod::Tender ||
+         setup.actGran == Granularity::PerTensor)) {
+        throw std::invalid_argument(
+            "ServingEngine: activation setup quantizes across batch "
+            "rows; batched decode cannot match serial output "
+            "bit-for-bit (see the determinism contract)");
+    }
+}
+
+RequestId
+ServingEngine::submit(GenRequest req)
+{
+    const int64_t vocab = model_.weights().embedding.shape().dim(0);
+    for (const int32_t tok : req.prompt) {
+        if (tok < 0 || static_cast<int64_t>(tok) >= vocab) {
+            throw std::invalid_argument(
+                "ServingEngine::submit: prompt token " +
+                std::to_string(tok) + " outside vocab [0, " +
+                std::to_string(vocab) + ")");
+        }
+    }
+
+    const RequestId id = static_cast<RequestId>(requests_.size());
+    Request r;
+    r.req = std::move(req);
+    if (r.req.prompt.empty() || r.req.maxNewTokens <= 0) {
+        // Degenerate request: nothing to generate. Completing here
+        // keeps the scheduler free of zero-token streams (and mirrors
+        // greedyGenerate's clamp of non-positive counts).
+        r.state = RequestState::Done;
+        requests_.push_back(std::move(r));
+        return id;
+    }
+    requests_.push_back(std::move(r));
+    queue_.push_back(id);
+    return id;
+}
+
+const ServingEngine::Request &
+ServingEngine::checkedRequest(RequestId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= requests_.size())
+        throw std::out_of_range("ServingEngine: unknown request id " +
+                                std::to_string(id));
+    return requests_[static_cast<size_t>(id)];
+}
+
+RequestState
+ServingEngine::state(RequestId id) const
+{
+    return checkedRequest(id).state;
+}
+
+const std::vector<int32_t> &
+ServingEngine::output(RequestId id) const
+{
+    return checkedRequest(id).out;
+}
+
+bool
+ServingEngine::requestFinished(const Request &r) const
+{
+    if (static_cast<int64_t>(r.out.size()) >= r.req.maxNewTokens)
+        return true;
+    return r.req.stopToken >= 0 && !r.out.empty() &&
+           r.out.back() == r.req.stopToken;
+}
+
+std::unique_ptr<StreamContext>
+ServingEngine::acquireContext()
+{
+    if (pool_.empty())
+        return std::make_unique<StreamContext>();
+    auto ctx = std::move(pool_.back());
+    pool_.pop_back();
+    return ctx;
+}
+
+void
+ServingEngine::recycleContext(std::unique_ptr<StreamContext> ctx)
+{
+    // Drop the cached rows now so a parked slot holds no stale
+    // generation state; capacity stays with the context (initStream
+    // resets matching contexts in place).
+    model_.initStream(*ctx);
+    pool_.push_back(std::move(ctx));
+}
+
+bool
+ServingEngine::admit(RequestId id)
+{
+    Request &r = requests_[static_cast<size_t>(id)];
+    auto ctx = acquireContext();
+    const Tensor logits = model_.prefill(*ctx, r.req.prompt);
+    ++stats_.prefills;
+    stats_.prefillTokens +=
+        static_cast<int64_t>(r.req.prompt.size());
+
+    const int32_t first =
+        argmaxToken(logits.row(logits.shape().dim(0) - 1));
+    r.out.push_back(first);
+    if (requestFinished(r)) {
+        r.state = RequestState::Done;
+        recycleContext(std::move(ctx));
+        return false;
+    }
+    r.state = RequestState::Active;
+    active_.push_back({id, std::move(ctx), first});
+    return true;
+}
+
+bool
+ServingEngine::step()
+{
+    // Admission: fill free decode slots in submission order. Each
+    // admission runs the request's prefill (a single M = promptLen
+    // pass on its own stream) and emits the first greedy token.
+    while (!queue_.empty() &&
+           static_cast<int64_t>(active_.size()) < cfg_.maxStreams) {
+        const RequestId id = queue_.front();
+        queue_.pop_front();
+        admit(id);
+    }
+    if (active_.empty())
+        return !idle();
+    ++stats_.steps;
+
+    // One batched decode pass over every active stream: each stream's
+    // last token goes in as one batch row, sharing a single activation
+    // quantization and the model's pooled scratch.
+    std::vector<int32_t> tokens;
+    std::vector<StreamContext *> streams;
+    tokens.reserve(active_.size());
+    streams.reserve(active_.size());
+    for (const ActiveStream &a : active_) {
+        tokens.push_back(a.lastToken);
+        streams.push_back(a.ctx.get());
+    }
+    const Tensor logits = model_.decodeBatch(tokens, streams);
+    ++stats_.decodeBatches;
+    stats_.decodedTokens += static_cast<int64_t>(active_.size());
+    stats_.peakBatch = std::max(
+        stats_.peakBatch, static_cast<int64_t>(active_.size()));
+
+    for (size_t r = 0; r < active_.size(); ++r) {
+        const int32_t next =
+            argmaxToken(logits.row(static_cast<int64_t>(r)));
+        active_[r].lastToken = next;
+        requests_[static_cast<size_t>(active_[r].id)].out.push_back(
+            next);
+    }
+
+    // Retire finished streams (order-stable so the surviving batch
+    // composition is reproducible run to run).
+    size_t w = 0;
+    for (size_t r = 0; r < active_.size(); ++r) {
+        Request &req = requests_[static_cast<size_t>(active_[r].id)];
+        if (requestFinished(req)) {
+            req.state = RequestState::Done;
+            recycleContext(std::move(active_[r].ctx));
+        } else {
+            if (w != r)
+                active_[w] = std::move(active_[r]);
+            ++w;
+        }
+    }
+    active_.resize(w);
+    return !idle();
+}
+
+void
+ServingEngine::run()
+{
+    while (step()) {
+    }
+}
+
+} // namespace mant

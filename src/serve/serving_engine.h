@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Batched multi-stream serving engine.
+ *
+ * The decode stage is where grouped low-bit formats recoup their
+ * encode cost — but only when the fused GEMM is fed batch-shaped work.
+ * A single generation stream decodes at M = 1, where the prepacked
+ * tile kernels barely beat the reference path; N concurrent streams
+ * batched into one M = N pass per step land in the M ∈ {4..32} régime
+ * where fusedGemmTiled is 2×+ (see BENCH_kernels.baseline.json).
+ *
+ * ServingEngine owns N stream slots (each a Transformer::StreamContext
+ * — per-head KV caches plus position — recycled through a pool on
+ * retirement) and a continuous-batching scheduler: every step() admits
+ * queued requests into free slots (running their prefill and emitting
+ * the first greedy token), then executes ONE batched decode pass over
+ * all active streams. The batch therefore shrinks and regrows as
+ * streams retire and join — no stream ever waits for another to
+ * finish.
+ *
+ * Determinism contract: each request's token sequence is byte-
+ * identical to running it alone through the single-stream
+ * prefill()/decodeStep() path, at every MANT_SIMD × MANT_THREADS
+ * setting and any batch composition. This holds because every per-row
+ * kernel in the batched pass computes rows/cells independently with a
+ * fixed accumulation order (see Transformer::decodeBatch and
+ * docs/ARCHITECTURE.md); tests/test_serving.cc enforces it.
+ */
+
+#ifndef MANT_SERVE_SERVING_ENGINE_H_
+#define MANT_SERVE_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace mant {
+
+/** Engine configuration. */
+struct ServingConfig
+{
+    /** Decode slots = max rows per batched pass. */
+    int64_t maxStreams = 8;
+};
+
+/** Handle returned by ServingEngine::submit(). */
+using RequestId = int64_t;
+
+/** Lifecycle of a submitted request. */
+enum class RequestState
+{
+    Queued, ///< waiting for a free stream slot
+    Active, ///< holds a slot; produces one token per engine step
+    Done,   ///< output complete; slot recycled
+};
+
+/** One generation request (greedy decoding). */
+struct GenRequest
+{
+    /** Prompt token ids, each in [0, vocab). Empty prompts complete
+     *  immediately with an empty output. */
+    std::vector<int32_t> prompt;
+
+    /** Tokens to generate (prefill's argmax counts as the first).
+     *  Non-positive counts complete immediately with empty output. */
+    int64_t maxNewTokens = 0;
+
+    /** Retire the stream early when this token is generated (the
+     *  token itself is kept in the output); -1 disables. */
+    int32_t stopToken = -1;
+};
+
+/**
+ * Greedy multi-stream serving engine over one Transformer. Single-
+ * threaded by design (parallelism lives inside the kernels); the
+ * engine never touches the model's default-stream state, so it can
+ * share a Transformer with single-stream callers between steps.
+ */
+class ServingEngine
+{
+  public:
+    /** Aggregate throughput counters. */
+    struct Stats
+    {
+        int64_t steps = 0;          ///< scheduler rounds executed
+        int64_t prefills = 0;       ///< admitted requests
+        int64_t prefillTokens = 0;  ///< prompt tokens prefilled
+        int64_t decodeBatches = 0;  ///< batched decode passes
+        int64_t decodedTokens = 0;  ///< tokens produced by those passes
+        int64_t peakBatch = 0;      ///< widest decode batch seen
+    };
+
+    /**
+     * @param model Shared model; must outlive the engine.
+     * @throws std::invalid_argument for setups outside the
+     *   determinism contract: activation quantization whose
+     *   statistics span batch rows (ActMethod::Tender, or tensor-wise
+     *   activation granularity) cannot match serial output
+     *   bit-for-bit, so the engine refuses to serve them with more
+     *   than one stream slot (maxStreams == 1 decodes at M = 1 and is
+     *   always in contract).
+     */
+    explicit ServingEngine(Transformer &model, ServingConfig cfg = {});
+
+    /**
+     * Enqueue a request. Prompt token ids are validated against the
+     * model vocabulary here (std::invalid_argument on violation) —
+     * never fed unchecked into the embedding lookup. Degenerate
+     * requests (empty prompt or non-positive maxNewTokens) complete
+     * immediately with an empty output.
+     */
+    RequestId submit(GenRequest req);
+
+    /**
+     * One scheduler round: admit queued requests into free slots
+     * (prefill + first token each), then run one batched decode pass
+     * over every active stream and retire the finished ones.
+     * @return true while queued or active work remains.
+     */
+    bool step();
+
+    /** Run step() until all submitted requests are Done. */
+    void run();
+
+    RequestState state(RequestId id) const;
+
+    /** Generated tokens so far (complete once state(id) == Done).
+     *  The reference stays valid for the engine's lifetime — request
+     *  records live in a deque, so later submit() calls never move
+     *  them. */
+    const std::vector<int32_t> &output(RequestId id) const;
+
+    int64_t activeStreams() const
+    {
+        return static_cast<int64_t>(active_.size());
+    }
+    int64_t queuedRequests() const
+    {
+        return static_cast<int64_t>(queue_.size());
+    }
+    bool idle() const { return active_.empty() && queue_.empty(); }
+
+    const Stats &stats() const { return stats_; }
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    struct Request
+    {
+        GenRequest req;
+        RequestState state = RequestState::Queued;
+        std::vector<int32_t> out;
+    };
+
+    /** One occupied decode slot. StreamContexts live behind unique_ptr
+     *  so slot shuffles and pool hand-offs never move cache storage. */
+    struct ActiveStream
+    {
+        RequestId id = -1;
+        std::unique_ptr<StreamContext> ctx;
+        int32_t lastToken = 0;
+    };
+
+    const Request &checkedRequest(RequestId id) const;
+    bool requestFinished(const Request &r) const;
+    /** Prefill `id` into a pooled stream slot; emits the first token.
+     *  Returns false when the request completed at admission. */
+    bool admit(RequestId id);
+    std::unique_ptr<StreamContext> acquireContext();
+    void recycleContext(std::unique_ptr<StreamContext> ctx);
+
+    Transformer &model_;
+    ServingConfig cfg_;
+    /** Deque, not vector: output() hands out references into these
+     *  records, and deque growth never relocates existing elements. */
+    std::deque<Request> requests_;
+    std::deque<RequestId> queue_;
+    std::vector<ActiveStream> active_;
+    std::vector<std::unique_ptr<StreamContext>> pool_;
+    Stats stats_;
+};
+
+} // namespace mant
+
+#endif // MANT_SERVE_SERVING_ENGINE_H_

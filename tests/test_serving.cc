@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Serving-engine determinism and generation-path regression suite.
+ *
+ * The load-bearing claim: N-stream batched decode produces
+ * byte-identical token sequences to N serial single-stream runs, at
+ * every MANT_SIMD × MANT_THREADS setting, with streams joining and
+ * retiring mid-batch. Plus regression tests for the generation-path
+ * fixes (greedyGenerate count clamp, forced-decoding token-id
+ * validation) and the HeadKvCache reset/bounds contract.
+ */
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/variance_selector.h"
+#include "model/generation.h"
+#include "model/kv_cache.h"
+#include "model/model_profiles.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+int32_t
+argmax(std::span<const float> row)
+{
+    return static_cast<int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<int32_t>
+promptFor(int stream, int len, int vocab)
+{
+    Rng rng(1000 + static_cast<uint64_t>(stream));
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p)
+        t = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return p;
+}
+
+/** The pre-engine single-stream loop: prefill + decodeStep feedback on
+ *  the model's default stream — the serial oracle the batched engine
+ *  must reproduce byte for byte. */
+std::vector<int32_t>
+serialGreedy(Transformer &m, std::span<const int32_t> prompt,
+             int64_t numTokens, int32_t stopToken = -1)
+{
+    std::vector<int32_t> out;
+    if (numTokens <= 0 || prompt.empty())
+        return out;
+    const Tensor logits = m.prefill(prompt);
+    int32_t next = argmax(logits.row(logits.shape().dim(0) - 1));
+    out.push_back(next);
+    while (static_cast<int64_t>(out.size()) < numTokens &&
+           !(stopToken >= 0 && next == stopToken)) {
+        next = argmax(m.decodeStep(next));
+        out.push_back(next);
+    }
+    return out;
+}
+
+struct ServingCase
+{
+    std::vector<int32_t> prompt;
+    int64_t maxNewTokens;
+};
+
+/** Ragged request mix: prompt lengths and budgets all differ, and with
+ *  maxStreams below the request count, streams join and retire
+ *  mid-batch. */
+std::vector<ServingCase>
+raggedCases(int vocab)
+{
+    std::vector<ServingCase> cases;
+    const int64_t budgets[] = {5, 1, 9, 3, 12, 7, 2};
+    for (int s = 0; s < 7; ++s)
+        cases.push_back(
+            {promptFor(s, 4 + 3 * (s % 4), vocab), budgets[s]});
+    return cases;
+}
+
+std::vector<std::vector<int32_t>>
+runEngine(Transformer &model, const std::vector<ServingCase> &cases,
+          int64_t maxStreams)
+{
+    ServingEngine engine(model,
+                         ServingConfig{.maxStreams = maxStreams});
+    std::vector<RequestId> ids;
+    for (const ServingCase &c : cases) {
+        GenRequest req;
+        req.prompt = c.prompt;
+        req.maxNewTokens = c.maxNewTokens;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    engine.run();
+    std::vector<std::vector<int32_t>> outs;
+    for (RequestId id : ids) {
+        EXPECT_EQ(engine.state(id), RequestState::Done);
+        outs.push_back(engine.output(id));
+    }
+    return outs;
+}
+
+class ServingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        profile_ = test::tinyProfile();
+        weights_ = ModelWeights::generate(profile_, 128);
+    }
+
+    ModelProfile profile_;
+    ModelWeights weights_;
+};
+
+/** Batched == serial, per stream, byte-identical, swept over
+ *  SIMD backend × thread count, with ragged joins/retirements. */
+void
+expectBatchedMatchesSerial(const ModelWeights &weights,
+                           const QuantSetup &setup, int vocab)
+{
+    const std::vector<ServingCase> cases = raggedCases(vocab);
+    const SimdPath paths[] = {SimdPath::Scalar, SimdPath::Auto};
+    const int threads[] = {1, 8};
+
+    std::vector<std::vector<int32_t>> first;
+    for (const SimdPath path : paths) {
+        for (const int nthreads : threads) {
+            auto outs = test::withPath(path, nthreads, [&] {
+                Transformer model(weights, setup);
+                std::vector<std::vector<int32_t>> serial;
+                for (const ServingCase &c : cases)
+                    serial.push_back(serialGreedy(
+                        model, c.prompt, c.maxNewTokens));
+                auto batched = runEngine(model, cases, 3);
+                return std::pair(std::move(serial),
+                                 std::move(batched));
+            });
+            for (size_t s = 0; s < cases.size(); ++s) {
+                EXPECT_EQ(outs.first[s], outs.second[s])
+                    << "stream " << s << " diverged from serial at "
+                    << simdPathName(path) << "/threads="
+                    << nthreads;
+            }
+            // The determinism contract also promises identical
+            // tokens across every backend × thread setting.
+            if (first.empty())
+                first = outs.second;
+            else
+                EXPECT_EQ(first, outs.second)
+                    << "outputs changed under " << simdPathName(path)
+                    << "/threads=" << nthreads;
+        }
+    }
+}
+
+TEST_F(ServingTest, BatchedMatchesSerialFusedPath)
+{
+    expectBatchedMatchesSerial(weights_, mantFusedSetup(64),
+                               profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, BatchedMatchesSerialFloatPath)
+{
+    expectBatchedMatchesSerial(weights_, fp16Setup(),
+                               profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, BatchedMatchesSerialFullQuantSetup)
+{
+    // MANT4 KV + quantized attention: the per-stream real-time cache
+    // machinery runs inside the batch.
+    expectBatchedMatchesSerial(weights_, mantFullSetup(),
+                               profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, SchedulerStatsAndStates)
+{
+    Transformer model(weights_, mantFusedSetup(64));
+    ServingEngine engine(model, ServingConfig{.maxStreams = 3});
+    const auto cases = raggedCases(profile_.simDims.vocab);
+    std::vector<RequestId> ids;
+    for (const auto &c : cases) {
+        GenRequest req;
+        req.prompt = c.prompt;
+        req.maxNewTokens = c.maxNewTokens;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    EXPECT_EQ(engine.queuedRequests(), 7);
+    EXPECT_EQ(engine.activeStreams(), 0);
+    EXPECT_EQ(engine.state(ids[0]), RequestState::Queued);
+
+    // First step: three admissions (prefill + first token each), one
+    // batched pass. Budget-1 requests may already have retired.
+    EXPECT_TRUE(engine.step());
+    EXPECT_LE(engine.activeStreams(), 3);
+    EXPECT_GE(engine.stats().prefills, 3);
+    EXPECT_EQ(engine.stats().decodeBatches, 1);
+
+    engine.run();
+    EXPECT_TRUE(engine.idle());
+    const ServingEngine::Stats &st = engine.stats();
+    EXPECT_EQ(st.prefills, 7);
+    EXPECT_LE(st.peakBatch, 3);
+    EXPECT_GE(st.peakBatch, 1);
+    int64_t total = 0;
+    for (RequestId id : ids) {
+        EXPECT_EQ(engine.state(id), RequestState::Done);
+        total += static_cast<int64_t>(engine.output(id).size());
+        EXPECT_EQ(static_cast<int64_t>(engine.output(id).size()),
+                  cases[static_cast<size_t>(id)].maxNewTokens);
+    }
+    // Every token beyond each request's first came from a batched
+    // decode pass.
+    EXPECT_EQ(st.decodedTokens, total - 7);
+    EXPECT_THROW(engine.state(99), std::out_of_range);
+    EXPECT_THROW(engine.output(-1), std::out_of_range);
+}
+
+TEST_F(ServingTest, StopTokenRetiresEarly)
+{
+    Transformer model(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 8, profile_.simDims.vocab);
+    const auto full = serialGreedy(model, prompt, 10);
+    ASSERT_GE(full.size(), 3u);
+
+    ServingEngine engine(model, ServingConfig{.maxStreams = 2});
+    GenRequest req;
+    req.prompt = prompt;
+    req.maxNewTokens = 10;
+    req.stopToken = full[1];
+    const RequestId id = engine.submit(std::move(req));
+    engine.run();
+    const auto &out = engine.output(id);
+    // Generation halts at the first occurrence of the stop token,
+    // which is kept in the output.
+    const auto stop_at = std::find(full.begin(), full.end(), full[1]);
+    const size_t expect_len =
+        static_cast<size_t>(stop_at - full.begin()) + 1;
+    ASSERT_EQ(out.size(), expect_len);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), full.begin()));
+    EXPECT_EQ(out.back(), full[1]);
+}
+
+TEST_F(ServingTest, DegenerateRequestsCompleteImmediately)
+{
+    Transformer model(weights_, fp16Setup());
+    ServingEngine engine(model);
+    GenRequest empty_prompt;
+    empty_prompt.maxNewTokens = 4;
+    GenRequest zero_budget;
+    zero_budget.prompt = promptFor(0, 4, profile_.simDims.vocab);
+    zero_budget.maxNewTokens = 0;
+    GenRequest negative_budget = zero_budget;
+    negative_budget.maxNewTokens = -3;
+
+    const RequestId a = engine.submit(std::move(empty_prompt));
+    const RequestId b = engine.submit(std::move(zero_budget));
+    const RequestId c = engine.submit(std::move(negative_budget));
+    for (RequestId id : {a, b, c}) {
+        EXPECT_EQ(engine.state(id), RequestState::Done);
+        EXPECT_TRUE(engine.output(id).empty());
+    }
+    EXPECT_TRUE(engine.idle());
+    EXPECT_FALSE(engine.step());
+    EXPECT_EQ(engine.stats().prefills, 0);
+}
+
+TEST_F(ServingTest, SubmitValidatesPromptTokens)
+{
+    Transformer model(weights_, fp16Setup());
+    ServingEngine engine(model);
+    GenRequest neg;
+    neg.prompt = {3, -1, 5};
+    neg.maxNewTokens = 2;
+    EXPECT_THROW(engine.submit(std::move(neg)),
+                 std::invalid_argument);
+    GenRequest big;
+    big.prompt = {static_cast<int32_t>(profile_.simDims.vocab)};
+    big.maxNewTokens = 2;
+    EXPECT_THROW(engine.submit(std::move(big)),
+                 std::invalid_argument);
+    EXPECT_THROW(ServingEngine(model, ServingConfig{.maxStreams = 0}),
+                 std::invalid_argument);
+}
+
+TEST_F(ServingTest, RejectsBatchSensitiveActivationSetups)
+{
+    // Activation statistics spanning batch rows would make a stream's
+    // tokens depend on its batch neighbors — outside the determinism
+    // contract, so the engine refuses the model up front.
+    QuantSetup tender = w8a8Setup(WeightMethod::Int, ActMethod::Tender,
+                                  Granularity::PerGroup, 64);
+    Transformer tmodel(weights_, tender);
+    EXPECT_THROW(ServingEngine{tmodel}, std::invalid_argument);
+
+    QuantSetup tensorwise = mantW4A8Setup();
+    tensorwise.actGran = Granularity::PerTensor;
+    Transformer pmodel(weights_, tensorwise);
+    EXPECT_THROW(ServingEngine{pmodel}, std::invalid_argument);
+
+    // Per-row setups are in contract.
+    Transformer ok(weights_, mantW4A8Setup());
+    EXPECT_NO_THROW(ServingEngine{ok});
+
+    // A single-slot engine decodes at M = 1 (no foreign batch rows),
+    // so even batch-sensitive setups stay in contract — this is what
+    // keeps greedyGenerate working for the Tender/per-tensor
+    // baselines.
+    EXPECT_NO_THROW(
+        ServingEngine(tmodel, ServingConfig{.maxStreams = 1}));
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    EXPECT_EQ(greedyGenerate(tmodel, prompt, 4),
+              serialGreedy(tmodel, prompt, 4));
+}
+
+TEST_F(ServingTest, EmptyPrefillStaysWellDefined)
+{
+    Transformer model(weights_, fp16Setup());
+    const Tensor logits = model.prefill(std::span<const int32_t>{});
+    EXPECT_EQ(logits.shape(), Shape({0, profile_.simDims.vocab}));
+    EXPECT_EQ(model.position(), 0);
+    // The model remains usable afterwards.
+    EXPECT_EQ(model.decodeStep(1).size(),
+              static_cast<size_t>(profile_.simDims.vocab));
+}
+
+TEST_F(ServingTest, DecodeBatchValidatesStreams)
+{
+    Transformer model(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    StreamContext a, b;
+    model.prefill(a, prompt);
+    model.prefill(b, prompt);
+
+    const int32_t toks2[] = {1, 2};
+    StreamContext *dup[] = {&a, &a};
+    EXPECT_THROW(model.decodeBatch(toks2, dup),
+                 std::invalid_argument);
+
+    StreamContext *one[] = {&a};
+    EXPECT_THROW(model.decodeBatch(toks2, one),
+                 std::invalid_argument);
+    EXPECT_THROW(model.decodeBatch({}, {}), std::invalid_argument);
+
+    StreamContext fresh;
+    StreamContext *uninit[] = {&fresh};
+    const int32_t tok1[] = {1};
+    EXPECT_THROW(model.decodeBatch(tok1, uninit),
+                 std::invalid_argument);
+
+    // Valid two-stream batch advances both positions.
+    StreamContext *both[] = {&a, &b};
+    const Tensor logits = model.decodeBatch(toks2, both);
+    EXPECT_EQ(logits.shape(), Shape({2, profile_.simDims.vocab}));
+    EXPECT_EQ(a.position(), 7);
+    EXPECT_EQ(b.position(), 7);
+}
+
+TEST_F(ServingTest, StreamsAreBoundToTheirModel)
+{
+    Transformer a(weights_, fp16Setup());
+    Transformer b(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    StreamContext s;
+    a.prefill(s, prompt);
+    // Handing another model's stream to decodeStep/decodeBatch is a
+    // caller bug, not a silent re-initialization.
+    EXPECT_THROW(b.decodeStep(s, 1), std::invalid_argument);
+    StreamContext *one[] = {&s};
+    const int32_t tok[] = {1};
+    EXPECT_THROW(b.decodeBatch(tok, one), std::invalid_argument);
+    // A fresh (never-initialized) stream auto-initializes on
+    // decodeStep, matching the default stream's behavior.
+    StreamContext fresh;
+    EXPECT_EQ(b.decodeStep(fresh, 1).size(),
+              static_cast<size_t>(profile_.simDims.vocab));
+    EXPECT_EQ(fresh.position(), 1);
+    // prefill() claims a foreign stream outright (rebuild, pos 0).
+    b.prefill(s, prompt);
+    EXPECT_NO_THROW(b.decodeStep(s, 1));
+
+    // Moving a stream disowns the source: the moved-from context is
+    // uninitialized again (auto-reinit on use, never an out-of-bounds
+    // read of its emptied caches) and the target keeps the state.
+    StreamContext moved = std::move(s);
+    EXPECT_FALSE(s.initialized());
+    EXPECT_EQ(s.position(), 0);
+    EXPECT_TRUE(moved.initialized());
+    EXPECT_NO_THROW(b.decodeStep(moved, 2));
+    EXPECT_NO_THROW(b.decodeStep(s, 2)); // fresh auto-init
+}
+
+TEST_F(ServingTest, OutputReferencesSurviveLaterSubmits)
+{
+    Transformer model(weights_, fp16Setup());
+    ServingEngine engine(model, ServingConfig{.maxStreams = 2});
+    GenRequest req;
+    req.prompt = promptFor(0, 6, profile_.simDims.vocab);
+    req.maxNewTokens = 4;
+    const RequestId first = engine.submit(GenRequest(req));
+    engine.run();
+    const std::vector<int32_t> &out = engine.output(first);
+    const std::vector<int32_t> copy = out;
+    // Submitting (many) more requests must not move the record the
+    // reference points into.
+    for (int i = 0; i < 64; ++i)
+        engine.submit(GenRequest(req));
+    engine.run();
+    EXPECT_EQ(&out, &engine.output(first));
+    EXPECT_EQ(out, copy);
+}
+
+TEST_F(ServingTest, NegativeTokenIdsWrapInsteadOfUnderflowing)
+{
+    // embed() wraps ids Euclidean-style: -1 reads the same embedding
+    // row as vocab-1 instead of indexing before the table.
+    Transformer m1(weights_, fp16Setup());
+    Transformer m2(weights_, fp16Setup());
+    m1.prefill(promptFor(0, 4, profile_.simDims.vocab));
+    m2.prefill(promptFor(0, 4, profile_.simDims.vocab));
+    const auto neg = m1.decodeStep(-1);
+    const auto wrapped = m2.decodeStep(
+        static_cast<int32_t>(profile_.simDims.vocab) - 1);
+    EXPECT_EQ(neg, wrapped);
+}
+
+TEST_F(ServingTest, EngineLeavesDefaultStreamUntouched)
+{
+    Transformer model(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    model.prefill(prompt);
+    model.decodeStep(3);
+    EXPECT_EQ(model.position(), 7);
+
+    ServingEngine engine(model, ServingConfig{.maxStreams = 2});
+    GenRequest req;
+    req.prompt = prompt;
+    req.maxNewTokens = 5;
+    engine.submit(std::move(req));
+    engine.run();
+    EXPECT_EQ(model.position(), 7);
+}
+
+// --- generation-path regression fixes -------------------------------
+
+TEST_F(ServingTest, GreedyGenerateClampsNonPositiveCounts)
+{
+    Transformer model(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    // numTokens == 0 used to emit the prefill argmax anyway, and a
+    // negative count underflowed the size_t reserve() into a huge
+    // allocation before any decode ran.
+    EXPECT_TRUE(greedyGenerate(model, prompt, 0).empty());
+    EXPECT_TRUE(greedyGenerate(model, prompt, -1).empty());
+    EXPECT_TRUE(
+        greedyGenerate(model, prompt,
+                       std::numeric_limits<int64_t>::min())
+            .empty());
+    EXPECT_TRUE(greedyGenerate(model, {}, 8).empty());
+}
+
+TEST_F(ServingTest, GreedyGenerateMatchesManualLoop)
+{
+    // The engine re-expression must reproduce the hand-rolled
+    // prefill + decodeStep loop byte for byte.
+    Transformer a(weights_, mantFusedSetup(64));
+    Transformer b(weights_, mantFusedSetup(64));
+    const auto prompt = promptFor(2, 9, profile_.simDims.vocab);
+    EXPECT_EQ(greedyGenerate(a, prompt, 12),
+              serialGreedy(b, prompt, 12));
+}
+
+TEST_F(ServingTest, ForcedEvaluatorsRejectOutOfVocabTokens)
+{
+    Transformer model(weights_, fp16Setup());
+    const auto prompt = promptFor(0, 6, profile_.simDims.vocab);
+    const std::vector<int32_t> neg = {4, -2, 7};
+    const std::vector<int32_t> big = {
+        4, static_cast<int32_t>(profile_.simDims.vocab), 7};
+    EXPECT_THROW(forcedLikelihood(model, prompt, neg),
+                 std::out_of_range);
+    EXPECT_THROW(forcedLikelihood(model, prompt, big),
+                 std::out_of_range);
+    EXPECT_THROW(forcedDecodingAgreement(model, prompt, neg),
+                 std::out_of_range);
+    EXPECT_THROW(forcedDecodingAgreement(model, prompt, big),
+                 std::out_of_range);
+
+    // Valid references still evaluate.
+    const auto gen = greedyGenerate(model, prompt, 6);
+    EXPECT_DOUBLE_EQ(forcedDecodingAgreement(model, prompt, gen), 1.0);
+    EXPECT_GT(forcedLikelihood(model, prompt, gen), 0.0);
+}
+
+// --- HeadKvCache contract -------------------------------------------
+
+TEST(HeadKvCacheContract, ResetReusesCapacityWithoutStaleState)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    HeadKvCache cache(KvMethod::Mant4, 32, 16, &sel);
+    Rng rng(77);
+    std::vector<float> row(32);
+    for (int r = 0; r < 6; ++r) {
+        for (auto &v : row)
+            v = static_cast<float>(rng.gaussian());
+        cache.appendK(row);
+        cache.appendV(row);
+    }
+    ASSERT_EQ(cache.size(), 6);
+    ASSERT_FALSE(cache.kSelections().empty());
+    const float *storage = cache.kRow(0).data();
+
+    cache.reset();
+    EXPECT_EQ(cache.size(), 0);
+    EXPECT_TRUE(cache.kSelections().empty());
+    EXPECT_EQ(cache.vMatrix().numel(), 0);
+
+    // Refill with different data: results must match a fresh cache
+    // (no stale selections), and the K storage allocation must be
+    // reused (same buffer — the stream-pool recycling contract).
+    HeadKvCache fresh(KvMethod::Mant4, 32, 16, &sel);
+    Rng rng2(99);
+    for (int r = 0; r < 6; ++r) {
+        for (auto &v : row)
+            v = static_cast<float>(rng2.gaussian());
+        cache.appendK(row);
+        cache.appendV(row);
+        fresh.appendK(row);
+        fresh.appendV(row);
+    }
+    EXPECT_EQ(cache.kRow(0).data(), storage);
+    ASSERT_EQ(cache.size(), fresh.size());
+    for (int64_t p = 0; p < cache.size(); ++p) {
+        EXPECT_TRUE(
+            test::bytesEqual(cache.kRow(p), fresh.kRow(p)));
+    }
+    EXPECT_TRUE(test::bytesEqual(cache.vMatrix().span(),
+                                 fresh.vMatrix().span()));
+    ASSERT_EQ(cache.kSelections().size(), fresh.kSelections().size());
+}
+
+TEST(HeadKvCacheContract, AccessorsReportConstruction)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    const HeadKvCache cache(KvMethod::Mant4, 32, 16, &sel);
+    EXPECT_EQ(cache.method(), KvMethod::Mant4);
+    EXPECT_EQ(cache.headDim(), 32);
+    EXPECT_EQ(cache.groupSize(), 16);
+}
+
+#ifndef NDEBUG
+TEST(HeadKvCacheContract, KRowOutOfRangeAssertsInDebug)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    HeadKvCache cache(KvMethod::Mant4, 8, 8, &sel);
+    std::vector<float> row(8, 0.5f);
+    cache.appendK(row);
+    EXPECT_DEATH((void)cache.kRow(1), "kRow");
+    EXPECT_DEATH((void)cache.kRow(-1), "kRow");
+}
+#endif
+
+} // namespace
+} // namespace mant

@@ -1,26 +1,33 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the tiled fused GEMM.
+"""Bench regression gate for the fused-GEMM and serving decode paths.
 
 Usage: bench_gate.py CURRENT_JSON BASELINE_JSON
 
-Reads two google-benchmark JSON files and enforces, for every
-BM_GemmTiled/<M> present in the baseline:
+Reads two google-benchmark JSON files and enforces, for every gated
+benchmark present in the baseline:
 
- 1. **Bit-identity**: the `checksum` counter of BM_GemmTiled/<M> must
-    equal BM_GemmRef/<M> exactly in the CURRENT run — the tiled path
-    is only a valid optimization while it reproduces the reference
-    fused GEMM bit-for-bit (docs/ARCHITECTURE.md, determinism
+ 1. **Bit-identity**: each optimized benchmark's `checksum` counter
+    must equal its reference twin exactly in the CURRENT run. Gated
+    pairs (optimized -> reference):
+
+      BM_GemmTiled/<M>     -> BM_GemmRef/<M>       output values
+      BM_DecodeBatched/<S> -> BM_DecodeSerial/<S>  generated tokens
+
+    The tiled path is only a valid optimization while it reproduces
+    the reference fused GEMM bit-for-bit, and the batched serving
+    engine only while every stream's token sequence is byte-identical
+    to its serial single-stream run (docs/ARCHITECTURE.md, determinism
     contract).
 
- 2. **Throughput**: the tiled/reference speedup ratio
-    (items_per_second of BM_GemmTiled/<M> over BM_GemmRef/<M>) must
-    not fall more than 10% below the same ratio in the BASELINE file.
-    Gating on the ratio rather than absolute time keeps the gate
-    meaningful across runner hardware generations; the reference path
-    run in the same process is the control. Shapes whose baseline
-    speedup is below MIN_GATED_RATIO (near-parity shapes like the
-    M=1 decode, where a 10% band sits inside run-to-run noise on
-    shared runners) are checksum-gated only.
+ 2. **Throughput**: the optimized/reference speedup ratio
+    (items_per_second quotient) must not fall more than 10% below the
+    same ratio in the BASELINE file. Gating on the ratio rather than
+    absolute time keeps the gate meaningful across runner hardware
+    generations; the reference path run in the same process is the
+    control. Shapes whose baseline speedup is below MIN_GATED_RATIO
+    (near-parity shapes like the M=1 decode, where a 10% band sits
+    inside run-to-run noise on shared runners) are checksum-gated
+    only.
 
 Exit status 0 when every shape passes, 1 otherwise.
 """
@@ -29,6 +36,12 @@ import json
 import sys
 
 MIN_GATED_RATIO = 1.2
+
+# optimized-benchmark prefix -> reference-twin prefix
+PAIRS = {
+    "BM_GemmTiled": "BM_GemmRef",
+    "BM_DecodeBatched": "BM_DecodeSerial",
+}
 
 
 def load(path):
@@ -43,13 +56,21 @@ def load(path):
     return out
 
 
+def refname(name):
+    """Reference twin of a gated benchmark name, or None."""
+    for opt, ref in PAIRS.items():
+        if name.startswith(opt + "/"):
+            return ref + name[len(opt):]
+    return None
+
+
 def ratio(benches, name):
-    ref = benches.get(name.replace("BM_GemmTiled", "BM_GemmRef"))
-    tiled = benches.get(name)
-    if not ref or not tiled:
+    ref = benches.get(refname(name))
+    opt = benches.get(name)
+    if not ref or not opt:
         return None
     try:
-        return tiled["items_per_second"] / ref["items_per_second"]
+        return opt["items_per_second"] / ref["items_per_second"]
     except (KeyError, ZeroDivisionError):
         return None
 
@@ -60,28 +81,26 @@ def main(argv):
     current = load(argv[1])
     baseline = load(argv[2])
 
-    shapes = sorted(
-        n for n in baseline if n.startswith("BM_GemmTiled/")
-    )
+    shapes = sorted(n for n in baseline if refname(n))
     if not shapes:
-        sys.exit("baseline contains no BM_GemmTiled benchmarks")
+        sys.exit("baseline contains no gated benchmarks")
 
     failures = []
     for name in shapes:
-        refname = name.replace("BM_GemmTiled", "BM_GemmRef")
-        cur_tiled = current.get(name)
-        cur_ref = current.get(refname)
-        if not cur_tiled or not cur_ref:
+        cur_opt = current.get(name)
+        cur_ref = current.get(refname(name))
+        if not cur_opt or not cur_ref:
             failures.append(f"{name}: missing from current run")
             continue
 
-        cs_tiled = cur_tiled.get("checksum")
+        cs_opt = cur_opt.get("checksum")
         cs_ref = cur_ref.get("checksum")
-        if cs_tiled != cs_ref:
+        if cs_opt != cs_ref:
             failures.append(
                 f"{name}: checksum mismatch vs reference "
-                f"(tiled={cs_tiled!r} ref={cs_ref!r}) — the tiled "
-                f"path no longer reproduces fusedGemm bit-for-bit"
+                f"(optimized={cs_opt!r} ref={cs_ref!r}) — the "
+                f"optimized path no longer reproduces the reference "
+                f"bit-for-bit"
             )
 
         cur = ratio(current, name)
@@ -103,7 +122,7 @@ def main(argv):
         )
         if cur < floor:
             failures.append(
-                f"{name}: tiled speedup {cur:.2f}x fell more than "
+                f"{name}: speedup {cur:.2f}x fell more than "
                 f"10% below the baseline {base:.2f}x"
             )
 
