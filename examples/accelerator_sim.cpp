@@ -54,7 +54,7 @@ main()
         g.weightBits = wb;
         g.groupSize = 64;
         g.mantWeights = wb == 4;
-        char label[32];
+        char label[48];
         std::snprintf(label, sizeof(label), "INT8 x INT%d (%lldx32)",
                       wb, static_cast<long long>(mant.arrayRows(8, wb)));
         printStats(label, mant, simulateGemm(mant, g));
@@ -72,7 +72,7 @@ main()
         g.weightBits = wb;
         g.groupSize = wb == 4 ? 64 : 0;
         g.mantWeights = wb == 4;
-        char label[32];
+        char label[48];
         std::snprintf(label, sizeof(label), "W%d", wb);
         printStats(label, mant, simulateGemm(mant, g));
     }

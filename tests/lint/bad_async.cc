@@ -1,0 +1,10 @@
+// lint-path: src/serve/bad_async.cc
+// lint-expect: thread-primitive
+// std::async's launch policy and completion order are scheduler-
+// dependent; serving results must stay byte-identical to serial runs.
+#include <future>
+
+int scheduled() {
+    auto f = std::async([] { return 42; });
+    return f.get();
+}

@@ -1,0 +1,9 @@
+// lint-path: src/core/bad_openmp.cc
+// lint-expect: openmp
+// OpenMP schedules partition work by thread count, so reductions
+// re-associate differently at every OMP_NUM_THREADS.
+void scale(float *x, int n) {
+#pragma omp parallel for
+    for (int i = 0; i < n; ++i)
+        x[i] *= 2.0f;
+}

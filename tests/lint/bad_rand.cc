@@ -1,0 +1,13 @@
+// lint-path: src/quant/bad_rand.cc
+// lint-expect: libc-rand
+// Implementation-defined RNGs (std::rand, random_device, mt19937
+// distributions) are not reproducible across libcs; all randomness
+// must flow through the explicit-seed mant::Rng.
+#include <cstdlib>
+#include <random>
+
+float noisy() {
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<float>(std::rand()) + static_cast<float>(gen());
+}

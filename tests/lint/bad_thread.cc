@@ -1,0 +1,11 @@
+// lint-path: src/model/bad_thread.cc
+// lint-expect: thread-primitive
+// A raw std::thread in library code bypasses parallelFor()'s
+// thread-count-invariant chunk geometry.
+#include <thread>
+#include <vector>
+
+void fanOut(std::vector<float> &v) {
+    std::thread worker([&v] { v[0] = 1.0f; });
+    worker.join();
+}

@@ -1,0 +1,16 @@
+// lint-path: src/quant/bad_unordered.cc
+// lint-expect: unordered-iteration
+// Bucket order of unordered containers is implementation-defined;
+// accumulating over it makes the sum depend on the libc++/libstdc++
+// hash layout.
+#include <unordered_map>
+
+float sumHistogram(const float *vals, int n) {
+    std::unordered_map<int, float> hist;
+    for (int i = 0; i < n; ++i)
+        hist[static_cast<int>(vals[i])] += vals[i];
+    float acc = 0.0f;
+    for (const auto &kv : hist)
+        acc += kv.second;
+    return acc;
+}

@@ -1,0 +1,11 @@
+// lint-path: src/core/bad_wallclock.cc
+// lint-expect: wall-clock
+// Library results must not depend on when they ran: no time(),
+// clock(), or std::chrono clocks in src/ (timing belongs in bench/).
+#include <chrono>
+#include <ctime>
+
+long seedFromWallClock() {
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<long>(time(nullptr)) + now.count();
+}

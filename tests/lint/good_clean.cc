@@ -1,0 +1,15 @@
+// lint-path: src/core/good_clean.cc
+// lint-expect: none
+// Mentions of forbidden constructs in comments and string literals
+// must NOT fire: std::thread, std::rand(), time(NULL), #pragma omp.
+#include <string>
+
+/* Block comments are stripped too: std::async, random_device. */
+const char *kDoc =
+    "forbidden-in-code-only: time(), clock(), std::mt19937";
+
+// Identifiers merely containing forbidden substrings stay legal.
+int runtime(int x) { return x; }
+int myclock(int x) { return x; }
+
+int useThem(int x) { return runtime(x) + myclock(x); }

@@ -212,8 +212,9 @@ TEST(TiledGemm, IntoReusesMatchingStorage)
         fusedGemmTiledInto(qx, tiles, out);
         EXPECT_TRUE(bytesEqual(out.span(),
                                fusedGemm(qx, qw).span()));
-        if (seed > 0)
+        if (seed > 0) {
             EXPECT_EQ(out.data(), before) << "storage was reallocated";
+        }
     }
 }
 
@@ -284,8 +285,9 @@ TEST(QuantizedLinearTiles, ScratchReuseIsStableAcrossCalls)
         lin.forwardFusedInto(x, out);
         EXPECT_TRUE(bytesEqual(
             out.span(), lin.forwardFusedReference(x).span()));
-        if (step > 0)
+        if (step > 0) {
             EXPECT_EQ(out.data(), before);
+        }
     }
 }
 

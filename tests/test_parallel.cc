@@ -459,5 +459,119 @@ TEST(Determinism, TransformerLogitsBitIdentical)
     }
 }
 
+// --- TSan-targeted stress tests -------------------------------------
+//
+// The tsan preset runs this binary with MANT_THREADS=8, so these tests
+// deliberately race the pool's worker spawn-up, ticket handout, job
+// swap, and caller fallback paths. They assert only exactly-once
+// visitation (TSan supplies the race detection); pool teardown itself
+// is exercised at process exit, where TSan verifies the worker joins
+// in Pool::~Pool against every access these tests made.
+
+TEST(ParallelStress, ReuseAcrossThreadBudgetChanges)
+{
+    ThreadEnvGuard env;
+    // Alternating budgets makes each job spawn new workers mid-life
+    // and strands surplus workers that must lose the ticket race
+    // (Job::slots) without touching the new job's state.
+    std::vector<int64_t> perChunk(
+        static_cast<size_t>(parallelChunkCount(0, 4096, 16)));
+    for (int round = 0; round < 64; ++round) {
+        const int budget = 1 + (round % 8);
+        setMaxThreads(budget);
+        std::fill(perChunk.begin(), perChunk.end(), int64_t{0});
+        std::atomic<int64_t> visited{0};
+        parallelFor(0, 4096, 16,
+                    [&](int64_t b, int64_t e, int64_t c) {
+                        perChunk[static_cast<size_t>(c)] += e - b;
+                        visited.fetch_add(e - b,
+                                          std::memory_order_relaxed);
+                    });
+        ASSERT_EQ(visited.load(), 4096) << "round=" << round;
+        for (int64_t n : perChunk)
+            ASSERT_EQ(n, 16);
+    }
+    setMaxThreads(0);
+}
+
+TEST(ParallelStress, ConcurrentTopLevelCallersStayExactlyOnce)
+{
+    ThreadEnvGuard env;
+    // Several user threads contend for the pool at once: one wins
+    // callerMu and runs pooled, the rest must fall back inline. Every
+    // call still visits every index exactly once.
+    constexpr int kCallers = 4;
+    constexpr int kRounds = 16;
+    constexpr int64_t kRange = 2048;
+    setMaxThreads(8);
+    std::vector<std::atomic<int64_t>> hits(
+        static_cast<size_t>(kCallers));
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                parallelFor(0, kRange, 32,
+                            [&](int64_t b, int64_t e, int64_t) {
+                                hits[static_cast<size_t>(t)].fetch_add(
+                                    e - b, std::memory_order_relaxed);
+                            });
+            }
+        });
+    }
+    for (std::thread &t : callers)
+        t.join();
+    setMaxThreads(0);
+    for (int t = 0; t < kCallers; ++t)
+        EXPECT_EQ(hits[static_cast<size_t>(t)].load(),
+                  kRounds * kRange)
+            << "caller=" << t;
+}
+
+TEST(ParallelStress, NestedCallsUnderContentionRunInline)
+{
+    ThreadEnvGuard env;
+    // Nested parallelFor from racing chunk bodies: the inner call must
+    // see tlsInParallelRegion and run inline on the same thread, with
+    // no pool re-entry, at every thread budget.
+    for (int budget : {2, 8}) {
+        setMaxThreads(budget);
+        std::atomic<int64_t> inner{0};
+        parallelFor(0, 64, 1, [&](int64_t, int64_t, int64_t) {
+            const auto outerThread = std::this_thread::get_id();
+            parallelFor(0, 32, 4,
+                        [&](int64_t b, int64_t e, int64_t) {
+                            EXPECT_EQ(std::this_thread::get_id(),
+                                      outerThread);
+                            inner.fetch_add(
+                                e - b, std::memory_order_relaxed);
+                        });
+        });
+        EXPECT_EQ(inner.load(), 64 * 32) << "budget=" << budget;
+    }
+    setMaxThreads(0);
+}
+
+TEST(ParallelStress, BudgetGrowthSpawnsWorkersForExitTeardown)
+{
+    ThreadEnvGuard env;
+    // Ratchet the budget up to the test cap so the pool holds its
+    // maximum worker population when the process exits — Pool::~Pool's
+    // shutdown broadcast + joins then run under TSan with the largest
+    // possible worker set.
+    for (int budget : {2, 4, 8}) {
+        setMaxThreads(budget);
+        std::atomic<int64_t> sum{0};
+        parallelFor(0, 1024, 8,
+                    [&](int64_t b, int64_t e, int64_t) {
+                        for (int64_t i = b; i < e; ++i)
+                            sum.fetch_add(i,
+                                          std::memory_order_relaxed);
+                    });
+        EXPECT_EQ(sum.load(), 1023 * 1024 / 2) << "budget=" << budget;
+    }
+    setMaxThreads(0);
+}
+
 } // namespace
 } // namespace mant

@@ -45,14 +45,23 @@ PAIRS = {
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_gate: {path} is not valid JSON: {e}")
     out = {}
     for b in data.get("benchmarks", []):
         # Aggregate rows (mean/median/stddev) would double-count.
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = b
+        name = b.get("name")
+        if name is None:
+            sys.exit(f"bench_gate: {path} has a benchmark entry "
+                     f"without a 'name' field")
+        out[name] = b
     return out
 
 
@@ -87,11 +96,25 @@ def main(argv):
 
     failures = []
     for name in shapes:
-        cur_opt = current.get(name)
-        cur_ref = current.get(refname(name))
-        if not cur_opt or not cur_ref:
-            failures.append(f"{name}: missing from current run")
+        ref = refname(name)
+        missing = [n for n, src in ((name, current), (ref, current),
+                                    (ref, baseline))
+                   if n not in src]
+        if missing:
+            # One clear line per gated shape instead of a KeyError
+            # traceback: say which name is absent from which file.
+            for n in dict.fromkeys(missing):
+                where = " and ".join(
+                    w for w, src in (("current run", current),
+                                     ("baseline", baseline))
+                    if n not in src)
+                failures.append(
+                    f"{name}: gated benchmark '{n}' missing from "
+                    f"{where} — was the benchmark renamed or "
+                    f"filtered out?")
             continue
+        cur_opt = current[name]
+        cur_ref = current[ref]
 
         cs_opt = cur_opt.get("checksum")
         cs_ref = cur_ref.get("checksum")

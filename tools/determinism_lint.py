@@ -1,0 +1,427 @@
+#!/usr/bin/env python3
+"""Determinism-contract lint for the M-ANT tree.
+
+The repository guarantees bit-identical results across MANT_SIMD
+backends, MANT_THREADS settings, and batched-vs-serial serving
+(docs/ARCHITECTURE.md, "Determinism contract"). The runtime memcmp
+suites catch violations after the fact; this lint statically rejects
+the constructs that cause them before they land:
+
+  thread-primitive     std::thread / std::jthread / std::async /
+                       pthread_create anywhere in src/ except
+                       src/core/parallel.cc — all concurrency must flow
+                       through parallelFor()'s fixed chunk geometry.
+  libc-rand            std::rand / srand / rand() / drand48 /
+                       std::random_device / std::mt19937* outside
+                       src/tensor/rng.h — randomness must come from the
+                       explicit-seed xoshiro256** Rng.
+  wall-clock           time() / clock() / gettimeofday /
+                       clock_gettime / std::chrono::*_clock in src/ —
+                       library results may never depend on when they
+                       ran (timing belongs in bench/, outside src/).
+  openmp               #pragma omp in src/ or -fopenmp in a
+                       CMakeLists.txt — OpenMP schedules are
+                       thread-count-dependent.
+  fast-math            -ffast-math / -Ofast / -funsafe-math-optimizations
+                       / -fassociative-math / -freciprocal-math /
+                       -ffinite-math-only / -ffp-contract=fast in any
+                       CMakeLists.txt — value-changing FP optimization
+                       breaks cross-backend parity.
+  fp-contract          every SIMD backend TU (src/core/simd_*.cc other
+                       than the dispatcher simd.cc) named in
+                       src/CMakeLists.txt must be covered by a
+                       set_source_files_properties(... COMPILE_OPTIONS)
+                       whose expansion contains -ffp-contract=off, so
+                       the compiler cannot contract mul+add into FMA on
+                       one backend but not another.
+  unordered-iteration  iterating a std::unordered_{map,set,multimap,
+                       multiset} in kernel/quantizer files (src/core/,
+                       src/quant/) — bucket order is
+                       implementation-defined, so any accumulation fed
+                       by it is nondeterministic.
+
+Usage:
+  determinism_lint.py [--repo PATH] [--self-test]
+
+--self-test first replays the known-bad fixtures in tests/lint/ and
+fails unless every fixture's declared `lint-expect:` rules fire (and no
+others); then the real tree is scanned either way. Exit 0 when clean,
+1 on findings or fixture failures, 2 on usage errors.
+
+Fixtures declare their pretend location and expected findings in
+leading comment directives:
+
+  // lint-path: src/quant/bad.cc
+  // lint-expect: unordered-iteration
+
+(`lint-expect: none` asserts the fixture is clean; CMake fixtures use
+`#` comments.)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files exempt from specific rules (repo-relative, forward slashes).
+THREAD_ALLOWED = {"src/core/parallel.cc"}
+RAND_ALLOWED = {"src/tensor/rng.h"}
+
+# Directories whose C++ files are "kernel/quantizer" code for the
+# unordered-iteration rule.
+UNORDERED_STRICT_DIRS = ("src/core/", "src/quant/")
+
+CXX_EXTS = (".cc", ".h", ".cpp", ".hpp")
+
+THREAD_RE = re.compile(
+    r"\bstd\s*::\s*(thread|jthread|async)\b|\bpthread_create\b")
+RAND_RE = re.compile(
+    r"\bstd\s*::\s*(rand|srand|random_device|mt19937(_64)?|"
+    r"minstd_rand0?|default_random_engine)\b"
+    r"|(?<![\w:.])s?rand\s*\(|\bdrand48\b|\blrand48\b")
+WALLCLOCK_RE = re.compile(
+    r"(?<![\w:.])time\s*\(|(?<![\w:.])clock\s*\(|\bgettimeofday\b"
+    r"|\bclock_gettime\b"
+    r"|\b(system_clock|steady_clock|high_resolution_clock)\b")
+OPENMP_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b")
+FAST_MATH_RE = re.compile(
+    r"-ffast-math|-Ofast\b|-funsafe-math-optimizations"
+    r"|-fassociative-math|-freciprocal-math|-ffinite-math-only"
+    r"|-ffp-contract=fast|-fopenmp\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\s*<[^;]*?\b"
+    r"(\w+)\s*(?:[;={(]|$)")
+SIMD_BACKEND_RE = re.compile(r"\bcore/(simd_\w+)\.cc\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_cxx_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving line
+    structure so finding line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | 'str' | 'chr' | 'raw'
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == "R" and nxt == '"':
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    state = "raw"
+                    raw_delim = ")" + m.group(1) + '"'
+                    out.append(" " * m.end())
+                    i += m.end()
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = None
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = None
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def strip_cmake_comments(text):
+    return "\n".join(re.sub(r"#.*", "", ln) for ln in text.split("\n"))
+
+
+def scan_regex(path, text, regex, rule, message, findings,
+               per_line_filter=None):
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if per_line_filter and not per_line_filter(line):
+            continue
+        if regex.search(line):
+            findings.append(Finding(path, lineno, rule, message))
+
+
+def lint_cxx(path, raw, findings):
+    """Run the C++-source rules against one file at pretend-path
+    `path` (repo-relative, forward slashes)."""
+    text = strip_cxx_comments_and_strings(raw)
+
+    # OpenMP pragmas are matched on the raw text: they are real
+    # directives, not comments.
+    for lineno, line in enumerate(raw.split("\n"), start=1):
+        if OPENMP_PRAGMA_RE.search(line):
+            findings.append(Finding(
+                path, lineno, "openmp",
+                "OpenMP pragma; its scheduling depends on the thread "
+                "count — use parallelFor() (core/parallel.h)"))
+
+    if path not in THREAD_ALLOWED:
+        scan_regex(path, text, THREAD_RE, "thread-primitive",
+                   "raw threading primitive; all concurrency must go "
+                   "through parallelFor() so chunk geometry stays "
+                   "thread-count-invariant", findings)
+    if path not in RAND_ALLOWED:
+        scan_regex(path, text, RAND_RE, "libc-rand",
+                   "implementation-defined RNG; use the explicit-seed "
+                   "mant::Rng (tensor/rng.h)", findings)
+    scan_regex(path, text, WALLCLOCK_RE, "wall-clock",
+               "wall-clock/time dependence in library code; results "
+               "must not depend on when they ran (timing belongs in "
+               "bench/)", findings)
+
+    if path.startswith(UNORDERED_STRICT_DIRS):
+        lint_unordered_iteration(path, text, findings)
+
+
+def lint_unordered_iteration(path, text, findings):
+    """Flag iteration over variables declared with an unordered
+    container type in the same file (bucket order is implementation-
+    defined, so iteration order feeding accumulation is
+    nondeterministic)."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        names.add(m.group(2))
+    if not names:
+        return
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    iter_re = re.compile(
+        r"\bfor\s*\([^;)]*[:&]\s*(" + alt + r")\s*\)"    # range-for
+        r"|\b(" + alt + r")\s*\.\s*(begin|cbegin)\s*\(")  # iterator
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if iter_re.search(line):
+            findings.append(Finding(
+                path, lineno, "unordered-iteration",
+                "iterating an unordered container in kernel/quantizer "
+                "code; bucket order is implementation-defined — use a "
+                "sorted/indexed container or sort keys first"))
+
+
+def expand_cmake_vars(value, variables, depth=0):
+    if depth > 8:
+        return value
+    def repl(m):
+        return " ".join(variables.get(m.group(1), []))
+    new = re.sub(r"\$\{(\w+)\}", repl, value)
+    if new != value:
+        return expand_cmake_vars(new, variables, depth + 1)
+    return new
+
+
+def parse_cmake_variables(text):
+    """Best-effort variable table from set()/list(APPEND) calls."""
+    variables = {}
+    for m in re.finditer(r"\bset\s*\(\s*(\w+)\s+([^)]*)\)", text,
+                         re.DOTALL):
+        variables[m.group(1)] = m.group(2).replace('"', " ").split()
+    for m in re.finditer(r"\blist\s*\(\s*APPEND\s+(\w+)\s+([^)]*)\)",
+                         text, re.DOTALL):
+        variables.setdefault(m.group(1), []).extend(
+            m.group(2).replace('"', " ").split())
+    for name, vals in variables.items():
+        variables[name] = expand_cmake_vars(
+            " ".join(vals), variables).split()
+    return variables
+
+
+def lint_cmake(path, raw, findings, is_src_cmake):
+    text = strip_cmake_comments(raw)
+
+    scan_regex(path, text, FAST_MATH_RE, "fast-math",
+               "value-changing FP/OpenMP compiler flag; breaks "
+               "bit-identity across backends and thread counts",
+               findings)
+
+    if not is_src_cmake:
+        return
+
+    # fp-contract rule: every SIMD backend TU named in this file must be
+    # covered by set_source_files_properties(... COMPILE_OPTIONS ...)
+    # whose expansion contains -ffp-contract=off.
+    backends = {m.group(1) for m in SIMD_BACKEND_RE.finditer(text)
+                if m.group(1) != "simd"}  # simd.cc is the dispatcher
+    if not backends:
+        return
+    variables = parse_cmake_variables(text)
+    covered = set()
+    for m in re.finditer(
+            r"set_source_files_properties\s*\(([^)]*)\)", text,
+            re.DOTALL):
+        args = m.group(1)
+        if "COMPILE_OPTIONS" not in args:
+            continue
+        expanded = expand_cmake_vars(args.replace('"', " "), variables)
+        if "-ffp-contract=off" not in expanded:
+            continue
+        for b in SIMD_BACKEND_RE.finditer(args):
+            covered.add(b.group(1))
+    for backend in sorted(backends - covered):
+        findings.append(Finding(
+            path, 1, "fp-contract",
+            f"SIMD backend TU core/{backend}.cc is not covered by a "
+            f"set_source_files_properties(... COMPILE_OPTIONS) "
+            f"containing -ffp-contract=off; compiler-introduced FMA "
+            f"contraction would desync it from the other backends"))
+
+
+def lint_file(relpath, raw, findings):
+    """Dispatch one file (repo-relative path) to the right rule set."""
+    base = os.path.basename(relpath)
+    if base == "CMakeLists.txt" or relpath.endswith(".cmake"):
+        lint_cmake(relpath, raw, findings,
+                   is_src_cmake=(relpath == "src/CMakeLists.txt"))
+    elif relpath.startswith("src/") and relpath.endswith(CXX_EXTS):
+        lint_cxx(relpath, raw, findings)
+
+
+def iter_repo_files(repo):
+    for root, dirs, files in os.walk(os.path.join(repo, "src")):
+        dirs.sort()
+        for f in sorted(files):
+            if f.endswith(CXX_EXTS):
+                yield os.path.join(root, f)
+    for sub in ("", "src", "tests", "bench", "examples"):
+        p = os.path.join(repo, sub, "CMakeLists.txt")
+        if os.path.isfile(p):
+            yield p
+
+
+def lint_repo(repo):
+    findings = []
+    for path in iter_repo_files(repo):
+        rel = os.path.relpath(path, repo).replace(os.sep, "/")
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        lint_file(rel, raw, findings)
+    return findings
+
+
+DIRECTIVE_RE = re.compile(
+    r"(?://|#)\s*lint-(path|expect):\s*(\S+)")
+
+
+def run_self_test(repo):
+    """Replay tests/lint/ fixtures; return the number of failures."""
+    fixture_dir = os.path.join(repo, "tests", "lint")
+    if not os.path.isdir(fixture_dir):
+        print(f"determinism_lint: fixture dir missing: {fixture_dir}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir)
+        if os.path.isfile(os.path.join(fixture_dir, f))
+        and not f.startswith(".") and f != "README.md")
+    if not fixtures:
+        print("determinism_lint: no fixtures found", file=sys.stderr)
+        return 1
+    for name in fixtures:
+        with open(os.path.join(fixture_dir, name),
+                  encoding="utf-8") as f:
+            raw = f.read()
+        path = None
+        expected = set()
+        for m in DIRECTIVE_RE.finditer(raw):
+            if m.group(1) == "path":
+                path = m.group(2)
+            else:
+                expected.add(m.group(2))
+        if path is None or not expected:
+            print(f"SELF-TEST FAIL {name}: missing lint-path/"
+                  f"lint-expect directives", file=sys.stderr)
+            failures += 1
+            continue
+        expected.discard("none")
+        findings = []
+        lint_file(path, raw, findings)
+        fired = {f.rule for f in findings}
+        if fired != expected:
+            print(f"SELF-TEST FAIL {name}: expected rules "
+                  f"{sorted(expected) or ['none']}, got "
+                  f"{sorted(fired) or ['none']}", file=sys.stderr)
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+            failures += 1
+    print(f"determinism_lint self-test: {len(fixtures)} fixtures, "
+          f"{failures} failures")
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="M-ANT determinism-contract lint")
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="also replay the tests/lint/ fixtures")
+    args = ap.parse_args(argv)
+
+    failures = 0
+    if args.self_test:
+        failures += run_self_test(args.repo)
+
+    findings = lint_repo(args.repo)
+    for f in findings:
+        print(f"FAIL: {f}", file=sys.stderr)
+    print(f"determinism_lint: scanned tree at {args.repo}: "
+          f"{len(findings)} findings")
+    return 1 if (findings or failures) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

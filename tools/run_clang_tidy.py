@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the M-ANT tree.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every
+first-party translation unit recorded in a build directory's
+compile_commands.json, in parallel, and fails on any diagnostic —
+`WarningsAsErrors: '*'` means a new finding is a red CI job, so the
+check set only grows when the tree is clean under the new check.
+
+Usage:
+  run_clang_tidy.py [--build-dir BUILD] [--paths src ...] [-j N]
+                    [--clang-tidy BIN] [--quiet]
+
+Exit status: 0 clean, 1 diagnostics found, 2 environment problems
+(no clang-tidy binary, no compilation database).
+
+The compilation database comes from CMAKE_EXPORT_COMPILE_COMMANDS=ON
+(always on in this tree's root CMakeLists.txt), so any configured build
+directory works:
+
+  cmake --preset release && python3 tools/run_clang_tidy.py
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def die_env(message):
+    """Environment problems exit 2, distinct from diagnostics (1)."""
+    print(f"run_clang_tidy: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_entries(build_dir, roots):
+    db = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db):
+        die_env(f"{db} not found — configure a build dir first "
+                f"(cmake --preset release); "
+                f"CMAKE_EXPORT_COMPILE_COMMANDS is on by default")
+    with open(db) as f:
+        entries = json.load(f)
+    wanted = []
+    seen = set()
+    abs_roots = [os.path.join(REPO, r) + os.sep for r in roots]
+    for e in entries:
+        path = os.path.normpath(
+            os.path.join(e["directory"], e["file"]))
+        if path in seen:
+            continue
+        if any(path.startswith(r) for r in abs_roots):
+            seen.add(path)
+            wanted.append(path)
+    return sorted(wanted)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description="M-ANT clang-tidy gate")
+    ap.add_argument("--build-dir",
+                    default=os.path.join(REPO, "build"))
+    ap.add_argument("--paths", nargs="*", default=["src"],
+                    help="repo-relative roots to lint (default: src)")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=multiprocessing.cpu_count())
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary to use")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-file progress lines")
+    args = ap.parse_args(argv)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if not tidy:
+        die_env("no clang-tidy binary on PATH "
+                "(apt-get install clang-tidy)")
+
+    files = load_entries(args.build_dir, args.paths)
+    if not files:
+        die_env(f"no TUs under {args.paths} in "
+                f"{args.build_dir}/compile_commands.json")
+
+    failures = []
+
+    def run_one(path):
+        rel = os.path.relpath(path, REPO)
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        # clang-tidy exits nonzero iff a WarningsAsErrors diagnostic
+        # fired (or the TU failed to parse — also a failure).
+        if proc.returncode != 0:
+            failures.append((rel, proc.stdout + proc.stderr))
+        elif not args.quiet:
+            print(f"  OK {rel}")
+        return proc.returncode
+
+    with ThreadPoolExecutor(max_workers=max(1, args.jobs)) as pool:
+        list(pool.map(run_one, files))
+
+    for rel, output in sorted(failures):
+        print(f"\n=== {rel} ===\n{output.rstrip()}", file=sys.stderr)
+    print(f"run_clang_tidy: {len(files)} TUs checked with {tidy}, "
+          f"{len(failures)} with diagnostics")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
