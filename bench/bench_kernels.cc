@@ -24,6 +24,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -32,8 +33,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/fused_attention.h"
 #include "core/fused_gemm.h"
 #include "core/kv_quant.h"
+#include "model/kv_cache.h"
+#include "model/layers.h"
 #include "core/packed_tiles.h"
 #include "core/parallel.h"
 #include "core/simd.h"
@@ -645,6 +649,124 @@ BENCHMARK(BM_DecodeBatched)
     ->Arg(2)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Attention-path benches: one full decode-step attention row (query
+ * quantize → QK^T scores → softmax → P·V) over a pre-populated
+ * MANT4 KV cache with captured codes. BM_AttnRef walks the flat
+ * one-code-per-byte views with the scalar reference kernels;
+ * BM_AttnFused runs the panel-packed fusedTilePanel path. Arg =
+ * sequence length (cache rows visible to the query). Both report a
+ * `checksum` over the attention output row — the fused/reference
+ * bit-exactness contract says the two must match exactly, and
+ * tools/bench_gate.py fails CI on mismatch or on a fused-vs-reference
+ * throughput regression against BENCH_kernels.baseline.json.
+ */
+constexpr int64_t kAttnHeadDim = 128;
+constexpr int64_t kAttnGroup = 64;
+
+const HeadKvCache &
+attnBenchCache(int64_t seqLen)
+{
+    static const VarianceSelector sel = VarianceSelector::analytic();
+    static std::map<int64_t, HeadKvCache> cache;
+    auto it = cache.find(seqLen);
+    if (it != cache.end())
+        return it->second;
+    HeadKvCache kv(KvMethod::Mant4, kAttnHeadDim, kAttnGroup, &sel,
+                   /*captureCodes=*/true);
+    Rng rng(static_cast<uint64_t>(6000 + seqLen));
+    std::vector<float> row(static_cast<size_t>(kAttnHeadDim));
+    for (int64_t p = 0; p < seqLen; ++p) {
+        for (auto &x : row)
+            x = static_cast<float>(rng.gaussian());
+        kv.appendK(row);
+        for (auto &x : row)
+            x = static_cast<float>(rng.gaussian());
+        kv.appendV(row);
+    }
+    return cache.emplace(seqLen, std::move(kv)).first->second;
+}
+
+std::vector<float>
+attnBenchQuery()
+{
+    Rng rng(6100);
+    std::vector<float> q(static_cast<size_t>(kAttnHeadDim));
+    for (auto &x : q)
+        x = static_cast<float>(rng.gaussian());
+    return q;
+}
+
+static void
+BM_AttnRef(benchmark::State &state)
+{
+    setMaxThreads(1);
+    const int64_t seqLen = state.range(0);
+    const HeadKvCache &kv = attnBenchCache(seqLen);
+    const std::vector<float> q = attnBenchQuery();
+    const float invSqrtDh =
+        1.0f / std::sqrt(static_cast<float>(kAttnHeadDim));
+    const SimdOps &ops = simdOps();
+    AttnScratch scratch;
+    std::vector<float> probs(static_cast<size_t>(seqLen));
+    std::vector<float> out(static_cast<size_t>(kAttnHeadDim));
+    for (auto _ : state) {
+        quantizeQRow(ops, q, kAttnGroup, scratch);
+        attnScoresReference(kv.kPanels(), scratch.qCodes,
+                            scratch.qScales, seqLen, invSqrtDh, 0.0f,
+                            probs);
+        softmaxRow(probs);
+        attnPvReference(ops, kv.vQuant(), probs, scratch, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * 2 * seqLen *
+                            kAttnHeadDim);
+    state.counters["checksum"] =
+        checksum(std::span<const float>(out));
+    setMaxThreads(0);
+}
+BENCHMARK(BM_AttnRef)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+static void
+BM_AttnFused(benchmark::State &state)
+{
+    setMaxThreads(1);
+    const int64_t seqLen = state.range(0);
+    const HeadKvCache &kv = attnBenchCache(seqLen);
+    const std::vector<float> q = attnBenchQuery();
+    const float invSqrtDh =
+        1.0f / std::sqrt(static_cast<float>(kAttnHeadDim));
+    const SimdOps &ops = simdOps();
+    AttnScratch scratch;
+    std::vector<float> probs(static_cast<size_t>(seqLen));
+    std::vector<float> out(static_cast<size_t>(kAttnHeadDim));
+    for (auto _ : state) {
+        quantizeQRow(ops, q, kAttnGroup, scratch);
+        attnScoresFused(ops, kv.kPanels(), scratch.qCodes,
+                        scratch.qScales, seqLen, invSqrtDh, 0.0f,
+                        probs);
+        softmaxRow(probs);
+        attnPvFused(ops, kv.vQuant(), probs, scratch, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * 2 * seqLen *
+                            kAttnHeadDim);
+    state.counters["checksum"] =
+        checksum(std::span<const float>(out));
+    setMaxThreads(0);
+}
+BENCHMARK(BM_AttnFused)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 static void
 BM_TemporalVPush(benchmark::State &state)

@@ -1,0 +1,302 @@
+#include "core/fused_attention.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/mant_grid.h"
+#include "tensor/fp16.h"
+
+namespace mant {
+
+namespace {
+
+/**
+ * Per-group combine, the exact fusedGemm expression: INT groups use
+ * the MAC lane alone (the sign-magnitude nibble of an INT code v has
+ * magnitude |v|, so the MAC lane is sum x*v already); MANT groups
+ * combine both lanes with the coefficient. Shared verbatim by the
+ * fused and reference paths, so equality reduces to equality of the
+ * integer partial sums — which are exact in any order.
+ */
+inline double
+combineGroup(int64_t mac, int64_t sac, bool isInt, int a, float sx,
+             float sw)
+{
+    const double p =
+        isInt ? static_cast<double>(mac)
+              : static_cast<double>(a) * static_cast<double>(mac) +
+                    static_cast<double>(sac);
+    return p * static_cast<double>(sx) * static_cast<double>(sw);
+}
+
+/** The shared INT8 activation idiom: fp16Round(absMax/127), all-zero
+ *  segment gets scale 1, round-half-away clamp to ±127. */
+float
+quantizeSegment(const SimdOps &ops, const float *x, int64_t n,
+                int8_t *codes)
+{
+    float scale = fp16Round(ops.absMax(x, n) / 127.0f);
+    if (scale == 0.0f)
+        scale = 1.0f;
+    ops.quantizeRoundClamp(x, codes, n, scale, 127);
+    return scale;
+}
+
+/** Scalar MAC/SAC lanes of one flat-code segment (reference twin of
+ *  fusedTilePanel's per-column sums; integer, so trivially equal). */
+inline void
+referencePsums(const int8_t *act, const int8_t *codes, int64_t stride,
+               int64_t len, bool isInt, int64_t &mac, int64_t &sac)
+{
+    mac = 0;
+    sac = 0;
+    if (isInt) {
+        for (int64_t i = 0; i < len; ++i)
+            mac += static_cast<int64_t>(act[i]) * codes[i * stride];
+        return;
+    }
+    for (int64_t i = 0; i < len; ++i) {
+        const MantCode c = static_cast<MantCode>(
+            static_cast<uint8_t>(codes[i * stride]) & 0xf);
+        const int sign = mantSign(c);
+        const int mag = mantMagnitude(c);
+        mac += static_cast<int64_t>(act[i]) * (sign * mag);
+        sac += sign * sacShift(act[i], mag);
+    }
+}
+
+/** Pending-tail P·V term, identical in both paths: an exact integer
+ *  INT8×INT8 dot per channel against the pending-window codes. */
+void
+accumulatePending(const TemporalVQuantizer &vq,
+                  std::span<const int8_t> pCodes, int64_t finRows,
+                  int64_t pendRows, float sx, std::span<double> acc)
+{
+    const int64_t channels = vq.channels();
+    const std::span<const int8_t> pend = vq.pendingCodes();
+    const std::span<const float> cs = vq.channelScales();
+    for (int64_t ch = 0; ch < channels; ++ch) {
+        int64_t dot = 0;
+        for (int64_t r = 0; r < pendRows; ++r)
+            dot += static_cast<int64_t>(
+                       pCodes[static_cast<size_t>(finRows + r)]) *
+                   pend[static_cast<size_t>(r * channels + ch)];
+        acc[static_cast<size_t>(ch)] +=
+            static_cast<double>(dot) * static_cast<double>(sx) *
+            static_cast<double>(cs[static_cast<size_t>(ch)]);
+    }
+}
+
+} // namespace
+
+void
+quantizeQRow(const SimdOps &ops, std::span<const float> q,
+             int64_t groupSize, AttnScratch &scratch)
+{
+    const int64_t n = static_cast<int64_t>(q.size());
+    const int64_t gsize = effectiveGroupSize(n, groupSize);
+    const int64_t groups = groupsPerRowFor(n, groupSize);
+    scratch.qCodes.resize(static_cast<size_t>(n));
+    scratch.qScales.resize(static_cast<size_t>(groups));
+    for (int64_t g = 0; g < groups; ++g) {
+        const int64_t k0 = g * gsize;
+        const int64_t len = std::min(gsize, n - k0);
+        scratch.qScales[static_cast<size_t>(g)] = quantizeSegment(
+            ops, q.data() + k0, len, scratch.qCodes.data() + k0);
+    }
+}
+
+int64_t
+quantizePRow(const SimdOps &ops, std::span<const float> probs,
+             int64_t window, int64_t finalizedRows,
+             AttnScratch &scratch)
+{
+    const int64_t visible = static_cast<int64_t>(probs.size());
+    const int64_t finRows = std::min(visible, finalizedRows);
+    const int64_t pendRows = visible - finRows;
+    const int64_t nw = window > 0 ? (finRows + window - 1) / window : 0;
+    scratch.pCodes.resize(static_cast<size_t>(visible));
+    scratch.pScales.resize(
+        static_cast<size_t>(nw + (pendRows > 0 ? 1 : 0)));
+    for (int64_t w = 0; w < nw; ++w) {
+        const int64_t w0 = w * window;
+        const int64_t len = std::min(window, finRows - w0);
+        scratch.pScales[static_cast<size_t>(w)] = quantizeSegment(
+            ops, probs.data() + w0, len, scratch.pCodes.data() + w0);
+    }
+    if (pendRows > 0)
+        scratch.pScales[static_cast<size_t>(nw)] =
+            quantizeSegment(ops, probs.data() + finRows, pendRows,
+                            scratch.pCodes.data() + finRows);
+    return nw;
+}
+
+void
+attnScoresFused(const SimdOps &ops, const KPanelStore &kPanels,
+                std::span<const int8_t> qCodes,
+                std::span<const float> qScales, int64_t visible,
+                float invSqrtDh, float slope, std::span<float> scores)
+{
+    if (visible > kPanels.rows())
+        throw std::invalid_argument(
+            "attnScoresFused: visible exceeds cached rows");
+    const int64_t gsize = kPanels.groupSize();
+    for (int64_t p0 = 0; p0 < visible; p0 += kTilePanelCols) {
+        const int64_t panel = p0 / kTilePanelCols;
+        const int64_t valid =
+            std::min<int64_t>(kTilePanelCols, visible - p0);
+        double acc8[kTilePanelCols] = {};
+        for (int64_t g = 0; g < kPanels.groupsPerRow(); ++g) {
+            const int64_t k0 = g * gsize;
+            const int64_t len = std::min(gsize, kPanels.headDim() - k0);
+            int64_t mac[kTilePanelCols] = {};
+            int64_t sac[kTilePanelCols] = {};
+            ops.fusedTilePanel(qCodes.data() + k0, 0, 1,
+                               kPanels.tileCodes(panel, g), len, mac,
+                               sac);
+            const std::span<const float> sw = kPanels.tileScales(panel, g);
+            const std::span<const uint8_t> aa =
+                kPanels.tileCoeffs(panel, g);
+            const std::span<const uint8_t> ii =
+                kPanels.tileIsInt(panel, g);
+            const float sx = qScales[static_cast<size_t>(g)];
+            for (int64_t c = 0; c < valid; ++c)
+                acc8[c] += combineGroup(
+                    mac[c], sac[c], ii[static_cast<size_t>(c)] != 0,
+                    aa[static_cast<size_t>(c)], sx,
+                    sw[static_cast<size_t>(c)]);
+        }
+        for (int64_t c = 0; c < valid; ++c) {
+            const int64_t p = p0 + c;
+            scores[static_cast<size_t>(p)] =
+                static_cast<float>(acc8[c]) * invSqrtDh -
+                slope * static_cast<float>(visible - 1 - p);
+        }
+    }
+}
+
+void
+attnScoresReference(const KPanelStore &kPanels,
+                    std::span<const int8_t> qCodes,
+                    std::span<const float> qScales, int64_t visible,
+                    float invSqrtDh, float slope,
+                    std::span<float> scores)
+{
+    if (visible > kPanels.rows())
+        throw std::invalid_argument(
+            "attnScoresReference: visible exceeds cached rows");
+    const int64_t gsize = kPanels.groupSize();
+    for (int64_t p = 0; p < visible; ++p) {
+        const std::span<const int8_t> row = kPanels.rowCodes(p);
+        double acc = 0.0;
+        for (int64_t g = 0; g < kPanels.groupsPerRow(); ++g) {
+            const int64_t k0 = g * gsize;
+            const int64_t len = std::min(gsize, kPanels.headDim() - k0);
+            const MantGroupMeta meta = kPanels.metaAt(p, g);
+            int64_t mac = 0, sac = 0;
+            referencePsums(qCodes.data() + k0, row.data() + k0, 1, len,
+                           meta.isInt, mac, sac);
+            acc += combineGroup(mac, sac, meta.isInt, meta.a,
+                                qScales[static_cast<size_t>(g)],
+                                meta.scale);
+        }
+        scores[static_cast<size_t>(p)] =
+            static_cast<float>(acc) * invSqrtDh -
+            slope * static_cast<float>(visible - 1 - p);
+    }
+}
+
+void
+attnPvFused(const SimdOps &ops, const TemporalVQuantizer &vq,
+            std::span<const float> probs, AttnScratch &scratch,
+            std::span<float> out)
+{
+    const int64_t channels = vq.channels();
+    const int64_t window = vq.window();
+    const int64_t visible = static_cast<int64_t>(probs.size());
+    if (visible > vq.rows())
+        throw std::invalid_argument(
+            "attnPvFused: probs length exceeds cached rows");
+    const VPanelStore &vp = vq.codePanels();
+    const int64_t finRows = std::min(visible, vq.finalizedRows());
+    const int64_t nw =
+        quantizePRow(ops, probs, window, vq.finalizedRows(), scratch);
+    scratch.acc.assign(static_cast<size_t>(channels), 0.0);
+
+    for (int64_t w = 0; w < nw; ++w) {
+        const int64_t w0 = w * window;
+        const int64_t len = std::min(window, finRows - w0);
+        const float sx = scratch.pScales[static_cast<size_t>(w)];
+        for (int64_t pn = 0; pn < vp.panels(); ++pn) {
+            int64_t mac[kTilePanelCols] = {};
+            int64_t sac[kTilePanelCols] = {};
+            ops.fusedTilePanel(scratch.pCodes.data() + w0, 0, 1,
+                               vp.tileCodes(w, pn), len, mac, sac);
+            const std::span<const float> sw = vp.tileScales(w, pn);
+            const std::span<const uint8_t> aa = vp.tileCoeffs(w, pn);
+            const std::span<const uint8_t> ii = vp.tileIsInt(w, pn);
+            const int64_t cMax = std::min<int64_t>(
+                kTilePanelCols, channels - pn * kTilePanelCols);
+            for (int64_t c = 0; c < cMax; ++c)
+                scratch.acc[static_cast<size_t>(
+                    pn * kTilePanelCols + c)] +=
+                    combineGroup(mac[c], sac[c],
+                                 ii[static_cast<size_t>(c)] != 0,
+                                 aa[static_cast<size_t>(c)], sx,
+                                 sw[static_cast<size_t>(c)]);
+        }
+    }
+    if (visible > finRows)
+        accumulatePending(vq, scratch.pCodes, finRows,
+                          visible - finRows,
+                          scratch.pScales[static_cast<size_t>(nw)],
+                          scratch.acc);
+    for (int64_t ch = 0; ch < channels; ++ch)
+        out[static_cast<size_t>(ch)] =
+            static_cast<float>(scratch.acc[static_cast<size_t>(ch)]);
+}
+
+void
+attnPvReference(const SimdOps &ops, const TemporalVQuantizer &vq,
+                std::span<const float> probs, AttnScratch &scratch,
+                std::span<float> out)
+{
+    const int64_t channels = vq.channels();
+    const int64_t window = vq.window();
+    const int64_t visible = static_cast<int64_t>(probs.size());
+    if (visible > vq.rows())
+        throw std::invalid_argument(
+            "attnPvReference: probs length exceeds cached rows");
+    const VPanelStore &vp = vq.codePanels();
+    const int64_t finRows = std::min(visible, vq.finalizedRows());
+    const int64_t nw =
+        quantizePRow(ops, probs, window, vq.finalizedRows(), scratch);
+    scratch.acc.assign(static_cast<size_t>(channels), 0.0);
+
+    for (int64_t w = 0; w < nw; ++w) {
+        const int64_t w0 = w * window;
+        const int64_t len = std::min(window, finRows - w0);
+        const float sx = scratch.pScales[static_cast<size_t>(w)];
+        for (int64_t ch = 0; ch < channels; ++ch) {
+            const MantGroupMeta meta = vp.metaAt(w, ch);
+            int64_t mac = 0, sac = 0;
+            // Flat V codes are row-major (position, channel): walk
+            // the window's rows at a channel stride.
+            referencePsums(scratch.pCodes.data() + w0,
+                           vp.rowCodes(w0).data() + ch, channels, len,
+                           meta.isInt, mac, sac);
+            scratch.acc[static_cast<size_t>(ch)] += combineGroup(
+                mac, sac, meta.isInt, meta.a, sx, meta.scale);
+        }
+    }
+    if (visible > finRows)
+        accumulatePending(vq, scratch.pCodes, finRows,
+                          visible - finRows,
+                          scratch.pScales[static_cast<size_t>(nw)],
+                          scratch.acc);
+    for (int64_t ch = 0; ch < channels; ++ch)
+        out[static_cast<size_t>(ch)] =
+            static_cast<float>(scratch.acc[static_cast<size_t>(ch)]);
+}
+
+} // namespace mant

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fused integer attention on quantized KV-cache codes.
+ *
+ * Both attention GEMMs run directly on the stored 4-bit codes, never
+ * touching the dequantized cache:
+ *
+ *  - QK^T: the query row is INT8-quantized per K quantization group
+ *    (the reduction runs along headDim, so K's spatial groups are the
+ *    natural activation groups), then each panel of 8 cached positions
+ *    is one fusedTilePanel call per group — integer MAC/SAC lanes,
+ *    per-group combine into a per-position double accumulator, floats
+ *    appearing only at the combine. Scores leave as float for softmax.
+ *
+ *  - P·V: the probability row is INT8-quantized per temporal process
+ *    window (the reduction runs along the sequence, so V's temporal
+ *    groups are the activation groups; the last finalized window a row
+ *    can see may be a partial prefix, and the not-yet-finalized tail
+ *    is a final INT8×INT8 segment against the pending-window codes).
+ *    Each finalized window is one fusedTilePanel call per panel of 8
+ *    channels, accumulated per channel in double, windows ascending
+ *    then the pending segment, exactly one float() per channel at the
+ *    end.
+ *
+ * Every function here has a pure-scalar reference twin that walks the
+ * flat one-code-per-byte views with the same combine expressions in
+ * the same order — the bit-exactness oracle (integer partial sums are
+ * exact, so lane geometry cannot change the result; the double
+ * accumulation order is fixed by construction). tests/test_attention.cc
+ * asserts byte equality fused-vs-reference across every SIMD backend
+ * and thread count.
+ */
+
+#ifndef MANT_CORE_FUSED_ATTENTION_H_
+#define MANT_CORE_FUSED_ATTENTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kv_panels.h"
+#include "core/kv_quant.h"
+#include "core/simd.h"
+
+namespace mant {
+
+/**
+ * Reusable per-call scratch: activation codes/scales for both GEMMs
+ * plus the P·V channel accumulators. Vector capacity persists across
+ * calls, so a decode loop allocates only while shapes still grow.
+ */
+struct AttnScratch
+{
+    std::vector<int8_t> qCodes; ///< query row, INT8 per K group
+    std::vector<float> qScales; ///< one scale per K group
+    std::vector<int8_t> pCodes; ///< prob row, INT8 per V segment
+    std::vector<float> pScales; ///< per finalized window (+ pending)
+    std::vector<double> acc;    ///< per-channel P·V accumulators
+};
+
+/**
+ * INT8-quantize one query row per K quantization group (the shared
+ * activation idiom: scale = fp16Round(absMax/127), all-zero group
+ * gets scale 1; round-half-away, clamp to ±127). Fills
+ * scratch.qCodes / scratch.qScales.
+ */
+void quantizeQRow(const SimdOps &ops, std::span<const float> q,
+                  int64_t groupSize, AttnScratch &scratch);
+
+/**
+ * INT8-quantize one probability row into per-segment codes: one
+ * segment per finalized process window a `probs.size()`-long row can
+ * see (the last may be a partial prefix), plus one segment for the
+ * pending tail when present. Fills scratch.pCodes / scratch.pScales.
+ *
+ * @return Number of window segments (the pending segment's scale, if
+ *         any, sits at scratch.pScales[returned]).
+ */
+int64_t quantizePRow(const SimdOps &ops, std::span<const float> probs,
+                     int64_t window, int64_t finalizedRows,
+                     AttnScratch &scratch);
+
+/**
+ * Fused QK^T row: scores[p] for p in [0, visible) from the packed K
+ * panels and a quantizeQRow'd query. `scores[p] = float(acc_p) *
+ * invSqrtDh - slope * float(visible - 1 - p)` (ALiBi; pass slope 0
+ * for none). Requires visible <= kPanels.rows().
+ */
+void attnScoresFused(const SimdOps &ops, const KPanelStore &kPanels,
+                     std::span<const int8_t> qCodes,
+                     std::span<const float> qScales, int64_t visible,
+                     float invSqrtDh, float slope,
+                     std::span<float> scores);
+
+/**
+ * Scalar reference twin of attnScoresFused over the flat code view.
+ * Bit-identical to the fused path on every backend, by construction.
+ */
+void attnScoresReference(const KPanelStore &kPanels,
+                         std::span<const int8_t> qCodes,
+                         std::span<const float> qScales, int64_t visible,
+                         float invSqrtDh, float slope,
+                         std::span<float> scores);
+
+/**
+ * Fused P·V row: out[c] for c in [0, vq.channels()) from the V code
+ * panels, the pending-window INT8 codes, and a probability row of
+ * length visible (<= vq.rows()). Quantizes the row itself (shared
+ * quantizePRow). Requires vq.capturesCodes().
+ */
+void attnPvFused(const SimdOps &ops, const TemporalVQuantizer &vq,
+                 std::span<const float> probs, AttnScratch &scratch,
+                 std::span<float> out);
+
+/**
+ * Scalar reference twin of attnPvFused over the flat code view.
+ * Uses `ops` only for the shared probability quantization.
+ */
+void attnPvReference(const SimdOps &ops, const TemporalVQuantizer &vq,
+                     std::span<const float> probs, AttnScratch &scratch,
+                     std::span<float> out);
+
+} // namespace mant
+
+#endif // MANT_CORE_FUSED_ATTENTION_H_

@@ -13,9 +13,6 @@
 
 namespace mant {
 
-namespace {
-
-/** Sorted-level-index -> sign-magnitude code map for encodeCodes. */
 const int8_t *
 mantIndexToCodeLut()
 {
@@ -29,7 +26,6 @@ mantIndexToCodeLut()
     return lut.data();
 }
 
-/** 16-entry nibble -> value table of one MANT group's grid. */
 void
 mantValueLut(int a, float lut[16])
 {
@@ -37,8 +33,6 @@ mantValueLut(int a, float lut[16])
         lut[c] = static_cast<float>(
             mantCodeValue(a, static_cast<MantCode>(c)));
 }
-
-} // namespace
 
 MantPsums
 fusedDot(std::span<const int32_t> x, std::span<const MantCode> codes)

@@ -72,6 +72,15 @@ sacShift(int64_t x, int magnitude)
 MantPsums fusedDot(std::span<const int32_t> x,
                    std::span<const MantCode> codes);
 
+/** Sorted-level-index -> sign-magnitude code map for encodeCodes
+ *  (MantFormat::indexToCode as a flat table; shared by the weight
+ *  encode and the KV-cache code capture). */
+const int8_t *mantIndexToCodeLut();
+
+/** Fill a 16-entry nibble -> value table of one MANT coefficient's
+ *  grid (mantCodeValue over the low nibble). */
+void mantValueLut(int a, float lut[16]);
+
 /** Combine psums into the real value: (a*psum1 + psum2) * sX * sW. */
 inline double
 combinePsums(const MantPsums &p, int a, float sx, float sw)

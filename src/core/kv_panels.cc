@@ -1,0 +1,207 @@
+#include "core/kv_panels.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mant {
+
+namespace {
+
+/** Sign-magnitude nibble of one stored code (the MantPackedTiles
+ *  re-encode rule: INT two's-complement folds into the same nibble
+ *  decode the MANT microkernel already does). */
+uint8_t
+codeNibble(int8_t code, bool isInt)
+{
+    if (!isInt)
+        return static_cast<uint8_t>(code) & 0xf;
+    if (code < -7 || code > 7)
+        throw std::invalid_argument(
+            "kv panel store: INT code outside the [-7, 7] INT4 range");
+    return code < 0 ? static_cast<uint8_t>(0x8 | -code)
+                    : static_cast<uint8_t>(code);
+}
+
+/** Write element i of panel column c into a k-pair-major tile. */
+void
+writeNibble(uint8_t *dst, int64_t i, int c, uint8_t nib)
+{
+    uint8_t &b = dst[(i / 2) * kTilePanelCols + c];
+    b = (i % 2 == 0) ? static_cast<uint8_t>((b & 0xf0) | nib)
+                     : static_cast<uint8_t>((b & 0x0f) | (nib << 4));
+}
+
+MantGroupMeta
+metaFrom(std::span<const float> scales, std::span<const uint8_t> coeff,
+         std::span<const uint8_t> isInt, size_t c)
+{
+    MantGroupMeta m;
+    m.scale = scales[c];
+    m.a = coeff[c];
+    m.isInt = isInt[c] != 0;
+    return m;
+}
+
+} // namespace
+
+KPanelStore::KPanelStore(int64_t headDim, int64_t groupSize)
+    : headDim_(headDim),
+      groupSize_(effectiveGroupSize(headDim, groupSize)),
+      groupsPerRow_(groupsPerRowFor(headDim, groupSize))
+{
+    if (headDim <= 0)
+        throw std::invalid_argument(
+            "KPanelStore: headDim must be positive");
+    groupByteOff_.resize(static_cast<size_t>(groupsPerRow_) + 1, 0);
+    for (int64_t g = 0; g < groupsPerRow_; ++g) {
+        const int64_t k0 = g * groupSize_;
+        const int64_t len = std::min(groupSize_, headDim_ - k0);
+        groupByteOff_[static_cast<size_t>(g) + 1] =
+            groupByteOff_[static_cast<size_t>(g)] +
+            (len + 1) / 2 * kTilePanelCols;
+    }
+    panelBytes_ = groupByteOff_[static_cast<size_t>(groupsPerRow_)];
+}
+
+void
+KPanelStore::appendRow(std::span<const int8_t> codes,
+                       std::span<const MantSelection> sels)
+{
+    if (static_cast<int64_t>(codes.size()) != headDim_ ||
+        static_cast<int64_t>(sels.size()) != groupsPerRow_)
+        throw std::invalid_argument("KPanelStore: append size mismatch");
+
+    const int c = static_cast<int>(rows_ % kTilePanelCols);
+    if (c == 0) {
+        // First column of a new panel: allocate its byte and meta
+        // blocks. Not-yet-appended columns read as INT / scale 0.
+        codes_.resize(codes_.size() + static_cast<size_t>(panelBytes_),
+                      0);
+        const size_t metaGrow =
+            static_cast<size_t>(groupsPerRow_ * kTilePanelCols);
+        scales_.resize(scales_.size() + metaGrow, 0.0f);
+        coeff_.resize(coeff_.size() + metaGrow, 0);
+        isInt_.resize(isInt_.size() + metaGrow, 1);
+    }
+    const int64_t panel = rows_ / kTilePanelCols;
+    for (int64_t g = 0; g < groupsPerRow_; ++g) {
+        const MantSelection &sel = sels[static_cast<size_t>(g)];
+        const size_t mi =
+            tileMetaIndex(panel, g) + static_cast<size_t>(c);
+        scales_[mi] = sel.scale;
+        coeff_[mi] = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+        isInt_[mi] = sel.isInt ? 1 : 0;
+
+        const int64_t k0 = g * groupSize_;
+        const int64_t len = std::min(groupSize_, headDim_ - k0);
+        uint8_t *dst = codes_.data() + panel * panelBytes_ +
+                       groupByteOff_[static_cast<size_t>(g)];
+        for (int64_t i = 0; i < len; ++i)
+            writeNibble(dst, i, c,
+                        codeNibble(codes[static_cast<size_t>(k0 + i)],
+                                   sel.isInt));
+    }
+    flat_.insert(flat_.end(), codes.begin(), codes.end());
+    ++rows_;
+}
+
+MantGroupMeta
+KPanelStore::metaAt(int64_t row, int64_t group) const
+{
+    const int64_t p = row / kTilePanelCols;
+    const size_t c = static_cast<size_t>(row % kTilePanelCols);
+    return metaFrom(tileScales(p, group), tileCoeffs(p, group),
+                    tileIsInt(p, group), c);
+}
+
+void
+KPanelStore::reset()
+{
+    rows_ = 0;
+    codes_.clear();
+    scales_.clear();
+    coeff_.clear();
+    isInt_.clear();
+    flat_.clear();
+}
+
+VPanelStore::VPanelStore(int64_t channels, int64_t window)
+    : channels_(channels), window_(window),
+      panels_((channels + kTilePanelCols - 1) / kTilePanelCols),
+      tileBytes_((window + 1) / 2 * kTilePanelCols)
+{
+    if (channels <= 0 || window <= 0)
+        throw std::invalid_argument(
+            "VPanelStore: channels/window must be positive");
+}
+
+void
+VPanelStore::appendWindow(std::span<const int8_t> colCodes,
+                          std::span<const MantSelection> sels)
+{
+    if (static_cast<int64_t>(colCodes.size()) != channels_ * window_ ||
+        static_cast<int64_t>(sels.size()) != channels_)
+        throw std::invalid_argument(
+            "VPanelStore: append size mismatch");
+
+    const size_t codeBase = codes_.size();
+    codes_.resize(codeBase +
+                      static_cast<size_t>(panels_ * tileBytes_),
+                  0);
+    const size_t metaGrow =
+        static_cast<size_t>(panels_ * kTilePanelCols);
+    // Padded channel columns stay INT / scale 0.
+    scales_.resize(scales_.size() + metaGrow, 0.0f);
+    coeff_.resize(coeff_.size() + metaGrow, 0);
+    isInt_.resize(isInt_.size() + metaGrow, 1);
+
+    const int64_t w = windows_;
+    for (int64_t ch = 0; ch < channels_; ++ch) {
+        const MantSelection &sel = sels[static_cast<size_t>(ch)];
+        const int64_t panel = ch / kTilePanelCols;
+        const int c = static_cast<int>(ch % kTilePanelCols);
+        const size_t mi =
+            tileMetaIndex(w, panel) + static_cast<size_t>(c);
+        scales_[mi] = sel.scale;
+        coeff_[mi] = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+        isInt_[mi] = sel.isInt ? 1 : 0;
+
+        const int8_t *col = colCodes.data() + ch * window_;
+        uint8_t *dst =
+            codes_.data() + (w * panels_ + panel) * tileBytes_;
+        for (int64_t i = 0; i < window_; ++i)
+            writeNibble(dst, i, c, codeNibble(col[i], sel.isInt));
+    }
+
+    // Flat view is row-major (position, channel), matching
+    // reconstruct(): transpose the channel-major input.
+    const size_t flatBase = flat_.size();
+    flat_.resize(flatBase + static_cast<size_t>(window_ * channels_));
+    for (int64_t r = 0; r < window_; ++r)
+        for (int64_t ch = 0; ch < channels_; ++ch)
+            flat_[flatBase + static_cast<size_t>(r * channels_ + ch)] =
+                colCodes[static_cast<size_t>(ch * window_ + r)];
+    ++windows_;
+}
+
+MantGroupMeta
+VPanelStore::metaAt(int64_t window, int64_t channel) const
+{
+    const int64_t p = channel / kTilePanelCols;
+    const size_t c = static_cast<size_t>(channel % kTilePanelCols);
+    return metaFrom(tileScales(window, p), tileCoeffs(window, p),
+                    tileIsInt(window, p), c);
+}
+
+void
+VPanelStore::reset()
+{
+    windows_ = 0;
+    codes_.clear();
+    scales_.clear();
+    coeff_.clear();
+    isInt_.clear();
+    flat_.clear();
+}
+
+} // namespace mant

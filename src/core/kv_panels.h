@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Append-only panel stores for quantized KV-cache codes — the storage
+ * half of the fused integer attention path.
+ *
+ * MantPackedTiles repacks a finished weight matrix once; a KV cache
+ * grows one position per decode step, so its packed layout must accept
+ * appends without ever rewriting what is already stored. Both stores
+ * here keep the exact tile geometry the fusedTilePanel microkernel
+ * streams (two 4-bit codes per byte, k-pair-major × panel-column-minor
+ * within a group, SoA per-tile meta — see docs/FORMAT.md), but grow it
+ * along the axis the cache grows:
+ *
+ *  - KPanelStore (K cache, spatial groups along headDim): panel
+ *    columns are sequence positions. Appending position r touches only
+ *    column r % 8 of panel r / 8 — a new panel's byte/meta block is
+ *    allocated when its first column arrives, and existing bytes hold
+ *    other columns' nibbles, never this one's. QK^T over positions
+ *    p..p+7 is then one microkernel call per headDim group.
+ *
+ *  - VPanelStore (V cache, temporal groups along the sequence): panel
+ *    columns are channels, so the panel count is fixed at construction
+ *    and every finalized process window appends one complete group
+ *    block (all panels × one group) at the end of the code vector.
+ *    P·V over one window is one microkernel call per 8 channels.
+ *
+ * Each store also keeps the flat one-code-per-byte row view (MANT
+ * groups as sign-magnitude codes, INT groups as two's-complement int8,
+ * the MantQuantizedMatrix::rowCodes() convention): the packed panels
+ * feed the fused kernels, the flat codes feed the attentionReference
+ * oracle, and round-trip tests pin the two representations to each
+ * other. Neither store is the model-facing value storage — the
+ * dequantized floats stay where they were (HeadKvCache / the temporal
+ * quantizer); these are the integer twins the fused path consumes.
+ */
+
+#ifndef MANT_CORE_KV_PANELS_H_
+#define MANT_CORE_KV_PANELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/coeff_search.h"
+#include "core/fused_gemm.h"
+#include "core/simd.h"
+
+namespace mant {
+
+/**
+ * Panel store of K-cache codes: positions are panel columns, groups
+ * run along the head dimension. Append-only — one appendRow() per
+ * cached position, no repacking of earlier positions ever.
+ */
+class KPanelStore
+{
+  public:
+    KPanelStore() = default;
+
+    /**
+     * @param headDim   Elements per K row.
+     * @param groupSize Quantization group size along headDim
+     *                  (non-positive means one whole-row group).
+     */
+    KPanelStore(int64_t headDim, int64_t groupSize);
+
+    /**
+     * Append one position's codes (flat, headDim bytes, rowCodes()
+     * convention) with its per-group selections. Throws
+     * std::invalid_argument on length mismatch or an INT code outside
+     * [-7, 7] (sign-magnitude nibbles cannot represent -8).
+     */
+    void appendRow(std::span<const int8_t> codes,
+                   std::span<const MantSelection> sels);
+
+    int64_t rows() const { return rows_; }
+    int64_t headDim() const { return headDim_; }
+    int64_t groupSize() const { return groupSize_; }
+    int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** Panels currently allocated: ceil(rows / kTilePanelCols). */
+    int64_t panels() const
+    {
+        return (rows_ + kTilePanelCols - 1) / kTilePanelCols;
+    }
+
+    /** Packed code block of one (panel, group) tile. */
+    const uint8_t *
+    tileCodes(int64_t panel, int64_t group) const
+    {
+        return codes_.data() + panel * panelBytes_ +
+               groupByteOff_[static_cast<size_t>(group)];
+    }
+
+    /** Per-tile metadata, kTilePanelCols entries each. Columns not yet
+     *  appended read as INT with scale 0, so the combine loop zeroes
+     *  them out without branching. */
+    std::span<const float>
+    tileScales(int64_t panel, int64_t group) const
+    {
+        return {scales_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileCoeffs(int64_t panel, int64_t group) const
+    {
+        return {coeff_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileIsInt(int64_t panel, int64_t group) const
+    {
+        return {isInt_.data() + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+
+    /** Flat codes of one appended position (reference-oracle view). */
+    std::span<const int8_t>
+    rowCodes(int64_t row) const
+    {
+        return {flat_.data() + row * headDim_,
+                static_cast<size_t>(headDim_)};
+    }
+
+    /** Metadata of one (row, group), as stored in the tile meta. */
+    MantGroupMeta metaAt(int64_t row, int64_t group) const;
+
+    /** Drop all rows, keeping storage capacity (pooled-slot reuse). */
+    void reset();
+
+  private:
+    size_t
+    tileMetaIndex(int64_t panel, int64_t group) const
+    {
+        return static_cast<size_t>(
+            (panel * groupsPerRow_ + group) * kTilePanelCols);
+    }
+
+    int64_t headDim_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
+    int64_t panelBytes_ = 0;
+    int64_t rows_ = 0;
+    std::vector<uint8_t> codes_;
+    std::vector<float> scales_;
+    std::vector<uint8_t> coeff_;
+    std::vector<uint8_t> isInt_;
+    std::vector<int8_t> flat_;
+    /** Byte offset of each group's code block within a panel. */
+    std::vector<int64_t> groupByteOff_;
+};
+
+/**
+ * Panel store of finalized V-cache codes: channels are panel columns,
+ * groups are the temporal process windows. One appendWindow() per
+ * finalizeWindow() — the window's codes arrive complete, so the group
+ * block is written once and never touched again.
+ */
+class VPanelStore
+{
+  public:
+    VPanelStore() = default;
+
+    /**
+     * @param channels Head dimension (panel columns; fixed).
+     * @param window   Process window size (elements per group).
+     */
+    VPanelStore(int64_t channels, int64_t window);
+
+    /**
+     * Append one finalized window. `colCodes` is channel-major:
+     * channel c's window-length code column starts at c * window
+     * (rowCodes() convention per column). `sels` is one selection per
+     * channel. Throws std::invalid_argument on size mismatch or an
+     * INT code outside [-7, 7].
+     */
+    void appendWindow(std::span<const int8_t> colCodes,
+                      std::span<const MantSelection> sels);
+
+    int64_t channels() const { return channels_; }
+    int64_t window() const { return window_; }
+    int64_t windows() const { return windows_; }
+
+    /** Channel panels: ceil(channels / kTilePanelCols), fixed. */
+    int64_t panels() const { return panels_; }
+
+    /** Packed code block of one (window, panel) tile. */
+    const uint8_t *
+    tileCodes(int64_t window, int64_t panel) const
+    {
+        return codes_.data() +
+               (window * panels_ + panel) * tileBytes_;
+    }
+
+    /** Per-tile metadata, kTilePanelCols entries each. Padded channel
+     *  columns (channel >= channels()) read as INT with scale 0. */
+    std::span<const float>
+    tileScales(int64_t window, int64_t panel) const
+    {
+        return {scales_.data() + tileMetaIndex(window, panel),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileCoeffs(int64_t window, int64_t panel) const
+    {
+        return {coeff_.data() + tileMetaIndex(window, panel),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileIsInt(int64_t window, int64_t panel) const
+    {
+        return {isInt_.data() + tileMetaIndex(window, panel),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+
+    /** Flat codes of one finalized row (position), across channels —
+     *  the reference-oracle view, row-major like reconstruct(). */
+    std::span<const int8_t>
+    rowCodes(int64_t row) const
+    {
+        return {flat_.data() + row * channels_,
+                static_cast<size_t>(channels_)};
+    }
+
+    /** Metadata of (window, channel), as stored in the tile meta. */
+    MantGroupMeta metaAt(int64_t window, int64_t channel) const;
+
+    /** Drop all windows, keeping storage capacity. */
+    void reset();
+
+  private:
+    size_t
+    tileMetaIndex(int64_t window, int64_t panel) const
+    {
+        return static_cast<size_t>(
+            (window * panels_ + panel) * kTilePanelCols);
+    }
+
+    int64_t channels_ = 0, window_ = 0, panels_ = 0;
+    int64_t tileBytes_ = 0;
+    int64_t windows_ = 0;
+    std::vector<uint8_t> codes_;
+    std::vector<float> scales_;
+    std::vector<uint8_t> coeff_;
+    std::vector<uint8_t> isInt_;
+    std::vector<int8_t> flat_;
+};
+
+} // namespace mant
+
+#endif // MANT_CORE_KV_PANELS_H_

@@ -5,14 +5,20 @@
 #include <stdexcept>
 
 #include "core/simd.h"
+#include "quant/fixed_formats.h"
 #include "tensor/fp16.h"
 
 namespace mant {
 
+namespace {
+
+/** Shared body of the two spatialQuantizeRow overloads; `codes` may
+ *  be null (no capture). */
 std::vector<MantSelection>
-spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
-                   const VarianceSelector &selector, std::span<float> out,
-                   bool fp16Scale)
+spatialQuantizeRowImpl(std::span<const float> values, int64_t groupSize,
+                       const VarianceSelector &selector,
+                       std::span<float> out, int8_t *codes,
+                       bool fp16Scale)
 {
     if (values.size() != out.size())
         throw std::invalid_argument("spatialQuantizeRow: size mismatch");
@@ -35,23 +41,94 @@ spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
             ops, group, sel,
             std::span<float>(out.data() + g0, static_cast<size_t>(len)),
             fp16Scale);
+        if (codes != nullptr)
+            encodeSelectedCodes(
+                ops, group, sel,
+                std::span<int8_t>(codes + g0,
+                                  static_cast<size_t>(len)));
         selections.push_back(sel);
     }
     return selections;
 }
 
+} // namespace
+
+std::vector<MantSelection>
+spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
+                   const VarianceSelector &selector, std::span<float> out,
+                   bool fp16Scale)
+{
+    return spatialQuantizeRowImpl(values, groupSize, selector, out,
+                                  nullptr, fp16Scale);
+}
+
+std::vector<MantSelection>
+spatialQuantizeRow(std::span<const float> values, int64_t groupSize,
+                   const VarianceSelector &selector, std::span<float> out,
+                   std::span<int8_t> codes, bool fp16Scale)
+{
+    if (codes.size() != values.size())
+        throw std::invalid_argument(
+            "spatialQuantizeRow: codes size mismatch");
+    return spatialQuantizeRowImpl(values, groupSize, selector, out,
+                                  codes.data(), fp16Scale);
+}
+
+void
+encodeSelectedCodes(const SimdOps &ops, std::span<const float> group,
+                    const MantSelection &sel, std::span<int8_t> codes)
+{
+    if (codes.size() != group.size())
+        throw std::invalid_argument(
+            "encodeSelectedCodes: size mismatch");
+    const int64_t n = static_cast<int64_t>(group.size());
+    if (sel.isInt) {
+        // Encode through the INT4 level table (not round-half-away):
+        // nearestLevel ties resolve to the lower level, exactly like
+        // the quantizeUnit call inside applySelection, so a captured
+        // code always decodes to the stored float — including exact
+        // grid midpoints, where the two rounding rules differ.
+        static constexpr int8_t kIdentityLut[15] = {
+            -7, -6, -5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7};
+        const std::span<const float> levels = int4Format().levels();
+        ops.encodeCodes(group.data(), codes.data(), n, levels.data(),
+                        static_cast<int>(levels.size()), kIdentityLut,
+                        sel.scale);
+    } else {
+        const std::span<const float> levels =
+            mantFormat(sel.a).levels();
+        ops.encodeCodes(group.data(), codes.data(), n, levels.data(),
+                        static_cast<int>(levels.size()),
+                        mantIndexToCodeLut(), sel.scale);
+    }
+}
+
 TemporalVQuantizer::TemporalVQuantizer(int64_t channels, int64_t window,
                                        const VarianceSelector &selector,
-                                       bool fp16Scale)
+                                       bool fp16Scale, bool captureCodes)
     : channels_(channels), window_(window), selector_(selector),
       fp16Scale_(fp16Scale),
       channelScales_(static_cast<size_t>(channels), 1.0f),
       pending_(static_cast<size_t>(window * channels), 0),
-      stats_(static_cast<size_t>(channels))
+      stats_(static_cast<size_t>(channels)),
+      captureCodes_(captureCodes)
 {
     if (channels <= 0 || window <= 0)
         throw std::invalid_argument(
             "TemporalVQuantizer: channels/window must be positive");
+    if (captureCodes_) {
+        panels_ = VPanelStore(channels, window);
+        colCodes_.resize(static_cast<size_t>(window * channels), 0);
+    }
+}
+
+const VPanelStore &
+TemporalVQuantizer::codePanels() const
+{
+    if (!captureCodes_)
+        throw std::logic_error(
+            "TemporalVQuantizer: codePanels() requires captureCodes");
+    return panels_;
 }
 
 void
@@ -99,6 +176,11 @@ TemporalVQuantizer::pushPrefill(const Tensor &v)
             MantSelection sel = selector_.selectFromStats(st);
             sel.scale = applySelection(ops, column, sel, column_out,
                                        fp16Scale_);
+            if (captureCodes_)
+                encodeSelectedCodes(
+                    ops, column, sel,
+                    std::span<int8_t>(colCodes_.data() + c * window_,
+                                      static_cast<size_t>(window_)));
             selections_.push_back(sel);
             for (int64_t r = 0; r < window_; ++r) {
                 finalized_[base +
@@ -106,6 +188,13 @@ TemporalVQuantizer::pushPrefill(const Tensor &v)
                     column_out[static_cast<size_t>(r)];
             }
         }
+        if (captureCodes_)
+            panels_.appendWindow(
+                colCodes_,
+                std::span<const MantSelection>(
+                    selections_.data() + selections_.size() -
+                        static_cast<size_t>(channels_),
+                    static_cast<size_t>(channels_)));
         finalizedRows_ += window_;
     }
 
@@ -158,6 +247,11 @@ TemporalVQuantizer::finalizeWindow()
             selector_.selectFromStats(stats_[static_cast<size_t>(c)]);
         sel.scale = applySelection(ops, column, sel, column_out,
                                    fp16Scale_);
+        if (captureCodes_)
+            encodeSelectedCodes(
+                ops, column, sel,
+                std::span<int8_t>(colCodes_.data() + c * window_,
+                                  static_cast<size_t>(window_)));
         selections_.push_back(sel);
         for (int64_t r = 0; r < window_; ++r) {
             finalized_[base + static_cast<size_t>(r * channels_ + c)] =
@@ -165,6 +259,13 @@ TemporalVQuantizer::finalizeWindow()
         }
         stats_[static_cast<size_t>(c)].reset();
     }
+    if (captureCodes_)
+        panels_.appendWindow(
+            colCodes_,
+            std::span<const MantSelection>(
+                selections_.data() + selections_.size() -
+                    static_cast<size_t>(channels_),
+                static_cast<size_t>(channels_)));
     finalizedRows_ += window_;
     pendingFill_ = 0;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/fused_gemm.h"
+#include "core/kv_panels.h"
 #include "core/variance_selector.h"
 #include "tensor/stats.h"
 
@@ -40,6 +41,32 @@ std::vector<MantSelection> spatialQuantizeRow(
     bool fp16Scale = true);
 
 /**
+ * Code-capturing overload: additionally writes the raw 4-bit codes
+ * (one int8 per element, the MantQuantizedMatrix::rowCodes()
+ * convention — sign-magnitude for MANT groups, two's-complement for
+ * INT groups). Decoding a captured code through its group's grid and
+ * scale reproduces the corresponding `out` float bit-for-bit; the
+ * fused attention path leans on exactly this invariant.
+ */
+std::vector<MantSelection> spatialQuantizeRow(
+    std::span<const float> values, int64_t groupSize,
+    const VarianceSelector &selector, std::span<float> out,
+    std::span<int8_t> codes, bool fp16Scale = true);
+
+/**
+ * Encode one group's codes for an already-applied selection, using
+ * the same scale and nearest-level rule as applySelection(): the
+ * captured codes decode to applySelection's quantize-dequantize
+ * output bit-for-bit (INT groups encode through the INT4 level table
+ * rather than round-half-away, so exact grid-midpoint inputs resolve
+ * to the same level in both representations).
+ */
+void encodeSelectedCodes(const SimdOps &ops,
+                         std::span<const float> group,
+                         const MantSelection &sel,
+                         std::span<int8_t> codes);
+
+/**
  * Two-phase temporal quantizer for one head's V cache.
  *
  * Usage: construct with the channel count and window size, feed prefill
@@ -51,14 +78,19 @@ class TemporalVQuantizer
 {
   public:
     /**
-     * @param channels   Head dimension (elements per V vector).
-     * @param window     Process window size G (the group size).
-     * @param selector   Calibrated variance -> coefficient table.
-     * @param fp16Scale  Round stored scales through FP16.
+     * @param channels     Head dimension (elements per V vector).
+     * @param window       Process window size G (the group size).
+     * @param selector     Calibrated variance -> coefficient table.
+     * @param fp16Scale    Round stored scales through FP16.
+     * @param captureCodes Additionally keep the raw 4-bit codes of
+     *                     every finalized window in a VPanelStore
+     *                     (the fused-attention operand). The
+     *                     dequantized floats are kept either way.
      */
     TemporalVQuantizer(int64_t channels, int64_t window,
                        const VarianceSelector &selector,
-                       bool fp16Scale = true);
+                       bool fp16Scale = true,
+                       bool captureCodes = false);
 
     /**
      * Ingest the prefill V matrix (rows = positions). Full groups of
@@ -83,6 +115,7 @@ class TemporalVQuantizer
         return static_cast<int64_t>(pendingFill_);
     }
     int64_t channels() const { return channels_; }
+    int64_t window() const { return window_; }
 
     /**
      * Reconstruct the effective (dequantized) V cache into a tensor of
@@ -103,6 +136,28 @@ class TemporalVQuantizer
 
     /** Fraction of stored elements currently held at 8 bits. */
     double pendingFraction() const;
+
+    /** True when constructed with captureCodes. */
+    bool capturesCodes() const { return captureCodes_; }
+
+    /**
+     * Panel store of the finalized windows' codes (one group per
+     * finalizeWindow). Throws std::logic_error unless constructed
+     * with captureCodes.
+     */
+    const VPanelStore &codePanels() const;
+
+    /**
+     * Raw INT8 codes of the pending window, row-major
+     * (pendingRows(), channels). Valid regardless of captureCodes —
+     * the pending window is stored as codes either way.
+     */
+    std::span<const int8_t>
+    pendingCodes() const
+    {
+        return {pending_.data(),
+                pendingFill_ * static_cast<size_t>(channels_)};
+    }
 
   private:
     void deriveChannelScales(const Tensor &v);
@@ -128,6 +183,12 @@ class TemporalVQuantizer
     int64_t finalizedRows_ = 0;
     /** ... plus the raw codes/metadata per finalized channel-group. */
     std::vector<MantSelection> selections_;
+
+    /** Code capture (fused attention): packed panels of every
+     *  finalized window, plus the per-finalize encode scratch. */
+    bool captureCodes_ = false;
+    VPanelStore panels_;
+    std::vector<int8_t> colCodes_;
 };
 
 } // namespace mant

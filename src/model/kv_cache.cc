@@ -9,9 +9,10 @@
 namespace mant {
 
 HeadKvCache::HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
-                         const VarianceSelector *selector)
+                         const VarianceSelector *selector,
+                         bool captureCodes)
     : method_(method), headDim_(headDim), groupSize_(groupSize),
-      selector_(selector)
+      selector_(selector), captureCodes_(captureCodes)
 {
     if (method_ == KvMethod::Int4) {
         MantSelection int_sel;
@@ -24,10 +25,36 @@ HeadKvCache::HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
     if (method_ == KvMethod::Mant4 && !selector_)
         throw std::invalid_argument(
             "HeadKvCache: Mant4 requires a variance selector");
+    if (captureCodes_ && method_ == KvMethod::Fp16)
+        throw std::invalid_argument(
+            "HeadKvCache: captureCodes requires a quantized KV method");
     if (method_ != KvMethod::Fp16) {
         vQuant_ = std::make_unique<TemporalVQuantizer>(
-            headDim_, groupSize_, *selector_);
+            headDim_, vWindow(), *selector_, /*fp16Scale=*/true,
+            captureCodes_);
     }
+    if (captureCodes_) {
+        kPanels_ = KPanelStore(headDim_, groupSize_);
+        kCodes_.resize(static_cast<size_t>(headDim_), 0);
+    }
+}
+
+const KPanelStore &
+HeadKvCache::kPanels() const
+{
+    if (!captureCodes_)
+        throw std::logic_error(
+            "HeadKvCache: kPanels() requires captureCodes");
+    return kPanels_;
+}
+
+const TemporalVQuantizer &
+HeadKvCache::vQuant() const
+{
+    if (!vQuant_)
+        throw std::logic_error(
+            "HeadKvCache: vQuant() is unavailable for FP16 caches");
+    return *vQuant_;
 }
 
 void
@@ -42,6 +69,11 @@ HeadKvCache::appendK(std::span<const float> k)
     if (method_ == KvMethod::Fp16) {
         for (size_t i = 0; i < k.size(); ++i)
             out[i] = fp16Round(k[i]);
+    } else if (captureCodes_) {
+        auto sels = spatialQuantizeRow(k, groupSize_, *selector_, out,
+                                       kCodes_);
+        kPanels_.appendRow(kCodes_, sels);
+        kSelections_.insert(kSelections_.end(), sels.begin(), sels.end());
     } else {
         auto sels = spatialQuantizeRow(k, groupSize_, *selector_, out);
         kSelections_.insert(kSelections_.end(), sels.begin(), sels.end());
@@ -109,9 +141,11 @@ HeadKvCache::reset()
     kSelections_.clear();
     vRaw_.clear();
     vRows_ = 0;
+    kPanels_.reset();
     if (method_ != KvMethod::Fp16) {
         vQuant_ = std::make_unique<TemporalVQuantizer>(
-            headDim_, groupSize_, *selector_);
+            headDim_, vWindow(), *selector_, /*fp16Scale=*/true,
+            captureCodes_);
     }
 }
 

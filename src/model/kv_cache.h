@@ -26,13 +26,22 @@ class HeadKvCache
 {
   public:
     /**
-     * @param method    KV quantization method.
-     * @param headDim   Elements per K/V vector.
-     * @param groupSize Quantization group / process-window size.
-     * @param selector  Variance selector (MANT); may be null for FP16.
+     * @param method       KV quantization method.
+     * @param headDim      Elements per K/V vector.
+     * @param groupSize    Quantization group / process-window size
+     *                     (non-positive: one whole-row K group and a
+     *                     V process window of headDim rows).
+     * @param selector     Variance selector (MANT); may be null for
+     *                     FP16.
+     * @param captureCodes Additionally keep the raw quantized codes in
+     *                     panel layout (KPanelStore / VPanelStore) —
+     *                     the operands of the fused integer attention
+     *                     path. Throws std::invalid_argument for FP16
+     *                     (there are no codes to capture).
      */
     HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
-                const VarianceSelector *selector);
+                const VarianceSelector *selector,
+                bool captureCodes = false);
 
     /** Append one K vector (quantized per method, spatial dataflow). */
     void appendK(std::span<const float> k);
@@ -73,6 +82,17 @@ class HeadKvCache
     int64_t headDim() const { return headDim_; }
     int64_t groupSize() const { return groupSize_; }
 
+    /** True when constructed with captureCodes. */
+    bool capturesCodes() const { return captureCodes_; }
+
+    /** Panel store of the K codes (fused QK^T operand). Throws
+     *  std::logic_error unless constructed with captureCodes. */
+    const KPanelStore &kPanels() const;
+
+    /** The temporal V quantizer (fused P·V reads its code panels and
+     *  pending window). Throws std::logic_error for FP16 caches. */
+    const TemporalVQuantizer &vQuant() const;
+
     /**
      * Drop all cached rows and selection history, keeping the K-row
      * storage allocation: a reset cache re-fills up to its previous
@@ -99,6 +119,18 @@ class HeadKvCache
     std::vector<float> vRaw_;
     size_t vRows_ = 0;
     std::unique_ptr<TemporalVQuantizer> vQuant_;
+
+    /** Code capture (fused attention): packed K panels plus the
+     *  per-append encode scratch. */
+    bool captureCodes_ = false;
+    KPanelStore kPanels_;
+    std::vector<int8_t> kCodes_;
+
+    /** V process window: groupSize, or headDim when non-positive. */
+    int64_t vWindow() const
+    {
+        return groupSize_ > 0 ? groupSize_ : headDim_;
+    }
 };
 
 } // namespace mant

@@ -99,4 +99,14 @@ mantFullSetup(int64_t group)
     return s;
 }
 
+QuantSetup
+mantFusedAttentionSetup(int64_t group)
+{
+    QuantSetup s = mantFullSetup(group);
+    s.fusedInference = true;
+    s.fusedAttention = true;
+    s.label = "MANT W4A8 KV4 fused-attn";
+    return s;
+}
+
 } // namespace mant

@@ -76,6 +76,17 @@ struct QuantSetup
      */
     bool fusedInference = false;
 
+    /**
+     * Run both attention GEMMs directly on the stored KV codes (the
+     * fused integer attention of core/fused_attention.h): Q is INT8-
+     * quantized per K group, softmax outputs per V process window,
+     * and QK^T / P·V accumulate in integer MAC+SAC lanes. Requires a
+     * quantized KV method (the Transformer constructor rejects Fp16).
+     * Supersedes quantizeAttention on the attention GEMMs themselves
+     * — the quantization happens inside the fused kernels.
+     */
+    bool fusedAttention = false;
+
     /** Human-readable label, e.g. "MANT W4A8 KV4". */
     std::string label = "fp16";
 };
@@ -92,6 +103,9 @@ QuantSetup mantW4A8Setup(int64_t group = 64);
 QuantSetup mantFusedSetup(int64_t group = 64);
 /** MANT W4A8 + INT8 attention activations + 4-bit MANT KV cache. */
 QuantSetup mantFullSetup(int64_t group = 64);
+/** mantFullSetup + fused linears + fused integer attention on the
+ *  stored KV codes (the full accelerator datapath). */
+QuantSetup mantFusedAttentionSetup(int64_t group = 64);
 
 } // namespace mant
 

@@ -62,6 +62,10 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
     : base_(weights), setup_(std::move(setup)),
       streamEpoch_(nextStreamEpoch()), kvSelector_(kvSelector)
 {
+    if (setup_.fusedAttention && setup_.kv == KvMethod::Fp16)
+        throw std::invalid_argument(
+            "Transformer: fusedAttention requires a quantized KV "
+            "method (there are no codes to fuse over)");
     if (setup_.kv == KvMethod::Mant4 && !kvSelector_) {
         ownedSelector_ = std::make_unique<VarianceSelector>(
             VarianceSelector::analytic());
@@ -152,7 +156,8 @@ Transformer::initStream(StreamContext &s) const
             layer.reserve(static_cast<size_t>(d.nHeads));
             for (int64_t h = 0; h < d.nHeads; ++h) {
                 layer.emplace_back(setup_.kv, d.headDim(),
-                                   setup_.kvGroup, kvSelector_);
+                                   setup_.kvGroup, kvSelector_,
+                                   setup_.fusedAttention);
             }
         }
         s.owner_ = this;
@@ -308,6 +313,55 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
         1.0f / std::sqrt(static_cast<float>(dh));
     Tensor attn_out(Shape{t_dim, d.dModel});
 
+    if (setup_.fusedAttention) {
+        // Fused integer attention: both GEMMs run on the stored KV
+        // codes (panel microkernels, or the scalar flat-code oracle
+        // when the Reference kernel is selected). Q and the softmax
+        // outputs are INT8-quantized inside the kernels, so the
+        // explicit quantizeAttention rounding is skipped here.
+        const SimdOps &ops = simdOps();
+        const bool fused = attnKernel_ == AttentionKernel::Fused;
+        std::vector<float> probs;
+        for (int64_t head = 0; head < d.nHeads; ++head) {
+            const float slope =
+                base_.profile.family == ModelFamily::Bloom
+                    ? alibiSlope(head, d.nHeads)
+                    : 0.0f;
+            for (int64_t t = 0; t < t_dim; ++t) {
+                const HeadKvCache &cache =
+                    rowStream[static_cast<size_t>(t)]
+                        ->caches_[static_cast<size_t>(layer)]
+                                 [static_cast<size_t>(head)];
+                std::span<const float> qseg(
+                    q.data() + t * d.dModel + head * dh,
+                    static_cast<size_t>(dh));
+                const int64_t visible =
+                    rowPos[static_cast<size_t>(t)] + 1;
+                quantizeQRow(ops, qseg, setup_.kvGroup, attnScratch_);
+                probs.resize(static_cast<size_t>(visible));
+                if (fused)
+                    attnScoresFused(ops, cache.kPanels(),
+                                    attnScratch_.qCodes,
+                                    attnScratch_.qScales, visible,
+                                    inv_sqrt_dh, slope, probs);
+                else
+                    attnScoresReference(cache.kPanels(),
+                                        attnScratch_.qCodes,
+                                        attnScratch_.qScales, visible,
+                                        inv_sqrt_dh, slope, probs);
+                softmaxRow(probs);
+                std::span<float> orow(
+                    attn_out.data() + t * d.dModel + head * dh,
+                    static_cast<size_t>(dh));
+                if (fused)
+                    attnPvFused(ops, cache.vQuant(), probs,
+                                attnScratch_, orow);
+                else
+                    attnPvReference(ops, cache.vQuant(), probs,
+                                    attnScratch_, orow);
+            }
+        }
+    } else {
     for (int64_t head = 0; head < d.nHeads; ++head) {
         const float slope =
             base_.profile.family == ModelFamily::Bloom
@@ -365,6 +419,7 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
             }
         }
     }
+    } // !fusedAttention
 
     if (calibSink_)
         calibSink_->accumulate(layer, LinearSlot::OProj, attn_out);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fused_attention.h"
 #include "core/variance_selector.h"
 #include "model/kv_cache.h"
 #include "model/quant_setup.h"
@@ -27,6 +28,18 @@ namespace mant {
 
 class ModelCalibration;
 class Transformer;
+
+/**
+ * Which kernel a fused-attention setup runs for both attention GEMMs.
+ * Fused is the production path (panel microkernels); Reference is the
+ * scalar flat-code oracle — bit-identical by contract, selectable so
+ * tests and benches can compare whole-model outputs byte for byte.
+ */
+enum class AttentionKernel
+{
+    Fused,
+    Reference,
+};
 
 /**
  * Per-stream generation state: one KV cache per (layer, head) plus the
@@ -138,6 +151,11 @@ class Transformer
     /** Logit temperature (set by the evaluator's calibration). */
     void setLogitScale(float s) { logitScale_ = s; }
     float logitScale() const { return logitScale_; }
+
+    /** Select the attention kernel (fused-attention setups only; a
+     *  no-op knob otherwise). Defaults to AttentionKernel::Fused. */
+    void setAttentionKernel(AttentionKernel k) { attnKernel_ = k; }
+    AttentionKernel attentionKernel() const { return attnKernel_; }
 
     /**
      * Reset caches and run the prefill stage over a token sequence.
@@ -274,6 +292,10 @@ class Transformer
      *  across layers and steps (no steady-state allocation). */
     Int8QuantizedActivations actScratch_;
     Tensor linQ_, linK_, linV_, linO_, linGate_, linUp_, linDown_;
+
+    /** Fused-attention kernel selection and its per-call scratch. */
+    AttentionKernel attnKernel_ = AttentionKernel::Fused;
+    AttnScratch attnScratch_;
 };
 
 } // namespace mant

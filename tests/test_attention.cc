@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Fused integer attention: exhaustive parity against the scalar
+ * flat-code reference oracle, panel-store round-trips, edge shapes,
+ * and whole-model byte equality across SIMD backends, thread counts,
+ * and batched-vs-serial decode.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fused_attention.h"
+#include "core/kv_panels.h"
+#include "core/kv_quant.h"
+#include "model/kv_cache.h"
+#include "model/transformer.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+const VarianceSelector &
+analyticSelector()
+{
+    static const VarianceSelector sel = VarianceSelector::analytic();
+    return sel;
+}
+
+/** The SIMD × thread configurations the determinism contract spans. */
+struct PathCfg
+{
+    SimdPath path;
+    int threads;
+};
+
+std::vector<PathCfg>
+parityConfigs()
+{
+    std::vector<PathCfg> cfgs = {{SimdPath::Scalar, 1},
+                                 {SimdPath::Scalar, 8}};
+    if (bestSimdPath() != SimdPath::Scalar) {
+        cfgs.push_back({bestSimdPath(), 1});
+        cfgs.push_back({bestSimdPath(), 8});
+    }
+    return cfgs;
+}
+
+HeadKvCache
+makeKCache(KvMethod method, int64_t dh, int64_t group, int64_t rows,
+           uint64_t seed)
+{
+    HeadKvCache cache(method, dh, group, &analyticSelector(),
+                      /*captureCodes=*/true);
+    Rng rng(seed);
+    std::vector<float> k(static_cast<size_t>(dh));
+    for (int64_t r = 0; r < rows; ++r) {
+        for (auto &x : k)
+            x = static_cast<float>(rng.gaussian());
+        cache.appendK(k);
+    }
+    return cache;
+}
+
+std::vector<float>
+randomRow(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+/** Positive, softmax-like probability row (sums to 1). */
+std::vector<float>
+probRow(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> p(static_cast<size_t>(n));
+    float sum = 0.0f;
+    for (auto &x : p) {
+        x = static_cast<float>(rng.uniform()) + 1e-3f;
+        sum += x;
+    }
+    for (auto &x : p)
+        x /= sum;
+    return p;
+}
+
+/**
+ * Assert fused == reference scores, byte for byte, for every visible
+ * horizon in [1, rows], across the full SIMD × thread matrix — and
+ * that every configuration produces the same bytes as the first.
+ */
+void
+expectScoreParity(KvMethod method, int64_t dh, int64_t group,
+                  int64_t rows, float slope = 0.0f)
+{
+    const HeadKvCache cache =
+        makeKCache(method, dh, group, rows, 17 * rows + dh);
+    const std::vector<float> q = randomRow(dh, 999);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    std::vector<std::vector<float>> perCfg;
+    for (const PathCfg &cfg : parityConfigs()) {
+        auto scores = test::withPath(cfg.path, cfg.threads, [&] {
+            const SimdOps &ops = simdOps();
+            AttnScratch scratch;
+            quantizeQRow(ops, q, group, scratch);
+            std::vector<float> all;
+            for (int64_t visible = 1; visible <= rows; ++visible) {
+                std::vector<float> fused(static_cast<size_t>(visible));
+                std::vector<float> ref(static_cast<size_t>(visible));
+                attnScoresFused(ops, cache.kPanels(), scratch.qCodes,
+                                scratch.qScales, visible, inv, slope,
+                                fused);
+                attnScoresReference(cache.kPanels(), scratch.qCodes,
+                                    scratch.qScales, visible, inv,
+                                    slope, ref);
+                EXPECT_TRUE(test::bytesEqual(fused, ref))
+                    << "dh=" << dh << " group=" << group
+                    << " visible=" << visible;
+                all.insert(all.end(), fused.begin(), fused.end());
+            }
+            return all;
+        });
+        perCfg.push_back(std::move(scores));
+    }
+    for (size_t i = 1; i < perCfg.size(); ++i)
+        EXPECT_TRUE(test::bytesEqual(perCfg[0], perCfg[i]))
+            << "backend/thread configuration " << i
+            << " diverged (dh=" << dh << " group=" << group << ")";
+}
+
+/** Same contract for P·V over a prefill+decode-populated quantizer. */
+void
+expectPvParity(int64_t channels, int64_t window, int64_t prefillRows,
+               int64_t decodeRows)
+{
+    TemporalVQuantizer vq(channels, window, analyticSelector(),
+                          /*fp16Scale=*/true, /*captureCodes=*/true);
+    if (prefillRows > 0) {
+        Tensor v = test::gaussianTensor(Shape{prefillRows, channels},
+                                        41 * channels + window);
+        vq.pushPrefill(v);
+    }
+    Rng rng(7u * static_cast<uint64_t>(channels + decodeRows));
+    std::vector<float> row(static_cast<size_t>(channels));
+    for (int64_t r = 0; r < decodeRows; ++r) {
+        for (auto &x : row)
+            x = static_cast<float>(rng.gaussian());
+        vq.pushDecode(row);
+    }
+
+    const int64_t rows = vq.rows();
+    std::vector<std::vector<float>> perCfg;
+    for (const PathCfg &cfg : parityConfigs()) {
+        auto outs = test::withPath(cfg.path, cfg.threads, [&] {
+            const SimdOps &ops = simdOps();
+            AttnScratch scratch;
+            std::vector<float> all;
+            for (int64_t visible = 1; visible <= rows; ++visible) {
+                const std::vector<float> probs =
+                    probRow(visible, 1000 + visible);
+                std::vector<float> fused(static_cast<size_t>(channels));
+                std::vector<float> ref(static_cast<size_t>(channels));
+                attnPvFused(ops, vq, probs, scratch, fused);
+                attnPvReference(ops, vq, probs, scratch, ref);
+                EXPECT_TRUE(test::bytesEqual(fused, ref))
+                    << "channels=" << channels << " window=" << window
+                    << " visible=" << visible;
+                all.insert(all.end(), fused.begin(), fused.end());
+            }
+            return all;
+        });
+        perCfg.push_back(std::move(outs));
+    }
+    for (size_t i = 1; i < perCfg.size(); ++i)
+        EXPECT_TRUE(test::bytesEqual(perCfg[0], perCfg[i]))
+            << "backend/thread configuration " << i
+            << " diverged (channels=" << channels << ")";
+}
+
+// ---------------------------------------------------------------------
+// Panel-store round-trips
+// ---------------------------------------------------------------------
+
+TEST(KPanelStore, FlatAndMetaRoundTripAcrossPanelBoundaries)
+{
+    // 19 rows crosses two panel boundaries (8, 16).
+    const int64_t dh = 12, group = 5, rows = 19;
+    const HeadKvCache cache =
+        makeKCache(KvMethod::Mant4, dh, group, rows, 3);
+    const KPanelStore &kp = cache.kPanels();
+    EXPECT_EQ(kp.rows(), rows);
+    EXPECT_EQ(kp.panels(), 3);
+    EXPECT_EQ(kp.groupsPerRow(), 3); // ceil(12 / 5)
+
+    // Decoding every flat code through its group meta reproduces the
+    // dequantized K row bit for bit (the encodeSelectedCodes
+    // invariant the fused path rests on).
+    for (int64_t r = 0; r < rows; ++r) {
+        const auto codes = kp.rowCodes(r);
+        const auto krow = cache.kRow(r);
+        for (int64_t g = 0; g < kp.groupsPerRow(); ++g) {
+            const MantGroupMeta meta = kp.metaAt(r, g);
+            const int64_t k0 = g * kp.groupSize();
+            const int64_t len = std::min(kp.groupSize(), dh - k0);
+            for (int64_t i = 0; i < len; ++i) {
+                const int8_t c = codes[static_cast<size_t>(k0 + i)];
+                const float decoded =
+                    meta.isInt
+                        ? static_cast<float>(c) * meta.scale
+                        : static_cast<float>(mantCodeValue(
+                              meta.a,
+                              static_cast<MantCode>(
+                                  static_cast<uint8_t>(c) & 0xf))) *
+                              meta.scale;
+                EXPECT_EQ(decoded, krow[static_cast<size_t>(k0 + i)])
+                    << "row " << r << " group " << g << " elem " << i;
+            }
+        }
+    }
+}
+
+TEST(KPanelStore, UnappendedPanelColumnsReadIntScaleZero)
+{
+    const HeadKvCache cache = makeKCache(KvMethod::Mant4, 8, 4, 9, 5);
+    const KPanelStore &kp = cache.kPanels();
+    // Rows 9..15 of panel 1 never arrived: their meta must be the
+    // neutral INT/scale-0 that zeroes them out of any combine.
+    for (int64_t g = 0; g < kp.groupsPerRow(); ++g) {
+        const auto scales = kp.tileScales(1, g);
+        const auto isInt = kp.tileIsInt(1, g);
+        for (int c = 1; c < kTilePanelCols; ++c) {
+            EXPECT_EQ(scales[static_cast<size_t>(c)], 0.0f);
+            EXPECT_NE(isInt[static_cast<size_t>(c)], 0);
+        }
+    }
+}
+
+TEST(VPanelStore, FlatViewMatchesReconstructAndMetaDecodes)
+{
+    const int64_t channels = 10, window = 6;
+    TemporalVQuantizer vq(channels, window, analyticSelector(), true,
+                          true);
+    Tensor v = test::gaussianTensor(Shape{2 * window, channels}, 11);
+    vq.pushPrefill(v);
+    const VPanelStore &vp = vq.codePanels();
+    EXPECT_EQ(vp.windows(), 2);
+    EXPECT_EQ(vp.panels(), 2); // ceil(10 / 8)
+
+    const Tensor rec = vq.reconstruct();
+    for (int64_t r = 0; r < vp.windows() * window; ++r) {
+        const auto codes = vp.rowCodes(r);
+        const int64_t w = r / window;
+        for (int64_t ch = 0; ch < channels; ++ch) {
+            const MantGroupMeta meta = vp.metaAt(w, ch);
+            const int8_t c = codes[static_cast<size_t>(ch)];
+            const float decoded =
+                meta.isInt
+                    ? static_cast<float>(c) * meta.scale
+                    : static_cast<float>(mantCodeValue(
+                          meta.a, static_cast<MantCode>(
+                                      static_cast<uint8_t>(c) & 0xf))) *
+                          meta.scale;
+            EXPECT_EQ(decoded, rec.at(r, ch))
+                << "row " << r << " channel " << ch;
+        }
+    }
+}
+
+TEST(KPanelStore, RejectsBadAppends)
+{
+    KPanelStore kp(8, 4);
+    std::vector<int8_t> codes(8, 0);
+    std::vector<MantSelection> sels(1); // needs 2 groups
+    EXPECT_THROW(kp.appendRow(codes, sels), std::invalid_argument);
+    sels.resize(2);
+    sels[0].isInt = true;
+    codes[0] = -8; // unrepresentable in sign-magnitude INT4
+    EXPECT_THROW(kp.appendRow(codes, sels), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Score parity: edge shapes × SIMD × threads
+// ---------------------------------------------------------------------
+
+TEST(FusedAttnScores, SingleRowCache) // seqLen = 1
+{
+    expectScoreParity(KvMethod::Mant4, 32, 8, 1);
+}
+
+TEST(FusedAttnScores, GrowthAcrossPanelBoundaries)
+{
+    for (int64_t rows : {7, 8, 9, 16, 17, 25})
+        expectScoreParity(KvMethod::Mant4, 16, 8, rows);
+}
+
+TEST(FusedAttnScores, HeadDimNotMultipleOfEight)
+{
+    expectScoreParity(KvMethod::Mant4, 20, 8, 11); // ragged last group
+    expectScoreParity(KvMethod::Mant4, 13, 5, 9);
+}
+
+TEST(FusedAttnScores, GroupSizeEdges)
+{
+    expectScoreParity(KvMethod::Mant4, 24, -1, 10); // whole-row group
+    expectScoreParity(KvMethod::Mant4, 24, 1, 10);  // per-element
+    expectScoreParity(KvMethod::Mant4, 24, 40, 10); // > headDim
+}
+
+TEST(FusedAttnScores, Int4CacheAndAlibiSlope)
+{
+    expectScoreParity(KvMethod::Int4, 16, 8, 12, 0.25f);
+}
+
+// ---------------------------------------------------------------------
+// P·V parity: finalized windows, partial prefix, pending tail
+// ---------------------------------------------------------------------
+
+TEST(FusedAttnPv, PureFinalizedAndPendingMix)
+{
+    // 2 full prefill windows + 3 pending decode rows; every visible
+    // horizon exercises full windows, a partial window prefix, and
+    // the pending INT8 tail.
+    expectPvParity(16, 8, 16, 3);
+}
+
+TEST(FusedAttnPv, RaggedChannelsAndWindowOne)
+{
+    expectPvParity(10, 8, 9, 4); // channels % 8 != 0, partial prefill
+    expectPvParity(12, 1, 3, 2); // window = 1: every row finalizes
+}
+
+TEST(FusedAttnPv, PendingOnly)
+{
+    expectPvParity(8, 16, 0, 5); // nothing finalized yet
+}
+
+TEST(FusedAttnPv, SingleChannel)
+{
+    expectPvParity(1, 4, 6, 2);
+}
+
+// ---------------------------------------------------------------------
+// Whole-model parity
+// ---------------------------------------------------------------------
+
+std::vector<int32_t>
+tokenSeq(int n, uint64_t seed, int vocab)
+{
+    Rng rng(seed);
+    std::vector<int32_t> t(static_cast<size_t>(n));
+    for (auto &x : t)
+        x = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return t;
+}
+
+class FusedAttentionModel : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        profile_ = test::tinyProfile();
+        weights_ = ModelWeights::generate(profile_, 128);
+        toks_ = tokenSeq(13, 500, 128);
+    }
+
+    /** Prefill + a few decode steps; returns all logits flattened. */
+    std::vector<float>
+    runModel(Transformer &m)
+    {
+        std::vector<float> all;
+        const Tensor pre = m.prefill(toks_);
+        all.insert(all.end(), pre.span().begin(), pre.span().end());
+        for (int32_t tok : {3, 17, 42}) {
+            const std::vector<float> row = m.decodeStep(tok);
+            all.insert(all.end(), row.begin(), row.end());
+        }
+        return all;
+    }
+
+    ModelProfile profile_;
+    ModelWeights weights_;
+    std::vector<int32_t> toks_;
+};
+
+TEST_F(FusedAttentionModel, FusedKernelMatchesReferenceKernelBytes)
+{
+    std::vector<std::vector<float>> outs;
+    for (const PathCfg &cfg : parityConfigs()) {
+        auto pair = test::withPath(cfg.path, cfg.threads, [&] {
+            Transformer m(weights_, mantFusedAttentionSetup(8));
+            EXPECT_EQ(m.attentionKernel(), AttentionKernel::Fused);
+            std::vector<float> fused = runModel(m);
+            m.setAttentionKernel(AttentionKernel::Reference);
+            std::vector<float> ref = runModel(m);
+            return std::make_pair(std::move(fused), std::move(ref));
+        });
+        EXPECT_TRUE(test::bytesEqual(pair.first, pair.second))
+            << "fused vs reference kernel diverged";
+        outs.push_back(std::move(pair.first));
+    }
+    for (size_t i = 1; i < outs.size(); ++i)
+        EXPECT_TRUE(test::bytesEqual(outs[0], outs[i]))
+            << "backend/thread configuration " << i << " diverged";
+}
+
+TEST_F(FusedAttentionModel, BatchedDecodeMatchesSerialBytes)
+{
+    Transformer m(weights_, mantFusedAttentionSetup(8));
+    const auto promptA = tokenSeq(9, 61, 128);
+    const auto promptB = tokenSeq(5, 62, 128);
+
+    // Serial: each stream decodes alone.
+    StreamContext sa, sb;
+    m.prefill(sa, promptA);
+    m.prefill(sb, promptB);
+    const std::vector<float> ra = m.decodeStep(sa, 7);
+    const std::vector<float> rb = m.decodeStep(sb, 9);
+
+    // Batched: both streams in one decodeBatch call.
+    StreamContext ba, bb;
+    m.prefill(ba, promptA);
+    m.prefill(bb, promptB);
+    StreamContext *streams[] = {&ba, &bb};
+    const int32_t toks[] = {7, 9};
+    const Tensor batched = m.decodeBatch(toks, streams);
+
+    EXPECT_TRUE(test::bytesEqual(ra, batched.row(0)));
+    EXPECT_TRUE(test::bytesEqual(rb, batched.row(1)));
+}
+
+TEST_F(FusedAttentionModel, SingleHeadProfile)
+{
+    ModelProfile p = test::tinyProfile();
+    p.simDims.nHeads = 1; // dh = dModel = 64
+    p.archDims = p.simDims;
+    ModelWeights w = ModelWeights::generate(p, 128);
+    Transformer m(w, mantFusedAttentionSetup(8));
+    std::vector<float> fused = runModel(m);
+    m.setAttentionKernel(AttentionKernel::Reference);
+    std::vector<float> ref = runModel(m);
+    EXPECT_TRUE(test::bytesEqual(fused, ref));
+}
+
+TEST_F(FusedAttentionModel, Fp16KvRejected)
+{
+    QuantSetup s = mantFusedAttentionSetup(8);
+    s.kv = KvMethod::Fp16;
+    EXPECT_THROW(Transformer m(weights_, s), std::invalid_argument);
+}
+
+TEST_F(FusedAttentionModel, WholeRowKvGroup)
+{
+    QuantSetup s = mantFusedAttentionSetup(8);
+    s.kvGroup = -1;
+    Transformer m(weights_, s);
+    std::vector<float> fused = runModel(m);
+    m.setAttentionKernel(AttentionKernel::Reference);
+    std::vector<float> ref = runModel(m);
+    EXPECT_TRUE(test::bytesEqual(fused, ref));
+}
+
+} // namespace
+} // namespace mant

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kv_panels.h"
 #include "core/kv_quant.h"
+#include "core/mant_grid.h"
 #include "tensor/stats.h"
 #include "test_util.h"
 
@@ -206,6 +208,189 @@ TEST_F(KvQuantTest, TwoPhaseCloseToDirectSpatialQuantization)
     }
     // The INT8 intermediate adds only a modest penalty.
     EXPECT_LT(two_phase_err, oracle_err * 1.5 + 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Property tests (the fused-attention PR's proof obligations)
+// ---------------------------------------------------------------------
+
+TEST_F(KvQuantTest, PrefillRemainderEquivalentToDecodePushes)
+{
+    // The prefill remainder path routes through pushDecode, so two
+    // quantizers that derive identical channel scales and then see
+    // the same row stream must agree bit for bit — regardless of how
+    // the rows were split between pushPrefill and pushDecode. Pinning
+    // every channel's absmax into row 0 makes the scale derivation
+    // identical on both sides.
+    const int64_t ch = 6, win = 8, rows = 5;
+    Tensor v = test::gaussianTensor(Shape{rows, ch}, 300, 0.5);
+    for (int64_t c = 0; c < ch; ++c)
+        v.at(0, c) = (c % 2 == 0) ? 4.0f : -4.0f; // per-channel absmax
+
+    TemporalVQuantizer a(ch, win, sel_, true, true);
+    a.pushPrefill(v); // zero full windows: all rows via the remainder
+
+    TemporalVQuantizer b(ch, win, sel_, true, true);
+    Tensor first(Shape{1, ch});
+    for (int64_t c = 0; c < ch; ++c)
+        first.at(0, c) = v.at(0, c);
+    b.pushPrefill(first); // scales from row 0 alone
+    for (int64_t r = 1; r < rows; ++r)
+        b.pushDecode(v.row(r));
+
+    ASSERT_TRUE(test::bytesEqual(a.channelScales(), b.channelScales()));
+    EXPECT_EQ(a.pendingRows(), b.pendingRows());
+    ASSERT_EQ(a.pendingCodes().size(), b.pendingCodes().size());
+    EXPECT_EQ(std::memcmp(a.pendingCodes().data(),
+                          b.pendingCodes().data(),
+                          a.pendingCodes().size()),
+              0);
+    EXPECT_TRUE(test::bytesEqual(a.reconstruct().span(),
+                                 b.reconstruct().span()));
+
+    // Cross the finalize boundary on both and re-compare: streamed
+    // stats, selections, and codes must still agree.
+    const Tensor more = test::gaussianTensor(Shape{win, ch}, 301, 0.5);
+    for (int64_t r = 0; r < win; ++r) {
+        a.pushDecode(more.row(r));
+        b.pushDecode(more.row(r));
+    }
+    EXPECT_EQ(a.finalizedRows(), b.finalizedRows());
+    EXPECT_GT(a.finalizedRows(), 0);
+    EXPECT_TRUE(test::bytesEqual(a.reconstruct().span(),
+                                 b.reconstruct().span()));
+    EXPECT_EQ(a.codePanels().windows(), b.codePanels().windows());
+}
+
+TEST_F(KvQuantTest, FinalizeWindowEdgeCases)
+{
+    // window = 1: every decode push finalizes immediately; nothing is
+    // ever pending after a push.
+    TemporalVQuantizer w1(4, 1, sel_, true, true);
+    w1.pushPrefill(test::gaussianTensor(Shape{3, 4}, 302));
+    EXPECT_EQ(w1.finalizedRows(), 3);
+    EXPECT_EQ(w1.pendingRows(), 0);
+    w1.pushDecode(std::vector<float>(4, 0.25f));
+    EXPECT_EQ(w1.finalizedRows(), 4);
+    EXPECT_EQ(w1.pendingRows(), 0);
+    EXPECT_EQ(w1.codePanels().windows(), 4);
+
+    // Exact multiple of the window: prefill leaves nothing pending,
+    // and the next decode seeds a fresh window.
+    TemporalVQuantizer exact(4, 8, sel_, true, true);
+    exact.pushPrefill(test::gaussianTensor(Shape{16, 4}, 303));
+    EXPECT_EQ(exact.finalizedRows(), 16);
+    EXPECT_EQ(exact.pendingRows(), 0);
+    exact.pushDecode(std::vector<float>(4, 0.5f));
+    EXPECT_EQ(exact.pendingRows(), 1);
+    EXPECT_EQ(exact.codePanels().windows(), 2);
+
+    // All-zero windows: every scale falls back to 1 (the shared
+    // all-zero rule), finalization stays finite, and the captured
+    // codes still decode to the stored floats bit for bit. (MANT has
+    // no zero level, so the floats themselves need not be zero — the
+    // code/float consistency is the invariant.)
+    TemporalVQuantizer zeros(4, 2, sel_, true, true);
+    zeros.pushPrefill(Tensor(Shape{4, 4})); // two all-zero windows
+    EXPECT_EQ(zeros.finalizedRows(), 4);
+    const Tensor rec = zeros.reconstruct();
+    const VPanelStore &vp = zeros.codePanels();
+    for (int64_t r = 0; r < 4; ++r) {
+        const auto codes = vp.rowCodes(r);
+        for (int64_t c = 0; c < 4; ++c) {
+            const MantGroupMeta meta = vp.metaAt(r / 2, c);
+            EXPECT_GT(meta.scale, 0.0f);
+            const float decoded =
+                meta.isInt
+                    ? static_cast<float>(codes[static_cast<size_t>(c)]) *
+                          meta.scale
+                    : static_cast<float>(mantCodeValue(
+                          meta.a,
+                          static_cast<MantCode>(
+                              static_cast<uint8_t>(
+                                  codes[static_cast<size_t>(c)]) &
+                              0xf))) *
+                          meta.scale;
+            EXPECT_EQ(decoded, rec.at(r, c));
+        }
+    }
+}
+
+TEST_F(KvQuantTest, RaggedChannelCountsCaptureConsistently)
+{
+    // channels % 8 != 0 pads the last V panel; the padded columns must
+    // never leak into the flat view or the reconstruction.
+    for (int64_t ch : {1, 3, 9, 11}) {
+        TemporalVQuantizer tq(ch, 4, sel_, true, true);
+        tq.pushPrefill(test::gaussianTensor(Shape{8, ch},
+                                            400 + static_cast<uint64_t>(ch)));
+        const Tensor rec = tq.reconstruct();
+        const VPanelStore &vp = tq.codePanels();
+        ASSERT_EQ(vp.windows(), 2);
+        ASSERT_EQ(vp.panels(), (ch + 7) / 8);
+        for (int64_t r = 0; r < 8; ++r) {
+            const auto codes = vp.rowCodes(r);
+            ASSERT_EQ(static_cast<int64_t>(codes.size()), ch);
+            for (int64_t c = 0; c < ch; ++c) {
+                const MantGroupMeta meta = vp.metaAt(r / 4, c);
+                const float decoded =
+                    meta.isInt
+                        ? static_cast<float>(codes[static_cast<size_t>(c)]) *
+                              meta.scale
+                        : static_cast<float>(mantCodeValue(
+                              meta.a,
+                              static_cast<MantCode>(
+                                  static_cast<uint8_t>(
+                                      codes[static_cast<size_t>(c)]) &
+                                  0xf))) *
+                              meta.scale;
+                EXPECT_EQ(decoded, rec.at(r, c))
+                    << "ch=" << ch << " r=" << r << " c=" << c;
+            }
+        }
+    }
+}
+
+TEST_F(KvQuantTest, ReconstructIsIdempotentAndNonMutating)
+{
+    TemporalVQuantizer tq(8, 8, sel_, true, true);
+    tq.pushPrefill(test::gaussianTensor(Shape{20, 8}, 305));
+    const int64_t rows_before = tq.rows();
+    const double pending_before = tq.pendingFraction();
+    const Tensor rec1 = tq.reconstruct();
+    const Tensor rec2 = tq.reconstruct();
+    EXPECT_TRUE(test::bytesEqual(rec1.span(), rec2.span()));
+    EXPECT_EQ(tq.rows(), rows_before);
+    EXPECT_EQ(tq.pendingFraction(), pending_before);
+    // Pending rows decode from the stored INT8 codes exactly.
+    const auto codes = tq.pendingCodes();
+    const auto scales = tq.channelScales();
+    for (int64_t r = 0; r < tq.pendingRows(); ++r)
+        for (int64_t c = 0; c < 8; ++c)
+            EXPECT_EQ(rec1.at(tq.finalizedRows() + r, c),
+                      static_cast<float>(
+                          codes[static_cast<size_t>(r * 8 + c)]) *
+                          scales[static_cast<size_t>(c)]);
+}
+
+TEST_F(KvQuantTest, CodeCaptureAccessorsGateOnFlag)
+{
+    TemporalVQuantizer plain(4, 4, sel_);
+    EXPECT_FALSE(plain.capturesCodes());
+    EXPECT_THROW(plain.codePanels(), std::logic_error);
+
+    TemporalVQuantizer capture(4, 4, sel_, true, true);
+    EXPECT_TRUE(capture.capturesCodes());
+    EXPECT_EQ(capture.codePanels().windows(), 0);
+
+    // Capture must not perturb the quantization itself: same inputs,
+    // same dequantized output, flag on or off.
+    const Tensor v = test::gaussianTensor(Shape{10, 4}, 306);
+    TemporalVQuantizer p2(4, 4, sel_);
+    p2.pushPrefill(v);
+    capture.pushPrefill(v);
+    EXPECT_TRUE(test::bytesEqual(p2.reconstruct().span(),
+                                 capture.reconstruct().span()));
 }
 
 } // namespace

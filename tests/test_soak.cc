@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Randomized serving soak: a few hundred ServingEngine requests with
+ * counter-seeded randomized prompts, budgets, stop tokens, submission
+ * waves (join/retire churn), and quant setups, each request
+ * checksummed against the independent serial oracle
+ * (bench::serialGreedyOracle, bench/bench_util.h).
+ *
+ * Where tests/test_serving.cc pins a small hand-picked request mix at
+ * every SIMD × thread setting, this suite throws volume at one
+ * setting: randomized shapes the curated mix never reaches (prompt
+ * lengths, budgets, stop-token truncation, wave-interleaved
+ * admission). Every random draw flows through Rng seeded from an
+ * explicit counter, so any failure reproduces from the printed seed.
+ *
+ * Registered with ctest label "soak" so the sanitizer presets exclude
+ * it (CMakePresets.json): under ASan/TSan the request volume would
+ * dominate the job's wall clock without adding coverage the
+ * deterministic serving suite lacks.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+#include "model/quant_setup.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+/** FNV-1a over a token stream; the per-run comparison summary. */
+uint64_t
+fnv1a(uint64_t h, std::span<const int32_t> tokens)
+{
+    for (const int32_t t : tokens) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct SoakCase
+{
+    std::vector<int32_t> prompt;
+    int64_t maxNewTokens = 0;
+    int32_t stopToken = -1;
+};
+
+/** One counter-seeded randomized request. */
+SoakCase
+randomCase(uint64_t seed, int64_t vocab)
+{
+    Rng rng(seed);
+    SoakCase c;
+    const int len = 1 + static_cast<int>(rng.uniformInt(7));
+    c.prompt.resize(static_cast<size_t>(len));
+    for (auto &t : c.prompt)
+        t = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    c.maxNewTokens = 1 + static_cast<int64_t>(rng.uniformInt(8));
+    // A third of the requests carry a stop token; with the tiny vocab
+    // some of them genuinely truncate, exercising early retirement.
+    if (rng.uniformInt(3) == 0)
+        c.stopToken = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return c;
+}
+
+/** Engine semantics applied to the oracle's stop-free stream: keep
+ *  tokens up to and including the first stop-token hit. */
+std::vector<int32_t>
+truncateAtStop(std::vector<int32_t> tokens, int32_t stopToken)
+{
+    if (stopToken < 0)
+        return tokens;
+    const auto hit =
+        std::find(tokens.begin(), tokens.end(), stopToken);
+    if (hit != tokens.end())
+        tokens.erase(hit + 1, tokens.end());
+    return tokens;
+}
+
+/**
+ * Run `numRequests` randomized requests through a ServingEngine in
+ * counter-seeded submission waves, then checksum every output against
+ * the serial oracle. Serial runs first on the model's default stream;
+ * the engine never touches that stream, so one model serves both.
+ */
+void
+soakSetup(const ModelWeights &weights, const QuantSetup &setup,
+          int numRequests, uint64_t seedBase)
+{
+    const int64_t vocab = weights.profile.simDims.vocab;
+    Transformer model(weights, setup);
+
+    std::vector<SoakCase> cases;
+    cases.reserve(static_cast<size_t>(numRequests));
+    for (int i = 0; i < numRequests; ++i)
+        cases.push_back(
+            randomCase(seedBase + static_cast<uint64_t>(i), vocab));
+
+    uint64_t serialSum = 0xcbf29ce484222325ULL;
+    std::vector<std::vector<int32_t>> expected;
+    expected.reserve(cases.size());
+    for (const SoakCase &c : cases) {
+        expected.push_back(truncateAtStop(
+            bench::serialGreedyOracle(model, c.prompt,
+                                      c.maxNewTokens),
+            c.stopToken));
+        serialSum = fnv1a(serialSum, expected.back());
+    }
+
+    // Wave-interleaved submission: a counter-seeded slice of requests
+    // joins, the engine steps a random number of rounds, repeat — so
+    // streams retire and join mid-batch throughout the run.
+    ServingEngine engine(model, ServingConfig{.maxStreams = 5});
+    Rng waves(seedBase ^ 0x5057414b45ULL); // "soak waves" salt
+    std::vector<RequestId> ids;
+    size_t submitted = 0;
+    while (submitted < cases.size() || !engine.idle()) {
+        if (submitted < cases.size()) {
+            const size_t wave = std::min(
+                cases.size() - submitted,
+                static_cast<size_t>(1 + waves.uniformInt(8)));
+            for (size_t i = 0; i < wave; ++i, ++submitted) {
+                GenRequest req;
+                req.prompt = cases[submitted].prompt;
+                req.maxNewTokens = cases[submitted].maxNewTokens;
+                req.stopToken = cases[submitted].stopToken;
+                ids.push_back(engine.submit(std::move(req)));
+            }
+        }
+        const uint64_t rounds = 1 + waves.uniformInt(4);
+        for (uint64_t r = 0; r < rounds && engine.step(); ++r) {
+        }
+    }
+
+    uint64_t engineSum = 0xcbf29ce484222325ULL;
+    int mismatches = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(engine.state(ids[i]), RequestState::Done);
+        const auto &out = engine.output(ids[i]);
+        engineSum = fnv1a(engineSum, out);
+        if (out != expected[i] && mismatches++ < 3)
+            ADD_FAILURE() << "request " << i << " (seed "
+                          << seedBase + static_cast<uint64_t>(i)
+                          << ") diverged from the serial oracle";
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_EQ(engineSum, serialSum)
+        << "token checksum diverged for setup " << setup.label
+        << " (seed base " << seedBase << ")";
+}
+
+class SoakTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        profile_ = test::tinyProfile();
+        weights_ = ModelWeights::generate(profile_, 128);
+    }
+
+    ModelProfile profile_;
+    ModelWeights weights_;
+};
+
+TEST_F(SoakTest, FusedLinearSetupHundredRequests)
+{
+    soakSetup(weights_, mantFusedSetup(64), 100, 51000);
+}
+
+TEST_F(SoakTest, FullQuantSetupHundredRequests)
+{
+    soakSetup(weights_, mantFullSetup(), 100, 52000);
+}
+
+TEST_F(SoakTest, FusedAttentionSetupHundredRequests)
+{
+    // The tentpole path under load: integer attention over captured
+    // KV codes inside the batched scheduler.
+    soakSetup(weights_, mantFusedAttentionSetup(), 100, 53000);
+}
+
+} // namespace
+} // namespace mant

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the fused-GEMM and serving decode paths.
+"""Bench regression gate for the fused-GEMM, serving decode, and
+fused-attention paths.
 
-Usage: bench_gate.py CURRENT_JSON BASELINE_JSON
+Usage: bench_gate.py [--allow-new] CURRENT_JSON BASELINE_JSON
 
 Reads two google-benchmark JSON files and enforces, for every gated
 benchmark present in the baseline:
@@ -12,12 +13,14 @@ benchmark present in the baseline:
 
       BM_GemmTiled/<M>     -> BM_GemmRef/<M>       output values
       BM_DecodeBatched/<S> -> BM_DecodeSerial/<S>  generated tokens
+      BM_AttnFused/<L>     -> BM_AttnRef/<L>       attention output
 
     The tiled path is only a valid optimization while it reproduces
-    the reference fused GEMM bit-for-bit, and the batched serving
+    the reference fused GEMM bit-for-bit, the batched serving
     engine only while every stream's token sequence is byte-identical
-    to its serial single-stream run (docs/ARCHITECTURE.md, determinism
-    contract).
+    to its serial single-stream run, and the panel-packed attention
+    kernels only while they match the flat-view reference exactly
+    (docs/ARCHITECTURE.md, determinism contract).
 
  2. **Throughput**: the optimized/reference speedup ratio
     (items_per_second quotient) must not fall more than 10% below the
@@ -28,6 +31,13 @@ benchmark present in the baseline:
     (near-parity shapes like the M=1 decode, where a 10% band sits
     inside run-to-run noise on shared runners) are checksum-gated
     only.
+
+Gated benchmarks present in the CURRENT run but absent from the
+BASELINE (a freshly added pair whose baseline has not been
+regenerated yet) fail by default with a pointer to regenerate.
+`--allow-new` downgrades them to checksum-only gating with a
+baseline-pending note — for the window between adding a benchmark
+and landing its regenerated baseline.
 
 Exit status 0 when every shape passes, 1 otherwise.
 """
@@ -41,6 +51,7 @@ MIN_GATED_RATIO = 1.2
 PAIRS = {
     "BM_GemmTiled": "BM_GemmRef",
     "BM_DecodeBatched": "BM_DecodeSerial",
+    "BM_AttnFused": "BM_AttnRef",
 }
 
 
@@ -84,17 +95,59 @@ def ratio(benches, name):
         return None
 
 
+def checksum_failure(current, name, ref):
+    """Bit-identity check; returns a failure line or None."""
+    cs_opt = current[name].get("checksum")
+    cs_ref = current[ref].get("checksum")
+    if cs_opt != cs_ref:
+        return (
+            f"{name}: checksum mismatch vs reference "
+            f"(optimized={cs_opt!r} ref={cs_ref!r}) — the "
+            f"optimized path no longer reproduces the reference "
+            f"bit-for-bit"
+        )
+    return None
+
+
 def main(argv):
-    if len(argv) != 3:
+    args = list(argv[1:])
+    allow_new = "--allow-new" in args
+    if allow_new:
+        args.remove("--allow-new")
+    if len(args) != 2:
         sys.exit(__doc__)
-    current = load(argv[1])
-    baseline = load(argv[2])
+    current = load(args[0])
+    baseline = load(args[1])
 
     shapes = sorted(n for n in baseline if refname(n))
-    if not shapes:
+    new_shapes = sorted(
+        n for n in current if refname(n) and n not in baseline)
+    if not shapes and not new_shapes:
         sys.exit("baseline contains no gated benchmarks")
 
     failures = []
+    for name in new_shapes:
+        ref = refname(name)
+        if not allow_new:
+            failures.append(
+                f"{name}: gated benchmark has no baseline entry — "
+                f"regenerate BENCH_kernels.baseline.json or pass "
+                f"--allow-new while the regenerated baseline is "
+                f"pending")
+            continue
+        if ref not in current:
+            failures.append(
+                f"{name}: reference twin '{ref}' missing from "
+                f"current run — was it filtered out?")
+            continue
+        fail = checksum_failure(current, name, ref)
+        if fail:
+            failures.append(fail)
+        else:
+            cur = ratio(current, name)
+            speed = f", speedup {cur:.2f}x" if cur is not None else ""
+            print(f"{name}: checksum OK{speed} (baseline pending — "
+                  f"ratio not gated this run)")
     for name in shapes:
         ref = refname(name)
         missing = [n for n, src in ((name, current), (ref, current),
@@ -113,18 +166,9 @@ def main(argv):
                     f"{where} — was the benchmark renamed or "
                     f"filtered out?")
             continue
-        cur_opt = current[name]
-        cur_ref = current[ref]
-
-        cs_opt = cur_opt.get("checksum")
-        cs_ref = cur_ref.get("checksum")
-        if cs_opt != cs_ref:
-            failures.append(
-                f"{name}: checksum mismatch vs reference "
-                f"(optimized={cs_opt!r} ref={cs_ref!r}) — the "
-                f"optimized path no longer reproduces the reference "
-                f"bit-for-bit"
-            )
+        fail = checksum_failure(current, name, ref)
+        if fail:
+            failures.append(fail)
 
         cur = ratio(current, name)
         base = ratio(baseline, name)
@@ -152,7 +196,9 @@ def main(argv):
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
     print(
-        f"checked {len(shapes)} shapes, {len(failures)} failures"
+        f"checked {len(shapes) + len(new_shapes)} shapes "
+        f"({len(new_shapes)} baseline-pending), "
+        f"{len(failures)} failures"
     )
     return 1 if failures else 0
 

@@ -27,9 +27,11 @@ the constructs that cause them before they land:
                        -ffinite-math-only / -ffp-contract=fast in any
                        CMakeLists.txt — value-changing FP optimization
                        breaks cross-backend parity.
-  fp-contract          every SIMD backend TU (src/core/simd_*.cc other
-                       than the dispatcher simd.cc) named in
-                       src/CMakeLists.txt must be covered by a
+  fp-contract          every contract-bound TU (src/core/simd_*.cc
+                       other than the dispatcher simd.cc, plus
+                       src/core/fused_attention.cc, whose fused and
+                       reference kernels must round identically) named
+                       in src/CMakeLists.txt must be covered by a
                        set_source_files_properties(... COMPILE_OPTIONS)
                        whose expansion contains -ffp-contract=off, so
                        the compiler cannot contract mul+add into FMA on
@@ -91,7 +93,8 @@ FAST_MATH_RE = re.compile(
 UNORDERED_DECL_RE = re.compile(
     r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\s*<[^;]*?\b"
     r"(\w+)\s*(?:[;={(]|$)")
-SIMD_BACKEND_RE = re.compile(r"\bcore/(simd_\w+)\.cc\b")
+CONTRACT_TU_RE = re.compile(
+    r"\bcore/(simd_\w+|fused_attention)\.cc\b")
 
 
 class Finding:
@@ -289,10 +292,12 @@ def lint_cmake(path, raw, findings, is_src_cmake):
     if not is_src_cmake:
         return
 
-    # fp-contract rule: every SIMD backend TU named in this file must be
-    # covered by set_source_files_properties(... COMPILE_OPTIONS ...)
-    # whose expansion contains -ffp-contract=off.
-    backends = {m.group(1) for m in SIMD_BACKEND_RE.finditer(text)
+    # fp-contract rule: every contract-bound TU named in this file
+    # (SIMD backends plus the fused-attention kernels, whose fused and
+    # reference paths must round identically) must be covered by
+    # set_source_files_properties(... COMPILE_OPTIONS ...) whose
+    # expansion contains -ffp-contract=off.
+    backends = {m.group(1) for m in CONTRACT_TU_RE.finditer(text)
                 if m.group(1) != "simd"}  # simd.cc is the dispatcher
     if not backends:
         return
@@ -307,12 +312,12 @@ def lint_cmake(path, raw, findings, is_src_cmake):
         expanded = expand_cmake_vars(args.replace('"', " "), variables)
         if "-ffp-contract=off" not in expanded:
             continue
-        for b in SIMD_BACKEND_RE.finditer(args):
+        for b in CONTRACT_TU_RE.finditer(args):
             covered.add(b.group(1))
     for backend in sorted(backends - covered):
         findings.append(Finding(
             path, 1, "fp-contract",
-            f"SIMD backend TU core/{backend}.cc is not covered by a "
+            f"contract-bound TU core/{backend}.cc is not covered by a "
             f"set_source_files_properties(... COMPILE_OPTIONS) "
             f"containing -ffp-contract=off; compiler-introduced FMA "
             f"contraction would desync it from the other backends"))
