@@ -35,6 +35,8 @@
 #include "bench_util.h"
 #include "core/fused_attention.h"
 #include "core/fused_gemm.h"
+#include "core/kv_pages.h"
+#include "core/kv_panels.h"
 #include "core/kv_quant.h"
 #include "model/kv_cache.h"
 #include "model/layers.h"
@@ -646,6 +648,98 @@ BM_DecodeBatched(benchmark::State &state)
     state.counters["checksum"] = tokenChecksum(outs);
 }
 BENCHMARK(BM_DecodeBatched)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Paged variants: same streams/prompts/decode budget, but on the
+ * MANT4-KV fused-attention model whose caches capture quantized
+ * codes. BM_DecodeSerialQuantKv is the reference twin — each stream
+ * alone through the single-stream path with monolithic private cache
+ * storage. BM_DecodePaged runs the engine with a bounded shared page
+ * pool, chunked prefill (chunk 4), and watermark backoff. Paging and
+ * chunking are placement/scheduling changes only, so the two must
+ * produce byte-identical tokens — tools/bench_gate.py compares their
+ * `checksum` counters and gates the paged/serial throughput ratio
+ * against the baseline. (BM_DecodeSerial is NOT a valid twin here:
+ * it runs the fp16-KV model, whose logits differ.)
+ */
+Transformer &
+servingPagedModel()
+{
+    static Transformer m(servingWeights(),
+                         mantFusedAttentionSetup(64));
+    return m;
+}
+
+static void
+BM_DecodeSerialQuantKv(benchmark::State &state)
+{
+    const int64_t streams = state.range(0);
+    Transformer &model = servingPagedModel();
+    std::vector<std::vector<int32_t>> outs;
+    for (auto _ : state) {
+        outs.clear();
+        for (int64_t s = 0; s < streams; ++s)
+            outs.push_back(bench::serialGreedyOracle(
+                model, servingPrompt(s), kServeTokens));
+        benchmark::DoNotOptimize(outs);
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * streams *
+                            kServeTokens);
+    state.counters["checksum"] = tokenChecksum(outs);
+}
+BENCHMARK(BM_DecodeSerialQuantKv)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_DecodePaged(benchmark::State &state)
+{
+    const int64_t streams = state.range(0);
+    Transformer &model = servingPagedModel();
+    const ArchDims &d = servingWeights().profile.simDims;
+    const int64_t pageBytes =
+        std::max(KPanelStore::blockBytesFor(d.headDim(), 64),
+                 VPanelStore::blockBytesFor(d.headDim(), 64));
+    // Worst-case pages per stream (prompt 8 + 24 new = 32 rows):
+    // ceil(32/8)=4 K blocks, ceil(32/64)=1 V block per cache, one
+    // block per page at this geometry, x nLayers x nHeads caches.
+    const int64_t pagesPerStream = 5 * d.nLayers * d.nHeads;
+    std::vector<std::vector<int32_t>> outs;
+    for (auto _ : state) {
+        ServingEngine engine(
+            model,
+            ServingConfig{.maxStreams = streams,
+                          .prefillChunkTokens = 4,
+                          .pagePoolPages = streams * pagesPerStream,
+                          .freePageWatermark = pagesPerStream,
+                          .agingSteps = 4});
+        std::vector<RequestId> ids;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = servingPrompt(s);
+            req.maxNewTokens = kServeTokens;
+            ids.push_back(engine.submit(std::move(req)));
+        }
+        engine.run();
+        outs.clear();
+        for (const RequestId id : ids)
+            outs.push_back(engine.output(id));
+        benchmark::DoNotOptimize(outs);
+        if (engine.pagePool()->inUsePages() != 0)
+            state.SkipWithError("page pool not drained");
+        benchmark::DoNotOptimize(pageBytes);
+    }
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations() * streams *
+                            kServeTokens);
+    state.counters["checksum"] = tokenChecksum(outs);
+}
+BENCHMARK(BM_DecodePaged)
     ->Arg(2)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);

@@ -1,29 +1,48 @@
 /**
  * @file
- * Serving-engine throughput sweep: aggregate decode tokens/s of the
- * batched multi-stream engine vs the same streams run serially through
- * the single-stream path, over a streams × tokens grid (the Fig. 13/14
+ * Serving-engine throughput sweeps.
+ *
+ * Sweep 1 (batching): aggregate decode tokens/s of the batched
+ * multi-stream engine vs the same streams run serially through the
+ * single-stream path, over a streams × tokens grid (the Fig. 13/14
  * batching story applied to the software decode path).
  *
- * Every cell is parity-checked: the batched engine must produce
- * byte-identical token sequences to the serial runs (the serving
- * determinism contract), and the binary exits non-zero on any
+ * Sweep 2 (paging): the paged + chunked-prefill configuration scaled
+ * to hundreds of queued streams over a FIXED page-pool budget sized
+ * for only the 16 concurrent decode slots — the point is that memory
+ * stays bounded by concurrency, not by total request volume. Each
+ * stream count reports the pool high-water mark (pages and MB) and
+ * the worst per-round prefill burst, and is parity-checked against a
+ * monolithic (unchunked, unbounded) engine plus a serial-oracle
+ * subset.
+ *
+ * Every cell of both sweeps is parity-checked byte-for-byte (the
+ * serving determinism contract) and the binary exits non-zero on any
  * mismatch — so this sweep doubles as an end-to-end check wherever it
  * runs (CI executes it in the bench job).
  *
- * Usage: bench_serving [tokensPerStream] (default 32)
+ * Usage: bench_serving [maxPagedStreams] [tokensPerStream]
+ *   maxPagedStreams (default 256) caps the paged sweep's doubling
+ *     stream grid {16, 32, ..., maxPagedStreams}; 0 skips the sweep.
+ *   tokensPerStream (default 32) applies to the batching sweep; the
+ *     paged sweep decodes a fixed 16 tokens/stream since its variable
+ *     of interest is stream count and pool pressure, not decode
+ *     length.
  */
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/kv_pages.h"
+#include "core/kv_panels.h"
 #include "core/parallel.h"
 #include "core/simd.h"
 #include "model/transformer.h"
@@ -110,24 +129,190 @@ runSweep(int64_t tokensPerStream)
     return 0;
 }
 
+/** Ragged prompt lengths so streams straddle panel (8) and V-window
+ *  (64) boundaries differently: 4..35 tokens. */
+int64_t
+pagedPromptLen(int64_t stream)
+{
+    return 4 + (stream * 7) % 32;
+}
+
+/** Worst-case pages one stream can pin, from the same blockBytesFor
+ *  math the engine uses to size pages. With pool capacity >=
+ *  decodeSlots * this, exhaustion is impossible: at most decodeSlots
+ *  streams hold pages at once and each holds at most this many. */
+int64_t
+worstPagesPerStream(const ArchDims &d, int64_t kvGroup,
+                    int64_t maxRows, int64_t pageBytes)
+{
+    const int64_t kBlock =
+        KPanelStore::blockBytesFor(d.headDim(), kvGroup);
+    const int64_t vBlock =
+        VPanelStore::blockBytesFor(d.headDim(), kvGroup);
+    const auto ceilDiv = [](int64_t a, int64_t b) {
+        return (a + b - 1) / b;
+    };
+    const int64_t kBlocks = ceilDiv(maxRows, kTilePanelCols);
+    const int64_t vBlocks = ceilDiv(maxRows, kvGroup);
+    const int64_t pagesPerCache =
+        ceilDiv(kBlocks, pageBytes / kBlock) +
+        ceilDiv(vBlocks, pageBytes / vBlock);
+    return pagesPerCache * d.nLayers * d.nHeads;
+}
+
+int
+runPagedSweep(int64_t maxStreams)
+{
+    constexpr int64_t kDecodeSlots = 16;
+    constexpr int64_t kPagedTokens = 16;
+    constexpr int64_t kvGroup = 64;
+    const ModelProfile profile = bench::servingBenchProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 256);
+    Transformer model(weights, mantFusedAttentionSetup(kvGroup));
+    const ArchDims &d = profile.simDims;
+
+    // Pool budget: sized for the decode slots, NOT for the total
+    // stream count — the whole point of paging. maxRows uses the
+    // largest ragged prompt (35) plus the decode budget.
+    const int64_t pageBytes =
+        std::max(KPanelStore::blockBytesFor(d.headDim(), kvGroup),
+                 VPanelStore::blockBytesFor(d.headDim(), kvGroup));
+    const int64_t pagesPerStream = worstPagesPerStream(
+        d, kvGroup, 35 + kPagedTokens, pageBytes);
+    const int64_t poolPages = kDecodeSlots * pagesPerStream;
+
+    std::cout << "\nPaged + chunked-prefill sweep (" << d.dModel
+              << "d x " << d.nLayers << "L, MANT4 KV codes, "
+              << kDecodeSlots << " decode slots, chunk 8, pool "
+              << poolPages << " pages x " << pageBytes << " B = "
+              << std::fixed << std::setprecision(1)
+              << static_cast<double>(poolPages * pageBytes) / 1e6
+              << " MB cap, watermark " << pagesPerStream << "), "
+              << kPagedTokens << " tokens/stream:\n\n";
+    std::cout << "streams | paged ms | tok/s | peak pages | peak MB | "
+                 "defers | maxPrefill/step | parity\n";
+    std::cout << "--------+----------+-------+------------+---------+-"
+                 "-------+-----------------+-------\n";
+
+    bool all_ok = true;
+    for (const int64_t streams : {16, 32, 64, 128, 256}) {
+        if (streams > maxStreams)
+            break;
+        std::vector<std::vector<int32_t>> prompts;
+        for (int64_t s = 0; s < streams; ++s)
+            prompts.push_back(bench::servingBenchPrompt(
+                s, pagedPromptLen(s), d.vocab));
+
+        // Monolithic reference: same model, unchunked prefill,
+        // unbounded pool, same decode width. The determinism
+        // contract says paged+chunked output must be byte-identical.
+        ServingEngine mono(
+            model, ServingConfig{.maxStreams = kDecodeSlots});
+        std::vector<RequestId> monoIds;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = prompts[static_cast<size_t>(s)];
+            req.maxNewTokens = kPagedTokens;
+            monoIds.push_back(mono.submit(std::move(req)));
+        }
+        mono.run();
+
+        ServingEngine paged(
+            model,
+            ServingConfig{.maxStreams = kDecodeSlots,
+                          .prefillChunkTokens = 8,
+                          .pagePoolPages = poolPages,
+                          .freePageWatermark = pagesPerStream,
+                          .agingSteps = 4});
+        std::vector<RequestId> ids;
+        const bench::Stopwatch watch;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = prompts[static_cast<size_t>(s)];
+            req.maxNewTokens = kPagedTokens;
+            ids.push_back(paged.submit(std::move(req)));
+        }
+        paged.run();
+        const double paged_ms = watch.elapsedNs() / 1e6;
+
+        bool parity = true;
+        for (int64_t s = 0; s < streams; ++s)
+            parity = parity &&
+                     paged.output(ids[static_cast<size_t>(s)]) ==
+                         mono.output(monoIds[static_cast<size_t>(s)]);
+        // Serial-oracle spot check on a subset (full oracle coverage
+        // lives in the batching sweep and the test suite).
+        for (int64_t s = 0; s < std::min<int64_t>(streams, 4); ++s)
+            parity = parity &&
+                     paged.output(ids[static_cast<size_t>(s)]) ==
+                         bench::serialGreedyOracle(
+                             model, prompts[static_cast<size_t>(s)],
+                             kPagedTokens);
+
+        const ServingEngine::Stats &st = paged.stats();
+        const KvPageAllocator *pool = paged.pagePool();
+        const bool bounded =
+            pool != nullptr && pool->inUsePages() == 0 &&
+            pool->peakInUsePages() <= poolPages &&
+            pool->createdPages() <= poolPages &&
+            st.peakPagesInUse == pool->peakInUsePages();
+        parity = parity && bounded;
+        all_ok = all_ok && parity;
+
+        const double total_tokens =
+            static_cast<double>(streams * kPagedTokens);
+        std::printf("%7lld | %8.1f | %5.0f | %10lld | %7.2f | %6lld "
+                    "| %15lld | %s\n",
+                    static_cast<long long>(streams), paged_ms,
+                    total_tokens / (paged_ms / 1e3),
+                    static_cast<long long>(st.peakPagesInUse),
+                    static_cast<double>(st.peakPagesInUse *
+                                        pageBytes) /
+                        1e6,
+                    static_cast<long long>(st.admissionDeferrals),
+                    static_cast<long long>(
+                        st.maxPrefillTokensPerStep),
+                    !parity     ? "MISMATCH"
+                    : !bounded  ? "UNBOUNDED"
+                                : "OK");
+    }
+
+    if (!all_ok) {
+        std::cerr << "\nFAIL: paged/chunked outputs diverged from "
+                     "the monolithic engine, or the page pool "
+                     "leaked/exceeded its cap\n";
+        return 1;
+    }
+    std::cout << "\nAll paged stream counts byte-identical to the "
+                 "monolithic engine, pool bounded and drained.\n";
+    return 0;
+}
+
 } // namespace
 } // namespace mant
 
 int
 main(int argc, char **argv)
 {
+    int64_t pagedStreams = 256;
     int64_t tokens = 32;
-    if (argc > 1) {
-        try {
-            tokens = std::stoll(argv[1]);
-        } catch (const std::exception &) {
-            tokens = 0; // falls through to the usage error below
-        }
+    try {
+        if (argc > 1)
+            pagedStreams = std::stoll(argv[1]);
+        if (argc > 2)
+            tokens = std::stoll(argv[2]);
+    } catch (const std::exception &) {
+        pagedStreams = -1; // falls through to the usage error below
     }
-    if (tokens < 1) {
-        std::cerr << "bench_serving: tokensPerStream must be a "
-                     "positive integer\n";
+    if (pagedStreams < 0 || tokens < 1) {
+        std::cerr << "usage: bench_serving [maxPagedStreams>=0] "
+                     "[tokensPerStream>=1]\n";
         return 2;
     }
-    return mant::runSweep(tokens);
+    const int rc = mant::runSweep(tokens);
+    if (rc != 0)
+        return rc;
+    if (pagedStreams > 0)
+        return mant::runPagedSweep(pagedStreams);
+    return 0;
 }

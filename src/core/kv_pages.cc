@@ -1,0 +1,78 @@
+#include "core/kv_pages.h"
+
+#include <cassert>
+#include <string>
+
+namespace mant {
+
+KvPageAllocator::KvPageAllocator(int64_t pageBytes, int64_t maxPages)
+    : pageBytes_(pageBytes), maxPages_(maxPages)
+{
+    if (pageBytes_ <= 0)
+        throw std::invalid_argument(
+            "KvPageAllocator: pageBytes must be positive");
+    if (maxPages_ < 0)
+        throw std::invalid_argument(
+            "KvPageAllocator: maxPages must be non-negative");
+}
+
+std::optional<KvPageId>
+KvPageAllocator::tryAlloc()
+{
+    KvPageId id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        if (maxPages_ != 0 &&
+            static_cast<int64_t>(pages_.size()) >= maxPages_)
+            return std::nullopt;
+        id = static_cast<KvPageId>(pages_.size());
+        // new[] of a char array is suitably aligned for any object
+        // that fits, so float-typed block fields at 4-byte offsets
+        // within a page are safe.
+        pages_.push_back(std::make_unique<uint8_t[]>(
+            static_cast<size_t>(pageBytes_)));
+        allocated_.push_back(0);
+    }
+    allocated_[static_cast<size_t>(id)] = 1;
+    ++inUse_;
+    peakInUse_ = std::max(peakInUse_, inUse_);
+    return id;
+}
+
+KvPageId
+KvPageAllocator::alloc()
+{
+    const std::optional<KvPageId> id = tryAlloc();
+    if (!id) {
+        throw KvPoolExhausted(
+            "KvPageAllocator: page pool exhausted (cap " +
+            std::to_string(maxPages_) + " pages of " +
+            std::to_string(pageBytes_) + " bytes)");
+    }
+    return *id;
+}
+
+void
+KvPageAllocator::free(KvPageId id)
+{
+    const bool known =
+        id >= 0 && id < static_cast<int64_t>(pages_.size());
+    assert(known && "KvPageAllocator::free: id outside this pool");
+    if (!known)
+        throw std::logic_error(
+            "KvPageAllocator::free: page id " + std::to_string(id) +
+            " was never allocated by this pool");
+    uint8_t &flag = allocated_[static_cast<size_t>(id)];
+    assert(flag != 0 && "KvPageAllocator::free: double free");
+    if (flag == 0)
+        throw std::logic_error(
+            "KvPageAllocator::free: double free of page " +
+            std::to_string(id));
+    flag = 0;
+    --inUse_;
+    freeList_.push_back(id);
+}
+
+} // namespace mant

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fixed-size page allocator for KV-cache storage — the memory half of
+ * paged serving (vLLM-style block pooling over the panel stores).
+ *
+ * The panel stores (core/kv_panels.h) grow append-only in whole panel
+ * blocks; a monolithic per-stream vector ties each stream's peak KV
+ * footprint up for the stream's whole lifetime. KvPageAllocator breaks
+ * that coupling: storage is a pool of fixed-size pages, each sized (by
+ * the store) to hold a whole number of panel blocks, handed out from a
+ * LIFO free list and returned when a stream resets or retires. Appends
+ * stay placement-only — a block, once claimed, never moves — so every
+ * pointer the fused attention kernels stream remains stable for the
+ * block's lifetime.
+ *
+ * Contracts (enforced, never UB):
+ *  - tryAlloc() reports exhaustion as std::nullopt; alloc() as a typed
+ *    KvPoolExhausted exception. Neither ever returns a bad page.
+ *  - free() of an id that is out of range or not currently allocated
+ *    is a caller bug: debug builds abort on the assert, release builds
+ *    throw std::logic_error. A page is never handed out twice without
+ *    an intervening free().
+ *  - Recycled pages keep their previous bytes; claimants must
+ *    re-initialize whatever they use (the panel stores do).
+ *  - Reuse is LIFO-deterministic: free(a); free(b); alloc() == b —
+ *    identical request sequences see identical page placement, which
+ *    the serving determinism contract leans on.
+ *
+ * Single-threaded by design, like the serving scheduler that owns the
+ * shared pool (parallelism lives inside the kernels).
+ */
+
+#ifndef MANT_CORE_KV_PAGES_H_
+#define MANT_CORE_KV_PAGES_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace mant {
+
+/** Handle to one pool page (dense, starting at 0). */
+using KvPageId = int64_t;
+
+/** Typed allocation failure: the pool's page cap is exhausted. */
+class KvPoolExhausted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Free-list pool of fixed-size pages. Pages materialize lazily (the
+ * cap is a ceiling, not an up-front reservation) and are never
+ * returned to the OS until the allocator dies — a freed page parks on
+ * the free list for the next claimant.
+ */
+class KvPageAllocator
+{
+  public:
+    /**
+     * @param pageBytes Size of every page; must be positive.
+     * @param maxPages  Pool ceiling; 0 means unbounded.
+     */
+    explicit KvPageAllocator(int64_t pageBytes, int64_t maxPages = 0);
+
+    /** Stores hold pointers to their allocator; pinning the object
+     *  keeps those pointers valid for the stores' lifetime. */
+    KvPageAllocator(const KvPageAllocator &) = delete;
+    KvPageAllocator &operator=(const KvPageAllocator &) = delete;
+
+    /** Claim a page, or std::nullopt when the cap is exhausted. */
+    std::optional<KvPageId> tryAlloc();
+
+    /** Claim a page; throws KvPoolExhausted when the cap is hit. */
+    KvPageId alloc();
+
+    /**
+     * Return a page to the free list. Contract: `id` must be a
+     * currently-allocated page of this pool — double frees and
+     * foreign/out-of-range ids assert in debug builds and throw
+     * std::logic_error in release builds.
+     */
+    void free(KvPageId id);
+
+    /** Byte storage of an allocated page (stable until free()). */
+    uint8_t *
+    data(KvPageId id)
+    {
+        return pages_[static_cast<size_t>(id)].get();
+    }
+    const uint8_t *
+    data(KvPageId id) const
+    {
+        return pages_[static_cast<size_t>(id)].get();
+    }
+
+    int64_t pageBytes() const { return pageBytes_; }
+    /** Pool ceiling (0 = unbounded). */
+    int64_t maxPages() const { return maxPages_; }
+    /** Distinct pages ever materialized (monotone). */
+    int64_t
+    createdPages() const
+    {
+        return static_cast<int64_t>(pages_.size());
+    }
+    int64_t inUsePages() const { return inUse_; }
+    /** High-water mark of inUsePages() over the pool's lifetime. */
+    int64_t peakInUsePages() const { return peakInUse_; }
+    /** Pages still claimable: parked free pages plus unmaterialized
+     *  headroom under the cap (saturates for unbounded pools). */
+    int64_t
+    freePages() const
+    {
+        if (maxPages_ == 0)
+            return std::numeric_limits<int64_t>::max();
+        return maxPages_ - inUse_;
+    }
+
+  private:
+    int64_t pageBytes_;
+    int64_t maxPages_;
+    int64_t inUse_ = 0;
+    int64_t peakInUse_ = 0;
+    std::vector<std::unique_ptr<uint8_t[]>> pages_;
+    /** LIFO free list: back() is the next page handed out. */
+    std::vector<KvPageId> freeList_;
+    /** One flag per created page (double-free detection). */
+    std::vector<uint8_t> allocated_;
+};
+
+} // namespace mant
+
+#endif // MANT_CORE_KV_PAGES_H_

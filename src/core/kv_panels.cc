@@ -1,7 +1,10 @@
 #include "core/kv_panels.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace mant {
 
@@ -42,9 +45,107 @@ metaFrom(std::span<const float> scales, std::span<const uint8_t> coeff,
     return m;
 }
 
+/** Round a block size up so every block starts float-aligned (the
+ *  scales region sits at block offset 0). */
+int64_t
+roundUp4(int64_t bytes)
+{
+    return (bytes + 3) / 4 * 4;
+}
+
+int64_t
+kPanelCodeBytes(int64_t headDim, int64_t groupSize)
+{
+    const int64_t gs = effectiveGroupSize(headDim, groupSize);
+    const int64_t groups = groupsPerRowFor(headDim, groupSize);
+    int64_t bytes = 0;
+    for (int64_t g = 0; g < groups; ++g) {
+        const int64_t len = std::min(gs, headDim - g * gs);
+        bytes += (len + 1) / 2 * kTilePanelCols;
+    }
+    return bytes;
+}
+
 } // namespace
 
-KPanelStore::KPanelStore(int64_t headDim, int64_t groupSize)
+namespace detail {
+
+void
+PagedBlockList::configure(int64_t blockBytes, KvPageAllocator *alloc)
+{
+    blockBytes_ = blockBytes;
+    if (alloc == nullptr) {
+        owned_ = std::make_unique<KvPageAllocator>(blockBytes, 0);
+        alloc_ = owned_.get();
+        blocksPerPage_ = 1;
+        return;
+    }
+    owned_.reset();
+    alloc_ = alloc;
+    blocksPerPage_ = alloc->pageBytes() / blockBytes;
+    if (blocksPerPage_ < 1)
+        throw std::invalid_argument(
+            "paged panel store: pool page (" +
+            std::to_string(alloc->pageBytes()) +
+            " bytes) cannot hold one panel block (" +
+            std::to_string(blockBytes) + " bytes)");
+}
+
+PagedBlockList::PagedBlockList(PagedBlockList &&other) noexcept
+    : blockBytes_(other.blockBytes_),
+      blocksPerPage_(other.blocksPerPage_), blocks_(other.blocks_),
+      alloc_(other.alloc_), owned_(std::move(other.owned_)),
+      pageIds_(std::move(other.pageIds_))
+{
+    other.blocks_ = 0;
+    other.alloc_ = nullptr;
+    other.pageIds_.clear();
+}
+
+PagedBlockList &
+PagedBlockList::operator=(PagedBlockList &&other) noexcept
+{
+    if (this != &other) {
+        releasePages();
+        blockBytes_ = other.blockBytes_;
+        blocksPerPage_ = other.blocksPerPage_;
+        blocks_ = other.blocks_;
+        alloc_ = other.alloc_;
+        owned_ = std::move(other.owned_);
+        pageIds_ = std::move(other.pageIds_);
+        other.blocks_ = 0;
+        other.alloc_ = nullptr;
+        other.pageIds_.clear();
+    }
+    return *this;
+}
+
+uint8_t *
+PagedBlockList::claimBlock()
+{
+    assert(alloc_ != nullptr &&
+           "PagedBlockList: claimBlock on an unconfigured list");
+    if (blocks_ % blocksPerPage_ == 0)
+        pageIds_.push_back(alloc_->alloc());
+    uint8_t *blk = blockPtr(blocks_);
+    std::memset(blk, 0, static_cast<size_t>(blockBytes_));
+    ++blocks_;
+    return blk;
+}
+
+void
+PagedBlockList::releasePages()
+{
+    for (size_t i = pageIds_.size(); i > 0; --i)
+        alloc_->free(pageIds_[i - 1]);
+    pageIds_.clear();
+    blocks_ = 0;
+}
+
+} // namespace detail
+
+KPanelStore::KPanelStore(int64_t headDim, int64_t groupSize,
+                         KvPageAllocator *alloc)
     : headDim_(headDim),
       groupSize_(effectiveGroupSize(headDim, groupSize)),
       groupsPerRow_(groupsPerRowFor(headDim, groupSize))
@@ -61,6 +162,28 @@ KPanelStore::KPanelStore(int64_t headDim, int64_t groupSize)
             (len + 1) / 2 * kTilePanelCols;
     }
     panelBytes_ = groupByteOff_[static_cast<size_t>(groupsPerRow_)];
+
+    const int64_t metaCount = groupsPerRow_ * kTilePanelCols;
+    coeffOff_ = metaCount * static_cast<int64_t>(sizeof(float));
+    isIntOff_ = coeffOff_ + metaCount;
+    codesOff_ = isIntOff_ + metaCount;
+    flatOff_ = codesOff_ + panelBytes_;
+    blocks_.configure(roundUp4(flatOff_ + kTilePanelCols * headDim_),
+                      alloc);
+}
+
+int64_t
+KPanelStore::blockBytesFor(int64_t headDim, int64_t groupSize)
+{
+    if (headDim <= 0)
+        throw std::invalid_argument(
+            "KPanelStore: headDim must be positive");
+    const int64_t metaCount =
+        groupsPerRowFor(headDim, groupSize) * kTilePanelCols;
+    return roundUp4(metaCount *
+                        (static_cast<int64_t>(sizeof(float)) + 2) +
+                    kPanelCodeBytes(headDim, groupSize) +
+                    kTilePanelCols * headDim);
 }
 
 void
@@ -72,36 +195,38 @@ KPanelStore::appendRow(std::span<const int8_t> codes,
         throw std::invalid_argument("KPanelStore: append size mismatch");
 
     const int c = static_cast<int>(rows_ % kTilePanelCols);
+    uint8_t *blk;
     if (c == 0) {
-        // First column of a new panel: allocate its byte and meta
-        // blocks. Not-yet-appended columns read as INT / scale 0.
-        codes_.resize(codes_.size() + static_cast<size_t>(panelBytes_),
-                      0);
-        const size_t metaGrow =
-            static_cast<size_t>(groupsPerRow_ * kTilePanelCols);
-        scales_.resize(scales_.size() + metaGrow, 0.0f);
-        coeff_.resize(coeff_.size() + metaGrow, 0);
-        isInt_.resize(isInt_.size() + metaGrow, 1);
+        // First column of a new panel: claim its block. claimBlock()
+        // zero-fills; isInt defaults to 1 so not-yet-appended columns
+        // read as INT / scale 0.
+        blk = blocks_.claimBlock();
+        std::memset(blk + isIntOff_, 1,
+                    static_cast<size_t>(groupsPerRow_ * kTilePanelCols));
+    } else {
+        blk = blocks_.blockPtr(rows_ / kTilePanelCols);
     }
-    const int64_t panel = rows_ / kTilePanelCols;
+
+    float *scales = reinterpret_cast<float *>(blk);
     for (int64_t g = 0; g < groupsPerRow_; ++g) {
         const MantSelection &sel = sels[static_cast<size_t>(g)];
-        const size_t mi =
-            tileMetaIndex(panel, g) + static_cast<size_t>(c);
-        scales_[mi] = sel.scale;
-        coeff_[mi] = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
-        isInt_[mi] = sel.isInt ? 1 : 0;
+        const int64_t mi = g * kTilePanelCols + c;
+        scales[mi] = sel.scale;
+        blk[coeffOff_ + mi] =
+            static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+        blk[isIntOff_ + mi] = sel.isInt ? 1 : 0;
 
         const int64_t k0 = g * groupSize_;
         const int64_t len = std::min(groupSize_, headDim_ - k0);
-        uint8_t *dst = codes_.data() + panel * panelBytes_ +
+        uint8_t *dst = blk + codesOff_ +
                        groupByteOff_[static_cast<size_t>(g)];
         for (int64_t i = 0; i < len; ++i)
             writeNibble(dst, i, c,
                         codeNibble(codes[static_cast<size_t>(k0 + i)],
                                    sel.isInt));
     }
-    flat_.insert(flat_.end(), codes.begin(), codes.end());
+    std::memcpy(blk + flatOff_ + c * headDim_, codes.data(),
+                static_cast<size_t>(headDim_));
     ++rows_;
 }
 
@@ -118,14 +243,11 @@ void
 KPanelStore::reset()
 {
     rows_ = 0;
-    codes_.clear();
-    scales_.clear();
-    coeff_.clear();
-    isInt_.clear();
-    flat_.clear();
+    blocks_.releasePages();
 }
 
-VPanelStore::VPanelStore(int64_t channels, int64_t window)
+VPanelStore::VPanelStore(int64_t channels, int64_t window,
+                         KvPageAllocator *alloc)
     : channels_(channels), window_(window),
       panels_((channels + kTilePanelCols - 1) / kTilePanelCols),
       tileBytes_((window + 1) / 2 * kTilePanelCols)
@@ -133,6 +255,27 @@ VPanelStore::VPanelStore(int64_t channels, int64_t window)
     if (channels <= 0 || window <= 0)
         throw std::invalid_argument(
             "VPanelStore: channels/window must be positive");
+    const int64_t metaCount = panels_ * kTilePanelCols;
+    coeffOff_ = metaCount * static_cast<int64_t>(sizeof(float));
+    isIntOff_ = coeffOff_ + metaCount;
+    codesOff_ = isIntOff_ + metaCount;
+    flatOff_ = codesOff_ + panels_ * tileBytes_;
+    blocks_.configure(roundUp4(flatOff_ + window_ * channels_), alloc);
+}
+
+int64_t
+VPanelStore::blockBytesFor(int64_t channels, int64_t window)
+{
+    if (channels <= 0 || window <= 0)
+        throw std::invalid_argument(
+            "VPanelStore: channels/window must be positive");
+    const int64_t panels =
+        (channels + kTilePanelCols - 1) / kTilePanelCols;
+    const int64_t metaCount = panels * kTilePanelCols;
+    return roundUp4(metaCount *
+                        (static_cast<int64_t>(sizeof(float)) + 2) +
+                    panels * ((window + 1) / 2 * kTilePanelCols) +
+                    window * channels);
 }
 
 void
@@ -144,42 +287,35 @@ VPanelStore::appendWindow(std::span<const int8_t> colCodes,
         throw std::invalid_argument(
             "VPanelStore: append size mismatch");
 
-    const size_t codeBase = codes_.size();
-    codes_.resize(codeBase +
-                      static_cast<size_t>(panels_ * tileBytes_),
-                  0);
-    const size_t metaGrow =
-        static_cast<size_t>(panels_ * kTilePanelCols);
-    // Padded channel columns stay INT / scale 0.
-    scales_.resize(scales_.size() + metaGrow, 0.0f);
-    coeff_.resize(coeff_.size() + metaGrow, 0);
-    isInt_.resize(isInt_.size() + metaGrow, 1);
+    // One block per finalized window. claimBlock() zero-fills; isInt
+    // defaults to 1 so padded channel columns read as INT / scale 0.
+    uint8_t *blk = blocks_.claimBlock();
+    std::memset(blk + isIntOff_, 1,
+                static_cast<size_t>(panels_ * kTilePanelCols));
 
-    const int64_t w = windows_;
+    float *scales = reinterpret_cast<float *>(blk);
     for (int64_t ch = 0; ch < channels_; ++ch) {
         const MantSelection &sel = sels[static_cast<size_t>(ch)];
         const int64_t panel = ch / kTilePanelCols;
         const int c = static_cast<int>(ch % kTilePanelCols);
-        const size_t mi =
-            tileMetaIndex(w, panel) + static_cast<size_t>(c);
-        scales_[mi] = sel.scale;
-        coeff_[mi] = static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
-        isInt_[mi] = sel.isInt ? 1 : 0;
+        const int64_t mi = panel * kTilePanelCols + c;
+        scales[mi] = sel.scale;
+        blk[coeffOff_ + mi] =
+            static_cast<uint8_t>(sel.isInt ? 0 : sel.a);
+        blk[isIntOff_ + mi] = sel.isInt ? 1 : 0;
 
         const int8_t *col = colCodes.data() + ch * window_;
-        uint8_t *dst =
-            codes_.data() + (w * panels_ + panel) * tileBytes_;
+        uint8_t *dst = blk + codesOff_ + panel * tileBytes_;
         for (int64_t i = 0; i < window_; ++i)
             writeNibble(dst, i, c, codeNibble(col[i], sel.isInt));
     }
 
     // Flat view is row-major (position, channel), matching
     // reconstruct(): transpose the channel-major input.
-    const size_t flatBase = flat_.size();
-    flat_.resize(flatBase + static_cast<size_t>(window_ * channels_));
+    int8_t *flat = reinterpret_cast<int8_t *>(blk + flatOff_);
     for (int64_t r = 0; r < window_; ++r)
         for (int64_t ch = 0; ch < channels_; ++ch)
-            flat_[flatBase + static_cast<size_t>(r * channels_ + ch)] =
+            flat[r * channels_ + ch] =
                 colCodes[static_cast<size_t>(ch * window_ + r)];
     ++windows_;
 }
@@ -197,11 +333,7 @@ void
 VPanelStore::reset()
 {
     windows_ = 0;
-    codes_.clear();
-    scales_.clear();
-    coeff_.clear();
-    isInt_.clear();
-    flat_.clear();
+    blocks_.releasePages();
 }
 
 } // namespace mant

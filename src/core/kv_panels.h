@@ -1,7 +1,8 @@
 /**
  * @file
  * Append-only panel stores for quantized KV-cache codes — the storage
- * half of the fused integer attention path.
+ * half of the fused integer attention path — backed by fixed-size
+ * pages from a KvPageAllocator (core/kv_pages.h).
  *
  * MantPackedTiles repacks a finished weight matrix once; a KV cache
  * grows one position per decode step, so its packed layout must accept
@@ -13,39 +14,123 @@
  *
  *  - KPanelStore (K cache, spatial groups along headDim): panel
  *    columns are sequence positions. Appending position r touches only
- *    column r % 8 of panel r / 8 — a new panel's byte/meta block is
- *    allocated when its first column arrives, and existing bytes hold
- *    other columns' nibbles, never this one's. QK^T over positions
- *    p..p+7 is then one microkernel call per headDim group.
+ *    column r % 8 of panel r / 8 — a new panel's block is claimed when
+ *    its first column arrives, and existing bytes hold other columns'
+ *    nibbles, never this one's. QK^T over positions p..p+7 is then one
+ *    microkernel call per headDim group.
  *
  *  - VPanelStore (V cache, temporal groups along the sequence): panel
  *    columns are channels, so the panel count is fixed at construction
- *    and every finalized process window appends one complete group
- *    block (all panels × one group) at the end of the code vector.
- *    P·V over one window is one microkernel call per 8 channels.
+ *    and every finalized process window claims one complete block (all
+ *    panels × one group). P·V over one window is one microkernel call
+ *    per 8 channels.
  *
- * Each store also keeps the flat one-code-per-byte row view (MANT
- * groups as sign-magnitude codes, INT groups as two's-complement int8,
- * the MantQuantizedMatrix::rowCodes() convention): the packed panels
- * feed the fused kernels, the flat codes feed the attentionReference
- * oracle, and round-trip tests pin the two representations to each
- * other. Neither store is the model-facing value storage — the
- * dequantized floats stay where they were (HeadKvCache / the temporal
- * quantizer); these are the integer twins the fused path consumes.
+ * Storage is paged, not monolithic: the unit of growth is a fixed-size
+ * *panel block* holding everything one panel (K) or one window (V)
+ * needs — tile meta, packed codes, and the flat one-code-per-byte row
+ * view the reference oracle reads:
+ *
+ *     [ scales f32 ×(meta) | coeff u8 ×(meta) | isInt u8 ×(meta)
+ *       | packed codes | flat row codes ]      (size rounded up to 4)
+ *
+ * Blocks are claimed from a KvPageAllocator whose page size is a whole
+ * multiple of the block size; with no allocator supplied the store
+ * spins up a private unbounded one-block-per-page pool, so there is a
+ * single code path. Claimed blocks never move (appends stay
+ * placement-only, pointers handed to the kernels stay stable) and a
+ * recycled page's stale bytes are re-initialized on claim: codes and
+ * scales to 0, isInt to 1, so not-yet-appended K columns and padded V
+ * channels combine to exactly zero in the fused kernels. reset() gives
+ * every page back to the pool in reverse claim order, so a reset +
+ * identical refill re-claims identical pages (LIFO free list) —
+ * byte-stable placement, which keeps pooled-slot reuse deterministic.
+ *
+ * Neither store is the model-facing value storage — the dequantized
+ * floats stay where they were (HeadKvCache / the temporal quantizer);
+ * these are the integer twins the fused path consumes.
  */
 
 #ifndef MANT_CORE_KV_PANELS_H_
 #define MANT_CORE_KV_PANELS_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/coeff_search.h"
 #include "core/fused_gemm.h"
+#include "core/kv_pages.h"
 #include "core/simd.h"
 
 namespace mant {
+
+namespace detail {
+
+/**
+ * Page-backed list of fixed-size blocks: the growth engine shared by
+ * both panel stores. Owns the page ids it claims (never the allocator
+ * itself unless self-pooled) and returns them on reset / destruction /
+ * move-assignment-over — pages cannot leak by construction.
+ */
+class PagedBlockList
+{
+  public:
+    PagedBlockList() = default;
+
+    /** Bind geometry + pool. With alloc == nullptr a private unbounded
+     *  one-block-per-page allocator is created. Throws
+     *  std::invalid_argument when a shared pool's page cannot hold at
+     *  least one block. */
+    void configure(int64_t blockBytes, KvPageAllocator *alloc);
+
+    ~PagedBlockList() { releasePages(); }
+    PagedBlockList(PagedBlockList &&other) noexcept;
+    PagedBlockList &operator=(PagedBlockList &&other) noexcept;
+    PagedBlockList(const PagedBlockList &) = delete;
+    PagedBlockList &operator=(const PagedBlockList &) = delete;
+
+    /** Claim the next block (zero-filled). Throws KvPoolExhausted when
+     *  the shared pool's cap is hit; the list is unchanged then. */
+    uint8_t *claimBlock();
+
+    uint8_t *
+    blockPtr(int64_t block)
+    {
+        return alloc_->data(
+                   pageIds_[static_cast<size_t>(block / blocksPerPage_)]) +
+               (block % blocksPerPage_) * blockBytes_;
+    }
+    const uint8_t *
+    blockPtr(int64_t block) const
+    {
+        return alloc_->data(
+                   pageIds_[static_cast<size_t>(block / blocksPerPage_)]) +
+               (block % blocksPerPage_) * blockBytes_;
+    }
+
+    int64_t blocks() const { return blocks_; }
+    int64_t pagesHeld() const
+    {
+        return static_cast<int64_t>(pageIds_.size());
+    }
+
+    /** Free every claimed page (reverse claim order → a LIFO pool
+     *  hands the same pages back on an identical refill). */
+    void releasePages();
+
+  private:
+    int64_t blockBytes_ = 0;
+    int64_t blocksPerPage_ = 1;
+    int64_t blocks_ = 0;
+    KvPageAllocator *alloc_ = nullptr;
+    /** Private pool when none was supplied; on the heap so blockPtr()
+     *  results survive moves of this list. */
+    std::unique_ptr<KvPageAllocator> owned_;
+    std::vector<KvPageId> pageIds_;
+};
+
+} // namespace detail
 
 /**
  * Panel store of K-cache codes: positions are panel columns, groups
@@ -61,14 +146,23 @@ class KPanelStore
      * @param headDim   Elements per K row.
      * @param groupSize Quantization group size along headDim
      *                  (non-positive means one whole-row group).
+     * @param alloc     Shared page pool (must outlive the store), or
+     *                  nullptr for a private unbounded pool.
      */
-    KPanelStore(int64_t headDim, int64_t groupSize);
+    KPanelStore(int64_t headDim, int64_t groupSize,
+                KvPageAllocator *alloc = nullptr);
+
+    /** Bytes of one panel block for this geometry — what a shared
+     *  pool's page size must be a multiple of. */
+    static int64_t blockBytesFor(int64_t headDim, int64_t groupSize);
 
     /**
      * Append one position's codes (flat, headDim bytes, rowCodes()
      * convention) with its per-group selections. Throws
      * std::invalid_argument on length mismatch or an INT code outside
-     * [-7, 7] (sign-magnitude nibbles cannot represent -8).
+     * [-7, 7] (sign-magnitude nibbles cannot represent -8), and
+     * KvPoolExhausted when a new panel block is due but the shared
+     * pool is out of pages (the store is unchanged then).
      */
     void appendRow(std::span<const int8_t> codes,
                    std::span<const MantSelection> sels);
@@ -84,11 +178,14 @@ class KPanelStore
         return (rows_ + kTilePanelCols - 1) / kTilePanelCols;
     }
 
+    /** Pool pages this store currently holds. */
+    int64_t pagesHeld() const { return blocks_.pagesHeld(); }
+
     /** Packed code block of one (panel, group) tile. */
     const uint8_t *
     tileCodes(int64_t panel, int64_t group) const
     {
-        return codes_.data() + panel * panelBytes_ +
+        return blocks_.blockPtr(panel) + codesOff_ +
                groupByteOff_[static_cast<size_t>(group)];
     }
 
@@ -98,19 +195,22 @@ class KPanelStore
     std::span<const float>
     tileScales(int64_t panel, int64_t group) const
     {
-        return {scales_.data() + tileMetaIndex(panel, group),
+        return {reinterpret_cast<const float *>(blocks_.blockPtr(panel)) +
+                    group * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
     std::span<const uint8_t>
     tileCoeffs(int64_t panel, int64_t group) const
     {
-        return {coeff_.data() + tileMetaIndex(panel, group),
+        return {blocks_.blockPtr(panel) + coeffOff_ +
+                    group * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
     std::span<const uint8_t>
     tileIsInt(int64_t panel, int64_t group) const
     {
-        return {isInt_.data() + tileMetaIndex(panel, group),
+        return {blocks_.blockPtr(panel) + isIntOff_ +
+                    group * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
 
@@ -118,41 +218,35 @@ class KPanelStore
     std::span<const int8_t>
     rowCodes(int64_t row) const
     {
-        return {flat_.data() + row * headDim_,
+        return {reinterpret_cast<const int8_t *>(
+                    blocks_.blockPtr(row / kTilePanelCols)) +
+                    flatOff_ + (row % kTilePanelCols) * headDim_,
                 static_cast<size_t>(headDim_)};
     }
 
     /** Metadata of one (row, group), as stored in the tile meta. */
     MantGroupMeta metaAt(int64_t row, int64_t group) const;
 
-    /** Drop all rows, keeping storage capacity (pooled-slot reuse). */
+    /** Drop all rows and give every page back to the pool. */
     void reset();
 
   private:
-    size_t
-    tileMetaIndex(int64_t panel, int64_t group) const
-    {
-        return static_cast<size_t>(
-            (panel * groupsPerRow_ + group) * kTilePanelCols);
-    }
-
     int64_t headDim_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
     int64_t panelBytes_ = 0;
+    /** Block-internal byte offsets (scales sit at offset 0). */
+    int64_t coeffOff_ = 0, isIntOff_ = 0, codesOff_ = 0, flatOff_ = 0;
     int64_t rows_ = 0;
-    std::vector<uint8_t> codes_;
-    std::vector<float> scales_;
-    std::vector<uint8_t> coeff_;
-    std::vector<uint8_t> isInt_;
-    std::vector<int8_t> flat_;
-    /** Byte offset of each group's code block within a panel. */
+    detail::PagedBlockList blocks_;
+    /** Byte offset of each group's code block within the panel code
+     *  region. */
     std::vector<int64_t> groupByteOff_;
 };
 
 /**
  * Panel store of finalized V-cache codes: channels are panel columns,
  * groups are the temporal process windows. One appendWindow() per
- * finalizeWindow() — the window's codes arrive complete, so the group
- * block is written once and never touched again.
+ * finalizeWindow() — the window's codes arrive complete, so the block
+ * is written once and never touched again.
  */
 class VPanelStore
 {
@@ -162,15 +256,22 @@ class VPanelStore
     /**
      * @param channels Head dimension (panel columns; fixed).
      * @param window   Process window size (elements per group).
+     * @param alloc    Shared page pool (must outlive the store), or
+     *                 nullptr for a private unbounded pool.
      */
-    VPanelStore(int64_t channels, int64_t window);
+    VPanelStore(int64_t channels, int64_t window,
+                KvPageAllocator *alloc = nullptr);
+
+    /** Bytes of one window block for this geometry. */
+    static int64_t blockBytesFor(int64_t channels, int64_t window);
 
     /**
      * Append one finalized window. `colCodes` is channel-major:
      * channel c's window-length code column starts at c * window
      * (rowCodes() convention per column). `sels` is one selection per
      * channel. Throws std::invalid_argument on size mismatch or an
-     * INT code outside [-7, 7].
+     * INT code outside [-7, 7], and KvPoolExhausted when the shared
+     * pool is out of pages (the store is unchanged then).
      */
     void appendWindow(std::span<const int8_t> colCodes,
                       std::span<const MantSelection> sels);
@@ -182,12 +283,14 @@ class VPanelStore
     /** Channel panels: ceil(channels / kTilePanelCols), fixed. */
     int64_t panels() const { return panels_; }
 
+    /** Pool pages this store currently holds. */
+    int64_t pagesHeld() const { return blocks_.pagesHeld(); }
+
     /** Packed code block of one (window, panel) tile. */
     const uint8_t *
     tileCodes(int64_t window, int64_t panel) const
     {
-        return codes_.data() +
-               (window * panels_ + panel) * tileBytes_;
+        return blocks_.blockPtr(window) + codesOff_ + panel * tileBytes_;
     }
 
     /** Per-tile metadata, kTilePanelCols entries each. Padded channel
@@ -195,53 +298,53 @@ class VPanelStore
     std::span<const float>
     tileScales(int64_t window, int64_t panel) const
     {
-        return {scales_.data() + tileMetaIndex(window, panel),
+        return {reinterpret_cast<const float *>(
+                    blocks_.blockPtr(window)) +
+                    panel * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
     std::span<const uint8_t>
     tileCoeffs(int64_t window, int64_t panel) const
     {
-        return {coeff_.data() + tileMetaIndex(window, panel),
+        return {blocks_.blockPtr(window) + coeffOff_ +
+                    panel * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
     std::span<const uint8_t>
     tileIsInt(int64_t window, int64_t panel) const
     {
-        return {isInt_.data() + tileMetaIndex(window, panel),
+        return {blocks_.blockPtr(window) + isIntOff_ +
+                    panel * kTilePanelCols,
                 static_cast<size_t>(kTilePanelCols)};
     }
 
     /** Flat codes of one finalized row (position), across channels —
-     *  the reference-oracle view, row-major like reconstruct(). */
+     *  the reference-oracle view, row-major like reconstruct(). A
+     *  window's rows are contiguous within its block, so striding
+     *  from rowCodes(w * window()) by channels() stays valid for the
+     *  whole window. */
     std::span<const int8_t>
     rowCodes(int64_t row) const
     {
-        return {flat_.data() + row * channels_,
+        return {reinterpret_cast<const int8_t *>(
+                    blocks_.blockPtr(row / window_)) +
+                    flatOff_ + (row % window_) * channels_,
                 static_cast<size_t>(channels_)};
     }
 
     /** Metadata of (window, channel), as stored in the tile meta. */
     MantGroupMeta metaAt(int64_t window, int64_t channel) const;
 
-    /** Drop all windows, keeping storage capacity. */
+    /** Drop all windows and give every page back to the pool. */
     void reset();
 
   private:
-    size_t
-    tileMetaIndex(int64_t window, int64_t panel) const
-    {
-        return static_cast<size_t>(
-            (window * panels_ + panel) * kTilePanelCols);
-    }
-
     int64_t channels_ = 0, window_ = 0, panels_ = 0;
     int64_t tileBytes_ = 0;
+    /** Block-internal byte offsets (scales sit at offset 0). */
+    int64_t coeffOff_ = 0, isIntOff_ = 0, codesOff_ = 0, flatOff_ = 0;
     int64_t windows_ = 0;
-    std::vector<uint8_t> codes_;
-    std::vector<float> scales_;
-    std::vector<uint8_t> coeff_;
-    std::vector<uint8_t> isInt_;
-    std::vector<int8_t> flat_;
+    detail::PagedBlockList blocks_;
 };
 
 } // namespace mant

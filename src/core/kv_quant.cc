@@ -105,7 +105,8 @@ encodeSelectedCodes(const SimdOps &ops, std::span<const float> group,
 
 TemporalVQuantizer::TemporalVQuantizer(int64_t channels, int64_t window,
                                        const VarianceSelector &selector,
-                                       bool fp16Scale, bool captureCodes)
+                                       bool fp16Scale, bool captureCodes,
+                                       KvPageAllocator *pageAlloc)
     : channels_(channels), window_(window), selector_(selector),
       fp16Scale_(fp16Scale),
       channelScales_(static_cast<size_t>(channels), 1.0f),
@@ -117,7 +118,7 @@ TemporalVQuantizer::TemporalVQuantizer(int64_t channels, int64_t window,
         throw std::invalid_argument(
             "TemporalVQuantizer: channels/window must be positive");
     if (captureCodes_) {
-        panels_ = VPanelStore(channels, window);
+        panels_ = VPanelStore(channels, window, pageAlloc);
         colCodes_.resize(static_cast<size_t>(window * channels), 0);
     }
 }
@@ -146,6 +147,7 @@ TemporalVQuantizer::deriveChannelScales(const Tensor &v)
             s = 1.0f;
         channelScales_[static_cast<size_t>(c)] = s;
     }
+    scalesDerived_ = true;
 }
 
 void
@@ -208,6 +210,22 @@ TemporalVQuantizer::pushDecode(std::span<const float> v)
 {
     if (static_cast<int64_t>(v.size()) != channels_)
         throw std::invalid_argument("pushDecode: bad vector length");
+
+    if (!scalesDerived_) {
+        // First row ever pushed seeds the channel scales — the same
+        // absmax/127 rule deriveChannelScales applies, restricted to
+        // the rows seen so far (exactly this one). Keeps row-by-row
+        // prompt folding free of look-ahead.
+        for (int64_t c = 0; c < channels_; ++c) {
+            float s = std::fabs(v[static_cast<size_t>(c)]) / 127.0f;
+            if (fp16Scale_)
+                s = fp16Round(s);
+            if (s == 0.0f)
+                s = 1.0f;
+            channelScales_[static_cast<size_t>(c)] = s;
+        }
+        scalesDerived_ = true;
+    }
 
     int8_t *row = pending_.data() +
                   static_cast<int64_t>(pendingFill_) * channels_;

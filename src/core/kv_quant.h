@@ -73,6 +73,13 @@ void encodeSelectedCodes(const SimdOps &ops,
  * rows via pushPrefill() (which also derives the channel-wise INT8
  * scales), then push one decode vector per step with pushDecode().
  * Reads see finalized 4-bit MANT rows plus the pending INT8 window.
+ *
+ * Alternatively feed *every* row through pushDecode(): the first row
+ * then seeds the channel scales (absmax of that row / 127, the same
+ * rule pushPrefill applies to its whole matrix). This is the
+ * chunked-prefill path — a prompt folded row-by-row takes decisions
+ * that depend only on rows already seen, so any chunking of the same
+ * rows produces bit-identical state.
  */
 class TemporalVQuantizer
 {
@@ -86,11 +93,16 @@ class TemporalVQuantizer
      *                     every finalized window in a VPanelStore
      *                     (the fused-attention operand). The
      *                     dequantized floats are kept either way.
+     * @param pageAlloc    Shared page pool for the captured panel
+     *                     store (must outlive the quantizer), or
+     *                     nullptr for a private unbounded pool.
+     *                     Ignored without captureCodes.
      */
     TemporalVQuantizer(int64_t channels, int64_t window,
                        const VarianceSelector &selector,
                        bool fp16Scale = true,
-                       bool captureCodes = false);
+                       bool captureCodes = false,
+                       KvPageAllocator *pageAlloc = nullptr);
 
     /**
      * Ingest the prefill V matrix (rows = positions). Full groups of
@@ -100,7 +112,9 @@ class TemporalVQuantizer
      */
     void pushPrefill(const Tensor &v);
 
-    /** Ingest one decode-step V vector (length = channels). */
+    /** Ingest one decode-step V vector (length = channels). When no
+     *  prefill (or earlier decode row) has seeded the channel scales
+     *  yet, this row derives them first — see the class comment. */
     void pushDecode(std::span<const float> v);
 
     /** Total rows visible (finalized + pending). */
@@ -168,8 +182,10 @@ class TemporalVQuantizer
     const VarianceSelector &selector_;
     bool fp16Scale_;
 
-    /** Channel-wise INT8 scales ("scales" in Fig. 8), from prefill. */
+    /** Channel-wise INT8 scales ("scales" in Fig. 8), derived from
+     *  prefill or from the first decode row. */
     std::vector<float> channelScales_;
+    bool scalesDerived_ = false;
 
     /** Pending window: row-major (window, channels) INT8 codes. */
     std::vector<int8_t> pending_;

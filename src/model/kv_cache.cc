@@ -10,9 +10,10 @@ namespace mant {
 
 HeadKvCache::HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
                          const VarianceSelector *selector,
-                         bool captureCodes)
+                         bool captureCodes, KvPageAllocator *pageAlloc)
     : method_(method), headDim_(headDim), groupSize_(groupSize),
-      selector_(selector), captureCodes_(captureCodes)
+      selector_(selector), captureCodes_(captureCodes),
+      pageAlloc_(pageAlloc)
 {
     if (method_ == KvMethod::Int4) {
         MantSelection int_sel;
@@ -31,10 +32,10 @@ HeadKvCache::HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
     if (method_ != KvMethod::Fp16) {
         vQuant_ = std::make_unique<TemporalVQuantizer>(
             headDim_, vWindow(), *selector_, /*fp16Scale=*/true,
-            captureCodes_);
+            captureCodes_, pageAlloc_);
     }
     if (captureCodes_) {
-        kPanels_ = KPanelStore(headDim_, groupSize_);
+        kPanels_ = KPanelStore(headDim_, groupSize_, pageAlloc_);
         kCodes_.resize(static_cast<size_t>(headDim_), 0);
     }
 }
@@ -60,6 +61,9 @@ HeadKvCache::vQuant() const
 void
 HeadKvCache::appendK(std::span<const float> k)
 {
+    assert(!retired_ && "HeadKvCache::appendK: cache is retired");
+    if (retired_)
+        throw std::logic_error("HeadKvCache::appendK: cache is retired");
     if (static_cast<int64_t>(k.size()) != headDim_)
         throw std::invalid_argument("appendK: bad vector length");
     const size_t base = kData_.size();
@@ -84,6 +88,10 @@ HeadKvCache::appendK(std::span<const float> k)
 void
 HeadKvCache::prefillV(const Tensor &v)
 {
+    assert(!retired_ && "HeadKvCache::prefillV: cache is retired");
+    if (retired_)
+        throw std::logic_error(
+            "HeadKvCache::prefillV: cache is retired");
     if (v.shape().rank() != 2 || v.shape().dim(1) != headDim_)
         throw std::invalid_argument("prefillV: bad V shape");
     if (method_ == KvMethod::Fp16) {
@@ -100,6 +108,9 @@ HeadKvCache::prefillV(const Tensor &v)
 void
 HeadKvCache::appendV(std::span<const float> v)
 {
+    assert(!retired_ && "HeadKvCache::appendV: cache is retired");
+    if (retired_)
+        throw std::logic_error("HeadKvCache::appendV: cache is retired");
     if (static_cast<int64_t>(v.size()) != headDim_)
         throw std::invalid_argument("appendV: bad vector length");
     if (method_ == KvMethod::Fp16) {
@@ -145,8 +156,29 @@ HeadKvCache::reset()
     if (method_ != KvMethod::Fp16) {
         vQuant_ = std::make_unique<TemporalVQuantizer>(
             headDim_, vWindow(), *selector_, /*fp16Scale=*/true,
-            captureCodes_);
+            captureCodes_, pageAlloc_);
     }
+    retired_ = false;
+}
+
+void
+HeadKvCache::retire()
+{
+    // reset() already returns every panel-store page to the pool (the
+    // recreated V quantizer holds no pages until its first window
+    // finalizes); retirement just flips the cache read-only-dead until
+    // the slot is recycled.
+    reset();
+    retired_ = true;
+}
+
+int64_t
+HeadKvCache::pagesHeld() const
+{
+    int64_t pages = kPanels_.pagesHeld();
+    if (vQuant_ && captureCodes_)
+        pages += vQuant_->codePanels().pagesHeld();
+    return pages;
 }
 
 } // namespace mant

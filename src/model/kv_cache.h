@@ -38,12 +38,24 @@ class HeadKvCache
      *                     the operands of the fused integer attention
      *                     path. Throws std::invalid_argument for FP16
      *                     (there are no codes to capture).
+     * @param pageAlloc    Shared page pool backing the captured panel
+     *                     stores (must outlive the cache), or nullptr
+     *                     for private unbounded pools. Ignored without
+     *                     captureCodes.
      */
     HeadKvCache(KvMethod method, int64_t headDim, int64_t groupSize,
                 const VarianceSelector *selector,
-                bool captureCodes = false);
+                bool captureCodes = false,
+                KvPageAllocator *pageAlloc = nullptr);
 
-    /** Append one K vector (quantized per method, spatial dataflow). */
+    /**
+     * Append one K vector (quantized per method, spatial dataflow).
+     *
+     * Contract: the cache must not be retired. Appending to a retired
+     * cache is a caller bug (its pages are back in the shared pool) —
+     * debug builds abort on the assert, release builds throw
+     * std::logic_error. Same contract for prefillV() and appendV().
+     */
     void appendK(std::span<const float> k);
 
     /** Bulk-ingest the prefill V matrix (rows = positions). */
@@ -99,8 +111,25 @@ class HeadKvCache
      * length without reallocating, which is what lets a serving layer
      * pool and recycle stream slots. Subsequent appends behave exactly
      * as on a freshly constructed cache (no stale selections or rows).
+     * Every panel-store page goes back to its pool, and a retired
+     * cache is revived for reuse.
      */
     void reset();
+
+    /**
+     * Retire the cache: drop all rows, return every panel-store page
+     * to the shared pool, and reject further appends (assert in debug,
+     * std::logic_error in release) until reset() revives it. The
+     * serving layer calls this when a stream finishes so its pages are
+     * claimable before the slot is next recycled.
+     */
+    void retire();
+
+    /** True between retire() and the next reset(). */
+    bool retired() const { return retired_; }
+
+    /** Pool pages currently held by the captured panel stores. */
+    int64_t pagesHeld() const;
 
   private:
     KvMethod method_;
@@ -125,6 +154,10 @@ class HeadKvCache
     bool captureCodes_ = false;
     KPanelStore kPanels_;
     std::vector<int8_t> kCodes_;
+
+    /** Shared page pool for the panel stores (nullptr = private). */
+    KvPageAllocator *pageAlloc_ = nullptr;
+    bool retired_ = false;
 
     /** V process window: groupSize, or headDim when non-positive. */
     int64_t vWindow() const

@@ -139,13 +139,27 @@ Transformer::reset()
 void
 Transformer::initStream(StreamContext &s) const
 {
+    initStreamImpl(s, s.pageAlloc_);
+}
+
+void
+Transformer::initStream(StreamContext &s, KvPageAllocator *pages) const
+{
+    initStreamImpl(s, pages);
+}
+
+void
+Transformer::initStreamImpl(StreamContext &s,
+                            KvPageAllocator *pages) const
+{
     const ArchDims &d = base_.profile.simDims;
     const size_t n_layers = static_cast<size_t>(d.nLayers);
-    if (ownsStream(s) && s.caches_.size() == n_layers) {
-        // Same model, same geometry: reset every head cache in place.
-        // Cache storage capacity survives, so a pooled stream slot
-        // re-enters service without reallocating (see HeadKvCache::
-        // reset()'s contract).
+    if (ownsStream(s) && s.caches_.size() == n_layers &&
+        s.pageAlloc_ == pages) {
+        // Same model, same geometry, same pool: reset every head
+        // cache in place. Cache storage capacity survives, so a
+        // pooled stream slot re-enters service without reallocating
+        // (see HeadKvCache::reset()'s contract).
         for (auto &layer : s.caches_)
             for (auto &c : layer)
                 c.reset();
@@ -157,13 +171,25 @@ Transformer::initStream(StreamContext &s) const
             for (int64_t h = 0; h < d.nHeads; ++h) {
                 layer.emplace_back(setup_.kv, d.headDim(),
                                    setup_.kvGroup, kvSelector_,
-                                   setup_.fusedAttention);
+                                   setup_.fusedAttention, pages);
             }
         }
         s.owner_ = this;
         s.ownerEpoch_ = streamEpoch_;
+        s.pageAlloc_ = pages;
     }
     s.pos_ = 0;
+}
+
+void
+Transformer::retireStream(StreamContext &s) const
+{
+    if (!ownsStream(s))
+        throw std::invalid_argument(
+            "retireStream: stream not initialized for this model");
+    for (auto &layer : s.caches_)
+        for (auto &c : layer)
+            c.retire();
 }
 
 Tensor
@@ -213,8 +239,7 @@ Transformer::normRows(Tensor &x, std::span<const float> gain,
 void
 Transformer::attentionBlock(int64_t layer, Tensor &x,
                             std::span<StreamContext *const> rowStream,
-                            std::span<const int64_t> rowPos,
-                            bool bulkPrefillV)
+                            std::span<const int64_t> rowPos)
 {
     const ArchDims &d = base_.profile.simDims;
     const int64_t t_dim = x.shape().dim(0);
@@ -269,9 +294,17 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
         }
     }
 
-    // Feed the caches: K rows spatially; V spatially in prefill
-    // (bulk matrix at the start of a sequence) and temporally in
-    // decode. Each row feeds its own stream's caches.
+    // Feed the K caches: rows are spatially complete and immutable
+    // once appended, and every attention read below is masked to its
+    // row's visible horizon, so bulk-appending a whole chunk is
+    // bit-identical to appending row-by-row. V is different: the
+    // temporal quantizer's state for rows <= t depends on how many
+    // rows it has ingested (pending INT8 vs finalized windows), so
+    // quantized V folds inside the attention loop — append row t,
+    // then attend row t. FP16 V rows are immutable like K, so the
+    // FP16 float path keeps the bulk ingest (and its hoisted
+    // reconstruction below).
+    const bool fp16Kv = setup_.kv == KvMethod::Fp16;
     for (int64_t head = 0; head < d.nHeads; ++head) {
         for (int64_t t = 0; t < t_dim; ++t) {
             HeadKvCache &cache =
@@ -282,23 +315,7 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
                 k.data() + t * d.dModel + head * dh,
                 static_cast<size_t>(dh));
             cache.appendK(kseg);
-        }
-        if (bulkPrefillV) {
-            HeadKvCache &cache =
-                rowStream[0]->caches_[static_cast<size_t>(layer)]
-                                     [static_cast<size_t>(head)];
-            Tensor vh(Shape{t_dim, dh});
-            for (int64_t t = 0; t < t_dim; ++t) {
-                std::copy_n(v.data() + t * d.dModel + head * dh, dh,
-                            vh.data() + t * dh);
-            }
-            cache.prefillV(vh);
-        } else {
-            for (int64_t t = 0; t < t_dim; ++t) {
-                HeadKvCache &cache =
-                    rowStream[static_cast<size_t>(t)]
-                        ->caches_[static_cast<size_t>(layer)]
-                                 [static_cast<size_t>(head)];
+            if (fp16Kv) {
                 std::span<const float> vseg(
                     v.data() + t * d.dModel + head * dh,
                     static_cast<size_t>(dh));
@@ -328,10 +345,16 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
                     ? alibiSlope(head, d.nHeads)
                     : 0.0f;
             for (int64_t t = 0; t < t_dim; ++t) {
-                const HeadKvCache &cache =
+                HeadKvCache &cache =
                     rowStream[static_cast<size_t>(t)]
                         ->caches_[static_cast<size_t>(layer)]
                                  [static_cast<size_t>(head)];
+                // Per-row V fold: row t's P·V reads the quantizer
+                // state of exactly rows 0..t (see the cache-feed
+                // comment above).
+                cache.appendV(std::span<const float>(
+                    v.data() + t * d.dModel + head * dh,
+                    static_cast<size_t>(dh)));
                 std::span<const float> qseg(
                     q.data() + t * d.dModel + head * dh,
                     static_cast<size_t>(dh));
@@ -367,10 +390,12 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
             base_.profile.family == ModelFamily::Bloom
                 ? alibiSlope(head, d.nHeads)
                 : 0.0f;
-        // One V reconstruction per head when all rows share a stream;
-        // per row otherwise (each stream has its own cache).
+        // FP16 V rows are immutable, so one reconstruction per head
+        // serves every row when all rows share a stream. Quantized V
+        // folds per row — append row t, reconstruct rows 0..t — so
+        // the read always reflects exactly the rows this row may see.
         Tensor vhat;
-        if (same_stream) {
+        if (fp16Kv && same_stream) {
             vhat = rowStream[0]
                        ->caches_[static_cast<size_t>(layer)]
                                 [static_cast<size_t>(head)]
@@ -379,12 +404,18 @@ Transformer::attentionBlock(int64_t layer, Tensor &x,
 
         std::vector<float> probs;
         for (int64_t t = 0; t < t_dim; ++t) {
-            const HeadKvCache &cache =
+            HeadKvCache &cache =
                 rowStream[static_cast<size_t>(t)]
                     ->caches_[static_cast<size_t>(layer)]
                              [static_cast<size_t>(head)];
-            if (!same_stream)
+            if (!fp16Kv) {
+                cache.appendV(std::span<const float>(
+                    v.data() + t * d.dModel + head * dh,
+                    static_cast<size_t>(dh)));
                 vhat = cache.vMatrix();
+            } else if (!same_stream) {
+                vhat = cache.vMatrix();
+            }
             std::span<float> qseg(q.data() + t * d.dModel + head * dh,
                                   static_cast<size_t>(dh));
             if (setup_.quantizeAttention)
@@ -517,13 +548,12 @@ Transformer::logitsFrom(Tensor x) const
 Tensor
 Transformer::forwardRows(std::span<const int32_t> tokens,
                          std::span<StreamContext *const> rowStream,
-                         std::span<const int64_t> rowPos,
-                         bool bulkPrefillV)
+                         std::span<const int64_t> rowPos)
 {
     Tensor x = embed(tokens, rowPos);
     const int64_t n_layers = base_.profile.simDims.nLayers;
     for (int64_t l = 0; l < n_layers; ++l) {
-        attentionBlock(l, x, rowStream, rowPos, bulkPrefillV);
+        attentionBlock(l, x, rowStream, rowPos);
         ffnBlock(l, x);
     }
     return logitsFrom(std::move(x));
@@ -538,8 +568,7 @@ Transformer::forwardInternal(StreamContext &s,
     std::vector<int64_t> positions(tokens.size());
     for (size_t t = 0; t < tokens.size(); ++t)
         positions[t] = startPos + static_cast<int64_t>(t);
-    return forwardRows(tokens, streams, positions,
-                       startPos == 0 && tokens.size() > 1);
+    return forwardRows(tokens, streams, positions);
 }
 
 Tensor
@@ -552,8 +581,20 @@ Tensor
 Transformer::prefill(StreamContext &s, std::span<const int32_t> tokens)
 {
     initStream(s);
-    Tensor logits = forwardInternal(s, tokens, 0);
-    s.pos_ = static_cast<int64_t>(tokens.size());
+    return prefillChunk(s, tokens);
+}
+
+Tensor
+Transformer::prefillChunk(StreamContext &s,
+                          std::span<const int32_t> tokens)
+{
+    if (!s.initialized())
+        initStream(s);
+    else if (!ownsStream(s))
+        throw std::invalid_argument(
+            "prefillChunk: stream belongs to a different model");
+    Tensor logits = forwardInternal(s, tokens, s.pos_);
+    s.pos_ += static_cast<int64_t>(tokens.size());
     return logits;
 }
 
@@ -605,7 +646,7 @@ Transformer::decodeBatch(std::span<const int32_t> tokens,
         }
         positions[r] = streams[r]->pos_;
     }
-    Tensor logits = forwardRows(tokens, streams, positions, false);
+    Tensor logits = forwardRows(tokens, streams, positions);
     for (StreamContext *s : streams)
         ++s->pos_;
     return logits;

@@ -61,7 +61,8 @@ class StreamContext
      *  into it). Copying is disabled by the cache internals. */
     StreamContext(StreamContext &&other) noexcept
         : caches_(std::move(other.caches_)), pos_(other.pos_),
-          owner_(other.owner_), ownerEpoch_(other.ownerEpoch_)
+          owner_(other.owner_), ownerEpoch_(other.ownerEpoch_),
+          pageAlloc_(other.pageAlloc_)
     {
         other.disown();
     }
@@ -72,6 +73,7 @@ class StreamContext
         pos_ = other.pos_;
         owner_ = other.owner_;
         ownerEpoch_ = other.ownerEpoch_;
+        pageAlloc_ = other.pageAlloc_;
         other.disown();
         return *this;
     }
@@ -100,6 +102,7 @@ class StreamContext
         pos_ = 0;
         owner_ = nullptr;
         ownerEpoch_ = 0;
+        pageAlloc_ = nullptr;
     }
 
     std::vector<std::vector<HeadKvCache>> caches_;
@@ -112,6 +115,10 @@ class StreamContext
      *  selector pointers — into the new model. */
     const Transformer *owner_ = nullptr;
     uint64_t ownerEpoch_ = 0;
+    /** Page pool backing this stream's panel stores (nullptr =
+     *  private per-store pools). Bound by initStream(); a rebind
+     *  forces a cache rebuild. */
+    KvPageAllocator *pageAlloc_ = nullptr;
 };
 
 /**
@@ -170,13 +177,51 @@ class Transformer
      * (Re)initialize a stream context for this model: caches sized per
      * the setup, position zero. An already-matching context is reset in
      * place, reusing its cache storage (the serving engine's stream
-     * pool relies on this being allocation-light).
+     * pool relies on this being allocation-light). The context keeps
+     * whatever page-pool binding it already has (a fresh context uses
+     * private per-store pools).
      */
     void initStream(StreamContext &s) const;
+
+    /**
+     * As above, but additionally bind the stream's panel stores to a
+     * shared KV page pool (nullptr unbinds back to private pools).
+     * Rebinding to a different pool rebuilds the caches; matching
+     * pool + geometry resets in place like the one-argument form.
+     * The pool must outlive every stream bound to it.
+     */
+    void initStream(StreamContext &s, KvPageAllocator *pages) const;
+
+    /**
+     * Retire a stream: every head cache returns its pool pages and
+     * rejects appends until the next initStream() revives the slot.
+     * The serving engine calls this the moment a stream finishes, so
+     * the freed pages count toward the admission watermark before the
+     * next admission decision. Throws std::invalid_argument for a
+     * stream this model does not own.
+     */
+    void retireStream(StreamContext &s) const;
 
     /** Prefill into an explicit stream context (initStream'd first).
      *  The Transformer's own default-stream state is untouched. */
     Tensor prefill(StreamContext &s, std::span<const int32_t> tokens);
+
+    /**
+     * Prefill continuation: fold `tokens` into the stream at its
+     * current position WITHOUT resetting it first. Splitting a prompt
+     * into chunks of any sizes and folding them in order is
+     * bit-identical to one prefill() of the whole prompt — and to a
+     * token-by-token decodeStep() chain — because every per-row kernel
+     * computes rows independently and the temporal V quantizer folds
+     * row-by-row with no look-ahead (first row seeds the channel
+     * scales, windows finalize on their G-th row regardless of chunk
+     * boundaries). Setups whose activation method quantizes across
+     * rows (ActMethod::Tender, tensor-wise granularities) fall outside
+     * this guarantee, exactly like decodeBatch(). Returns logits for
+     * the chunk's rows, shape (tokens, vocab).
+     */
+    Tensor prefillChunk(StreamContext &s,
+                        std::span<const int32_t> tokens);
 
     /** Decode one token on an explicit stream context. */
     std::vector<float> decodeStep(StreamContext &s, int32_t token);
@@ -247,25 +292,27 @@ class Transformer
      * rowPos[r]. The single-stream prefill/decode path passes the same
      * stream for every row (rows causal within the batch by their
      * ascending positions); the batched decode path passes one stream
-     * per row. `bulkPrefillV` selects the prefill-stage V ingest (all
-     * rows one stream, start of sequence).
+     * per row. K rows append in bulk (appended rows are immutable and
+     * reads are masked to the visible horizon); quantized V folds
+     * row-by-row interleaved with each row's attention, so row t reads
+     * the V state of exactly rows 0..t — the invariant that makes any
+     * chunking of a prompt bit-identical to the serial fold.
      */
     void attentionBlock(int64_t layer, Tensor &x,
                         std::span<StreamContext *const> rowStream,
-                        std::span<const int64_t> rowPos,
-                        bool bulkPrefillV);
+                        std::span<const int64_t> rowPos);
     void ffnBlock(int64_t layer, Tensor &x);
     /** Shared forward core: embed rows, walk the layers, project
      *  logits. Positions/caches are per row; no position is advanced
      *  here (callers own that). */
     Tensor forwardRows(std::span<const int32_t> tokens,
                        std::span<StreamContext *const> rowStream,
-                       std::span<const int64_t> rowPos,
-                       bool bulkPrefillV);
+                       std::span<const int64_t> rowPos);
     Tensor forwardInternal(StreamContext &s,
                            std::span<const int32_t> tokens,
                            int64_t startPos);
     Tensor logitsFrom(Tensor x) const;
+    void initStreamImpl(StreamContext &s, KvPageAllocator *pages) const;
 
     /** True when `s` was initialized by this Transformer instance
      *  (not merely one that reused this address). */

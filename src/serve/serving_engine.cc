@@ -1,8 +1,12 @@
 #include "serve/serving_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "core/kv_panels.h"
+#include "model/config.h"
 
 namespace mant {
 
@@ -26,6 +30,11 @@ ServingEngine::ServingEngine(Transformer &model, ServingConfig cfg)
     if (cfg_.maxStreams < 1)
         throw std::invalid_argument(
             "ServingEngine: maxStreams must be >= 1");
+    if (cfg_.prefillChunkTokens < 0 || cfg_.pagePoolPages < 0 ||
+        cfg_.pageBytes < 0 || cfg_.freePageWatermark < 0 ||
+        cfg_.agingSteps < 0)
+        throw std::invalid_argument(
+            "ServingEngine: negative scheduler/pool parameter");
     // The engine's whole value is the batched-equals-serial
     // determinism contract; activation methods whose statistics span
     // batch rows (Tender's channel decomposition, tensor-wise scales)
@@ -45,6 +54,33 @@ ServingEngine::ServingEngine(Transformer &model, ServingConfig cfg)
             "rows; batched decode cannot match serial output "
             "bit-for-bit (see the determinism contract)");
     }
+
+    // Fused-attention models keep their KV codes in panel blocks, so
+    // every stream's storage can come from one shared page pool. A
+    // page is sized to hold a whole number of K panels AND of V
+    // windows (auto: the larger of the two block sizes — the smaller
+    // store then packs several blocks per page).
+    if (setup.fusedAttention) {
+        const ArchDims &d = model_.weights().profile.simDims;
+        const int64_t vWindow =
+            setup.kvGroup > 0 ? setup.kvGroup : d.headDim();
+        const int64_t blockBytes = std::max(
+            KPanelStore::blockBytesFor(d.headDim(), setup.kvGroup),
+            VPanelStore::blockBytesFor(d.headDim(), vWindow));
+        int64_t pageBytes = cfg_.pageBytes;
+        if (pageBytes == 0) {
+            pageBytes = blockBytes;
+        } else if (pageBytes < blockBytes) {
+            throw std::invalid_argument(
+                "ServingEngine: pageBytes " +
+                std::to_string(pageBytes) +
+                " smaller than the largest KV panel block (" +
+                std::to_string(blockBytes) + " bytes)");
+        }
+        pagePool_ =
+            std::make_unique<KvPageAllocator>(pageBytes,
+                                              cfg_.pagePoolPages);
+    }
 }
 
 RequestId
@@ -59,11 +95,28 @@ ServingEngine::submit(GenRequest req)
                 std::to_string(vocab) + ")");
         }
     }
+    const int64_t promptLen = static_cast<int64_t>(req.prompt.size());
+    if (req.tokenBudget < 0)
+        throw std::invalid_argument(
+            "ServingEngine::submit: negative token budget");
+    if (req.tokenBudget > 0 && promptLen > req.tokenBudget) {
+        // Contract violation, not backpressure: the prompt alone can
+        // never fit, so no amount of waiting makes this admissible.
+        throw std::invalid_argument(
+            "ServingEngine::submit: prompt length " +
+            std::to_string(promptLen) + " exceeds token budget " +
+            std::to_string(req.tokenBudget));
+    }
 
     const RequestId id = static_cast<RequestId>(requests_.size());
     Request r;
     r.req = std::move(req);
-    if (r.req.prompt.empty() || r.req.maxNewTokens <= 0) {
+    r.effMaxNew = r.req.maxNewTokens;
+    if (r.req.tokenBudget > 0)
+        r.effMaxNew =
+            std::min(r.effMaxNew, r.req.tokenBudget - promptLen);
+    r.enqueueRound = rounds_;
+    if (r.req.prompt.empty() || r.effMaxNew <= 0) {
         // Degenerate request: nothing to generate. Completing here
         // keeps the scheduler free of zero-token streams (and mirrors
         // greedyGenerate's clamp of non-positive counts).
@@ -100,7 +153,7 @@ ServingEngine::output(RequestId id) const
 bool
 ServingEngine::requestFinished(const Request &r) const
 {
-    if (static_cast<int64_t>(r.out.size()) >= r.req.maxNewTokens)
+    if (static_cast<int64_t>(r.out.size()) >= r.effMaxNew)
         return true;
     return r.req.stopToken >= 0 && !r.out.empty() &&
            r.out.back() == r.req.stopToken;
@@ -109,102 +162,206 @@ ServingEngine::requestFinished(const Request &r) const
 std::unique_ptr<StreamContext>
 ServingEngine::acquireContext()
 {
-    if (pool_.empty())
-        return std::make_unique<StreamContext>();
-    auto ctx = std::move(pool_.back());
-    pool_.pop_back();
+    std::unique_ptr<StreamContext> ctx;
+    if (pool_.empty()) {
+        ctx = std::make_unique<StreamContext>();
+    } else {
+        ctx = std::move(pool_.back());
+        pool_.pop_back();
+    }
+    // Bind to the shared page pool (revives a retired parked slot;
+    // matching geometry resets in place without reallocating).
+    model_.initStream(*ctx, pagePool_.get());
     return ctx;
 }
 
 void
 ServingEngine::recycleContext(std::unique_ptr<StreamContext> ctx)
 {
-    // Drop the cached rows now so a parked slot holds no stale
-    // generation state; capacity stays with the context (initStream
-    // resets matching contexts in place).
-    model_.initStream(*ctx);
+    // Retire rather than reset: every page goes back to the pool the
+    // moment the stream finishes — before the next round's watermark
+    // check — and a parked slot's caches reject stray appends until
+    // acquireContext() revives them.
+    model_.retireStream(*ctx);
     pool_.push_back(std::move(ctx));
 }
 
+int64_t
+ServingEngine::feedChunk(ActiveStream &a)
+{
+    Request &r = requests_[static_cast<size_t>(a.id)];
+    const std::vector<int32_t> &prompt = r.req.prompt;
+    const int64_t total = static_cast<int64_t>(prompt.size());
+    const int64_t chunk =
+        cfg_.prefillChunkTokens > 0 ? cfg_.prefillChunkTokens : total;
+    const int64_t len = std::min(chunk, total - a.promptPos);
+    const Tensor logits = model_.prefillChunk(
+        *a.ctx, std::span<const int32_t>(prompt.data() + a.promptPos,
+                                         static_cast<size_t>(len)));
+    a.promptPos += len;
+    ++stats_.prefillChunks;
+    if (a.promptPos == total) {
+        a.prefillDone = true;
+        ++stats_.prefills;
+        stats_.prefillTokens += total;
+        const int32_t first =
+            argmaxToken(logits.row(logits.shape().dim(0) - 1));
+        a.lastToken = first;
+        r.out.push_back(first);
+    }
+    return len;
+}
+
 bool
-ServingEngine::admit(RequestId id)
+ServingEngine::admit(RequestId id, int64_t &fedTokens)
 {
     Request &r = requests_[static_cast<size_t>(id)];
-    auto ctx = acquireContext();
-    const Tensor logits = model_.prefill(*ctx, r.req.prompt);
-    ++stats_.prefills;
-    stats_.prefillTokens +=
-        static_cast<int64_t>(r.req.prompt.size());
-
-    const int32_t first =
-        argmaxToken(logits.row(logits.shape().dim(0) - 1));
-    r.out.push_back(first);
-    if (requestFinished(r)) {
+    ActiveStream a;
+    a.id = id;
+    a.ctx = acquireContext();
+    fedTokens += feedChunk(a);
+    if (a.prefillDone && requestFinished(r)) {
         r.state = RequestState::Done;
-        recycleContext(std::move(ctx));
+        recycleContext(std::move(a.ctx));
         return false;
     }
     r.state = RequestState::Active;
-    active_.push_back({id, std::move(ctx), first});
+    active_.push_back(std::move(a));
     return true;
+}
+
+int64_t
+ServingEngine::pickQueued() const
+{
+    if (queue_.empty())
+        return -1;
+    int64_t best = 0;
+    int64_t bestPri = std::numeric_limits<int64_t>::min();
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        const Request &r = requests_[static_cast<size_t>(queue_[i])];
+        int64_t pri = r.req.priority;
+        if (cfg_.agingSteps > 0)
+            pri += (rounds_ - r.enqueueRound) / cfg_.agingSteps;
+        // Strict > keeps FIFO order among equal effective priorities.
+        if (pri > bestPri) {
+            best = static_cast<int64_t>(i);
+            bestPri = pri;
+        }
+    }
+    return best;
+}
+
+bool
+ServingEngine::deferAdmission() const
+{
+    if (!pagePool_ || cfg_.freePageWatermark <= 0)
+        return false;
+    // Forward progress: an engine with nothing running always admits
+    // one stream, whatever the pool says — deferring then would
+    // livelock (no retirement can ever refill the free list).
+    if (active_.empty())
+        return false;
+    return pagePool_->freePages() < cfg_.freePageWatermark;
+}
+
+void
+ServingEngine::compactFinished()
+{
+    size_t w = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        Request &r = requests_[static_cast<size_t>(active_[i].id)];
+        if (active_[i].prefillDone && requestFinished(r)) {
+            r.state = RequestState::Done;
+            recycleContext(std::move(active_[i].ctx));
+        } else {
+            if (w != i)
+                active_[w] = std::move(active_[i]);
+            ++w;
+        }
+    }
+    active_.resize(w);
+}
+
+void
+ServingEngine::notePoolPressure()
+{
+    if (pagePool_)
+        stats_.peakPagesInUse = pagePool_->peakInUsePages();
 }
 
 bool
 ServingEngine::step()
 {
-    // Admission: fill free decode slots in submission order. Each
-    // admission runs the request's prefill (a single M = promptLen
-    // pass on its own stream) and emits the first greedy token.
+    ++rounds_;
+    int64_t fedTokens = 0;
+
+    // Phase 1: advance in-flight chunked prefills, one chunk per
+    // stream per round, so long prompts interleave with decode instead
+    // of stalling it. Streams whose prompt just completed may already
+    // be finished (stop-token first token, or a 1-token cap); retire
+    // them now so their slots and pages are reusable this round.
+    for (ActiveStream &a : active_)
+        if (!a.prefillDone)
+            fedTokens += feedChunk(a);
+    compactFinished();
+
+    // Phase 2: admission. Highest effective priority first (FIFO
+    // among equals, aged per agingSteps); deferred wholesale when the
+    // pool's free pages sit below the watermark.
     while (!queue_.empty() &&
            static_cast<int64_t>(active_.size()) < cfg_.maxStreams) {
-        const RequestId id = queue_.front();
-        queue_.pop_front();
-        admit(id);
+        if (deferAdmission()) {
+            ++stats_.admissionDeferrals;
+            break;
+        }
+        const int64_t pick = pickQueued();
+        const RequestId id = queue_[static_cast<size_t>(pick)];
+        queue_.erase(queue_.begin() + pick);
+        admit(id, fedTokens);
     }
-    if (active_.empty())
-        return !idle();
-    ++stats_.steps;
+    stats_.maxPrefillTokensPerStep =
+        std::max(stats_.maxPrefillTokensPerStep, fedTokens);
 
-    // One batched decode pass over every active stream: each stream's
-    // last token goes in as one batch row, sharing a single activation
-    // quantization and the model's pooled scratch.
+    // Phase 3: one batched decode pass over every fully-prefilled
+    // stream: each stream's last token goes in as one batch row,
+    // sharing a single activation quantization and the model's pooled
+    // scratch. Streams still prefilling sit this pass out.
     std::vector<int32_t> tokens;
     std::vector<StreamContext *> streams;
+    std::vector<size_t> rowSlot;
     tokens.reserve(active_.size());
     streams.reserve(active_.size());
-    for (const ActiveStream &a : active_) {
-        tokens.push_back(a.lastToken);
-        streams.push_back(a.ctx.get());
+    rowSlot.reserve(active_.size());
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (!active_[i].prefillDone)
+            continue;
+        tokens.push_back(active_[i].lastToken);
+        streams.push_back(active_[i].ctx.get());
+        rowSlot.push_back(i);
     }
+    if (tokens.empty()) {
+        notePoolPressure();
+        return !idle();
+    }
+    ++stats_.steps;
     const Tensor logits = model_.decodeBatch(tokens, streams);
     ++stats_.decodeBatches;
-    stats_.decodedTokens += static_cast<int64_t>(active_.size());
-    stats_.peakBatch = std::max(
-        stats_.peakBatch, static_cast<int64_t>(active_.size()));
+    stats_.decodedTokens += static_cast<int64_t>(tokens.size());
+    stats_.peakBatch = std::max(stats_.peakBatch,
+                                static_cast<int64_t>(tokens.size()));
 
-    for (size_t r = 0; r < active_.size(); ++r) {
+    for (size_t r = 0; r < rowSlot.size(); ++r) {
         const int32_t next =
             argmaxToken(logits.row(static_cast<int64_t>(r)));
-        active_[r].lastToken = next;
-        requests_[static_cast<size_t>(active_[r].id)].out.push_back(
-            next);
+        ActiveStream &a = active_[rowSlot[r]];
+        a.lastToken = next;
+        requests_[static_cast<size_t>(a.id)].out.push_back(next);
     }
 
     // Retire finished streams (order-stable so the surviving batch
     // composition is reproducible run to run).
-    size_t w = 0;
-    for (size_t r = 0; r < active_.size(); ++r) {
-        Request &req = requests_[static_cast<size_t>(active_[r].id)];
-        if (requestFinished(req)) {
-            req.state = RequestState::Done;
-            recycleContext(std::move(active_[r].ctx));
-        } else {
-            if (w != r)
-                active_[w] = std::move(active_[r]);
-            ++w;
-        }
-    }
-    active_.resize(w);
+    compactFinished();
+    notePoolPressure();
     return !idle();
 }
 

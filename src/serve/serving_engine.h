@@ -11,20 +11,37 @@
  *
  * ServingEngine owns N stream slots (each a Transformer::StreamContext
  * — per-head KV caches plus position — recycled through a pool on
- * retirement) and a continuous-batching scheduler: every step() admits
- * queued requests into free slots (running their prefill and emitting
- * the first greedy token), then executes ONE batched decode pass over
- * all active streams. The batch therefore shrinks and regrows as
- * streams retire and join — no stream ever waits for another to
- * finish.
+ * retirement) and a continuous-batching scheduler: every step() first
+ * advances in-flight prefills by one chunk each, then admits queued
+ * requests into free slots under the admission policy, then executes
+ * ONE batched decode pass over all fully-prefilled streams. The batch
+ * therefore shrinks and regrows as streams retire and join — no stream
+ * ever waits for another to finish.
+ *
+ * KV memory is paged: for fused-attention models the engine owns a
+ * shared KvPageAllocator and binds every stream's panel stores to it,
+ * so a stream's KV footprint is whole pages claimed as it grows and
+ * returned the step it retires (Transformer::retireStream) — short
+ * streams no longer pin worst-case storage. The policy layer sits on
+ * top: prompts are admitted in fixed-token chunks interleaved with
+ * decode (long prompts stop stalling the decode batch), admission
+ * picks the highest-priority queued request (FIFO among equals, with
+ * optional aging so low priority cannot starve), defers admission when
+ * free pages drop below a watermark (always letting one stream run so
+ * the engine cannot livelock), and per-request token budgets cap
+ * prompt + generation up front.
  *
  * Determinism contract: each request's token sequence is byte-
  * identical to running it alone through the single-stream
  * prefill()/decodeStep() path, at every MANT_SIMD × MANT_THREADS
- * setting and any batch composition. This holds because every per-row
- * kernel in the batched pass computes rows/cells independently with a
- * fixed accumulation order (see Transformer::decodeBatch and
- * docs/ARCHITECTURE.md); tests/test_serving.cc enforces it.
+ * setting, any batch composition, any prefill chunk size, and any
+ * page-pool geometry. This holds because every per-row kernel in the
+ * batched pass computes rows/cells independently with a fixed
+ * accumulation order, the temporal V quantizer folds prompts row by
+ * row with no look-ahead (see Transformer::prefillChunk), and page
+ * placement never feeds back into values; the scheduler only decides
+ * WHEN a stream's rows run, never what they compute.
+ * tests/test_serving.cc and tests/test_soak.cc enforce it.
  */
 
 #ifndef MANT_SERVE_SERVING_ENGINE_H_
@@ -35,6 +52,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/kv_pages.h"
 #include "model/transformer.h"
 
 namespace mant {
@@ -44,6 +62,37 @@ struct ServingConfig
 {
     /** Decode slots = max rows per batched pass. */
     int64_t maxStreams = 8;
+
+    /** Prompt tokens fed per stream per step() while a stream is
+     *  prefilling; 0 feeds the whole prompt at admission (the legacy
+     *  monolithic behaviour). Chunking never changes any output token
+     *  (Transformer::prefillChunk), only when prompt rows run. */
+    int64_t prefillChunkTokens = 0;
+
+    /** Capacity of the shared KV page pool, in pages; 0 = unbounded.
+     *  Only meaningful for fused-attention models (others keep KV in
+     *  plain per-stream buffers). When the cap is truly exhausted by
+     *  ACTIVE streams, page claims throw KvPoolExhausted — size the
+     *  pool so the watermark triggers first. */
+    int64_t pagePoolPages = 0;
+
+    /** Bytes per page; 0 sizes a page automatically to the largest
+     *  panel block of the model's KV geometry (so every page holds a
+     *  whole number of K panels and of V windows). An explicit value
+     *  must be at least that large (std::invalid_argument). */
+    int64_t pageBytes = 0;
+
+    /** Admission backoff: while the pool's free-page count (capacity
+     *  minus pages in use) is below this, queued requests stay queued
+     *  — except that an otherwise-idle engine always admits one, so
+     *  progress is guaranteed. 0 disables the backoff. */
+    int64_t freePageWatermark = 0;
+
+    /** Priority aging: a queued request gains +1 effective priority
+     *  per this many scheduler rounds waited, bounding how long any
+     *  request can starve behind higher-priority arrivals. 0 disables
+     *  aging (strict priority, FIFO among equals). */
+    int64_t agingSteps = 0;
 };
 
 /** Handle returned by ServingEngine::submit(). */
@@ -71,6 +120,16 @@ struct GenRequest
     /** Retire the stream early when this token is generated (the
      *  token itself is kept in the output); -1 disables. */
     int32_t stopToken = -1;
+
+    /** Scheduling priority; higher admits first (FIFO among equals,
+     *  aged per ServingConfig::agingSteps). Never affects tokens. */
+    int32_t priority = 0;
+
+    /** Cap on prompt + generated tokens for this request; 0 = no cap.
+     *  Submitting a prompt that alone exceeds the budget is a contract
+     *  violation (std::invalid_argument); a budget that leaves no room
+     *  to generate completes immediately with an empty output. */
+    int64_t tokenBudget = 0;
 };
 
 /**
@@ -85,12 +144,18 @@ class ServingEngine
     /** Aggregate throughput counters. */
     struct Stats
     {
-        int64_t steps = 0;          ///< scheduler rounds executed
-        int64_t prefills = 0;       ///< admitted requests
+        int64_t steps = 0;          ///< rounds that ran a decode pass
+        int64_t prefills = 0;       ///< prefills COMPLETED (not begun)
         int64_t prefillTokens = 0;  ///< prompt tokens prefilled
+        int64_t prefillChunks = 0;  ///< prefillChunk calls issued
         int64_t decodeBatches = 0;  ///< batched decode passes
         int64_t decodedTokens = 0;  ///< tokens produced by those passes
         int64_t peakBatch = 0;      ///< widest decode batch seen
+        int64_t admissionDeferrals = 0; ///< watermark admission stalls
+        int64_t peakPagesInUse = 0; ///< pool high-water mark (pages)
+        /** Most prompt tokens fed in any single round — the bound on
+         *  how much prefill work a decode pass can wait behind. */
+        int64_t maxPrefillTokensPerStep = 0;
     };
 
     /**
@@ -108,17 +173,25 @@ class ServingEngine
     /**
      * Enqueue a request. Prompt token ids are validated against the
      * model vocabulary here (std::invalid_argument on violation) —
-     * never fed unchecked into the embedding lookup. Degenerate
-     * requests (empty prompt or non-positive maxNewTokens) complete
-     * immediately with an empty output.
+     * never fed unchecked into the embedding lookup, as is a negative
+     * tokenBudget or a prompt that alone exceeds a positive budget.
+     * Degenerate requests (empty prompt, non-positive maxNewTokens,
+     * or a budget with no room past the prompt) complete immediately
+     * with an empty output.
      */
     RequestId submit(GenRequest req);
 
     /**
-     * One scheduler round: admit queued requests into free slots
-     * (prefill + first token each), then run one batched decode pass
-     * over every active stream and retire the finished ones.
+     * One scheduler round: feed one prompt chunk to each prefilling
+     * stream, admit queued requests into free slots (highest effective
+     * priority first, deferred under page-pool pressure), then run one
+     * batched decode pass over every fully-prefilled stream and retire
+     * the finished ones — returning their pages to the pool before the
+     * next round's watermark check.
      * @return true while queued or active work remains.
+     * @throws KvPoolExhausted if a bounded pool cannot cover the
+     *   streams already admitted (the watermark defers admissions, it
+     *   cannot shrink live streams).
      */
     bool step();
 
@@ -146,12 +219,20 @@ class ServingEngine
     const Stats &stats() const { return stats_; }
     const ServingConfig &config() const { return cfg_; }
 
+    /** Shared KV page pool, or nullptr for models whose KV is not
+     *  panel-packed (non-fused-attention setups). */
+    const KvPageAllocator *pagePool() const { return pagePool_.get(); }
+
   private:
     struct Request
     {
         GenRequest req;
         RequestState state = RequestState::Queued;
         std::vector<int32_t> out;
+        /** maxNewTokens clamped by the token budget (submit()). */
+        int64_t effMaxNew = 0;
+        /** Scheduler round at submit(); feeds priority aging. */
+        int64_t enqueueRound = 0;
     };
 
     /** One occupied decode slot. StreamContexts live behind unique_ptr
@@ -161,18 +242,39 @@ class ServingEngine
         RequestId id = -1;
         std::unique_ptr<StreamContext> ctx;
         int32_t lastToken = 0;
+        /** Prompt tokens fed so far; < prompt.size() while chunked
+         *  prefill is still in flight. */
+        int64_t promptPos = 0;
+        bool prefillDone = false;
     };
 
     const Request &checkedRequest(RequestId id) const;
     bool requestFinished(const Request &r) const;
-    /** Prefill `id` into a pooled stream slot; emits the first token.
-     *  Returns false when the request completed at admission. */
-    bool admit(RequestId id);
+    /** Start prefilling `id` in a pooled stream slot (first chunk runs
+     *  immediately; its tokens are added to `fedTokens`). Returns
+     *  false when the request completed at admission — single-chunk
+     *  prompt whose first token finished it — in which case the slot
+     *  went straight back to the pool. */
+    bool admit(RequestId id, int64_t &fedTokens);
+    /** Feed the next prompt chunk; on the final chunk, emits the first
+     *  generated token and marks the stream prefillDone. Returns the
+     *  tokens fed. */
+    int64_t feedChunk(ActiveStream &a);
+    /** Index into queue_ of the admission candidate (highest effective
+     *  priority, FIFO among equals), or -1 when the queue is empty. */
+    int64_t pickQueued() const;
+    /** True when the watermark says new admissions must wait. */
+    bool deferAdmission() const;
+    /** Retire every fully-prefilled stream whose request finished,
+     *  order-stable; their pages return to the pool immediately. */
+    void compactFinished();
+    void notePoolPressure();
     std::unique_ptr<StreamContext> acquireContext();
     void recycleContext(std::unique_ptr<StreamContext> ctx);
 
     Transformer &model_;
     ServingConfig cfg_;
+    std::unique_ptr<KvPageAllocator> pagePool_;
     /** Deque, not vector: output() hands out references into these
      *  records, and deque growth never relocates existing elements. */
     std::deque<Request> requests_;
@@ -180,6 +282,9 @@ class ServingEngine
     std::vector<ActiveStream> active_;
     std::vector<std::unique_ptr<StreamContext>> pool_;
     Stats stats_;
+    /** Scheduler rounds (every step() call, decode pass or not);
+     *  drives priority aging. */
+    int64_t rounds_ = 0;
 };
 
 } // namespace mant

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * KvPageAllocator property suite plus paged panel-store integration —
+ * the torture layer under the paged serving engine.
+ *
+ * The allocator's contracts (core/kv_pages.h) are what the serving
+ * determinism and no-leak claims rest on, so they are tested directly:
+ * alloc/free round-trips, LIFO-deterministic reuse, typed exhaustion
+ * (never UB, never a bad page), and randomized churn that must end
+ * with zero leaked pages and a replayable page-id trace. Misuse
+ * (double free, foreign ids) asserts in debug builds and throws
+ * std::logic_error in release builds — both are pinned here.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kv_pages.h"
+#include "core/kv_panels.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+TEST(KvPageAllocator, AllocFreeRoundTrip)
+{
+    KvPageAllocator pool(256, 4);
+    EXPECT_EQ(pool.pageBytes(), 256);
+    EXPECT_EQ(pool.maxPages(), 4);
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_EQ(pool.createdPages(), 0);
+    EXPECT_EQ(pool.freePages(), 4);
+
+    const KvPageId a = pool.alloc();
+    const KvPageId b = pool.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.inUsePages(), 2);
+    EXPECT_EQ(pool.createdPages(), 2);
+    EXPECT_EQ(pool.freePages(), 2);
+    EXPECT_EQ(pool.peakInUsePages(), 2);
+
+    // Page storage is writable, stable, and distinct per page.
+    std::memset(pool.data(a), 0xAA, 256);
+    std::memset(pool.data(b), 0xBB, 256);
+    EXPECT_EQ(pool.data(a)[255], 0xAA);
+    EXPECT_EQ(pool.data(b)[0], 0xBB);
+
+    pool.free(a);
+    pool.free(b);
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_EQ(pool.freePages(), 4);
+    // Materialized pages park on the free list; they are not returned
+    // to the OS (createdPages is monotone).
+    EXPECT_EQ(pool.createdPages(), 2);
+    EXPECT_EQ(pool.peakInUsePages(), 2);
+}
+
+TEST(KvPageAllocator, LifoDeterministicReuse)
+{
+    KvPageAllocator pool(64);
+    const KvPageId a = pool.alloc();
+    const KvPageId b = pool.alloc();
+    const KvPageId c = pool.alloc();
+    pool.free(a);
+    pool.free(b);
+    // LIFO: the most recently freed page comes back first, so an
+    // identical free/alloc sequence sees identical placement.
+    EXPECT_EQ(pool.alloc(), b);
+    EXPECT_EQ(pool.alloc(), a);
+    pool.free(c);
+    EXPECT_EQ(pool.alloc(), c);
+    // Recycled pages keep their previous bytes (claimants must
+    // re-initialize what they use — the panel stores do).
+    std::memset(pool.data(c), 0x5C, 64);
+    pool.free(c);
+    const KvPageId again = pool.alloc();
+    ASSERT_EQ(again, c);
+    EXPECT_EQ(pool.data(again)[63], 0x5C);
+}
+
+TEST(KvPageAllocator, ExhaustionIsTypedNeverUB)
+{
+    KvPageAllocator pool(32, 2);
+    const KvPageId a = pool.alloc();
+    (void)pool.alloc();
+    // Cap hit: tryAlloc reports nullopt, alloc throws the typed
+    // exception; neither hands out a page.
+    EXPECT_EQ(pool.tryAlloc(), std::nullopt);
+    EXPECT_THROW(pool.alloc(), KvPoolExhausted);
+    EXPECT_EQ(pool.inUsePages(), 2);
+    EXPECT_EQ(pool.freePages(), 0);
+    // KvPoolExhausted is a runtime_error (callers can catch either).
+    try {
+        pool.alloc();
+        FAIL() << "alloc() past the cap must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("exhausted"),
+                  std::string::npos);
+    }
+    // Freeing restores claimability.
+    pool.free(a);
+    EXPECT_EQ(pool.freePages(), 1);
+    EXPECT_EQ(pool.alloc(), a);
+}
+
+TEST(KvPageAllocator, UnboundedPoolSaturatesFreePages)
+{
+    KvPageAllocator pool(16);
+    EXPECT_EQ(pool.maxPages(), 0);
+    EXPECT_EQ(pool.freePages(), std::numeric_limits<int64_t>::max());
+    for (int i = 0; i < 100; ++i)
+        (void)pool.alloc();
+    EXPECT_EQ(pool.inUsePages(), 100);
+    EXPECT_EQ(pool.freePages(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(KvPageAllocator, ConstructorValidatesGeometry)
+{
+    EXPECT_THROW(KvPageAllocator(0), std::invalid_argument);
+    EXPECT_THROW(KvPageAllocator(-8), std::invalid_argument);
+    EXPECT_THROW(KvPageAllocator(64, -1), std::invalid_argument);
+}
+
+/** Randomized churn: interleaved allocs and frees, counter-seeded (no
+ *  wall-clock anywhere), must end with zero pages in use, a free-list
+ *  that accounts for every created page, and a page-id trace that
+ *  replays identically from the same seed. */
+TEST(KvPageAllocator, RandomizedChurnLeaksNothingAndReplays)
+{
+    const auto runChurn = [](uint64_t seed) {
+        KvPageAllocator pool(48, 32);
+        Rng rng(seed);
+        std::vector<KvPageId> held;
+        std::vector<KvPageId> trace;
+        for (int op = 0; op < 2000; ++op) {
+            const bool doAlloc =
+                held.empty() ||
+                (pool.freePages() > 0 && rng.uniformInt(3) != 0);
+            if (doAlloc) {
+                const KvPageId id = pool.alloc();
+                held.push_back(id);
+                trace.push_back(id);
+            } else {
+                const size_t pick = static_cast<size_t>(
+                    rng.uniformInt(static_cast<uint64_t>(held.size())));
+                pool.free(held[pick]);
+                trace.push_back(-1 - held[pick]);
+                held[pick] = held.back();
+                held.pop_back();
+            }
+            EXPECT_LE(pool.inUsePages(), 32);
+            EXPECT_EQ(pool.inUsePages(),
+                      static_cast<int64_t>(held.size()));
+        }
+        for (const KvPageId id : held)
+            pool.free(id);
+        EXPECT_EQ(pool.inUsePages(), 0);
+        EXPECT_LE(pool.createdPages(), 32);
+        EXPECT_EQ(pool.peakInUsePages(), 32);
+        return trace;
+    };
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        const auto first = runChurn(seed);
+        // Identical request sequence → identical placement (the
+        // serving determinism contract leans on this).
+        EXPECT_EQ(first, runChurn(seed)) << "seed " << seed;
+    }
+}
+
+// --- misuse contract: debug asserts, release throws ------------------
+
+#ifndef NDEBUG
+
+using KvPageAllocatorDeathTest = ::testing::Test;
+
+TEST(KvPageAllocatorDeathTest, DoubleFreeAbortsInDebug)
+{
+    KvPageAllocator pool(32);
+    const KvPageId id = pool.alloc();
+    pool.free(id);
+    EXPECT_DEATH(pool.free(id), "double free");
+}
+
+TEST(KvPageAllocatorDeathTest, ForeignIdAbortsInDebug)
+{
+    KvPageAllocator pool(32);
+    (void)pool.alloc();
+    EXPECT_DEATH(pool.free(7), "outside this pool");
+    EXPECT_DEATH(pool.free(-1), "outside this pool");
+}
+
+#else
+
+TEST(KvPageAllocator, DoubleFreeThrowsInRelease)
+{
+    KvPageAllocator pool(32);
+    const KvPageId id = pool.alloc();
+    pool.free(id);
+    EXPECT_THROW(pool.free(id), std::logic_error);
+    // The failed free must not have corrupted the free list: the page
+    // is handed out exactly once.
+    EXPECT_EQ(pool.alloc(), id);
+    EXPECT_EQ(pool.tryAlloc(), std::optional<KvPageId>(1));
+}
+
+TEST(KvPageAllocator, ForeignIdThrowsInRelease)
+{
+    KvPageAllocator pool(32);
+    (void)pool.alloc();
+    EXPECT_THROW(pool.free(7), std::logic_error);
+    EXPECT_THROW(pool.free(-1), std::logic_error);
+    EXPECT_EQ(pool.inUsePages(), 1);
+}
+
+#endif
+
+// --- paged panel stores over a shared pool ---------------------------
+
+/** Flat K codes for one row, alternating small values (always within
+ *  the sign-magnitude nibble range). */
+std::vector<int8_t>
+kRowCodes(int64_t headDim, int64_t row)
+{
+    std::vector<int8_t> codes(static_cast<size_t>(headDim));
+    for (int64_t i = 0; i < headDim; ++i)
+        codes[static_cast<size_t>(i)] =
+            static_cast<int8_t>(((row + i) % 15) - 7);
+    return codes;
+}
+
+TEST(PagedPanelStores, SharedPoolMatchesPrivatePoolByteForByte)
+{
+    const int64_t headDim = 32, group = 16;
+    const int64_t blockBytes = KPanelStore::blockBytesFor(headDim, group);
+    // Three blocks per page: rows 0..23 fit in one page.
+    KvPageAllocator pool(3 * blockBytes, 8);
+    KPanelStore shared(headDim, group, &pool);
+    KPanelStore priv(headDim, group);
+
+    const std::vector<MantSelection> sels(
+        static_cast<size_t>(shared.groupsPerRow()), MantSelection{});
+    for (int64_t r = 0; r < 40; ++r) {
+        const auto codes = kRowCodes(headDim, r);
+        shared.appendRow(codes, sels);
+        priv.appendRow(codes, sels);
+    }
+    EXPECT_EQ(shared.rows(), priv.rows());
+    EXPECT_EQ(shared.panels(), priv.panels());
+    // 40 rows = 5 panels = ceil(5/3) = 2 pages.
+    EXPECT_EQ(shared.pagesHeld(), 2);
+    EXPECT_EQ(pool.inUsePages(), 2);
+
+    for (int64_t r = 0; r < 40; ++r) {
+        const auto a = shared.rowCodes(r);
+        const auto b = priv.rowCodes(r);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+            << "row " << r;
+    }
+    for (int64_t p = 0; p < shared.panels(); ++p) {
+        for (int64_t g = 0; g < shared.groupsPerRow(); ++g) {
+            const auto sa = shared.tileScales(p, g);
+            const auto sb = priv.tileScales(p, g);
+            EXPECT_EQ(std::memcmp(sa.data(), sb.data(),
+                                  sa.size() * sizeof(float)),
+                      0);
+            EXPECT_EQ(std::memcmp(shared.tileCodes(p, g),
+                                  priv.tileCodes(p, g),
+                                  static_cast<size_t>(group) *
+                                      kTilePanelCols / 2),
+                      0);
+        }
+    }
+
+    // reset() returns every page; a refill re-claims the same pages
+    // (LIFO) and reproduces identical bytes despite the stale data a
+    // recycled page carries.
+    shared.reset();
+    EXPECT_EQ(shared.pagesHeld(), 0);
+    EXPECT_EQ(pool.inUsePages(), 0);
+    for (int64_t r = 0; r < 40; ++r)
+        shared.appendRow(kRowCodes(headDim, r), sels);
+    for (int64_t r = 0; r < 40; ++r) {
+        const auto a = shared.rowCodes(r);
+        const auto b = priv.rowCodes(r);
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+    }
+}
+
+TEST(PagedPanelStores, ExhaustionLeavesStoreUnchanged)
+{
+    const int64_t headDim = 16, group = 16;
+    const int64_t blockBytes = KPanelStore::blockBytesFor(headDim, group);
+    KvPageAllocator pool(blockBytes, 1); // one panel, 8 rows max
+    KPanelStore store(headDim, group, &pool);
+    const std::vector<MantSelection> sels(
+        static_cast<size_t>(store.groupsPerRow()), MantSelection{});
+    for (int64_t r = 0; r < kTilePanelCols; ++r)
+        store.appendRow(kRowCodes(headDim, r), sels);
+    // Row 8 needs a second panel block → a second page → exhausted.
+    EXPECT_THROW(store.appendRow(kRowCodes(headDim, 8), sels),
+                 KvPoolExhausted);
+    EXPECT_EQ(store.rows(), kTilePanelCols);
+    EXPECT_EQ(pool.inUsePages(), 1);
+    // Existing rows stay readable after the failed append.
+    EXPECT_EQ(std::memcmp(store.rowCodes(0).data(),
+                          kRowCodes(headDim, 0).data(),
+                          static_cast<size_t>(headDim)),
+              0);
+}
+
+TEST(PagedPanelStores, SharedPageMustHoldOneBlock)
+{
+    const int64_t blockBytes = KPanelStore::blockBytesFor(32, 16);
+    KvPageAllocator tiny(blockBytes - 4, 4);
+    EXPECT_THROW(KPanelStore(32, 16, &tiny), std::invalid_argument);
+    const int64_t vBlock = VPanelStore::blockBytesFor(32, 16);
+    KvPageAllocator vTiny(vBlock - 4, 4);
+    EXPECT_THROW(VPanelStore(32, 16, &vTiny), std::invalid_argument);
+}
+
+TEST(PagedPanelStores, VStoreSharedPoolRoundTrip)
+{
+    const int64_t channels = 16, window = 8;
+    const int64_t blockBytes =
+        VPanelStore::blockBytesFor(channels, window);
+    KvPageAllocator pool(2 * blockBytes, 4);
+    VPanelStore shared(channels, window, &pool);
+    VPanelStore priv(channels, window);
+
+    std::vector<int8_t> colCodes(
+        static_cast<size_t>(channels * window));
+    const std::vector<MantSelection> sels(
+        static_cast<size_t>(channels), MantSelection{});
+    for (int64_t w = 0; w < 5; ++w) {
+        for (size_t i = 0; i < colCodes.size(); ++i)
+            colCodes[i] = static_cast<int8_t>(
+                ((w * 3 + static_cast<int64_t>(i)) % 15) - 7);
+        shared.appendWindow(colCodes, sels);
+        priv.appendWindow(colCodes, sels);
+    }
+    EXPECT_EQ(shared.windows(), 5);
+    EXPECT_EQ(shared.pagesHeld(), 3); // ceil(5 / 2) blocks-per-page
+    for (int64_t row = 0; row < 5 * window; ++row) {
+        const auto a = shared.rowCodes(row);
+        const auto b = priv.rowCodes(row);
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+            << "row " << row;
+    }
+    shared.reset();
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_EQ(shared.windows(), 0);
+}
+
+/** Two stores interleaving claims on one pool must not interfere —
+ *  the serving engine runs every stream's K and V stores against the
+ *  same allocator. */
+TEST(PagedPanelStores, InterleavedStoresShareOnePool)
+{
+    const int64_t headDim = 16, group = 16;
+    const int64_t kBlock = KPanelStore::blockBytesFor(headDim, group);
+    const int64_t vBlock =
+        VPanelStore::blockBytesFor(headDim, group);
+    KvPageAllocator pool(std::max(kBlock, vBlock), 0);
+    KPanelStore k1(headDim, group, &pool);
+    KPanelStore k2(headDim, group, &pool);
+    VPanelStore v1(headDim, group, &pool);
+
+    const std::vector<MantSelection> kSels(
+        static_cast<size_t>(k1.groupsPerRow()), MantSelection{});
+    const std::vector<MantSelection> vSels(
+        static_cast<size_t>(headDim), MantSelection{});
+    std::vector<int8_t> colCodes(
+        static_cast<size_t>(headDim * group));
+    for (int64_t r = 0; r < 24; ++r) {
+        k1.appendRow(kRowCodes(headDim, r), kSels);
+        if (r % 2 == 0)
+            k2.appendRow(kRowCodes(headDim, r + 100), kSels);
+        if (r % 8 == 7) {
+            for (size_t i = 0; i < colCodes.size(); ++i)
+                colCodes[i] =
+                    static_cast<int8_t>((static_cast<int64_t>(i) +
+                                         r) % 15 - 7);
+            v1.appendWindow(colCodes, vSels);
+        }
+    }
+    EXPECT_EQ(pool.inUsePages(),
+              k1.pagesHeld() + k2.pagesHeld() + v1.pagesHeld());
+    for (int64_t r = 0; r < 24; ++r) {
+        EXPECT_EQ(std::memcmp(k1.rowCodes(r).data(),
+                              kRowCodes(headDim, r).data(),
+                              static_cast<size_t>(headDim)),
+                  0);
+        if (r % 2 == 0) {
+            EXPECT_EQ(std::memcmp(k2.rowCodes(r / 2).data(),
+                                  kRowCodes(headDim, r + 100).data(),
+                                  static_cast<size_t>(headDim)),
+                      0);
+        }
+    }
+    // Dropping one store returns exactly its pages.
+    const int64_t before = pool.inUsePages();
+    const int64_t k2Pages = k2.pagesHeld();
+    k2.reset();
+    EXPECT_EQ(pool.inUsePages(), before - k2Pages);
+}
+
+} // namespace
+} // namespace mant

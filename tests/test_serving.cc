@@ -450,6 +450,389 @@ TEST_F(ServingTest, EngineLeavesDefaultStreamUntouched)
     EXPECT_EQ(model.position(), 7);
 }
 
+// --- chunked prefill: bit-identity at every split -------------------
+
+/** Chunked prefill must reproduce one-shot prefill byte for byte —
+ *  logits AND cache state (checked by decoding onward from both
+ *  streams, which reads every K/V code written during prefill) — for
+ *  every chunk size, at every SIMD × threads setting. */
+void
+expectChunkedPrefillMatchesOneShot(const ModelWeights &weights,
+                                   const QuantSetup &setup, int vocab)
+{
+    // 21 tokens: chunk 8 lands on panel/page boundaries (8 rows per
+    // panel block), 7 straddles them, 1 degenerates to decode-shaped
+    // feeding, 21 is the whole prompt in one call.
+    const auto prompt = promptFor(3, 21, vocab);
+    const int64_t chunkSizes[] = {1, 7, 8,
+                                  static_cast<int64_t>(prompt.size())};
+    const SimdPath paths[] = {SimdPath::Scalar, SimdPath::Auto};
+    const int threads[] = {1, 8};
+
+    for (const SimdPath path : paths) {
+        for (const int nthreads : threads) {
+            test::withPath(path, nthreads, [&] {
+                Transformer model(weights, setup);
+                StreamContext oneShot;
+                const Tensor ref = model.prefill(oneShot, prompt);
+                std::vector<float> refDecode;
+                for (const int64_t chunk : chunkSizes) {
+                    StreamContext chunked;
+                    model.initStream(chunked);
+                    int64_t fed = 0;
+                    while (fed <
+                           static_cast<int64_t>(prompt.size())) {
+                        const int64_t len = std::min(
+                            chunk,
+                            static_cast<int64_t>(prompt.size()) - fed);
+                        const Tensor part = model.prefillChunk(
+                            chunked,
+                            std::span<const int32_t>(
+                                prompt.data() + fed,
+                                static_cast<size_t>(len)));
+                        // Each chunk's logits are the matching rows of
+                        // the one-shot pass, bit for bit.
+                        for (int64_t r = 0; r < len; ++r) {
+                            EXPECT_TRUE(test::bytesEqual(
+                                part.row(r), ref.row(fed + r)))
+                                << "chunk=" << chunk << " row "
+                                << fed + r << " at "
+                                << simdPathName(path) << "/threads="
+                                << nthreads;
+                        }
+                        fed += len;
+                    }
+                    EXPECT_EQ(chunked.position(),
+                              oneShot.position());
+                    // Decode onward: any divergence in the cached K/V
+                    // codes or quantizer state would surface here.
+                    std::vector<float> decode;
+                    int32_t tok = 5 % vocab;
+                    for (int d = 0; d < 4; ++d) {
+                        const auto logits =
+                            model.decodeStep(chunked, tok);
+                        decode.insert(decode.end(), logits.begin(),
+                                      logits.end());
+                        tok = argmax(logits);
+                    }
+                    if (refDecode.empty()) {
+                        // First chunk size establishes the reference
+                        // continuation (chunk == 1, the decode-shaped
+                        // extreme).
+                        refDecode = decode;
+                    } else {
+                        EXPECT_TRUE(
+                            test::bytesEqual(decode, refDecode))
+                            << "post-prefill decode diverged for "
+                            << "chunk=" << chunk << " at "
+                            << simdPathName(path) << "/threads="
+                            << nthreads;
+                    }
+                }
+                return 0;
+            });
+        }
+    }
+}
+
+TEST_F(ServingTest, ChunkedPrefillMatchesOneShotFusedAttention)
+{
+    expectChunkedPrefillMatchesOneShot(weights_,
+                                       mantFusedAttentionSetup(64),
+                                       profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, ChunkedPrefillMatchesOneShotSmallGroups)
+{
+    // Group 16 < headDim 32: multiple spatial K groups per row and a
+    // 16-row V process window, so a 21-token prompt finalizes one
+    // window mid-prefill and leaves a 5-row tail.
+    expectChunkedPrefillMatchesOneShot(weights_,
+                                       mantFusedAttentionSetup(16),
+                                       profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, ChunkedPrefillMatchesOneShotFloatPath)
+{
+    expectChunkedPrefillMatchesOneShot(weights_, fp16Setup(),
+                                       profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, ChunkedPrefillMatchesOneShotUnfusedQuantKv)
+{
+    // Quantized KV through the float attention path (no code
+    // capture): the per-row V fold must be split-invariant here too.
+    expectChunkedPrefillMatchesOneShot(weights_, mantFullSetup(16),
+                                       profile_.simDims.vocab);
+}
+
+TEST_F(ServingTest, PrefillMatchesTokenByTokenDecode)
+{
+    // The strongest form of the no-look-ahead claim: a prompt fed
+    // through the decode path one token at a time yields the same
+    // logits rows as one prefill call.
+    Transformer model(weights_, mantFusedAttentionSetup(16));
+    const auto prompt = promptFor(4, 19, profile_.simDims.vocab);
+    StreamContext pre;
+    const Tensor ref = model.prefill(pre, prompt);
+    StreamContext step;
+    model.initStream(step);
+    for (size_t t = 0; t < prompt.size(); ++t) {
+        const auto logits = model.decodeStep(step, prompt[t]);
+        EXPECT_TRUE(test::bytesEqual(
+            logits, ref.row(static_cast<int64_t>(t))))
+            << "row " << t;
+    }
+}
+
+/** Engine outputs must be invariant under every chunk size and page
+ *  pool geometry — the scheduler decides when rows run, never what
+ *  they compute. */
+TEST_F(ServingTest, EngineOutputsInvariantUnderChunkingAndPaging)
+{
+    const auto cases = raggedCases(profile_.simDims.vocab);
+    const ServingConfig configs[] = {
+        {.maxStreams = 3},
+        {.maxStreams = 3, .prefillChunkTokens = 1},
+        {.maxStreams = 3, .prefillChunkTokens = 7},
+        {.maxStreams = 3,
+         .prefillChunkTokens = 8,
+         .pagePoolPages = 256,
+         .freePageWatermark = 4},
+        {.maxStreams = 3,
+         .prefillChunkTokens = 3,
+         .pagePoolPages = 64,
+         .freePageWatermark = 16,
+         .agingSteps = 2},
+    };
+    std::vector<std::vector<std::vector<int32_t>>> results;
+    for (const ServingConfig &cfg : configs) {
+        Transformer model(weights_, mantFusedAttentionSetup(16));
+        ServingEngine engine(model, cfg);
+        std::vector<RequestId> ids;
+        for (const ServingCase &c : cases) {
+            GenRequest req;
+            req.prompt = c.prompt;
+            req.maxNewTokens = c.maxNewTokens;
+            ids.push_back(engine.submit(std::move(req)));
+        }
+        engine.run();
+        std::vector<std::vector<int32_t>> outs;
+        for (RequestId id : ids)
+            outs.push_back(engine.output(id));
+        if (cfg.prefillChunkTokens > 0) {
+            EXPECT_GE(engine.stats().prefillChunks,
+                      engine.stats().prefills);
+        }
+        if (engine.pagePool()) {
+            // Retirement returned every page.
+            EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+            EXPECT_EQ(engine.stats().peakPagesInUse,
+                      engine.pagePool()->peakInUsePages());
+        }
+        results.push_back(std::move(outs));
+    }
+    for (size_t i = 1; i < results.size(); ++i)
+        EXPECT_EQ(results[0], results[i]) << "config " << i;
+}
+
+// --- scheduler policy ------------------------------------------------
+
+TEST_F(ServingTest, PriorityOrdersAdmissionFifoAmongEquals)
+{
+    Transformer model(weights_, mantFusedSetup(64));
+    ServingEngine engine(model, ServingConfig{.maxStreams = 1});
+    const auto prompt = promptFor(0, 5, profile_.simDims.vocab);
+    const auto makeReq = [&](int32_t pri) {
+        GenRequest r;
+        r.prompt = prompt;
+        r.maxNewTokens = 2;
+        r.priority = pri;
+        return r;
+    };
+    // Submission order: pri 0, 5, 2, 5. Expected completion: the two
+    // fives in FIFO order, then 2, then 0.
+    const RequestId ids[] = {
+        engine.submit(makeReq(0)), engine.submit(makeReq(5)),
+        engine.submit(makeReq(2)), engine.submit(makeReq(5))};
+    std::vector<RequestId> completionOrder;
+    while (!engine.idle()) {
+        engine.step();
+        for (const RequestId id : ids) {
+            if (engine.state(id) == RequestState::Done &&
+                std::find(completionOrder.begin(),
+                          completionOrder.end(),
+                          id) == completionOrder.end())
+                completionOrder.push_back(id);
+        }
+    }
+    const std::vector<RequestId> expect = {ids[1], ids[3], ids[2],
+                                           ids[0]};
+    EXPECT_EQ(completionOrder, expect);
+}
+
+TEST_F(ServingTest, TokenBudgetCapsGeneration)
+{
+    Transformer model(weights_, mantFusedSetup(64));
+    const auto prompt = promptFor(1, 6, profile_.simDims.vocab);
+    const auto full = serialGreedy(model, prompt, 10);
+    ASSERT_EQ(full.size(), 10u);
+
+    ServingEngine engine(model, ServingConfig{.maxStreams = 2});
+    GenRequest capped;
+    capped.prompt = prompt;
+    capped.maxNewTokens = 10;
+    capped.tokenBudget = static_cast<int64_t>(prompt.size()) + 3;
+    const RequestId id = engine.submit(std::move(capped));
+    engine.run();
+    // Budget leaves room for exactly 3 generated tokens, and they are
+    // the serial prefix (the cap changes length, never values).
+    ASSERT_EQ(engine.output(id).size(), 3u);
+    EXPECT_TRUE(std::equal(engine.output(id).begin(),
+                           engine.output(id).end(), full.begin()));
+
+    // Budget exactly covering the prompt: legal, completes empty.
+    GenRequest exact;
+    exact.prompt = prompt;
+    exact.maxNewTokens = 4;
+    exact.tokenBudget = static_cast<int64_t>(prompt.size());
+    const RequestId e = engine.submit(std::move(exact));
+    EXPECT_EQ(engine.state(e), RequestState::Done);
+    EXPECT_TRUE(engine.output(e).empty());
+
+    // A prompt that alone exceeds the budget is a contract violation,
+    // as is a negative budget.
+    GenRequest over;
+    over.prompt = prompt;
+    over.maxNewTokens = 4;
+    over.tokenBudget = static_cast<int64_t>(prompt.size()) - 1;
+    EXPECT_THROW(engine.submit(std::move(over)),
+                 std::invalid_argument);
+    GenRequest neg;
+    neg.prompt = prompt;
+    neg.maxNewTokens = 4;
+    neg.tokenBudget = -1;
+    EXPECT_THROW(engine.submit(std::move(neg)),
+                 std::invalid_argument);
+}
+
+TEST_F(ServingTest, WatermarkDefersAdmissionUntilPagesReturn)
+{
+    Transformer model(weights_, mantFusedAttentionSetup(16));
+    // watermark == pool cap: any page in use defers admission, so the
+    // engine is forced to serialize — but the active_-empty forward-
+    // progress rule must keep it moving (no livelock).
+    ServingConfig cfg;
+    cfg.maxStreams = 4;
+    cfg.pagePoolPages = 256;
+    cfg.freePageWatermark = 256;
+    ServingEngine engine(model, cfg);
+    ASSERT_NE(engine.pagePool(), nullptr);
+
+    std::vector<RequestId> ids;
+    for (int s = 0; s < 3; ++s) {
+        GenRequest req;
+        req.prompt = promptFor(s, 6, profile_.simDims.vocab);
+        req.maxNewTokens = 4;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    EXPECT_TRUE(engine.step());
+    // Exactly one admission: the first went through on the forward-
+    // progress rule, the second was deferred by the watermark.
+    EXPECT_EQ(engine.activeStreams(), 1);
+    EXPECT_EQ(engine.queuedRequests(), 2);
+    EXPECT_GE(engine.stats().admissionDeferrals, 1);
+    EXPECT_EQ(engine.state(ids[1]), RequestState::Queued);
+
+    engine.run();
+    // Recovery: deferred requests ran to completion once pages came
+    // back, one stream at a time.
+    for (const RequestId id : ids)
+        EXPECT_EQ(engine.state(id), RequestState::Done);
+    EXPECT_EQ(engine.stats().peakBatch, 1);
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+
+    // Same outputs as an unconstrained engine.
+    ServingEngine free(model, ServingConfig{.maxStreams = 4});
+    std::vector<RequestId> fids;
+    for (int s = 0; s < 3; ++s) {
+        GenRequest req;
+        req.prompt = promptFor(s, 6, profile_.simDims.vocab);
+        req.maxNewTokens = 4;
+        fids.push_back(free.submit(std::move(req)));
+    }
+    free.run();
+    for (size_t s = 0; s < ids.size(); ++s)
+        EXPECT_EQ(engine.output(ids[s]), free.output(fids[s]));
+}
+
+TEST_F(ServingTest, AgingBoundsLowPriorityStarvation)
+{
+    const auto prompt = promptFor(2, 4, profile_.simDims.vocab);
+    const auto makeReq = [&](int32_t pri) {
+        GenRequest r;
+        r.prompt = prompt;
+        r.maxNewTokens = 2;
+        r.priority = pri;
+        return r;
+    };
+    // Without aging, a steady stream of higher-priority arrivals
+    // starves the low-priority request indefinitely.
+    {
+        Transformer model(weights_, mantFusedSetup(64));
+        ServingEngine engine(model, ServingConfig{.maxStreams = 1});
+        const RequestId low = engine.submit(makeReq(0));
+        for (int i = 0; i < 10; ++i) {
+            engine.submit(makeReq(3));
+            engine.step();
+        }
+        EXPECT_EQ(engine.state(low), RequestState::Queued);
+    }
+    // With aging, the low-priority request's effective priority grows
+    // by one per waited round; fresh priority-3 arrivals hold an
+    // effective 4 at admission, so the wait is bounded at ~5 rounds.
+    {
+        Transformer model(weights_, mantFusedSetup(64));
+        ServingConfig cfg;
+        cfg.maxStreams = 1;
+        cfg.agingSteps = 1;
+        ServingEngine engine(model, cfg);
+        const RequestId low = engine.submit(makeReq(0));
+        int rounds = 0;
+        while (engine.state(low) != RequestState::Done &&
+               rounds < 10) {
+            engine.submit(makeReq(3));
+            engine.step();
+            ++rounds;
+        }
+        EXPECT_EQ(engine.state(low), RequestState::Done);
+        EXPECT_LE(rounds, 8);
+    }
+}
+
+TEST_F(ServingTest, EngineValidatesSchedulerConfig)
+{
+    Transformer model(weights_, mantFusedAttentionSetup(64));
+    ServingConfig neg;
+    neg.prefillChunkTokens = -1;
+    EXPECT_THROW(ServingEngine(model, neg), std::invalid_argument);
+    ServingConfig negWm;
+    negWm.freePageWatermark = -2;
+    EXPECT_THROW(ServingEngine(model, negWm), std::invalid_argument);
+    // Explicit pageBytes below the model's largest panel block cannot
+    // hold one block per page.
+    ServingConfig tiny;
+    tiny.pageBytes = 8;
+    EXPECT_THROW(ServingEngine(model, tiny), std::invalid_argument);
+    // Non-fused models have no panel stores: no pool, knobs inert.
+    Transformer fp(weights_, fp16Setup());
+    ServingConfig pooled;
+    pooled.pagePoolPages = 4;
+    pooled.freePageWatermark = 2;
+    ServingEngine engine(fp, pooled);
+    EXPECT_EQ(engine.pagePool(), nullptr);
+}
+
 // --- generation-path regression fixes -------------------------------
 
 TEST_F(ServingTest, GreedyGenerateClampsNonPositiveCounts)
@@ -557,6 +940,84 @@ TEST(HeadKvCacheContract, AccessorsReportConstruction)
     EXPECT_EQ(cache.groupSize(), 16);
 }
 
+TEST(HeadKvCacheContract, RetireReleasesPagesAndResetRevives)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    // The cache claims pages for both its K panels and its V windows;
+    // the page must hold the larger of the two block sizes.
+    KvPageAllocator pool(
+        std::max(KPanelStore::blockBytesFor(32, 16),
+                 VPanelStore::blockBytesFor(32, 16)),
+        0);
+    HeadKvCache cache(KvMethod::Mant4, 32, 16, &sel,
+                      /*captureCodes=*/true, &pool);
+    std::vector<float> row(32, 0.25f);
+    for (int r = 0; r < 10; ++r) {
+        cache.appendK(row);
+        cache.appendV(row);
+    }
+    EXPECT_GT(cache.pagesHeld(), 0);
+    EXPECT_EQ(pool.inUsePages(), cache.pagesHeld());
+
+    cache.retire();
+    EXPECT_TRUE(cache.retired());
+    EXPECT_EQ(cache.pagesHeld(), 0);
+    EXPECT_EQ(pool.inUsePages(), 0);
+
+    // reset() revives the slot for reuse.
+    cache.reset();
+    EXPECT_FALSE(cache.retired());
+    cache.appendK(row);
+    cache.appendV(row);
+    EXPECT_EQ(cache.size(), 1);
+}
+
+#ifdef NDEBUG
+TEST(HeadKvCacheContract, RetiredAppendThrowsInRelease)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    HeadKvCache cache(KvMethod::Mant4, 8, 8, &sel);
+    std::vector<float> row(8, 0.5f);
+    cache.appendK(row);
+    cache.retire();
+    EXPECT_THROW(cache.appendK(row), std::logic_error);
+    EXPECT_THROW(cache.appendV(row), std::logic_error);
+    Tensor v(Shape{1, 8});
+    EXPECT_THROW(cache.prefillV(v), std::logic_error);
+}
+#endif
+
+TEST(StreamRetirement, RetireStreamFreesPagesAndRejectsDecode)
+{
+    const ModelProfile profile = test::tinyProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 128);
+    Transformer model(weights, mantFusedAttentionSetup(16));
+    KvPageAllocator pool(1 << 16, 0);
+
+    StreamContext s;
+    model.initStream(s, &pool);
+    const auto prompt = promptFor(0, 12, profile.simDims.vocab);
+    model.prefill(s, prompt);
+    EXPECT_GT(pool.inUsePages(), 0);
+
+    model.retireStream(s);
+    EXPECT_EQ(pool.inUsePages(), 0);
+
+    // Re-initializing the slot revives it; the refill reuses the same
+    // pool pages (LIFO) and produces the same logits.
+    StreamContext fresh;
+    model.initStream(fresh, &pool);
+    const Tensor a = model.prefill(fresh, prompt);
+    model.retireStream(fresh);
+    model.initStream(s, &pool);
+    const Tensor b = model.prefill(s, prompt);
+    EXPECT_TRUE(test::bytesEqual(a.span(), b.span()));
+
+    // retireStream on a stream the model does not own is a caller bug.
+    StreamContext foreign;
+    EXPECT_THROW(model.retireStream(foreign), std::invalid_argument);
+}
+
 #ifndef NDEBUG
 TEST(HeadKvCacheContract, KRowOutOfRangeAssertsInDebug)
 {
@@ -566,6 +1027,17 @@ TEST(HeadKvCacheContract, KRowOutOfRangeAssertsInDebug)
     cache.appendK(row);
     EXPECT_DEATH((void)cache.kRow(1), "kRow");
     EXPECT_DEATH((void)cache.kRow(-1), "kRow");
+}
+
+TEST(HeadKvCacheContract, RetiredAppendDiesInDebug)
+{
+    const VarianceSelector sel = VarianceSelector::analytic();
+    HeadKvCache cache(KvMethod::Mant4, 8, 8, &sel);
+    std::vector<float> row(8, 0.5f);
+    cache.appendK(row);
+    cache.retire();
+    EXPECT_DEATH(cache.appendK(row), "retired");
+    EXPECT_DEATH(cache.appendV(row), "retired");
 }
 #endif
 

@@ -189,5 +189,160 @@ TEST_F(SoakTest, FusedAttentionSetupHundredRequests)
     soakSetup(weights_, mantFusedAttentionSetup(), 100, 53000);
 }
 
+// --- paged-engine fragmentation/churn soak ---------------------------
+
+struct PagedCase
+{
+    SoakCase base;
+    int32_t priority = 0;
+    int64_t tokenBudget = 0; ///< 0 = uncapped
+};
+
+/** Ragged paged-soak request: longer prompts than the base soak (so
+ *  chunked prefill always has work), random priorities (reordering
+ *  admission, never tokens), and a sprinkle of token budgets — some
+ *  leaving zero generation room (instant completion). */
+PagedCase
+randomPagedCase(uint64_t seed, int64_t vocab)
+{
+    Rng rng(seed);
+    PagedCase c;
+    const int len = 1 + static_cast<int>(rng.uniformInt(24));
+    c.base.prompt.resize(static_cast<size_t>(len));
+    for (auto &t : c.base.prompt)
+        t = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    c.base.maxNewTokens = 1 + static_cast<int64_t>(rng.uniformInt(12));
+    if (rng.uniformInt(3) == 0)
+        c.base.stopToken = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    c.priority = static_cast<int32_t>(rng.uniformInt(4));
+    if (rng.uniformInt(4) == 0)
+        c.tokenBudget = len + static_cast<int64_t>(rng.uniformInt(10));
+    return c;
+}
+
+/** The oracle-side effect of a token budget: at most
+ *  (budget - promptLen) generated tokens, empty when no room. */
+std::vector<int32_t>
+truncateToBudget(std::vector<int32_t> tokens, int64_t promptLen,
+                 int64_t budget)
+{
+    if (budget <= 0)
+        return tokens;
+    const int64_t room = budget - promptLen;
+    if (room < static_cast<int64_t>(tokens.size()))
+        tokens.resize(static_cast<size_t>(std::max<int64_t>(room, 0)));
+    return tokens;
+}
+
+TEST_F(SoakTest, PagedEngineChurnMatchesSerialOracle)
+{
+    // 320 ragged requests through the fully-paged configuration:
+    // chunked prefill (chunk 5 straddles every panel boundary), a
+    // bounded shared page pool, a low admission watermark, priority
+    // scheduling with aging, and random token budgets. Every output
+    // is FNV-checksummed against the serial oracle — the scheduler
+    // may only ever change WHEN tokens are computed.
+    //
+    // Pool sizing: with 24 + 12 = 36 max rows per stream, group 16,
+    // headDim 32, a stream tops out at 5 pages per head cache × 4
+    // caches = 20 pages; 6 slots × 20 = 120 < 128, so the cap can
+    // never be exhausted mid-decode and the watermark stays pure
+    // backpressure (the documented sizing rule).
+    const QuantSetup setup = mantFusedAttentionSetup(16);
+    const int64_t vocab = profile_.simDims.vocab;
+    const uint64_t seedBase = 54000;
+    const int numRequests = 320;
+    Transformer model(weights_, setup);
+
+    std::vector<PagedCase> cases;
+    cases.reserve(numRequests);
+    for (int i = 0; i < numRequests; ++i)
+        cases.push_back(randomPagedCase(
+            seedBase + static_cast<uint64_t>(i), vocab));
+
+    uint64_t serialSum = 0xcbf29ce484222325ULL;
+    std::vector<std::vector<int32_t>> expected;
+    expected.reserve(cases.size());
+    for (const PagedCase &c : cases) {
+        auto tokens = truncateToBudget(
+            truncateAtStop(
+                bench::serialGreedyOracle(model, c.base.prompt,
+                                          c.base.maxNewTokens),
+                c.base.stopToken),
+            static_cast<int64_t>(c.base.prompt.size()),
+            c.tokenBudget);
+        serialSum = fnv1a(serialSum, tokens);
+        expected.push_back(std::move(tokens));
+    }
+
+    ServingConfig cfg;
+    cfg.maxStreams = 6;
+    cfg.prefillChunkTokens = 5;
+    cfg.pagePoolPages = 128;
+    cfg.freePageWatermark = 12;
+    cfg.agingSteps = 3;
+    ServingEngine engine(model, cfg);
+    ASSERT_NE(engine.pagePool(), nullptr);
+
+    Rng waves(seedBase ^ 0x5057414b45ULL);
+    std::vector<RequestId> ids;
+    size_t submitted = 0;
+    while (submitted < cases.size() || !engine.idle()) {
+        if (submitted < cases.size()) {
+            const size_t wave = std::min(
+                cases.size() - submitted,
+                static_cast<size_t>(1 + waves.uniformInt(8)));
+            for (size_t i = 0; i < wave; ++i, ++submitted) {
+                GenRequest req;
+                req.prompt = cases[submitted].base.prompt;
+                req.maxNewTokens = cases[submitted].base.maxNewTokens;
+                req.stopToken = cases[submitted].base.stopToken;
+                req.priority = cases[submitted].priority;
+                req.tokenBudget = cases[submitted].tokenBudget;
+                ids.push_back(engine.submit(std::move(req)));
+            }
+        }
+        const uint64_t rounds = 1 + waves.uniformInt(4);
+        for (uint64_t r = 0; r < rounds && engine.step(); ++r) {
+        }
+    }
+
+    uint64_t engineSum = 0xcbf29ce484222325ULL;
+    int mismatches = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(engine.state(ids[i]), RequestState::Done);
+        const auto &out = engine.output(ids[i]);
+        engineSum = fnv1a(engineSum, out);
+        if (out != expected[i] && mismatches++ < 3)
+            ADD_FAILURE() << "request " << i << " (seed "
+                          << seedBase + static_cast<uint64_t>(i)
+                          << ") diverged from the serial oracle";
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_EQ(engineSum, serialSum)
+        << "paged-churn token checksum diverged (seed base "
+        << seedBase << ")";
+
+    // No leaked pages after ~320 retire cycles, and the pool honored
+    // its cap throughout the churn.
+    const KvPageAllocator &pool = *engine.pagePool();
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_LE(pool.peakInUsePages(), cfg.pagePoolPages);
+    EXPECT_LE(pool.createdPages(), cfg.pagePoolPages);
+    EXPECT_EQ(engine.stats().peakPagesInUse, pool.peakInUsePages());
+    EXPECT_EQ(engine.stats().prefills,
+              static_cast<int64_t>(ids.size()) -
+                  std::count_if(expected.begin(), expected.end(),
+                                [](const auto &e) {
+                                    return e.empty();
+                                }));
+    if (cfg.prefillChunkTokens > 0) {
+        EXPECT_LE(engine.stats().maxPrefillTokensPerStep,
+                  cfg.prefillChunkTokens * cfg.maxStreams);
+    }
+}
+
 } // namespace
 } // namespace mant

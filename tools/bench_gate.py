@@ -13,13 +13,17 @@ benchmark present in the baseline:
 
       BM_GemmTiled/<M>     -> BM_GemmRef/<M>       output values
       BM_DecodeBatched/<S> -> BM_DecodeSerial/<S>  generated tokens
+      BM_DecodePaged/<S>   -> BM_DecodeSerialQuantKv/<S>  tokens
       BM_AttnFused/<L>     -> BM_AttnRef/<L>       attention output
 
     The tiled path is only a valid optimization while it reproduces
     the reference fused GEMM bit-for-bit, the batched serving
     engine only while every stream's token sequence is byte-identical
-    to its serial single-stream run, and the panel-packed attention
-    kernels only while they match the flat-view reference exactly
+    to its serial single-stream run, the paged + chunked-prefill
+    engine only while paging stays a pure placement/scheduling change
+    (byte-identical tokens vs the serial monolithic-cache run of the
+    same quantized-KV model), and the panel-packed attention kernels
+    only while they match the flat-view reference exactly
     (docs/ARCHITECTURE.md, determinism contract).
 
  2. **Throughput**: the optimized/reference speedup ratio
@@ -51,6 +55,7 @@ MIN_GATED_RATIO = 1.2
 PAIRS = {
     "BM_GemmTiled": "BM_GemmRef",
     "BM_DecodeBatched": "BM_DecodeSerial",
+    "BM_DecodePaged": "BM_DecodeSerialQuantKv",
     "BM_AttnFused": "BM_AttnRef",
 }
 
