@@ -16,14 +16,18 @@
  * monolithic (unchunked, unbounded) engine plus a serial-oracle
  * subset.
  *
- * Every cell of both sweeps is parity-checked byte-for-byte (the
+ * Sweep 3 (preemption): the paged mix against a pool deliberately
+ * undersized for the decode slots, measuring the recompute overhead
+ * of eviction + deterministic replay (see runPreemptionSweep).
+ *
+ * Every cell of every sweep is parity-checked byte-for-byte (the
  * serving determinism contract) and the binary exits non-zero on any
  * mismatch — so this sweep doubles as an end-to-end check wherever it
  * runs (CI executes it in the bench job).
  *
  * Usage: bench_serving [maxPagedStreams] [tokensPerStream]
- *   maxPagedStreams (default 256) caps the paged sweep's doubling
- *     stream grid {16, 32, ..., maxPagedStreams}; 0 skips the sweep.
+ *   maxPagedStreams (default 256) caps the paged and preemption
+ *     sweeps' stream grids {16, ..., maxPagedStreams}; 0 skips both.
  *   tokensPerStream (default 32) applies to the batching sweep; the
  *     paged sweep decodes a fixed 16 tokens/stream since its variable
  *     of interest is stream count and pool pressure, not decode
@@ -288,6 +292,153 @@ runPagedSweep(int64_t maxStreams)
     return 0;
 }
 
+/**
+ * Sweep 3 (preemption): the same request mix against a pool
+ * deliberately undersized for the decode slots (40% of slots ×
+ * worst-case pages, watermark off), so the scheduler must keep the
+ * batch alive by evicting and later replaying streams. Reports the
+ * recompute overhead of running undersized — evicted-and-replayed
+ * tokens as a fraction of tokens decoded — next to throughput. The
+ * run must finish with zero engine-fatal exceptions, at least one
+ * eviction per cell, byte-parity with the monolithic engine for every
+ * request (serial-oracle spot check on a subset), and a drained,
+ * cap-honoring pool; any violation exits non-zero.
+ */
+int
+runPreemptionSweep(int64_t maxStreams)
+{
+    constexpr int64_t kDecodeSlots = 16;
+    constexpr int64_t kPagedTokens = 16;
+    // Group 16 (vs the paged sweep's 64) so page claims spread across
+    // a stream's whole lifetime — K panels every 8 rows, V windows
+    // every 16 — instead of all landing in the admission chunk. With
+    // claims mid-flight, an undersized pool must preempt running
+    // streams; claims-at-admission would be absorbed by admission
+    // deferral alone and never exercise eviction.
+    constexpr int64_t kvGroup = 16;
+    const ModelProfile profile = bench::servingBenchProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 256);
+    Transformer model(weights, mantFusedAttentionSetup(kvGroup));
+    const ArchDims &d = profile.simDims;
+
+    const int64_t pageBytes =
+        std::max(KPanelStore::blockBytesFor(d.headDim(), kvGroup),
+                 VPanelStore::blockBytesFor(d.headDim(), kvGroup));
+    const int64_t pagesPerStream = worstPagesPerStream(
+        d, kvGroup, 35 + kPagedTokens, pageBytes);
+    // Undersized on purpose: well below what the decode slots can
+    // pin together, but any single stream still fits — so requests
+    // are preempted and replayed, never failed.
+    const int64_t poolPages =
+        std::max(pagesPerStream + 1,
+                 kDecodeSlots * pagesPerStream * 2 / 5);
+
+    std::cout << "\nPreemption sweep (undersized pool: " << poolPages
+              << " pages vs " << kDecodeSlots * pagesPerStream
+              << " worst-case for " << kDecodeSlots
+              << " slots; chunk 8), " << kPagedTokens
+              << " tokens/stream:\n\n";
+    std::cout << "streams | ms | tok/s | evictions | recomputed tok | "
+                 "overhead | parity\n";
+    std::cout << "--------+----+-------+-----------+----------------+-"
+                 "---------+-------\n";
+
+    bool all_ok = true;
+    for (const int64_t streams : {16, 64, 256}) {
+        if (streams > maxStreams)
+            break;
+        std::vector<std::vector<int32_t>> prompts;
+        for (int64_t s = 0; s < streams; ++s)
+            prompts.push_back(bench::servingBenchPrompt(
+                s, pagedPromptLen(s), d.vocab));
+
+        ServingEngine mono(
+            model, ServingConfig{.maxStreams = kDecodeSlots});
+        std::vector<RequestId> monoIds;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = prompts[static_cast<size_t>(s)];
+            req.maxNewTokens = kPagedTokens;
+            monoIds.push_back(mono.submit(std::move(req)));
+        }
+        mono.run();
+
+        ServingEngine engine(
+            model, ServingConfig{.maxStreams = kDecodeSlots,
+                                 .prefillChunkTokens = 8,
+                                 .pagePoolPages = poolPages});
+        std::vector<RequestId> ids;
+        const bench::Stopwatch watch;
+        for (int64_t s = 0; s < streams; ++s) {
+            GenRequest req;
+            req.prompt = prompts[static_cast<size_t>(s)];
+            req.maxNewTokens = kPagedTokens;
+            ids.push_back(engine.submit(std::move(req)));
+        }
+        // The headline claim: request-level pool pressure can never
+        // kill the engine. Any exception here is an engine bug.
+        try {
+            engine.run();
+        } catch (const std::exception &e) {
+            std::cerr << "\nFAIL: engine-fatal exception under pool "
+                         "pressure: "
+                      << e.what() << "\n";
+            return 1;
+        }
+        const double ms = watch.elapsedNs() / 1e6;
+
+        bool parity = true;
+        for (int64_t s = 0; s < streams; ++s)
+            parity = parity &&
+                     engine.state(ids[static_cast<size_t>(s)]) ==
+                         RequestState::Done &&
+                     engine.output(ids[static_cast<size_t>(s)]) ==
+                         mono.output(monoIds[static_cast<size_t>(s)]);
+        for (int64_t s = 0; s < std::min<int64_t>(streams, 8); ++s)
+            parity = parity &&
+                     engine.output(ids[static_cast<size_t>(s)]) ==
+                         bench::serialGreedyOracle(
+                             model, prompts[static_cast<size_t>(s)],
+                             kPagedTokens);
+
+        const ServingEngine::Stats &st = engine.stats();
+        const KvPageAllocator *pool = engine.pagePool();
+        const bool pressured = st.evictions >= 1;
+        const bool bounded =
+            pool != nullptr && pool->inUsePages() == 0 &&
+            pool->peakInUsePages() <= poolPages &&
+            st.failed == 0;
+        all_ok = all_ok && parity && pressured && bounded;
+
+        const double total_tokens =
+            static_cast<double>(streams * kPagedTokens);
+        std::printf(
+            "%7lld | %2.0f | %5.0f | %9lld | %14lld | %7.1f%% | %s\n",
+            static_cast<long long>(streams), ms,
+            total_tokens / (ms / 1e3),
+            static_cast<long long>(st.evictions),
+            static_cast<long long>(st.recomputedTokens),
+            100.0 * static_cast<double>(st.recomputedTokens) /
+                static_cast<double>(std::max<int64_t>(
+                    st.decodedTokens + st.prefillTokens, 1)),
+            !parity      ? "MISMATCH"
+            : !pressured ? "NO-EVICT"
+            : !bounded   ? "UNBOUNDED"
+                         : "OK");
+    }
+
+    if (!all_ok) {
+        std::cerr << "\nFAIL: preemption sweep diverged from the "
+                     "monolithic engine, saw no evictions, or "
+                     "leaked/failed under pressure\n";
+        return 1;
+    }
+    std::cout << "\nAll preempted runs byte-identical to the "
+                 "monolithic engine; recompute overhead is the whole "
+                 "cost of the undersized pool.\n";
+    return 0;
+}
+
 } // namespace
 } // namespace mant
 
@@ -312,7 +463,11 @@ main(int argc, char **argv)
     const int rc = mant::runSweep(tokens);
     if (rc != 0)
         return rc;
-    if (pagedStreams > 0)
-        return mant::runPagedSweep(pagedStreams);
+    if (pagedStreams > 0) {
+        const int paged = mant::runPagedSweep(pagedStreams);
+        if (paged != 0)
+            return paged;
+        return mant::runPreemptionSweep(pagedStreams);
+    }
     return 0;
 }

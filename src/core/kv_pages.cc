@@ -17,7 +17,7 @@ KvPageAllocator::KvPageAllocator(int64_t pageBytes, int64_t maxPages)
 }
 
 std::optional<KvPageId>
-KvPageAllocator::tryAlloc()
+KvPageAllocator::claimFree()
 {
     KvPageId id;
     if (!freeList_.empty()) {
@@ -41,10 +41,35 @@ KvPageAllocator::tryAlloc()
     return id;
 }
 
+bool
+KvPageAllocator::faultThisAttempt()
+{
+    ++attempts_;
+    const bool fault =
+        plan_.failAll ||
+        (plan_.failAtAttempt > 0 && attempts_ == plan_.failAtAttempt);
+    if (fault)
+        ++injectedFaults_;
+    return fault;
+}
+
+std::optional<KvPageId>
+KvPageAllocator::tryAlloc()
+{
+    if (faultThisAttempt())
+        return std::nullopt;
+    return claimFree();
+}
+
 KvPageId
 KvPageAllocator::alloc()
 {
-    const std::optional<KvPageId> id = tryAlloc();
+    if (faultThisAttempt()) {
+        throw KvFaultInjected(
+            "KvPageAllocator: injected fault on allocation attempt " +
+            std::to_string(attempts_));
+    }
+    const std::optional<KvPageId> id = claimFree();
     if (!id) {
         throw KvPoolExhausted(
             "KvPageAllocator: page pool exhausted (cap " +

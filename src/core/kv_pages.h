@@ -52,6 +52,40 @@ class KvPoolExhausted : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/** Allocation failure manufactured by an armed KvFaultPlan. Derived
+ *  from KvPoolExhausted so every exhaustion-handling path covers it,
+ *  yet catchable separately: an injected fault says nothing about real
+ *  pool pressure (the page the claim wanted is still free), so a
+ *  scheduler may always retry it, where a genuine KvPoolExhausted with
+ *  nothing left to evict is terminal for the request. */
+class KvFaultInjected : public KvPoolExhausted
+{
+  public:
+    using KvPoolExhausted::KvPoolExhausted;
+};
+
+/**
+ * Deterministic allocation-fault plan. Faults are counter-seeded: they
+ * key off the allocator's monotone attempt counter (and whatever
+ * schedule the owner arms per scheduler round), never off time or
+ * randomness, so a faulting run replays byte-identically. A fired
+ * fault consumes the attempt (the counter advances) but leaves the
+ * pool's state — free list, in-use count, created pages — untouched.
+ */
+struct KvFaultPlan
+{
+    /** Fail allocation attempt #N (1-based, counted across the
+     *  allocator's lifetime by allocAttempts()); fires exactly once.
+     *  0 disables. */
+    int64_t failAtAttempt = 0;
+
+    /** Fail every attempt while set (the owner arms/disarms this per
+     *  scheduler-round window for storm injection). */
+    bool failAll = false;
+
+    bool armed() const { return failAtAttempt > 0 || failAll; }
+};
+
 /**
  * Free-list pool of fixed-size pages. Pages materialize lazily (the
  * cap is a ceiling, not an up-front reservation) and are never
@@ -72,11 +106,27 @@ class KvPageAllocator
     KvPageAllocator(const KvPageAllocator &) = delete;
     KvPageAllocator &operator=(const KvPageAllocator &) = delete;
 
-    /** Claim a page, or std::nullopt when the cap is exhausted. */
+    /** Claim a page, or std::nullopt when the cap is exhausted — or
+     *  when the armed fault plan fails this attempt. */
     std::optional<KvPageId> tryAlloc();
 
-    /** Claim a page; throws KvPoolExhausted when the cap is hit. */
+    /** Claim a page; throws KvPoolExhausted when the cap is hit, or
+     *  KvFaultInjected when the armed fault plan fails this attempt
+     *  (the pool itself is unchanged in both cases). */
     KvPageId alloc();
+
+    /** Arm (or, with a default-constructed plan, disarm) deterministic
+     *  fault injection. The attempt counter is NOT reset — failAtAttempt
+     *  is measured against the allocator-lifetime count. */
+    void setFaultPlan(const KvFaultPlan &plan) { plan_ = plan; }
+    const KvFaultPlan &faultPlan() const { return plan_; }
+
+    /** Allocation attempts over the allocator's lifetime, successful
+     *  or not (monotone; the fault plan's counter space). */
+    int64_t allocAttempts() const { return attempts_; }
+
+    /** Attempts failed by the fault plan (never by real exhaustion). */
+    int64_t injectedFaults() const { return injectedFaults_; }
 
     /**
      * Return a page to the free list. Contract: `id` must be a
@@ -121,10 +171,19 @@ class KvPageAllocator
     }
 
   private:
+    /** Pop the free list / materialize under the cap (no fault check;
+     *  the shared tail of tryAlloc() and alloc()). */
+    std::optional<KvPageId> claimFree();
+    /** Count one attempt and report whether the plan fails it. */
+    bool faultThisAttempt();
+
     int64_t pageBytes_;
     int64_t maxPages_;
     int64_t inUse_ = 0;
     int64_t peakInUse_ = 0;
+    int64_t attempts_ = 0;
+    int64_t injectedFaults_ = 0;
+    KvFaultPlan plan_;
     std::vector<std::unique_ptr<uint8_t[]>> pages_;
     /** LIFO free list: back() is the next page handed out. */
     std::vector<KvPageId> freeList_;

@@ -53,6 +53,7 @@
 #ifndef MANT_CORE_KV_PANELS_H_
 #define MANT_CORE_KV_PANELS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -113,6 +114,19 @@ class PagedBlockList
     int64_t pagesHeld() const
     {
         return static_cast<int64_t>(pageIds_.size());
+    }
+
+    /** Pool pages growing to `totalBlocks` blocks would claim beyond
+     *  the pages already held — exact, because claimBlock() claims a
+     *  page precisely when the block count crosses a page boundary.
+     *  A scheduler can therefore reserve (or make) headroom BEFORE
+     *  appending, keeping exhaustion out of the growth path. */
+    int64_t
+    pagesNeededFor(int64_t totalBlocks) const
+    {
+        const int64_t pagesAfter =
+            (totalBlocks + blocksPerPage_ - 1) / blocksPerPage_;
+        return std::max<int64_t>(0, pagesAfter - pagesHeld());
     }
 
     /** Free every claimed page (reverse claim order → a LIFO pool
@@ -180,6 +194,15 @@ class KPanelStore
 
     /** Pool pages this store currently holds. */
     int64_t pagesHeld() const { return blocks_.pagesHeld(); }
+
+    /** Exact pool pages the next `rows` appendRow() calls will claim
+     *  (a panel block per kTilePanelCols positions). */
+    int64_t
+    poolPagesForRows(int64_t rows) const
+    {
+        return blocks_.pagesNeededFor(
+            (rows_ + rows + kTilePanelCols - 1) / kTilePanelCols);
+    }
 
     /** Packed code block of one (panel, group) tile. */
     const uint8_t *
@@ -285,6 +308,14 @@ class VPanelStore
 
     /** Pool pages this store currently holds. */
     int64_t pagesHeld() const { return blocks_.pagesHeld(); }
+
+    /** Exact pool pages growing to `totalWindows` finalized windows
+     *  will claim (one block per window). */
+    int64_t
+    poolPagesForWindows(int64_t totalWindows) const
+    {
+        return blocks_.pagesNeededFor(totalWindows);
+    }
 
     /** Packed code block of one (window, panel) tile. */
     const uint8_t *

@@ -50,7 +50,9 @@ greedyGenerate(Transformer &model, std::span<const int32_t> prompt,
     // One single-slot serving engine run: identical tokens to the old
     // hand-rolled prefill + decodeStep loop (the engine's determinism
     // contract), with the model's own default-stream state untouched.
-    ServingEngine engine(model, ServingConfig{.maxStreams = 1});
+    ServingConfig cfg;
+    cfg.maxStreams = 1;
+    ServingEngine engine(model, cfg);
     GenRequest req;
     req.prompt.assign(prompt.begin(), prompt.end());
     req.maxNewTokens = numTokens;

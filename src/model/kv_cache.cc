@@ -181,4 +181,22 @@ HeadKvCache::pagesHeld() const
     return pages;
 }
 
+int64_t
+HeadKvCache::poolPagesForRows(int64_t rows) const
+{
+    if (!captureCodes_ || rows <= 0)
+        return 0;
+    int64_t pages = kPanels_.poolPagesForRows(rows);
+    if (vQuant_) {
+        // A V window block is claimed when its window-th row finalizes
+        // it; `rows` more appends complete (rows() + rows) / window
+        // windows in total.
+        const int64_t windowsAfter =
+            (vQuant_->rows() + rows) / vWindow();
+        pages +=
+            vQuant_->codePanels().poolPagesForWindows(windowsAfter);
+    }
+    return pages;
+}
+
 } // namespace mant

@@ -131,6 +131,16 @@ class HeadKvCache
     /** Pool pages currently held by the captured panel stores. */
     int64_t pagesHeld() const;
 
+    /** Exact pool pages appending `rows` more positions (one appendK +
+     *  one appendV each) will claim from the panel stores: new K
+     *  panel blocks plus newly-finalized V window blocks, minus the
+     *  headroom of pages already held. 0 for caches that capture no
+     *  codes (their KV lives in plain per-stream buffers). The serving
+     *  scheduler reserves against this BEFORE running a chunk, so pool
+     *  exhaustion surfaces as a scheduling decision (evict a victim),
+     *  not as an exception out of a half-advanced forward pass. */
+    int64_t poolPagesForRows(int64_t rows) const;
+
   private:
     KvMethod method_;
     int64_t headDim_;

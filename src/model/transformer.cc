@@ -192,6 +192,21 @@ Transformer::retireStream(StreamContext &s) const
             c.retire();
 }
 
+int64_t
+Transformer::pagesNeededForRows(const StreamContext &s,
+                                int64_t rows) const
+{
+    if (!ownsStream(s))
+        throw std::invalid_argument(
+            "pagesNeededForRows: stream not initialized for this "
+            "model");
+    int64_t pages = 0;
+    for (const auto &layer : s.caches_)
+        for (const auto &c : layer)
+            pages += c.poolPagesForRows(rows);
+    return pages;
+}
+
 Tensor
 Transformer::embed(std::span<const int32_t> tokens,
                    std::span<const int64_t> rowPos) const

@@ -202,6 +202,19 @@ class Transformer
      */
     void retireStream(StreamContext &s) const;
 
+    /**
+     * Exact shared-pool pages that advancing `s` by `rows` positions
+     * (prefillChunk rows or decode steps) will claim, summed over
+     * every head cache (HeadKvCache::poolPagesForRows). 0 for streams
+     * whose caches capture no panel codes. The serving scheduler calls
+     * this before running a stream so a too-small pool becomes an
+     * eviction decision up front instead of a KvPoolExhausted escaping
+     * a half-advanced forward pass. Throws std::invalid_argument for a
+     * stream this model does not own.
+     */
+    int64_t pagesNeededForRows(const StreamContext &s,
+                               int64_t rows) const;
+
     /** Prefill into an explicit stream context (initStream'd first).
      *  The Transformer's own default-stream state is untouched. */
     Tensor prefill(StreamContext &s, std::span<const int32_t> tokens);

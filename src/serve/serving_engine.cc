@@ -1,7 +1,9 @@
 #include "serve/serving_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -35,6 +37,18 @@ ServingEngine::ServingEngine(Transformer &model, ServingConfig cfg)
         cfg_.agingSteps < 0)
         throw std::invalid_argument(
             "ServingEngine: negative scheduler/pool parameter");
+    const FaultInjectionConfig &f = cfg_.faults;
+    if (f.failNthAlloc < 0 || f.failRoundsBegin < 0 ||
+        f.failRoundsEnd < 0 || f.failPeriod < 0 || f.failLen < 0)
+        throw std::invalid_argument(
+            "ServingEngine: negative fault-injection parameter");
+    if (f.failLen > 0 && f.failPeriod == 0)
+        throw std::invalid_argument(
+            "ServingEngine: faults.failLen requires failPeriod");
+    if (f.failPeriod > 0 && f.failLen >= f.failPeriod)
+        throw std::invalid_argument(
+            "ServingEngine: faults.failLen must leave fault-free "
+            "rounds in each period (failLen < failPeriod)");
     // The engine's whole value is the batched-equals-serial
     // determinism contract; activation methods whose statistics span
     // batch rows (Tender's channel decomposition, tensor-wise scales)
@@ -99,6 +113,9 @@ ServingEngine::submit(GenRequest req)
     if (req.tokenBudget < 0)
         throw std::invalid_argument(
             "ServingEngine::submit: negative token budget");
+    if (req.deadlineSteps < 0)
+        throw std::invalid_argument(
+            "ServingEngine::submit: negative deadlineSteps");
     if (req.tokenBudget > 0 && promptLen > req.tokenBudget) {
         // Contract violation, not backpressure: the prompt alone can
         // never fit, so no amount of waiting makes this admissible.
@@ -116,6 +133,8 @@ ServingEngine::submit(GenRequest req)
         r.effMaxNew =
             std::min(r.effMaxNew, r.req.tokenBudget - promptLen);
     r.enqueueRound = rounds_;
+    if (r.req.deadlineSteps > 0)
+        r.deadlineRound = rounds_ + r.req.deadlineSteps;
     if (r.req.prompt.empty() || r.effMaxNew <= 0) {
         // Degenerate request: nothing to generate. Completing here
         // keeps the scheduler free of zero-token streams (and mirrors
@@ -144,10 +163,43 @@ ServingEngine::state(RequestId id) const
     return checkedRequest(id).state;
 }
 
+const RequestError &
+ServingEngine::error(RequestId id) const
+{
+    return checkedRequest(id).error;
+}
+
 const std::vector<int32_t> &
 ServingEngine::output(RequestId id) const
 {
     return checkedRequest(id).out;
+}
+
+bool
+ServingEngine::cancel(RequestId id)
+{
+    checkedRequest(id);
+    Request &r = requests_[static_cast<size_t>(id)];
+    if (isTerminal(r.state))
+        return false;
+    if (r.state == RequestState::Active) {
+        for (size_t i = 0; i < active_.size(); ++i) {
+            if (live(active_[i]) && active_[i].id == id) {
+                recycleContext(std::move(active_[i].ctx));
+                active_.erase(active_.begin() +
+                              static_cast<int64_t>(i));
+                break;
+            }
+        }
+    } else {
+        // Queued or Preempted: just leave the queue.
+        const auto it = std::find(queue_.begin(), queue_.end(), id);
+        if (it != queue_.end())
+            queue_.erase(it);
+    }
+    r.state = RequestState::Cancelled;
+    ++stats_.cancelled;
+    return true;
 }
 
 bool
@@ -157,6 +209,16 @@ ServingEngine::requestFinished(const Request &r) const
         return true;
     return r.req.stopToken >= 0 && !r.out.empty() &&
            r.out.back() == r.req.stopToken;
+}
+
+int64_t
+ServingEngine::liveSlots() const
+{
+    int64_t n = 0;
+    for (const ActiveStream &a : active_)
+        if (live(a))
+            ++n;
+    return n;
 }
 
 std::unique_ptr<StreamContext>
@@ -181,53 +243,131 @@ ServingEngine::recycleContext(std::unique_ptr<StreamContext> ctx)
     // Retire rather than reset: every page goes back to the pool the
     // moment the stream finishes — before the next round's watermark
     // check — and a parked slot's caches reject stray appends until
-    // acquireContext() revives them.
+    // acquireContext() revives them. Retirement is also how faulted
+    // streams are cleaned up: a KvPoolExhausted mid-forward leaves
+    // caches partially advanced, and retire() discards that partial
+    // state wholesale (the replay prefill re-derives it exactly).
     model_.retireStream(*ctx);
     pool_.push_back(std::move(ctx));
+}
+
+int64_t
+ServingEngine::chunkLenFor(const ActiveStream &a) const
+{
+    const Request &r = requests_[static_cast<size_t>(a.id)];
+    const std::vector<int32_t> &feed = feedTokens(r);
+    const int64_t total = static_cast<int64_t>(feed.size());
+    const int64_t chunk =
+        cfg_.prefillChunkTokens > 0 ? cfg_.prefillChunkTokens : total;
+    return std::min(chunk, total - a.promptPos);
 }
 
 int64_t
 ServingEngine::feedChunk(ActiveStream &a)
 {
     Request &r = requests_[static_cast<size_t>(a.id)];
-    const std::vector<int32_t> &prompt = r.req.prompt;
-    const int64_t total = static_cast<int64_t>(prompt.size());
-    const int64_t chunk =
-        cfg_.prefillChunkTokens > 0 ? cfg_.prefillChunkTokens : total;
-    const int64_t len = std::min(chunk, total - a.promptPos);
+    const std::vector<int32_t> &feed = feedTokens(r);
+    const int64_t total = static_cast<int64_t>(feed.size());
+    const int64_t len = chunkLenFor(a);
     const Tensor logits = model_.prefillChunk(
-        *a.ctx, std::span<const int32_t>(prompt.data() + a.promptPos,
+        *a.ctx, std::span<const int32_t>(feed.data() + a.promptPos,
                                          static_cast<size_t>(len)));
     a.promptPos += len;
     ++stats_.prefillChunks;
     if (a.promptPos == total) {
         a.prefillDone = true;
-        ++stats_.prefills;
-        stats_.prefillTokens += total;
-        const int32_t first =
-            argmaxToken(logits.row(logits.shape().dim(0) - 1));
-        a.lastToken = first;
-        r.out.push_back(first);
+        if (!r.prefillCounted) {
+            // Count each request's prefill once, however many times
+            // eviction re-runs it (recomputedTokens carries the
+            // replay cost).
+            r.prefillCounted = true;
+            ++stats_.prefills;
+            stats_.prefillTokens += total;
+        }
+        if (!r.replay.empty()) {
+            // Replay complete: the stream's KV state now equals what
+            // it held at eviction (determinism contract), so decode
+            // resumes from the interrupted token — no new token is
+            // emitted, out already ends with resumeToken. The final
+            // row's argmax MUST reproduce it; assert the contract.
+            assert(argmaxToken(
+                       logits.row(logits.shape().dim(0) - 1)) ==
+                       r.resumeToken &&
+                   "replay diverged from the evicted stream");
+            a.lastToken = r.resumeToken;
+            r.replay.clear();
+            r.replay.shrink_to_fit();
+        } else {
+            const int32_t first =
+                argmaxToken(logits.row(logits.shape().dim(0) - 1));
+            a.lastToken = first;
+            r.out.push_back(first);
+        }
     }
     return len;
 }
 
-bool
+ServingEngine::AdmitResult
 ServingEngine::admit(RequestId id, int64_t &fedTokens)
 {
     Request &r = requests_[static_cast<size_t>(id)];
     ActiveStream a;
     a.id = id;
     a.ctx = acquireContext();
-    fedTokens += feedChunk(a);
+    if (pagePool_) {
+        const int64_t need =
+            model_.pagesNeededForRows(*a.ctx, chunkLenFor(a));
+        if (pagePool_->freePages() < need) {
+            recycleContext(std::move(a.ctx));
+            if (liveSlots() == 0) {
+                // Forward progress: nothing is running, so no
+                // retirement can ever free a page — the first chunk
+                // alone exceeds the whole pool. Infeasible, not
+                // backpressure.
+                r.state = RequestState::Failed;
+                r.error = {RequestError::Kind::PoolExhausted,
+                           "first prefill chunk needs " +
+                               std::to_string(need) +
+                               " pages, more than the whole pool"};
+                ++stats_.failed;
+                return AdmitResult::Terminal;
+            }
+            // Admission never evicts running streams on behalf of a
+            // queued request; it waits for retirements instead.
+            return AdmitResult::Deferred;
+        }
+    }
+    try {
+        fedTokens += feedChunk(a);
+    } catch (const KvFaultInjected &) {
+        // Injected fault mid-admission: the half-fed stream's caches
+        // are indeterminate — retire them and leave the request
+        // queued; the storm window is round-bounded, so a later
+        // round's retry succeeds.
+        recycleContext(std::move(a.ctx));
+        stats_.recomputedTokens += a.promptPos;
+        return AdmitResult::Faulted;
+    } catch (const KvPoolExhausted &e) {
+        recycleContext(std::move(a.ctx));
+        stats_.recomputedTokens += a.promptPos;
+        if (liveSlots() == 0) {
+            // Genuine exhaustion with nothing evictable: retrying
+            // would re-claim the same pages. Fail this request alone.
+            r.state = RequestState::Failed;
+            r.error = {RequestError::Kind::PoolExhausted, e.what()};
+            ++stats_.failed;
+            return AdmitResult::Terminal;
+        }
+        return AdmitResult::Faulted;
+    }
     if (a.prefillDone && requestFinished(r)) {
         r.state = RequestState::Done;
         recycleContext(std::move(a.ctx));
-        return false;
+        return AdmitResult::Terminal;
     }
     r.state = RequestState::Active;
     active_.push_back(std::move(a));
-    return true;
+    return AdmitResult::Admitted;
 }
 
 int64_t
@@ -264,20 +404,138 @@ ServingEngine::deferAdmission() const
     return pagePool_->freePages() < cfg_.freePageWatermark;
 }
 
+int64_t
+ServingEngine::pickVictim(int64_t protect) const
+{
+    int64_t best = -1;
+    int64_t bestPri = std::numeric_limits<int64_t>::max();
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (static_cast<int64_t>(i) == protect || !live(active_[i]))
+            continue;
+        const Request &r =
+            requests_[static_cast<size_t>(active_[i].id)];
+        // Never preempt a finished stream: it is about to retire and
+        // return its pages anyway, and re-queueing it would replay
+        // work whose output is already complete.
+        if (active_[i].prefillDone && requestFinished(r))
+            continue;
+        const int64_t pri = r.req.priority;
+        // <= so the scan keeps the LAST (youngest-admitted) stream
+        // among equal priorities — active_ is admission-ordered and
+        // compaction is order-stable, so "youngest" is deterministic.
+        if (pri <= bestPri) {
+            best = static_cast<int64_t>(i);
+            bestPri = pri;
+        }
+    }
+    return best;
+}
+
 void
-ServingEngine::compactFinished()
+ServingEngine::evictSlot(size_t slot)
+{
+    ActiveStream &a = active_[slot];
+    const RequestId id = a.id;
+    Request &r = requests_[static_cast<size_t>(id)];
+    // Everything the cache holds — its consistent position — is what
+    // the replay prefill will recompute. (A fault mid-forward never
+    // advanced the position, so partial appends are not counted: they
+    // are discarded, not recomputed.)
+    stats_.recomputedTokens += a.ctx->position();
+    const size_t k = r.out.size();
+    r.replay.clear();
+    if (k > 0) {
+        // Replay = prompt ++ out[0..k-2]; out[k-1] was the pending
+        // decode input when the eviction hit, so it resumes as
+        // lastToken once the replay prefill completes.
+        const std::vector<int32_t> &prompt = r.req.prompt;
+        r.replay.reserve(prompt.size() + k - 1);
+        r.replay.insert(r.replay.end(), prompt.begin(), prompt.end());
+        r.replay.insert(r.replay.end(), r.out.begin(),
+                        r.out.end() - 1);
+        r.resumeToken = r.out.back();
+    }
+    r.state = RequestState::Preempted;
+    recycleContext(std::move(a.ctx));
+    // Front of the queue: among equal effective priorities the victim
+    // re-admits before later arrivals (it also keeps its original
+    // enqueueRound, so aging works in its favor).
+    queue_.push_front(id);
+    a.id = -1;
+    ++stats_.evictions;
+}
+
+void
+ServingEngine::failSlot(size_t slot, RequestError err)
+{
+    ActiveStream &a = active_[slot];
+    Request &r = requests_[static_cast<size_t>(a.id)];
+    r.state = RequestState::Failed;
+    r.error = std::move(err);
+    ++stats_.failed;
+    recycleContext(std::move(a.ctx));
+    a.id = -1;
+}
+
+bool
+ServingEngine::reserveOrEvict(size_t slot, int64_t pages)
+{
+    if (!pagePool_)
+        return true;
+    while (pagePool_->freePages() < pages) {
+        const int64_t victim =
+            pickVictim(static_cast<int64_t>(slot));
+        if (victim < 0)
+            return false;
+        evictSlot(static_cast<size_t>(victim));
+    }
+    return true;
+}
+
+void
+ServingEngine::handleStreamFault(size_t slot,
+                                 const KvPoolExhausted &e,
+                                 bool injected)
+{
+    if (injected) {
+        // Injected faults say nothing about real pressure — always
+        // preempt and retry (the fault windows are round-bounded).
+        evictSlot(slot);
+        return;
+    }
+    // Genuine exhaustion despite the up-front reservation (defense in
+    // depth): retrying helps only while other streams hold
+    // reclaimable pages.
+    bool othersLive = false;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (i != slot && live(active_[i])) {
+            othersLive = true;
+            break;
+        }
+    }
+    if (othersLive)
+        evictSlot(slot);
+    else
+        failSlot(slot,
+                 {RequestError::Kind::PoolExhausted, e.what()});
+}
+
+void
+ServingEngine::compactSlots()
 {
     size_t w = 0;
     for (size_t i = 0; i < active_.size(); ++i) {
+        if (!live(active_[i]))
+            continue; // evicted / failed / expired slot
         Request &r = requests_[static_cast<size_t>(active_[i].id)];
         if (active_[i].prefillDone && requestFinished(r)) {
             r.state = RequestState::Done;
             recycleContext(std::move(active_[i].ctx));
-        } else {
-            if (w != i)
-                active_[w] = std::move(active_[i]);
-            ++w;
+            continue;
         }
+        if (w != i)
+            active_[w] = std::move(active_[i]);
+        ++w;
     }
     active_.resize(w);
 }
@@ -289,25 +547,96 @@ ServingEngine::notePoolPressure()
         stats_.peakPagesInUse = pagePool_->peakInUsePages();
 }
 
+void
+ServingEngine::armFaultPlan()
+{
+    if (!pagePool_)
+        return;
+    const FaultInjectionConfig &f = cfg_.faults;
+    KvFaultPlan plan;
+    plan.failAtAttempt = f.failNthAlloc;
+    plan.failAll =
+        (rounds_ >= f.failRoundsBegin && rounds_ < f.failRoundsEnd) ||
+        (f.failPeriod > 0 && rounds_ % f.failPeriod < f.failLen);
+    pagePool_->setFaultPlan(plan);
+}
+
+void
+ServingEngine::expireOverdue()
+{
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        Request &r = requests_[static_cast<size_t>(*it)];
+        if (r.deadlineRound > 0 && rounds_ > r.deadlineRound) {
+            r.state = RequestState::Expired;
+            ++stats_.expired;
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (ActiveStream &a : active_) {
+        if (!live(a))
+            continue;
+        Request &r = requests_[static_cast<size_t>(a.id)];
+        if (r.deadlineRound > 0 && rounds_ > r.deadlineRound) {
+            r.state = RequestState::Expired;
+            ++stats_.expired;
+            recycleContext(std::move(a.ctx));
+            a.id = -1;
+        }
+    }
+}
+
 bool
 ServingEngine::step()
 {
     ++rounds_;
+    armFaultPlan();
+    expireOverdue();
     int64_t fedTokens = 0;
 
     // Phase 1: advance in-flight chunked prefills, one chunk per
     // stream per round, so long prompts interleave with decode instead
-    // of stalling it. Streams whose prompt just completed may already
-    // be finished (stop-token first token, or a 1-token cap); retire
-    // them now so their slots and pages are reusable this round.
-    for (ActiveStream &a : active_)
-        if (!a.prefillDone)
+    // of stalling it. Each chunk's exact page needs are reserved
+    // first — preempting victims to make room — so a bounded pool
+    // surfaces as scheduling, not as an exception out of a
+    // half-advanced forward pass; the try/catch is the backstop for
+    // injected faults (and any reservation-arithmetic bug).
+    for (size_t i = 0; i < active_.size(); ++i) {
+        ActiveStream &a = active_[i];
+        if (!live(a) || a.prefillDone)
+            continue;
+        if (pagePool_) {
+            const int64_t need =
+                model_.pagesNeededForRows(*a.ctx, chunkLenFor(a));
+            if (!reserveOrEvict(i, need)) {
+                failSlot(i,
+                         {RequestError::Kind::PoolExhausted,
+                          "prefill chunk needs " +
+                              std::to_string(need) +
+                              " pages, more than the whole pool"});
+                continue;
+            }
+        }
+        try {
             fedTokens += feedChunk(a);
-    compactFinished();
+        } catch (const KvFaultInjected &e) {
+            handleStreamFault(i, e, /*injected=*/true);
+        } catch (const KvPoolExhausted &e) {
+            handleStreamFault(i, e, /*injected=*/false);
+        }
+    }
+    // Retire streams whose prompt completion finished them (stop-token
+    // first token, 1-token caps) and drop evicted/failed slots, so
+    // their pages are reusable before admission.
+    compactSlots();
 
     // Phase 2: admission. Highest effective priority first (FIFO
     // among equals, aged per agingSteps); deferred wholesale when the
-    // pool's free pages sit below the watermark.
+    // pool's free pages sit below the watermark or cannot cover the
+    // candidate's first chunk. A fault-stormed admission stops trying
+    // for the round (retrying within the storm window cannot
+    // succeed).
     while (!queue_.empty() &&
            static_cast<int64_t>(active_.size()) < cfg_.maxStreams) {
         if (deferAdmission()) {
@@ -316,16 +645,49 @@ ServingEngine::step()
         }
         const int64_t pick = pickQueued();
         const RequestId id = queue_[static_cast<size_t>(pick)];
+        const AdmitResult res = admit(id, fedTokens);
+        if (res == AdmitResult::Deferred) {
+            ++stats_.admissionDeferrals;
+            break;
+        }
+        if (res == AdmitResult::Faulted)
+            break;
         queue_.erase(queue_.begin() + pick);
-        admit(id, fedTokens);
     }
     stats_.maxPrefillTokensPerStep =
         std::max(stats_.maxPrefillTokensPerStep, fedTokens);
 
     // Phase 3: one batched decode pass over every fully-prefilled
-    // stream: each stream's last token goes in as one batch row,
-    // sharing a single activation quantization and the model's pooled
-    // scratch. Streams still prefilling sit this pass out.
+    // stream. First reserve the batch's page needs as a whole (every
+    // row may claim mid-pass); while they do not fit, shed load —
+    // lowest-priority victim first, whether it is in the batch or
+    // still prefilling. A lone stream whose own decode claim exceeds
+    // the pool can never run: fail it, keep the engine alive.
+    if (pagePool_) {
+        while (true) {
+            int64_t need = 0;
+            for (const ActiveStream &a : active_)
+                if (live(a) && a.prefillDone)
+                    need += model_.pagesNeededForRows(*a.ctx, 1);
+            if (need == 0 || pagePool_->freePages() >= need)
+                break;
+            if (liveSlots() <= 1) {
+                for (size_t i = 0; i < active_.size(); ++i) {
+                    if (live(active_[i])) {
+                        failSlot(
+                            i,
+                            {RequestError::Kind::PoolExhausted,
+                             "decode step needs more pages than the "
+                             "whole pool"});
+                        break;
+                    }
+                }
+                break;
+            }
+            evictSlot(static_cast<size_t>(pickVictim(-1)));
+        }
+    }
+
     std::vector<int32_t> tokens;
     std::vector<StreamContext *> streams;
     std::vector<size_t> rowSlot;
@@ -333,18 +695,32 @@ ServingEngine::step()
     streams.reserve(active_.size());
     rowSlot.reserve(active_.size());
     for (size_t i = 0; i < active_.size(); ++i) {
-        if (!active_[i].prefillDone)
+        if (!live(active_[i]) || !active_[i].prefillDone)
             continue;
         tokens.push_back(active_[i].lastToken);
         streams.push_back(active_[i].ctx.get());
         rowSlot.push_back(i);
     }
     if (tokens.empty()) {
+        compactSlots();
         notePoolPressure();
         return !idle();
     }
     ++stats_.steps;
-    const Tensor logits = model_.decodeBatch(tokens, streams);
+    std::optional<Tensor> logits;
+    try {
+        logits = model_.decodeBatch(tokens, streams);
+    } catch (const KvPoolExhausted &) {
+        // A claim failure mid-pass leaves EVERY batch row's cache
+        // potentially half-advanced (K appended for some layers,
+        // position not moved) — preempt the whole batch; each
+        // stream's replay re-derives its state byte-identically.
+        for (const size_t slot : rowSlot)
+            evictSlot(slot);
+        compactSlots();
+        notePoolPressure();
+        return !idle();
+    }
     ++stats_.decodeBatches;
     stats_.decodedTokens += static_cast<int64_t>(tokens.size());
     stats_.peakBatch = std::max(stats_.peakBatch,
@@ -352,7 +728,7 @@ ServingEngine::step()
 
     for (size_t r = 0; r < rowSlot.size(); ++r) {
         const int32_t next =
-            argmaxToken(logits.row(static_cast<int64_t>(r)));
+            argmaxToken(logits->row(static_cast<int64_t>(r)));
         ActiveStream &a = active_[rowSlot[r]];
         a.lastToken = next;
         requests_[static_cast<size_t>(a.id)].out.push_back(next);
@@ -360,7 +736,7 @@ ServingEngine::step()
 
     // Retire finished streams (order-stable so the surviving batch
     // composition is reproducible run to run).
-    compactFinished();
+    compactSlots();
     notePoolPressure();
     return !idle();
 }

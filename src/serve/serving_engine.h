@@ -42,6 +42,26 @@
  * placement never feeds back into values; the scheduler only decides
  * WHEN a stream's rows run, never what they compute.
  * tests/test_serving.cc and tests/test_soak.cc enforce it.
+ *
+ * Failure & preemption model (see ARCHITECTURE.md for the full state
+ * machine): request-level events can never kill the engine. When a
+ * bounded pool cannot cover a stream's next page claims, the
+ * scheduler preempts the lowest-priority (tie: youngest) active
+ * stream — retires it, returns its pages, and re-queues it in
+ * RequestState::Preempted; on re-admission the victim replays
+ * `prompt + tokens generated so far` through prefillChunk, which by
+ * the determinism contract reproduces its KV state byte-for-byte, so
+ * eviction is invisible in the output. Page needs are computed
+ * exactly up front (Transformer::pagesNeededForRows), so in steady
+ * state exhaustion is a scheduling decision, not an exception; a
+ * KvPoolExhausted that does fire anyway (fault injection, or a lone
+ * stream larger than the whole pool) is caught inside step(), which
+ * preempts or fails ONLY the streams involved and keeps serving —
+ * no exception type escapes step() for request-level faults.
+ * Requests can also be cancelled (cancel()) or expire after a
+ * scheduler-round deadline (GenRequest::deadlineSteps — rounds, never
+ * wall-clock; tools/determinism_lint.py forbids clocks in src/), both
+ * keeping whatever output was already produced.
  */
 
 #ifndef MANT_SERVE_SERVING_ENGINE_H_
@@ -50,12 +70,40 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/kv_pages.h"
 #include "model/transformer.h"
 
 namespace mant {
+
+/**
+ * Deterministic engine-level fault injection (tests / soak / bench):
+ * drives the pool's KvFaultPlan (core/kv_pages.h) on a scheduler-round
+ * schedule, so exhaustion storms, eviction cascades, and cancel/
+ * deadline races replay byte-identically. Inert for models without a
+ * shared page pool. All knobs compose; 0 disables each.
+ */
+struct FaultInjectionConfig
+{
+    /** Fail the Nth page-allocation attempt of the engine's pool
+     *  (1-based over the pool's lifetime); fires once. */
+    int64_t failNthAlloc = 0;
+
+    /** Fail every page allocation during scheduler rounds
+     *  [failRoundsBegin, failRoundsEnd) — a one-shot storm window. */
+    int64_t failRoundsBegin = 0;
+    int64_t failRoundsEnd = 0;
+
+    /** Recurring storms: every `failPeriod` rounds, fail all page
+     *  allocations for the first `failLen` rounds of the period
+     *  (rounds r with r % failPeriod < failLen). failLen must be
+     *  strictly less than failPeriod — every storm must end, or no
+     *  request could ever finish and run() would never return. */
+    int64_t failPeriod = 0;
+    int64_t failLen = 0;
+};
 
 /** Engine configuration. */
 struct ServingConfig
@@ -71,9 +119,11 @@ struct ServingConfig
 
     /** Capacity of the shared KV page pool, in pages; 0 = unbounded.
      *  Only meaningful for fused-attention models (others keep KV in
-     *  plain per-stream buffers). When the cap is truly exhausted by
-     *  ACTIVE streams, page claims throw KvPoolExhausted — size the
-     *  pool so the watermark triggers first. */
+     *  plain per-stream buffers). An undersized pool degrades
+     *  throughput, never correctness: the scheduler preempts and
+     *  later replays victims to fit the active set (see the failure
+     *  model above) — only a single request whose own next claim
+     *  exceeds the entire cap is Failed. */
     int64_t pagePoolPages = 0;
 
     /** Bytes per page; 0 sizes a page automatically to the largest
@@ -93,17 +143,59 @@ struct ServingConfig
      *  request can starve behind higher-priority arrivals. 0 disables
      *  aging (strict priority, FIFO among equals). */
     int64_t agingSteps = 0;
+
+    /** Deterministic fault injection (all-zero = disabled). */
+    FaultInjectionConfig faults = {};
 };
 
 /** Handle returned by ServingEngine::submit(). */
 using RequestId = int64_t;
 
-/** Lifecycle of a submitted request. */
+/**
+ * Lifecycle of a submitted request.
+ *
+ *     Queued ──admit──▶ Active ──finish──▶ Done
+ *       ▲                 │
+ *       │    (as          ├──evict──▶ Preempted ──re-admit──▶ Active
+ *       │  Preempted)◀────┘
+ *
+ * plus, from any non-terminal state: ──cancel()──▶ Cancelled,
+ * ──deadline──▶ Expired, ──infeasible──▶ Failed. Done / Cancelled /
+ * Expired / Failed are terminal (see isTerminal()); output() keeps
+ * whatever tokens were produced before a non-Done exit.
+ */
 enum class RequestState
 {
-    Queued, ///< waiting for a free stream slot
-    Active, ///< holds a slot; produces one token per engine step
-    Done,   ///< output complete; slot recycled
+    Queued,    ///< waiting for a free stream slot
+    Active,    ///< holds a slot; produces one token per engine step
+    Preempted, ///< evicted under pool pressure; re-queued, its KV
+               ///< state replayed byte-identically on re-admission
+    Done,      ///< output complete; slot recycled
+    Cancelled, ///< cancel() before completion; partial output kept
+    Expired,   ///< deadlineSteps elapsed; partial output kept
+    Failed,    ///< request-level fault (see RequestError); the engine
+               ///< itself keeps serving
+};
+
+/** True for states a request can never leave. */
+inline bool
+isTerminal(RequestState s)
+{
+    return s == RequestState::Done || s == RequestState::Cancelled ||
+           s == RequestState::Expired || s == RequestState::Failed;
+}
+
+/** Typed reason a request reached RequestState::Failed. */
+struct RequestError
+{
+    enum class Kind
+    {
+        None,          ///< not failed
+        PoolExhausted, ///< its next page claim exceeds the whole pool
+                       ///< even with every other stream evicted
+    };
+    Kind kind = Kind::None;
+    std::string message;
 };
 
 /** One generation request (greedy decoding). */
@@ -130,6 +222,13 @@ struct GenRequest
      *  violation (std::invalid_argument); a budget that leaves no room
      *  to generate completes immediately with an empty output. */
     int64_t tokenBudget = 0;
+
+    /** Scheduler-round deadline: the request may be worked on for this
+     *  many step() rounds after submission; at the start of the next
+     *  round it becomes Expired (partial output kept). Rounds, never
+     *  wall-clock — deadlines are deterministic and replayable like
+     *  everything else in the engine. 0 disables. */
+    int64_t deadlineSteps = 0;
 };
 
 /**
@@ -156,6 +255,16 @@ class ServingEngine
         /** Most prompt tokens fed in any single round — the bound on
          *  how much prefill work a decode pass can wait behind. */
         int64_t maxPrefillTokensPerStep = 0;
+        int64_t evictions = 0;  ///< streams preempted under pressure
+        /** Tokens of already-done work discarded by those evictions —
+         *  each victim's cache position at eviction, i.e. exactly what
+         *  its replay prefill will recompute. recomputedTokens /
+         *  decodedTokens is the recompute overhead of running an
+         *  undersized pool. */
+        int64_t recomputedTokens = 0;
+        int64_t cancelled = 0; ///< requests cancelled via cancel()
+        int64_t expired = 0;   ///< requests past their deadlineSteps
+        int64_t failed = 0;    ///< requests Failed (see error())
     };
 
     /**
@@ -182,28 +291,58 @@ class ServingEngine
     RequestId submit(GenRequest req);
 
     /**
-     * One scheduler round: feed one prompt chunk to each prefilling
-     * stream, admit queued requests into free slots (highest effective
-     * priority first, deferred under page-pool pressure), then run one
-     * batched decode pass over every fully-prefilled stream and retire
-     * the finished ones — returning their pages to the pool before the
-     * next round's watermark check.
+     * One scheduler round: expire overdue requests, feed one prompt
+     * chunk to each prefilling stream, admit queued requests into free
+     * slots (highest effective priority first, deferred under
+     * page-pool pressure), then run one batched decode pass over every
+     * fully-prefilled stream and retire the finished ones — returning
+     * their pages to the pool before the next round's watermark check.
+     *
+     * Exception safety: request-level faults never escape. Before a
+     * stream runs, its exact page needs are reserved
+     * (Transformer::pagesNeededForRows), preempting victims to make
+     * room; a KvPoolExhausted raised anyway (fault injection, or a
+     * reservation the pool cannot meet at all) is caught here and
+     * resolved by preempting or failing only the streams whose caches
+     * that forward pass touched — their replay re-derives the state
+     * byte-identically, so the engine's own invariants always hold
+     * after step() returns. Contract violations (std::logic_error and
+     * friends) and resource exhaustion outside the KV pool
+     * (std::bad_alloc) still propagate: they are engine-level bugs,
+     * not request-level events.
      * @return true while queued or active work remains.
-     * @throws KvPoolExhausted if a bounded pool cannot cover the
-     *   streams already admitted (the watermark defers admissions, it
-     *   cannot shrink live streams).
      */
     bool step();
 
-    /** Run step() until all submitted requests are Done. */
+    /** Run step() until every submitted request is terminal. */
     void run();
+
+    /**
+     * Cancel a request. Queued / Preempted requests leave the queue;
+     * an Active request's stream is retired on the spot (its pages
+     * return to the pool before the next step()). In every case the
+     * tokens generated so far stay readable via output(). Returns
+     * false when the request is already terminal (too late to
+     * cancel), true otherwise. Throws std::out_of_range for an
+     * unknown id.
+     */
+    bool cancel(RequestId id);
 
     RequestState state(RequestId id) const;
 
-    /** Generated tokens so far (complete once state(id) == Done).
-     *  The reference stays valid for the engine's lifetime — request
-     *  records live in a deque, so later submit() calls never move
-     *  them. */
+    /** Why a request Failed; kind == None unless state(id) ==
+     *  RequestState::Failed. Same deque-stable reference guarantee as
+     *  output(). */
+    const RequestError &error(RequestId id) const;
+
+    /** Generated tokens so far — complete once state(id) == Done, and
+     *  a (possibly empty) prefix of the request's would-be output for
+     *  the other terminal states: cancellation, expiry, failure, and
+     *  eviction-then-completion never corrupt or reorder tokens
+     *  already produced (the determinism contract pins each token
+     *  independently of scheduling). The reference stays valid for
+     *  the engine's lifetime — request records live in a deque, so
+     *  later submit() calls never move them. */
     const std::vector<int32_t> &output(RequestId id) const;
 
     int64_t activeStreams() const
@@ -231,8 +370,27 @@ class ServingEngine
         std::vector<int32_t> out;
         /** maxNewTokens clamped by the token budget (submit()). */
         int64_t effMaxNew = 0;
-        /** Scheduler round at submit(); feeds priority aging. */
+        /** Scheduler round at submit(); feeds priority aging (and is
+         *  kept across preemption, so victims age from their original
+         *  arrival — eviction never resets a request's seniority). */
         int64_t enqueueRound = 0;
+        /** Absolute round after which the request expires (submit
+         *  round + deadlineSteps); 0 = no deadline. */
+        int64_t deadlineRound = 0;
+        /** Set when the request Failed. */
+        RequestError error;
+        /** Replay feed for a preempted stream: prompt ++ out[0..k-2]
+         *  for the k tokens generated before eviction. Fed through
+         *  prefillChunk on re-admission — byte-identical KV state by
+         *  the determinism contract — after which decode resumes from
+         *  resumeToken (== out[k-1], the token whose decode pass the
+         *  eviction interrupted). Empty when the victim had produced
+         *  no tokens yet (it just re-feeds its prompt). */
+        std::vector<int32_t> replay;
+        int32_t resumeToken = 0;
+        /** Stats guard: prefills/prefillTokens count each request
+         *  once, however many times eviction makes it re-prefill. */
+        bool prefillCounted = false;
     };
 
     /** One occupied decode slot. StreamContexts live behind unique_ptr
@@ -250,27 +408,78 @@ class ServingEngine
 
     const Request &checkedRequest(RequestId id) const;
     bool requestFinished(const Request &r) const;
-    /** Start prefilling `id` in a pooled stream slot (first chunk runs
-     *  immediately; its tokens are added to `fedTokens`). Returns
-     *  false when the request completed at admission — single-chunk
-     *  prompt whose first token finished it — in which case the slot
-     *  went straight back to the pool. */
-    bool admit(RequestId id, int64_t &fedTokens);
+    /** The token sequence a stream prefills: the replay buffer for a
+     *  resumed victim, the prompt otherwise. */
+    const std::vector<int32_t> &feedTokens(const Request &r) const
+    {
+        return r.replay.empty() ? r.req.prompt : r.replay;
+    }
+    /** Tokens the next feedChunk() of `a` will feed. */
+    int64_t chunkLenFor(const ActiveStream &a) const;
+    /** Outcome of trying to admit the picked candidate. */
+    enum class AdmitResult
+    {
+        Admitted, ///< stream occupies a slot now
+        Terminal, ///< left the queue as Done (single-chunk prompt
+                  ///< that finished at admission) or Failed
+                  ///< (infeasible first chunk)
+        Deferred, ///< pool headroom too small; left queued
+        Faulted,  ///< fault mid-admission; left queued for retry
+    };
+    /** Admit `id` into a pooled stream slot if its first chunk's page
+     *  needs fit the pool's free headroom (first chunk runs
+     *  immediately; its tokens are added to `fedTokens`). Never evicts
+     *  running streams on behalf of a queued one — admission defers,
+     *  eviction is reserved for keeping admitted work alive. */
+    AdmitResult admit(RequestId id, int64_t &fedTokens);
     /** Feed the next prompt chunk; on the final chunk, emits the first
-     *  generated token and marks the stream prefillDone. Returns the
-     *  tokens fed. */
+     *  generated token (or restores resumeToken for a replay) and
+     *  marks the stream prefillDone. Returns the tokens fed. */
     int64_t feedChunk(ActiveStream &a);
     /** Index into queue_ of the admission candidate (highest effective
      *  priority, FIFO among equals), or -1 when the queue is empty. */
     int64_t pickQueued() const;
     /** True when the watermark says new admissions must wait. */
     bool deferAdmission() const;
-    /** Retire every fully-prefilled stream whose request finished,
-     *  order-stable; their pages return to the pool immediately. */
-    void compactFinished();
+    /** Retire every fully-prefilled stream whose request finished and
+     *  drop slots emptied by eviction/failure, order-stable; pages
+     *  return to the pool immediately. */
+    void compactSlots();
     void notePoolPressure();
     std::unique_ptr<StreamContext> acquireContext();
     void recycleContext(std::unique_ptr<StreamContext> ctx);
+
+    /** True when the slot still holds a live (non-evicted) stream. */
+    static bool live(const ActiveStream &a) { return a.ctx != nullptr; }
+    int64_t liveSlots() const;
+    /** Arm/disarm the pool's KvFaultPlan for the current round per
+     *  cfg_.faults. */
+    void armFaultPlan();
+    /** Expire every non-terminal request past its deadlineRound. */
+    void expireOverdue();
+    /** Eviction victim: the live, unfinished slot with the lowest
+     *  priority (tie: youngest = highest slot index; active_ is
+     *  admission-ordered and compaction is order-stable), excluding
+     *  `protect`. -1 when no candidate exists. */
+    int64_t pickVictim(int64_t protect) const;
+    /** Preempt the stream in `slot`: build its replay, return its
+     *  pages, re-queue it front as Preempted. The slot goes dead until
+     *  compactSlots(). */
+    void evictSlot(size_t slot);
+    /** Fail the request in `slot` (typed error), retiring its stream.
+     *  The slot goes dead until compactSlots(). */
+    void failSlot(size_t slot, RequestError err);
+    /** Make the pool's free headroom cover `pages` claims for `slot`,
+     *  evicting victims (never `slot` itself) as needed. False when
+     *  even an otherwise-empty pool cannot: the caller must fail the
+     *  request rather than run it. */
+    bool reserveOrEvict(size_t slot, int64_t pages);
+    /** Resolve a KvPoolExhausted that escaped `slot`'s forward pass:
+     *  preempt it for retry (always, for injected faults and whenever
+     *  other streams hold reclaimable pages), or fail it (genuine
+     *  exhaustion with nothing left to evict — retry cannot help). */
+    void handleStreamFault(size_t slot, const KvPoolExhausted &e,
+                           bool injected);
 
     Transformer &model_;
     ServingConfig cfg_;

@@ -411,5 +411,172 @@ TEST(PagedPanelStores, InterleavedStoresShareOnePool)
     EXPECT_EQ(pool.inUsePages(), before - k2Pages);
 }
 
+// --- deterministic fault injection -----------------------------------
+
+TEST(KvPageAllocator, FaultPlanFailsExactlyTheNthAttempt)
+{
+    KvPageAllocator pool(64, 4);
+    KvFaultPlan plan;
+    plan.failAtAttempt = 2;
+    pool.setFaultPlan(plan);
+    EXPECT_TRUE(pool.faultPlan().armed());
+
+    const KvPageId a = pool.alloc(); // attempt 1: clean
+    EXPECT_EQ(pool.allocAttempts(), 1);
+    // Attempt 2 fires the injected fault; the pool itself is
+    // untouched — no page consumed, free headroom unchanged.
+    EXPECT_THROW(pool.alloc(), KvFaultInjected);
+    EXPECT_EQ(pool.allocAttempts(), 2);
+    EXPECT_EQ(pool.injectedFaults(), 1);
+    EXPECT_EQ(pool.inUsePages(), 1);
+    EXPECT_EQ(pool.freePages(), 3);
+    // Fires exactly once: attempt 3 is clean again.
+    const KvPageId b = pool.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.allocAttempts(), 3);
+    EXPECT_EQ(pool.injectedFaults(), 1);
+}
+
+TEST(KvPageAllocator, InjectedFaultIsCatchableAsPoolExhausted)
+{
+    KvPageAllocator pool(32, 2);
+    KvFaultPlan plan;
+    plan.failAtAttempt = pool.allocAttempts() + 1;
+    pool.setFaultPlan(plan);
+    // Exhaustion-handling code that only knows KvPoolExhausted still
+    // covers injected faults (KvFaultInjected derives from it).
+    bool caught = false;
+    try {
+        (void)pool.alloc();
+    } catch (const KvPoolExhausted &e) {
+        caught = true;
+        EXPECT_NE(std::string(e.what()).find("injected"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+    // And a genuine cap hit is NOT a KvFaultInjected.
+    (void)pool.alloc();
+    (void)pool.alloc();
+    EXPECT_EQ(pool.inUsePages(), 2);
+    try {
+        (void)pool.alloc();
+        FAIL() << "cap hit must throw";
+    } catch (const KvFaultInjected &) {
+        FAIL() << "genuine exhaustion must not be KvFaultInjected";
+    } catch (const KvPoolExhausted &) {
+        // expected
+    }
+}
+
+TEST(KvPageAllocator, FailAllWindowThenDisarm)
+{
+    KvPageAllocator pool(64, 4);
+    KvFaultPlan storm;
+    storm.failAll = true;
+    pool.setFaultPlan(storm);
+
+    // Every attempt fails while the storm is armed — tryAlloc reports
+    // nullopt (like exhaustion), alloc throws the injected type.
+    EXPECT_EQ(pool.tryAlloc(), std::nullopt);
+    EXPECT_EQ(pool.tryAlloc(), std::nullopt);
+    EXPECT_THROW(pool.alloc(), KvFaultInjected);
+    EXPECT_EQ(pool.allocAttempts(), 3);
+    EXPECT_EQ(pool.injectedFaults(), 3);
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_EQ(pool.createdPages(), 0);
+
+    // Disarming (default-constructed plan) restores normal service;
+    // the attempt counter keeps running (allocator-lifetime space).
+    pool.setFaultPlan(KvFaultPlan{});
+    EXPECT_FALSE(pool.faultPlan().armed());
+    const auto page = pool.tryAlloc();
+    ASSERT_TRUE(page.has_value());
+    EXPECT_EQ(pool.allocAttempts(), 4);
+    EXPECT_EQ(pool.injectedFaults(), 3);
+    EXPECT_EQ(pool.inUsePages(), 1);
+}
+
+TEST(KvPageAllocator, InjectedFaultLeavesLifoOrderIntact)
+{
+    // A fired fault must not perturb placement determinism: the free
+    // list order after a fault is identical to a run without one.
+    KvPageAllocator pool(32, 4);
+    const KvPageId a = pool.alloc();
+    const KvPageId b = pool.alloc();
+    pool.free(a);
+    pool.free(b);
+    KvFaultPlan plan;
+    plan.failAtAttempt = pool.allocAttempts() + 1;
+    pool.setFaultPlan(plan);
+    EXPECT_THROW(pool.alloc(), KvFaultInjected);
+    // LIFO still: b (freed last) comes back first, then a.
+    EXPECT_EQ(pool.alloc(), b);
+    EXPECT_EQ(pool.alloc(), a);
+}
+
+// --- exact page-need prediction --------------------------------------
+
+/** Reservation math the serving engine leans on: poolPagesForRows /
+ *  poolPagesForWindows must predict the exact pages each append claims,
+ *  so the scheduler can make headroom BEFORE growing a stream and keep
+ *  exhaustion out of the growth path entirely. */
+TEST(PagedPanelStores, PoolPagesForRowsPredictsEveryClaim)
+{
+    const int64_t headDim = 16, group = 16;
+    const int64_t blockBytes = KPanelStore::blockBytesFor(headDim, group);
+    KvPageAllocator pool(3 * blockBytes, 0);
+    KPanelStore store(headDim, group, &pool);
+    const std::vector<MantSelection> sels(
+        static_cast<size_t>(store.groupsPerRow()), MantSelection{});
+
+    // Whole-horizon prediction up front: 60 rows = 8 panels = 3 pages.
+    EXPECT_EQ(store.poolPagesForRows(60), 3);
+    EXPECT_EQ(store.poolPagesForRows(0), 0);
+
+    for (int64_t r = 0; r < 60; ++r) {
+        const int64_t predicted = store.poolPagesForRows(1);
+        const int64_t before = store.pagesHeld();
+        store.appendRow(kRowCodes(headDim, r), sels);
+        EXPECT_EQ(store.pagesHeld() - before, predicted)
+            << "row " << r;
+    }
+    // A multi-row prediction is the sum of its single-row steps: grow
+    // a twin store by the same 60 rows in one predicted batch.
+    KPanelStore twin(headDim, group, &pool);
+    const int64_t batchPredicted = twin.poolPagesForRows(60);
+    for (int64_t r = 0; r < 60; ++r)
+        twin.appendRow(kRowCodes(headDim, r), sels);
+    EXPECT_EQ(twin.pagesHeld(), batchPredicted);
+    EXPECT_EQ(store.pagesHeld(), 3);
+    EXPECT_EQ(store.poolPagesForRows(0), 0);
+}
+
+TEST(PagedPanelStores, PoolPagesForWindowsPredictsEveryClaim)
+{
+    const int64_t channels = 16, window = 8;
+    const int64_t blockBytes =
+        VPanelStore::blockBytesFor(channels, window);
+    KvPageAllocator pool(2 * blockBytes, 0);
+    VPanelStore store(channels, window, &pool);
+
+    std::vector<int8_t> colCodes(
+        static_cast<size_t>(channels * window));
+    const std::vector<MantSelection> sels(
+        static_cast<size_t>(channels), MantSelection{});
+    EXPECT_EQ(store.poolPagesForWindows(7), 4); // ceil(7/2)
+    for (int64_t w = 0; w < 7; ++w) {
+        const int64_t predicted = store.poolPagesForWindows(w + 1);
+        const int64_t before = store.pagesHeld();
+        for (size_t i = 0; i < colCodes.size(); ++i)
+            colCodes[i] = static_cast<int8_t>(
+                ((w + static_cast<int64_t>(i)) % 15) - 7);
+        store.appendWindow(colCodes, sels);
+        EXPECT_EQ(store.pagesHeld() - before, predicted)
+            << "window " << w;
+    }
+    EXPECT_EQ(store.pagesHeld(), 4);
+    EXPECT_EQ(store.poolPagesForWindows(store.windows()), 0);
+}
+
 } // namespace
 } // namespace mant

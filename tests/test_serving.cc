@@ -11,8 +11,12 @@
  */
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -831,6 +835,463 @@ TEST_F(ServingTest, EngineValidatesSchedulerConfig)
     pooled.freePageWatermark = 2;
     ServingEngine engine(fp, pooled);
     EXPECT_EQ(engine.pagePool(), nullptr);
+}
+
+// --- failure & preemption model -------------------------------------
+
+/** Worst single-stream page footprint for `cases` under this setup —
+ *  measured, not modelled: a maxStreams=1 engine with an unbounded
+ *  pool serializes the cases, so its pool high-water mark is the
+ *  largest footprint any one stream ever reaches. Tests size bounded
+ *  pools from this so "too small for the batch, big enough for any
+ *  one stream" stays true as geometry evolves. */
+int64_t
+peakPagesSingleStream(const ModelWeights &weights,
+                      const QuantSetup &setup,
+                      const std::vector<ServingCase> &cases)
+{
+    Transformer model(weights, setup);
+    ServingConfig cfg;
+    cfg.maxStreams = 1;
+    ServingEngine engine(model, cfg);
+    for (const ServingCase &c : cases) {
+        GenRequest req;
+        req.prompt = c.prompt;
+        req.maxNewTokens = c.maxNewTokens;
+        (void)engine.submit(std::move(req));
+    }
+    engine.run();
+    return engine.stats().peakPagesInUse;
+}
+
+/** Satellite of the failure model: every victim of preemption must
+ *  produce its serial-oracle tokens byte for byte — across SIMD
+ *  backend × thread count × prefill chunk size — and the scheduling
+ *  itself (eviction and recompute counts) must be identical at every
+ *  backend/thread setting for a fixed chunk size. */
+TEST_F(ServingTest, EvictionParityAcrossBackendsThreadsAndChunks)
+{
+    const QuantSetup setup = mantFusedAttentionSetup(16);
+    const int vocab = profile_.simDims.vocab;
+    const auto cases = raggedCases(vocab);
+    const int64_t peak1 =
+        peakPagesSingleStream(weights_, setup, cases);
+    ASSERT_GT(peak1, 0);
+    // Any single stream fits; three concurrent ones cannot — the
+    // scheduler must preempt to keep everyone moving.
+    const int64_t poolCap =
+        peak1 + std::max<int64_t>(2, peak1 / 4);
+
+    const SimdPath paths[] = {SimdPath::Scalar, SimdPath::Auto};
+    const int threadCounts[] = {1, 8};
+    const int64_t chunks[] = {0, 1, 5};
+    std::vector<std::vector<int32_t>> firstOuts;
+    std::vector<std::pair<int64_t, int64_t>> firstSched(
+        std::size(chunks), {-1, -1});
+    for (const SimdPath path : paths) {
+        for (const int nthreads : threadCounts) {
+            for (size_t ci = 0; ci < std::size(chunks); ++ci) {
+                auto res = test::withPath(path, nthreads, [&] {
+                    Transformer model(weights_, setup);
+                    std::vector<std::vector<int32_t>> serial;
+                    for (const ServingCase &c : cases)
+                        serial.push_back(serialGreedy(
+                            model, c.prompt, c.maxNewTokens));
+                    ServingConfig cfg;
+                    cfg.maxStreams = 3;
+                    cfg.prefillChunkTokens = chunks[ci];
+                    cfg.pagePoolPages = poolCap;
+                    ServingEngine engine(model, cfg);
+                    std::vector<RequestId> ids;
+                    for (const ServingCase &c : cases) {
+                        GenRequest req;
+                        req.prompt = c.prompt;
+                        req.maxNewTokens = c.maxNewTokens;
+                        ids.push_back(engine.submit(std::move(req)));
+                    }
+                    engine.run();
+                    std::vector<std::vector<int32_t>> outs;
+                    for (const RequestId id : ids) {
+                        EXPECT_EQ(engine.state(id),
+                                  RequestState::Done);
+                        outs.push_back(engine.output(id));
+                    }
+                    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+                    EXPECT_LE(engine.stats().peakPagesInUse, poolCap);
+                    return std::tuple(
+                        std::move(serial), std::move(outs),
+                        engine.stats().evictions,
+                        engine.stats().recomputedTokens);
+                });
+                const auto &[serial, outs, evictions, recomputed] =
+                    res;
+                const auto where = [&] {
+                    return std::string(simdPathName(path)) +
+                           "/threads=" + std::to_string(nthreads) +
+                           "/chunk=" + std::to_string(chunks[ci]);
+                };
+                // The pool really was under pressure, and eviction
+                // never changed a token.
+                EXPECT_GE(evictions, 1) << where();
+                EXPECT_GT(recomputed, 0) << where();
+                for (size_t s = 0; s < cases.size(); ++s)
+                    EXPECT_EQ(outs[s], serial[s])
+                        << "stream " << s << " diverged at "
+                        << where();
+                if (firstOuts.empty())
+                    firstOuts = outs;
+                else
+                    EXPECT_EQ(firstOuts, outs) << where();
+                // Scheduling is deterministic per chunk size: same
+                // evictions and recompute volume at every backend ×
+                // thread setting.
+                if (firstSched[ci].first < 0)
+                    firstSched[ci] = {evictions, recomputed};
+                else
+                    EXPECT_EQ(firstSched[ci],
+                              std::pair(evictions, recomputed))
+                        << where();
+            }
+        }
+    }
+}
+
+/** Satellite regression: no exception type escapes step() for
+ *  request-level faults — recurring injected storms on top of a
+ *  genuinely undersized pool, and every request still finishes with
+ *  its exact serial output. */
+TEST_F(ServingTest, RequestLevelFaultsNeverEscapeStep)
+{
+    const QuantSetup setup = mantFusedAttentionSetup(16);
+    const int vocab = profile_.simDims.vocab;
+    const auto cases = raggedCases(vocab);
+    const int64_t peak1 =
+        peakPagesSingleStream(weights_, setup, cases);
+
+    Transformer model(weights_, setup);
+    std::vector<std::vector<int32_t>> serial;
+    for (const ServingCase &c : cases)
+        serial.push_back(
+            serialGreedy(model, c.prompt, c.maxNewTokens));
+
+    ServingConfig cfg;
+    cfg.maxStreams = 3;
+    cfg.prefillChunkTokens = 4;
+    cfg.pagePoolPages = peak1 + std::max<int64_t>(2, peak1 / 4);
+    cfg.faults.failNthAlloc = 7;
+    cfg.faults.failPeriod = 9;
+    cfg.faults.failLen = 2;
+    ServingEngine engine(model, cfg);
+    std::vector<RequestId> ids;
+    for (const ServingCase &c : cases) {
+        GenRequest req;
+        req.prompt = c.prompt;
+        req.maxNewTokens = c.maxNewTokens;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    bool more = true;
+    int guard = 0;
+    while (more) {
+        ASSERT_NO_THROW(more = engine.step());
+        ASSERT_LT(++guard, 2000) << "engine failed to converge";
+    }
+    // Faults really fired and really forced evictions — and every
+    // request still completed with its serial tokens.
+    EXPECT_GE(engine.pagePool()->injectedFaults(), 1);
+    EXPECT_GE(engine.stats().evictions, 1);
+    for (size_t s = 0; s < ids.size(); ++s) {
+        EXPECT_EQ(engine.state(ids[s]), RequestState::Done);
+        EXPECT_EQ(engine.output(ids[s]), serial[s]) << "stream " << s;
+        EXPECT_EQ(engine.error(ids[s]).kind, RequestError::Kind::None);
+    }
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+    EXPECT_EQ(engine.stats().failed, 0);
+}
+
+/** An injected storm window preempts mid-decode streams; while the
+ *  storm lasts they are externally visible as Preempted, and once it
+ *  ends the replay restores them with no trace in the output. */
+TEST_F(ServingTest, StormPreemptsVisiblyThenReplaysInvisibly)
+{
+    const int vocab = profile_.simDims.vocab;
+    Transformer model(weights_, mantFusedAttentionSetup(16));
+    std::vector<ServingCase> cases;
+    for (int s = 0; s < 3; ++s)
+        cases.push_back({promptFor(s, 6 + s, vocab), 10});
+    std::vector<std::vector<int32_t>> serial;
+    for (const ServingCase &c : cases)
+        serial.push_back(
+            serialGreedy(model, c.prompt, c.maxNewTokens));
+
+    ServingConfig cfg;
+    cfg.maxStreams = 3;
+    cfg.faults.failRoundsBegin = 3;
+    cfg.faults.failRoundsEnd = 13;
+    ServingEngine engine(model, cfg);
+    std::vector<RequestId> ids;
+    for (const ServingCase &c : cases) {
+        GenRequest req;
+        req.prompt = c.prompt;
+        req.maxNewTokens = c.maxNewTokens;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    bool sawPreempted = false;
+    bool more = true;
+    int guard = 0;
+    while (more) {
+        ASSERT_NO_THROW(more = engine.step());
+        for (const RequestId id : ids)
+            sawPreempted |=
+                engine.state(id) == RequestState::Preempted;
+        ASSERT_LT(++guard, 200);
+    }
+    EXPECT_TRUE(sawPreempted);
+    EXPECT_GE(engine.stats().evictions, 1);
+    EXPECT_GT(engine.stats().recomputedTokens, 0);
+    EXPECT_GE(engine.pagePool()->injectedFaults(), 1);
+    for (size_t s = 0; s < ids.size(); ++s) {
+        EXPECT_EQ(engine.state(ids[s]), RequestState::Done);
+        EXPECT_EQ(engine.output(ids[s]), serial[s]) << "stream " << s;
+    }
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+}
+
+TEST_F(ServingTest, CancelKeepsPartialOutputAndFreesPages)
+{
+    const int vocab = profile_.simDims.vocab;
+    Transformer model(weights_, mantFusedAttentionSetup(16));
+    const auto prompt = promptFor(0, 6, vocab);
+    const auto oracle = serialGreedy(model, prompt, 12);
+
+    ServingConfig cfg;
+    cfg.maxStreams = 1;
+    ServingEngine engine(model, cfg);
+    GenRequest a;
+    a.prompt = prompt;
+    a.maxNewTokens = 12;
+    const RequestId ida = engine.submit(std::move(a));
+    GenRequest b;
+    b.prompt = promptFor(1, 5, vocab);
+    b.maxNewTokens = 3;
+    const RequestId idb = engine.submit(std::move(b));
+
+    for (int i = 0; i < 4; ++i)
+        engine.step();
+    ASSERT_EQ(engine.state(ida), RequestState::Active);
+    const std::vector<int32_t> &out = engine.output(ida);
+    const size_t k = out.size();
+    ASSERT_GT(k, 0u);
+    ASSERT_LT(k, 12u);
+
+    EXPECT_TRUE(engine.cancel(ida));
+    EXPECT_EQ(engine.state(ida), RequestState::Cancelled);
+    // The active stream retired on the spot: its pages are back
+    // before the next step, and what was generated stays readable —
+    // the exact serial prefix.
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+    ASSERT_EQ(out.size(), k);
+    EXPECT_TRUE(
+        std::equal(out.begin(), out.end(), oracle.begin()));
+    // Terminal means terminal: a second cancel is a no-op.
+    EXPECT_FALSE(engine.cancel(ida));
+    EXPECT_THROW(engine.cancel(9999), std::out_of_range);
+
+    // The engine keeps serving: the queued request completes.
+    engine.run();
+    EXPECT_EQ(engine.state(idb), RequestState::Done);
+    EXPECT_EQ(engine.stats().cancelled, 1);
+
+    // Cancelling a still-queued request just removes it.
+    GenRequest c;
+    c.prompt = prompt;
+    c.maxNewTokens = 2;
+    const RequestId idc = engine.submit(std::move(c));
+    ASSERT_EQ(engine.state(idc), RequestState::Queued);
+    EXPECT_TRUE(engine.cancel(idc));
+    EXPECT_EQ(engine.state(idc), RequestState::Cancelled);
+    EXPECT_TRUE(engine.output(idc).empty());
+    EXPECT_EQ(engine.queuedRequests(), 0);
+    EXPECT_EQ(engine.stats().cancelled, 2);
+}
+
+TEST_F(ServingTest, DeadlineExpiresActiveAndQueuedRequests)
+{
+    const int vocab = profile_.simDims.vocab;
+    Transformer model(weights_, mantFusedAttentionSetup(16));
+    const auto prompt = promptFor(0, 6, vocab);
+    const auto oracle = serialGreedy(model, prompt, 12);
+
+    ServingConfig cfg;
+    cfg.maxStreams = 1;
+    ServingEngine engine(model, cfg);
+    GenRequest a; // admitted first; expires mid-generation
+    a.prompt = prompt;
+    a.maxNewTokens = 12;
+    a.deadlineSteps = 5;
+    const RequestId ida = engine.submit(std::move(a));
+    GenRequest b; // stuck behind `a`; expires while still queued
+    b.prompt = promptFor(1, 5, vocab);
+    b.maxNewTokens = 3;
+    b.deadlineSteps = 3;
+    const RequestId idb = engine.submit(std::move(b));
+    GenRequest c; // generous deadline: must not fire at all
+    c.prompt = prompt;
+    c.maxNewTokens = 12;
+    c.deadlineSteps = 100;
+    const RequestId idc = engine.submit(std::move(c));
+    engine.run();
+
+    // Deadlines are scheduler rounds, so expiry is deterministic:
+    // whatever was produced in the allotted rounds survives, and is
+    // the exact serial prefix.
+    EXPECT_EQ(engine.state(ida), RequestState::Expired);
+    const auto &partial = engine.output(ida);
+    EXPECT_GT(partial.size(), 0u);
+    EXPECT_LT(partial.size(), 12u);
+    EXPECT_TRUE(std::equal(partial.begin(), partial.end(),
+                           oracle.begin()));
+    EXPECT_EQ(engine.state(idb), RequestState::Expired);
+    EXPECT_TRUE(engine.output(idb).empty());
+    EXPECT_EQ(engine.state(idc), RequestState::Done);
+    EXPECT_EQ(engine.output(idc), oracle);
+    EXPECT_EQ(engine.stats().expired, 2);
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+
+    // Negative deadlines are a contract violation at submit().
+    GenRequest neg;
+    neg.prompt = prompt;
+    neg.maxNewTokens = 2;
+    neg.deadlineSteps = -1;
+    EXPECT_THROW(engine.submit(std::move(neg)),
+                 std::invalid_argument);
+}
+
+/** Genuine exhaustion with nothing left to evict fails ONLY the
+ *  request that cannot fit; the engine (and later requests) keep
+ *  going. */
+TEST_F(ServingTest, LoneOversizedRequestFailsAloneAndTyped)
+{
+    const QuantSetup setup = mantFusedAttentionSetup(16);
+    const int vocab = profile_.simDims.vocab;
+    const ServingCase big{promptFor(0, 24, vocab), 16};
+    const ServingCase small{promptFor(1, 4, vocab), 2};
+    const int64_t peakBig =
+        peakPagesSingleStream(weights_, setup, {big});
+    const int64_t peakSmall =
+        peakPagesSingleStream(weights_, setup, {small});
+    const int64_t poolCap = peakSmall + (peakBig - peakSmall) / 2;
+    ASSERT_LT(peakSmall, poolCap);
+    ASSERT_LT(poolCap, peakBig);
+
+    Transformer model(weights_, setup);
+    const auto bigOracle =
+        serialGreedy(model, big.prompt, big.maxNewTokens);
+    const auto smallOracle =
+        serialGreedy(model, small.prompt, small.maxNewTokens);
+
+    ServingConfig cfg;
+    cfg.maxStreams = 2;
+    cfg.pagePoolPages = poolCap;
+    ServingEngine engine(model, cfg);
+    GenRequest rb;
+    rb.prompt = big.prompt;
+    rb.maxNewTokens = big.maxNewTokens;
+    const RequestId idBig = engine.submit(std::move(rb));
+    bool more = true;
+    int guard = 0;
+    while (more) {
+        ASSERT_NO_THROW(more = engine.step());
+        ASSERT_LT(++guard, 100);
+    }
+    EXPECT_EQ(engine.state(idBig), RequestState::Failed);
+    EXPECT_EQ(engine.error(idBig).kind,
+              RequestError::Kind::PoolExhausted);
+    EXPECT_FALSE(engine.error(idBig).message.empty());
+    // Whatever ran before the shortfall is kept, and is untainted.
+    const auto &partial = engine.output(idBig);
+    EXPECT_LT(partial.size(), bigOracle.size());
+    EXPECT_TRUE(std::equal(partial.begin(), partial.end(),
+                           bigOracle.begin()));
+    EXPECT_EQ(engine.stats().failed, 1);
+    // Failure returned every page; a feasible request then sails
+    // through the same engine.
+    EXPECT_EQ(engine.pagePool()->inUsePages(), 0);
+    GenRequest rs;
+    rs.prompt = small.prompt;
+    rs.maxNewTokens = small.maxNewTokens;
+    const RequestId idSmall = engine.submit(std::move(rs));
+    engine.run();
+    EXPECT_EQ(engine.state(idSmall), RequestState::Done);
+    EXPECT_EQ(engine.output(idSmall), smallOracle);
+    EXPECT_EQ(engine.error(idSmall).kind, RequestError::Kind::None);
+}
+
+TEST_F(ServingTest, EngineValidatesFaultConfig)
+{
+    Transformer model(weights_, mantFusedAttentionSetup(64));
+    const auto withFaults = [&](FaultInjectionConfig f) {
+        ServingConfig cfg;
+        cfg.faults = f;
+        return cfg;
+    };
+    EXPECT_THROW(
+        ServingEngine(model, withFaults({.failNthAlloc = -1})),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ServingEngine(model, withFaults({.failRoundsBegin = -2})),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ServingEngine(model, withFaults({.failRoundsEnd = -1})),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ServingEngine(model, withFaults({.failPeriod = -3})),
+        std::invalid_argument);
+    EXPECT_THROW(ServingEngine(model, withFaults({.failLen = -1})),
+                 std::invalid_argument);
+    // A storm length without a period is meaningless...
+    EXPECT_THROW(ServingEngine(model, withFaults({.failLen = 2})),
+                 std::invalid_argument);
+    // ...and a storm covering the whole period never ends — no
+    // request could ever finish, so run() would never return.
+    EXPECT_THROW(ServingEngine(model, withFaults({.failPeriod = 4,
+                                                  .failLen = 4})),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(ServingEngine(
+        model, withFaults({.failPeriod = 4, .failLen = 3})));
+}
+
+/** output()/error() hand out references into a deque: later
+ *  submissions must never move a terminal request's record. */
+TEST_F(ServingTest, TerminalOutputsAndErrorsAreDequeStable)
+{
+    Transformer model(weights_, mantFusedSetup(64));
+    ServingConfig cfg;
+    cfg.maxStreams = 2;
+    ServingEngine engine(model, cfg);
+    GenRequest first;
+    first.prompt = promptFor(0, 5, profile_.simDims.vocab);
+    first.maxNewTokens = 3;
+    const RequestId id = engine.submit(std::move(first));
+    engine.run();
+    ASSERT_EQ(engine.state(id), RequestState::Done);
+    const std::vector<int32_t> *outPtr = &engine.output(id);
+    const RequestError *errPtr = &engine.error(id);
+    const std::vector<int32_t> snapshot = *outPtr;
+
+    for (int s = 1; s <= 64; ++s) {
+        GenRequest r;
+        r.prompt = promptFor(s, 4, profile_.simDims.vocab);
+        r.maxNewTokens = 1;
+        (void)engine.submit(std::move(r));
+    }
+    engine.run();
+    EXPECT_EQ(&engine.output(id), outPtr);
+    EXPECT_EQ(&engine.error(id), errPtr);
+    EXPECT_EQ(*outPtr, snapshot);
+    EXPECT_EQ(errPtr->kind, RequestError::Kind::None);
+    EXPECT_THROW(engine.output(9999), std::out_of_range);
+    EXPECT_THROW(engine.error(9999), std::out_of_range);
+    EXPECT_THROW(engine.state(9999), std::out_of_range);
 }
 
 // --- generation-path regression fixes -------------------------------

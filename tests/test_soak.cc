@@ -344,5 +344,154 @@ TEST_F(SoakTest, PagedEngineChurnMatchesSerialOracle)
     }
 }
 
+// --- fault-injected preemption soak ----------------------------------
+
+TEST_F(SoakTest, FaultInjectedPreemptionSoakMatchesSerialOracle)
+{
+    // The failure model under volume: 320 ragged requests against a
+    // pool sized WAY below the active set's worst case (6 slots × ~20
+    // pages vs a 48-page cap → continuous eviction storms), recurring
+    // injected allocation-fault storms on top, and counter-seeded
+    // random cancels and round-deadlines racing the scheduler. The
+    // engine must never let an exception escape step(), every request
+    // must end terminal, every Done output must checksum-match the
+    // serial oracle, and every Cancelled/Expired output must be an
+    // exact oracle prefix — preemption, replay, faults, and lifecycle
+    // exits may only ever change WHEN tokens are computed, or how
+    // many, never their values.
+    const QuantSetup setup = mantFusedAttentionSetup(16);
+    const int64_t vocab = profile_.simDims.vocab;
+    const uint64_t seedBase = 55000;
+    const int numRequests = 320;
+    Transformer model(weights_, setup);
+
+    std::vector<PagedCase> cases;
+    cases.reserve(numRequests);
+    for (int i = 0; i < numRequests; ++i)
+        cases.push_back(randomPagedCase(
+            seedBase + static_cast<uint64_t>(i), vocab));
+
+    std::vector<std::vector<int32_t>> expected;
+    expected.reserve(cases.size());
+    for (const PagedCase &c : cases)
+        expected.push_back(truncateToBudget(
+            truncateAtStop(
+                bench::serialGreedyOracle(model, c.base.prompt,
+                                          c.base.maxNewTokens),
+                c.base.stopToken),
+            static_cast<int64_t>(c.base.prompt.size()),
+            c.tokenBudget));
+
+    ServingConfig cfg;
+    cfg.maxStreams = 6;
+    cfg.prefillChunkTokens = 5;
+    cfg.pagePoolPages = 48;
+    cfg.faults.failNthAlloc = 123;
+    cfg.faults.failPeriod = 17;
+    cfg.faults.failLen = 2;
+    ServingEngine engine(model, cfg);
+    ASSERT_NE(engine.pagePool(), nullptr);
+
+    Rng waves(seedBase ^ 0x5057414b45ULL);
+    std::vector<RequestId> ids;
+    size_t submitted = 0;
+    int64_t cancelsIssued = 0;
+    int guard = 0;
+    while (submitted < cases.size() || !engine.idle()) {
+        if (submitted < cases.size()) {
+            const size_t wave = std::min(
+                cases.size() - submitted,
+                static_cast<size_t>(1 + waves.uniformInt(8)));
+            for (size_t i = 0; i < wave; ++i, ++submitted) {
+                GenRequest req;
+                req.prompt = cases[submitted].base.prompt;
+                req.maxNewTokens = cases[submitted].base.maxNewTokens;
+                req.stopToken = cases[submitted].base.stopToken;
+                req.priority = cases[submitted].priority;
+                req.tokenBudget = cases[submitted].tokenBudget;
+                // One request in six carries a round-deadline tight
+                // enough that some expire mid-generation and some
+                // (submitted into a drained queue) finish first.
+                if (waves.uniformInt(6) == 0)
+                    req.deadlineSteps =
+                        10 + static_cast<int64_t>(waves.uniformInt(60));
+                ids.push_back(engine.submit(std::move(req)));
+            }
+        }
+        // Random cancels race everything else: the target may be
+        // queued, active, preempted, or already terminal (a no-op).
+        if (!ids.empty() && waves.uniformInt(4) == 0) {
+            const RequestId victim = ids[static_cast<size_t>(
+                waves.uniformInt(ids.size()))];
+            cancelsIssued += engine.cancel(victim) ? 1 : 0;
+        }
+        const uint64_t rounds = 1 + waves.uniformInt(4);
+        for (uint64_t r = 0; r < rounds; ++r) {
+            bool more = true;
+            ASSERT_NO_THROW(more = engine.step());
+            if (!more)
+                break;
+        }
+        ASSERT_LT(++guard, 50000) << "soak failed to converge";
+    }
+
+    // Every request is terminal; Done outputs checksum against the
+    // oracle, early exits are exact oracle prefixes.
+    uint64_t engineSum = 0xcbf29ce484222325ULL;
+    uint64_t serialSum = 0xcbf29ce484222325ULL;
+    int mismatches = 0;
+    int64_t done = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const RequestState s = engine.state(ids[i]);
+        ASSERT_TRUE(isTerminal(s)) << "request " << i;
+        ASSERT_NE(s, RequestState::Failed) << "request " << i
+            << ": the pool fits any single stream, so nothing may "
+               "genuinely fail";
+        const auto &out = engine.output(ids[i]);
+        if (s == RequestState::Done) {
+            ++done;
+            engineSum = fnv1a(engineSum, out);
+            serialSum = fnv1a(serialSum, expected[i]);
+            if (out != expected[i] && mismatches++ < 3)
+                ADD_FAILURE()
+                    << "request " << i << " (seed "
+                    << seedBase + static_cast<uint64_t>(i)
+                    << ") diverged from the serial oracle";
+        } else {
+            ASSERT_LE(out.size(), expected[i].size())
+                << "request " << i;
+            if (!std::equal(out.begin(), out.end(),
+                            expected[i].begin()) &&
+                mismatches++ < 3)
+                ADD_FAILURE() << "request " << i
+                              << ": partial output is not an oracle "
+                                 "prefix";
+        }
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_EQ(engineSum, serialSum);
+
+    // The storm machinery genuinely ran: injected faults fired,
+    // eviction recovered real work, cancels and deadlines both hit,
+    // and most of the load still completed.
+    const auto &st = engine.stats();
+    EXPECT_GE(engine.pagePool()->injectedFaults(), 1);
+    EXPECT_GE(st.evictions, 1);
+    EXPECT_GT(st.recomputedTokens, 0);
+    EXPECT_EQ(st.cancelled, cancelsIssued);
+    EXPECT_GE(st.expired, 1);
+    EXPECT_EQ(st.failed, 0);
+    EXPECT_GT(done, numRequests / 2);
+    EXPECT_EQ(st.cancelled + st.expired + done,
+              static_cast<int64_t>(ids.size()));
+
+    // No pages leaked through ~hundreds of evict/replay/cancel/expire
+    // cycles, and the cap held.
+    const KvPageAllocator &pool = *engine.pagePool();
+    EXPECT_EQ(pool.inUsePages(), 0);
+    EXPECT_LE(pool.peakInUsePages(), cfg.pagePoolPages);
+    EXPECT_EQ(st.peakPagesInUse, pool.peakInUsePages());
+}
+
 } // namespace
 } // namespace mant
