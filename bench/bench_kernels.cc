@@ -34,6 +34,7 @@
 
 #include "bench_util.h"
 #include "core/fused_attention.h"
+#include "model/model_file.h"
 #include "core/fused_gemm.h"
 #include "core/kv_pages.h"
 #include "core/kv_panels.h"
@@ -861,6 +862,75 @@ BENCHMARK(BM_AttnFused)
     ->Arg(256)
     ->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Cold-start pair: constructing a ready-to-serve Transformer by
+ * quantize + coefficient-search + tile-pack (BM_ModelBuild, the
+ * reference) vs mmap-loading the exported v2 container and wrapping
+ * views (BM_ModelLoad, the optimized path). Both report a `checksum`
+ * over the same fixed prefill logits — the zero-copy contract says
+ * the mapped tiles are the exact bytes the packer produced, so the
+ * checksums must match bit-for-bit. tools/bench_gate.py gates this
+ * pair on checksum only: the speedup spans orders of magnitude and
+ * tracks page-cache state, not kernel perf. Arg = maxSeq.
+ */
+const ModelWeights &
+loadBenchWeights()
+{
+    static const ModelWeights w =
+        ModelWeights::generate(bench::servingBenchProfile(), 128);
+    return w;
+}
+
+const std::string &
+loadBenchFile()
+{
+    static const std::string path = [] {
+        std::string p = "BENCH_model_cold.mant";
+        exportModelToFile(p, loadBenchWeights(), mantFusedSetup(64));
+        return p;
+    }();
+    return path;
+}
+
+double
+loadBenchChecksum(Transformer &model)
+{
+    const Tensor logits = model.prefill(servingPrompt(0));
+    return checksum(logits.span());
+}
+
+static void
+BM_ModelBuild(benchmark::State &state)
+{
+    const ModelWeights &w = loadBenchWeights();
+    const QuantSetup setup = mantFusedSetup(64);
+    for (auto _ : state) {
+        Transformer model(w, setup);
+        benchmark::ClobberMemory();
+    }
+    Transformer model(w, setup);
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["checksum"] = loadBenchChecksum(model);
+}
+BENCHMARK(BM_ModelBuild)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ModelLoad(benchmark::State &state)
+{
+    const std::string &path = loadBenchFile();
+    for (auto _ : state) {
+        auto loaded = LoadedModel::load(path);
+        benchmark::DoNotOptimize(loaded);
+    }
+    auto loaded = LoadedModel::load(path);
+    state.SetLabel(simdOps().name);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["checksum"] =
+        loadBenchChecksum(loaded->transformer());
+}
+BENCHMARK(BM_ModelLoad)->Arg(128)->Unit(benchmark::kMillisecond);
 
 static void
 BM_TemporalVPush(benchmark::State &state)

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cold-start bench for the zero-copy model load path.
+ *
+ * Measures the wall-clock cost of bringing up a ready-to-serve
+ * Transformer two ways from the same weights:
+ *   build — quantize + coefficient-search + tile-pack in memory (the
+ *           pre-container path every process used to pay);
+ *   load  — mmap an exported v2 container and wrap views (the format
+ *           IS the compute layout, so no quantization runs at all).
+ *
+ * Self-checking: prefill + decode logits from the loaded model must be
+ * byte-identical to the built model (mmap and read-fallback both), the
+ * load path must beat the build path by at least MIN_SPEEDUP, and a
+ * forked child re-loading the same file must see byte-identical logits
+ * again — with an mincore() report showing how much of the mapping the
+ * page cache already held (the multi-process sharing story). Exits
+ * non-zero on any parity or speedup failure.
+ *
+ * Usage: bench_model_load [reps] [out.mant]
+ */
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/model_file.h"
+#include "model/model_profiles.h"
+#include "model/quant_setup.h"
+#include "model/transformer.h"
+#include "model/weights.h"
+#include "tensor/rng.h"
+
+namespace mant {
+namespace {
+
+constexpr double kMinSpeedup = 2.0;
+constexpr int64_t kMaxSeq = 256;
+constexpr int kPromptLen = 24;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** VmRSS in KiB from /proc/self/status; -1 when unavailable. */
+long
+rssKib()
+{
+    std::ifstream f("/proc/self/status");
+    std::string key;
+    while (f >> key) {
+        if (key == "VmRSS:") {
+            long kib = -1;
+            f >> kib;
+            return kib;
+        }
+        f.ignore(4096, '\n');
+    }
+    return -1;
+}
+
+std::vector<int32_t>
+prompt(int64_t vocab)
+{
+    Rng rng(4242);
+    std::vector<int32_t> t(kPromptLen);
+    for (auto &x : t)
+        x = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return t;
+}
+
+/** Prefill + one decode step, concatenated into one byte buffer. */
+std::vector<uint8_t>
+logitsBytes(Transformer &model, const std::vector<int32_t> &toks)
+{
+    const Tensor logits = model.prefill(toks);
+    const std::vector<float> step = model.decodeStep(7);
+    std::vector<uint8_t> out(
+        static_cast<size_t>(logits.numel()) * 4 + step.size() * 4);
+    std::memcpy(out.data(), logits.data(),
+                static_cast<size_t>(logits.numel()) * 4);
+    std::memcpy(out.data() + static_cast<size_t>(logits.numel()) * 4,
+                step.data(), step.size() * 4);
+    return out;
+}
+
+/** Fraction of the mapping already resident per mincore(). */
+double
+residentFraction(const uint8_t *base, size_t size)
+{
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page <= 0 || size == 0)
+        return -1.0;
+    const size_t pages =
+        (size + static_cast<size_t>(page) - 1) /
+        static_cast<size_t>(page);
+    std::vector<unsigned char> vec(pages);
+    if (mincore(const_cast<uint8_t *>(base), size, vec.data()) != 0)
+        return -1.0;
+    size_t resident = 0;
+    for (const unsigned char v : vec)
+        resident += v & 1u;
+    return static_cast<double>(resident) /
+           static_cast<double>(pages);
+}
+
+int
+run(int reps, const std::string &path)
+{
+    const ModelProfile &profile = modelProfile("llama-2-7b");
+    const ModelWeights weights =
+        ModelWeights::generate(profile, kMaxSeq);
+    const QuantSetup setup = mantFusedSetup(64);
+    const std::vector<int32_t> toks =
+        prompt(profile.simDims.vocab);
+
+    // Build path: quantize-then-pack in memory, timed per rep.
+    double buildMs = 1e30;
+    std::vector<uint8_t> want;
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = nowMs();
+        Transformer built(weights, setup);
+        const double t1 = nowMs();
+        buildMs = std::min(buildMs, t1 - t0);
+        if (r == 0)
+            want = logitsBytes(built, toks);
+    }
+
+    exportModelToFile(path, weights, setup);
+
+    // Load path: mmap + validate + wrap views, timed per rep.
+    const long rssBefore = rssKib();
+    double loadMs = 1e30;
+    std::shared_ptr<LoadedModel> loaded;
+    for (int r = 0; r < reps; ++r) {
+        loaded.reset();
+        const double t0 = nowMs();
+        loaded = LoadedModel::load(path);
+        const double t1 = nowMs();
+        loadMs = std::min(loadMs, t1 - t0);
+    }
+    const long rssAfterLoad = rssKib();
+
+    if (logitsBytes(loaded->transformer(), toks) != want) {
+        std::fprintf(stderr,
+                     "FAIL: mmap-loaded logits differ from the "
+                     "in-memory build\n");
+        return 1;
+    }
+    {
+        auto viaRead = LoadedModel::load(path, /*forceRead=*/true);
+        if (logitsBytes(viaRead->transformer(), toks) != want) {
+            std::fprintf(stderr,
+                         "FAIL: read-fallback logits differ from "
+                         "the in-memory build\n");
+            return 1;
+        }
+    }
+    const long rssAfterRun = rssKib();
+
+    const double speedup = buildMs / loadMs;
+    std::printf("model %s: file %zu bytes, %d reps\n",
+                profile.name.c_str(), loaded->file().size(), reps);
+    std::printf("  build (quantize+pack): %9.3f ms\n", buildMs);
+    std::printf("  load  (mmap+views):    %9.3f ms   %.1fx faster\n",
+                loadMs, speedup);
+    std::printf("  VmRSS: %ld KiB before, %ld after load, %ld after "
+                "inference\n",
+                rssBefore, rssAfterLoad, rssAfterRun);
+
+    // Multi-process smoke: a forked child re-loads the same file.
+    // Its mapping should ride the shared page cache the parent just
+    // populated, and its logits must be byte-identical.
+    std::fflush(stdout); // don't duplicate buffered output via fork
+    const pid_t pid = fork();
+    if (pid == 0) {
+        auto child = LoadedModel::load(path);
+        const double frac = residentFraction(child->file().data(),
+                                             child->file().size());
+        std::printf("  child: %.0f%% of mapping page-cache resident "
+                    "at load\n",
+                    frac * 100.0);
+        std::fflush(stdout); // _exit skips stdio teardown
+        _exit(logitsBytes(child->transformer(), toks) == want ? 0
+                                                              : 1);
+    }
+    if (pid > 0) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "FAIL: forked child parity check failed\n");
+            return 1;
+        }
+    } else {
+        std::perror("fork");
+        return 1;
+    }
+
+    if (speedup < kMinSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: load speedup %.2fx below the %.1fx "
+                     "floor\n",
+                     speedup, kMinSpeedup);
+        return 1;
+    }
+    std::printf("OK: load path parity (mmap, read, child) and "
+                "%.1fx cold-start speedup\n",
+                speedup);
+    return 0;
+}
+
+} // namespace
+} // namespace mant
+
+int
+main(int argc, char **argv)
+{
+    const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+    const std::string path =
+        argc > 2 ? argv[2] : "BENCH_model_load.mant";
+    return mant::run(reps > 0 ? reps : 1, path);
+}

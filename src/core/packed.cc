@@ -6,15 +6,37 @@
 #include <new>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/fp16.h"
 
 namespace mant {
 
+PackedFormatError::PackedFormatError(const std::string &what,
+                                     uint64_t offset)
+    : std::runtime_error(what + " (at offset " +
+                         std::to_string(offset) + ")"),
+      offset_(offset)
+{
+}
+
 namespace {
 
 constexpr char kMagic[4] = {'M', 'A', 'N', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion1 = 1;
+constexpr uint32_t kVersion2 = 2;
+
+/** v2 alignment quantum: headers are one 64-byte line, and every
+ *  payload array (and container section) starts 64-byte aligned, so
+ *  mmap'd code/scale arrays are cache-line and SIMD aligned. */
+constexpr uint64_t kAlign = 64;
+
+constexpr char kModelMagic[8] = {'M', 'A', 'N', 'T',
+                                 'M', 'D', 'L', '\0'};
+constexpr uint32_t kModelVersion = 1;
+constexpr uint32_t kMaxSections = 1u << 16;
+constexpr size_t kSectionNameBytes = 40;
+constexpr uint64_t kTocEntryBytes = 64;
 
 /** Element-count cap: keeps every rows/cols product overflow-free. */
 constexpr int64_t kMaxElems = int64_t{1} << 40;
@@ -27,6 +49,12 @@ plausibleDims(int64_t rows, int64_t cols)
            (rows == 0 || cols <= kMaxElems / rows);
 }
 
+uint64_t
+align64(uint64_t n)
+{
+    return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
 template <typename T>
 void
 writeScalar(std::ostream &os, T value)
@@ -34,25 +62,30 @@ writeScalar(std::ostream &os, T value)
     os.write(reinterpret_cast<const char *>(&value), sizeof(value));
 }
 
+/** Read one little-endian scalar; `offset` tracks the stream position
+ *  so failures report where the bytes ran out. */
 template <typename T>
 T
-readScalar(std::istream &is)
+readScalar(std::istream &is, uint64_t &offset)
 {
     T value{};
     is.read(reinterpret_cast<char *>(&value), sizeof(value));
     if (!is)
-        throw std::runtime_error("readPacked: truncated stream");
+        throw PackedFormatError("readPacked: truncated stream", offset);
+    offset += sizeof(value);
     return value;
 }
 
 /**
  * Read `count` elements into `v` in bounded chunks, so memory growth
- * tracks bytes actually received: a 48-byte hostile header on a
- * non-seekable stream cannot force a terabyte zero-filled resize.
+ * tracks bytes actually received: a hostile header on a non-seekable
+ * stream cannot force a terabyte zero-filled resize. On truncation
+ * the error reports the array's start offset.
  */
 template <typename T>
 void
-readVector(std::istream &is, std::vector<T> &v, uint64_t count)
+readVector(std::istream &is, std::vector<T> &v, uint64_t count,
+           uint64_t &offset)
 {
     constexpr uint64_t kChunkBytes = uint64_t{1} << 20;
     const uint64_t chunk = std::max<uint64_t>(1, kChunkBytes / sizeof(T));
@@ -64,9 +97,283 @@ readVector(std::istream &is, std::vector<T> &v, uint64_t count)
         is.read(reinterpret_cast<char *>(v.data() + got),
                 static_cast<std::streamsize>(step * sizeof(T)));
         if (!is)
-            throw std::runtime_error("readPacked: truncated payload");
+            throw PackedFormatError("readPacked: truncated payload",
+                                    offset);
         got += step;
     }
+    offset += count * sizeof(T);
+}
+
+/** Skip `count` padding bytes (works on non-seekable streams). */
+void
+skipBytes(std::istream &is, uint64_t count, uint64_t &offset)
+{
+    if (count == 0)
+        return;
+    is.ignore(static_cast<std::streamsize>(count));
+    if (!is || static_cast<uint64_t>(is.gcount()) != count)
+        throw PackedFormatError("readPacked: truncated payload", offset);
+    offset += count;
+}
+
+void
+writeZeros(std::ostream &os, uint64_t count)
+{
+    static constexpr char kZeros[256] = {};
+    while (count > 0) {
+        const uint64_t step =
+            std::min<uint64_t>(count, sizeof(kZeros));
+        os.write(kZeros, static_cast<std::streamsize>(step));
+        count -= step;
+    }
+}
+
+/** The 64-byte v2 tile-section header, as stored (little-endian). */
+struct TileSectionHeader
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t groupSize = 0;
+    int64_t panels = 0;
+    int64_t panelBytes = 0;
+    uint64_t codesBytes = 0;
+    uint64_t metaCount = 0;
+    uint64_t reserved = 0;
+};
+static_assert(sizeof(TileSectionHeader) == kAlign,
+              "tile section header must be exactly one aligned line");
+
+/** Section-relative layout of a v2 tile section: header at 0, then
+ *  codes / scales / coeff / isInt, each 64-byte aligned. */
+struct TileSectionLayout
+{
+    int64_t panels = 0;
+    int64_t panelBytes = 0;
+    uint64_t codesBytes = 0;
+    uint64_t metaCount = 0;
+    uint64_t codesOff = kAlign;
+    uint64_t scalesOff = 0;
+    uint64_t coeffOff = 0;
+    uint64_t isIntOff = 0;
+    uint64_t size = 0;
+};
+
+TileSectionLayout
+tileLayoutFor(int64_t rows, int64_t cols, int64_t groupSize)
+{
+    const MantTilesView geo =
+        MantTilesView::geometry(rows, cols, groupSize);
+    TileSectionLayout l;
+    l.panels = geo.panels();
+    l.panelBytes = geo.panelBytes();
+    l.codesBytes = static_cast<uint64_t>(geo.codesBytes());
+    l.metaCount = static_cast<uint64_t>(geo.metaCount());
+    l.scalesOff = align64(l.codesOff + l.codesBytes);
+    l.coeffOff =
+        align64(l.scalesOff + l.metaCount * sizeof(float));
+    l.isIntOff = align64(l.coeffOff + l.metaCount);
+    l.size = l.isIntOff + l.metaCount;
+    return l;
+}
+
+/**
+ * Validate a v2 tile-section header: dimensions plausible, group size
+ * normalized (streams store effectiveGroupSize, so group code-block
+ * offsets stay affine), and every derived field equal to the geometry
+ * recomputed from (rows, cols, groupSize) — a header cannot name
+ * counts its own shape does not imply. `base` is the section's
+ * absolute offset; `who` prefixes messages ("readPacked" for streams,
+ * "mapTileSection" for mapped files).
+ */
+TileSectionLayout
+validateTileHeader(const TileSectionHeader &h, uint64_t base,
+                   const char *who)
+{
+    const std::string p(who);
+    if (!plausibleDims(h.rows, h.cols))
+        throw PackedFormatError(p + ": implausible tile geometry",
+                                base);
+    if (h.groupSize != effectiveGroupSize(h.cols, h.groupSize))
+        throw PackedFormatError(p + ": unnormalized group size",
+                                base + 16);
+    const TileSectionLayout l =
+        tileLayoutFor(h.rows, h.cols, h.groupSize);
+    if (h.panels != l.panels)
+        throw PackedFormatError(p + ": panel count mismatch",
+                                base + 24);
+    if (h.panelBytes != l.panelBytes)
+        throw PackedFormatError(p + ": panel byte count mismatch",
+                                base + 32);
+    if (h.codesBytes != l.codesBytes)
+        throw PackedFormatError(p + ": code byte count mismatch",
+                                base + 40);
+    if (h.metaCount != l.metaCount)
+        throw PackedFormatError(p + ": tile meta count mismatch",
+                                base + 48);
+    if (h.reserved != 0)
+        throw PackedFormatError(p + ": nonzero reserved field",
+                                base + 56);
+    return l;
+}
+
+/** v1 body: fields after magic + version (offset = 8 on entry). */
+PackedMantMatrix
+readPackedV1Body(std::istream &is, uint64_t &offset)
+{
+    PackedMantMatrix p;
+    const uint64_t dims_off = offset;
+    p.rows = readScalar<int64_t>(is, offset);
+    p.cols = readScalar<int64_t>(is, offset);
+    p.groupSize = readScalar<int64_t>(is, offset);
+    if (!plausibleDims(p.rows, p.cols) || p.groupSize < 0)
+        throw PackedFormatError("readPacked: implausible header",
+                                dims_off);
+    const uint64_t nibbles_off = offset;
+    const uint64_t n_nibbles = readScalar<uint64_t>(is, offset);
+    const uint64_t groups_off = offset;
+    const uint64_t n_groups = readScalar<uint64_t>(is, offset);
+    if (n_nibbles !=
+        static_cast<uint64_t>((p.rows * p.cols + 1) / 2)) {
+        throw PackedFormatError("readPacked: nibble count mismatch",
+                                nibbles_off);
+    }
+    // unpack() indexes metadata as rows * groupsPerRow; a stream whose
+    // group count disagrees with its own geometry would read out of
+    // bounds there, so reject it at the header.
+    const int64_t groups_per_row =
+        groupsPerRowFor(p.cols, p.groupSize);
+    if (n_groups != static_cast<uint64_t>(p.rows * groups_per_row)) {
+        throw PackedFormatError("readPacked: group count mismatch",
+                                groups_off);
+    }
+    // A self-consistent hostile header can still name buffer sizes in
+    // the terabytes; when the stream is seekable, require the payload
+    // to actually be present before allocating anything.
+    const std::streampos here = is.tellg();
+    if (here != std::streampos(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::streampos end = is.tellg();
+        is.clear();
+        is.seekg(here);
+        const uint64_t avail =
+            end > here ? static_cast<uint64_t>(end - here) : 0;
+        if (avail < n_nibbles + n_groups * 3)
+            throw PackedFormatError("readPacked: truncated payload",
+                                    offset);
+    }
+    try {
+        readVector(is, p.nibbles, n_nibbles, offset);
+        readVector(is, p.scaleBits, n_groups, offset);
+        readVector(is, p.typeBytes, n_groups, offset);
+    } catch (const std::bad_alloc &) {
+        throw PackedFormatError(
+            "readPacked: header demands implausible allocation",
+            offset);
+    } catch (const std::length_error &) {
+        throw PackedFormatError(
+            "readPacked: header demands implausible allocation",
+            offset);
+    }
+    return p;
+}
+
+/** v2 tile section body (offset = section base on entry): validate
+ *  the header, then copy the arrays off the stream into owning
+ *  vectors (zero-copy loading is the mapTileSection path). */
+MantPackedTiles
+readTileSectionStream(std::istream &is, uint64_t &offset)
+{
+    const uint64_t base = offset;
+    TileSectionHeader h;
+    h.rows = readScalar<int64_t>(is, offset);
+    h.cols = readScalar<int64_t>(is, offset);
+    h.groupSize = readScalar<int64_t>(is, offset);
+    h.panels = readScalar<int64_t>(is, offset);
+    h.panelBytes = readScalar<int64_t>(is, offset);
+    h.codesBytes = readScalar<uint64_t>(is, offset);
+    h.metaCount = readScalar<uint64_t>(is, offset);
+    h.reserved = readScalar<uint64_t>(is, offset);
+    const TileSectionLayout l =
+        validateTileHeader(h, base, "readPacked");
+
+    const std::streampos here = is.tellg();
+    if (here != std::streampos(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::streampos end = is.tellg();
+        is.clear();
+        is.seekg(here);
+        const uint64_t avail =
+            end > here ? static_cast<uint64_t>(end - here) : 0;
+        if (avail < l.size - l.codesOff)
+            throw PackedFormatError("readPacked: truncated payload",
+                                    offset);
+    }
+    std::vector<uint8_t> codes;
+    std::vector<float> scales;
+    std::vector<uint8_t> coeff;
+    std::vector<uint8_t> isInt;
+    try {
+        readVector(is, codes, l.codesBytes, offset);
+        skipBytes(is, l.scalesOff - (l.codesOff + l.codesBytes),
+                  offset);
+        readVector(is, scales, l.metaCount, offset);
+        skipBytes(is,
+                  l.coeffOff -
+                      (l.scalesOff + l.metaCount * sizeof(float)),
+                  offset);
+        readVector(is, coeff, l.metaCount, offset);
+        skipBytes(is, l.isIntOff - (l.coeffOff + l.metaCount),
+                  offset);
+        readVector(is, isInt, l.metaCount, offset);
+    } catch (const std::bad_alloc &) {
+        throw PackedFormatError(
+            "readPacked: header demands implausible allocation",
+            offset);
+    } catch (const std::length_error &) {
+        throw PackedFormatError(
+            "readPacked: header demands implausible allocation",
+            offset);
+    }
+    return MantPackedTiles::fromParts(
+        h.rows, h.cols, h.groupSize, std::move(codes),
+        std::move(scales), std::move(coeff), std::move(isInt));
+}
+
+/** Flatten owning tiles back into the v1 representation (the
+ *  readPacked() v2 compatibility path). */
+PackedMantMatrix
+packFromTiles(const MantPackedTiles &tiles)
+{
+    std::vector<int8_t> codes;
+    codes.reserve(static_cast<size_t>(tiles.rows() * tiles.cols()));
+    std::vector<MantGroupMeta> meta;
+    meta.reserve(
+        static_cast<size_t>(tiles.rows() * tiles.groupsPerRow()));
+    for (int64_t r = 0; r < tiles.rows(); ++r) {
+        const std::vector<int8_t> rc = tiles.unpackRowCodes(r);
+        codes.insert(codes.end(), rc.begin(), rc.end());
+        for (int64_t g = 0; g < tiles.groupsPerRow(); ++g)
+            meta.push_back(tiles.metaAt(r, g));
+    }
+    return pack(MantQuantizedMatrix::fromParts(
+        tiles.rows(), tiles.cols(), tiles.groupSize(),
+        std::move(codes), std::move(meta)));
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+loadU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
 }
 
 } // namespace
@@ -87,6 +394,20 @@ PackedMantMatrix::bitsPerElement() const
     return elems > 0.0 ? 8.0 * static_cast<double>(storageBytes()) /
                              elems
                        : 0.0;
+}
+
+int64_t
+PackedMantMatrix::tiledStorageBytes() const
+{
+    return MantTilesView::geometry(rows, cols, groupSize)
+        .storageBytes();
+}
+
+double
+PackedMantMatrix::tiledBitsPerElement() const
+{
+    return MantTilesView::geometry(rows, cols, groupSize)
+        .bitsPerElement();
 }
 
 PackedMantMatrix
@@ -204,7 +525,7 @@ void
 writePacked(std::ostream &os, const PackedMantMatrix &packed)
 {
     os.write(kMagic, sizeof(kMagic));
-    writeScalar(os, kVersion);
+    writeScalar(os, kVersion1);
     writeScalar(os, packed.rows);
     writeScalar(os, packed.cols);
     writeScalar(os, packed.groupSize);
@@ -226,57 +547,329 @@ readPacked(std::istream &is)
     char magic[4];
     is.read(magic, sizeof(magic));
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("readPacked: bad magic");
-    const uint32_t version = readScalar<uint32_t>(is);
-    if (version != kVersion)
-        throw std::runtime_error("readPacked: unsupported version");
+        throw PackedFormatError("readPacked: bad magic", 0);
+    uint64_t offset = sizeof(kMagic);
+    const uint32_t version_off = static_cast<uint32_t>(offset);
+    const uint32_t version = readScalar<uint32_t>(is, offset);
+    if (version == kVersion1)
+        return readPackedV1Body(is, offset);
+    if (version == kVersion2) {
+        skipBytes(is, kAlign - offset, offset);
+        return packFromTiles(readTileSectionStream(is, offset));
+    }
+    throw PackedFormatError("readPacked: unsupported version",
+                            version_off);
+}
 
-    PackedMantMatrix p;
-    p.rows = readScalar<int64_t>(is);
-    p.cols = readScalar<int64_t>(is);
-    p.groupSize = readScalar<int64_t>(is);
-    if (!plausibleDims(p.rows, p.cols) || p.groupSize < 0)
-        throw std::runtime_error("readPacked: implausible header");
-    const uint64_t n_nibbles = readScalar<uint64_t>(is);
-    const uint64_t n_groups = readScalar<uint64_t>(is);
-    if (n_nibbles !=
-        static_cast<uint64_t>((p.rows * p.cols + 1) / 2)) {
-        throw std::runtime_error("readPacked: nibble count mismatch");
+void
+writeTileSection(std::ostream &os, const MantTilesView &tiles)
+{
+    const TileSectionLayout l = tileLayoutFor(
+        tiles.rows(), tiles.cols(), tiles.groupSize());
+    writeScalar(os, tiles.rows());
+    writeScalar(os, tiles.cols());
+    writeScalar(os, tiles.groupSize());
+    writeScalar(os, l.panels);
+    writeScalar(os, l.panelBytes);
+    writeScalar(os, l.codesBytes);
+    writeScalar(os, l.metaCount);
+    writeScalar(os, uint64_t{0});
+    if (l.codesBytes > 0) {
+        os.write(reinterpret_cast<const char *>(tiles.codesData()),
+                 static_cast<std::streamsize>(l.codesBytes));
     }
-    // unpack() indexes metadata as rows * groupsPerRow; a stream whose
-    // group count disagrees with its own geometry would read out of
-    // bounds there, so reject it at the header.
-    const int64_t groups_per_row =
-        groupsPerRowFor(p.cols, p.groupSize);
-    if (n_groups != static_cast<uint64_t>(p.rows * groups_per_row)) {
-        throw std::runtime_error("readPacked: group count mismatch");
+    writeZeros(os, l.scalesOff - (l.codesOff + l.codesBytes));
+    if (l.metaCount > 0) {
+        os.write(reinterpret_cast<const char *>(tiles.scalesData()),
+                 static_cast<std::streamsize>(l.metaCount *
+                                              sizeof(float)));
     }
-    // A self-consistent hostile header can still name buffer sizes in
-    // the terabytes; when the stream is seekable, require the payload
-    // to actually be present before allocating anything.
-    const std::streampos here = is.tellg();
-    if (here != std::streampos(-1)) {
-        is.seekg(0, std::ios::end);
-        const std::streampos end = is.tellg();
-        is.clear();
-        is.seekg(here);
-        const uint64_t avail =
-            end > here ? static_cast<uint64_t>(end - here) : 0;
-        if (avail < n_nibbles + n_groups * 3)
-            throw std::runtime_error("readPacked: truncated payload");
+    writeZeros(os, l.coeffOff -
+                       (l.scalesOff + l.metaCount * sizeof(float)));
+    if (l.metaCount > 0) {
+        os.write(reinterpret_cast<const char *>(tiles.coeffData()),
+                 static_cast<std::streamsize>(l.metaCount));
     }
-    try {
-        readVector(is, p.nibbles, n_nibbles);
-        readVector(is, p.scaleBits, n_groups);
-        readVector(is, p.typeBytes, n_groups);
-    } catch (const std::bad_alloc &) {
+    writeZeros(os, l.isIntOff - (l.coeffOff + l.metaCount));
+    if (l.metaCount > 0) {
+        os.write(reinterpret_cast<const char *>(tiles.isIntData()),
+                 static_cast<std::streamsize>(l.metaCount));
+    }
+    if (!os)
+        throw std::runtime_error("writeTileSection: stream failure");
+}
+
+void
+writePackedTiles(std::ostream &os, const MantTilesView &tiles)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeScalar(os, kVersion2);
+    writeZeros(os, kAlign - sizeof(kMagic) - sizeof(kVersion2));
+    writeTileSection(os, tiles);
+    if (!os)
+        throw std::runtime_error("writePackedTiles: stream failure");
+}
+
+void
+writePackedTiles(std::ostream &os, const MantPackedTiles &tiles)
+{
+    writePackedTiles(os, tiles.view());
+}
+
+MantPackedTiles
+readPackedTiles(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw PackedFormatError("readPacked: bad magic", 0);
+    uint64_t offset = sizeof(kMagic);
+    const uint32_t version_off = static_cast<uint32_t>(offset);
+    const uint32_t version = readScalar<uint32_t>(is, offset);
+    if (version == kVersion2) {
+        skipBytes(is, kAlign - offset, offset);
+        return readTileSectionStream(is, offset);
+    }
+    if (version == kVersion1)
+        return MantPackedTiles::pack(
+            unpack(readPackedV1Body(is, offset)));
+    throw PackedFormatError("readPacked: unsupported version",
+                            version_off);
+}
+
+uint64_t
+tileSectionSize(int64_t rows, int64_t cols, int64_t groupSize)
+{
+    return tileLayoutFor(rows, cols, groupSize).size;
+}
+
+MantTilesView
+mapTileSection(const void *data, size_t size, uint64_t baseOffset)
+{
+    if (data == nullptr)
+        throw std::invalid_argument("mapTileSection: null mapping");
+    if (reinterpret_cast<uintptr_t>(data) % kAlign != 0) {
+        throw PackedFormatError(
+            "mapTileSection: section base not 64-byte aligned",
+            baseOffset);
+    }
+    if (size < sizeof(TileSectionHeader)) {
+        throw PackedFormatError(
+            "mapTileSection: truncated section header", baseOffset);
+    }
+    const uint8_t *base = static_cast<const uint8_t *>(data);
+    TileSectionHeader h;
+    std::memcpy(&h, base, sizeof(h));
+    const TileSectionLayout l =
+        validateTileHeader(h, baseOffset, "mapTileSection");
+    if (size < l.size) {
+        throw PackedFormatError(
+            "mapTileSection: section payload out of bounds",
+            baseOffset + l.codesOff);
+    }
+    return MantTilesView::fromParts(
+        h.rows, h.cols, h.groupSize, base + l.codesOff,
+        reinterpret_cast<const float *>(base + l.scalesOff),
+        base + l.coeffOff, base + l.isIntOff);
+}
+
+std::vector<ModelSection>
+parseModelContainer(const void *data, size_t size)
+{
+    if (data == nullptr)
+        throw std::invalid_argument(
+            "parseModelContainer: null mapping");
+    const uint8_t *base = static_cast<const uint8_t *>(data);
+    if (size < kAlign)
+        throw PackedFormatError("model container: truncated header",
+                                0);
+    if (std::memcmp(base, kModelMagic, sizeof(kModelMagic)) != 0)
+        throw PackedFormatError("model container: bad magic", 0);
+    if (loadU32(base + 8) != kModelVersion)
+        throw PackedFormatError(
+            "model container: unsupported version", 8);
+    const uint32_t count = loadU32(base + 12);
+    if (count > kMaxSections)
+        throw PackedFormatError(
+            "model container: implausible section count", 12);
+    for (size_t i = 16; i < kAlign; ++i) {
+        if (base[i] != 0)
+            throw PackedFormatError(
+                "model container: nonzero reserved header bytes", 16);
+    }
+    const uint64_t toc_end =
+        kAlign + uint64_t{count} * kTocEntryBytes;
+    if (toc_end > size)
+        throw PackedFormatError("model container: truncated TOC",
+                                kAlign);
+
+    std::vector<ModelSection> sections;
+    sections.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t entry_off =
+            kAlign + uint64_t{i} * kTocEntryBytes;
+        const uint8_t *e = base + entry_off;
+        size_t name_len = 0;
+        while (name_len < kSectionNameBytes && e[name_len] != 0)
+            ++name_len;
+        if (name_len == kSectionNameBytes)
+            throw PackedFormatError(
+                "model container: unterminated section name",
+                entry_off);
+        if (name_len == 0)
+            throw PackedFormatError(
+                "model container: empty section name", entry_off);
+        for (size_t j = name_len; j < kSectionNameBytes; ++j) {
+            if (e[j] != 0)
+                throw PackedFormatError(
+                    "model container: garbage after section name",
+                    entry_off);
+        }
+        ModelSection s;
+        s.name.assign(reinterpret_cast<const char *>(e), name_len);
+        const uint32_t kind = loadU32(e + 40);
+        if (kind < 1 || kind > 3)
+            throw PackedFormatError(
+                "model container: unknown section kind",
+                entry_off + 40);
+        s.kind = static_cast<ModelSectionKind>(kind);
+        if (loadU32(e + 44) != 0)
+            throw PackedFormatError(
+                "model container: nonzero reserved entry field",
+                entry_off + 44);
+        s.offset = loadU64(e + 48);
+        s.size = loadU64(e + 56);
+        if (s.offset % kAlign != 0)
+            throw PackedFormatError(
+                "model container: misaligned section offset",
+                entry_off + 48);
+        if (s.offset < toc_end)
+            throw PackedFormatError(
+                "model container: section overlaps TOC",
+                entry_off + 48);
+        // Overflow-safe bounds: offset <= size first, then the
+        // remaining room bounds the payload.
+        if (s.offset > size || s.size > size - s.offset)
+            throw PackedFormatError(
+                "model container: section out of bounds",
+                entry_off + 48);
+        sections.push_back(std::move(s));
+    }
+
+    // Duplicate names and pairwise overlap, via sorted index views so
+    // hostile 64k-entry TOCs stay O(n log n), not O(n^2).
+    std::vector<uint32_t> order(sections.size());
+    for (uint32_t i = 0; i < sections.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                  return sections[a].name < sections[b].name;
+              });
+    for (size_t i = 1; i < order.size(); ++i) {
+        if (sections[order[i - 1]].name == sections[order[i]].name) {
+            const uint32_t later =
+                std::max(order[i - 1], order[i]);
+            throw PackedFormatError(
+                "model container: duplicate section name",
+                kAlign + uint64_t{later} * kTocEntryBytes);
+        }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                  return sections[a].offset < sections[b].offset;
+              });
+    for (size_t i = 1; i < order.size(); ++i) {
+        const ModelSection &prev = sections[order[i - 1]];
+        const ModelSection &next = sections[order[i]];
+        if (prev.offset + prev.size > next.offset)
+            throw PackedFormatError(
+                "model container: overlapping sections",
+                kAlign + uint64_t{order[i]} * kTocEntryBytes + 48);
+    }
+    return sections;
+}
+
+void
+ModelContainerWriter::add(std::string name, ModelSectionKind kind,
+                          uint64_t size, EmitFn emit)
+{
+    if (name.empty() || name.size() >= kSectionNameBytes ||
+        name.find('\0') != std::string::npos) {
+        throw std::invalid_argument(
+            "ModelContainerWriter: invalid section name");
+    }
+    const uint32_t k = static_cast<uint32_t>(kind);
+    if (k < 1 || k > 3)
+        throw std::invalid_argument(
+            "ModelContainerWriter: unknown section kind");
+    if (!emit)
+        throw std::invalid_argument(
+            "ModelContainerWriter: missing emit callback");
+    for (const Pending &p : sections_) {
+        if (p.section.name == name)
+            throw std::invalid_argument(
+                "ModelContainerWriter: duplicate section name");
+    }
+    Pending p;
+    p.section.name = std::move(name);
+    p.section.kind = kind;
+    p.section.size = size;
+    p.emit = std::move(emit);
+    sections_.push_back(std::move(p));
+}
+
+void
+ModelContainerWriter::write(std::ostream &os) const
+{
+    if (sections_.size() > kMaxSections)
         throw std::runtime_error(
-            "readPacked: header demands implausible allocation");
-    } catch (const std::length_error &) {
-        throw std::runtime_error(
-            "readPacked: header demands implausible allocation");
+            "ModelContainerWriter: too many sections");
+    const uint32_t count = static_cast<uint32_t>(sections_.size());
+    const uint64_t toc_end =
+        kAlign + uint64_t{count} * kTocEntryBytes;
+    std::vector<uint64_t> offsets(count);
+    uint64_t pos = align64(toc_end);
+    for (uint32_t i = 0; i < count; ++i) {
+        offsets[i] = pos;
+        pos = align64(pos + sections_[i].section.size);
     }
-    return p;
+
+    os.write(kModelMagic, sizeof(kModelMagic));
+    writeScalar(os, kModelVersion);
+    writeScalar(os, count);
+    writeZeros(os, kAlign - 16);
+    for (uint32_t i = 0; i < count; ++i) {
+        const ModelSection &s = sections_[i].section;
+        char name[kSectionNameBytes] = {};
+        std::memcpy(name, s.name.data(), s.name.size());
+        os.write(name, sizeof(name));
+        writeScalar(os, static_cast<uint32_t>(s.kind));
+        writeScalar(os, uint32_t{0});
+        writeScalar(os, offsets[i]);
+        writeScalar(os, s.size);
+    }
+    uint64_t written = toc_end;
+    for (uint32_t i = 0; i < count; ++i) {
+        writeZeros(os, offsets[i] - written);
+        const std::streampos before = os.tellp();
+        sections_[i].emit(os);
+        const std::streampos after = os.tellp();
+        if (before != std::streampos(-1) &&
+            after != std::streampos(-1) &&
+            static_cast<uint64_t>(after - before) !=
+                sections_[i].section.size) {
+            throw std::runtime_error(
+                "ModelContainerWriter: section '" +
+                sections_[i].section.name + "' wrote " +
+                std::to_string(static_cast<int64_t>(after - before)) +
+                " bytes, declared " +
+                std::to_string(sections_[i].section.size));
+        }
+        written = offsets[i] + sections_[i].section.size;
+    }
+    if (!os)
+        throw std::runtime_error(
+            "ModelContainerWriter: stream failure");
 }
 
 } // namespace mant

@@ -1,27 +1,56 @@
 /**
  * @file
- * Packed storage and binary serialization for MANT-quantized matrices.
+ * Packed storage and binary serialization for MANT-quantized matrices,
+ * plus the v2 tile-panel wire format and the multi-tensor model
+ * container (byte-by-byte spec: docs/FORMAT.md).
  *
- * MantQuantizedMatrix keeps one code per byte for fast kernels; for
- * storage and transport the codes pack two-per-byte (true 4-bit
- * footprint) with the per-group metadata (FP16 scale + 8-bit
- * coefficient/type) alongside — the exact memory layout the paper's
- * DRAM-traffic accounting assumes (4 bits/element + 24 bits/group).
+ * v1 ("MANT" version 1): flat row-major nibbles + per-group FP16
+ * scale / type byte — the exact memory layout the paper's DRAM-traffic
+ * accounting assumes (4 bits/element + 24 bits/group). v2 ("MANT"
+ * version 2) replaces the flat nibbles with a tile-panel section in
+ * the exact layout the fusedTilePanel microkernel streams
+ * (core/packed_tiles.h), so the bytes on disk are the bytes the GEMM
+ * consumes: a 64-byte-aligned section can be mmap'd and wrapped in a
+ * MantTilesView with zero copies. The model container bundles one
+ * tile section per weight matrix plus float arrays and model metadata
+ * behind a named TOC, so a whole transformer loads from one file.
  */
 
 #ifndef MANT_CORE_PACKED_H_
 #define MANT_CORE_PACKED_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/fused_gemm.h"
+#include "core/packed_tiles.h"
 
 namespace mant {
 
 /**
- * A serialized MANT weight blob: packed nibbles plus group metadata.
+ * Typed error for malformed packed streams, tile sections and model
+ * containers. offset() is the byte offset — within the stream, the
+ * section, or the mapped file, as documented per thrower — at which
+ * validation failed; the message carries it too ("... (at offset N)").
+ */
+class PackedFormatError : public std::runtime_error
+{
+  public:
+    PackedFormatError(const std::string &what, uint64_t offset);
+
+    uint64_t offset() const { return offset_; }
+
+  private:
+    uint64_t offset_;
+};
+
+/**
+ * A serialized MANT weight blob: packed nibbles plus group metadata
+ * (the v1 flat layout).
  */
 struct PackedMantMatrix
 {
@@ -38,11 +67,26 @@ struct PackedMantMatrix
     /** Per-group: coefficient a in bits 6..0, INT-option flag bit 7. */
     std::vector<uint8_t> typeBytes;
 
-    /** Stored bytes (codes + metadata), the DRAM footprint. */
+    /** Stored bytes (codes + metadata) of the v1 flat layout, the
+     *  DRAM footprint of a v1 stream. */
     int64_t storageBytes() const;
 
-    /** Effective bits per weight element. */
+    /** Effective bits per weight element in the v1 flat layout. */
     double bitsPerElement() const;
+
+    /**
+     * Stored bytes of the same matrix in the v2 tile-panel layout
+     * (packed tile codes + SoA f32/u8/u8 metadata, panel padding
+     * included). A stream holds either the flat nibbles (v1) or the
+     * tile section (v2), never both — so footprint reporting picks
+     * one of storageBytes()/tiledStorageBytes(), and nothing is ever
+     * double-counted. Throws std::invalid_argument on implausible
+     * geometry (hostile hand-assembled structs).
+     */
+    int64_t tiledStorageBytes() const;
+
+    /** Effective bits per weight element in the v2 tile layout. */
+    double tiledBitsPerElement() const;
 };
 
 /** Pack a quantized matrix into the 4-bit wire format. */
@@ -52,18 +96,128 @@ PackedMantMatrix pack(const MantQuantizedMatrix &matrix);
 MantQuantizedMatrix unpack(const PackedMantMatrix &packed);
 
 /**
- * Serialize to a binary stream ("MANT" magic + version + little-endian
- * fields). Throws std::runtime_error on stream failure.
+ * Serialize to a binary stream in the v1 flat layout ("MANT" magic +
+ * version 1 + little-endian fields). Throws std::runtime_error on
+ * stream failure.
  */
 void writePacked(std::ostream &os, const PackedMantMatrix &packed);
 
 /**
- * Deserialize; throws std::runtime_error on malformed input: bad
- * magic, unsupported version, truncated header or payload, or a
- * header whose nibble/group counts disagree with its own geometry
- * (rows x cols and rows x groupsPerRow respectively).
+ * Deserialize a v1 or v2 stream; v2 tile sections are unpacked into
+ * the flat representation. Throws PackedFormatError (a
+ * std::runtime_error) on malformed input: bad magic, unsupported
+ * version, truncated header or payload, or a header whose counts
+ * disagree with its own geometry. Error messages and
+ * PackedFormatError::offset() carry the stream offset at which
+ * validation failed.
  */
 PackedMantMatrix readPacked(std::istream &is);
+
+/**
+ * Serialize tiles to a v2 binary stream: "MANT" magic + version 2,
+ * zero-padded to byte 64, then the tile-panel section (so a v2 file
+ * on disk can also be mmap'd directly: its section base is 64-byte
+ * aligned). Throws std::runtime_error on stream failure.
+ */
+void writePackedTiles(std::ostream &os, const MantTilesView &tiles);
+void writePackedTiles(std::ostream &os, const MantPackedTiles &tiles);
+
+/**
+ * Deserialize a stream into owning tile storage: v2 streams read the
+ * tile section directly (bytes land in the exact layout the GEMM
+ * streams); v1 streams are unpacked and re-tiled. Same error contract
+ * as readPacked().
+ */
+MantPackedTiles readPackedTiles(std::istream &is);
+
+/**
+ * Size in bytes of the v2 tile-panel section for a (rows, cols,
+ * groupSize) matrix — header + aligned code/metadata arrays. Throws
+ * std::invalid_argument on implausible dimensions.
+ */
+uint64_t tileSectionSize(int64_t rows, int64_t cols,
+                         int64_t groupSize);
+
+/**
+ * Write one bare tile-panel section (no magic/version prefix) —
+ * exactly tileSectionSize() bytes. The exporter calls this once per
+ * weight matrix; writePackedTiles() wraps it for standalone files.
+ */
+void writeTileSection(std::ostream &os, const MantTilesView &tiles);
+
+/**
+ * Validate an in-memory v2 tile-panel section and return a zero-copy
+ * view into it. `data` must stay alive (and unmodified) for the
+ * lifetime of the view — this is the mmap load path, where pack-time
+ * validation becomes load-time validation. Requires `data` 64-byte
+ * aligned (container sections and mmap bases always are). Throws
+ * PackedFormatError on truncation, misalignment, unnormalized group
+ * size, or any header field that disagrees with the geometry derived
+ * from (rows, cols, groupSize); offsets in the error are relative to
+ * `data` plus `baseOffset` (pass the section's file offset to get
+ * file-absolute positions).
+ */
+MantTilesView mapTileSection(const void *data, size_t size,
+                             uint64_t baseOffset = 0);
+
+/** Section kinds in a MANT model container. */
+enum class ModelSectionKind : uint32_t
+{
+    TilePack = 1, ///< v2 tile-panel section (one weight matrix)
+    F32 = 2,      ///< raw little-endian f32 array
+    Meta = 3,     ///< model metadata blob (model/model_file.cc)
+};
+
+/** One parsed TOC entry of a model container. */
+struct ModelSection
+{
+    std::string name;
+    ModelSectionKind kind = ModelSectionKind::F32;
+    uint64_t offset = 0; ///< absolute file offset, 64-byte aligned
+    uint64_t size = 0;   ///< payload bytes
+};
+
+/**
+ * Parse and validate a model container's header and TOC against the
+ * mapping bounds: magic/version, section count cap, per-entry name
+ * well-formedness, known kind, zeroed reserved fields, 64-byte offset
+ * alignment, bounds (offset + size inside the mapping,
+ * overflow-checked), no duplicate names, and no overlap between
+ * sections or with the TOC itself. Section *payloads* are not
+ * interpreted here. Throws PackedFormatError with file-absolute
+ * offsets. Returns the entries in file order.
+ */
+std::vector<ModelSection> parseModelContainer(const void *data,
+                                              size_t size);
+
+/**
+ * Stream-writer for the model container: declare every section up
+ * front (name, kind, exact payload size, and an emit callback), then
+ * write() lays out the header, TOC and 64-byte-aligned payloads in
+ * one forward pass — no seeking, so it works on any ostream. Throws
+ * std::invalid_argument for invalid names/sizes at add() time and
+ * std::runtime_error if an emit callback writes a different byte
+ * count than declared or the stream fails.
+ */
+class ModelContainerWriter
+{
+  public:
+    using EmitFn = std::function<void(std::ostream &)>;
+
+    /** Section names: 1..39 bytes, no NUL; duplicates rejected. */
+    void add(std::string name, ModelSectionKind kind, uint64_t size,
+             EmitFn emit);
+
+    void write(std::ostream &os) const;
+
+  private:
+    struct Pending
+    {
+        ModelSection section;
+        EmitFn emit;
+    };
+    std::vector<Pending> sections_;
+};
 
 } // namespace mant
 

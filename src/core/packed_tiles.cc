@@ -18,6 +18,11 @@ constexpr int64_t kTileMC = 64;      ///< activation rows per L2 block
 constexpr int64_t kTileNCPanels = 4; ///< panels per task (32 columns)
 constexpr int64_t kTileKC = 4096;    ///< reduction elements per block
 
+/** Element-count cap shared with the packed stream readers: keeps
+ *  every rows/cols product (and the derived byte counts) overflow-free
+ *  in int64 arithmetic. */
+constexpr int64_t kMaxTileElems = int64_t{1} << 40;
+
 /** Sign-magnitude nibble of one stored code. */
 uint8_t
 codeNibble(int8_t code, bool isInt)
@@ -33,29 +38,107 @@ codeNibble(int8_t code, bool isInt)
 
 } // namespace
 
+MantTilesView
+MantTilesView::geometry(int64_t rows, int64_t cols, int64_t groupSize)
+{
+    if (rows < 0 || cols < 0 ||
+        (rows > 0 && cols > kMaxTileElems / rows))
+        throw std::invalid_argument(
+            "MantTilesView: implausible dimensions");
+    MantTilesView v;
+    v.rows_ = rows;
+    v.cols_ = cols;
+    v.groupSize_ = effectiveGroupSize(cols, groupSize);
+    v.groupsPerRow_ = groupsPerRowFor(cols, groupSize);
+    v.panels_ = (rows + kTilePanelCols - 1) / kTilePanelCols;
+    v.fullTileBytes_ = (v.groupSize_ + 1) / 2 * kTilePanelCols;
+    // All groups but the last are full-length (group sizes are
+    // normalized by effectiveGroupSize), so per-panel offsets are
+    // affine: the last group's possibly-shorter block ends the panel.
+    const int64_t last_len =
+        v.groupsPerRow_ > 0
+            ? cols - (v.groupsPerRow_ - 1) * v.groupSize_
+            : 0;
+    v.panelBytes_ =
+        v.groupsPerRow_ > 0
+            ? (v.groupsPerRow_ - 1) * v.fullTileBytes_ +
+                  (last_len + 1) / 2 * kTilePanelCols
+            : 0;
+    return v;
+}
+
+MantTilesView
+MantTilesView::fromParts(int64_t rows, int64_t cols, int64_t groupSize,
+                         const uint8_t *codes, const float *scales,
+                         const uint8_t *coeff, const uint8_t *isInt)
+{
+    MantTilesView v = geometry(rows, cols, groupSize);
+    if ((!codes && v.codesBytes() > 0) ||
+        ((!scales || !coeff || !isInt) && v.metaCount() > 0))
+        throw std::invalid_argument(
+            "MantTilesView: null storage for non-empty geometry");
+    v.codes_ = codes;
+    v.scales_ = scales;
+    v.coeff_ = coeff;
+    v.isInt_ = isInt;
+    return v;
+}
+
+std::vector<int8_t>
+MantTilesView::unpackRowCodes(int64_t row) const
+{
+    std::vector<int8_t> out(static_cast<size_t>(cols_), 0);
+    const int64_t p = row / kTilePanelCols;
+    const int c = static_cast<int>(row % kTilePanelCols);
+    for (int64_t g = 0; g < groupsPerRow_; ++g) {
+        const int64_t k0 = g * groupSize_;
+        const int64_t len = std::min(groupSize_, cols_ - k0);
+        const uint8_t *src = tileCodes(p, g);
+        const bool isInt = tileIsInt(p, g)[static_cast<size_t>(c)] != 0;
+        for (int64_t i = 0; i < len; ++i) {
+            const uint8_t b = src[(i / 2) * kTilePanelCols + c];
+            const uint8_t nib = (i % 2 == 0) ? (b & 0xf)
+                                             : ((b >> 4) & 0xf);
+            out[static_cast<size_t>(k0 + i)] =
+                isInt ? static_cast<int8_t>(
+                            (nib & 0x8) ? -(nib & 0x7) : (nib & 0x7))
+                      : static_cast<int8_t>(nib);
+        }
+    }
+    return out;
+}
+
+MantGroupMeta
+MantTilesView::metaAt(int64_t row, int64_t group) const
+{
+    const int64_t p = row / kTilePanelCols;
+    const size_t c = static_cast<size_t>(row % kTilePanelCols);
+    MantGroupMeta m;
+    m.scale = tileScales(p, group)[c];
+    m.a = tileCoeffs(p, group)[c];
+    m.isInt = tileIsInt(p, group)[c] != 0;
+    return m;
+}
+
 MantPackedTiles
 MantPackedTiles::pack(const MantQuantizedMatrix &w)
 {
+    // Derive the geometry through the view validator so pack() and
+    // the load path can never disagree about layout.
+    const MantTilesView geom =
+        MantTilesView::geometry(w.rows(), w.cols(), w.groupSize());
+
     MantPackedTiles t;
-    t.rows_ = w.rows();
-    t.cols_ = w.cols();
-    t.groupSize_ = w.groupSize();
-    t.groupsPerRow_ = w.groupsPerRow();
-    t.panels_ = (t.rows_ + kTilePanelCols - 1) / kTilePanelCols;
+    t.rows_ = geom.rows_;
+    t.cols_ = geom.cols_;
+    t.groupSize_ = geom.groupSize_;
+    t.groupsPerRow_ = geom.groupsPerRow_;
+    t.panels_ = geom.panels_;
+    t.panelBytes_ = geom.panelBytes_;
+    t.fullTileBytes_ = geom.fullTileBytes_;
 
-    t.groupByteOff_.resize(static_cast<size_t>(t.groupsPerRow_) + 1, 0);
-    for (int64_t g = 0; g < t.groupsPerRow_; ++g) {
-        const int64_t k0 = g * t.groupSize_;
-        const int64_t len = std::min(t.groupSize_, t.cols_ - k0);
-        t.groupByteOff_[static_cast<size_t>(g) + 1] =
-            t.groupByteOff_[static_cast<size_t>(g)] +
-            (len + 1) / 2 * kTilePanelCols;
-    }
-    t.panelBytes_ = t.groupByteOff_[static_cast<size_t>(t.groupsPerRow_)];
-
-    const size_t metaCount = static_cast<size_t>(
-        t.panels_ * t.groupsPerRow_ * kTilePanelCols);
-    t.codes_.assign(static_cast<size_t>(t.panels_ * t.panelBytes_), 0);
+    const size_t metaCount = static_cast<size_t>(geom.metaCount());
+    t.codes_.assign(static_cast<size_t>(geom.codesBytes()), 0);
     t.scales_.assign(metaCount, 0.0f);
     t.coeff_.assign(metaCount, 0);
     // Padded panel columns default to INT with scale 0: the kernel
@@ -83,9 +166,9 @@ MantPackedTiles::pack(const MantQuantizedMatrix &w)
                     const int64_t k0 = g * t.groupSize_;
                     const int64_t len =
                         std::min(t.groupSize_, t.cols_ - k0);
-                    uint8_t *dst =
-                        t.codes_.data() + p * t.panelBytes_ +
-                        t.groupByteOff_[static_cast<size_t>(g)];
+                    uint8_t *dst = t.codes_.data() +
+                                   p * t.panelBytes_ +
+                                   g * t.fullTileBytes_;
                     for (int64_t i = 0; i < len; ++i) {
                         const uint8_t nib =
                             codeNibble(src[k0 + i], m.isInt);
@@ -104,45 +187,41 @@ MantPackedTiles::pack(const MantQuantizedMatrix &w)
     return t;
 }
 
-std::vector<int8_t>
-MantPackedTiles::unpackRowCodes(int64_t row) const
+MantPackedTiles
+MantPackedTiles::fromParts(int64_t rows, int64_t cols,
+                           int64_t groupSize,
+                           std::vector<uint8_t> codes,
+                           std::vector<float> scales,
+                           std::vector<uint8_t> coeff,
+                           std::vector<uint8_t> isInt)
 {
-    std::vector<int8_t> out(static_cast<size_t>(cols_), 0);
-    const int64_t p = row / kTilePanelCols;
-    const int c = static_cast<int>(row % kTilePanelCols);
-    for (int64_t g = 0; g < groupsPerRow_; ++g) {
-        const int64_t k0 = g * groupSize_;
-        const int64_t len = std::min(groupSize_, cols_ - k0);
-        const uint8_t *src = tileCodes(p, g);
-        const bool isInt = tileIsInt(p, g)[static_cast<size_t>(c)] != 0;
-        for (int64_t i = 0; i < len; ++i) {
-            const uint8_t b = src[(i / 2) * kTilePanelCols + c];
-            const uint8_t nib = (i % 2 == 0) ? (b & 0xf)
-                                             : ((b >> 4) & 0xf);
-            out[static_cast<size_t>(k0 + i)] =
-                isInt ? static_cast<int8_t>(
-                            (nib & 0x8) ? -(nib & 0x7) : (nib & 0x7))
-                      : static_cast<int8_t>(nib);
-        }
-    }
-    return out;
-}
-
-MantGroupMeta
-MantPackedTiles::metaAt(int64_t row, int64_t group) const
-{
-    const int64_t p = row / kTilePanelCols;
-    const size_t c = static_cast<size_t>(row % kTilePanelCols);
-    MantGroupMeta m;
-    m.scale = tileScales(p, group)[c];
-    m.a = tileCoeffs(p, group)[c];
-    m.isInt = tileIsInt(p, group)[c] != 0;
-    return m;
+    const MantTilesView geom =
+        MantTilesView::geometry(rows, cols, groupSize);
+    if (static_cast<int64_t>(codes.size()) != geom.codesBytes() ||
+        static_cast<int64_t>(scales.size()) != geom.metaCount() ||
+        static_cast<int64_t>(coeff.size()) != geom.metaCount() ||
+        static_cast<int64_t>(isInt.size()) != geom.metaCount())
+        throw std::invalid_argument(
+            "MantPackedTiles::fromParts: array sizes disagree with "
+            "the tile geometry");
+    MantPackedTiles t;
+    t.rows_ = geom.rows_;
+    t.cols_ = geom.cols_;
+    t.groupSize_ = geom.groupSize_;
+    t.groupsPerRow_ = geom.groupsPerRow_;
+    t.panels_ = geom.panels_;
+    t.panelBytes_ = geom.panelBytes_;
+    t.fullTileBytes_ = geom.fullTileBytes_;
+    t.codes_ = std::move(codes);
+    t.scales_ = std::move(scales);
+    t.coeff_ = std::move(coeff);
+    t.isInt_ = std::move(isInt);
+    return t;
 }
 
 void
 fusedGemmTiledInto(const Int8QuantizedActivations &x,
-                   const MantPackedTiles &w, Tensor &out)
+                   const MantTilesView &w, Tensor &out)
 {
     if (x.cols() != w.cols())
         throw std::invalid_argument(
@@ -280,7 +359,7 @@ fusedGemmTiledInto(const Int8QuantizedActivations &x,
 
 Tensor
 fusedGemmTiled(const Int8QuantizedActivations &x,
-               const MantPackedTiles &w)
+               const MantTilesView &w)
 {
     Tensor out;
     fusedGemmTiledInto(x, w, out);

@@ -7,9 +7,8 @@
  * `meta(row, group)` strides inside its inner loop; the ANT
  * accelerator line (Guo et al., MICRO '22) shows the custom-type win
  * only materializes when the packed layout is what the compute kernel
- * consumes. MantPackedTiles repacks a MantQuantizedMatrix once —
- * typically at QuantizedLinear setup time — into the exact layout the
- * fusedTilePanel SIMD microkernel streams:
+ * consumes. The tile layout the fusedTilePanel SIMD microkernel
+ * streams:
  *
  *  - weight rows (output features) are grouped into panels of
  *    kTilePanelCols = 8 columns;
@@ -24,6 +23,18 @@
  *    uniform: the MAC lane of the sign-magnitude decode *is* the
  *    integer dot product for INT groups (the SAC lane is simply
  *    ignored at combine time).
+ *
+ * Ownership splits in two (the v2 wire-format refactor):
+ *
+ *  - MantTilesView is a non-owning view over externally owned, const
+ *    tile storage — four raw arrays (codes, scales, coefficients, INT
+ *    flags) plus geometry. It is what the GEMM consumes, and it can
+ *    point directly into an mmap'd model file (core/packed.h's
+ *    mapTileSection / model/model_file.h), so the bytes on disk are
+ *    the bytes the microkernel streams — no repack, no copy.
+ *  - MantPackedTiles owns the same four arrays in vectors; pack()
+ *    builds them from a MantQuantizedMatrix (the offline encode), and
+ *    view() exposes the owning storage through the same view type.
  *
  * fusedGemmTiled() adds MC/NC/KC cache blocking (K blocks aligned to
  * group boundaries) and multi-row microkernel calls on top. It is
@@ -46,8 +57,169 @@
 namespace mant {
 
 /**
- * Cache-friendly tile repack of a MantQuantizedMatrix. Immutable
- * after pack(); cheap to move, safe to share across threads.
+ * Non-owning view of tile-packed MANT weights: geometry plus four
+ * const arrays the caller keeps alive (an mmap'd file section, or a
+ * MantPackedTiles' vectors). Trivially copyable, allocation-free —
+ * group code-block offsets are affine because quantization group
+ * sizes are normalized (every group but the last is full-length), so
+ * the view carries no offset table.
+ */
+class MantTilesView
+{
+  public:
+    MantTilesView() = default;
+
+    /**
+     * Assemble a view over externally owned tile storage and validate
+     * the geometry (the load-time twin of pack-time validation).
+     * `codes` must hold panels * panelBytes bytes; `scales`, `coeff`
+     * and `isInt` must hold metaCount() entries each. Throws
+     * std::invalid_argument on negative/overflowing dimensions or a
+     * null array whose derived length is non-zero. Code and metadata
+     * *content* needs no validation: every nibble and meta byte
+     * decodes in-bounds (hostile values change results, never memory
+     * safety).
+     */
+    static MantTilesView fromParts(int64_t rows, int64_t cols,
+                                   int64_t groupSize,
+                                   const uint8_t *codes,
+                                   const float *scales,
+                                   const uint8_t *coeff,
+                                   const uint8_t *isInt);
+
+    /** True once fromParts() (or MantPackedTiles::view()) built it. */
+    bool valid() const { return scales_ != nullptr; }
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    int64_t groupSize() const { return groupSize_; }
+    int64_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** Number of 8-column panels: ceil(rows / kTilePanelCols). */
+    int64_t panels() const { return panels_; }
+
+    /** Packed bytes of one panel (all groups). */
+    int64_t panelBytes() const { return panelBytes_; }
+
+    /** Total packed code bytes: panels * panelBytes. */
+    int64_t codesBytes() const { return panels_ * panelBytes_; }
+
+    /** Per-tile metadata entries: panels * groupsPerRow * 8. */
+    int64_t
+    metaCount() const
+    {
+        return panels_ * groupsPerRow_ * kTilePanelCols;
+    }
+
+    /** Packed code block of one (panel, group) tile:
+     *  ceil(len / 2) * kTilePanelCols bytes, k-pair-major. */
+    const uint8_t *
+    tileCodes(int64_t panel, int64_t group) const
+    {
+        return codes_ + panel * panelBytes_ + group * fullTileBytes_;
+    }
+
+    /** Per-tile metadata, kTilePanelCols entries each, contiguous.
+     *  Padded panel columns (row >= rows()) read as INT with scale 0
+     *  so the microkernel and combine loop never branch on them. */
+    std::span<const float>
+    tileScales(int64_t panel, int64_t group) const
+    {
+        return {scales_ + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileCoeffs(int64_t panel, int64_t group) const
+    {
+        return {coeff_ + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+    std::span<const uint8_t>
+    tileIsInt(int64_t panel, int64_t group) const
+    {
+        return {isInt_ + tileMetaIndex(panel, group),
+                static_cast<size_t>(kTilePanelCols)};
+    }
+
+    /** Raw array bases, for serialization and the zero-copy tests
+     *  (asserting a loaded view points into the mapped file). */
+    const uint8_t *codesData() const { return codes_; }
+    const float *scalesData() const { return scales_; }
+    const uint8_t *coeffData() const { return coeff_; }
+    const uint8_t *isIntData() const { return isInt_; }
+
+    /**
+     * Reverse the repack for one row: one code per byte, MANT groups
+     * as sign-magnitude codes, INT groups as two's-complement int8 —
+     * byte-identical to MantQuantizedMatrix::rowCodes() of the packed
+     * source (round-trip tested).
+     */
+    std::vector<int8_t> unpackRowCodes(int64_t row) const;
+
+    /** Metadata of one (row, group), identical to the source meta(). */
+    MantGroupMeta metaAt(int64_t row, int64_t group) const;
+
+    /**
+     * Stored bytes of the v2 tile section this view describes: packed
+     * codes plus SoA metadata (f32 scale + coefficient byte + INT
+     * flag byte per tile column, padded panel columns included). The
+     * tile layout *replaces* the v1 flat layout on the wire — a v2
+     * stream carries no flat nibbles, so this is the whole DRAM
+     * footprint, never added to PackedMantMatrix::storageBytes().
+     */
+    int64_t
+    storageBytes() const
+    {
+        return codesBytes() + metaCount() * 6;
+    }
+
+    /** Effective bits per weight element in the v2 tile layout. */
+    double
+    bitsPerElement() const
+    {
+        const double elems = static_cast<double>(rows_) *
+                             static_cast<double>(cols_);
+        return elems > 0.0
+                   ? 8.0 * static_cast<double>(storageBytes()) / elems
+                   : 0.0;
+    }
+
+    /** Geometry-only derivation (no storage attached, valid() stays
+     *  false): the shared layout calculator behind fromParts(),
+     *  pack() and the stream readers — panels/panelBytes/codesBytes/
+     *  metaCount of a (rows, cols, groupSize) matrix. Throws
+     *  std::invalid_argument on negative/overflowing dimensions. */
+    static MantTilesView geometry(int64_t rows, int64_t cols,
+                                  int64_t groupSize);
+
+  private:
+    friend class MantPackedTiles;
+
+    size_t
+    tileMetaIndex(int64_t panel, int64_t group) const
+    {
+        return static_cast<size_t>(
+            (panel * groupsPerRow_ + group) * kTilePanelCols);
+    }
+
+    int64_t rows_ = 0, cols_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
+    int64_t panels_ = 0, panelBytes_ = 0;
+    /** Code bytes of one full-length group's tile:
+     *  ceil(groupSize / 2) * kTilePanelCols. Group g's block starts
+     *  at g * fullTileBytes_ within its panel (the last group may be
+     *  shorter; its block simply ends the panel). */
+    int64_t fullTileBytes_ = 0;
+    const uint8_t *codes_ = nullptr;
+    const float *scales_ = nullptr;
+    const uint8_t *coeff_ = nullptr;
+    const uint8_t *isInt_ = nullptr;
+};
+
+/**
+ * Owning tile storage. Immutable after pack()/fromParts(); cheap to
+ * move, safe to share across threads. view() is the read interface —
+ * the owning accessors below forward to it so code written against
+ * either type behaves identically.
  */
 class MantPackedTiles
 {
@@ -61,6 +233,29 @@ class MantPackedTiles
      * produce it, only hand-assembled fromParts() inputs can).
      */
     static MantPackedTiles pack(const MantQuantizedMatrix &w);
+
+    /**
+     * Adopt already-tile-packed storage (the istream read path of the
+     * v2 wire format — bytes are copied off the stream into these
+     * vectors). Throws std::invalid_argument when the array lengths
+     * disagree with the geometry.
+     */
+    static MantPackedTiles fromParts(int64_t rows, int64_t cols,
+                                     int64_t groupSize,
+                                     std::vector<uint8_t> codes,
+                                     std::vector<float> scales,
+                                     std::vector<uint8_t> coeff,
+                                     std::vector<uint8_t> isInt);
+
+    /** Non-owning view of this storage. Valid while *this is alive
+     *  and unmoved; rebuilt on demand, so moves stay safe. */
+    MantTilesView
+    view() const
+    {
+        return MantTilesView::fromParts(rows_, cols_, groupSize_,
+                                        codes_.data(), scales_.data(),
+                                        coeff_.data(), isInt_.data());
+    }
 
     int64_t rows() const { return rows_; }
     int64_t cols() const { return cols_; }
@@ -79,7 +274,7 @@ class MantPackedTiles
     tileCodes(int64_t panel, int64_t group) const
     {
         return codes_.data() + panel * panelBytes_ +
-               groupByteOff_[static_cast<size_t>(group)];
+               group * fullTileBytes_;
     }
 
     /** Per-tile metadata, kTilePanelCols entries each, contiguous.
@@ -104,16 +299,23 @@ class MantPackedTiles
                 static_cast<size_t>(kTilePanelCols)};
     }
 
-    /**
-     * Reverse the repack for one row: one code per byte, MANT groups
-     * as sign-magnitude codes, INT groups as two's-complement int8 —
-     * byte-identical to MantQuantizedMatrix::rowCodes() of the packed
-     * source (round-trip tested).
-     */
-    std::vector<int8_t> unpackRowCodes(int64_t row) const;
+    /** See MantTilesView::unpackRowCodes(). */
+    std::vector<int8_t>
+    unpackRowCodes(int64_t row) const
+    {
+        return view().unpackRowCodes(row);
+    }
 
     /** Metadata of one (row, group), identical to the source meta(). */
-    MantGroupMeta metaAt(int64_t row, int64_t group) const;
+    MantGroupMeta
+    metaAt(int64_t row, int64_t group) const
+    {
+        return view().metaAt(row, group);
+    }
+
+    /** See MantTilesView::storageBytes()/bitsPerElement(). */
+    int64_t storageBytes() const { return view().storageBytes(); }
+    double bitsPerElement() const { return view().bitsPerElement(); }
 
   private:
     size_t
@@ -124,28 +326,27 @@ class MantPackedTiles
     }
 
     int64_t rows_ = 0, cols_ = 0, groupSize_ = 0, groupsPerRow_ = 0;
-    int64_t panels_ = 0, panelBytes_ = 0;
+    int64_t panels_ = 0, panelBytes_ = 0, fullTileBytes_ = 0;
     std::vector<uint8_t> codes_;
     std::vector<float> scales_;
     std::vector<uint8_t> coeff_;
     std::vector<uint8_t> isInt_;
-    /** Byte offset of each group's code block within a panel
-     *  (groupsPerRow + 1 entries; identical across panels). */
-    std::vector<int64_t> groupByteOff_;
 };
 
 /**
  * Cache-blocked fused integer GEMM over prepacked tiles: the tiled
  * twin of fusedGemm(), bit-identical to it (and therefore matching
  * dequantGemmReference() to FP rounding) at every MANT_THREADS and
- * MANT_SIMD setting.
+ * MANT_SIMD setting. The view overloads are the primary interface
+ * (the mmap'd-weights serving path hands views straight from the
+ * model file); the MantPackedTiles overloads forward through view().
  *
  * @param x Quantized activations (M, K), groups matching `w`.
  * @param w Prepacked weight tiles (N, K).
  * @return  Float output (M, N).
  */
 Tensor fusedGemmTiled(const Int8QuantizedActivations &x,
-                      const MantPackedTiles &w);
+                      const MantTilesView &w);
 
 /**
  * Scratch-friendly variant: writes into `out`, reusing its storage
@@ -153,7 +354,21 @@ Tensor fusedGemmTiled(const Int8QuantizedActivations &x,
  * allocation). `out` is reshaped/reallocated otherwise.
  */
 void fusedGemmTiledInto(const Int8QuantizedActivations &x,
-                        const MantPackedTiles &w, Tensor &out);
+                        const MantTilesView &w, Tensor &out);
+
+inline Tensor
+fusedGemmTiled(const Int8QuantizedActivations &x,
+               const MantPackedTiles &w)
+{
+    return fusedGemmTiled(x, w.view());
+}
+
+inline void
+fusedGemmTiledInto(const Int8QuantizedActivations &x,
+                   const MantPackedTiles &w, Tensor &out)
+{
+    fusedGemmTiledInto(x, w.view(), out);
+}
 
 } // namespace mant
 

@@ -1,0 +1,655 @@
+#include "model/model_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <stdexcept>
+
+#include "core/fused_gemm.h"
+#include "core/packed.h"
+#include "core/parallel.h"
+#include "model/calibration.h"
+#include "model/quantized_linear.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MANT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MANT_HAVE_MMAP 0
+#endif
+
+namespace mant {
+
+namespace {
+
+constexpr uint32_t kMetaVersion = 1;
+constexpr uint32_t kMaxMetaString = 4096;
+/** Dimension sanity cap for loaded metadata: generous for any real
+ *  model while keeping hostile dims from driving huge allocations. */
+constexpr int64_t kMaxDim = int64_t{1} << 24;
+
+constexpr size_t kTocStart = 64;
+constexpr size_t kTocEntryBytes = 64;
+
+// ---------------------------------------------------------------------
+// Meta section serialization. The blob is a fixed little-endian field
+// sequence followed by two length-prefixed strings; docs/FORMAT.md
+// documents every field. Reader and writer must stay mirror images.
+
+template <typename T>
+void
+putScalar(std::string &buf, T v)
+{
+    char b[sizeof(T)];
+    std::memcpy(b, &v, sizeof(T));
+    buf.append(b, sizeof(T));
+}
+
+void
+putString(std::string &buf, const std::string &s)
+{
+    if (s.size() > kMaxMetaString)
+        throw std::invalid_argument(
+            "exportModel: metadata string too long");
+    putScalar(buf, static_cast<uint32_t>(s.size()));
+    buf.append(s);
+}
+
+std::string
+buildMetaBlob(const ModelWeights &weights, const QuantSetup &setup,
+              float logitScale)
+{
+    const ArchDims &d = weights.profile.simDims;
+    std::string b;
+    putScalar(b, kMetaVersion);
+    putScalar(b, static_cast<uint32_t>(weights.profile.family));
+    putScalar(b, d.nLayers);
+    putScalar(b, d.dModel);
+    putScalar(b, d.nHeads);
+    putScalar(b, d.dFfn);
+    putScalar(b, d.vocab);
+    putScalar(b, weights.maxSeq);
+    putScalar(b, weights.profile.seed);
+    putScalar(b, weights.profile.fp16Ppl);
+    putScalar(b, logitScale);
+    putScalar(b, static_cast<uint32_t>(setup.weight));
+    putScalar(b, static_cast<int32_t>(setup.weightBits));
+    putScalar(b, static_cast<uint32_t>(setup.weightGran));
+    putScalar(b, setup.weightGroup);
+    putScalar(b, static_cast<uint32_t>(setup.act));
+    putScalar(b, static_cast<int32_t>(setup.actBits));
+    putScalar(b, static_cast<uint32_t>(setup.actGran));
+    putScalar(b, setup.actGroup);
+    putScalar(b, static_cast<uint32_t>(setup.kv));
+    putScalar(b, setup.kvGroup);
+    putScalar(b, static_cast<uint8_t>(setup.quantizeAttention ? 1 : 0));
+    putScalar(b, static_cast<uint8_t>(setup.fusedInference ? 1 : 0));
+    putScalar(b, static_cast<uint8_t>(setup.fusedAttention ? 1 : 0));
+    putScalar(b, static_cast<uint8_t>(0)); // reserved
+    putString(b, weights.profile.name);
+    putString(b, setup.label);
+    return b;
+}
+
+/** Cursor over the mapped meta section; every failure reports the
+ *  absolute file offset of the field that broke. */
+struct MetaReader
+{
+    const uint8_t *p;
+    size_t size;
+    uint64_t base; ///< file offset of the section start
+    size_t pos = 0;
+
+    uint64_t at() const { return base + pos; }
+
+    template <typename T>
+    T
+    get()
+    {
+        if (size - pos < sizeof(T))
+            throw PackedFormatError(
+                "model file: truncated meta section", base + pos);
+        T v;
+        std::memcpy(&v, p + pos, sizeof(T));
+        pos += sizeof(T);
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        const uint64_t lenAt = at();
+        const uint32_t n = get<uint32_t>();
+        if (n > kMaxMetaString)
+            throw PackedFormatError(
+                "model file: implausible meta string length", lenAt);
+        if (size - pos < n)
+            throw PackedFormatError(
+                "model file: truncated meta section", base + pos);
+        std::string s(reinterpret_cast<const char *>(p + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+/** Everything the loader learns from the meta section. */
+struct ParsedMeta
+{
+    ModelProfile profile;
+    int64_t maxSeq = 0;
+    QuantSetup setup;
+    float logitScale = 1.0f;
+};
+
+ParsedMeta
+parseMetaBlob(const uint8_t *p, size_t size, uint64_t base)
+{
+    MetaReader r{p, size, base};
+    ParsedMeta m;
+
+    uint64_t at = r.at();
+    if (r.get<uint32_t>() != kMetaVersion)
+        throw PackedFormatError(
+            "model file: unsupported meta version", at);
+
+    at = r.at();
+    const uint32_t family = r.get<uint32_t>();
+    if (family > static_cast<uint32_t>(ModelFamily::Bloom))
+        throw PackedFormatError("model file: invalid model family", at);
+    m.profile.family = static_cast<ModelFamily>(family);
+
+    const uint64_t dimsAt = r.at();
+    ArchDims &d = m.profile.simDims;
+    d.nLayers = r.get<int64_t>();
+    d.dModel = r.get<int64_t>();
+    d.nHeads = r.get<int64_t>();
+    d.dFfn = r.get<int64_t>();
+    d.vocab = r.get<int64_t>();
+    m.maxSeq = r.get<int64_t>();
+    const bool dimsOk =
+        d.nLayers > 0 && d.nLayers <= kMaxDim && d.dModel > 0 &&
+        d.dModel <= kMaxDim && d.nHeads > 0 && d.nHeads <= kMaxDim &&
+        d.dFfn > 0 && d.dFfn <= kMaxDim && d.vocab > 0 &&
+        d.vocab <= kMaxDim && m.maxSeq > 0 && m.maxSeq <= kMaxDim &&
+        d.dModel % d.nHeads == 0;
+    if (!dimsOk)
+        throw PackedFormatError(
+            "model file: implausible model dimensions", dimsAt);
+
+    m.profile.seed = r.get<uint64_t>();
+    m.profile.fp16Ppl = r.get<double>();
+    m.logitScale = r.get<float>();
+
+    QuantSetup &s = m.setup;
+    at = r.at();
+    const uint32_t weight = r.get<uint32_t>();
+    if (weight > static_cast<uint32_t>(WeightMethod::Mxfp4))
+        throw PackedFormatError(
+            "model file: invalid weight method", at);
+    s.weight = static_cast<WeightMethod>(weight);
+    s.weightBits = r.get<int32_t>();
+    at = r.at();
+    const uint32_t wgran = r.get<uint32_t>();
+    if (wgran > static_cast<uint32_t>(Granularity::PerGroup))
+        throw PackedFormatError(
+            "model file: invalid weight granularity", at);
+    s.weightGran = static_cast<Granularity>(wgran);
+    s.weightGroup = r.get<int64_t>();
+
+    at = r.at();
+    const uint32_t act = r.get<uint32_t>();
+    if (act > static_cast<uint32_t>(ActMethod::Tender))
+        throw PackedFormatError(
+            "model file: invalid activation method", at);
+    s.act = static_cast<ActMethod>(act);
+    s.actBits = r.get<int32_t>();
+    at = r.at();
+    const uint32_t agran = r.get<uint32_t>();
+    if (agran > static_cast<uint32_t>(Granularity::PerGroup))
+        throw PackedFormatError(
+            "model file: invalid activation granularity", at);
+    s.actGran = static_cast<Granularity>(agran);
+    s.actGroup = r.get<int64_t>();
+
+    at = r.at();
+    const uint32_t kv = r.get<uint32_t>();
+    if (kv > static_cast<uint32_t>(KvMethod::Mant4))
+        throw PackedFormatError("model file: invalid KV method", at);
+    s.kv = static_cast<KvMethod>(kv);
+    s.kvGroup = r.get<int64_t>();
+
+    const auto getFlag = [&r](const char *what) {
+        const uint64_t flagAt = r.at();
+        const uint8_t v = r.get<uint8_t>();
+        if (v > 1)
+            throw PackedFormatError(
+                std::string("model file: invalid ") + what + " flag",
+                flagAt);
+        return v != 0;
+    };
+    s.quantizeAttention = getFlag("quantizeAttention");
+    s.fusedInference = getFlag("fusedInference");
+    s.fusedAttention = getFlag("fusedAttention");
+    at = r.at();
+    if (r.get<uint8_t>() != 0)
+        throw PackedFormatError(
+            "model file: nonzero reserved meta field", at);
+
+    m.profile.name = r.getString();
+    s.label = r.getString();
+    if (r.pos != r.size)
+        throw PackedFormatError(
+            "model file: garbage after meta fields", r.at());
+
+    // Only fused 4-bit MANT models are exportable (the file stores
+    // tile codes, not float weights), so anything else in a meta
+    // section is a forgery or corruption.
+    if (!(s.fusedInference && s.weight == WeightMethod::Mant &&
+          s.weightBits < 8))
+        throw PackedFormatError(
+            "model file: setup is not fused 4-bit MANT", base);
+    return m;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// MappedFile
+
+void
+MappedFile::release() noexcept
+{
+    if (data_ == nullptr) {
+        size_ = 0;
+        mapped_ = false;
+        return;
+    }
+#if MANT_HAVE_MMAP
+    if (mapped_) {
+        ::munmap(
+            const_cast<void *>(static_cast<const void *>(data_)),
+            size_);
+        data_ = nullptr;
+        size_ = 0;
+        mapped_ = false;
+        return;
+    }
+#endif
+    ::operator delete(
+        const_cast<void *>(static_cast<const void *>(data_)),
+        std::align_val_t{64});
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        data_ = other.data_;
+        size_ = other.size_;
+        mapped_ = other.mapped_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.mapped_ = false;
+    }
+    return *this;
+}
+
+MappedFile
+MappedFile::read(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error(
+            "MappedFile: cannot open '" + path + "'");
+    is.seekg(0, std::ios::end);
+    const std::streamoff end = is.tellg();
+    if (end < 0)
+        throw std::runtime_error(
+            "MappedFile: cannot size '" + path + "'");
+    is.seekg(0, std::ios::beg);
+
+    const size_t n = static_cast<size_t>(end);
+    MappedFile f;
+    // A non-null pointer even for n == 0, so an empty file reaches the
+    // container parser (typed "truncated header") instead of the null
+    // check.
+    f.data_ = static_cast<const uint8_t *>(
+        ::operator new(n, std::align_val_t{64}));
+    f.size_ = n;
+    f.mapped_ = false;
+    if (n > 0 &&
+        !is.read(
+            reinterpret_cast<char *>(const_cast<uint8_t *>(f.data_)),
+            static_cast<std::streamsize>(n)))
+        throw std::runtime_error(
+            "MappedFile: short read on '" + path + "'");
+    return f;
+}
+
+MappedFile
+MappedFile::open(const std::string &path)
+{
+#if MANT_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw std::runtime_error(
+            "MappedFile: cannot open '" + path + "'");
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw std::runtime_error(
+            "MappedFile: cannot stat '" + path + "'");
+    }
+    const size_t n = static_cast<size_t>(st.st_size);
+    if (n == 0) {
+        // mmap rejects zero-length mappings; fall back to the heap
+        // stub so the parser reports a typed truncation.
+        ::close(fd);
+        return read(path);
+    }
+    void *p = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED)
+        throw std::runtime_error(
+            "MappedFile: mmap failed for '" + path + "'");
+    MappedFile f;
+    f.data_ = static_cast<const uint8_t *>(p);
+    f.size_ = n;
+    f.mapped_ = true;
+    return f;
+#else
+    return read(path);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Export
+
+void
+exportModel(std::ostream &os, const ModelWeights &weights,
+            const QuantSetup &setup, const ModelExportOptions &opts)
+{
+    if (!(setup.fusedInference && setup.weight == WeightMethod::Mant &&
+          setup.weightBits < 8))
+        throw std::invalid_argument(
+            "exportModel: requires a fused 4-bit MANT setup (the "
+            "container stores tile codes, not float weights)");
+    const ArchDims &d = weights.profile.simDims;
+    if (static_cast<int64_t>(weights.layers.size()) != d.nLayers ||
+        weights.embedding.numel() != d.vocab * d.dModel ||
+        weights.maxSeq <= 0)
+        throw std::invalid_argument(
+            "exportModel: weights disagree with their profile");
+
+    // The offline encode: quantize every linear exactly as the
+    // Transformer constructor would (same codes, same tiles), one
+    // work item per matrix.
+    struct ExportItem
+    {
+        const Tensor *w;
+        LinearSlot slot;
+        int64_t layer;
+        const char *name;
+        QuantizedLinear lin;
+    };
+    std::vector<ExportItem> items;
+    items.reserve(weights.layers.size() * 7);
+    for (size_t l = 0; l < weights.layers.size(); ++l) {
+        const LayerWeights &lw = weights.layers[l];
+        const int64_t li = static_cast<int64_t>(l);
+        items.push_back({&lw.wq, LinearSlot::AttnIn, li, "wq", {}});
+        items.push_back({&lw.wk, LinearSlot::AttnIn, li, "wk", {}});
+        items.push_back({&lw.wv, LinearSlot::AttnIn, li, "wv", {}});
+        items.push_back({&lw.wo, LinearSlot::OProj, li, "wo", {}});
+        items.push_back(
+            {&lw.wGate, LinearSlot::FfnIn, li, "wgate", {}});
+        if (lw.wUp.numel() > 0)
+            items.push_back(
+                {&lw.wUp, LinearSlot::FfnIn, li, "wup", {}});
+        items.push_back(
+            {&lw.wDown, LinearSlot::FfnDown, li, "wdown", {}});
+    }
+    const auto calibPower =
+        [&](int64_t layer, LinearSlot slot) -> std::span<const double> {
+        if (!opts.calibration)
+            return {};
+        return opts.calibration->power(layer, slot);
+    };
+    parallelFor(
+        0, static_cast<int64_t>(items.size()), 1,
+        [&](int64_t ib, int64_t ie, int64_t) {
+            for (int64_t i = ib; i < ie; ++i) {
+                ExportItem &item = items[static_cast<size_t>(i)];
+                item.lin = QuantizedLinear(
+                    *item.w, setup, calibPower(item.layer, item.slot),
+                    /*retainFused=*/true);
+            }
+        });
+
+    const std::string meta =
+        buildMetaBlob(weights, setup, opts.logitScale);
+
+    ModelContainerWriter writer;
+    writer.add("meta", ModelSectionKind::Meta, meta.size(),
+               [&meta](std::ostream &o) {
+                   o.write(meta.data(),
+                           static_cast<std::streamsize>(meta.size()));
+               });
+
+    const auto addF32 = [&writer](const std::string &name,
+                                  const float *p, int64_t count) {
+        if (count <= 0)
+            return;
+        writer.add(
+            name, ModelSectionKind::F32,
+            static_cast<uint64_t>(count) * sizeof(float),
+            [p, count](std::ostream &o) {
+                o.write(reinterpret_cast<const char *>(p),
+                        static_cast<std::streamsize>(count * 4));
+            });
+    };
+    addF32("embedding", weights.embedding.data(),
+           weights.embedding.numel());
+    addF32("pos_embedding", weights.posEmbedding.data(),
+           weights.posEmbedding.numel());
+    addF32("final_norm_gain", weights.finalNormGain.data(),
+           static_cast<int64_t>(weights.finalNormGain.size()));
+    addF32("final_norm_bias", weights.finalNormBias.data(),
+           static_cast<int64_t>(weights.finalNormBias.size()));
+    for (size_t l = 0; l < weights.layers.size(); ++l) {
+        const LayerWeights &lw = weights.layers[l];
+        const std::string prefix = "layer" + std::to_string(l) + "/";
+        const auto addVec = [&](const char *nm,
+                                const std::vector<float> &v) {
+            addF32(prefix + nm, v.data(),
+                   static_cast<int64_t>(v.size()));
+        };
+        addVec("norm_gain1", lw.normGain1);
+        addVec("norm_bias1", lw.normBias1);
+        addVec("norm_gain2", lw.normGain2);
+        addVec("norm_bias2", lw.normBias2);
+    }
+    for (const ExportItem &item : items) {
+        const MantTilesView *v = &item.lin.tilesView();
+        writer.add(
+            "layer" + std::to_string(item.layer) + "/" + item.name,
+            ModelSectionKind::TilePack,
+            tileSectionSize(v->rows(), v->cols(), v->groupSize()),
+            [v](std::ostream &o) { writeTileSection(o, *v); });
+    }
+    writer.write(os);
+}
+
+void
+exportModelToFile(const std::string &path, const ModelWeights &weights,
+                  const QuantSetup &setup,
+                  const ModelExportOptions &opts)
+{
+    std::ofstream os(path,
+                     std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error(
+            "exportModelToFile: cannot open '" + path + "'");
+    exportModel(os, weights, setup, opts);
+    os.flush();
+    if (!os)
+        throw std::runtime_error(
+            "exportModelToFile: write failed for '" + path + "'");
+}
+
+// ---------------------------------------------------------------------
+// Load
+
+std::unique_ptr<LoadedModel>
+LoadedModel::load(const std::string &path, bool forceRead)
+{
+    std::unique_ptr<LoadedModel> m(new LoadedModel());
+    m->file_ = forceRead ? MappedFile::read(path)
+                         : MappedFile::open(path);
+    const uint8_t *base = m->file_.data();
+    const std::vector<ModelSection> sections =
+        parseModelContainer(base, m->file_.size());
+
+    const auto tocOffset = [](size_t i) {
+        return static_cast<uint64_t>(kTocStart + i * kTocEntryBytes);
+    };
+    const auto findSection =
+        [&sections](const std::string &name) -> ptrdiff_t {
+        for (size_t i = 0; i < sections.size(); ++i)
+            if (sections[i].name == name)
+                return static_cast<ptrdiff_t>(i);
+        return -1;
+    };
+    const auto require = [&](const std::string &name,
+                             ModelSectionKind kind) -> size_t {
+        const ptrdiff_t i = findSection(name);
+        if (i < 0)
+            throw PackedFormatError(
+                "model file: missing section '" + name + "'",
+                kTocStart);
+        const ModelSection &s = sections[static_cast<size_t>(i)];
+        if (s.kind != kind)
+            throw PackedFormatError("model file: section '" + name +
+                                        "' has the wrong kind",
+                                    tocOffset(i) + 40);
+        return static_cast<size_t>(i);
+    };
+    const auto readF32s = [&](size_t idx,
+                              int64_t count) -> std::vector<float> {
+        const ModelSection &s = sections[idx];
+        if (s.size != static_cast<uint64_t>(count) * sizeof(float))
+            throw PackedFormatError("model file: section '" + s.name +
+                                        "' has the wrong size",
+                                    tocOffset(idx) + 48);
+        std::vector<float> v(static_cast<size_t>(count));
+        std::memcpy(v.data(), base + s.offset, s.size);
+        return v;
+    };
+    const auto readTensor = [&](size_t idx, int64_t rows,
+                                int64_t cols) -> Tensor {
+        const ModelSection &s = sections[idx];
+        const uint64_t want = static_cast<uint64_t>(rows) *
+                              static_cast<uint64_t>(cols) *
+                              sizeof(float);
+        if (s.size != want)
+            throw PackedFormatError("model file: section '" + s.name +
+                                        "' has the wrong size",
+                                    tocOffset(idx) + 48);
+        Tensor t(Shape{rows, cols});
+        std::memcpy(t.data(), base + s.offset, s.size);
+        return t;
+    };
+
+    const size_t metaIdx = require("meta", ModelSectionKind::Meta);
+    ParsedMeta meta = parseMetaBlob(
+        base + sections[metaIdx].offset,
+        static_cast<size_t>(sections[metaIdx].size),
+        sections[metaIdx].offset);
+    const ArchDims &d = meta.profile.simDims;
+    m->setup_ = meta.setup;
+
+    m->weights_ = std::make_unique<ModelWeights>();
+    ModelWeights &w = *m->weights_;
+    w.profile = meta.profile;
+    w.maxSeq = meta.maxSeq;
+    w.embedding = readTensor(
+        require("embedding", ModelSectionKind::F32), d.vocab,
+        d.dModel);
+    if (const ptrdiff_t pi = findSection("pos_embedding"); pi >= 0)
+        w.posEmbedding = readTensor(
+            require("pos_embedding", ModelSectionKind::F32),
+            meta.maxSeq, d.dModel);
+    w.finalNormGain = readF32s(
+        require("final_norm_gain", ModelSectionKind::F32), d.dModel);
+    w.finalNormBias = readF32s(
+        require("final_norm_bias", ModelSectionKind::F32), d.dModel);
+
+    w.layers.resize(static_cast<size_t>(d.nLayers));
+    m->tiles_.resize(static_cast<size_t>(d.nLayers));
+    const bool hasUp = meta.profile.family == ModelFamily::Llama;
+    for (int64_t l = 0; l < d.nLayers; ++l) {
+        LayerWeights &lw = w.layers[static_cast<size_t>(l)];
+        LayerTileViews &tv = m->tiles_[static_cast<size_t>(l)];
+        const std::string prefix = "layer" + std::to_string(l) + "/";
+        const auto readVec = [&](const char *nm) {
+            return readF32s(
+                require(prefix + nm, ModelSectionKind::F32), d.dModel);
+        };
+        lw.normGain1 = readVec("norm_gain1");
+        lw.normBias1 = readVec("norm_bias1");
+        lw.normGain2 = readVec("norm_gain2");
+        lw.normBias2 = readVec("norm_bias2");
+        const auto tile = [&](const char *nm, int64_t rows,
+                              int64_t cols) -> MantTilesView {
+            const size_t i =
+                require(prefix + nm, ModelSectionKind::TilePack);
+            const ModelSection &s = sections[i];
+            MantTilesView view = mapTileSection(
+                base + s.offset, static_cast<size_t>(s.size),
+                s.offset);
+            if (view.rows() != rows || view.cols() != cols ||
+                view.groupSize() !=
+                    effectiveGroupSize(cols, meta.setup.weightGroup))
+                throw PackedFormatError(
+                    "model file: tile section '" + s.name +
+                        "' disagrees with the model profile",
+                    tocOffset(i));
+            return view;
+        };
+        tv.wq = tile("wq", d.dModel, d.dModel);
+        tv.wk = tile("wk", d.dModel, d.dModel);
+        tv.wv = tile("wv", d.dModel, d.dModel);
+        tv.wo = tile("wo", d.dModel, d.dModel);
+        tv.wGate = tile("wgate", d.dFfn, d.dModel);
+        if (hasUp)
+            tv.wUp = tile("wup", d.dFfn, d.dModel);
+        tv.wDown = tile("wdown", d.dModel, d.dFfn);
+    }
+
+    m->model_ = std::make_unique<Transformer>(
+        w, m->setup_,
+        std::span<const LayerTileViews>(m->tiles_.data(),
+                                        m->tiles_.size()));
+    m->model_->setLogitScale(meta.logitScale);
+    return m;
+}
+
+} // namespace mant

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Zero-copy model files: export a quantized transformer once (the
+ * offline encode) into the v2 model container, and boot inference
+ * straight off an mmap of that file.
+ *
+ * The paper's DRAM-traffic argument only pays off end-to-end when the
+ * stored layout is the layout the compute consumes. exportModel()
+ * serializes every linear's tile-panel section (core/packed.h) plus
+ * the float-domain leftovers (embedding, norms) and model metadata
+ * behind a named TOC; LoadedModel::load() maps the file read-only and
+ * wraps each tile section in a MantTilesView pointing INTO the
+ * mapping — no repack, no per-layer code-byte copy, and N processes
+ * serving the same file share one set of physical pages through the
+ * page cache. Load-time validation (mapTileSection + the metadata
+ * checks here) replaces pack-time validation; every malformed-file
+ * path throws PackedFormatError with the file offset that failed.
+ *
+ * Determinism: loading is pure byte interpretation — no clocks, no
+ * RNG, no thread-count dependence — and a loaded model's forward
+ * passes are bit-identical to quantize-then-pack at every MANT_SIMD ×
+ * MANT_THREADS because the tiles are the same bytes
+ * (tests/test_model_file.cc asserts this).
+ */
+
+#ifndef MANT_MODEL_MODEL_FILE_H_
+#define MANT_MODEL_MODEL_FILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+#include "model/weights.h"
+
+namespace mant {
+
+class ModelCalibration;
+
+/**
+ * Read-only file bytes with RAII ownership: an mmap on POSIX (the
+ * zero-copy path), or a 64-byte-aligned heap buffer read conventionally
+ * where mmap is unavailable. Either way data() is 64-byte aligned, so
+ * container sections keep their alignment guarantees. Move-only.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map `path` read-only; falls back to read() off-POSIX. Throws
+     *  std::runtime_error when the file cannot be opened or mapped. */
+    static MappedFile open(const std::string &path);
+
+    /** Read `path` into an aligned heap buffer (the portable
+     *  fallback; also useful to force the no-mmap path in tests). */
+    static MappedFile read(const std::string &path);
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    /** True when data() is an mmap (pages shared via the page cache),
+     *  false for the heap-buffer fallback. */
+    bool mapped() const { return mapped_; }
+
+  private:
+    void release() noexcept;
+
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false;
+};
+
+/** Knobs for exportModel beyond the quantization setup itself. */
+struct ModelExportOptions
+{
+    /** Logit temperature baked into the file (the evaluator's
+     *  calibrated value); applied to the loaded Transformer. */
+    float logitScale = 1.0f;
+
+    /** Optional activation calibration: when present the MANT
+     *  coefficient search uses the Eq. 6 output-MSE objective, same
+     *  as constructing a Transformer with it. */
+    const ModelCalibration *calibration = nullptr;
+};
+
+/**
+ * Quantize `weights` per `setup` (the same per-matrix encode a
+ * Transformer construction performs — same codes, same tiles) and
+ * serialize the model into the container format: a "meta" section
+ * (profile, dims, quant setup), f32 sections for the embedding /
+ * positional embedding / norm parameters, and one tile-panel section
+ * per linear. Requires a fused 4-bit MANT setup (the file stores only
+ * tile codes for the linears; there is no float fallback to
+ * serialize) — std::invalid_argument otherwise. Stream errors throw
+ * std::runtime_error.
+ */
+void exportModel(std::ostream &os, const ModelWeights &weights,
+                 const QuantSetup &setup,
+                 const ModelExportOptions &opts = {});
+
+/** exportModel to a filesystem path (truncates). */
+void exportModelToFile(const std::string &path,
+                       const ModelWeights &weights,
+                       const QuantSetup &setup,
+                       const ModelExportOptions &opts = {});
+
+/**
+ * A model booted from a v2 model file: the mapping, the rehydrated
+ * ModelWeights (embedding + norms copied out, linear tensors left
+ * empty), the per-layer tile views pointing into the mapping, and a
+ * view-constructed Transformer over them. Destruction order keeps the
+ * mapping alive until the Transformer is gone. Non-movable (the
+ * Transformer pins its weights reference); hold behind unique_ptr.
+ */
+class LoadedModel
+{
+  public:
+    /**
+     * Load and validate a model file. `forceRead` skips mmap and uses
+     * the portable read path (bytes then live on the heap — same
+     * validation, same results, no page sharing). Throws
+     * PackedFormatError (with the failing file offset) for any
+     * malformed container/section/metadata, std::runtime_error for
+     * I/O failures.
+     */
+    static std::unique_ptr<LoadedModel> load(const std::string &path,
+                                             bool forceRead = false);
+
+    LoadedModel(const LoadedModel &) = delete;
+    LoadedModel &operator=(const LoadedModel &) = delete;
+
+    const ModelWeights &weights() const { return *weights_; }
+    const QuantSetup &setup() const { return setup_; }
+    Transformer &transformer() { return *model_; }
+    const Transformer &transformer() const { return *model_; }
+
+    /** The underlying file bytes (for zero-copy assertions: every
+     *  layer's tile pointers land inside [data, data + size)). */
+    const MappedFile &file() const { return file_; }
+
+    /** Per-layer tile views, pointing into file(). */
+    std::span<const LayerTileViews> tileViews() const
+    {
+        return tiles_;
+    }
+
+  private:
+    LoadedModel() = default;
+
+    // Declaration order is lifetime order: views point into file_,
+    // the Transformer points at weights_ and the views' storage.
+    MappedFile file_;
+    std::unique_ptr<ModelWeights> weights_;
+    std::vector<LayerTileViews> tiles_;
+    QuantSetup setup_;
+    std::unique_ptr<Transformer> model_;
+};
+
+} // namespace mant
+
+#endif // MANT_MODEL_MODEL_FILE_H_

@@ -162,13 +162,31 @@ QuantizedLinear::QuantizedLinear(const Tensor &w, const QuantSetup &setup,
     quantized_ = std::move(q);
     if (quantized_) {
         tiles_ = MantPackedTiles::pack(*quantized_);
+        view_ = tiles_->view();
         scratch_ = std::make_unique<ActScratchPool>();
     }
+}
+
+QuantizedLinear
+QuantizedLinear::fromView(const MantTilesView &view)
+{
+    if (!view.valid())
+        throw std::invalid_argument(
+            "QuantizedLinear::fromView: invalid tile view");
+    QuantizedLinear lin;
+    lin.view_ = view;
+    lin.actGroup_ = view.groupSize();
+    lin.scratch_ = std::make_unique<ActScratchPool>();
+    return lin;
 }
 
 Tensor
 QuantizedLinear::forward(const Tensor &x) const
 {
+    if (view_.valid() && effective_.numel() == 0)
+        throw std::logic_error(
+            "QuantizedLinear::forward: view-backed layer is "
+            "fused-only (no effective float weights)");
     return linearNT(x, effective_);
 }
 
@@ -183,14 +201,14 @@ QuantizedLinear::forwardFused(const Tensor &x) const
 void
 QuantizedLinear::forwardFusedInto(const Tensor &x, Tensor &out) const
 {
-    if (!quantized_)
+    if (!view_.valid())
         throw std::logic_error(
-            "QuantizedLinear::forwardFused: no MANT codes present");
+            "QuantizedLinear::forwardFused: no MANT tiles present");
     // Activation groups must share the weight group boundaries so each
     // group contributes one (psum1, psum2) pair.
     auto qx = scratch_->acquire();
-    qx->assign(x, quantized_->groupSize());
-    fusedGemmTiledInto(*qx, *tiles_, out);
+    qx->assign(x, view_.groupSize());
+    fusedGemmTiledInto(*qx, view_, out);
     scratch_->release(std::move(qx));
 }
 
@@ -198,10 +216,10 @@ void
 QuantizedLinear::forwardFusedInto(const Int8QuantizedActivations &qx,
                                   Tensor &out) const
 {
-    if (!quantized_)
+    if (!view_.valid())
         throw std::logic_error(
-            "QuantizedLinear::forwardFused: no MANT codes present");
-    fusedGemmTiledInto(qx, *tiles_, out);
+            "QuantizedLinear::forwardFused: no MANT tiles present");
+    fusedGemmTiledInto(qx, view_, out);
 }
 
 Tensor

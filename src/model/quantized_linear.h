@@ -89,6 +89,13 @@ class ActScratchPool
  * either the float path or the fused integer path. The tiles are
  * packed once at construction (the offline encode), so every
  * forwardFused call streams the cache-blocked layout directly.
+ *
+ * Two build paths produce bit-identical fused results:
+ *  - the quantizing constructor (quantize → pack, owning storage);
+ *  - fromView(), wrapping an externally owned tile section (an mmap'd
+ *    model file) without copying a single code byte. A view-backed
+ *    layer is fused-only: it has no effective float weights and no
+ *    MANT code container, just the tile bytes the GEMM streams.
  */
 class QuantizedLinear
 {
@@ -107,6 +114,16 @@ class QuantizedLinear
     QuantizedLinear(const Tensor &w, const QuantSetup &setup,
                     std::span<const double> calibPower = {},
                     bool retainFused = true);
+
+    /**
+     * Wrap an externally owned tile section (zero-copy model load).
+     * The caller keeps the view's storage alive for the layer's
+     * lifetime — model/model_file.h ties it to the file mapping. Only
+     * the fused path is available; forward()/forwardFusedReference()
+     * throw std::logic_error. Throws std::invalid_argument when the
+     * view is invalid.
+     */
+    static QuantizedLinear fromView(const MantTilesView &view);
 
     /** Float path: y = x * Weff^T. */
     Tensor forward(const Tensor &x) const;
@@ -134,15 +151,24 @@ class QuantizedLinear
      *  oracle for the tiled kernels (tests assert equality). */
     Tensor forwardFusedReference(const Tensor &x) const;
 
-    bool hasFusedPath() const { return quantized_.has_value(); }
+    bool hasFusedPath() const { return view_.valid(); }
     const Tensor &effectiveWeights() const { return effective_; }
     const MantQuantizedMatrix &codes() const { return *quantized_; }
     const MantPackedTiles &tiles() const { return *tiles_; }
+
+    /** The tile storage the fused path streams: owning tiles' view,
+     *  or the external (mmap'd) section for fromView() layers. Lets
+     *  tests assert the zero-copy property (pointers inside the
+     *  mapping) without widening the class interface. */
+    const MantTilesView &tilesView() const { return view_; }
 
   private:
     Tensor effective_;
     std::optional<MantQuantizedMatrix> quantized_;
     std::optional<MantPackedTiles> tiles_;
+    /** Fused-path dispatch target; points at tiles_'s vectors (heap
+     *  buffers are move-stable) or at externally owned memory. */
+    MantTilesView view_;
     int64_t actGroup_ = 64;
     /** unique_ptr keeps the class movable despite the pool's mutex. */
     std::unique_ptr<ActScratchPool> scratch_;

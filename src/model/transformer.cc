@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/parallel.h"
 #include "model/calibration.h"
@@ -127,6 +128,78 @@ Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
     fusedLinears_ = setup_.fusedInference &&
                     setup_.weight == WeightMethod::Mant &&
                     setup_.weightBits < 8;
+    reset();
+}
+
+Transformer::Transformer(const ModelWeights &weights, QuantSetup setup,
+                         std::span<const LayerTileViews> layerTiles,
+                         const VarianceSelector *kvSelector)
+    : base_(weights), setup_(std::move(setup)),
+      streamEpoch_(nextStreamEpoch()), kvSelector_(kvSelector)
+{
+    if (!(setup_.fusedInference &&
+          setup_.weight == WeightMethod::Mant &&
+          setup_.weightBits < 8)) {
+        throw std::invalid_argument(
+            "Transformer: tile-view construction requires a fused "
+            "4-bit MANT setup (the views carry only tile codes)");
+    }
+    if (setup_.fusedAttention && setup_.kv == KvMethod::Fp16)
+        throw std::invalid_argument(
+            "Transformer: fusedAttention requires a quantized KV "
+            "method (there are no codes to fuse over)");
+    if (setup_.kv == KvMethod::Mant4 && !kvSelector_) {
+        ownedSelector_ = std::make_unique<VarianceSelector>(
+            VarianceSelector::analytic());
+        kvSelector_ = ownedSelector_.get();
+    }
+
+    const ArchDims &d = base_.profile.simDims;
+    if (layerTiles.size() != static_cast<size_t>(d.nLayers) ||
+        base_.layers.size() != static_cast<size_t>(d.nLayers)) {
+        throw std::invalid_argument(
+            "Transformer: layer tile views disagree with the profile");
+    }
+    // Every view must describe exactly the matrix its slot computes
+    // with — shape from the profile, group size from the setup — or a
+    // GEMM downstream would read tile geometry that isn't there.
+    auto check = [&](const MantTilesView &v, int64_t rows,
+                     int64_t cols, const char *name) {
+        if (!v.valid() || v.rows() != rows || v.cols() != cols ||
+            v.groupSize() !=
+                effectiveGroupSize(cols, setup_.weightGroup)) {
+            throw std::invalid_argument(
+                std::string("Transformer: tile view '") + name +
+                "' disagrees with the model profile or quant setup");
+        }
+    };
+    const bool has_up = base_.profile.family == ModelFamily::Llama;
+    eff_.resize(layerTiles.size());
+    for (size_t l = 0; l < layerTiles.size(); ++l) {
+        const LayerTileViews &lt = layerTiles[l];
+        check(lt.wq, d.dModel, d.dModel, "wq");
+        check(lt.wk, d.dModel, d.dModel, "wk");
+        check(lt.wv, d.dModel, d.dModel, "wv");
+        check(lt.wo, d.dModel, d.dModel, "wo");
+        check(lt.wGate, d.dFfn, d.dModel, "wGate");
+        if (has_up)
+            check(lt.wUp, d.dFfn, d.dModel, "wUp");
+        else if (lt.wUp.valid())
+            throw std::invalid_argument(
+                "Transformer: unexpected wUp tile view for a family "
+                "without a SwiGLU up projection");
+        check(lt.wDown, d.dModel, d.dFfn, "wDown");
+        EffLayer &e = eff_[l];
+        e.wq = QuantizedLinear::fromView(lt.wq);
+        e.wk = QuantizedLinear::fromView(lt.wk);
+        e.wv = QuantizedLinear::fromView(lt.wv);
+        e.wo = QuantizedLinear::fromView(lt.wo);
+        e.wGate = QuantizedLinear::fromView(lt.wGate);
+        if (has_up)
+            e.wUp = QuantizedLinear::fromView(lt.wUp);
+        e.wDown = QuantizedLinear::fromView(lt.wDown);
+    }
+    fusedLinears_ = true;
     reset();
 }
 

@@ -122,6 +122,17 @@ class StreamContext
 };
 
 /**
+ * One layer's prepacked weight tiles for view-based construction: the
+ * seven linear slots as non-owning views over externally owned tile
+ * storage (an mmap'd model file). `wUp` stays default-invalid for
+ * families without a SwiGLU up projection.
+ */
+struct LayerTileViews
+{
+    MantTilesView wq, wk, wv, wo, wGate, wUp, wDown;
+};
+
+/**
  * A quantization-aware transformer instance over shared base weights.
  */
 class Transformer
@@ -140,6 +151,25 @@ class Transformer
     Transformer(const ModelWeights &weights, QuantSetup setup,
                 const VarianceSelector *kvSelector = nullptr,
                 const ModelCalibration *calibration = nullptr);
+
+    /**
+     * View-based construction (the zero-copy model load path): linear
+     * layers wrap the given tile views instead of quantizing weights —
+     * no coefficient search, no repack, no code-byte copies. `weights`
+     * supplies everything else inference reads (profile, embedding,
+     * positional embedding, norm parameters); its per-layer linear
+     * Tensors may be empty. Both `weights` and the storage behind
+     * every view must outlive the Transformer (model/model_file.h ties
+     * them to one file mapping). Requires a fused 4-bit MANT setup;
+     * forward passes are bit-identical to a Transformer quantized from
+     * the original float weights with the same setup, because the
+     * tiles are the same bytes. Throws std::invalid_argument when the
+     * setup is not fused MANT or any view disagrees with the profile
+     * geometry or the setup's weight group.
+     */
+    Transformer(const ModelWeights &weights, QuantSetup setup,
+                std::span<const LayerTileViews> layerTiles,
+                const VarianceSelector *kvSelector = nullptr);
 
     /** Non-copyable, non-movable: stream contexts (including the
      *  default one) record the owning instance's address, so a moved

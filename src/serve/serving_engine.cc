@@ -9,6 +9,7 @@
 
 #include "core/kv_panels.h"
 #include "model/config.h"
+#include "model/model_file.h"
 
 namespace mant {
 
@@ -95,6 +96,26 @@ ServingEngine::ServingEngine(Transformer &model, ServingConfig cfg)
             std::make_unique<KvPageAllocator>(pageBytes,
                                               cfg_.pagePoolPages);
     }
+}
+
+namespace {
+
+Transformer &
+requireModel(const std::shared_ptr<LoadedModel> &m)
+{
+    if (!m)
+        throw std::invalid_argument(
+            "ServingEngine: null loaded model");
+    return m->transformer();
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(std::shared_ptr<LoadedModel> model,
+                             ServingConfig cfg)
+    : ServingEngine(requireModel(model), cfg)
+{
+    ownedModel_ = std::move(model);
 }
 
 RequestId

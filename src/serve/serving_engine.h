@@ -78,6 +78,8 @@
 
 namespace mant {
 
+class LoadedModel;
+
 /**
  * Deterministic engine-level fault injection (tests / soak / bench):
  * drives the pool's KvFaultPlan (core/kv_pages.h) on a scheduler-round
@@ -278,6 +280,17 @@ class ServingEngine
      *   always in contract).
      */
     explicit ServingEngine(Transformer &model, ServingConfig cfg = {});
+
+    /**
+     * Boot straight from a loaded model file (model/model_file.h):
+     * serves the model's Transformer and keeps the LoadedModel — the
+     * file mapping, the weights, and the view-backed Transformer —
+     * alive for the engine's lifetime. shared_ptr so several engines
+     * (or engine generations across reconfiguration) can serve one
+     * mapping. Same validation as the reference constructor.
+     */
+    explicit ServingEngine(std::shared_ptr<LoadedModel> model,
+                           ServingConfig cfg = {});
 
     /**
      * Enqueue a request. Prompt token ids are validated against the
@@ -481,6 +494,11 @@ class ServingEngine
     void handleStreamFault(size_t slot, const KvPoolExhausted &e,
                            bool injected);
 
+    /** Set by the LoadedModel constructor: pins the file mapping and
+     *  the view-backed Transformer that model_ references (empty when
+     *  the caller owns the Transformer). Declared before model_ so it
+     *  is destroyed after everything that might still touch it. */
+    std::shared_ptr<LoadedModel> ownedModel_;
     Transformer &model_;
     ServingConfig cfg_;
     std::unique_ptr<KvPageAllocator> pagePool_;

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * v2 model container round-trip and zero-copy load-path suite: export
+ * → mmap-load must be byte-identical to quantize-then-pack (tiles,
+ * logits, generation) across SIMD × thread settings, with every tile
+ * view pointing into the file mapping; hostile model files must fail
+ * with typed PackedFormatError naming the offending file offset.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/packed.h"
+#include "model/generation.h"
+#include "model/model_file.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace mant {
+namespace {
+
+std::vector<int32_t>
+tokens(int n, uint64_t seed, int vocab)
+{
+    Rng rng(seed);
+    std::vector<int32_t> t(static_cast<size_t>(n));
+    for (auto &x : t)
+        x = static_cast<int32_t>(
+            rng.uniformInt(static_cast<uint64_t>(vocab)));
+    return t;
+}
+
+std::string
+tempPath(const char *tag)
+{
+    return ::testing::TempDir() + "mant_model_" + tag + ".mant";
+}
+
+/** Export `weights` under `setup` to a file and return the path. */
+std::string
+exported(const char *tag, const ModelWeights &weights,
+         const QuantSetup &setup, float logitScale = 1.0f)
+{
+    const std::string path = tempPath(tag);
+    ModelExportOptions opts;
+    opts.logitScale = logitScale;
+    exportModelToFile(path, weights, setup, opts);
+    return path;
+}
+
+/** Overwrite the little-endian u64 at `off` in `bytes`. */
+void
+patchU64(std::string &bytes, size_t off, uint64_t value)
+{
+    ASSERT_LE(off + 8, bytes.size());
+    std::memcpy(bytes.data() + off, &value, 8);
+}
+
+/** Assert `fn` throws PackedFormatError carrying this offset. */
+template <typename Fn>
+void
+expectFormatError(Fn &&fn, const std::string &msgPrefix, uint64_t off)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected PackedFormatError: " << msgPrefix;
+    } catch (const PackedFormatError &e) {
+        EXPECT_EQ(std::string(e.what()).rfind(msgPrefix, 0), 0u)
+            << e.what();
+        EXPECT_EQ(e.offset(), off) << e.what();
+    }
+}
+
+TEST(ModelFile, RoundTripLogitsBitIdentical)
+{
+    const ModelProfile profile = test::tinyProfile();
+    const ModelWeights weights = ModelWeights::generate(profile, 128);
+    const QuantSetup setup = mantFusedSetup();
+    const auto toks = tokens(20, 900, 128);
+
+    Transformer ref(weights, setup);
+    const Tensor want = ref.prefill(toks);
+    const std::vector<float> wantStep = ref.decodeStep(3);
+
+    auto loaded =
+        LoadedModel::load(exported("roundtrip", weights, setup));
+    const Tensor got = loaded->transformer().prefill(toks);
+    EXPECT_TRUE(test::bytesEqual(want.span(), got.span()));
+    const std::vector<float> gotStep =
+        loaded->transformer().decodeStep(3);
+    EXPECT_TRUE(test::bytesEqual(wantStep, gotStep));
+
+    EXPECT_EQ(loaded->setup().weight, WeightMethod::Mant);
+    EXPECT_TRUE(loaded->setup().fusedInference);
+    EXPECT_EQ(loaded->weights().profile.name, "tiny");
+    EXPECT_EQ(loaded->weights().maxSeq, 128);
+}
+
+TEST(ModelFile, TileBytesIdenticalToDirectQuantization)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    const QuantSetup setup = mantFusedSetup();
+    auto loaded =
+        LoadedModel::load(exported("tilebytes", weights, setup));
+
+    // Every layer's mapped tiles must hold the exact bytes a direct
+    // quantize-then-pack produces: the file IS the compute layout.
+    for (size_t l = 0; l < weights.layers.size(); ++l) {
+        const LayerWeights &lw = weights.layers[l];
+        const LayerTileViews &tv = loaded->tileViews()[l];
+        const auto check = [&](const Tensor &w,
+                               const MantTilesView &view) {
+            const QuantizedLinear direct(w, setup);
+            const MantTilesView want = direct.tilesView();
+            ASSERT_EQ(want.codesBytes(), view.codesBytes());
+            ASSERT_EQ(want.metaCount(), view.metaCount());
+            EXPECT_EQ(
+                std::memcmp(want.codesData(), view.codesData(),
+                            static_cast<size_t>(want.codesBytes())),
+                0);
+            EXPECT_EQ(
+                std::memcmp(want.scalesData(), view.scalesData(),
+                            static_cast<size_t>(want.metaCount()) * 4),
+                0);
+            EXPECT_EQ(
+                std::memcmp(want.coeffData(), view.coeffData(),
+                            static_cast<size_t>(want.metaCount())),
+                0);
+            EXPECT_EQ(
+                std::memcmp(want.isIntData(), view.isIntData(),
+                            static_cast<size_t>(want.metaCount())),
+                0);
+        };
+        check(lw.wq, tv.wq);
+        check(lw.wk, tv.wk);
+        check(lw.wv, tv.wv);
+        check(lw.wo, tv.wo);
+        check(lw.wGate, tv.wGate);
+        check(lw.wUp, tv.wUp); // Llama: present in both
+        check(lw.wDown, tv.wDown);
+    }
+}
+
+TEST(ModelFile, ViewsPointIntoMappingZeroCopy)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    auto loaded = LoadedModel::load(
+        exported("zerocopy", weights, mantFusedSetup()));
+
+    const uint8_t *lo = loaded->file().data();
+    const uint8_t *hi = lo + loaded->file().size();
+    const auto inside = [&](const MantTilesView &v) {
+        EXPECT_GE(v.codesData(), lo);
+        EXPECT_LT(v.codesData() + v.codesBytes(), hi + 1);
+        EXPECT_GE(reinterpret_cast<const uint8_t *>(v.scalesData()),
+                  lo);
+        EXPECT_LT(v.isIntData() + v.metaCount(), hi + 1);
+    };
+    for (const LayerTileViews &tv : loaded->tileViews()) {
+        inside(tv.wq);
+        inside(tv.wk);
+        inside(tv.wv);
+        inside(tv.wo);
+        inside(tv.wGate);
+        inside(tv.wUp);
+        inside(tv.wDown);
+    }
+}
+
+TEST(ModelFile, ReadFallbackMatchesMmap)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    const std::string path =
+        exported("fallback", weights, mantFusedSetup());
+    const auto toks = tokens(12, 901, 128);
+
+    auto viaMmap = LoadedModel::load(path);
+    auto viaRead = LoadedModel::load(path, /*forceRead=*/true);
+    EXPECT_FALSE(viaRead->file().mapped());
+    const Tensor a = viaMmap->transformer().prefill(toks);
+    const Tensor b = viaRead->transformer().prefill(toks);
+    EXPECT_TRUE(test::bytesEqual(a.span(), b.span()));
+}
+
+TEST(ModelFile, LogitScaleSurvivesRoundTrip)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    auto loaded = LoadedModel::load(
+        exported("logit", weights, mantFusedSetup(), 0.625f));
+    EXPECT_FLOAT_EQ(loaded->transformer().logitScale(), 0.625f);
+}
+
+TEST(ModelFile, OptFamilyRoundTrip)
+{
+    // OPT exercises the branches Llama does not: learned positional
+    // embeddings serialize, and there is no SwiGLU up projection.
+    const ModelProfile profile =
+        test::tinyProfile(ModelFamily::Opt);
+    const ModelWeights weights = ModelWeights::generate(profile, 96);
+    const QuantSetup setup = mantFusedSetup();
+    const auto toks = tokens(16, 902, 128);
+
+    Transformer ref(weights, setup);
+    const Tensor want = ref.prefill(toks);
+
+    auto loaded = LoadedModel::load(exported("opt", weights, setup));
+    EXPECT_FALSE(loaded->tileViews()[0].wUp.valid());
+    EXPECT_GT(loaded->weights().posEmbedding.numel(), 0);
+    const Tensor got = loaded->transformer().prefill(toks);
+    EXPECT_TRUE(test::bytesEqual(want.span(), got.span()));
+}
+
+class GroupSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(GroupSweep, RaggedShapesRoundTripBitIdentical)
+{
+    // Ragged geometry: dModel = 72 and dFfn = 84 are not multiples of
+    // group 40 (nor of the panel width), so padded tile columns and
+    // short trailing groups all cross the wire format.
+    ModelProfile profile = test::tinyProfile();
+    profile.simDims.dModel = 72;
+    profile.simDims.dFfn = 84;
+    const ModelWeights weights = ModelWeights::generate(profile, 64);
+    const QuantSetup setup = mantFusedSetup(GetParam());
+    const auto toks = tokens(10, 903, 128);
+
+    Transformer ref(weights, setup);
+    const Tensor want = ref.prefill(toks);
+    const std::string tag =
+        "group" + std::to_string(GetParam() + 1);
+    auto loaded =
+        LoadedModel::load(exported(tag.c_str(), weights, setup));
+    const Tensor got = loaded->transformer().prefill(toks);
+    EXPECT_TRUE(test::bytesEqual(want.span(), got.span()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupSweep,
+                         ::testing::Values(int64_t{-1}, int64_t{1},
+                                           int64_t{40}));
+
+TEST(ModelFile, ParityAcrossSimdAndThreads)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    const QuantSetup setup = mantFusedSetup();
+    const std::string path = exported("parity", weights, setup);
+    const auto toks = tokens(12, 904, 128);
+
+    Transformer ref(weights, setup);
+    const Tensor want = ref.prefill(toks);
+
+    const SimdPath paths[] = {SimdPath::Scalar, SimdPath::Auto};
+    for (SimdPath path_sel : paths) {
+        for (int nthreads : {1, 3}) {
+            const Tensor got =
+                test::withPath(path_sel, nthreads, [&] {
+                    auto loaded = LoadedModel::load(path);
+                    return loaded->transformer().prefill(toks);
+                });
+            EXPECT_TRUE(test::bytesEqual(want.span(), got.span()))
+                << simdPathName(path_sel) << " x " << nthreads;
+        }
+    }
+}
+
+TEST(ModelFile, ServingEngineBootsFromLoadedModel)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 128);
+    const QuantSetup setup = mantFusedSetup();
+    const std::string path = exported("serving", weights, setup);
+    const auto prompt = tokens(8, 905, 128);
+
+    // Serial oracle over the in-memory model.
+    Transformer ref(weights, setup);
+    const std::vector<int32_t> want =
+        greedyGenerate(ref, prompt, 6);
+
+    std::shared_ptr<LoadedModel> loaded = LoadedModel::load(path);
+    ServingEngine engine(loaded);
+    GenRequest req;
+    req.prompt = prompt;
+    req.maxNewTokens = 6;
+    const RequestId id = engine.submit(req);
+    engine.run();
+    EXPECT_EQ(engine.output(id), want);
+}
+
+TEST(ModelFile, ExportRejectsNonFusedSetups)
+{
+    const ModelWeights weights =
+        ModelWeights::generate(test::tinyProfile(), 64);
+    std::ostringstream os;
+    EXPECT_THROW(exportModel(os, weights, fp16Setup()),
+                 std::invalid_argument);
+    QuantSetup unfused = mantFusedSetup();
+    unfused.fusedInference = false;
+    EXPECT_THROW(exportModel(os, weights, unfused),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Hostile model files.
+
+class HostileModelFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const ModelWeights weights =
+            ModelWeights::generate(test::tinyProfile(), 64);
+        std::ostringstream os;
+        exportModel(os, weights, mantFusedSetup());
+        bytes_ = os.str();
+    }
+
+    /** Write (possibly corrupted) bytes and load them. */
+    std::unique_ptr<LoadedModel>
+    loadBytes(const std::string &bytes) const
+    {
+        const std::string path = tempPath("hostile");
+        std::ofstream of(path, std::ios::binary | std::ios::trunc);
+        of.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        of.close();
+        return LoadedModel::load(path);
+    }
+
+    /** TOC index and entry of the named section. */
+    size_t
+    entryIndex(const std::string &name) const
+    {
+        const auto toc =
+            parseModelContainer(bytes_.data(), bytes_.size());
+        for (size_t i = 0; i < toc.size(); ++i)
+            if (toc[i].name == name)
+                return i;
+        ADD_FAILURE() << "no section " << name;
+        return 0;
+    }
+
+    ModelSection
+    section(const std::string &name) const
+    {
+        const auto toc =
+            parseModelContainer(bytes_.data(), bytes_.size());
+        return toc[entryIndex(name)];
+    }
+
+    std::string bytes_;
+};
+
+TEST_F(HostileModelFile, MissingSectionIsTyped)
+{
+    // Rename "embedding" so the loader cannot find it.
+    const size_t idx = entryIndex("embedding");
+    std::string bad = bytes_;
+    bad[64 + idx * 64] = 'X';
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: missing section 'embedding'", 64);
+}
+
+TEST_F(HostileModelFile, WrongKindIsTyped)
+{
+    const size_t idx = entryIndex("embedding");
+    std::string bad = bytes_;
+    bad[64 + idx * 64 + 40] = 3; // F32 -> Meta
+    expectFormatError(
+        [&] { loadBytes(bad); },
+        "model file: section 'embedding' has the wrong kind",
+        64 + idx * 64 + 40);
+}
+
+TEST_F(HostileModelFile, WrongSectionSizeIsTyped)
+{
+    // Shrink final_norm_gain: claims fewer floats than dModel. The
+    // smaller claimed size stays inside the old extent, so container
+    // overlap checks pass and the model-level size check must fire.
+    const size_t idx = entryIndex("final_norm_gain");
+    std::string bad = bytes_;
+    patchU64(bad, 64 + idx * 64 + 56, section("final_norm_gain").size - 4);
+    expectFormatError(
+        [&] { loadBytes(bad); },
+        "model file: section 'final_norm_gain' has the wrong size",
+        64 + idx * 64 + 48);
+}
+
+TEST_F(HostileModelFile, MetaVersionIsTyped)
+{
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    bad[meta.offset] = 9;
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: unsupported meta version",
+                      meta.offset);
+}
+
+TEST_F(HostileModelFile, MetaFamilyIsTyped)
+{
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    bad[meta.offset + 4] = 7;
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: invalid model family",
+                      meta.offset + 4);
+}
+
+TEST_F(HostileModelFile, MetaDimensionsAreTyped)
+{
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    bad[meta.offset + 8 + 7] = '\x80'; // nLayers < 0
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: implausible model dimensions",
+                      meta.offset + 8);
+}
+
+TEST_F(HostileModelFile, MetaTruncationIsTyped)
+{
+    // Cut the meta section's claimed size down mid-struct. Claimed
+    // size lives in the TOC; shrink it so the cursor runs dry.
+    const size_t idx = entryIndex("meta");
+    std::string bad = bytes_;
+    patchU64(bad, 64 + idx * 64 + 56, 10); // 10 bytes of meta
+    const ModelSection meta = section("meta");
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: truncated meta section",
+                      meta.offset + 8);
+}
+
+TEST_F(HostileModelFile, MetaTrailingGarbageIsTyped)
+{
+    // Grow the meta section's claimed size: the loader must reject
+    // unconsumed trailing bytes instead of silently ignoring them.
+    const size_t idx = entryIndex("meta");
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    patchU64(bad, 64 + idx * 64 + 56, meta.size + 4);
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: garbage after meta fields",
+                      meta.offset + meta.size);
+}
+
+TEST_F(HostileModelFile, NonMantSetupInMetaIsTyped)
+{
+    // Flip the stored weight method to Int: structurally valid meta,
+    // but the file format only carries fused-MANT models.
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    // weight method u32 sits after: 2 u32 + 6 i64 + u64 + f64 + f32.
+    const size_t weightOff = 4 + 4 + 48 + 8 + 8 + 4;
+    bad[meta.offset + weightOff] = 1; // WeightMethod::Int
+    expectFormatError([&] { loadBytes(bad); },
+                      "model file: setup is not fused 4-bit MANT",
+                      meta.offset);
+}
+
+TEST_F(HostileModelFile, TileGeometryMismatchIsTyped)
+{
+    // Corrupt layer0/wq's stored panel count: mapTileSection must
+    // reject the section with its absolute file offset.
+    const ModelSection wq = section("layer0/wq");
+    std::string bad = bytes_;
+    bad[wq.offset + 24] =
+        static_cast<char>(bad[wq.offset + 24] + 1);
+    expectFormatError([&] { loadBytes(bad); },
+                      "mapTileSection: panel count mismatch",
+                      wq.offset + 24);
+}
+
+TEST_F(HostileModelFile, TileProfileDisagreementIsTyped)
+{
+    // Self-consistent tile sections of the WRONG shape for the stated
+    // profile: shrink the meta dFfn (96 -> 88, still a plausible
+    // profile), so the first FFN tile section (dFfn x dModel) no
+    // longer matches the dims the model claims. The loader must catch
+    // the disagreement at that section's TOC entry — not construct a
+    // transformer over mis-shaped views.
+    const ModelSection meta = section("meta");
+    std::string bad = bytes_;
+    bad[meta.offset + 8 + 24] = 88; // dFfn field
+    expectFormatError(
+        [&] { loadBytes(bad); },
+        "model file: tile section 'layer0/wgate' disagrees",
+        64 + entryIndex("layer0/wgate") * 64);
+}
+
+TEST_F(HostileModelFile, TruncatedFileIsTyped)
+{
+    expectFormatError(
+        [&] { loadBytes(bytes_.substr(0, 32)); },
+        "model container: truncated header", 0);
+    // Cut mid-TOC: the container parser reports the truncated TOC.
+    expectFormatError([&] { loadBytes(bytes_.substr(0, 80)); },
+                      "model container: truncated TOC", 64);
+}
+
+TEST_F(HostileModelFile, EmptyFileIsTyped)
+{
+    expectFormatError([&] { loadBytes(std::string()); },
+                      "model container: truncated header", 0);
+}
+
+} // namespace
+} // namespace mant

@@ -217,9 +217,13 @@ TEST(Packed, AcceptsTallSkinnyHeader)
                                    int64_t{1} << 21));
     try {
         readPacked(ss);
-        FAIL() << "expected runtime_error";
-    } catch (const std::runtime_error &e) {
-        EXPECT_STREQ(e.what(), "readPacked: truncated payload");
+        FAIL() << "expected PackedFormatError";
+    } catch (const PackedFormatError &e) {
+        // The v1 payload starts right after the 48-byte header; the
+        // error names the stream offset where validation failed.
+        EXPECT_STREQ(e.what(),
+                     "readPacked: truncated payload (at offset 48)");
+        EXPECT_EQ(e.offset(), 48u);
     }
 }
 
@@ -312,6 +316,449 @@ TEST(Packed, FromPartsValidatesSizes)
                      2, 16, 16, std::vector<int8_t>(32),
                      std::vector<MantGroupMeta>(3)),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// v2 tile-panel streams and the model container.
+
+/** Assert `fn` throws PackedFormatError with exactly this message and
+ *  stream offset (the satellite contract: every v2 error path names
+ *  where in the stream validation failed). */
+template <typename Fn>
+void
+expectFormatError(Fn &&fn, const std::string &msg, uint64_t off)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected PackedFormatError: " << msg;
+    } catch (const PackedFormatError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  msg + " (at offset " + std::to_string(off) + ")");
+        EXPECT_EQ(e.offset(), off);
+    }
+}
+
+std::string
+v2StreamBytes(const MantPackedTiles &tiles)
+{
+    std::ostringstream os;
+    writePackedTiles(os, tiles);
+    return os.str();
+}
+
+/** 64-byte-aligned copy of a byte string (mapTileSection requires an
+ *  aligned base, which std::string does not guarantee). */
+struct AlignedBytes
+{
+    explicit AlignedBytes(const std::string &bytes)
+        : p(static_cast<uint8_t *>(
+              ::operator new(bytes.size() + 64, std::align_val_t{64}))),
+          n(bytes.size())
+    {
+        std::memcpy(p, bytes.data(), bytes.size());
+    }
+    ~AlignedBytes() { ::operator delete(p, std::align_val_t{64}); }
+    AlignedBytes(const AlignedBytes &) = delete;
+    AlignedBytes &operator=(const AlignedBytes &) = delete;
+
+    uint8_t *p;
+    size_t n;
+};
+
+TEST(PackedV2, StreamRoundTripIsByteExact)
+{
+    const MantQuantizedMatrix q = sampleMatrix(420, 11, 50, 16);
+    const MantPackedTiles tiles = MantPackedTiles::pack(q);
+    std::stringstream ss(v2StreamBytes(tiles));
+    const MantPackedTiles back = readPackedTiles(ss);
+
+    const MantTilesView a = tiles.view();
+    const MantTilesView b = back.view();
+    ASSERT_EQ(a.codesBytes(), b.codesBytes());
+    ASSERT_EQ(a.metaCount(), b.metaCount());
+    EXPECT_EQ(std::memcmp(a.codesData(), b.codesData(),
+                          static_cast<size_t>(a.codesBytes())),
+              0);
+    EXPECT_EQ(std::memcmp(a.scalesData(), b.scalesData(),
+                          static_cast<size_t>(a.metaCount()) * 4),
+              0);
+    EXPECT_EQ(std::memcmp(a.coeffData(), b.coeffData(),
+                          static_cast<size_t>(a.metaCount())),
+              0);
+    EXPECT_EQ(std::memcmp(a.isIntData(), b.isIntData(),
+                          static_cast<size_t>(a.metaCount())),
+              0);
+
+    const Tensor x = test::gaussianTensor(Shape{3, 50}, 421);
+    const auto qx = Int8QuantizedActivations::quantize(x, 16);
+    const Tensor y1 = fusedGemmTiled(qx, tiles);
+    const Tensor y2 = fusedGemmTiled(qx, back);
+    EXPECT_TRUE(test::bytesEqual(y1.span(), y2.span()));
+}
+
+TEST(PackedV2, ReadPackedDecodesV2Streams)
+{
+    // The v1-era API reads a v2 stream transparently: same decoded
+    // values, so old readers of the new format keep working.
+    const MantQuantizedMatrix q = sampleMatrix(422, 7, 33, 16);
+    std::stringstream ss(v2StreamBytes(MantPackedTiles::pack(q)));
+    const MantQuantizedMatrix q2 = unpack(readPacked(ss));
+    EXPECT_TRUE(test::bytesEqual(q.dequantize().span(),
+                                 q2.dequantize().span()));
+}
+
+TEST(PackedV2, ReadPackedTilesAcceptsV1Streams)
+{
+    // And the tile API reads a v1 stream (repacking on the way in):
+    // both formats remain readable through both entry points.
+    const MantQuantizedMatrix q = sampleMatrix(423, 5, 48, 16);
+    std::stringstream ss;
+    writePacked(ss, pack(q));
+    const MantPackedTiles tiles = readPackedTiles(ss);
+    const MantPackedTiles direct = MantPackedTiles::pack(q);
+    ASSERT_EQ(tiles.view().codesBytes(), direct.view().codesBytes());
+    EXPECT_EQ(
+        std::memcmp(tiles.view().codesData(),
+                    direct.view().codesData(),
+                    static_cast<size_t>(tiles.view().codesBytes())),
+        0);
+}
+
+TEST(PackedV2, RejectsUnsupportedVersion)
+{
+    std::string bytes =
+        v2StreamBytes(MantPackedTiles::pack(sampleMatrix(424, 2, 16)));
+    bytes[4] = 3;
+    expectFormatError(
+        [&] {
+            std::stringstream ss(bytes);
+            readPackedTiles(ss);
+        },
+        "readPacked: unsupported version", 4);
+}
+
+TEST(PackedV2, HeaderFieldMismatchesNameTheirOffset)
+{
+    // The v2 tile header lives at stream offset 64; every derived
+    // field must equal the geometry recomputed from (rows, cols,
+    // groupSize), and each mismatch reports its own field offset.
+    const std::string good =
+        v2StreamBytes(MantPackedTiles::pack(sampleMatrix(425, 2, 16)));
+    struct Case
+    {
+        size_t byte;       ///< byte to corrupt (+1)
+        const char *msg;
+        uint64_t offset;   ///< expected error offset
+    };
+    const Case cases[] = {
+        {88, "readPacked: panel count mismatch", 88},
+        {96, "readPacked: panel byte count mismatch", 96},
+        {104, "readPacked: code byte count mismatch", 104},
+        {112, "readPacked: tile meta count mismatch", 112},
+        {120, "readPacked: nonzero reserved field", 120},
+    };
+    for (const Case &c : cases) {
+        std::string bytes = good;
+        bytes[c.byte] = static_cast<char>(bytes[c.byte] + 1);
+        expectFormatError(
+            [&] {
+                std::stringstream ss(bytes);
+                readPackedTiles(ss);
+            },
+            c.msg, c.offset);
+    }
+
+    std::string bad_rows = good;
+    bad_rows[71] = '\x80'; // sign bit of the rows field
+    expectFormatError(
+        [&] {
+            std::stringstream ss(bad_rows);
+            readPackedTiles(ss);
+        },
+        "readPacked: implausible tile geometry", 64);
+
+    std::string bad_group = good; // groupSize 16 -> 32 > cols: not
+    bad_group[80] = 32;           // the normalized effective size
+    expectFormatError(
+        [&] {
+            std::stringstream ss(bad_group);
+            readPackedTiles(ss);
+        },
+        "readPacked: unnormalized group size", 80);
+}
+
+TEST(PackedV2, TruncatedPayloadNamesOffset)
+{
+    const std::string good =
+        v2StreamBytes(MantPackedTiles::pack(sampleMatrix(426, 2, 16)));
+    // Cut inside the code block: the payload-presence check fires at
+    // the code array's start (stream offset 128, after the 64-byte
+    // stream prefix and the 64-byte section header).
+    expectFormatError(
+        [&] {
+            std::stringstream ss(good.substr(0, 132));
+            readPackedTiles(ss);
+        },
+        "readPacked: truncated payload", 128);
+}
+
+TEST(PackedV2, NonSeekableTruncationStillFails)
+{
+    const std::string good =
+        v2StreamBytes(MantPackedTiles::pack(sampleMatrix(427, 2, 16)));
+    PipeBuf buf(good.substr(0, good.size() - 1));
+    std::istream in(&buf);
+    ASSERT_EQ(in.tellg(), std::streampos(-1));
+    EXPECT_THROW(readPackedTiles(in), PackedFormatError);
+}
+
+// ---------------------------------------------------------------------
+// mapTileSection: the zero-copy entry point.
+
+std::string
+tileSectionBytes(const MantPackedTiles &tiles)
+{
+    std::ostringstream os;
+    writeTileSection(os, tiles.view());
+    return os.str();
+}
+
+TEST(MapTileSection, RoundTripIsZeroCopy)
+{
+    const MantQuantizedMatrix q = sampleMatrix(430, 9, 40, 16);
+    const MantPackedTiles tiles = MantPackedTiles::pack(q);
+    const AlignedBytes buf(tileSectionBytes(tiles));
+    ASSERT_EQ(buf.n, tileSectionSize(9, 40, 16));
+
+    const MantTilesView v = mapTileSection(buf.p, buf.n);
+    // Zero copy: the view's arrays point INTO the mapped bytes.
+    EXPECT_EQ(v.codesData(), buf.p + 64);
+    EXPECT_GE(reinterpret_cast<const uint8_t *>(v.scalesData()),
+              buf.p);
+    EXPECT_LT(v.isIntData(), buf.p + buf.n);
+
+    const Tensor x = test::gaussianTensor(Shape{4, 40}, 431);
+    const auto qx = Int8QuantizedActivations::quantize(x, 16);
+    const Tensor y1 = fusedGemmTiled(qx, tiles);
+    const Tensor y2 = fusedGemmTiled(qx, v);
+    EXPECT_TRUE(test::bytesEqual(y1.span(), y2.span()));
+}
+
+TEST(MapTileSection, HostilePaths)
+{
+    const std::string bytes =
+        tileSectionBytes(MantPackedTiles::pack(sampleMatrix(432, 2, 16)));
+    const AlignedBytes buf(bytes);
+
+    EXPECT_THROW(mapTileSection(nullptr, 64), std::invalid_argument);
+    expectFormatError(
+        [&] { mapTileSection(buf.p + 8, buf.n - 8, 4096); },
+        "mapTileSection: section base not 64-byte aligned", 4096);
+    expectFormatError([&] { mapTileSection(buf.p, 32, 256); },
+                      "mapTileSection: truncated section header", 256);
+    // Section smaller than its own header claims: payload runs off
+    // the mapping (error offset = section base + codes offset).
+    expectFormatError([&] { mapTileSection(buf.p, buf.n - 1, 128); },
+                      "mapTileSection: section payload out of bounds",
+                      128 + 64);
+    // The shared header validator runs here too, with the
+    // mapTileSection prefix and section-absolute offsets.
+    AlignedBytes corrupt(bytes);
+    corrupt.p[24] = static_cast<uint8_t>(corrupt.p[24] + 1);
+    expectFormatError(
+        [&] { mapTileSection(corrupt.p, corrupt.n, 640); },
+        "mapTileSection: panel count mismatch", 640 + 24);
+}
+
+// ---------------------------------------------------------------------
+// Model container TOC.
+
+/** Two-section container: "alpha" (F32, 64 bytes of 'a') at offset
+ *  192 and "beta" (Meta, 32 bytes of 'b') at offset 256. */
+std::string
+sampleContainer()
+{
+    ModelContainerWriter w;
+    w.add("alpha", ModelSectionKind::F32, 64, [](std::ostream &os) {
+        const std::string a(64, 'a');
+        os.write(a.data(), 64);
+    });
+    w.add("beta", ModelSectionKind::Meta, 32, [](std::ostream &os) {
+        const std::string b(32, 'b');
+        os.write(b.data(), 32);
+    });
+    std::ostringstream os;
+    w.write(os);
+    return os.str();
+}
+
+TEST(ModelContainer, WriterLaysOutAlignedSections)
+{
+    const std::string s = sampleContainer();
+    ASSERT_EQ(s.size(), 288u);
+    EXPECT_EQ(std::memcmp(s.data(), "MANTMDL\0", 8), 0);
+
+    const auto toc = parseModelContainer(s.data(), s.size());
+    ASSERT_EQ(toc.size(), 2u);
+    EXPECT_EQ(toc[0].name, "alpha");
+    EXPECT_EQ(toc[0].kind, ModelSectionKind::F32);
+    EXPECT_EQ(toc[0].offset, 192u);
+    EXPECT_EQ(toc[0].size, 64u);
+    EXPECT_EQ(toc[1].name, "beta");
+    EXPECT_EQ(toc[1].kind, ModelSectionKind::Meta);
+    EXPECT_EQ(toc[1].offset, 256u);
+    EXPECT_EQ(toc[1].size, 32u);
+    EXPECT_EQ(s[192], 'a');
+    EXPECT_EQ(s[255], 'a');
+    EXPECT_EQ(s[256], 'b');
+}
+
+TEST(ModelContainer, HostileHeaderPaths)
+{
+    const std::string s = sampleContainer();
+    const auto parse = [](const std::string &bytes) {
+        return parseModelContainer(bytes.data(), bytes.size());
+    };
+
+    EXPECT_THROW(parseModelContainer(nullptr, 0),
+                 std::invalid_argument);
+    expectFormatError([&] { parse(s.substr(0, 32)); },
+                      "model container: truncated header", 0);
+
+    std::string bad = s;
+    bad[0] = 'X';
+    expectFormatError([&] { parse(bad); },
+                      "model container: bad magic", 0);
+
+    bad = s;
+    bad[8] = 9;
+    expectFormatError([&] { parse(bad); },
+                      "model container: unsupported version", 8);
+
+    bad = s;
+    bad[14] = '\x7f'; // section count -> ~2 billion
+    expectFormatError([&] { parse(bad); },
+                      "model container: implausible section count",
+                      12);
+
+    bad = s;
+    bad[20] = 1;
+    expectFormatError(
+        [&] { parse(bad); },
+        "model container: nonzero reserved header bytes", 16);
+
+    // Header says two TOC entries but the bytes end before them.
+    expectFormatError([&] { parse(s.substr(0, 100)); },
+                      "model container: truncated TOC", 64);
+}
+
+TEST(ModelContainer, HostileTocEntryPaths)
+{
+    const std::string s = sampleContainer();
+    const auto parse = [](const std::string &bytes) {
+        return parseModelContainer(bytes.data(), bytes.size());
+    };
+
+    std::string bad = s; // entry 0 starts at 64
+    for (size_t i = 64; i < 104; ++i)
+        bad[i] = 'x'; // all 40 name bytes non-zero
+    expectFormatError(
+        [&] { parse(bad); },
+        "model container: unterminated section name", 64);
+
+    bad = s;
+    bad[64] = '\0'; // "alpha" -> empty (trailing "lpha" still there)
+    expectFormatError([&] { parse(bad); },
+                      "model container: empty section name", 64);
+
+    bad = s;
+    bad[64 + 10] = 'z'; // non-zero byte after the terminator
+    expectFormatError(
+        [&] { parse(bad); },
+        "model container: garbage after section name", 64);
+
+    bad = s;
+    bad[64 + 40] = 7; // kind field
+    expectFormatError([&] { parse(bad); },
+                      "model container: unknown section kind",
+                      64 + 40);
+
+    bad = s;
+    bad[64 + 44] = 1; // reserved entry field
+    expectFormatError(
+        [&] { parse(bad); },
+        "model container: nonzero reserved entry field", 64 + 44);
+
+    bad = s;
+    bad[64 + 48] = static_cast<char>(193); // alpha offset 192 -> 193
+    expectFormatError(
+        [&] { parse(bad); },
+        "model container: misaligned section offset", 64 + 48);
+
+    bad = s;
+    bad[64 + 48] = static_cast<char>(128); // aligned but inside TOC
+    expectFormatError([&] { parse(bad); },
+                      "model container: section overlaps TOC",
+                      64 + 48);
+
+    bad = s;
+    bad[64 + 49] = 2; // alpha offset 192 -> 704: past the end
+    expectFormatError([&] { parse(bad); },
+                      "model container: section out of bounds",
+                      64 + 48);
+}
+
+TEST(ModelContainer, DetectsDuplicatesAndOverlaps)
+{
+    const std::string s = sampleContainer();
+    const auto parse = [](const std::string &bytes) {
+        return parseModelContainer(bytes.data(), bytes.size());
+    };
+
+    std::string bad = s; // rename entry 1 (at 128) to "alpha"
+    std::memcpy(bad.data() + 128, "alpha", 5);
+    bad[133] = '\0';
+    expectFormatError([&] { parse(bad); },
+                      "model container: duplicate section name", 128);
+
+    bad = s;
+    bad[64 + 56] = 96; // alpha's size 64 -> 96: runs into beta @256
+    expectFormatError([&] { parse(bad); },
+                      "model container: overlapping sections",
+                      128 + 48);
+}
+
+TEST(ModelContainer, WriterRejectsBadSections)
+{
+    const auto emit = [](std::ostream &) {};
+    ModelContainerWriter w;
+    EXPECT_THROW(w.add("", ModelSectionKind::F32, 0, emit),
+                 std::invalid_argument);
+    EXPECT_THROW(w.add(std::string(40, 'n'), ModelSectionKind::F32, 0,
+                       emit),
+                 std::invalid_argument);
+    EXPECT_THROW(w.add(std::string("a\0b", 3), ModelSectionKind::F32,
+                       0, emit),
+                 std::invalid_argument);
+    EXPECT_THROW(w.add("ok", static_cast<ModelSectionKind>(9), 0,
+                       emit),
+                 std::invalid_argument);
+    EXPECT_THROW(w.add("ok", ModelSectionKind::F32, 0,
+                       ModelContainerWriter::EmitFn{}),
+                 std::invalid_argument);
+    w.add("ok", ModelSectionKind::F32, 0, emit);
+    EXPECT_THROW(w.add("ok", ModelSectionKind::Meta, 0, emit),
+                 std::invalid_argument);
+}
+
+TEST(ModelContainer, WriterVerifiesEmittedByteCount)
+{
+    ModelContainerWriter w;
+    w.add("short", ModelSectionKind::F32, 16, [](std::ostream &os) {
+        os.write("8bytes!!", 8); // declared 16, writes 8
+    });
+    std::ostringstream os;
+    EXPECT_THROW(w.write(os), std::runtime_error);
 }
 
 } // namespace
